@@ -1,0 +1,85 @@
+"""Ablations of LeJIT's design choices (DESIGN.md index).
+
+* solver tiers (interval / hybrid-optimistic / hybrid-strict / smt):
+  compliance vs cost;
+* rule-family sweep: compliance and accuracy as the rule set grows
+  ("performance improving as rule quality increases", Section 4.1);
+* invasiveness: fraction of steps where guidance actually intervened
+  ("a little guidance goes a long way", Section 3).
+"""
+
+import pytest
+
+from repro.bench import (
+    bench_n,
+    run_invasiveness,
+    run_oracle_tiers,
+    run_rule_family_sweep,
+)
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="ablation-tiers")
+def test_ablation_oracle_tiers(benchmark, context, results_dir):
+    count = max(10, bench_n() // 3)
+
+    results = benchmark.pedantic(
+        lambda: run_oracle_tiers(context, count), rounds=1, iterations=1
+    )
+    header = f"{'tier':20s}{'seconds':>10s}{'viol %':>10s}{'forced':>8s}{'phase2':>8s}"
+    lines = ["Ablation: feasibility-oracle tiers", f"records: {count}", "",
+             header, "-" * len(header)]
+    for result in results:
+        row = result.row()
+        lines.append(
+            f"{row['tier']:20s}{row['seconds']:>10.2f}"
+            f"{row['rule_violation_%']:>10.3f}{row['forced_vars']:>8d}"
+            f"{row['phase2_records']:>8d}"
+        )
+    write_result(results_dir, "ablation_tiers", "\n".join(lines))
+
+    by_tier = {r.tier: r for r in results}
+    # Exact tiers guarantee compliance.
+    assert by_tier["hybrid-optimistic"].rule_violation_rate == 0.0
+    assert by_tier["smt"].rule_violation_rate == 0.0
+    # The optimistic hybrid should be the fastest exact tier.
+    assert (
+        by_tier["hybrid-optimistic"].seconds
+        <= by_tier["smt"].seconds
+    )
+
+
+@pytest.mark.benchmark(group="ablation-rules")
+def test_ablation_rule_family_sweep(benchmark, context, results_dir):
+    count = max(10, bench_n() // 3)
+    rows = benchmark.pedantic(
+        lambda: run_rule_family_sweep(context, count), rounds=1, iterations=1
+    )
+    header = f"{'rule set':16s}{'rules':>7s}{'seconds':>9s}{'viol %':>9s}{'mae':>8s}"
+    lines = ["Ablation: enforced rule-set richness", f"records: {count}", "",
+             header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['rule_set']:16s}{row['rules']:>7d}{row['seconds']:>9.2f}"
+            f"{row['rule_violation_%']:>9.2f}{row['mae']:>8.3f}"
+        )
+    write_result(results_dir, "ablation_rules", "\n".join(lines))
+
+    # Richer enforced sets close the compliance gap against the full audit.
+    assert rows[-1]["rule_violation_%"] <= rows[0]["rule_violation_%"]
+
+
+@pytest.mark.benchmark(group="ablation-invasiveness")
+def test_ablation_invasiveness(benchmark, context, results_dir):
+    count = max(10, bench_n() // 2)
+    stats = benchmark.pedantic(
+        lambda: run_invasiveness(context, count), rounds=1, iterations=1
+    )
+    lines = ["Ablation: guidance invasiveness (per generation step)", ""]
+    for key, value in stats.items():
+        lines.append(f"{key:24s} {value:.4f}")
+    write_result(results_dir, "ablation_invasiveness", "\n".join(lines))
+
+    # "Minimally invasive": most steps, the model's own choice survives.
+    assert stats["diverted_step_rate"] < 0.5

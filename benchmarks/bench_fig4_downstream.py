@@ -1,0 +1,48 @@
+"""Fig. 4 (right): downstream burst-analysis quality of imputed series.
+
+Paper's shape: LeJIT improves burst metrics across the board relative to
+vanilla GPT-2 and is competitive with Zoom2Net (which keeps an edge only on
+Burst Position).
+"""
+
+import pytest
+
+from repro.bench import bench_n, run_imputation
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="fig4-downstream")
+def test_fig4_burst_analysis(benchmark, context, results_dir):
+    count = bench_n()
+
+    def experiment():
+        return run_imputation(
+            context, count, methods=("vanilla", "zoom2net", "lejit")
+        )
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    header = f"{'method':12s}" + "".join(
+        f"{k:>16s}" for k in results["lejit"].burst
+    )
+    lines = [
+        "Fig. 4 (right) - burst-analysis error of imputed fine series",
+        f"records per method: {count}  (lower is better)",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for name, result in results.items():
+        lines.append(
+            f"{name:12s}"
+            + "".join(f"{value:16.4f}" for value in result.burst.values())
+        )
+    write_result(results_dir, "fig4_downstream", "\n".join(lines))
+
+    lejit = results["lejit"].burst
+    vanilla = results["vanilla"].burst
+    # "Improving burst analysis metrics across the board" vs the
+    # unconstrained model.
+    better = sum(1 for key in lejit if lejit[key] <= vanilla[key])
+    assert better >= 3, f"LeJIT should win most burst metrics: {lejit} vs {vanilla}"

@@ -1,0 +1,57 @@
+"""Rule-set statistics (the paper's "716 imputation / 255 synthesis rules").
+
+Reports the mined rule counts per family at several slack settings and
+benchmarks the mining pass itself.
+"""
+
+import pytest
+
+from repro.data import COARSE_FIELDS
+from repro.rules import MinerOptions, mine_rules
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="rule-mining")
+def test_rule_mining_counts(benchmark, context, results_dir):
+    variables = list(context.dataset.variables)
+    fine = context.fine_names
+
+    def mine():
+        return mine_rules(
+            context.train_assignments,
+            variables,
+            MinerOptions(slack=2),
+            fine_variables=fine,
+        )
+
+    rules = benchmark.pedantic(mine, rounds=1, iterations=1)
+
+    lines = [
+        "Mined rule sets (paper: 716 imputation / 255 synthesis rules)",
+        "",
+        f"imputation scope ({len(variables)} variables): {len(rules)} rules",
+        f"  families: {rules.summary()}",
+        f"synthesis scope ({len(COARSE_FIELDS)} variables): "
+        f"{len(context.synthesis_rules)} rules",
+        f"  families: {context.synthesis_rules.summary()}",
+    ]
+    for slack in (0, 2, 5):
+        mined = mine_rules(
+            context.train_assignments,
+            variables,
+            MinerOptions(slack=slack),
+            fine_variables=fine,
+        )
+        holds = sum(
+            1 for a in context.train_assignments if mined.compliant(a)
+        )
+        lines.append(
+            f"slack={slack}: {len(mined)} rules, hold on "
+            f"{holds}/{len(context.train_assignments)} training records"
+        )
+    write_result(results_dir, "rule_mining", "\n".join(lines))
+
+    assert len(rules) > 100, "the miner must produce hundreds of rules"
+    for assignment in context.train_assignments:
+        assert rules.compliant(assignment)

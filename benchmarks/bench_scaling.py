@@ -1,0 +1,83 @@
+"""Scaling study: LeJIT's per-record cost vs rule-set size and record count.
+
+Supports the Section 5 discussion of solver overhead: how does enforcement
+cost grow with the number of active rules, and is per-record cost stable as
+the workload grows (no cross-record state blow-up)?
+"""
+
+import time
+
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.rules import MinerOptions, domain_bound_rules, mine_rules
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_rules_and_records(benchmark, context, results_dir):
+    variables = list(context.dataset.variables)
+    fine = context.fine_names
+    cfg = context.dataset.config
+    windows = context.test_windows(30)
+
+    def run_all():
+        rows = []
+        # Rule-count scaling: same records, increasingly rich rule sets.
+        sweeps = [
+            ("18 rules", MinerOptions(octagon=False, ratios=False,
+                                      identities=False, conditionals=False,
+                                      burst_implications=False, slack=2)),
+            ("~110 rules", MinerOptions(ratios=False, conditionals=False,
+                                        burst_implications=False, slack=2)),
+            ("~230 rules", MinerOptions(ratios=False, slack=2)),
+            ("full", MinerOptions(slack=2)),
+        ]
+        for label, options in sweeps:
+            rules = mine_rules(
+                context.train_assignments, variables, options,
+                fine_variables=fine,
+            )
+            enforcer = JitEnforcer(
+                context.model, rules, cfg, EnforcerConfig(seed=0),
+                fallback_rules=[context.manual_rules, context.domain_rules],
+            )
+            start = time.perf_counter()
+            for window in windows:
+                enforcer.impute(window.coarse())
+            elapsed = time.perf_counter() - start
+            rows.append((label, len(rules), 1000 * elapsed / len(windows)))
+
+        # Record-count scaling: per-record cost must stay flat.
+        enforcer = JitEnforcer(
+            context.model, context.imputation_rules, cfg,
+            EnforcerConfig(seed=0),
+            fallback_rules=[context.manual_rules, context.domain_rules],
+        )
+        per_record = []
+        for batch in (10, 20, 40):
+            batch_windows = context.test_windows(batch)
+            start = time.perf_counter()
+            for window in batch_windows:
+                enforcer.impute(window.coarse())
+            per_record.append(
+                (batch, 1000 * (time.perf_counter() - start) / batch)
+            )
+        return rows, per_record
+
+    rows, per_record = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["Scaling: per-record imputation cost", "",
+             f"{'rule set':12s}{'rules':>8s}{'ms/record':>12s}"]
+    for label, count, cost in rows:
+        lines.append(f"{label:12s}{count:>8d}{cost:>12.1f}")
+    lines.append("")
+    lines.append(f"{'batch':>8s}{'ms/record':>12s}   (same enforcer reused)")
+    for batch, cost in per_record:
+        lines.append(f"{batch:>8d}{cost:>12.1f}")
+    write_result(results_dir, "scaling", "\n".join(lines))
+
+    # Per-record cost must not explode with batch size (no state blow-up).
+    costs = [cost for _, cost in per_record]
+    assert max(costs) <= 5 * min(costs)

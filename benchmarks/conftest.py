@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The heavyweight setup (dataset, model, mined rules) is built once per
+session.  Scale via environment variables (see repro.bench.common):
+``LEJIT_BENCH_N`` records per method, ``LEJIT_BENCH_RACKS`` training racks,
+``LEJIT_BENCH_LM=transformer`` to benchmark the transformer backend.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import get_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context():
+    return get_context()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n(saved to {path})")

@@ -1,0 +1,87 @@
+"""Repurposing one model through custom operator-written rules.
+
+The paper's "JIT logic plug-ins" vision: an operator steers a trained model
+toward different behaviours purely by writing rules in the DSL -- here, a
+what-if scenario generator ("only congested windows, bursts early in the
+window") built from the very same LM used for ordinary imputation.
+
+Run:  python examples/custom_rules.py
+"""
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.data import build_dataset, fine_field
+from repro.lm import NgramLM
+from repro.rules import Rule, RuleSet, domain_bound_rules, var
+from repro.smt import And, Eq, Ge, Implies, Le, Or
+
+
+def main() -> None:
+    dataset = build_dataset(
+        num_train_racks=12, num_test_racks=2, windows_per_rack=100, seed=1
+    )
+    config = dataset.config
+    model = NgramLM(order=6).fit(dataset.train_texts())
+
+    # Scenario: stress-test telemetry.  The operator wants synthetic windows
+    # that are congested, nearly saturated, with the burst in the first two
+    # ticks and a quiet tail -- data that is rare in the training racks.
+    scenario = RuleSet(name="stress-scenario")
+    for rule in domain_bound_rules(config):
+        scenario.add(rule)
+    scenario.add(Rule(
+        "congested",
+        Ge(var("cong"), 2),
+        description="window must contain at least 2 ECN-marked ticks",
+    ))
+    scenario.add(Rule(
+        "hot",
+        Ge(var("total"), 120),
+        description="heavily loaded window (total >= 120)",
+    ))
+    scenario.add(Rule(
+        "early-burst",
+        Or(Ge(var(fine_field(0)), config.bandwidth // 2),
+           Ge(var(fine_field(1)), config.bandwidth // 2)),
+        description="the burst happens in the first two ticks",
+    ))
+    scenario.add(Rule(
+        "quiet-tail",
+        And(Le(var(fine_field(3)), 15), Le(var(fine_field(4)), 15)),
+        description="the window ends quietly (I3, I4 <= 15)",
+    ))
+    scenario.add(Rule(
+        "sum-consistent",
+        Eq(var(fine_field(0)) + var(fine_field(1)) + var(fine_field(2))
+           + var(fine_field(3)) + var(fine_field(4)), var("total")),
+        description="fine values sum to the coarse total",
+    ))
+    scenario.add(Rule(
+        "retx-needs-cong",
+        Implies(Ge(var("retx"), 1), Ge(var("cong"), 1)),
+        description="retransmissions only under congestion",
+    ))
+
+    print(f"scenario rule set ({len(scenario)} rules):")
+    for rule in scenario:
+        if rule.source == "manual" and rule.name.startswith("dom"):
+            continue
+        print(f"  {rule.name:16s} {rule.description}")
+
+    enforcer = JitEnforcer(model, scenario, config, EnforcerConfig(seed=0))
+    print("\ngenerated stress windows (same LM, new rules, no retraining):")
+    hits = 0
+    for _ in range(8):
+        record = enforcer.synthesize()
+        fine = [record[fine_field(t)] for t in range(config.window)]
+        ok = scenario.compliant(record)
+        hits += ok
+        print(
+            f"  total={record['total']:3d} cong={record['cong']} "
+            f"retx={record['retx']} egr={record['egr']:3d} fine={fine} "
+            f"compliant={ok}"
+        )
+    print(f"\n{hits}/8 records satisfy every scenario rule by construction")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""LeJIT: Just-in-Time Logic Enforcement for network management.
+
+Reproduction of He & Apostolaki (HotNets '25).  The package interleaves an
+SMT solver (built from scratch in :mod:`repro.smt`) into the inference loop
+of a character-level language model (:mod:`repro.lm`) so that generated
+network telemetry complies with a configurable logic rule set
+(:mod:`repro.rules`) -- turning one trained model into either a telemetry
+imputer or a synthetic-data generator (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import build_dataset, mine_rules, NgramLM, JitEnforcer
+
+    dataset = build_dataset()
+    lm = NgramLM().fit(dataset.train_texts())
+    rules = mine_rules([w.variables() for w in dataset.train_windows()],
+                       dataset.variables)
+    enforcer = JitEnforcer(lm, rules, dataset.config)
+    fine = enforcer.impute(dataset.test_windows()[0].coarse())
+"""
+
+from .core import (
+    EnforcerConfig,
+    EnforcementTrace,
+    InfeasibleRecordError,
+    JitEnforcer,
+    RecordSampler,
+    audit_violation_rate,
+)
+from .data import TelemetryConfig, TelemetryDataset, Window, build_dataset
+from .lm import (
+    CharTokenizer,
+    NgramLM,
+    TrainConfig,
+    TransformerConfig,
+    TransformerLM,
+    train_lm,
+)
+from .rules import (
+    MinerOptions,
+    Rule,
+    RuleSet,
+    domain_bound_rules,
+    mine_rules,
+    paper_rules,
+    zoom2net_manual_rules,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "JitEnforcer",
+    "EnforcerConfig",
+    "EnforcementTrace",
+    "InfeasibleRecordError",
+    "RecordSampler",
+    "audit_violation_rate",
+    "build_dataset",
+    "TelemetryDataset",
+    "TelemetryConfig",
+    "Window",
+    "NgramLM",
+    "TransformerLM",
+    "TransformerConfig",
+    "TrainConfig",
+    "train_lm",
+    "CharTokenizer",
+    "Rule",
+    "RuleSet",
+    "mine_rules",
+    "MinerOptions",
+    "paper_rules",
+    "zoom2net_manual_rules",
+    "domain_bound_rules",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Reverse-mode autograd over numpy -- the repo's torch stand-in.
+
+Provides exactly what the LeJIT models need: a tape-based :class:`Tensor`,
+a small module system (:class:`Linear`, :class:`Embedding`,
+:class:`LayerNorm`, :class:`Dropout`), fused losses, and Adam/SGD with
+gradient clipping and warmup-cosine scheduling.
+"""
+
+from .functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+)
+from .module import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from .optim import SGD, Adam, WarmupCosine, clip_grad_norm
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "cross_entropy",
+    "log_softmax",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "SGD",
+    "Adam",
+    "WarmupCosine",
+    "clip_grad_norm",
+]

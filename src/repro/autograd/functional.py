@@ -1,0 +1,80 @@
+"""Loss functions and fused numerical kernels."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "log_softmax", "mse_loss", "binary_cross_entropy_with_logits"]
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax built from primitive ops."""
+    shifted_data = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted_data).sum(axis=axis, keepdims=True))
+    out_data = shifted_data - log_z
+
+    def backward(grad: np.ndarray) -> None:
+        softmax = np.exp(out_data)
+        logits._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None
+) -> Tensor:
+    """Mean token-level cross entropy; fused softmax+NLL backward.
+
+    ``logits``: (..., vocab); ``targets``: integer array of shape (...).
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+    else:
+        keep = np.ones(flat_targets.shape, dtype=bool)
+    count = max(1, int(keep.sum()))
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    safe_targets = np.where(keep, flat_targets, 0)
+    picked = log_probs[np.arange(len(flat_targets)), safe_targets]
+    loss_value = -(picked * keep).sum() / count
+
+    def backward(grad: np.ndarray) -> None:
+        softmax = np.exp(log_probs)
+        softmax[np.arange(len(flat_targets)), safe_targets] -= 1.0
+        softmax *= (keep / count)[:, None]
+        logits._accumulate(float(grad) * softmax.reshape(logits.shape))
+
+    return Tensor._make(np.float32(loss_value), (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    diff = prediction - Tensor(np.asarray(target, dtype=np.float32))
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Stable BCE used by the GAN baselines."""
+    targets = np.asarray(targets, dtype=np.float32)
+    x = logits.data
+    loss_value = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+
+    def backward(grad: np.ndarray) -> None:
+        # Numerically stable sigmoid (never exponentiates a positive value).
+        sigmoid = np.where(
+            x >= 0,
+            1.0 / (1.0 + np.exp(-np.abs(x))),
+            np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+        )
+        logits._accumulate(grad * (sigmoid - targets))
+
+    out = Tensor._make(loss_value.astype(np.float32), (logits,), backward)
+    return out.mean()

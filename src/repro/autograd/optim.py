@@ -1,0 +1,134 @@
+"""Optimizers and learning-rate schedules for the numpy models."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "WarmupCosine"]
+
+
+def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad.astype(np.float64) ** 2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class SGD:
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters: List[Tensor] = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam with decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters: List[Tensor] = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class WarmupCosine:
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer,
+        base_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: Optional[float] = None,
+    ):
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.warmup_steps = max(1, warmup_steps)
+        self.total_steps = max(total_steps, warmup_steps + 1)
+        self.min_lr = base_lr * 0.1 if min_lr is None else min_lr
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step <= self.warmup_steps:
+            lr = self.base_lr * self._step / self.warmup_steps
+        else:
+            progress = (self._step - self.warmup_steps) / (
+                self.total_steps - self.warmup_steps
+            )
+            progress = min(1.0, progress)
+            lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+                1.0 + math.cos(math.pi * progress)
+            )
+        self.optimizer.lr = lr
+        return lr

@@ -1,0 +1,33 @@
+"""Baselines the paper evaluates against.
+
+Compliance baselines (rejection sampling, post-hoc SMT repair), the
+task-specific Zoom2Net-style imputer, and five synthetic-data generator
+families -- see DESIGN.md for the substitution notes.
+"""
+
+from .generators import (
+    CtganLike,
+    EWganLike,
+    NetShareLike,
+    RealTabFormerLike,
+    TabularGenerator,
+    TvaeLike,
+)
+from .posthoc import PosthocRepairer, RepairError
+from .rejection import RejectionBudgetError, RejectionSampler
+from .zoom2net import Zoom2NetConfig, Zoom2NetImputer
+
+__all__ = [
+    "RejectionSampler",
+    "RejectionBudgetError",
+    "PosthocRepairer",
+    "RepairError",
+    "Zoom2NetImputer",
+    "Zoom2NetConfig",
+    "TabularGenerator",
+    "NetShareLike",
+    "EWganLike",
+    "CtganLike",
+    "TvaeLike",
+    "RealTabFormerLike",
+]

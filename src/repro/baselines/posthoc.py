@@ -1,0 +1,109 @@
+"""Post-inference logic enforcement (the Fig. 1a yellow path).
+
+Let the model generate freely, then hand the invalid output to the SMT
+solver together with the rules and ask for a compliant record.  Two modes
+reproduce the paper's discussion:
+
+* ``arbitrary`` -- the solver returns *any* compliant record (what a plain
+  ``check-sat`` gives you): correct, but it ignores the model's learned
+  distribution entirely;
+* ``nearest`` -- minimize the L1 distance to the model's output subject to
+  the rules (the distance-metric mitigation the paper describes, with its
+  caveat that numeric distance is not semantic distance in networking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..data.dataset import variable_bounds
+from ..data.telemetry import TelemetryConfig
+from ..rules.dsl import RuleSet
+from ..smt import IntVar, Le, LinExpr, Solver
+
+__all__ = ["PosthocRepairer", "RepairError"]
+
+
+class RepairError(RuntimeError):
+    """The rules admit no record consistent with the fixed fields."""
+
+
+class PosthocRepairer:
+    """SMT-based output correction applied after generation."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        telemetry_config: Optional[TelemetryConfig] = None,
+        mode: str = "nearest",
+        bounds: Optional[Mapping[str, Tuple[int, int]]] = None,
+    ):
+        if mode not in ("nearest", "arbitrary"):
+            raise ValueError(f"unknown repair mode {mode!r}")
+        self.rules = rules
+        self.mode = mode
+        self.telemetry_config = telemetry_config or TelemetryConfig()
+        self.bounds = dict(bounds or variable_bounds(self.telemetry_config))
+
+    def repair(
+        self,
+        record: Mapping[str, int],
+        frozen: Sequence[str] = (),
+    ) -> Dict[str, int]:
+        """Return a rule-compliant record; ``frozen`` fields keep their
+        values exactly (e.g. the coarse prompt during imputation)."""
+        if not self.rules.violations(record):
+            return dict(record)
+        from ..core.feasible import residualize
+        from ..smt import FALSE, TRUE
+
+        frozen_values = {name: int(record[name]) for name in frozen}
+        solver = Solver()
+        for name, (low, high) in self.bounds.items():
+            if name in frozen_values:
+                continue
+            solver.add(Le(low, IntVar(name)))
+            solver.add(Le(IntVar(name), high))
+        # Substitute the frozen fields into the rules first: the solver then
+        # only reasons over the repairable variables.
+        for formula in self.rules.formulas():
+            residual = residualize(formula, frozen_values)
+            if residual == TRUE:
+                continue
+            if residual == FALSE:
+                raise RepairError(
+                    f"rules unsatisfiable with frozen fields {list(frozen)}"
+                )
+            solver.add(residual)
+        base = solver.check()
+        if not base.satisfiable:
+            raise RepairError(f"rules unsatisfiable with frozen fields {frozen}")
+        if self.mode == "arbitrary":
+            return self._fill(base.model or {}, record)
+        # L1-nearest: d_name >= |name - original| and minimize sum(d).
+        distance = LinExpr({})
+        for name in self.bounds:
+            if name in frozen:
+                continue
+            original = int(record[name])
+            delta = IntVar(f"__d_{name}")
+            solver.add(Le(IntVar(name) - original, delta))
+            solver.add(Le(original - IntVar(name), delta))
+            solver.add(Le(0, delta))
+            distance = distance + delta
+        best = solver.minimize(distance)
+        solver.push()
+        solver.add(Le(distance, int(best)))
+        result = solver.check()
+        solver.pop()
+        if not result.satisfiable:  # cannot happen: minimize proved it
+            raise RepairError("optimizer lost the optimum")
+        return self._fill(result.model or {}, record)
+
+    def _fill(
+        self, model: Mapping[str, int], record: Mapping[str, int]
+    ) -> Dict[str, int]:
+        repaired: Dict[str, int] = {}
+        for name in self.bounds:
+            repaired[name] = int(model.get(name, record.get(name, 0)))
+        return repaired

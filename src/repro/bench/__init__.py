@@ -1,0 +1,25 @@
+"""Benchmark harness: one driver per paper figure (see DESIGN.md index)."""
+
+from .ablation import run_invasiveness, run_oracle_tiers, run_rule_family_sweep
+from .common import BenchContext, bench_n, get_context
+from .imputation import IMPUTATION_METHODS, MethodResult, run_imputation
+from .imputation import format_table as format_imputation_table
+from .synthesis import SYNTHESIS_METHODS, SynthesisResult, run_synthesis
+from .synthesis import format_table as format_synthesis_table
+
+__all__ = [
+    "BenchContext",
+    "get_context",
+    "bench_n",
+    "run_imputation",
+    "MethodResult",
+    "IMPUTATION_METHODS",
+    "format_imputation_table",
+    "run_synthesis",
+    "SynthesisResult",
+    "SYNTHESIS_METHODS",
+    "format_synthesis_table",
+    "run_oracle_tiers",
+    "run_rule_family_sweep",
+    "run_invasiveness",
+]

@@ -1,0 +1,178 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+* solver tiers: interval-only vs hybrid vs full SMT (speed/compliance);
+* lookahead: LeJIT's confirm-based lookahead vs immediate-validity masking;
+* rule-set size: enforcement quality as mined families are toggled;
+* invasiveness: how often masking actually changes the model's choice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import EnforcerConfig, JitEnforcer
+from ..metrics import audit
+from ..rules import MinerOptions, mine_rules
+from .common import BenchContext
+
+__all__ = [
+    "OracleTierResult",
+    "run_oracle_tiers",
+    "run_rule_family_sweep",
+    "run_invasiveness",
+]
+
+
+@dataclass
+class OracleTierResult:
+    tier: str
+    seconds: float
+    rule_violation_rate: float
+    solver_forced: int
+    phase2_records: int
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "tier": self.tier,
+            "seconds": round(self.seconds, 2),
+            "rule_violation_%": round(100 * self.rule_violation_rate, 3),
+            "forced_vars": self.solver_forced,
+            "phase2_records": self.phase2_records,
+        }
+
+
+def run_oracle_tiers(
+    context: BenchContext, count: int, seed: int = 0
+) -> List[OracleTierResult]:
+    """Compare the three feasibility-oracle tiers on the imputation task."""
+    truths = context.test_windows(count)
+    cfg = context.dataset.config
+    results: List[OracleTierResult] = []
+    tiers = [
+        ("interval", EnforcerConfig(oracle="interval", seed=seed)),
+        ("hybrid-optimistic", EnforcerConfig(oracle="hybrid", seed=seed)),
+        (
+            "hybrid-strict",
+            EnforcerConfig(oracle="hybrid", optimistic=False, seed=seed),
+        ),
+        ("smt", EnforcerConfig(oracle="smt", optimistic=False, seed=seed)),
+    ]
+    for tier_name, enforcer_config in tiers:
+        enforcer = JitEnforcer(
+            context.model,
+            context.imputation_rules,
+            cfg,
+            enforcer_config,
+            fallback_rules=context.fallback_tiers(),
+        )
+        start = time.perf_counter()
+        records = [enforcer.impute(w.coarse()) for w in truths]
+        elapsed = time.perf_counter() - start
+        report = audit(records, context.imputation_rules)
+        results.append(
+            OracleTierResult(
+                tier=tier_name,
+                seconds=elapsed,
+                rule_violation_rate=report.rule_violation_rate,
+                solver_forced=enforcer.trace.solver_forced_vars,
+                phase2_records=enforcer.trace.phase2_records,
+            )
+        )
+    return results
+
+
+def run_rule_family_sweep(
+    context: BenchContext, count: int, seed: int = 0
+) -> List[Dict[str, object]]:
+    """Enforce progressively richer mined rule sets (Fig. 3/4 insight:
+    'performance improves as rule quality increases')."""
+    truths = context.test_windows(count)
+    cfg = context.dataset.config
+    fine_names = context.fine_names
+    variables = list(context.dataset.variables)
+    sweeps = [
+        ("bounds", MinerOptions(octagon=False, ratios=False, identities=False,
+                                conditionals=False, burst_implications=False,
+                                slack=2)),
+        ("+identities", MinerOptions(octagon=False, ratios=False,
+                                     conditionals=False,
+                                     burst_implications=False, slack=2)),
+        ("+octagon", MinerOptions(ratios=False, conditionals=False,
+                                  burst_implications=False, slack=2)),
+        ("+conditionals", MinerOptions(ratios=False,
+                                       burst_implications=False, slack=2)),
+        ("full", MinerOptions(slack=2)),
+    ]
+    rows: List[Dict[str, object]] = []
+    for label, options in sweeps:
+        rules = mine_rules(
+            context.train_assignments,
+            variables,
+            options,
+            fine_variables=fine_names,
+            name=f"sweep-{label}",
+        )
+        enforcer = JitEnforcer(
+            context.model,
+            rules,
+            cfg,
+            EnforcerConfig(seed=seed),
+            fallback_rules=context.fallback_tiers(),
+        )
+        start = time.perf_counter()
+        records = [enforcer.impute(w.coarse()) for w in truths]
+        elapsed = time.perf_counter() - start
+        # Audit against the FULL mined set: richer enforcement should close
+        # the compliance gap.
+        report = audit(records, context.imputation_rules)
+        errors = [
+            float(
+                np.mean(
+                    [
+                        abs(record[name] - truth.variables()[name])
+                        for name in fine_names
+                    ]
+                )
+            )
+            for record, truth in zip(records, truths)
+        ]
+        rows.append(
+            {
+                "rule_set": label,
+                "rules": len(rules),
+                "seconds": round(elapsed, 2),
+                "rule_violation_%": round(100 * report.rule_violation_rate, 2),
+                "mae": round(float(np.mean(errors)), 3),
+            }
+        )
+    return rows
+
+
+def run_invasiveness(
+    context: BenchContext, count: int, seed: int = 0
+) -> Dict[str, float]:
+    """Quantify 'a little guidance goes a long way': what fraction of steps
+    did masking prune mass / change the sampled token / force a token?"""
+    cfg = context.dataset.config
+    enforcer = JitEnforcer(
+        context.model,
+        context.imputation_rules,
+        cfg,
+        EnforcerConfig(seed=seed),
+        fallback_rules=context.fallback_tiers(),
+    )
+    for window in context.test_windows(count):
+        enforcer.impute(window.coarse())
+    sample = enforcer.trace.sample
+    return {
+        "steps": float(sample.steps),
+        "masked_step_rate": sample.masked_steps / max(sample.steps, 1),
+        "diverted_step_rate": sample.diverted_steps / max(sample.steps, 1),
+        "forced_step_rate": sample.forced_steps / max(sample.steps, 1),
+        "mean_pruned_mass": sample.pruned_probability / max(sample.steps, 1),
+        "solver_forced_vars": float(enforcer.trace.solver_forced_vars),
+    }

@@ -1,0 +1,136 @@
+"""Shared experiment context for the benchmark harness.
+
+Every figure's benchmark needs the same expensive setup: dataset, trained
+language model, mined rule sets.  :func:`get_context` builds it once per
+process and caches it.  Scale knobs come from environment variables so the
+same harness runs both the CI-sized defaults and paper-scale sweeps:
+
+* ``LEJIT_BENCH_N``       -- records per method (default 60)
+* ``LEJIT_BENCH_RACKS``   -- train racks (default 16; paper uses 80)
+* ``LEJIT_BENCH_WINDOWS`` -- windows per rack (default 120)
+* ``LEJIT_BENCH_LM``      -- ``ngram`` (default) or ``transformer``
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data import COARSE_FIELDS, TelemetryDataset, build_dataset, fine_field
+from ..data.telemetry import Window
+from ..lm import NgramLM, TrainConfig, train_lm
+from ..lm.base import LanguageModel
+from ..rules import (
+    MinerOptions,
+    RuleSet,
+    domain_bound_rules,
+    mine_rules,
+    zoom2net_manual_rules,
+)
+
+__all__ = ["BenchContext", "get_context", "bench_n"]
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def bench_n(default: int = 60) -> int:
+    """Number of records per benchmarked method."""
+    return _env_int("LEJIT_BENCH_N", default)
+
+
+@dataclass
+class BenchContext:
+    dataset: TelemetryDataset
+    model: LanguageModel
+    imputation_rules: RuleSet
+    synthesis_rules: RuleSet
+    manual_rules: RuleSet
+    domain_rules: RuleSet
+    train_assignments: List[Dict[str, int]]
+    coarse_rows: np.ndarray  # (N, len(COARSE_FIELDS)) training coarse records
+
+    @property
+    def fine_names(self) -> List[str]:
+        return [fine_field(t) for t in range(self.dataset.config.window)]
+
+    def test_windows(self, count: Optional[int] = None) -> List[Window]:
+        windows = self.dataset.test_windows()
+        return windows if count is None else windows[:count]
+
+    def fallback_tiers(self) -> List[RuleSet]:
+        return [self.manual_rules, self.domain_rules]
+
+
+_CACHE: Dict[Tuple, BenchContext] = {}
+
+
+def get_context(seed: int = 1) -> BenchContext:
+    """Build (or fetch) the shared benchmark context."""
+    racks = _env_int("LEJIT_BENCH_RACKS", 16)
+    windows = _env_int("LEJIT_BENCH_WINDOWS", 120)
+    backend = os.environ.get("LEJIT_BENCH_LM", "ngram")
+    key = (racks, windows, backend, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    dataset = build_dataset(
+        num_train_racks=racks,
+        num_test_racks=max(2, racks // 4),
+        windows_per_rack=windows,
+        seed=seed,
+    )
+    train_assignments = [w.variables() for w in dataset.train_windows()]
+    variables = list(dataset.variables)
+    fine_names = [fine_field(t) for t in range(dataset.config.window)]
+
+    # Slack-2 mining keeps the mined set consistent with (nearly) all test
+    # prompts while remaining far tighter than the physical domains.
+    options = MinerOptions(slack=2)
+    imputation_rules = mine_rules(
+        train_assignments,
+        variables,
+        options,
+        fine_variables=fine_names,
+        name="netnomos-imputation",
+    )
+    coarse_assignments = [
+        {name: a[name] for name in COARSE_FIELDS} for a in train_assignments
+    ]
+    synthesis_rules = mine_rules(
+        coarse_assignments,
+        list(COARSE_FIELDS),
+        options,
+        name="netnomos-synthesis",
+    )
+
+    if backend == "transformer":
+        model, _ = train_lm(
+            dataset.train_texts(),
+            train_config=TrainConfig(steps=_env_int("LEJIT_BENCH_LM_STEPS", 600)),
+        )
+    else:
+        model = NgramLM(order=6).fit(dataset.train_texts())
+
+    context = BenchContext(
+        dataset=dataset,
+        model=model,
+        imputation_rules=imputation_rules,
+        synthesis_rules=synthesis_rules,
+        manual_rules=zoom2net_manual_rules(dataset.config),
+        domain_rules=domain_bound_rules(dataset.config),
+        train_assignments=train_assignments,
+        coarse_rows=np.array(
+            [[a[name] for name in COARSE_FIELDS] for a in train_assignments],
+            dtype=np.int64,
+        ),
+    )
+    _CACHE[key] = context
+    return context

@@ -1,0 +1,203 @@
+"""Command-line interface for the LeJIT workflows.
+
+Subcommands mirror the library's main entry points::
+
+    python -m repro.cli dataset  --out data.jsonl --racks 16
+    python -m repro.cli train    --data data.jsonl --out model.json
+    python -m repro.cli mine     --data data.jsonl --out rules.json
+    python -m repro.cli impute   --model model.json --rules rules.json \
+                                 --total 100 --cong 3 --retx 1 --egr 100
+    python -m repro.cli synth    --model model.json --rules rules.json -n 10
+
+The model format is the n-gram JSON checkpoint (fast to train anywhere);
+datasets are one JSON record per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import EnforcerConfig, JitEnforcer
+from .data import (
+    COARSE_FIELDS,
+    TelemetryConfig,
+    build_dataset,
+    fine_field,
+    record_text,
+    window_variables,
+)
+from .data.telemetry import Window
+from .lm import NgramLM
+from .lm.checkpoint import load_ngram, save_ngram
+from .rules import (
+    MinerOptions,
+    domain_bound_rules,
+    mine_rules,
+    zoom2net_manual_rules,
+)
+from .rules.io import load_rules, save_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="LeJIT: just-in-time logic enforcement"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dataset_cmd = sub.add_parser("dataset", help="generate synthetic telemetry")
+    dataset_cmd.add_argument("--out", required=True, type=Path)
+    dataset_cmd.add_argument("--racks", type=int, default=16)
+    dataset_cmd.add_argument("--windows", type=int, default=120)
+    dataset_cmd.add_argument("--seed", type=int, default=0)
+
+    train_cmd = sub.add_parser("train", help="fit the n-gram LM on a dataset")
+    train_cmd.add_argument("--data", required=True, type=Path)
+    train_cmd.add_argument("--out", required=True, type=Path)
+    train_cmd.add_argument("--order", type=int, default=6)
+
+    mine_cmd = sub.add_parser("mine", help="mine a rule set from a dataset")
+    mine_cmd.add_argument("--data", required=True, type=Path)
+    mine_cmd.add_argument("--out", required=True, type=Path)
+    mine_cmd.add_argument("--slack", type=int, default=2)
+    mine_cmd.add_argument(
+        "--scope", choices=["imputation", "synthesis"], default="imputation"
+    )
+
+    impute_cmd = sub.add_parser("impute", help="impute fine values for a prompt")
+    impute_cmd.add_argument("--model", required=True, type=Path)
+    impute_cmd.add_argument("--rules", required=True, type=Path)
+    impute_cmd.add_argument("--seed", type=int, default=0)
+    for name in COARSE_FIELDS:
+        impute_cmd.add_argument(f"--{name}", required=True, type=int)
+
+    synth_cmd = sub.add_parser("synth", help="generate synthetic records")
+    synth_cmd.add_argument("--model", required=True, type=Path)
+    synth_cmd.add_argument("--rules", required=True, type=Path)
+    synth_cmd.add_argument("-n", "--count", type=int, default=5)
+    synth_cmd.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_windows(path: Path) -> List[dict]:
+    records = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if not records:
+        raise SystemExit(f"no records found in {path}")
+    return records
+
+
+def _cmd_dataset(args) -> int:
+    dataset = build_dataset(
+        num_train_racks=args.racks,
+        num_test_racks=max(1, args.racks // 4),
+        windows_per_rack=args.windows,
+        seed=args.seed,
+    )
+    with args.out.open("w") as handle:
+        for window in dataset.train_windows():
+            handle.write(json.dumps(window.variables()) + "\n")
+    print(
+        f"wrote {len(dataset.train_windows())} training records to {args.out}"
+    )
+    return 0
+
+
+def _records_to_texts(records: List[dict], config: TelemetryConfig) -> List[str]:
+    texts = []
+    for values in records:
+        window = Window(
+            fine=tuple(values[fine_field(t)] for t in range(config.window)),
+            total=values["total"],
+            cong=values["cong"],
+            retx=values["retx"],
+            egr=values["egr"],
+        )
+        texts.append(record_text(window))
+    return texts
+
+
+def _cmd_train(args) -> int:
+    config = TelemetryConfig()
+    records = _load_windows(args.data)
+    model = NgramLM(order=args.order).fit(_records_to_texts(records, config))
+    save_ngram(model, args.out)
+    print(f"saved order-{args.order} n-gram model to {args.out}")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    config = TelemetryConfig()
+    records = _load_windows(args.data)
+    if args.scope == "imputation":
+        variables = list(window_variables(config.window))
+        fine = [fine_field(t) for t in range(config.window)]
+        rules = mine_rules(
+            records, variables, MinerOptions(slack=args.slack),
+            fine_variables=fine, name="cli-imputation",
+        )
+    else:
+        coarse = [{k: r[k] for k in COARSE_FIELDS} for r in records]
+        rules = mine_rules(
+            coarse, list(COARSE_FIELDS), MinerOptions(slack=args.slack),
+            name="cli-synthesis",
+        )
+    save_rules(rules, args.out)
+    print(f"mined {len(rules)} rules ({rules.summary()}) -> {args.out}")
+    return 0
+
+
+def _cmd_impute(args) -> int:
+    config = TelemetryConfig()
+    model = load_ngram(args.model)
+    rules = load_rules(args.rules)
+    enforcer = JitEnforcer(
+        model, rules, config, EnforcerConfig(seed=args.seed),
+        fallback_rules=[zoom2net_manual_rules(config), domain_bound_rules(config)],
+    )
+    coarse = {name: getattr(args, name) for name in COARSE_FIELDS}
+    values = enforcer.impute(coarse)
+    fine = {fine_field(t): values[fine_field(t)] for t in range(config.window)}
+    print(json.dumps({"coarse": coarse, "fine": fine,
+                      "compliant": rules.compliant(values)}))
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    config = TelemetryConfig()
+    model = load_ngram(args.model)
+    rules = load_rules(args.rules)
+    enforcer = JitEnforcer(
+        model, rules, config, EnforcerConfig(seed=args.seed),
+        fallback_rules=[domain_bound_rules(config)],
+    )
+    for _ in range(args.count):
+        print(json.dumps(enforcer.synthesize()))
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "mine": _cmd_mine,
+    "impute": _cmd_impute,
+    "synth": _cmd_synth,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

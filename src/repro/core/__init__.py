@@ -1,0 +1,43 @@
+"""LeJIT core: Just-in-Time Logic Enforcement during LM inference.
+
+The :class:`JitEnforcer` wraps any autoregressive character-level language
+model and guides its generation with an SMT-backed feasibility oracle, so
+the emitted telemetry records comply with a configurable rule set -- the
+paper's central mechanism.
+"""
+
+from .enforcer import EnforcerConfig, EnforcementTrace, JitEnforcer
+from .feasible import (
+    FeasibilityOracle,
+    HybridOracle,
+    InfeasibleRecordError,
+    IntervalOracle,
+    SmtOracle,
+)
+from .pipeline import GenerationError, RecordSampler, audit_violation_rate
+from .sequence import (
+    SequenceEnforcer,
+    cross_window_assignments,
+    mine_cross_window_rules,
+)
+from .transition import SEPARATOR, DigitTransitionSystem, FeasibleSet
+
+__all__ = [
+    "JitEnforcer",
+    "EnforcerConfig",
+    "EnforcementTrace",
+    "FeasibilityOracle",
+    "HybridOracle",
+    "SmtOracle",
+    "IntervalOracle",
+    "InfeasibleRecordError",
+    "RecordSampler",
+    "GenerationError",
+    "audit_violation_rate",
+    "SequenceEnforcer",
+    "mine_cross_window_rules",
+    "cross_window_assignments",
+    "DigitTransitionSystem",
+    "FeasibleSet",
+    "SEPARATOR",
+]

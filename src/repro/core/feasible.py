@@ -1,0 +1,477 @@
+"""Feasible-region oracles: what values may the current variable take?
+
+This is where the SMT solver "natively joins the inference process".  An
+oracle tracks the record's rules plus the values generated so far and
+answers two questions per variable:
+
+* :meth:`feasible_set` -- a sound *over-approximation* of the values the
+  variable can take such that the whole record can still be completed
+  (the paper's dynamic partial instantiation + lookahead);
+* :meth:`confirm` -- the exact check that a concrete value admits a
+  rule-compliant completion.
+
+Three implementations realize the solver-tier ablation of DESIGN.md:
+
+* :class:`SmtOracle` -- both answers from the DPLL(T) solver (exact ranges);
+* :class:`IntervalOracle` -- both from bounds propagation (fast, sound for
+  pruning, but incomplete: it can let dead ends through);
+* :class:`HybridOracle` (default) -- interval ranges for cheap per-digit
+  masking, solver confirmation at variable boundaries.  This is the
+  configuration that guarantees compliance at tractable cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..rules.dsl import RuleSet
+from ..smt import And, Atom, Eq, Formula, IntVar, Le, LinCon, LinExpr, Or, Solver, propagate
+from ..smt.intervals import Interval
+from ..smt.simplify import simplify, substitute, to_nnf
+from ..smt.terms import FALSE, TRUE, BoolConst, Implies, Iff, Not
+from .transition import FeasibleSet
+
+__all__ = [
+    "FeasibilityOracle",
+    "SmtOracle",
+    "IntervalOracle",
+    "HybridOracle",
+    "InfeasibleRecordError",
+]
+
+Bounds = Mapping[str, Tuple[int, int]]
+
+
+def residualize(formula: Formula, fixed: Mapping[str, int]) -> Formula:
+    """Substitute fixed values, push negations to atoms, and fold constants.
+
+    The result is in NNF, so conjunctive information can be harvested by
+    :func:`_collect_lincons` and asserted compactly by the solver.
+    """
+    return simplify(to_nnf(substitute(formula, fixed)))
+
+
+class InfeasibleRecordError(RuntimeError):
+    """The rules admit no completion for the current record prefix."""
+
+
+class FeasibilityOracle:
+    """Common interface; concrete oracles override the query methods."""
+
+    def __init__(self, rules: RuleSet, bounds: Bounds):
+        self.rules = rules
+        self.bounds = dict(bounds)
+        self.fixed: Dict[str, int] = {}
+
+    def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        """Start a fresh record with the given already-known variables."""
+        raise NotImplementedError
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        raise NotImplementedError
+
+    def confirm(self, variable: str, value: int) -> bool:
+        raise NotImplementedError
+
+    def fix(self, variable: str, value: int) -> None:
+        raise NotImplementedError
+
+    def _clip(self, variable: str, feasible: FeasibleSet) -> FeasibleSet:
+        low, high = self.bounds[variable]
+        return feasible.intersect_interval(low, high)
+
+
+class SmtOracle(FeasibilityOracle):
+    """Exact feasibility via the DPLL(T) solver.
+
+    The record's known values are *substituted into the rules first*, so the
+    solver only ever sees the residual formulas over still-free variables --
+    typically a handful of atoms instead of hundreds.  This is the paper's
+    "dynamic partial instantiation": fixing values deactivates rules (their
+    residual simplifies to TRUE) and specializes the rest.
+
+    A fresh solver is built per record (cheap at residual size); domain
+    bounds of the free variables are always asserted so every ``check`` also
+    proves a completion exists (lookahead).
+    """
+
+    def __init__(self, rules: RuleSet, bounds: Bounds):
+        super().__init__(rules, bounds)
+        self._solver: Optional[Solver] = None
+        self._record_depth = 0
+
+    def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
+        self._solver = Solver()
+        self._record_depth = 0
+        disjunctive: List[Formula] = []
+        conjunctive: List[LinCon] = []
+        for formula in self.rules.formulas():
+            residual = residualize(formula, self.fixed)
+            if residual == TRUE:
+                continue
+            if residual == FALSE:
+                raise InfeasibleRecordError(
+                    f"rule refuted by fixed values {self.fixed}"
+                )
+            pure = _pure_conjunctive(residual)
+            if pure is None:
+                disjunctive.append(residual)
+            else:
+                conjunctive.extend(pure)
+        # Fold the (typically hundreds of) conjunctive residual constraints
+        # down to the strongest bound per linear form -- the solver then sees
+        # tens of atoms instead of hundreds, which matters per token.
+        folded_bounds, folded_other = _fold_lincons(conjunctive, self.bounds)
+        for name, (low, high) in folded_bounds.items():
+            if name in self.fixed:
+                if not low <= self.fixed[name] <= high:
+                    raise InfeasibleRecordError(
+                        f"fixed {name}={self.fixed[name]} outside [{low},{high}]"
+                    )
+                continue
+            if low > high:
+                raise InfeasibleRecordError(f"empty folded domain for {name}")
+            self._solver.add(Le(low, IntVar(name)))
+            self._solver.add(Le(IntVar(name), high))
+        for formula in folded_other:
+            self._solver.add(formula)
+        for formula in disjunctive:
+            self._solver.add(formula)
+        if not self._solver.check().satisfiable:
+            raise InfeasibleRecordError(
+                f"rules are unsatisfiable given fixed values {self.fixed}"
+            )
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        interval = self._solver.feasible_interval(IntVar(variable))
+        if interval is None:
+            return FeasibleSet.empty()
+        low, high = interval
+        if low is None or high is None:  # bounds always close the domain
+            low_default, high_default = self.bounds[variable]
+            low = low_default if low is None else low
+            high = high_default if high is None else high
+        return self._clip(variable, FeasibleSet.from_interval(low, high))
+
+    def confirm(self, variable: str, value: int) -> bool:
+        self._solver.push()
+        try:
+            self._solver.add(Eq(IntVar(variable), value))
+            return self._solver.check().satisfiable
+        finally:
+            self._solver.pop()
+
+    def fix(self, variable: str, value: int) -> None:
+        self.fixed[variable] = value
+        self._solver.push()
+        self._record_depth += 1
+        self._solver.add(Eq(IntVar(variable), value))
+
+    def any_model(self) -> Dict[str, int]:
+        """A full rule-compliant completion of the current prefix."""
+        result = self._solver.check()
+        if not result.satisfiable:
+            raise InfeasibleRecordError("no completion exists")
+        model = dict(result.model or {})
+        for name, (low, _) in self.bounds.items():
+            model.setdefault(name, max(low, 0))
+        return model
+
+
+def _pure_conjunctive(formula: Formula) -> Optional[List[LinCon]]:
+    """The formula as a list of linear constraints, or None if it has any
+    genuinely disjunctive structure."""
+    out: List[LinCon] = []
+    ok = _collect_pure(formula, out)
+    return out if ok else None
+
+
+def _collect_pure(node: Formula, out: List[LinCon]) -> bool:
+    if isinstance(node, Atom):
+        out.append(LinCon.make(node.expr.coeffs, node.expr.const, node.op))
+        return True
+    if isinstance(node, And):
+        return all(_collect_pure(arg, out) for arg in node.args)
+    if isinstance(node, Not) and isinstance(node.arg, Atom) and node.arg.op == "==":
+        atom = node.arg
+        out.append(LinCon.make(atom.expr.coeffs, atom.expr.const, "!="))
+        return True
+    return False
+
+
+def _fold_lincons(
+    constraints: List[LinCon], base_bounds: Bounds
+) -> Tuple[Dict[str, Tuple[int, int]], List[Formula]]:
+    """Tighten per-variable bounds and keep only the strongest constraint
+    per multi-variable linear form.  Returns (bounds, leftover formulas)."""
+    bounds: Dict[str, Tuple[int, int]] = dict(base_bounds)
+    strongest: Dict[Tuple, LinCon] = {}
+    other: List[Formula] = []
+    for con in constraints:
+        reduced = con.normalized()
+        if reduced is None:
+            continue
+        if reduced.is_ground():
+            if not reduced.ground_truth():
+                # Represent as an always-false formula; the caller's check()
+                # will report infeasibility with this asserted.
+                other.append(FALSE)
+            continue
+        items = reduced.items
+        if len(items) == 1 and reduced.op == "<=":
+            name, coeff = items[0]
+            low, high = bounds.get(name, (None, None))
+            if coeff > 0:  # coeff*v <= -const
+                limit = (-reduced.const) // coeff
+                high = limit if high is None else min(high, limit)
+            else:  # coeff < 0:  v >= ceil(const / -coeff)
+                limit = -((-reduced.const) // (-coeff))
+                low = limit if low is None else max(low, limit)
+            bounds[name] = (low, high)
+            continue
+        if reduced.op == "<=":
+            key = (items, "<=")
+            seen = strongest.get(key)
+            if seen is None or reduced.const > seen.const:
+                strongest[key] = reduced
+            continue
+        # Equalities and disequalities pass through unfolded.
+        expr = LinExpr(dict(items), reduced.const)
+        if reduced.op == "==":
+            other.append(Atom(expr, "=="))
+        else:
+            other.append(Not(Atom(expr, "==")))
+    for con in strongest.values():
+        other.append(Atom(LinExpr(dict(con.items), con.const), "<="))
+    # Close any half-open bounds back to the base domain.
+    closed: Dict[str, Tuple[int, int]] = {}
+    for name, (low, high) in bounds.items():
+        base_low, base_high = base_bounds.get(name, (0, 0))
+        closed[name] = (
+            base_low if low is None else low,
+            base_high if high is None else high,
+        )
+    return closed, other
+
+
+def _conjunctive_lincons(
+    formula: Formula, fixed: Mapping[str, int]
+) -> List[LinCon]:
+    """Extract linear constraints *implied* by the formula given ``fixed``.
+
+    Sound under-approximation of the formula's strength: every returned
+    constraint holds in all models extending ``fixed``.  Disjunctions
+    contribute only once all but one branch is ground-false.
+    """
+    grounded = residualize(formula, fixed)
+    out: List[LinCon] = []
+    _collect_lincons(grounded, out)
+    return out
+
+
+def _collect_lincons(node: Formula, out: List[LinCon]) -> None:
+    if isinstance(node, BoolConst):
+        if not node.value:
+            out.append(LinCon.make({}, 1, "<="))  # ground false marker
+        return
+    if isinstance(node, Atom):
+        out.append(LinCon.make(node.expr.coeffs, node.expr.const, node.op))
+        return
+    if isinstance(node, And):
+        for arg in node.args:
+            _collect_lincons(arg, out)
+        return
+    if isinstance(node, Or):
+        live = [arg for arg in node.args if arg != FALSE]
+        if not live:
+            out.append(LinCon.make({}, 1, "<="))
+        elif len(live) == 1:
+            _collect_lincons(live[0], out)
+        return  # 2+ live branches: nothing conjunctively implied
+    if isinstance(node, Not):
+        if isinstance(node.arg, Atom) and node.arg.op == "==":
+            atom = node.arg
+            out.append(LinCon.make(atom.expr.coeffs, atom.expr.const, "!="))
+        return
+    if isinstance(node, (Implies, Iff)):
+        # simplify() rewrites these away; reaching here means no information.
+        return
+
+
+class IntervalOracle(FeasibilityOracle):
+    """Bounds-propagation tier: fast, sound for pruning, incomplete.
+
+    State is refolded after every ``fix``: single-variable residual
+    constraints collapse into a per-variable *box*, multi-variable ones keep
+    only the strongest bound per linear form, and disjunctive residuals are
+    held back symbolically (they only inform propagation once all but one
+    branch dies).  Queries then run propagation over this compact state.
+    """
+
+    def __init__(self, rules: RuleSet, bounds: Bounds):
+        super().__init__(rules, bounds)
+        self._box: Dict[str, Tuple[int, int]] = dict(bounds)
+        self._multi_cons: List[LinCon] = []
+        self._disjunctive: List[Formula] = []
+        self._refuted = False
+        self._domain_cache: Optional[Dict[str, Interval]] = None
+
+    def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
+        self._refuted = False
+        self._refold(self.rules.formulas(), self.fixed)
+        if self._refuted or self._propagate(None, None) is None:
+            raise InfeasibleRecordError(
+                f"bounds propagation refutes fixed values {self.fixed}"
+            )
+
+    def _refold(self, formulas: Iterable[Formula], fixed: Mapping[str, int]) -> None:
+        """Residualize ``formulas`` against ``fixed`` and fold the result."""
+        self._domain_cache = None
+        conjunctive: List[LinCon] = []
+        disjunctive: List[Formula] = []
+        for formula in formulas:
+            reduced = residualize(formula, fixed)
+            if reduced == TRUE:
+                continue
+            if reduced == FALSE:
+                self._refuted = True
+                return
+            pure = _pure_conjunctive(reduced)
+            if pure is None:
+                disjunctive.append(reduced)
+                # A disjunction still conjunctively implies its collapsed
+                # parts when all but one branch is dead.
+                _collect_lincons(reduced, conjunctive)
+            else:
+                conjunctive.extend(pure)
+        box, other_formulas = _fold_lincons(conjunctive, self.bounds)
+        for name, (low, high) in box.items():
+            if name in fixed and not low <= fixed[name] <= high:
+                self._refuted = True
+                return
+            if low > high:
+                self._refuted = True
+                return
+        self._box = box
+        multi: List[LinCon] = []
+        for formula in other_formulas:
+            if formula == FALSE:
+                self._refuted = True
+                return
+            _collect_lincons(formula, multi)
+        self._multi_cons = multi
+        self._disjunctive = disjunctive
+
+    def _initial_domain(self) -> Dict[str, Interval]:
+        initial = {
+            name: Interval(low, high) for name, (low, high) in self._box.items()
+        }
+        for name, value in self.fixed.items():
+            initial[name] = Interval(value, value)
+        return initial
+
+    def _propagate(self, extra_var: Optional[str], extra_value: Optional[int]):
+        """Domain after propagation, optionally pinning one trial value."""
+        if self._refuted:
+            return None
+        if extra_var is None and self._domain_cache is not None:
+            return self._domain_cache
+        constraints = list(self._multi_cons)
+        initial = self._initial_domain()
+        if extra_var is not None:
+            pin = initial.get(extra_var, Interval(extra_value, extra_value))
+            if not pin.contains(extra_value):
+                return None
+            initial[extra_var] = Interval(extra_value, extra_value)
+            # The trial value may collapse disjunctions; harvest those.
+            trial = {extra_var: extra_value}
+            for formula in self._disjunctive:
+                reduced = residualize(formula, trial)
+                if reduced == TRUE:
+                    continue
+                if reduced == FALSE:
+                    return None
+                _collect_lincons(reduced, constraints)
+        result = propagate(constraints, initial)
+        domain = result.domain if result.feasible else None
+        if extra_var is None:
+            self._domain_cache = domain
+        return domain
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        domain = self._propagate(None, None)
+        if domain is None:
+            return FeasibleSet.empty()
+        interval = domain.get(variable)
+        low_default, high_default = self._box.get(
+            variable, self.bounds[variable]
+        )
+        if interval is None:
+            return FeasibleSet.from_interval(low_default, high_default)
+        low = low_default if interval.lower is None else interval.lower
+        high = high_default if interval.upper is None else interval.upper
+        return self._clip(variable, FeasibleSet.from_interval(low, high))
+
+    def confirm(self, variable: str, value: int) -> bool:
+        return self._propagate(variable, value) is not None
+
+    def fix(self, variable: str, value: int) -> None:
+        self.fixed[variable] = value
+        if self._refuted:
+            return
+        # Re-residualize the compact state (not the original rules): the
+        # box becomes formulas implicitly via bounds, multi-var constraints
+        # specialize, and disjunctions may collapse.
+        formulas: List[Formula] = []
+        for con in self._multi_cons:
+            expr = LinExpr(dict(con.items), con.const)
+            if con.op == "<=":
+                formulas.append(Atom(expr, "<="))
+            elif con.op == "==":
+                formulas.append(Atom(expr, "=="))
+            else:
+                formulas.append(Not(Atom(expr, "==")))
+        formulas.extend(self._disjunctive)
+        previous_box = self._box
+        self._refold(formulas, {variable: value})
+        # Folding against self.bounds loses earlier box tightenings; merge.
+        merged: Dict[str, Tuple[int, int]] = {}
+        for name, (low, high) in self._box.items():
+            prev_low, prev_high = previous_box.get(name, (low, high))
+            merged[name] = (max(low, prev_low), min(high, prev_high))
+            if merged[name][0] > merged[name][1] and name not in self.fixed:
+                self._refuted = True
+        self._box = merged
+
+
+class HybridOracle(FeasibilityOracle):
+    """Interval masks + SMT confirmation: LeJIT's default configuration."""
+
+    def __init__(self, rules: RuleSet, bounds: Bounds):
+        super().__init__(rules, bounds)
+        self.interval = IntervalOracle(rules, bounds)
+        self.smt = SmtOracle(rules, bounds)
+
+    def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
+        self.interval.begin_record(self.fixed)  # raises on interval refutation
+        self.smt.begin_record(self.fixed)  # raises on exact refutation
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        return self.interval.feasible_set(variable)
+
+    def confirm(self, variable: str, value: int) -> bool:
+        # Cheap refutation first, exact check second.
+        if not self.interval.confirm(variable, value):
+            return False
+        return self.smt.confirm(variable, value)
+
+    def fix(self, variable: str, value: int) -> None:
+        self.fixed[variable] = value
+        self.interval.fix(variable, value)
+        self.smt.fix(variable, value)
+
+    def any_model(self) -> Dict[str, int]:
+        return self.smt.any_model()

@@ -1,0 +1,130 @@
+"""Unconstrained record generation and audit helpers.
+
+:class:`RecordSampler` is the *vanilla* path: the LM samples a record with
+no logic guidance (the paper's "Vanilla GPT-2" baseline) -- it is also the
+inner loop of rejection sampling.  Malformed outputs (wrong arity,
+unparseable literals) are retried and, as a last resort, repaired to a
+syntactically valid record so audits can score them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import parse_record, prompt_text, variable_bounds
+from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
+from ..lm.base import LanguageModel
+from ..lm.sampler import sample_tokens
+from ..rules.dsl import RuleSet
+
+__all__ = ["RecordSampler", "GenerationError"]
+
+
+class GenerationError(RuntimeError):
+    """The model failed to produce a parseable record within its budget."""
+
+
+@dataclass
+class SamplerStats:
+    records: int = 0
+    malformed: int = 0
+    repaired: int = 0
+
+
+class RecordSampler:
+    """Free-running (unconstrained) record generation."""
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        telemetry_config: Optional[TelemetryConfig] = None,
+        max_parse_retries: int = 20,
+        temperature: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        self.model = model
+        self.telemetry_config = telemetry_config or TelemetryConfig()
+        self.max_parse_retries = max_parse_retries
+        self.temperature = temperature
+        self._rng = np.random.default_rng(seed)
+        self.stats = SamplerStats()
+
+    def _max_new_tokens(self) -> int:
+        # Generous budget: every field at max digits plus separators.
+        window = self.telemetry_config.window
+        return 6 * (len(COARSE_FIELDS) + window) + 4
+
+    def impute_raw(self, coarse: Mapping[str, int]) -> Dict[str, int]:
+        """Vanilla imputation: free generation of the fine fields."""
+        prompt = prompt_text(coarse)
+        record = self._sample_parseable(prompt)
+        for name in COARSE_FIELDS:  # the prompt fixes the coarse part
+            record[name] = int(coarse[name])
+        return record
+
+    def synthesize_raw(self) -> Dict[str, int]:
+        """Vanilla synthesis: free generation of the whole record."""
+        return self._sample_parseable("")
+
+    def _sample_parseable(self, prompt: str) -> Dict[str, int]:
+        tokenizer = self.model.tokenizer
+        window = self.telemetry_config.window
+        self.stats.records += 1
+        prompt_ids = tokenizer.encode(prompt)
+        last_text = ""
+        for _ in range(self.max_parse_retries):
+            generated = sample_tokens(
+                self.model,
+                prompt_ids,
+                stop_id=tokenizer.record_end_id,
+                max_new_tokens=self._max_new_tokens(),
+                temperature=self.temperature,
+                rng=self._rng,
+            )
+            last_text = prompt + tokenizer.decode(generated)
+            try:
+                return parse_record(last_text, window)
+            except ValueError:
+                self.stats.malformed += 1
+                continue
+        self.stats.repaired += 1
+        return self._repair(last_text)
+
+    def _repair(self, text: str) -> Dict[str, int]:
+        """Best-effort repair of a malformed record (keeps audits total)."""
+        window = self.telemetry_config.window
+        bounds = variable_bounds(self.telemetry_config)
+        body = text.rstrip("\n")
+        head, _, tail = body.partition(">")
+        record: Dict[str, int] = {}
+        coarse_parts = head.split()
+        for index, name in enumerate(COARSE_FIELDS):
+            try:
+                value = int(coarse_parts[index])
+            except (IndexError, ValueError):
+                value = 0
+            low, high = bounds[name]
+            record[name] = min(max(value, low), high)
+        fine_parts = tail.split()
+        for index in range(window):
+            name = fine_field(index)
+            try:
+                value = int(fine_parts[index])
+            except (IndexError, ValueError):
+                value = 0
+            low, high = bounds[name]
+            record[name] = min(max(value, low), high)
+        return record
+
+
+def audit_violation_rate(
+    assignments: Sequence[Mapping[str, int]], rules: RuleSet
+) -> float:
+    """Fraction of records violating at least one rule (Fig. 3/5 metric)."""
+    if not assignments:
+        return 0.0
+    bad = sum(1 for a in assignments if not rules.compliant(a))
+    return bad / len(assignments)

@@ -1,0 +1,187 @@
+"""Temporal (cross-window) rule enforcement -- the Section 5 extension.
+
+The paper's research agenda calls for "better support for temporal logic"
+and rules that span beyond a single record.  This module adds exactly that
+for the window-sequence setting:
+
+* :func:`cross_window_assignments` joins consecutive windows of a rack into
+  assignments over ``prev_*`` + current variables;
+* :func:`mine_cross_window_rules` runs the standard miner over that joined
+  view and keeps only genuinely *temporal* rules (those mixing ``prev_*``
+  and current variables) -- e.g. boundary smoothness ``|I0 - prev_I4|`` or
+  congestion persistence ``prev_cong >= k -> cong >= m``;
+* :class:`SequenceEnforcer` imputes or synthesizes a window sequence,
+  feeding each record's values to the next step as ``prev_*`` context, so
+  the JIT enforcement machinery handles the temporal rules unchanged.
+
+The LM itself remains record-local (it is never conditioned on previous
+text); the temporal knowledge enters purely through logic -- which is the
+point the paper's agenda makes about rules carrying structure that models
+miss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..data.dataset import variable_bounds
+from ..data.telemetry import TelemetryConfig, Window, window_variables
+from ..lm.base import LanguageModel
+from ..rules.dsl import Rule, RuleSet
+from ..rules.mining import MinerOptions, mine_rules
+from .enforcer import EnforcerConfig, JitEnforcer
+
+__all__ = [
+    "PREV_PREFIX",
+    "cross_window_assignments",
+    "mine_cross_window_rules",
+    "SequenceEnforcer",
+]
+
+PREV_PREFIX = "prev_"
+
+
+def prev_name(name: str) -> str:
+    return PREV_PREFIX + name
+
+
+def cross_window_assignments(
+    rack_windows: Sequence[Window],
+) -> List[Dict[str, int]]:
+    """Assignments over (previous window as prev_*, current window)."""
+    assignments: List[Dict[str, int]] = []
+    for previous, current in zip(rack_windows, rack_windows[1:]):
+        joined = {prev_name(k): v for k, v in previous.variables().items()}
+        joined.update(current.variables())
+        assignments.append(joined)
+    return assignments
+
+
+def mine_cross_window_rules(
+    racks: Sequence[Sequence[Window]],
+    config: Optional[TelemetryConfig] = None,
+    options: Optional[MinerOptions] = None,
+    name: str = "cross-window",
+) -> RuleSet:
+    """Mine temporal rules from consecutive window pairs of each rack.
+
+    Only rules mentioning both a ``prev_*`` and a current variable survive:
+    pure-current rules duplicate the per-record set and pure-previous rules
+    constrain nothing generatable.
+    """
+    config = config or TelemetryConfig()
+    options = options or MinerOptions(
+        # Identities/bursts make no sense across the boundary; keep the
+        # relational families.
+        identities=False,
+        burst_implications=False,
+    )
+    assignments: List[Dict[str, int]] = []
+    for rack_windows in racks:
+        assignments.extend(cross_window_assignments(rack_windows))
+    if not assignments:
+        raise ValueError("need at least one rack with two or more windows")
+    current_names = list(window_variables(config.window))
+    variables = [prev_name(n) for n in current_names] + current_names
+    mined = mine_rules(assignments, variables, options, name=name)
+    temporal = RuleSet(name=name)
+    for rule in mined:
+        names = rule.variables()
+        has_prev = any(n.startswith(PREV_PREFIX) for n in names)
+        has_current = any(not n.startswith(PREV_PREFIX) for n in names)
+        if has_prev and has_current:
+            temporal.add(
+                Rule(
+                    name=rule.name,
+                    formula=rule.formula,
+                    kind="temporal-" + rule.kind,
+                    source="mined",
+                    description=rule.description,
+                )
+            )
+    return temporal
+
+
+class SequenceEnforcer:
+    """JIT enforcement over a *sequence* of windows with temporal rules."""
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        rules: RuleSet,
+        temporal_rules: RuleSet,
+        telemetry_config: Optional[TelemetryConfig] = None,
+        enforcer_config: Optional[EnforcerConfig] = None,
+        fallback_rules: Sequence[RuleSet] = (),
+    ):
+        self.telemetry_config = telemetry_config or TelemetryConfig()
+        self.rules = rules
+        self.temporal_rules = temporal_rules
+        combined = RuleSet(name=f"{rules.name}+{temporal_rules.name}")
+        for rule in rules:
+            combined.add(rule)
+        for rule in temporal_rules:
+            combined.add(rule)
+        bounds = dict(variable_bounds(self.telemetry_config))
+        for name, (low, high) in list(bounds.items()):
+            bounds[prev_name(name)] = (low, high)
+        # Fallback tiers: the plain per-record rules (temporal dropped),
+        # then whatever the caller supplied.
+        tiers = [rules] + list(fallback_rules)
+        self._enforcer = JitEnforcer(
+            model,
+            combined,
+            self.telemetry_config,
+            enforcer_config,
+            fallback_rules=tiers,
+            bounds=bounds,
+        )
+
+    @property
+    def trace(self):
+        return self._enforcer.trace
+
+    def _context_from(self, record: Mapping[str, int]) -> Dict[str, int]:
+        names = window_variables(self.telemetry_config.window)
+        return {prev_name(n): int(record[n]) for n in names}
+
+    def impute_sequence(
+        self, windows: Sequence[Window]
+    ) -> List[Dict[str, int]]:
+        """Impute consecutive windows, threading prev_* context through."""
+        records: List[Dict[str, int]] = []
+        context: Optional[Dict[str, int]] = None
+        names = set(window_variables(self.telemetry_config.window))
+        for window in windows:
+            values = self._enforcer.impute(window.coarse(), context=context)
+            record = {k: v for k, v in values.items() if k in names}
+            records.append(record)
+            context = self._context_from(record)
+        return records
+
+    def synthesize_sequence(self, count: int) -> List[Dict[str, int]]:
+        """Generate a temporally-consistent sequence of records."""
+        records: List[Dict[str, int]] = []
+        context: Optional[Dict[str, int]] = None
+        names = set(window_variables(self.telemetry_config.window))
+        for _ in range(count):
+            values = self._enforcer.synthesize(context=context)
+            record = {k: v for k, v in values.items() if k in names}
+            records.append(record)
+            context = self._context_from(record)
+        return records
+
+    def audit_sequence(
+        self, records: Sequence[Mapping[str, int]]
+    ) -> Tuple[int, int]:
+        """(per-record violations, temporal violations) over a sequence."""
+        record_violations = sum(
+            1 for record in records if not self.rules.compliant(record)
+        )
+        temporal_violations = 0
+        for previous, current in zip(records, records[1:]):
+            joined = {prev_name(k): v for k, v in previous.items()}
+            joined.update(current)
+            if not self.temporal_rules.compliant(joined):
+                temporal_violations += 1
+        return record_violations, temporal_violations

@@ -1,0 +1,235 @@
+"""Character-level transition system over decimal literals (paper Fig. 2).
+
+LeJIT bridges the granularity gap between the LLM (tokens/characters) and
+the SMT solver (record variables) by building, on the fly, a transition
+system whose states are digit prefixes of the value being generated and
+whose transitions are the characters that keep *some* completion inside the
+solver-approved feasible set.
+
+Values are emitted as canonical decimal literals: no leading zeros (``0``
+itself is the single-character literal), terminated by a separator
+character.  :class:`DigitTransitionSystem` answers, for the current prefix,
+which digits may follow and whether the separator may close the literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "FeasibleSet",
+    "DigitTransitionSystem",
+    "TrieTransitionSystem",
+    "SEPARATOR",
+]
+
+SEPARATOR = "sep"  # symbolic transition label for "close this literal"
+
+
+@dataclass(frozen=True)
+class FeasibleSet:
+    """A union of disjoint, sorted, non-negative integer intervals."""
+
+    segments: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_segments(segments: Iterable[Tuple[int, int]]) -> "FeasibleSet":
+        cleaned = sorted(
+            (max(0, int(lo)), int(hi)) for lo, hi in segments if hi >= max(0, lo)
+        )
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in cleaned:
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return FeasibleSet(tuple(merged))
+
+    @staticmethod
+    def from_interval(lower: int, upper: int) -> "FeasibleSet":
+        return FeasibleSet.from_segments([(lower, upper)])
+
+    @staticmethod
+    def empty() -> "FeasibleSet":
+        return FeasibleSet(())
+
+    def is_empty(self) -> bool:
+        return not self.segments
+
+    def contains(self, value: int) -> bool:
+        return any(lo <= value <= hi for lo, hi in self.segments)
+
+    def intersects(self, lower: int, upper: int) -> bool:
+        return any(lo <= upper and lower <= hi for lo, hi in self.segments)
+
+    def remove(self, value: int) -> "FeasibleSet":
+        """The set minus one point (used after a solver refutation)."""
+        out: List[Tuple[int, int]] = []
+        for lo, hi in self.segments:
+            if not lo <= value <= hi:
+                out.append((lo, hi))
+                continue
+            if lo <= value - 1:
+                out.append((lo, value - 1))
+            if value + 1 <= hi:
+                out.append((value + 1, hi))
+        return FeasibleSet(tuple(out))
+
+    def intersect_interval(self, lower: int, upper: int) -> "FeasibleSet":
+        out = [
+            (max(lo, lower), min(hi, upper))
+            for lo, hi in self.segments
+            if lo <= upper and lower <= hi
+        ]
+        return FeasibleSet(tuple(out))
+
+    @property
+    def min_value(self) -> int:
+        if self.is_empty():
+            raise ValueError("empty feasible set has no minimum")
+        return self.segments[0][0]
+
+    @property
+    def max_value(self) -> int:
+        if self.is_empty():
+            raise ValueError("empty feasible set has no maximum")
+        return self.segments[-1][1]
+
+    def count(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self.segments)
+
+    def values(self) -> Iterable[int]:
+        for lo, hi in self.segments:
+            yield from range(lo, hi + 1)
+
+    def __repr__(self) -> str:
+        body = " u ".join(f"[{lo},{hi}]" for lo, hi in self.segments)
+        return f"FeasibleSet({body or 'empty'})"
+
+
+class DigitTransitionSystem:
+    """Admissible next characters for a decimal literal under construction.
+
+    The state is the digit prefix emitted so far; ``allowed_next`` returns
+    the digits (as single-character strings) that keep some completion
+    reachable, plus :data:`SEPARATOR` when the prefix itself is a feasible
+    complete literal.
+    """
+
+    def __init__(self, feasible: FeasibleSet, max_digits: Optional[int] = None):
+        if feasible.is_empty():
+            raise ValueError("cannot build a transition system over nothing")
+        self.feasible = feasible
+        self.max_digits = (
+            max_digits
+            if max_digits is not None
+            else len(str(feasible.max_value))
+        )
+
+    def _reachable(self, prefix_value: int, prefix_len: int) -> bool:
+        """Can any canonical completion of this prefix land in the set?
+
+        Completions append 0..(max_digits - prefix_len) more digits, so the
+        reachable values form the intervals
+        ``[prefix * 10^k, (prefix+1) * 10^k - 1]`` for each k.
+        """
+        remaining = self.max_digits - prefix_len
+        scale = 1
+        for _ in range(remaining + 1):
+            low = prefix_value * scale
+            high = (prefix_value + 1) * scale - 1
+            if self.feasible.intersects(low, high):
+                return True
+            scale *= 10
+        return False
+
+    def allowed_next(self, prefix: str) -> Set[str]:
+        """Characters admissible after ``prefix`` (possibly empty)."""
+        allowed: Set[str] = set()
+        if prefix == "":
+            if self.feasible.contains(0):
+                allowed.add("0")
+            for digit in "123456789":
+                if self._reachable(int(digit), 1):
+                    allowed.add(digit)
+            return allowed
+        if prefix == "0":
+            # Canonical form: a leading zero closes immediately.
+            return {SEPARATOR} if self.feasible.contains(0) else set()
+        value = int(prefix)
+        if self.feasible.contains(value):
+            allowed.add(SEPARATOR)
+        if len(prefix) < self.max_digits:
+            for digit in "0123456789":
+                if self._reachable(value * 10 + int(digit), len(prefix) + 1):
+                    allowed.add(digit)
+        return allowed
+
+    def accepts(self, literal: str) -> bool:
+        """Is the complete literal reachable through the system?"""
+        if not literal or (literal[0] == "0" and len(literal) > 1):
+            return False
+        prefix = ""
+        for char in literal:
+            if char not in self.allowed_next(prefix):
+                return False
+            prefix += char
+        return SEPARATOR in self.allowed_next(prefix)
+
+
+class TrieTransitionSystem:
+    """Character-level transition system over a finite *word* vocabulary.
+
+    The paper's research agenda (Section 5, Q1) asks how to symbolically
+    handle non-numeric outputs.  For categorical fields -- protocol names,
+    interface states, policy actions -- the feasible set is a set of words,
+    and the transition system is simply the trie of those words: a
+    character may follow a prefix iff some feasible word extends it, and
+    the separator is admissible iff the prefix is itself a feasible word.
+
+    Constraints over categorical fields are handled by encoding each word
+    as its index and letting the solver reason over the index variable;
+    ``restrict`` then narrows the trie to the solver-approved words.
+    """
+
+    def __init__(self, words: Iterable[str]):
+        vocabulary = sorted(set(words))
+        if not vocabulary:
+            raise ValueError("cannot build a transition system over no words")
+        if any(not word for word in vocabulary):
+            raise ValueError("words must be non-empty")
+        self.words = tuple(vocabulary)
+        self._word_set = set(vocabulary)
+
+    def allowed_next(self, prefix: str) -> Set[str]:
+        allowed: Set[str] = set()
+        if prefix in self._word_set:
+            allowed.add(SEPARATOR)
+        prefix_len = len(prefix)
+        for word in self.words:
+            if len(word) > prefix_len and word.startswith(prefix):
+                allowed.add(word[prefix_len])
+        return allowed
+
+    def accepts(self, word: str) -> bool:
+        return word in self._word_set
+
+    def restrict(self, allowed_words: Iterable[str]) -> "TrieTransitionSystem":
+        """The sub-trie containing only the given (still-feasible) words."""
+        kept = self._word_set & set(allowed_words)
+        if not kept:
+            raise ValueError("restriction removed every word")
+        return TrieTransitionSystem(kept)
+
+    def index_of(self, word: str) -> int:
+        """Stable integer encoding used by solver-side constraints."""
+        try:
+            return self.words.index(word)
+        except ValueError:
+            raise KeyError(f"word {word!r} not in vocabulary") from None
+
+    def word_of(self, index: int) -> str:
+        if not 0 <= index < len(self.words):
+            raise KeyError(f"index {index} out of range")
+        return self.words[index]

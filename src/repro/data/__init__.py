@@ -1,0 +1,45 @@
+"""Synthetic datacenter telemetry (the Meta-dataset stand-in).
+
+:mod:`~repro.data.workload` generates heavy-tailed bursty per-tick ingress;
+:mod:`~repro.data.telemetry` coarsens it through an explicit queue model
+into the counters the paper's operator observes; :mod:`~repro.data.dataset`
+splits racks into train/test and serializes records for the LM.
+"""
+
+from .dataset import (
+    RackData,
+    TelemetryDataset,
+    build_dataset,
+    parse_record,
+    prompt_text,
+    record_text,
+    variable_bounds,
+)
+from .telemetry import (
+    COARSE_FIELDS,
+    TelemetryConfig,
+    Window,
+    coarsen,
+    fine_field,
+    window_variables,
+)
+from .workload import RackWorkload, WorkloadParams, sample_rack_params
+
+__all__ = [
+    "TelemetryDataset",
+    "RackData",
+    "build_dataset",
+    "record_text",
+    "prompt_text",
+    "parse_record",
+    "variable_bounds",
+    "TelemetryConfig",
+    "Window",
+    "coarsen",
+    "COARSE_FIELDS",
+    "fine_field",
+    "window_variables",
+    "RackWorkload",
+    "WorkloadParams",
+    "sample_rack_params",
+]

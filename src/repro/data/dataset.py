@@ -1,0 +1,152 @@
+"""Dataset assembly, rack-level splits, and the record <-> text codec.
+
+Follows the paper's evaluation setup: windows from many racks, split into
+training and test racks (the paper uses 80 train / 10 test racks from the
+Meta dataset).  Records serialize to a compact text format the char-level
+LM is trained on::
+
+    "<total> <cong> <retx> <egr>><I0> <I1> ... <IT-1>\\n"
+
+The part before ``>`` is the coarse prompt; after it the fine-grained
+values.  Imputation conditions on the prompt; synthesis generates the whole
+record from BOS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .telemetry import (
+    COARSE_FIELDS,
+    TelemetryConfig,
+    Window,
+    coarsen,
+    fine_field,
+    window_variables,
+)
+from .workload import RackWorkload, WorkloadParams, sample_rack_params
+
+__all__ = [
+    "RackData",
+    "TelemetryDataset",
+    "build_dataset",
+    "record_text",
+    "prompt_text",
+    "parse_record",
+    "variable_bounds",
+]
+
+
+def record_text(window: Window) -> str:
+    coarse = " ".join(str(window.coarse()[name]) for name in COARSE_FIELDS)
+    fine = " ".join(str(value) for value in window.fine)
+    return f"{coarse}>{fine}\n"
+
+
+def prompt_text(coarse: Mapping[str, int]) -> str:
+    return " ".join(str(coarse[name]) for name in COARSE_FIELDS) + ">"
+
+
+def parse_record(text: str, window: int) -> Dict[str, int]:
+    """Parse a full record back into its variable assignment.
+
+    Raises ValueError on malformed records (wrong arity, non-numeric
+    fields, missing separators) -- used to audit raw LM output.
+    """
+    body = text.rstrip("\n")
+    if ">" not in body:
+        raise ValueError(f"record missing prompt separator: {text!r}")
+    head, _, tail = body.partition(">")
+    coarse_parts = head.split()
+    fine_parts = tail.split()
+    if len(coarse_parts) != len(COARSE_FIELDS):
+        raise ValueError(f"expected {len(COARSE_FIELDS)} coarse fields: {text!r}")
+    if len(fine_parts) != window:
+        raise ValueError(f"expected {window} fine fields: {text!r}")
+    values: Dict[str, int] = {}
+    try:
+        for name, part in zip(COARSE_FIELDS, coarse_parts):
+            values[name] = int(part)
+        for index, part in enumerate(fine_parts):
+            values[fine_field(index)] = int(part)
+    except ValueError as exc:
+        raise ValueError(f"non-numeric field in record {text!r}") from exc
+    return values
+
+
+def variable_bounds(config: TelemetryConfig) -> Dict[str, Tuple[int, int]]:
+    """A-priori domain of every record variable (hard physical limits)."""
+    bounds: Dict[str, Tuple[int, int]] = {
+        "total": (0, config.max_total()),
+        "cong": (0, config.window),
+        "retx": (0, config.window),
+        "egr": (0, config.max_egress()),
+    }
+    for index in range(config.window):
+        bounds[fine_field(index)] = (0, config.bandwidth)
+    return bounds
+
+
+@dataclass
+class RackData:
+    rack_id: int
+    params: WorkloadParams
+    windows: List[Window]
+
+
+@dataclass
+class TelemetryDataset:
+    config: TelemetryConfig
+    train_racks: List[RackData]
+    test_racks: List[RackData]
+
+    def train_windows(self) -> List[Window]:
+        return [w for rack in self.train_racks for w in rack.windows]
+
+    def test_windows(self) -> List[Window]:
+        return [w for rack in self.test_racks for w in rack.windows]
+
+    def train_texts(self) -> List[str]:
+        return [record_text(w) for w in self.train_windows()]
+
+    def test_texts(self) -> List[str]:
+        return [record_text(w) for w in self.test_windows()]
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return window_variables(self.config.window)
+
+
+def build_dataset(
+    num_train_racks: int = 16,
+    num_test_racks: int = 4,
+    windows_per_rack: int = 120,
+    config: Optional[TelemetryConfig] = None,
+    seed: int = 0,
+) -> TelemetryDataset:
+    """Generate the full synthetic fleet and split it by rack.
+
+    Scaled-down defaults (the paper uses 80/10 racks and >30K test points);
+    pass larger values for paper-scale runs.
+    """
+    config = config or TelemetryConfig()
+    meta_rng = np.random.default_rng(seed)
+    racks: List[RackData] = []
+    total_racks = num_train_racks + num_test_racks
+    for rack_id in range(total_racks):
+        params = sample_rack_params(
+            meta_rng, bandwidth=config.bandwidth, seed=seed * 10_000 + rack_id
+        )
+        workload = RackWorkload(params)
+        fine = workload.generate(windows_per_rack * config.window)
+        rack_rng = np.random.default_rng(seed * 20_000 + rack_id)
+        windows, _ = coarsen(fine, config, rack_rng)
+        racks.append(RackData(rack_id=rack_id, params=params, windows=windows))
+    return TelemetryDataset(
+        config=config,
+        train_racks=racks[:num_train_racks],
+        test_racks=racks[num_train_racks:],
+    )

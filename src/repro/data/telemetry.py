@@ -1,0 +1,126 @@
+"""Telemetry schema: fine-grained windows and coarse-grained counters.
+
+Mirrors the paper's imputation setting: the operator only sees
+coarse-grained counters per window of ``T`` fine ticks -- total ingress
+volume, ECN-marked (congestion) tick count, retransmission count and total
+egress -- and wants the fine-grained per-tick ingress back.
+
+Coarse counters are *derived from the fine series through an explicit queue
+model*, so the structural rules the paper enforces (sum consistency,
+bandwidth bounds, congestion implies burst) hold in the data by
+construction of the physics, not by fiat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TelemetryConfig",
+    "Window",
+    "coarsen",
+    "COARSE_FIELDS",
+    "fine_field",
+    "window_variables",
+]
+
+COARSE_FIELDS = ("total", "cong", "retx", "egr")
+
+
+def fine_field(index: int) -> str:
+    return f"I{index}"
+
+
+def window_variables(window: int) -> Tuple[str, ...]:
+    """Variable names of one record: coarse fields then fine fields."""
+    return COARSE_FIELDS + tuple(fine_field(t) for t in range(window))
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    window: int = 5  # fine ticks per coarse window (the paper's T)
+    bandwidth: int = 60  # per-tick capacity (the paper's BW)
+    drain_fraction: float = 0.7  # switch drain rate as a fraction of BW
+    ecn_threshold_fraction: float = 0.5  # queue depth triggering ECN marks
+    retx_probability: float = 0.35  # chance an ECN-marked tick retransmits
+
+    @property
+    def drain(self) -> int:
+        return int(self.bandwidth * self.drain_fraction)
+
+    @property
+    def ecn_threshold(self) -> int:
+        return int(self.bandwidth * self.ecn_threshold_fraction)
+
+    def max_total(self) -> int:
+        return self.window * self.bandwidth
+
+    def max_egress(self) -> int:
+        return self.window * self.drain
+
+
+@dataclass(frozen=True)
+class Window:
+    """One telemetry window: the coarse counters plus the fine truth."""
+
+    fine: Tuple[int, ...]
+    total: int
+    cong: int
+    retx: int
+    egr: int
+
+    def coarse(self) -> Dict[str, int]:
+        return {"total": self.total, "cong": self.cong, "retx": self.retx, "egr": self.egr}
+
+    def variables(self) -> Dict[str, int]:
+        values = self.coarse()
+        for index, value in enumerate(self.fine):
+            values[fine_field(index)] = int(value)
+        return values
+
+
+def coarsen(
+    fine: np.ndarray,
+    config: TelemetryConfig,
+    rng: np.random.Generator,
+    initial_queue: int = 0,
+) -> Tuple[List[Window], int]:
+    """Aggregate a fine ingress series into coarse windows via a queue model.
+
+    Per tick: the queue absorbs ingress and drains at the configured rate;
+    ticks whose post-arrival queue exceeds the ECN threshold are marked.
+    Marked ticks retransmit with fixed probability.  Egress is the actual
+    drained volume.  Returns the windows and the final queue depth (so
+    successive series can be chained).
+    """
+    window = config.window
+    usable = (len(fine) // window) * window
+    queue = initial_queue
+    windows: List[Window] = []
+    for start in range(0, usable, window):
+        chunk = fine[start : start + window]
+        marks = 0
+        retx = 0
+        egress = 0
+        for arrival in chunk:
+            queue += int(arrival)
+            if queue > config.ecn_threshold:
+                marks += 1
+                if rng.random() < config.retx_probability:
+                    retx += 1
+            drained = min(queue, config.drain)
+            queue -= drained
+            egress += drained
+        windows.append(
+            Window(
+                fine=tuple(int(v) for v in chunk),
+                total=int(chunk.sum()),
+                cong=marks,
+                retx=retx,
+                egr=egress,
+            )
+        )
+    return windows, queue

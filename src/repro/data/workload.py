@@ -1,0 +1,90 @@
+"""Bursty datacenter traffic generation.
+
+Synthetic stand-in for the Meta datacenter traces [14] used by the paper:
+fine-grained (per-millisecond) ingress byte counts per rack, produced by a
+Markov-modulated ON/OFF model with heavy-tailed burst sizes -- the
+microburst structure the IMC'22 study reports (short, intense bursts over a
+light baseline, correlated with ECN marking and buffer contention).
+
+Every rack runs the same structural model with rack-specific parameters
+drawn from a meta-distribution, mirroring the per-rack heterogeneity that
+makes the imputation task non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+import numpy as np
+
+__all__ = ["WorkloadParams", "RackWorkload", "sample_rack_params"]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Parameters of one rack's traffic process (units: bytes per tick,
+    scaled down so values stay in LM-friendly ranges)."""
+
+    bandwidth: int = 60  # link capacity per tick (the paper's BW)
+    base_load_mean: float = 6.0  # mean background ingress per tick
+    burst_rate: float = 0.08  # burst arrivals per tick (ON/OFF switch)
+    burst_duration_mean: float = 2.5  # mean ON duration in ticks
+    burst_intensity: float = 0.75  # burst load as a fraction of bandwidth
+    pareto_shape: float = 1.6  # heavy tail of burst sizes
+    seed: int = 0
+
+
+def sample_rack_params(
+    rng: np.random.Generator, bandwidth: int = 60, seed: int = 0
+) -> WorkloadParams:
+    """Draw one rack's parameters from the fleet meta-distribution."""
+    return WorkloadParams(
+        bandwidth=bandwidth,
+        base_load_mean=float(rng.uniform(3.0, 9.0)),
+        burst_rate=float(rng.uniform(0.04, 0.14)),
+        burst_duration_mean=float(rng.uniform(1.5, 4.0)),
+        burst_intensity=float(rng.uniform(0.6, 0.95)),
+        pareto_shape=float(rng.uniform(1.3, 2.2)),
+        seed=seed,
+    )
+
+
+class RackWorkload:
+    """Generates the fine-grained ingress series for one rack."""
+
+    def __init__(self, params: WorkloadParams):
+        self.params = params
+        self._rng = np.random.default_rng(params.seed)
+
+    def generate(self, num_ticks: int) -> np.ndarray:
+        """Fine-grained ingress bytes per tick, each in [0, bandwidth]."""
+        p = self.params
+        rng = self._rng
+        ingress = np.zeros(num_ticks, dtype=np.int64)
+
+        # Background load: Poisson around the base mean.
+        ingress += rng.poisson(p.base_load_mean, size=num_ticks)
+
+        # Bursts: ON periods arrive as a Bernoulli process; each ON period
+        # has geometric duration and a Pareto-scaled peak intensity.
+        tick = 0
+        while tick < num_ticks:
+            if rng.random() < p.burst_rate:
+                duration = 1 + rng.geometric(1.0 / p.burst_duration_mean)
+                scale = rng.pareto(p.pareto_shape) + 1.0
+                peak = min(1.0, p.burst_intensity * min(scale / 2.0, 1.5))
+                for offset in range(duration):
+                    if tick + offset >= num_ticks:
+                        break
+                    # Triangular ramp within the burst.
+                    position = offset / max(1, duration - 1) if duration > 1 else 0.5
+                    envelope = 1.0 - abs(2.0 * position - 1.0) * 0.5
+                    load = peak * envelope * p.bandwidth
+                    ingress[tick + offset] += int(rng.normal(load, load * 0.08))
+                tick += duration
+            else:
+                tick += 1
+
+        np.clip(ingress, 0, p.bandwidth, out=ingress)
+        return ingress

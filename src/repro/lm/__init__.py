@@ -1,0 +1,45 @@
+"""Character-level language models (the GPT-2 stand-in) and sampling.
+
+Two interchangeable backends implement the :class:`~repro.lm.base.LanguageModel`
+protocol: a numpy decoder-only transformer (:class:`TransformerLM`) and a
+Witten-Bell n-gram model (:class:`NgramLM`) for benchmark-scale generation.
+"""
+
+from .base import LanguageModel
+from .checkpoint import load_ngram, load_transformer, save_ngram, save_transformer
+from .model import TransformerConfig, TransformerLM
+from .ngram import NgramLM
+from .sampler import DeadEndError, MaskHook, SampleTrace, sample_tokens
+from .tokenizer import (
+    DIGITS,
+    FIELD_SEP,
+    PROMPT_SEP,
+    RECORD_END,
+    CharTokenizer,
+)
+from .train import TrainConfig, TrainReport, evaluate_loss, make_batches, train_lm
+
+__all__ = [
+    "LanguageModel",
+    "save_transformer",
+    "load_transformer",
+    "save_ngram",
+    "load_ngram",
+    "TransformerConfig",
+    "TransformerLM",
+    "NgramLM",
+    "CharTokenizer",
+    "DIGITS",
+    "FIELD_SEP",
+    "PROMPT_SEP",
+    "RECORD_END",
+    "sample_tokens",
+    "SampleTrace",
+    "MaskHook",
+    "DeadEndError",
+    "TrainConfig",
+    "TrainReport",
+    "train_lm",
+    "evaluate_loss",
+    "make_batches",
+]

@@ -1,0 +1,31 @@
+"""The language-model protocol LeJIT enforces over.
+
+LeJIT is model-agnostic (the paper swaps GPT-2 in and out freely): anything
+that maps a token prefix to a next-token distribution can be guided.  Both
+the numpy transformer and the n-gram model implement this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .tokenizer import CharTokenizer
+
+__all__ = ["LanguageModel"]
+
+
+@runtime_checkable
+class LanguageModel(Protocol):
+    """Autoregressive character-level language model."""
+
+    tokenizer: CharTokenizer
+
+    def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        """Probability distribution over the next token given the prefix.
+
+        Returns a 1-D float array of length ``tokenizer.vocab_size`` that
+        sums to 1.  The prefix always starts with BOS.
+        """
+        ...

@@ -1,0 +1,104 @@
+"""Model persistence: checkpoints for both LM backends.
+
+The paper's vision of one reusable foundation model only works if the
+trained model is an artifact you can ship around while rules change; these
+helpers store the transformer as ``.npz`` (weights + config) and the n-gram
+model as JSON (counts).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .model import TransformerConfig, TransformerLM
+from .ngram import NgramLM
+from .tokenizer import CharTokenizer
+
+__all__ = [
+    "save_transformer",
+    "load_transformer",
+    "save_ngram",
+    "load_ngram",
+]
+
+
+def save_transformer(model: TransformerLM, path: Union[str, Path]) -> None:
+    """Store weights and config in a single ``.npz`` archive."""
+    config = model.config
+    meta = {
+        "vocab_size": config.vocab_size,
+        "max_len": config.max_len,
+        "d_model": config.d_model,
+        "n_heads": config.n_heads,
+        "n_layers": config.n_layers,
+        "dropout": config.dropout,
+        "seed": config.seed,
+        "alphabet": model.tokenizer.alphabet,
+    }
+    arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(Path(path), **arrays)
+
+
+def load_transformer(path: Union[str, Path]) -> TransformerLM:
+    archive = np.load(Path(path))
+    meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    alphabet = meta.pop("alphabet")
+    config = TransformerConfig(**meta)
+    model = TransformerLM(config, CharTokenizer(alphabet=alphabet))
+    state = {
+        key[len("param::"):]: archive[key]
+        for key in archive.files
+        if key.startswith("param::")
+    }
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def save_ngram(model: NgramLM, path: Union[str, Path]) -> None:
+    """Store the Witten-Bell counts as JSON (contexts are id tuples)."""
+    if not model._trained:
+        raise ValueError("cannot save an unfitted n-gram model")
+    levels = []
+    for level in model._counts:
+        serialized = {
+            ",".join(map(str, context)): dict(counter)
+            for context, counter in level.items()
+        }
+        levels.append(serialized)
+    payload = {
+        "format": "lejit-ngram/1",
+        "order": model.order,
+        "alphabet": model.tokenizer.alphabet,
+        "counts": levels,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_ngram(path: Union[str, Path]) -> NgramLM:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "lejit-ngram/1":
+        raise ValueError(f"unsupported n-gram format {payload.get('format')!r}")
+    model = NgramLM(
+        order=int(payload["order"]),
+        tokenizer=CharTokenizer(alphabet=payload["alphabet"]),
+    )
+    for k, serialized in enumerate(payload["counts"]):
+        level = model._counts[k]
+        for context_key, counter in serialized.items():
+            context = (
+                tuple(int(x) for x in context_key.split(","))
+                if context_key
+                else ()
+            )
+            level[context] = Counter({int(t): int(c) for t, c in counter.items()})
+    model._trained = True
+    return model

@@ -1,0 +1,123 @@
+"""A decoder-only transformer language model (the GPT-2 stand-in).
+
+Architecture mirrors GPT-2 at miniature scale: learned token + position
+embeddings, pre-norm blocks with causal multi-head self-attention and a GELU
+MLP, weight-tied output head.  Built entirely on :mod:`repro.autograd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Dropout, Embedding, LayerNorm, Linear, Module, Tensor, no_grad
+from .tokenizer import CharTokenizer
+
+__all__ = ["TransformerConfig", "TransformerLM"]
+
+
+@dataclass
+class TransformerConfig:
+    vocab_size: int = 16
+    max_len: int = 96
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    dropout: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+class CausalSelfAttention(Module):
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.n_heads = config.n_heads
+        self.head_dim = config.d_model // config.n_heads
+        self.qkv = Linear(config.d_model, 3 * config.d_model, rng=rng)
+        self.proj = Linear(config.d_model, config.d_model, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(batch, seq, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        causal = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        scores = scores.masked_fill(causal, -1e9)
+        attention = scores.softmax(axis=-1)
+        attention = self.dropout(attention)
+        out = attention @ v  # (B, H, T, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.proj(out)
+
+
+class Block(Module):
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(config.d_model)
+        self.attn = CausalSelfAttention(config, rng)
+        self.ln2 = LayerNorm(config.d_model)
+        self.fc = Linear(config.d_model, 4 * config.d_model, rng=rng)
+        self.proj = Linear(4 * config.d_model, config.d_model, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.dropout(self.proj(self.fc(self.ln2(x)).gelu()))
+        return x
+
+
+class TransformerLM(Module):
+    """GPT-style causal LM implementing the LeJIT ``LanguageModel`` protocol."""
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        tokenizer: Optional[CharTokenizer] = None,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.tokenizer = tokenizer or CharTokenizer()
+        if self.tokenizer.vocab_size > config.vocab_size:
+            raise ValueError("config.vocab_size smaller than tokenizer vocabulary")
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_len, config.d_model, rng=rng)
+        self.blocks = [Block(config, rng) for _ in range(config.n_layers)]
+        for idx, block in enumerate(self.blocks):
+            self._modules[f"block{idx}"] = block
+        self.ln_final = LayerNorm(config.d_model)
+        self.head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        """ids: int array (B, T) -> logits Tensor (B, T, V)."""
+        ids = np.asarray(ids)
+        batch, seq = ids.shape
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len")
+        positions = np.arange(seq)
+        x = self.token_embedding(ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.ln_final(x))
+
+    def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        """LanguageModel protocol: next-token probabilities for one prefix."""
+        ids = np.asarray(prefix_ids, dtype=np.int64)[None, -self.config.max_len :]
+        with no_grad():
+            was_training = self.training
+            self.eval()
+            logits = self.forward(ids).data[0, -1]
+            if was_training:
+                self.train()
+        shifted = logits - logits.max()
+        exp = np.exp(shifted.astype(np.float64))
+        return exp / exp.sum()

@@ -1,0 +1,92 @@
+"""Witten-Bell smoothed character n-gram language model.
+
+A fast, trainable-in-seconds LM backend implementing the same protocol as
+the transformer.  The paper's argument is explicitly model-agnostic -- LeJIT
+"does not rely on a specific language model architecture" -- and the n-gram
+backend lets the 30K-sample benchmark scale of Fig. 3/5 run in pure Python
+while exercising the identical enforcement path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .tokenizer import CharTokenizer
+
+__all__ = ["NgramLM"]
+
+
+class NgramLM:
+    """Interpolated (Witten-Bell) n-gram model over token ids."""
+
+    def __init__(self, order: int = 6, tokenizer: CharTokenizer | None = None):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.tokenizer = tokenizer or CharTokenizer()
+        # counts[k] maps a length-k context tuple to successor Counter.
+        self._counts: List[Dict[Tuple[int, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order)
+        ]
+        self._trained = False
+
+    def fit(self, texts: Iterable[str]) -> "NgramLM":
+        """Count n-grams over records (each encoded with BOS, ending in \\n)."""
+        for text in texts:
+            ids = self.tokenizer.encode(text)
+            for position in range(1, len(ids)):
+                token = ids[position]
+                for k in range(self.order):
+                    if position - k < 0:
+                        break
+                    context = tuple(ids[position - k : position])
+                    self._counts[k][context][token] += 1
+        self._trained = True
+        return self
+
+    def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        if not self._trained:
+            raise RuntimeError("NgramLM.fit must be called before sampling")
+        vocab = self.tokenizer.vocab_size
+        # Order-0 base: unigram with add-one smoothing over non-special ids.
+        unigram_counts = self._counts[0][()]
+        base = np.ones(vocab, dtype=np.float64)
+        base[self.tokenizer.pad_id] = 0.0
+        base[self.tokenizer.bos_id] = 0.0
+        for token, count in unigram_counts.items():
+            base[token] += count
+        distribution = base / base.sum()
+        # Witten-Bell interpolation from low to high order.
+        prefix = list(prefix_ids)
+        for k in range(1, self.order):
+            if len(prefix) < k:
+                break
+            context = tuple(prefix[-k:])
+            successor = self._counts[k].get(context)
+            if not successor:
+                continue
+            total = sum(successor.values())
+            distinct = len(successor)
+            weight = total / (total + distinct)
+            empirical = np.zeros(vocab, dtype=np.float64)
+            for token, count in successor.items():
+                empirical[token] = count / total
+            distribution = weight * empirical + (1.0 - weight) * distribution
+        return distribution
+
+    def perplexity(self, texts: Iterable[str]) -> float:
+        """Per-character perplexity over a corpus."""
+        log_prob = 0.0
+        count = 0
+        for text in texts:
+            ids = self.tokenizer.encode(text)
+            for position in range(1, len(ids)):
+                probs = self.next_distribution(ids[:position])
+                log_prob += float(np.log(max(probs[ids[position]], 1e-12)))
+                count += 1
+        if count == 0:
+            return float("inf")
+        return float(np.exp(-log_prob / count))

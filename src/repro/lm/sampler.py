@@ -1,0 +1,127 @@
+"""Token sampling with a per-step mask hook.
+
+The mask hook is LeJIT's seam: at every step the sampler asks the hook which
+token ids are admissible, renormalizes the model's distribution over them,
+and samples.  With no hook this is plain (vanilla) ancestral sampling.
+
+``SampleTrace`` records, per step, whether the hook actually changed the
+model's choice -- the data behind the paper's "minimally invasive" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .base import LanguageModel
+
+__all__ = ["MaskHook", "SampleTrace", "sample_tokens", "DeadEndError"]
+
+# Given the prefix ids, return the set of admissible next ids (None = all).
+MaskHook = Callable[[Sequence[int]], Optional[Set[int]]]
+
+
+class DeadEndError(RuntimeError):
+    """Raised when the mask hook admits no token at some step."""
+
+
+@dataclass
+class SampleTrace:
+    """Per-generation guidance statistics."""
+
+    steps: int = 0
+    masked_steps: int = 0  # steps where the hook pruned at least one token
+    diverted_steps: int = 0  # steps where the pre-mask sample was pruned
+    forced_steps: int = 0  # steps with exactly one admissible token
+    pruned_probability: float = 0.0  # total model mass removed by masking
+
+    def merge(self, other: "SampleTrace") -> None:
+        self.steps += other.steps
+        self.masked_steps += other.masked_steps
+        self.diverted_steps += other.diverted_steps
+        self.forced_steps += other.forced_steps
+        self.pruned_probability += other.pruned_probability
+
+
+def sample_tokens(
+    model: LanguageModel,
+    prefix_ids: Sequence[int],
+    stop_id: int,
+    max_new_tokens: int,
+    mask_hook: Optional[MaskHook] = None,
+    temperature: float = 1.0,
+    top_k: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    trace: Optional[SampleTrace] = None,
+) -> List[int]:
+    """Ancestral sampling until ``stop_id`` (inclusive) or the length cap.
+
+    ``temperature`` rescales log-probabilities; ``top_k`` truncates the
+    distribution to the k most likely tokens before (re)normalizing --
+    note top-k truncation composes with the mask hook, never overriding it.
+    Returns only the newly generated ids.  Special ids (PAD/BOS) are always
+    excluded from sampling.
+    """
+    if top_k is not None and top_k < 1:
+        raise ValueError("top_k must be a positive integer")
+    rng = rng or np.random.default_rng()
+    generated: List[int] = []
+    ids = list(prefix_ids)
+    specials = {model.tokenizer.pad_id, model.tokenizer.bos_id}
+    for _ in range(max_new_tokens):
+        probs = np.array(model.next_distribution(ids), dtype=np.float64)
+        for special in specials:
+            probs[special] = 0.0
+        if temperature != 1.0:
+            with np.errstate(divide="ignore"):
+                logits = np.log(np.maximum(probs, 1e-300)) / temperature
+            probs = np.exp(logits - logits.max())
+        if top_k is not None and top_k < np.count_nonzero(probs):
+            cutoff = np.partition(probs, -top_k)[-top_k]
+            probs[probs < cutoff] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            raise DeadEndError("model distribution is all-zero after specials")
+        probs /= total
+
+        allowed = mask_hook(ids) if mask_hook is not None else None
+        if trace is not None:
+            trace.steps += 1
+        if allowed is not None:
+            mask = np.zeros_like(probs, dtype=bool)
+            for token in allowed:
+                if token not in specials:
+                    mask[token] = True
+            pruned_mass = float(probs[~mask].sum())
+            if trace is not None:
+                if pruned_mass > 1e-12:
+                    trace.masked_steps += 1
+                    trace.pruned_probability += pruned_mass
+                if mask.sum() == 1:
+                    trace.forced_steps += 1
+            # Was the model's own pick admissible?
+            pre_choice = int(rng.choice(len(probs), p=probs))
+            if mask[pre_choice]:
+                choice = pre_choice
+            else:
+                if trace is not None:
+                    trace.diverted_steps += 1
+                masked = probs * mask
+                remaining = masked.sum()
+                if remaining <= 0:
+                    # The model puts zero mass on every admissible token:
+                    # fall back to uniform over the admissible set.
+                    masked = mask.astype(np.float64)
+                    remaining = masked.sum()
+                    if remaining == 0:
+                        raise DeadEndError("mask hook admitted no token")
+                choice = int(rng.choice(len(probs), p=masked / remaining))
+        else:
+            choice = int(rng.choice(len(probs), p=probs))
+        generated.append(choice)
+        ids.append(choice)
+        if choice == stop_id:
+            break
+    return generated

@@ -1,0 +1,75 @@
+"""Character-level tokenization for telemetry records.
+
+The paper adopts character-level tokenization (Charformer-style, [44]) so
+numbers are generated digit by digit -- the granularity LeJIT's transition
+system controls.  Telemetry records here are plain text over a tiny charset:
+digits, the space field separator, the prompt separator ``>``, and the
+record terminator ``\\n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["CharTokenizer", "DIGITS", "FIELD_SEP", "PROMPT_SEP", "RECORD_END"]
+
+DIGITS = "0123456789"
+FIELD_SEP = " "
+PROMPT_SEP = ">"
+RECORD_END = "\n"
+
+
+@dataclass(frozen=True)
+class CharTokenizer:
+    """Bidirectional char <-> id mapping with BOS/PAD specials."""
+
+    alphabet: str = DIGITS + FIELD_SEP + PROMPT_SEP + RECORD_END
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def bos_id(self) -> int:
+        return 1
+
+    @property
+    def vocab_size(self) -> int:
+        return 2 + len(self.alphabet)
+
+    def id_of(self, char: str) -> int:
+        index = self.alphabet.find(char)
+        if index < 0:
+            raise KeyError(f"character {char!r} not in tokenizer alphabet")
+        return 2 + index
+
+    def char_of(self, token_id: int) -> str:
+        if token_id < 2:
+            return ""
+        if token_id - 2 >= len(self.alphabet):
+            raise KeyError(f"token id {token_id} out of range")
+        return self.alphabet[token_id - 2]
+
+    def encode(self, text: str, add_bos: bool = True) -> List[int]:
+        ids = [self.bos_id] if add_bos else []
+        ids.extend(self.id_of(c) for c in text)
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> str:
+        return "".join(self.char_of(i) for i in ids)
+
+    def digit_ids(self) -> Tuple[int, ...]:
+        return tuple(self.id_of(d) for d in DIGITS)
+
+    @property
+    def field_sep_id(self) -> int:
+        return self.id_of(FIELD_SEP)
+
+    @property
+    def prompt_sep_id(self) -> int:
+        return self.id_of(PROMPT_SEP)
+
+    @property
+    def record_end_id(self) -> int:
+        return self.id_of(RECORD_END)

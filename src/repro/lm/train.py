@@ -1,0 +1,142 @@
+"""Training loop for the character-level transformer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Adam, WarmupCosine, clip_grad_norm, cross_entropy
+from .model import TransformerConfig, TransformerLM
+from .tokenizer import CharTokenizer
+
+__all__ = ["TrainConfig", "TrainReport", "train_lm", "make_batches"]
+
+
+@dataclass
+class TrainConfig:
+    steps: int = 400
+    batch_size: int = 32
+    lr: float = 3e-3
+    warmup_steps: int = 40
+    grad_clip: float = 1.0
+    weight_decay: float = 0.01
+    eval_every: int = 100
+    eval_fraction: float = 0.1
+    seed: int = 0
+
+
+@dataclass
+class TrainReport:
+    losses: List[float] = field(default_factory=list)
+    eval_losses: List[float] = field(default_factory=list)
+    final_loss: float = float("nan")
+
+
+def make_batches(
+    encoded: List[List[int]],
+    batch_size: int,
+    pad_id: int,
+    rng: np.random.Generator,
+):
+    """Yield (inputs, targets) int arrays forever, padding ragged records.
+
+    Targets are inputs shifted left; padded positions carry ``-1`` so the
+    loss ignores them.
+    """
+    order = np.arange(len(encoded))
+    while True:
+        rng.shuffle(order)
+        for start in range(0, len(order) - batch_size + 1, batch_size):
+            batch = [encoded[i] for i in order[start : start + batch_size]]
+            width = max(len(ids) for ids in batch)
+            inputs = np.full((len(batch), width - 1), pad_id, dtype=np.int64)
+            targets = np.full((len(batch), width - 1), -1, dtype=np.int64)
+            for row, ids in enumerate(batch):
+                inputs[row, : len(ids) - 1] = ids[:-1]
+                targets[row, : len(ids) - 1] = ids[1:]
+            yield inputs, targets
+
+
+def evaluate_loss(model: TransformerLM, encoded: List[List[int]]) -> float:
+    from ..autograd import no_grad
+
+    pad = model.tokenizer.pad_id
+    total, count = 0.0, 0
+    with no_grad():
+        model.eval()
+        for start in range(0, len(encoded), 64):
+            batch = encoded[start : start + 64]
+            width = max(len(ids) for ids in batch)
+            inputs = np.full((len(batch), width - 1), pad, dtype=np.int64)
+            targets = np.full((len(batch), width - 1), -1, dtype=np.int64)
+            for row, ids in enumerate(batch):
+                inputs[row, : len(ids) - 1] = ids[:-1]
+                targets[row, : len(ids) - 1] = ids[1:]
+            loss = cross_entropy(model(inputs), targets, ignore_index=-1)
+            tokens = int((targets != -1).sum())
+            total += loss.item() * tokens
+            count += tokens
+        model.train()
+    return total / max(count, 1)
+
+
+def train_lm(
+    texts: Sequence[str],
+    model_config: Optional[TransformerConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    verbose: bool = False,
+) -> tuple:
+    """Train a char-level transformer on telemetry records.
+
+    Returns ``(model, report)``.
+    """
+    train_config = train_config or TrainConfig()
+    tokenizer = CharTokenizer()
+    max_record = max(len(t) for t in texts) + 2
+    if model_config is None:
+        model_config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, max_len=max(96, max_record)
+        )
+    model = TransformerLM(model_config, tokenizer)
+    encoded = [tokenizer.encode(t) for t in texts]
+    too_long = [ids for ids in encoded if len(ids) > model_config.max_len]
+    if too_long:
+        raise ValueError(
+            f"{len(too_long)} records exceed model max_len={model_config.max_len}"
+        )
+    rng = np.random.default_rng(train_config.seed)
+    eval_count = max(1, int(len(encoded) * train_config.eval_fraction))
+    eval_set = encoded[:eval_count]
+    train_set = encoded[eval_count:] or encoded
+
+    optimizer = Adam(
+        model.parameters(),
+        lr=train_config.lr,
+        weight_decay=train_config.weight_decay,
+    )
+    schedule = WarmupCosine(
+        optimizer, train_config.lr, train_config.warmup_steps, train_config.steps
+    )
+    batches = make_batches(
+        train_set, min(train_config.batch_size, len(train_set)), tokenizer.pad_id, rng
+    )
+    report = TrainReport()
+    for step in range(train_config.steps):
+        inputs, targets = next(batches)
+        logits = model(inputs)
+        loss = cross_entropy(logits, targets, ignore_index=-1)
+        optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(model.parameters(), train_config.grad_clip)
+        schedule.step()
+        optimizer.step()
+        report.losses.append(loss.item())
+        if verbose and step % 50 == 0:
+            print(f"step {step:5d}  loss {loss.item():.4f}")
+        if (step + 1) % train_config.eval_every == 0:
+            report.eval_losses.append(evaluate_loss(model, eval_set))
+    report.final_loss = report.losses[-1] if report.losses else float("nan")
+    model.eval()
+    return model, report

@@ -1,0 +1,42 @@
+"""Evaluation metrics for the paper's figures.
+
+Distributional fidelity (EMD, JSD, p99), temporal structure
+(autocorrelation, burst analysis) and rule-compliance audits.
+"""
+
+from .distributions import (
+    emd,
+    histogram_jsd,
+    jsd,
+    mae,
+    p99_error,
+    relative_error,
+    rmse,
+)
+from .temporal import (
+    Burst,
+    BurstReport,
+    autocorrelation,
+    autocorrelation_error,
+    burst_metrics,
+    find_bursts,
+)
+from .violations import ViolationReport, audit
+
+__all__ = [
+    "emd",
+    "jsd",
+    "histogram_jsd",
+    "p99_error",
+    "relative_error",
+    "mae",
+    "rmse",
+    "autocorrelation",
+    "autocorrelation_error",
+    "Burst",
+    "BurstReport",
+    "burst_metrics",
+    "find_bursts",
+    "ViolationReport",
+    "audit",
+]

@@ -1,0 +1,161 @@
+"""Temporal-structure metrics: autocorrelation and burst analysis.
+
+The paper's downstream task (Fig. 4 right) is microburst analysis on the
+imputed fine-grained series: how well does the imputation recover burst
+count, height, duration and position?  Bursts follow the IMC'22 definition
+the dataset paper uses: maximal runs of ticks whose ingress exceeds a
+threshold fraction of bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "autocorrelation_error",
+    "Burst",
+    "find_bursts",
+    "burst_metrics",
+    "BurstReport",
+]
+
+
+def autocorrelation(series: Sequence[float], lag: int = 1) -> float:
+    """Pearson autocorrelation at the given lag (0 when degenerate)."""
+    x = np.asarray(series, dtype=np.float64)
+    if lag <= 0 or lag >= x.size:
+        raise ValueError("lag must be in [1, len(series) - 1]")
+    a = x[:-lag]
+    b = x[lag:]
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
+
+
+def autocorrelation_error(
+    truth: Sequence[float], predicted: Sequence[float], max_lag: int = 4
+) -> float:
+    """Mean absolute difference of autocorrelation over lags 1..max_lag."""
+    truth = np.asarray(truth, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    limit = min(max_lag, len(truth) - 1)
+    if limit < 1:
+        raise ValueError("series too short for autocorrelation")
+    errors = [
+        abs(autocorrelation(truth, lag) - autocorrelation(predicted, lag))
+        for lag in range(1, limit + 1)
+    ]
+    return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class Burst:
+    start: int
+    end: int  # inclusive
+    height: int  # peak value within the burst
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def position(self) -> float:
+        return (self.start + self.end) / 2.0
+
+
+def find_bursts(
+    series: Sequence[int], bandwidth: int, threshold_fraction: float = 0.5
+) -> List[Burst]:
+    """Maximal runs of ticks above ``threshold_fraction * bandwidth``."""
+    threshold = threshold_fraction * bandwidth
+    bursts: List[Burst] = []
+    start = None
+    peak = 0
+    for index, value in enumerate(series):
+        if value >= threshold:
+            if start is None:
+                start = index
+                peak = int(value)
+            else:
+                peak = max(peak, int(value))
+        elif start is not None:
+            bursts.append(Burst(start, index - 1, peak))
+            start = None
+    if start is not None:
+        bursts.append(Burst(start, len(series) - 1, peak))
+    return bursts
+
+
+@dataclass
+class BurstReport:
+    """Per-aspect relative errors of burst analysis on an imputed series."""
+
+    count_error: float
+    height_error: float
+    duration_error: float
+    position_error: float
+
+    def as_dict(self) -> dict:
+        return {
+            "burst_count": self.count_error,
+            "burst_height": self.height_error,
+            "burst_duration": self.duration_error,
+            "burst_position": self.position_error,
+        }
+
+
+def burst_metrics(
+    truth: Sequence[int],
+    predicted: Sequence[int],
+    bandwidth: int,
+    threshold_fraction: float = 0.5,
+) -> BurstReport:
+    """Compare burst statistics between the true and imputed series.
+
+    Errors are normalized: count by max(true count, 1); height by
+    bandwidth; duration by series length; position by series length.
+    Missing bursts on either side count as maximal position error.
+    """
+    true_bursts = find_bursts(truth, bandwidth, threshold_fraction)
+    pred_bursts = find_bursts(predicted, bandwidth, threshold_fraction)
+    length = max(len(truth), 1)
+
+    count_error = abs(len(true_bursts) - len(pred_bursts)) / max(
+        len(true_bursts), 1
+    )
+
+    def total_height(bursts: List[Burst]) -> float:
+        return float(sum(b.height for b in bursts))
+
+    def total_duration(bursts: List[Burst]) -> float:
+        return float(sum(b.duration for b in bursts))
+
+    height_error = abs(total_height(true_bursts) - total_height(pred_bursts)) / (
+        bandwidth * max(len(true_bursts), 1)
+    )
+    duration_error = abs(
+        total_duration(true_bursts) - total_duration(pred_bursts)
+    ) / length
+
+    if true_bursts and pred_bursts:
+        # Greedy nearest matching of burst positions.
+        remaining = list(pred_bursts)
+        distances = []
+        for burst in true_bursts:
+            nearest = min(remaining, key=lambda b: abs(b.position - burst.position))
+            distances.append(abs(nearest.position - burst.position) / length)
+            remaining.remove(nearest)
+            if not remaining:
+                break
+        position_error = float(np.mean(distances))
+    elif true_bursts or pred_bursts:
+        position_error = 1.0
+    else:
+        position_error = 0.0
+
+    return BurstReport(count_error, height_error, duration_error, position_error)

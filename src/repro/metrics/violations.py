@@ -1,0 +1,61 @@
+"""Rule-violation audits (the Fig. 3 left / Fig. 5 compliance metric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..rules.dsl import RuleSet
+
+__all__ = ["ViolationReport", "audit"]
+
+
+@dataclass
+class ViolationReport:
+    """Compliance statistics of a batch of records against a rule set."""
+
+    records: int
+    rules: int
+    violating_records: int  # records breaking >= 1 rule
+    total_violations: int  # sum over records of #rules broken
+    per_rule: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def record_violation_rate(self) -> float:
+        """Fraction of records breaking at least one rule."""
+        return self.violating_records / self.records if self.records else 0.0
+
+    @property
+    def rule_violation_rate(self) -> float:
+        """Average fraction of rules broken per record (the paper's
+        headline percentage: 18% for vanilla GPT-2, 0% for LeJIT)."""
+        if not self.records or not self.rules:
+            return 0.0
+        return self.total_violations / (self.records * self.rules)
+
+    def worst_rules(self, top: int = 5) -> List[tuple]:
+        ranked = sorted(self.per_rule.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+
+def audit(
+    assignments: Sequence[Mapping[str, int]], rules: RuleSet
+) -> ViolationReport:
+    """Score every record against every rule."""
+    per_rule: Dict[str, int] = {}
+    violating_records = 0
+    total = 0
+    for assignment in assignments:
+        broken = rules.violations(assignment)
+        if broken:
+            violating_records += 1
+            total += len(broken)
+            for rule in broken:
+                per_rule[rule.name] = per_rule.get(rule.name, 0) + 1
+    return ViolationReport(
+        records=len(assignments),
+        rules=len(rules),
+        violating_records=violating_records,
+        total_violations=total,
+        per_rule=per_rule,
+    )

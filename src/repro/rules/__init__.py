@@ -1,0 +1,29 @@
+"""Logic rules for network telemetry: DSL, libraries, and mining.
+
+Rules are QF_LIA formulas over record variables.  Operators can write them
+by hand (:func:`paper_rules`, :func:`zoom2net_manual_rules`) or mine them
+from training data NetNomos-style (:func:`mine_rules`).
+"""
+
+from .diagnose import InfeasibilityReport, diagnose_infeasibility
+from .dsl import Rule, RuleSet, var
+from .io import load_rules, rules_from_json, rules_to_json, save_rules
+from .library import domain_bound_rules, paper_rules, zoom2net_manual_rules
+from .mining import MinerOptions, mine_rules
+
+__all__ = [
+    "Rule",
+    "RuleSet",
+    "var",
+    "paper_rules",
+    "zoom2net_manual_rules",
+    "domain_bound_rules",
+    "MinerOptions",
+    "mine_rules",
+    "save_rules",
+    "load_rules",
+    "rules_to_json",
+    "rules_from_json",
+    "diagnose_infeasibility",
+    "InfeasibilityReport",
+]

@@ -1,0 +1,100 @@
+"""Infeasibility diagnosis: *which rules* refuse a record prefix?
+
+When a coarse prompt (or a partially generated record) admits no compliant
+completion, operators need to know which rules conflict -- both to debug
+mined rule sets and to decide what a fallback tier may drop.  This module
+computes a *minimal* conflicting subset (an irreducible infeasible set over
+the rules) by deletion-based shrinking over solver checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..smt import FALSE, TRUE, IntVar, Le, Solver
+from ..smt.simplify import simplify, substitute, to_nnf
+from .dsl import Rule, RuleSet
+
+__all__ = ["InfeasibilityReport", "diagnose_infeasibility"]
+
+Bounds = Mapping[str, Tuple[int, int]]
+
+
+class InfeasibilityReport:
+    """A minimal set of rules that jointly refuse the fixed values."""
+
+    def __init__(
+        self,
+        fixed: Dict[str, int],
+        conflicting_rules: List[Rule],
+        feasible: bool,
+    ):
+        self.fixed = fixed
+        self.conflicting_rules = conflicting_rules
+        self.feasible = feasible
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def summary(self) -> str:
+        if self.feasible:
+            return f"feasible under all rules (fixed: {self.fixed})"
+        lines = [f"infeasible given {self.fixed}; minimal conflict set:"]
+        for rule in self.conflicting_rules:
+            lines.append(f"  - {rule.name}: {rule.description or rule.formula!r}")
+        return "\n".join(lines)
+
+
+def _is_feasible(
+    rules: Sequence[Rule], fixed: Mapping[str, int], bounds: Bounds
+) -> bool:
+    solver = Solver()
+    for name, (low, high) in bounds.items():
+        if name in fixed:
+            if not low <= fixed[name] <= high:
+                return False
+            continue
+        solver.add(Le(low, IntVar(name)))
+        solver.add(Le(IntVar(name), high))
+    for rule in rules:
+        residual = simplify(to_nnf(substitute(rule.formula, fixed)))
+        if residual == TRUE:
+            continue
+        if residual == FALSE:
+            return False
+        solver.add(residual)
+    return solver.check().satisfiable
+
+
+def diagnose_infeasibility(
+    rules: RuleSet,
+    fixed: Mapping[str, int],
+    bounds: Bounds,
+) -> InfeasibilityReport:
+    """Explain why ``fixed`` admits no rule-compliant completion.
+
+    Returns a feasible report when it actually does; otherwise shrinks the
+    rule list to a minimal conflicting subset (every rule in the subset is
+    necessary: removing any one restores feasibility *of the subset*).
+    """
+    fixed = {k: int(v) for k, v in fixed.items()}
+    # Pre-filter: rules whose residual is TRUE under the fixed values can
+    # never participate in the conflict, so shrinking skips them entirely.
+    all_rules = [
+        rule
+        for rule in rules
+        if simplify(to_nnf(substitute(rule.formula, fixed))) != TRUE
+    ]
+    if _is_feasible(all_rules, fixed, bounds):
+        return InfeasibilityReport(fixed, [], feasible=True)
+    # Deletion-based shrinking: try dropping each rule; keep it only if the
+    # remainder becomes feasible (i.e. the rule is necessary).
+    core: List[Rule] = list(all_rules)
+    index = 0
+    while index < len(core):
+        candidate = core[:index] + core[index + 1 :]
+        if _is_feasible(candidate, fixed, bounds):
+            index += 1  # rule is necessary; keep it
+        else:
+            core = candidate  # rule is redundant for the conflict
+    return InfeasibilityReport(fixed, core, feasible=False)

@@ -1,0 +1,130 @@
+"""Rule DSL: named, scoped logic rules over record variables.
+
+A :class:`Rule` pairs a QF_LIA formula (over the record's variable names)
+with metadata -- where it came from, which task it applies to, what family
+it belongs to.  A :class:`RuleSet` is what operators hand to LeJIT: swapping
+rule sets is how the same LM is repurposed across tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..smt import And, Formula, IntVar, LinExpr
+
+__all__ = ["Rule", "RuleSet", "var"]
+
+
+def var(name: str) -> LinExpr:
+    """Shorthand for an integer record variable."""
+    return IntVar(name)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One logic rule: a formula plus provenance metadata."""
+
+    name: str
+    formula: Formula
+    kind: str = "generic"  # bound | sum | difference | implication | ...
+    source: str = "manual"  # manual | mined | paper
+    description: str = ""
+
+    def holds(self, assignment: Mapping[str, int]) -> bool:
+        return self.formula.evaluate(assignment)
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.formula.variables()
+
+
+class RuleSet:
+    """An ordered, named collection of rules with audit helpers."""
+
+    def __init__(self, rules: Iterable[Rule] = (), name: str = "ruleset"):
+        self.name = name
+        self._rules: List[Rule] = []
+        self._by_name: Dict[str, Rule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        if rule.name in self._by_name:
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+        self._by_name[rule.name] = rule
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __getitem__(self, name: str) -> Rule:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def formulas(self) -> List[Formula]:
+        return [rule.formula for rule in self._rules]
+
+    def conjunction(self) -> Formula:
+        return And(*[rule.formula for rule in self._rules])
+
+    def variables(self) -> Tuple[str, ...]:
+        names: Dict[str, None] = {}
+        for rule in self._rules:
+            for name in rule.variables():
+                names.setdefault(name, None)
+        return tuple(names)
+
+    def violations(self, assignment: Mapping[str, int]) -> List[Rule]:
+        """Rules the assignment breaks (the Fig. 3/5 audit primitive)."""
+        return [rule for rule in self._rules if not rule.holds(assignment)]
+
+    def compliant(self, assignment: Mapping[str, int]) -> bool:
+        return not self.violations(assignment)
+
+    def __or__(self, other: "RuleSet") -> "RuleSet":
+        """Union of two rule sets (the Section 5 'compose rule sets on the
+        fly' operation).  Same-named rules must be identical."""
+        merged = RuleSet(name=f"{self.name}|{other.name}")
+        for rule in self._rules:
+            merged.add(rule)
+        for rule in other:
+            if rule.name in merged:
+                if merged[rule.name].formula != rule.formula:
+                    raise ValueError(
+                        f"conflicting definitions for rule {rule.name!r}"
+                    )
+                continue
+            merged.add(rule)
+        return merged
+
+    def filtered(self, predicate) -> "RuleSet":
+        """Rules satisfying ``predicate(rule)`` (e.g. drop a family)."""
+        return RuleSet(
+            [rule for rule in self._rules if predicate(rule)],
+            name=f"{self.name}:filtered",
+        )
+
+    def by_kind(self, kind: str) -> "RuleSet":
+        subset = [rule for rule in self._rules if rule.kind == kind]
+        return RuleSet(subset, name=f"{self.name}:{kind}")
+
+    def restricted_to(self, variables: Sequence[str]) -> "RuleSet":
+        """Rules mentioning only the given variables."""
+        allowed = set(variables)
+        subset = [
+            rule
+            for rule in self._rules
+            if set(rule.variables()) <= allowed
+        ]
+        return RuleSet(subset, name=f"{self.name}:restricted")
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rule in self._rules:
+            counts[rule.kind] = counts.get(rule.kind, 0) + 1
+        return counts

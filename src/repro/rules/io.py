@@ -1,0 +1,74 @@
+"""Rule-set persistence: save/load as versioned JSON files.
+
+Rule sets are the artifact operators actually maintain -- the "logic
+plug-ins" that repurpose a model.  The JSON layout::
+
+    {
+      "format": "lejit-rules/1",
+      "name": "netnomos-imputation",
+      "rules": [
+        {"name": "R2", "kind": "sum", "source": "paper",
+         "description": "...", "formula": {...}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..smt.serialize import formula_from_dict, formula_to_dict
+from .dsl import Rule, RuleSet
+
+__all__ = ["save_rules", "load_rules", "rules_to_json", "rules_from_json"]
+
+_FORMAT = "lejit-rules/1"
+
+
+def rules_to_json(rules: RuleSet) -> str:
+    payload = {
+        "format": _FORMAT,
+        "name": rules.name,
+        "rules": [
+            {
+                "name": rule.name,
+                "kind": rule.kind,
+                "source": rule.source,
+                "description": rule.description,
+                "formula": formula_to_dict(rule.formula),
+            }
+            for rule in rules
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def rules_from_json(text: str) -> RuleSet:
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"unsupported rule file format {payload.get('format')!r}"
+        )
+    rules = RuleSet(name=str(payload.get("name", "ruleset")))
+    for entry in payload.get("rules", []):
+        rules.add(
+            Rule(
+                name=str(entry["name"]),
+                formula=formula_from_dict(entry["formula"]),
+                kind=str(entry.get("kind", "generic")),
+                source=str(entry.get("source", "manual")),
+                description=str(entry.get("description", "")),
+            )
+        )
+    return rules
+
+
+def save_rules(rules: RuleSet, path: Union[str, Path]) -> None:
+    Path(path).write_text(rules_to_json(rules))
+
+
+def load_rules(path: Union[str, Path]) -> RuleSet:
+    return rules_from_json(Path(path).read_text())

@@ -1,0 +1,143 @@
+"""Hand-written rule sets: the paper's R1-R3 and Zoom2Net's manual rules.
+
+R1-R3 are the motivating example of the paper's Section 2; the "manual"
+baseline in the evaluation enforces the four hand-picked constraints
+(C4-C7) that Zoom2Net's constraint-enforcement module uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.telemetry import TelemetryConfig, fine_field
+from ..smt import And, Eq, Ge, Implies, Le, LinExpr, Or
+from .dsl import Rule, RuleSet, var
+
+__all__ = ["paper_rules", "zoom2net_manual_rules", "domain_bound_rules"]
+
+
+def _fine_sum(window: int) -> LinExpr:
+    total = LinExpr({})
+    for index in range(window):
+        total = total + var(fine_field(index))
+    return total
+
+
+def paper_rules(config: Optional[TelemetryConfig] = None) -> RuleSet:
+    """R1-R3 exactly as written in the paper (Section 2.1)."""
+    config = config or TelemetryConfig()
+    bw = config.bandwidth
+    window = config.window
+    rules = RuleSet(name="paper-R1-R3")
+    # R1: forall t < T: 0 <= I_t <= BW
+    for index in range(window):
+        fine = var(fine_field(index))
+        rules.add(
+            Rule(
+                name=f"R1[{index}]",
+                formula=And(Ge(fine, 0), Le(fine, bw)),
+                kind="bound",
+                source="paper",
+                description=f"0 <= I{index} <= BW={bw}",
+            )
+        )
+    # R2: sum I_t == TotalIngress
+    rules.add(
+        Rule(
+            name="R2",
+            formula=Eq(_fine_sum(window), var("total")),
+            kind="sum",
+            source="paper",
+            description="sum_t I_t == TotalIngress",
+        )
+    )
+    # R3: Congestion > 0  =>  max_t I_t >= BW/2
+    burst = Or(*[Ge(var(fine_field(t)), bw // 2) for t in range(window)])
+    rules.add(
+        Rule(
+            name="R3",
+            formula=Implies(Ge(var("cong"), 1), burst),
+            kind="implication",
+            source="paper",
+            description="Congestion > 0 implies a burst >= BW/2",
+        )
+    )
+    return rules
+
+
+def zoom2net_manual_rules(config: Optional[TelemetryConfig] = None) -> RuleSet:
+    """The four hand-specified constraints (C4-C7) of the Zoom2Net CEM.
+
+    C4: per-tick values bounded by link bandwidth;
+    C5: window sum consistency with the coarse total;
+    C6: congestion implies a burst above half bandwidth;
+    C7: egress cannot exceed the drain capacity of the window.
+    """
+    config = config or TelemetryConfig()
+    bw = config.bandwidth
+    window = config.window
+    rules = RuleSet(name="zoom2net-C4-C7")
+    rules.add(
+        Rule(
+            name="C4",
+            formula=And(
+                *[
+                    And(Ge(var(fine_field(t)), 0), Le(var(fine_field(t)), bw))
+                    for t in range(window)
+                ]
+            ),
+            kind="bound",
+            source="manual",
+            description="all fine values within [0, BW]",
+        )
+    )
+    rules.add(
+        Rule(
+            name="C5",
+            formula=Eq(_fine_sum(window), var("total")),
+            kind="sum",
+            source="manual",
+            description="fine values sum to the coarse total",
+        )
+    )
+    rules.add(
+        Rule(
+            name="C6",
+            formula=Implies(
+                Ge(var("cong"), 1),
+                Or(*[Ge(var(fine_field(t)), bw // 2) for t in range(window)]),
+            ),
+            kind="implication",
+            source="manual",
+            description="congestion marks imply a burst",
+        )
+    )
+    rules.add(
+        Rule(
+            name="C7",
+            formula=Le(var("egr"), config.max_egress()),
+            kind="bound",
+            source="manual",
+            description=f"egress bounded by drain capacity {config.max_egress()}",
+        )
+    )
+    return rules
+
+
+def domain_bound_rules(config: Optional[TelemetryConfig] = None) -> RuleSet:
+    """Hard physical domains of every record variable."""
+    from ..data.dataset import variable_bounds
+
+    config = config or TelemetryConfig()
+    rules = RuleSet(name="domain-bounds")
+    for name, (low, high) in variable_bounds(config).items():
+        rules.add(
+            Rule(
+                name=f"dom[{name}]",
+                formula=And(Ge(var(name), low), Le(var(name), high)),
+                kind="bound",
+                source="manual",
+                description=f"{low} <= {name} <= {high}",
+            )
+        )
+    return rules

@@ -1,0 +1,293 @@
+"""NetNomos-style rule mining from training telemetry.
+
+The paper sources its rule sets (716 for imputation, 255 for synthesis) from
+NetNomos [23], which mines logic rules that hold on training data.  This
+module reproduces the rule *shapes* that pipeline emits over our telemetry
+schema:
+
+* bound rules            ``v >= lo``, ``v <= hi``
+* octagonal difference   ``u - v <= c``, ``u + v <= c`` (and lower bounds)
+* scaled-ratio rules     ``u <= a*v + b`` for small integer ``a``
+* exact identities       ``u == sum(fine)`` (detected, not assumed)
+* conditional bounds     ``a >= k  =>  v <= c`` (and >=, == 0 forms)
+* burst implications     ``a >= k  =>  max_t I_t >= m`` (Or-expansion)
+
+Every emitted rule holds on *all* training assignments by construction
+(bounds are exact extrema over the data, with optional slack widening), so
+the mined set is consistent -- precisely the property the enforcer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..smt import Eq, Ge, Implies, Le, LinExpr, Or
+from .dsl import Rule, RuleSet, var
+
+__all__ = ["MinerOptions", "mine_rules"]
+
+
+@dataclass(frozen=True)
+class MinerOptions:
+    """Which rule families to mine and how aggressively."""
+
+    bounds: bool = True
+    octagon: bool = True
+    ratios: bool = True
+    identities: bool = True
+    conditionals: bool = True
+    burst_implications: bool = True
+    ratio_coefficients: Tuple[int, ...] = (2, 3, 4)
+    threshold_quantiles: Tuple[float, ...] = (0.25, 0.5, 0.75, 0.9)
+    min_condition_support: int = 5
+    slack: int = 0  # widen every mined numeric bound by this much
+    tightness_margin: int = 1  # conditional bounds must beat global by this
+
+
+def _columns(
+    assignments: Sequence[Mapping[str, int]], variables: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    return {
+        name: np.array([a[name] for a in assignments], dtype=np.int64)
+        for name in variables
+    }
+
+
+def mine_rules(
+    assignments: Sequence[Mapping[str, int]],
+    variables: Sequence[str],
+    options: Optional[MinerOptions] = None,
+    fine_variables: Sequence[str] = (),
+    name: str = "mined",
+) -> RuleSet:
+    """Mine a rule set that holds on every training assignment.
+
+    ``fine_variables`` (a subset of ``variables``) enables the burst
+    implication family over the fine-grained series.
+    """
+    if not assignments:
+        raise ValueError("cannot mine rules from an empty dataset")
+    options = options or MinerOptions()
+    columns = _columns(assignments, variables)
+    rules = RuleSet(name=name)
+    slack = options.slack
+
+    box: Dict[str, Tuple[int, int]] = {
+        v: (int(col.min()), int(col.max())) for v, col in columns.items()
+    }
+
+    if options.bounds:
+        _mine_bounds(rules, box, slack)
+    if options.identities:
+        _mine_identities(rules, columns, variables, fine_variables)
+    if options.octagon:
+        _mine_octagon(rules, columns, variables, box, slack)
+    if options.ratios:
+        _mine_ratios(rules, columns, variables, box, slack, options)
+    if options.conditionals:
+        _mine_conditionals(rules, columns, variables, box, options)
+    if options.burst_implications and fine_variables:
+        _mine_burst_implications(rules, columns, variables, fine_variables, options)
+    return rules
+
+
+def _mine_bounds(rules: RuleSet, box, slack: int) -> None:
+    for name, (low, high) in box.items():
+        rules.add(
+            Rule(
+                f"lo[{name}]",
+                Ge(var(name), low - slack),
+                kind="bound",
+                source="mined",
+                description=f"{name} >= {low - slack}",
+            )
+        )
+        rules.add(
+            Rule(
+                f"hi[{name}]",
+                Le(var(name), high + slack),
+                kind="bound",
+                source="mined",
+                description=f"{name} <= {high + slack}",
+            )
+        )
+
+
+def _mine_identities(rules, columns, variables, fine_variables) -> None:
+    """Detect exact ``coarse == sum(fine)`` identities."""
+    if not fine_variables:
+        return
+    fine_sum = sum(columns[v] for v in fine_variables)
+    for name in variables:
+        if name in fine_variables:
+            continue
+        if np.array_equal(columns[name], fine_sum):
+            expr = LinExpr({})
+            for fine in fine_variables:
+                expr = expr + var(fine)
+            rules.add(
+                Rule(
+                    f"id[{name}=sum]",
+                    Eq(expr, var(name)),
+                    kind="sum",
+                    source="mined",
+                    description=f"{name} == sum of fine values",
+                )
+            )
+
+
+def _mine_octagon(rules, columns, variables, box, slack: int) -> None:
+    """Difference/sum bounds tighter than what the box already implies."""
+    for i, u in enumerate(variables):
+        for v in variables[i + 1 :]:
+            cu, cv = columns[u], columns[v]
+            (ulo, uhi), (vlo, vhi) = box[u], box[v]
+            pairs = (
+                ("diff", cu - cv, var(u) - var(v), uhi - vlo, ulo - vhi),
+                ("sum", cu + cv, var(u) + var(v), uhi + vhi, ulo + vlo),
+            )
+            for tag, data, expr, box_hi, box_lo in pairs:
+                hi, lo = int(data.max()), int(data.min())
+                if hi < box_hi:
+                    rules.add(
+                        Rule(
+                            f"oct[{u}{'-' if tag == 'diff' else '+'}{v}<=]",
+                            Le(expr, hi + slack),
+                            kind="octagon",
+                            source="mined",
+                            description=f"{u} {tag} {v} <= {hi + slack}",
+                        )
+                    )
+                if lo > box_lo:
+                    rules.add(
+                        Rule(
+                            f"oct[{u}{'-' if tag == 'diff' else '+'}{v}>=]",
+                            Ge(expr, lo - slack),
+                            kind="octagon",
+                            source="mined",
+                            description=f"{u} {tag} {v} >= {lo - slack}",
+                        )
+                    )
+
+
+def _mine_ratios(rules, columns, variables, box, slack: int, options) -> None:
+    """Scaled bounds ``u <= a*v + b`` that beat the box bound on u."""
+    for u in variables:
+        for v in variables:
+            if u == v:
+                continue
+            for a in options.ratio_coefficients:
+                data = columns[u] - a * columns[v]
+                b = int(data.max())
+                # Informative only if it can beat the box upper bound of u
+                # somewhere in v's observed range.
+                if a * box[v][0] + b < box[u][1]:
+                    rules.add(
+                        Rule(
+                            f"ratio[{u}<={a}{v}]",
+                            Le(var(u) - a * var(v), b + slack),
+                            kind="ratio",
+                            source="mined",
+                            description=f"{u} <= {a}*{v} + {b + slack}",
+                        )
+                    )
+
+
+def _thresholds(column: np.ndarray, quantiles) -> List[int]:
+    values = sorted(
+        {int(np.quantile(column, q, method="nearest")) for q in quantiles}
+    )
+    return values
+
+
+def _mine_conditionals(rules, columns, variables, box, options) -> None:
+    """Conditional bounds: (a >= k) => v <= c / v >= c, when tighter."""
+    margin = options.tightness_margin
+    for a in variables:
+        thresholds = _thresholds(columns[a], options.threshold_quantiles)
+        for k in thresholds:
+            mask = columns[a] >= k
+            support = int(mask.sum())
+            if support < options.min_condition_support or mask.all():
+                continue
+            antecedent = Ge(var(a), k)
+            for v in variables:
+                if v == a:
+                    continue
+                sub = columns[v][mask]
+                sub_hi, sub_lo = int(sub.max()), int(sub.min())
+                if sub_hi <= box[v][1] - margin:
+                    rules.add(
+                        Rule(
+                            f"cond[{a}>={k}:{v}<={sub_hi}]",
+                            Implies(antecedent, Le(var(v), sub_hi + options.slack)),
+                            kind="conditional",
+                            source="mined",
+                            description=f"{a} >= {k} implies {v} <= {sub_hi}",
+                        )
+                    )
+                if sub_lo >= box[v][0] + margin:
+                    rules.add(
+                        Rule(
+                            f"cond[{a}>={k}:{v}>={sub_lo}]",
+                            Implies(antecedent, Ge(var(v), sub_lo - options.slack)),
+                            kind="conditional",
+                            source="mined",
+                            description=f"{a} >= {k} implies {v} >= {sub_lo}",
+                        )
+                    )
+        # Zero-propagation form: a == 0 => v == 0 (e.g. cong=0 => retx=0).
+        zero_mask = columns[a] == 0
+        if (
+            int(zero_mask.sum()) >= options.min_condition_support
+            and not zero_mask.all()
+        ):
+            for v in variables:
+                if v == a or box[v][0] < 0:
+                    continue
+                sub = columns[v][zero_mask]
+                if sub.max() == 0 and box[v][1] > 0:
+                    rules.add(
+                        Rule(
+                            f"zero[{a}=0:{v}=0]",
+                            Implies(Le(var(a), 0), Le(var(v), 0)),
+                            kind="conditional",
+                            source="mined",
+                            description=f"{a} == 0 implies {v} == 0",
+                        )
+                    )
+
+
+def _mine_burst_implications(
+    rules, columns, variables, fine_variables, options
+) -> None:
+    """(a >= k) => max_t I_t >= m: the mined generalization of R3."""
+    fine_matrix = np.stack([columns[v] for v in fine_variables], axis=1)
+    max_fine = fine_matrix.max(axis=1)
+    global_min_max = int(max_fine.min())
+    for a in variables:
+        if a in fine_variables:
+            continue
+        for k in _thresholds(columns[a], options.threshold_quantiles):
+            if k <= 0:
+                continue
+            mask = columns[a] >= k
+            support = int(mask.sum())
+            if support < options.min_condition_support or mask.all():
+                continue
+            m = int(max_fine[mask].min())
+            if m <= global_min_max + options.tightness_margin or m <= 0:
+                continue
+            burst = Or(*[Ge(var(v), m - options.slack) for v in fine_variables])
+            rules.add(
+                Rule(
+                    f"burst[{a}>={k}:max>={m}]",
+                    Implies(Ge(var(a), k), burst),
+                    kind="implication",
+                    source="mined",
+                    description=f"{a} >= {k} implies max fine >= {m}",
+                )
+            )

@@ -1,0 +1,151 @@
+"""Polarity-aware Tseitin conversion from NNF formulas to CNF.
+
+Because the input is in negation normal form (only ``And``/``Or`` above
+atoms), every subformula occurs with positive polarity, so the encoding only
+needs the implication direction ``aux -> subformula``.  This keeps the CNF
+roughly half the size of a full biconditional Tseitin encoding while
+preserving satisfiability and models over the atom variables.
+
+Variables are positive integers; literals are signed integers in DIMACS
+style.  Atom variables carry their :class:`~repro.smt.terms.Atom` meaning in
+``CnfResult.atom_of_var`` so the theory solver can interpret SAT models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .simplify import simplify, to_nnf
+from .terms import FALSE, TRUE, And, Atom, BoolConst, Formula, Or
+
+__all__ = ["CnfResult", "CnfBuilder", "to_cnf"]
+
+
+@dataclass
+class CnfResult:
+    """CNF clauses plus the mapping between SAT variables and theory atoms."""
+
+    clauses: List[List[int]]
+    num_vars: int
+    atom_of_var: Dict[int, Atom]
+    var_of_atom: Dict[Atom, int]
+    trivially_false: bool = False
+
+
+class CnfBuilder:
+    """Incremental Tseitin encoder sharing atom variables across formulas.
+
+    The solver keeps one builder per context so that the same atom asserted in
+    several rules maps to the same SAT variable (crucial for learned-clause
+    reuse and for compact theory conflict clauses).
+    """
+
+    def __init__(self) -> None:
+        self._clauses: List[List[int]] = []
+        self._num_vars = 0
+        self._atom_of_var: Dict[int, Atom] = {}
+        self._var_of_atom: Dict[Atom, int] = {}
+        self._trivially_false = False
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def trivially_false(self) -> bool:
+        return self._trivially_false
+
+    @property
+    def atom_of_var(self) -> Dict[int, Atom]:
+        """Live (non-copied) view of the atom table; do not mutate."""
+        return self._atom_of_var
+
+    @property
+    def clauses(self) -> List[List[int]]:
+        """Live (non-copied) view of the clause list; do not mutate."""
+        return self._clauses
+
+    def fresh_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def atom_var(self, atom: Atom) -> int:
+        var = self._var_of_atom.get(atom)
+        if var is None:
+            var = self.fresh_var()
+            self._var_of_atom[atom] = var
+            self._atom_of_var[var] = atom
+        return var
+
+    def add_clause(self, literals: List[int]) -> None:
+        if not literals:
+            self._trivially_false = True
+        self._clauses.append(list(literals))
+
+    def assert_formula(self, formula: Formula) -> None:
+        """Assert ``formula`` (conjunctively with everything added so far)."""
+        nnf = simplify(to_nnf(formula))
+        if nnf == TRUE:
+            return
+        if nnf == FALSE:
+            self._trivially_false = True
+            self._clauses.append([])
+            return
+        # Top-level conjunctions assert each conjunct directly (no aux var).
+        conjuncts = nnf.args if isinstance(nnf, And) else (nnf,)
+        for conjunct in conjuncts:
+            literal = self._encode(conjunct)
+            self.add_clause([literal])
+
+    def _encode(self, node: Formula) -> int:
+        """Return a literal equivalent (in the positive direction) to node."""
+        if isinstance(node, Atom):
+            return self.atom_var(node)
+        if isinstance(node, BoolConst):
+            # Encode constants with a fresh constrained variable.
+            var = self.fresh_var()
+            self.add_clause([var] if node.value else [-var])
+            return var
+        if isinstance(node, Or):
+            literals = [self._encode(arg) for arg in node.args]
+            aux = self.fresh_var()
+            self.add_clause([-aux] + literals)  # aux -> (l1 | ... | ln)
+            return aux
+        if isinstance(node, And):
+            literals = [self._encode(arg) for arg in node.args]
+            aux = self.fresh_var()
+            for literal in literals:  # aux -> li
+                self.add_clause([-aux, literal])
+            return aux
+        raise TypeError(f"unexpected node in NNF: {node!r}")
+
+    def snapshot(self) -> CnfResult:
+        return CnfResult(
+            clauses=[list(c) for c in self._clauses],
+            num_vars=self._num_vars,
+            atom_of_var=dict(self._atom_of_var),
+            var_of_atom=dict(self._var_of_atom),
+            trivially_false=self._trivially_false,
+        )
+
+    def mark(self) -> Tuple[int, int]:
+        """Opaque position marker for push/pop (clause count, var count)."""
+        return (len(self._clauses), self._num_vars)
+
+    def rollback(self, mark: Tuple[int, int]) -> None:
+        clause_count, var_count = mark
+        del self._clauses[clause_count:]
+        for var in range(var_count + 1, self._num_vars + 1):
+            atom = self._atom_of_var.pop(var, None)
+            if atom is not None:
+                self._var_of_atom.pop(atom, None)
+        self._num_vars = var_count
+        self._trivially_false = any(not c for c in self._clauses)
+
+
+def to_cnf(formula: Formula) -> CnfResult:
+    """One-shot CNF conversion of a single formula."""
+    builder = CnfBuilder()
+    builder.assert_formula(formula)
+    return builder.snapshot()

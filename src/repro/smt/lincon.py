@@ -1,0 +1,117 @@
+"""Ground linear constraints -- the exchange format between SMT layers.
+
+A :class:`LinCon` is a fully-instantiated linear constraint
+``sum(coeffs[v] * v) + const  (op)  0`` with ``op`` one of ``<=``, ``==`` or
+``!=``.  The DPLL(T) loop lowers SAT-model atom assignments into these, the
+interval propagator prunes over them, and the LIA checker decides them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from .terms import Atom
+
+__all__ = ["LinCon", "constraint_from_atom"]
+
+
+@dataclass(frozen=True)
+class LinCon:
+    """``sum(coeffs[v]*v) + const (op) 0`` over integer variables."""
+
+    items: Tuple[Tuple[str, int], ...]
+    const: int
+    op: str  # "<=", "==", "!="
+    tag: Hashable = None
+
+    @staticmethod
+    def make(
+        coeffs: Mapping[str, int], const: int, op: str, tag: Hashable = None
+    ) -> "LinCon":
+        if op not in ("<=", "==", "!="):
+            raise ValueError(f"bad op {op!r}")
+        items = tuple(sorted((v, int(c)) for v, c in coeffs.items() if c != 0))
+        return LinCon(items, int(const), op, tag)
+
+    @property
+    def coeffs(self) -> Dict[str, int]:
+        return dict(self.items)
+
+    def is_ground(self) -> bool:
+        return not self.items
+
+    def ground_truth(self) -> bool:
+        """Truth value when the constraint has no variables."""
+        if self.op == "<=":
+            return self.const <= 0
+        if self.op == "==":
+            return self.const == 0
+        return self.const != 0
+
+    def holds(self, assignment: Mapping[str, int]) -> bool:
+        total = self.const + sum(c * assignment[v] for v, c in self.items)
+        if self.op == "<=":
+            return total <= 0
+        if self.op == "==":
+            return total == 0
+        return total != 0
+
+    def normalized(self) -> Optional["LinCon"]:
+        """GCD-tighten; returns None when trivially true, or a ground-false
+        marker constraint (no vars, const=1, op="<=" is false) when unsat."""
+        if self.is_ground():
+            return None if self.ground_truth() else _GROUND_FALSE._replace_tag(self.tag)
+        g = 0
+        for _, c in self.items:
+            g = gcd(g, abs(c))
+        if g <= 1:
+            return self
+        items = tuple((v, c // g) for v, c in self.items)
+        if self.op == "<=":
+            # sum(g*c'v) + k <= 0  <=>  sum(c'v) <= floor(-k/g)
+            const = -((-self.const) // g)
+            return LinCon(items, const, "<=", self.tag)
+        if self.op == "==":
+            if self.const % g != 0:
+                return _GROUND_FALSE._replace_tag(self.tag)
+            return LinCon(items, self.const // g, "==", self.tag)
+        # "!=": scaling is only sound when g divides const; otherwise the
+        # disequality is trivially true.
+        if self.const % g != 0:
+            return None
+        return LinCon(items, self.const // g, "!=", self.tag)
+
+    def _replace_tag(self, tag: Hashable) -> "LinCon":
+        return LinCon(self.items, self.const, self.op, tag)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            (name if c == 1 else f"-{name}" if c == -1 else f"{c}*{name}")
+            for name, c in self.items
+        )
+        if self.const or not terms:
+            terms = f"{terms} + {self.const}" if terms else str(self.const)
+        return f"({terms} {self.op} 0)"
+
+
+_GROUND_FALSE = LinCon((), 1, "<=", None)
+
+
+def constraint_from_atom(atom: Atom, truth: bool, tag: Hashable = None) -> LinCon:
+    """Lower a canonical atom with an assigned truth value to a LinCon.
+
+    ``e <= 0`` false becomes ``-e + 1 <= 0``; ``e == 0`` false becomes the
+    disequality ``e != 0`` (decided by splitting in the LIA layer).
+    """
+    coeffs = atom.expr.coeffs
+    const = atom.expr.const
+    if atom.op == "<=":
+        if truth:
+            return LinCon.make(coeffs, const, "<=", tag)
+        neg = {v: -c for v, c in coeffs.items()}
+        return LinCon.make(neg, -const + 1, "<=", tag)
+    if truth:
+        return LinCon.make(coeffs, const, "==", tag)
+    return LinCon.make(coeffs, const, "!=", tag)

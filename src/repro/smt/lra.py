@@ -1,0 +1,259 @@
+"""General simplex for linear rational arithmetic (Dutertre-de Moura style).
+
+This is the theory engine underneath the LIA solver: variables carry optional
+lower/upper bounds, and each distinct linear form is introduced as a *slack*
+variable defined by a tableau row.  Asserting an atom then reduces to
+asserting a bound on one variable.  ``check`` pivots (Bland's rule, so it
+terminates) until every basic variable respects its bounds, or returns an
+infeasibility *explanation*: the set of asserted bound tags that conflict.
+
+All arithmetic is exact (:class:`fractions.Fraction`), so the solver is never
+defeated by floating-point noise -- a hard requirement when the DPLL(T) loop
+trusts theory verdicts unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple
+
+__all__ = ["Bound", "LraResult", "Simplex"]
+
+Tag = Hashable
+
+
+@dataclass
+class Bound:
+    """A numeric bound with the tag of the assertion that introduced it."""
+
+    value: Fraction
+    tag: Tag
+
+
+@dataclass
+class LraResult:
+    feasible: bool
+    model: Optional[Dict[str, Fraction]] = None
+    conflict: Optional[Set[Tag]] = None  # tags of a conflicting bound set
+
+
+class Simplex:
+    """Incremental bound assertion + feasibility checking over QF_LRA."""
+
+    def __init__(self) -> None:
+        self._vars: List[str] = []
+        self._index: Dict[str, int] = {}
+        # Tableau: basic var -> {nonbasic var: coefficient}.  Every variable
+        # is either basic (owns a row) or nonbasic.
+        self._rows: Dict[str, Dict[str, Fraction]] = {}
+        self._basic: Set[str] = set()
+        self._lower: Dict[str, Bound] = {}
+        self._upper: Dict[str, Bound] = {}
+        self._value: Dict[str, Fraction] = {}
+        self._slack_of_form: Dict[Tuple[Tuple[str, int], ...], str] = {}
+        self._slack_count = 0
+
+    # -- construction --------------------------------------------------------
+
+    def add_var(self, name: str) -> None:
+        if name in self._index:
+            return
+        self._index[name] = len(self._vars)
+        self._vars.append(name)
+        self._value[name] = Fraction(0)
+
+    def slack_for(self, coeffs: Mapping[str, int]) -> str:
+        """Variable representing ``sum(coeffs[v] * v)``, creating it if new.
+
+        The caller must pass a *normalized* coefficient mapping (no zeros).
+        A fresh slack variable becomes basic with the defining row.
+        """
+        key = tuple(sorted(coeffs.items()))
+        if not key:
+            raise ValueError("empty linear form has no slack variable")
+        if len(key) == 1 and key[0][1] == 1:
+            name = key[0][0]
+            self.add_var(name)
+            return name
+        existing = self._slack_of_form.get(key)
+        if existing is not None:
+            return existing
+        self._slack_count += 1
+        slack = f"__s{self._slack_count}"
+        self.add_var(slack)
+        row: Dict[str, Fraction] = {}
+        for var, coeff in key:
+            self.add_var(var)
+            if var in self._basic:
+                for nb_var, nb_coeff in self._rows[var].items():
+                    row[nb_var] = row.get(nb_var, Fraction(0)) + coeff * nb_coeff
+            else:
+                row[var] = row.get(var, Fraction(0)) + Fraction(coeff)
+        self._rows[slack] = {v: c for v, c in row.items() if c != 0}
+        self._basic.add(slack)
+        self._value[slack] = self._row_value(slack)
+        self._slack_of_form[key] = slack
+        return slack
+
+    # -- bound assertion -----------------------------------------------------
+
+    def assert_upper(self, var: str, value: Fraction, tag: Tag) -> Optional[Set[Tag]]:
+        """Assert ``var <= value``; returns a conflict tag set if trivially
+        inconsistent with the current lower bound, else None."""
+        self.add_var(var)
+        current = self._upper.get(var)
+        if current is not None and current.value <= value:
+            return None
+        lower = self._lower.get(var)
+        if lower is not None and lower.value > value:
+            return {lower.tag, tag}
+        self._upper[var] = Bound(value, tag)
+        if var not in self._basic and self._value[var] > value:
+            self._update_nonbasic(var, value)
+        return None
+
+    def assert_lower(self, var: str, value: Fraction, tag: Tag) -> Optional[Set[Tag]]:
+        self.add_var(var)
+        current = self._lower.get(var)
+        if current is not None and current.value >= value:
+            return None
+        upper = self._upper.get(var)
+        if upper is not None and upper.value < value:
+            return {upper.tag, tag}
+        self._lower[var] = Bound(value, tag)
+        if var not in self._basic and self._value[var] < value:
+            self._update_nonbasic(var, value)
+        return None
+
+    def bounds(self, var: str) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+        lower = self._lower.get(var)
+        upper = self._upper.get(var)
+        return (lower.value if lower else None, upper.value if upper else None)
+
+    # -- feasibility ---------------------------------------------------------
+
+    def check(self) -> LraResult:
+        """Pivot until all basic variables are within bounds (Bland's rule)."""
+        while True:
+            violated = self._find_violated_basic()
+            if violated is None:
+                return LraResult(feasible=True, model=dict(self._value))
+            basic, need_increase = violated
+            entering = self._find_entering(basic, need_increase)
+            if entering is None:
+                return LraResult(feasible=False, conflict=self._explain(basic, need_increase))
+            target = (
+                self._lower[basic].value if need_increase else self._upper[basic].value
+            )
+            self._pivot_and_update(basic, entering, target)
+
+    def model(self) -> Dict[str, Fraction]:
+        return dict(self._value)
+
+    # -- internals -----------------------------------------------------------
+
+    def _row_value(self, basic: str) -> Fraction:
+        return sum(
+            (coeff * self._value[var] for var, coeff in self._rows[basic].items()),
+            Fraction(0),
+        )
+
+    def _find_violated_basic(self) -> Optional[Tuple[str, bool]]:
+        # Bland's rule: smallest variable index first.
+        best: Optional[Tuple[str, bool]] = None
+        best_index = None
+        for basic in self._basic:
+            value = self._value[basic]
+            lower = self._lower.get(basic)
+            upper = self._upper.get(basic)
+            if lower is not None and value < lower.value:
+                candidate = (basic, True)
+            elif upper is not None and value > upper.value:
+                candidate = (basic, False)
+            else:
+                continue
+            idx = self._index[basic]
+            if best_index is None or idx < best_index:
+                best, best_index = candidate, idx
+        return best
+
+    def _find_entering(self, basic: str, need_increase: bool) -> Optional[str]:
+        row = self._rows[basic]
+        best: Optional[str] = None
+        best_index = None
+        for var, coeff in row.items():
+            if need_increase:
+                # Increasing the basic value: raise var if coeff > 0 (allowed
+                # if var below its upper bound) or lower var if coeff < 0.
+                can_move = (
+                    coeff > 0 and self._below_upper(var)
+                ) or (coeff < 0 and self._above_lower(var))
+            else:
+                can_move = (
+                    coeff > 0 and self._above_lower(var)
+                ) or (coeff < 0 and self._below_upper(var))
+            if can_move:
+                idx = self._index[var]
+                if best_index is None or idx < best_index:
+                    best, best_index = var, idx
+        return best
+
+    def _below_upper(self, var: str) -> bool:
+        upper = self._upper.get(var)
+        return upper is None or self._value[var] < upper.value
+
+    def _above_lower(self, var: str) -> bool:
+        lower = self._lower.get(var)
+        return lower is None or self._value[var] > lower.value
+
+    def _explain(self, basic: str, need_increase: bool) -> Set[Tag]:
+        """Conflict explanation when no entering variable exists."""
+        tags: Set[Tag] = set()
+        own = self._lower[basic] if need_increase else self._upper[basic]
+        tags.add(own.tag)
+        for var, coeff in self._rows[basic].items():
+            if need_increase:
+                bound = self._upper.get(var) if coeff > 0 else self._lower.get(var)
+            else:
+                bound = self._lower.get(var) if coeff > 0 else self._upper.get(var)
+            if bound is not None:
+                tags.add(bound.tag)
+        tags.discard(None)
+        return tags
+
+    def _update_nonbasic(self, var: str, value: Fraction) -> None:
+        delta = value - self._value[var]
+        self._value[var] = value
+        for basic in self._basic:
+            coeff = self._rows[basic].get(var)
+            if coeff:
+                self._value[basic] += coeff * delta
+
+    def _pivot_and_update(self, leaving: str, entering: str, target: Fraction) -> None:
+        """Make ``entering`` basic in place of ``leaving``; set leaving=target."""
+        row = self._rows.pop(leaving)
+        self._basic.discard(leaving)
+        pivot_coeff = row[entering]
+        # leaving = sum(row) => entering = (leaving - sum(row \ entering)) / c
+        new_row: Dict[str, Fraction] = {leaving: Fraction(1) / pivot_coeff}
+        for var, coeff in row.items():
+            if var != entering:
+                new_row[var] = -coeff / pivot_coeff
+        # Substitute into all other rows referencing `entering`.
+        for basic in self._basic:
+            other = self._rows[basic]
+            coeff = other.pop(entering, None)
+            if coeff:
+                for var, sub_coeff in new_row.items():
+                    other[var] = other.get(var, Fraction(0)) + coeff * sub_coeff
+                self._rows[basic] = {v: c for v, c in other.items() if c != 0}
+        self._rows[entering] = {v: c for v, c in new_row.items() if c != 0}
+        self._basic.add(entering)
+        # Update values: leaving moves to target, entering absorbs the delta.
+        delta = target - self._value[leaving]
+        self._value[leaving] = target
+        self._value[entering] += delta / pivot_coeff
+        for basic in self._basic:
+            if basic != entering:
+                self._value[basic] = self._row_value(basic)

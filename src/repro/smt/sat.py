@@ -1,0 +1,388 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+Minisat-style architecture: two-watched-literal propagation, first-UIP
+conflict analysis with clause learning, exponential VSIDS activities, phase
+saving, and Luby restarts.  Supports incremental use: clauses can be added
+between calls and ``solve`` accepts assumption literals (used by the DPLL(T)
+layer for push/pop reasoning without rebuilding the instance).
+
+Variables are positive integers 1..n; literals are signed integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SatSolver", "SatResult"]
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SatResult:
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None  # var -> value (only when SAT)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    x = i - 1  # 0-based position
+    size, level = 1, 0
+    while size < x + 1:
+        level += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        level -= 1
+        x %= size
+    return 1 << level
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SatSolver:
+    """Incremental CDCL solver over integer literals."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._assign: List[int] = [_UNASSIGNED]  # index 0 unused
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._phase: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._unsat = False  # set when an empty clause is added
+        self._conflicts_total = 0
+        self._decisions_total = 0
+        self._propagations_total = 0
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self._num_vars < n:
+            self._num_vars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._phase.append(False)
+            self._activity.append(0.0)
+            self._watches.setdefault(self._num_vars, [])
+            self._watches.setdefault(-self._num_vars, [])
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a clause at decision level 0."""
+        self._backtrack(0)
+        seen = set()
+        simplified: List[int] = []
+        for lit in literals:
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            self.ensure_vars(abs(lit))
+            value = self._lit_value(lit)
+            if value == _TRUE and self._level[abs(lit)] == 0:
+                return  # already satisfied forever
+            if value == _FALSE and self._level[abs(lit)] == 0:
+                continue  # literal is dead
+            simplified.append(lit)
+        if not simplified:
+            self._unsat = True
+            return
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        self._attach(_Clause(simplified))
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Search for a model extending ``assumptions``.
+
+        The solver state (learned clauses, activities, phases) persists across
+        calls; the trail is reset to level 0 on entry and exit.
+        """
+        self._backtrack(0)
+        if self._unsat or self._propagate() is not None:
+            return self._result(False)
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        restarts = 0
+        conflicts_since_restart = 0
+        limit = _luby(1) * 64
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts_total += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    return self._result(False)
+                learned, backtrack_level = self._analyze(conflict)
+                # Never backtrack past the assumption levels' prefix blindly;
+                # _analyze already returns a level >= 0, and assumptions are
+                # re-established below after any backtrack.
+                self._backtrack(backtrack_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return self._result(False)
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._attach(clause)
+                    self._learned.append(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay_activities()
+                continue
+            if conflicts_since_restart >= limit:
+                restarts += 1
+                conflicts_since_restart = 0
+                limit = _luby(restarts + 1) * 64
+                self._backtrack(0)
+                self._reduce_learned()
+                continue
+            # Re-establish any assumption not yet satisfied.
+            next_assumption = None
+            for lit in assumptions:
+                value = self._lit_value(lit)
+                if value == _FALSE:
+                    return self._result(False)
+                if value == _UNASSIGNED:
+                    next_assumption = lit
+                    break
+            if next_assumption is not None:
+                self._decide(next_assumption)
+                continue
+            decision = self._pick_branch()
+            if decision == 0:
+                model = {
+                    v: self._assign[v] == _TRUE for v in range(1, self._num_vars + 1)
+                }
+                self._backtrack(0)
+                return self._result(True, model)
+            self._decide(decision)
+
+    # -- internals -----------------------------------------------------------
+
+    def _result(self, sat: bool, model: Optional[Dict[int, bool]] = None) -> SatResult:
+        return SatResult(
+            satisfiable=sat,
+            model=model,
+            conflicts=self._conflicts_total,
+            decisions=self._decisions_total,
+            propagations=self._propagations_total,
+        )
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _decide(self, lit: int) -> None:
+        self._decisions_total += 1
+        self._trail_lim.append(len(self._trail))
+        self._enqueue(lit, None)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(lit)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = abs(lit)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self._propagations_total += 1
+            false_lit = -lit
+            watchers = self._watches[false_lit]
+            kept: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            for idx, clause in enumerate(watchers):
+                lits = clause.literals
+                # Ensure the false literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == _TRUE:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    kept.extend(watchers[idx + 1 :])
+                    break
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                self._queue_head = len(self._trail)
+                return conflict
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        """First-UIP conflict analysis; returns (learned clause, bt level)."""
+        learned: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        prop_lit = 0  # the literal whose reason clause is being expanded
+        index = len(self._trail) - 1
+        reason: Optional[_Clause] = conflict
+        current_level = self._decision_level()
+        while True:
+            assert reason is not None
+            if reason.learned:
+                self._bump_clause(reason)
+            for clause_lit in reason.literals:
+                if clause_lit == prop_lit:
+                    continue
+                var = abs(clause_lit)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(clause_lit)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            prop_lit = self._trail[index]
+            var = abs(prop_lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter <= 0:
+                break
+            reason = self._reason[var]
+        learned[0] = -prop_lit
+        # Clause minimization: drop literals implied by the rest.
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Find the second-highest level to backtrack to.
+        max_idx = 1
+        for k in range(2, len(learned)):
+            if self._level[abs(learned[k])] > self._level[abs(learned[max_idx])]:
+                max_idx = k
+        learned[1], learned[max_idx] = learned[max_idx], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        marked = set(abs(l) for l in learned)
+        result = [learned[0]]
+        for lit in learned[1:]:
+            reason = self._reason[abs(lit)]
+            if reason is None:
+                result.append(lit)
+                continue
+            redundant = all(
+                abs(other) in marked or self._level[abs(other)] == 0
+                for other in reason.literals
+                if other != -lit
+            )
+            if not redundant:
+                result.append(lit)
+        return result
+
+    def _backtrack(self, level: int) -> None:
+        while self._trail_lim and len(self._trail_lim) > level:
+            boundary = self._trail_lim.pop()
+            while len(self._trail) > boundary:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._assign[var] = _UNASSIGNED
+                self._reason[var] = None
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.literals[0]].append(clause)
+        self._watches[clause.literals[1]].append(clause)
+        if not clause.learned:
+            self._clauses.append(clause)
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var == 0:
+            return 0
+        return best_var if self._phase[best_var] else -best_var
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= 0.999
+
+    def _reduce_learned(self) -> None:
+        """Drop the least active half of long learned clauses."""
+        if len(self._learned) < 2000:
+            return
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        dropped = set(id(c) for c in self._learned[:keep_from] if len(c.literals) > 2)
+        if not dropped:
+            return
+        self._learned = [c for c in self._learned if id(c) not in dropped]
+        for lit in list(self._watches):
+            self._watches[lit] = [
+                c for c in self._watches[lit] if id(c) not in dropped
+            ]

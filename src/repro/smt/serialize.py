@@ -1,0 +1,95 @@
+"""JSON-able serialization of formulas and linear expressions.
+
+Rule sets are operator-maintained artifacts ("JIT logic plug-ins"); being
+able to store, diff and version them as plain JSON is what makes swapping
+rule sets across tasks practical.  The format is a small typed tree::
+
+    {"op": "and", "args": [...]}
+    {"op": "<=", "coeffs": {"I0": 1}, "const": -60}    # I0 - 60 <= 0
+    {"op": "==", "coeffs": {...}, "const": k}
+    {"op": "not" | "or" | "implies" | "iff", ...}
+    {"op": "true"} / {"op": "false"}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .terms import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    BoolConst,
+    Formula,
+    Iff,
+    Implies,
+    LinExpr,
+    Not,
+    Or,
+)
+
+__all__ = ["formula_to_dict", "formula_from_dict"]
+
+
+def formula_to_dict(formula: Formula) -> Dict[str, Any]:
+    """Serialize a formula to a JSON-able dictionary."""
+    if isinstance(formula, BoolConst):
+        return {"op": "true" if formula.value else "false"}
+    if isinstance(formula, Atom):
+        return {
+            "op": formula.op,
+            "coeffs": dict(formula.expr.coeffs),
+            "const": formula.expr.const,
+        }
+    if isinstance(formula, Not):
+        return {"op": "not", "args": [formula_to_dict(formula.arg)]}
+    if isinstance(formula, And):
+        return {"op": "and", "args": [formula_to_dict(a) for a in formula.args]}
+    if isinstance(formula, Or):
+        return {"op": "or", "args": [formula_to_dict(a) for a in formula.args]}
+    if isinstance(formula, Implies):
+        return {
+            "op": "implies",
+            "args": [formula_to_dict(formula.lhs), formula_to_dict(formula.rhs)],
+        }
+    if isinstance(formula, Iff):
+        return {
+            "op": "iff",
+            "args": [formula_to_dict(formula.lhs), formula_to_dict(formula.rhs)],
+        }
+    raise TypeError(f"cannot serialize formula node {formula!r}")
+
+
+def formula_from_dict(data: Dict[str, Any]) -> Formula:
+    """Inverse of :func:`formula_to_dict` (validates as it parses)."""
+    if not isinstance(data, dict) or "op" not in data:
+        raise ValueError(f"not a serialized formula: {data!r}")
+    op = data["op"]
+    if op == "true":
+        return TRUE
+    if op == "false":
+        return FALSE
+    if op in ("<=", "=="):
+        coeffs = data.get("coeffs", {})
+        if not isinstance(coeffs, dict):
+            raise ValueError("coeffs must be a mapping")
+        expr = LinExpr(
+            {str(k): int(v) for k, v in coeffs.items()}, int(data.get("const", 0))
+        )
+        return Atom(expr, op)
+    args = data.get("args", [])
+    if op == "not":
+        if len(args) != 1:
+            raise ValueError("'not' takes exactly one argument")
+        return Not(formula_from_dict(args[0]))
+    if op == "and":
+        return And(*[formula_from_dict(a) for a in args])
+    if op == "or":
+        return Or(*[formula_from_dict(a) for a in args])
+    if op in ("implies", "iff"):
+        if len(args) != 2:
+            raise ValueError(f"'{op}' takes exactly two arguments")
+        lhs, rhs = (formula_from_dict(a) for a in args)
+        return Implies(lhs, rhs) if op == "implies" else Iff(lhs, rhs)
+    raise ValueError(f"unknown formula op {op!r}")

@@ -1,0 +1,152 @@
+"""Formula normalization: simplification and negation normal form.
+
+The CNF converter and the interval propagator both want formulas where
+negation appears only on atoms -- and negated canonical atoms can be rewritten
+into positive atoms over the integers (``not (e <= 0)  <=>  -e + 1 <= 0``),
+so NNF output here contains *no* negation at all except around equalities,
+which expand into disjunctions.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    BoolConst,
+    Formula,
+    Iff,
+    Implies,
+    LinExpr,
+    Not,
+    Or,
+)
+
+__all__ = ["to_nnf", "simplify", "negate_atom", "substitute"]
+
+
+def substitute_expr(expr: LinExpr, assignment) -> LinExpr:
+    """Replace variables with concrete integer values where known."""
+    coeffs = {}
+    const = expr.const
+    for name, coeff in expr.coeffs.items():
+        if name in assignment:
+            const += coeff * int(assignment[name])
+        else:
+            coeffs[name] = coeff
+    return LinExpr(coeffs, const)
+
+
+def substitute(formula: Formula, assignment) -> Formula:
+    """Substitute fixed variable values into a formula (no simplification).
+
+    Combine with :func:`simplify` to fold the resulting ground atoms.
+    """
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(substitute_expr(formula.expr, assignment), formula.op)
+    if isinstance(formula, Not):
+        return Not(substitute(formula.arg, assignment))
+    if isinstance(formula, And):
+        return And(*[substitute(arg, assignment) for arg in formula.args])
+    if isinstance(formula, Or):
+        return Or(*[substitute(arg, assignment) for arg in formula.args])
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.lhs, assignment), substitute(formula.rhs, assignment)
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            substitute(formula.lhs, assignment), substitute(formula.rhs, assignment)
+        )
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def negate_atom(atom: Atom) -> Formula:
+    """Negate a canonical atom, staying within positive atoms.
+
+    ``not (e <= 0)``  is ``e >= 1`` i.e. ``-e + 1 <= 0`` (integer domain).
+    ``not (e == 0)``  is ``e <= -1  or  e >= 1``.
+    """
+    if atom.op == "<=":
+        return Atom(-atom.expr + 1, "<=")
+    return Or(Atom(atom.expr + 1, "<="), Atom(-atom.expr + 1, "<="))
+
+
+def to_nnf(formula: Formula, negated: bool = False) -> Formula:
+    """Convert to negation normal form with only ``And``/``Or``/atoms.
+
+    Equality atoms survive un-negated (they are useful to theory solvers);
+    negated equalities expand into a disjunction of strict inequalities.
+    """
+    if isinstance(formula, BoolConst):
+        return BoolConst(formula.value != negated)
+    if isinstance(formula, Atom):
+        return negate_atom(formula) if negated else formula
+    if isinstance(formula, Not):
+        return to_nnf(formula.arg, not negated)
+    if isinstance(formula, And):
+        parts = [to_nnf(arg, negated) for arg in formula.args]
+        return Or(*parts) if negated else And(*parts)
+    if isinstance(formula, Or):
+        parts = [to_nnf(arg, negated) for arg in formula.args]
+        return And(*parts) if negated else Or(*parts)
+    if isinstance(formula, Implies):
+        return to_nnf(Or(Not(formula.lhs), formula.rhs), negated)
+    if isinstance(formula, Iff):
+        expanded = And(
+            Or(Not(formula.lhs), formula.rhs),
+            Or(Not(formula.rhs), formula.lhs),
+        )
+        return to_nnf(expanded, negated)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up simplification of an NNF formula.
+
+    Folds boolean constants, flattens nested conjunctions/disjunctions,
+    deduplicates siblings, and detects trivially-ground atoms.
+    """
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Atom):
+        if formula.expr.is_constant():
+            value = formula.expr.const
+            holds = value <= 0 if formula.op == "<=" else value == 0
+            return TRUE if holds else FALSE
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.arg)
+        if isinstance(inner, BoolConst):
+            return BoolConst(not inner.value)
+        return Not(inner)
+    if isinstance(formula, (And, Or)):
+        is_and = isinstance(formula, And)
+        absorbing = FALSE if is_and else TRUE
+        neutral = TRUE if is_and else FALSE
+        seen = {}
+        for arg in formula.args:
+            arg = simplify(arg)
+            if arg == absorbing:
+                return absorbing
+            if arg == neutral:
+                continue
+            if type(arg) is type(formula):
+                for sub in arg.args:  # flatten same-type children
+                    seen.setdefault(sub, None)
+            else:
+                seen.setdefault(arg, None)
+        if not seen:
+            return neutral
+        parts = tuple(seen)
+        if len(parts) == 1:
+            return parts[0]
+        return And(*parts) if is_and else Or(*parts)
+    if isinstance(formula, Implies):
+        return simplify(Or(Not(formula.lhs), formula.rhs))
+    if isinstance(formula, Iff):
+        return simplify(to_nnf(formula))
+    raise TypeError(f"unknown formula node: {formula!r}")

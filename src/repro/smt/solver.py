@@ -1,0 +1,260 @@
+"""DPLL(T) solver for QF_LIA formulas, with push/pop and optimization.
+
+Architecture (lazy SMT):
+
+* Formulas are Tseitin-encoded once into an incremental CDCL SAT core.
+* Each SAT model induces a truth assignment over arithmetic atoms; the
+  assignment is lowered to ground linear constraints and decided by the
+  branch-and-bound LIA checker.
+* Theory conflicts come back as *cores* (sets of SAT literals) and are added
+  permanently as blocking clauses -- they are valid lemmas, so they survive
+  ``pop`` and accelerate later queries, which matters a lot for LeJIT's
+  per-token query pattern.
+* ``push``/``pop`` use selector literals: clauses asserted inside a level
+  carry the negated selector and the selector is assumed during ``solve``.
+
+Optimization (``minimize``/``maximize``) runs exponential bracketing followed
+by binary search, each probe being an incremental ``check`` under a pushed
+bound -- the workhorse behind LeJIT's feasible-range queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cnf import CnfBuilder
+from .lia import check_lia
+from .lincon import LinCon, constraint_from_atom
+from .sat import SatSolver
+from .simplify import simplify, to_nnf
+from .terms import FALSE, TRUE, Formula, Le, LinExpr
+
+__all__ = ["Solver", "CheckResult", "UNBOUNDED"]
+
+UNBOUNDED = None  # sentinel returned by minimize/maximize
+
+_MAX_THEORY_ROUNDS = 100_000
+_MAX_BRACKET_STEPS = 70  # 2**70 > any value representable in our domains
+
+
+@dataclass
+class CheckResult:
+    satisfiable: bool
+    model: Optional[Dict[str, int]] = None
+    theory_rounds: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def value(self, expr: LinExpr) -> int:
+        if self.model is None:
+            raise ValueError("no model available (unsat or not checked)")
+        return expr.evaluate(_DefaultZero(self.model))
+
+
+class _DefaultZero(dict):
+    def __missing__(self, key: str) -> int:
+        return 0
+
+
+class Solver:
+    """Incremental QF_LIA solver (the z3 stand-in used throughout LeJIT)."""
+
+    def __init__(self) -> None:
+        self._builder = CnfBuilder()
+        self._sat = SatSolver()
+        self._emitted_clauses = 0  # builder clauses already sent to SAT
+        self._selectors: List[int] = []  # one per open push level
+        self._level_formulas: List[List[Formula]] = [[]]
+        # Atom SAT-variables referenced by each open level's assertions.
+        # Only *live* atoms (union over open levels) are lowered to the
+        # theory solver -- atoms left behind by popped probes are ignored,
+        # which keeps per-check theory work proportional to the live
+        # instance instead of the solver's whole history.
+        self._level_atom_vars: List[Set[int]] = [set()]
+        self._base_false = False  # a ground-false formula asserted at level 0
+        self.stats_theory_rounds = 0
+        self.stats_checks = 0
+
+    # -- assertions ----------------------------------------------------------
+
+    def add(self, formula: Formula) -> None:
+        """Assert a formula at the current scope level."""
+        self._level_formulas[-1].append(formula)
+        selector = self._selectors[-1] if self._selectors else None
+        normalized = simplify(to_nnf(formula))
+        if normalized == TRUE:
+            return
+        if normalized == FALSE:
+            # Keep falsity scoped: inside a push level it must vanish on pop.
+            if selector is not None:
+                self._sat.add_clause([-selector])
+            else:
+                self._base_false = True
+            return
+        self._builder.assert_formula(normalized)
+        for atom in normalized.atoms():
+            self._level_atom_vars[-1].add(self._builder.atom_var(atom))
+        self._flush_clauses(selector)
+
+    def push(self) -> None:
+        self._builder.fresh_var()
+        selector = self._builder.num_vars
+        self._sat.ensure_vars(selector)
+        self._selectors.append(selector)
+        self._level_formulas.append([])
+        self._level_atom_vars.append(set())
+        self._emitted_clauses = len(self._builder.clauses)
+
+    def pop(self) -> None:
+        if not self._selectors:
+            raise RuntimeError("pop without matching push")
+        selector = self._selectors.pop()
+        self._level_formulas.pop()
+        self._level_atom_vars.pop()
+        # Permanently disable the level's clauses so the SAT core can
+        # simplify them away.
+        self._sat.add_clause([-selector])
+
+    @property
+    def assertions(self) -> List[Formula]:
+        return [f for level in self._level_formulas for f in level]
+
+    # -- solving -------------------------------------------------------------
+
+    def check(self) -> CheckResult:
+        """Decide satisfiability of the current assertion stack."""
+        self.stats_checks += 1
+        if self._base_false or self._builder.trivially_false:
+            return CheckResult(False)
+        assumptions = list(self._selectors)
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > _MAX_THEORY_ROUNDS:
+                raise RuntimeError("theory-round limit exceeded")
+            sat_result = self._sat.solve(assumptions)
+            if not sat_result.satisfiable:
+                self.stats_theory_rounds += rounds
+                return CheckResult(False, theory_rounds=rounds)
+            assert sat_result.model is not None
+            constraints, literals = self._lower_model(sat_result.model)
+            lia = check_lia(constraints)
+            if lia.satisfiable:
+                self.stats_theory_rounds += rounds
+                model = _DefaultZero(lia.model or {})
+                return CheckResult(True, model=dict(model), theory_rounds=rounds)
+            core = lia.core or set()
+            if not core:
+                # Empty core would make the lemma the empty clause; fall back
+                # to blocking the full atom assignment.
+                core = set(literals)
+            self._sat.add_clause([-lit for lit in core])
+
+    def _lower_model(
+        self, model: Dict[int, bool]
+    ) -> Tuple[List[LinCon], List[int]]:
+        atom_table = self._builder.atom_of_var
+        live: Set[int] = set()
+        for level in self._level_atom_vars:
+            live |= level
+        constraints: List[LinCon] = []
+        literals: List[int] = []
+        for var in live:
+            atom = atom_table[var]
+            truth = model.get(var, False)
+            literal = var if truth else -var
+            constraints.append(constraint_from_atom(atom, truth, tag=literal))
+            literals.append(literal)
+        return constraints, literals
+
+    def _flush_clauses(self, selector: Optional[int]) -> None:
+        clauses = self._builder.clauses
+        self._sat.ensure_vars(self._builder.num_vars)
+        for clause in clauses[self._emitted_clauses :]:
+            if selector is not None:
+                self._sat.add_clause(clause + [-selector])
+            else:
+                self._sat.add_clause(clause)
+        self._emitted_clauses = len(clauses)
+
+    # -- optimization --------------------------------------------------------
+
+    def minimize(self, expr: LinExpr) -> Optional[int]:
+        """Smallest value of ``expr`` over all models; None if unbounded
+        below; raises ValueError when the assertions are unsatisfiable."""
+        return self._optimize(expr, direction=-1)
+
+    def maximize(self, expr: LinExpr) -> Optional[int]:
+        return self._optimize(expr, direction=+1)
+
+    def feasible_interval(self, expr: LinExpr) -> Optional[Tuple[Optional[int], Optional[int]]]:
+        """(min, max) of expr over all models, None entries when unbounded;
+        returns None when the assertions are unsatisfiable."""
+        base = self.check()
+        if not base.satisfiable:
+            return None
+        return (self._optimize(expr, -1, base), self._optimize(expr, +1, base))
+
+    def _optimize(
+        self,
+        expr: LinExpr,
+        direction: int,
+        base: Optional[CheckResult] = None,
+    ) -> Optional[int]:
+        if base is None:
+            base = self.check()
+        if not base.satisfiable:
+            raise ValueError("cannot optimize over unsatisfiable assertions")
+        best = base.value(expr)
+        # Exponential bracketing: find a bound that is unachievable.
+        step = 1
+        bracket: Optional[int] = None
+        for _ in range(_MAX_BRACKET_STEPS):
+            candidate = best + direction * step
+            result = self._check_with_bound(expr, candidate, direction)
+            if result.satisfiable:
+                best = result.value(expr)
+                step *= 2
+            else:
+                bracket = candidate
+                break
+        if bracket is None:
+            return UNBOUNDED
+        # Binary search between best (achievable) and bracket (not).
+        low, high = (best, bracket) if direction > 0 else (bracket, best)
+        # Invariant for direction>0: best achievable, bracket-? no model with
+        # value >= bracket.  Search the largest achievable value.
+        while True:
+            if direction > 0:
+                if high - low <= 1:
+                    return low
+                mid = (low + high) // 2
+                result = self._check_with_bound(expr, mid, direction)
+                if result.satisfiable:
+                    low = result.value(expr)
+                else:
+                    high = mid
+            else:
+                if high - low <= 1:
+                    return high
+                mid = (low + high) // 2
+                result = self._check_with_bound(expr, mid, direction)
+                if result.satisfiable:
+                    high = result.value(expr)
+                else:
+                    low = mid
+
+    def _check_with_bound(
+        self, expr: LinExpr, bound: int, direction: int
+    ) -> CheckResult:
+        self.push()
+        try:
+            if direction > 0:
+                self.add(Le(bound, expr))  # expr >= bound
+            else:
+                self.add(Le(expr, bound))
+            return self.check()
+        finally:
+            self.pop()

@@ -1,0 +1,65 @@
+"""Property-based gradient checks on randomly composed expressions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+
+UNARY = {
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "gelu": lambda t: t.gelu(),
+    "square": lambda t: t * t,
+    "scale": lambda t: t * 1.7,
+    "shift": lambda t: t + 0.3,
+    "softmax": lambda t: t.softmax(-1),
+}
+
+BINARY = {
+    "add": lambda a, b: a + b,
+    "mul": lambda a, b: a * b,
+    "sub": lambda a, b: a - b,
+}
+
+
+@st.composite
+def programs(draw):
+    ops = draw(
+        st.lists(st.sampled_from(sorted(UNARY)), min_size=1, max_size=4)
+    )
+    combiner = draw(st.sampled_from(sorted(BINARY)))
+    seed = draw(st.integers(0, 10_000))
+    return ops, combiner, seed
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_composed_gradients_match_finite_differences(program):
+    ops, combiner, seed = program
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((2, 3)).astype(np.float32) * 0.5,
+               requires_grad=True)
+    b = Tensor(rng.standard_normal((2, 3)).astype(np.float32) * 0.5,
+               requires_grad=True)
+
+    def run():
+        x = a
+        for name in ops:
+            x = UNARY[name](x)
+        return BINARY[combiner](x, b).sum()
+
+    run().backward()
+    eps = 1e-3
+    for tensor in (a, b):
+        flat = tensor.data.reshape(-1)
+        grad_flat = tensor.grad.reshape(-1)
+        for index in range(0, flat.size, 2):  # subsample for speed
+            original = flat[index]
+            flat[index] = original + eps
+            up = run().item()
+            flat[index] = original - eps
+            down = run().item()
+            flat[index] = original
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - grad_flat[index]) < 5e-2

@@ -1,0 +1,233 @@
+"""Module system, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    SGD,
+    Sequential,
+    Tensor,
+    WarmupCosine,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+)
+
+RNG = np.random.default_rng(1)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, rng=RNG)
+        self.second = Linear(8, 2, rng=RNG)
+
+    def forward(self, x):
+        return self.second(self.first(x).tanh())
+
+
+class TestModules:
+    def test_parameter_registration_recursive(self):
+        net = TwoLayer()
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_named_parameters(self):
+        names = dict(TwoLayer().named_parameters())
+        assert "first.weight" in names and "second.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        net, clone = TwoLayer(), TwoLayer()
+        clone.load_state_dict(net.state_dict())
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        assert np.allclose(net(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_state_dict_missing_key_raises(self):
+        net = TwoLayer()
+        state = net.state_dict()
+        state.pop("first.weight")
+        with pytest.raises(KeyError):
+            TwoLayer().load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        net = TwoLayer()
+        state = net.state_dict()
+        state["first.weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=RNG)
+        out = layer(Tensor(RNG.standard_normal((7, 5)).astype(np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_linear_without_bias(self):
+        layer = Linear(5, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        table = Embedding(10, 4, rng=RNG)
+        out = table(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], table.weight.data[1])
+
+    def test_embedding_gradient_accumulates_repeats(self):
+        table = Embedding(5, 2, rng=RNG)
+        out = table(np.array([1, 1, 1]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[1], [3.0, 3.0])
+
+    def test_layernorm_normalizes(self):
+        norm = LayerNorm(16)
+        x = Tensor(RNG.standard_normal((4, 16)).astype(np.float32) * 5 + 3)
+        out = norm(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_train_vs_eval(self):
+        dropout = Dropout(0.5, rng=RNG)
+        x = Tensor(np.ones((100, 100), dtype=np.float32), requires_grad=True)
+        out_train = dropout(x)
+        zero_fraction = float((out_train.data == 0).mean())
+        assert 0.3 < zero_fraction < 0.7
+        dropout.eval()
+        assert np.allclose(dropout(x).data, x.data)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_sequential(self):
+        net = Sequential(Linear(4, 8, rng=RNG), Linear(8, 2, rng=RNG))
+        out = net(Tensor(RNG.standard_normal((3, 4)).astype(np.float32)))
+        assert out.shape == (3, 2)
+        assert len(net.parameters()) == 4
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Dropout(0.5), Dropout(0.5))
+        net.eval()
+        assert not net.layers[0].training
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(RNG.standard_normal((6, 5)).astype(np.float32),
+                        requires_grad=True)
+        targets = RNG.integers(0, 5, 6)
+        loss = cross_entropy(logits, targets)
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        manual = -np.mean(np.log(probs[np.arange(6), targets]))
+        assert abs(loss.item() - manual) < 1e-5
+
+    def test_cross_entropy_gradient(self):
+        logits = Tensor(RNG.standard_normal((4, 3)).astype(np.float32),
+                        requires_grad=True)
+        targets = np.array([0, 1, 2, 1])
+        cross_entropy(logits, targets).backward()
+        eps = 1e-3
+        flat = logits.data.reshape(-1)
+        for index in [0, 5, 11]:
+            original = flat[index]
+            flat[index] = original + eps
+            up = cross_entropy(logits, targets).item()
+            flat[index] = original - eps
+            down = cross_entropy(logits, targets).item()
+            flat[index] = original
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - logits.grad.reshape(-1)[index]) < 1e-2
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(RNG.standard_normal((4, 3)).astype(np.float32),
+                        requires_grad=True)
+        targets = np.array([0, -1, 2, -1])
+        loss = cross_entropy(logits, targets, ignore_index=-1)
+        loss.backward()
+        # Ignored rows contribute zero gradient.
+        assert np.allclose(logits.grad[1], 0.0)
+        assert np.allclose(logits.grad[3], 0.0)
+
+    def test_log_softmax_gradient(self):
+        logits = Tensor(RNG.standard_normal((3, 4)).astype(np.float32),
+                        requires_grad=True)
+        weight = Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        (log_softmax(logits) * weight).sum().backward()
+        assert logits.grad is not None
+        assert logits.grad.shape == (3, 4)
+
+    def test_mse(self):
+        prediction = Tensor(np.array([1.0, 2.0], dtype=np.float32),
+                            requires_grad=True)
+        loss = mse_loss(prediction, np.array([0.0, 0.0]))
+        assert abs(loss.item() - 2.5) < 1e-6
+
+    def test_bce_with_logits_stable_at_extremes(self):
+        logits = Tensor(np.array([100.0, -100.0], dtype=np.float32),
+                        requires_grad=True)
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert loss.item() < 1e-6
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+
+class TestOptim:
+    def _loss_decreases(self, optimizer_factory):
+        net = TwoLayer()
+        optimizer = optimizer_factory(net.parameters())
+        x = RNG.standard_normal((64, 4)).astype(np.float32)
+        y = RNG.integers(0, 2, 64)
+        first = None
+        for _ in range(80):
+            loss = cross_entropy(net(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return first, loss.item()
+
+    def test_sgd_decreases_loss(self):
+        first, last = self._loss_decreases(lambda p: SGD(p, lr=0.5, momentum=0.9))
+        assert last < first * 0.9
+
+    def test_adam_decreases_loss(self):
+        first, last = self._loss_decreases(lambda p: Adam(p, lr=1e-2))
+        assert last < first * 0.7
+
+    def test_clip_grad_norm(self):
+        param = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm > 1.0
+        assert abs(np.linalg.norm(param.grad) - 1.0) < 1e-5
+
+    def test_clip_noop_below_threshold(self):
+        param = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        param.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, 0.1)
+
+    def test_warmup_cosine_shape(self):
+        optimizer = SGD([], lr=0.0)
+        schedule = WarmupCosine(optimizer, base_lr=1.0, warmup_steps=10,
+                                total_steps=100)
+        rates = [schedule.step() for _ in range(100)]
+        assert rates[0] < rates[9]  # warmup rises
+        assert abs(rates[9] - 1.0) < 1e-6  # peak at base lr
+        assert rates[-1] < 0.2  # decays toward min
+        assert all(r > 0 for r in rates)
+
+    def test_adam_weight_decay_shrinks_weights(self):
+        param = Tensor(np.full(4, 10.0, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(4, dtype=np.float32)
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 10.0)

@@ -1,0 +1,189 @@
+"""Gradient checks for every autograd op, against central differences."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concatenate, no_grad
+
+RNG = np.random.default_rng(0)
+EPS = 1e-3
+TOL = 5e-2
+
+
+def numeric_gradient(fn, tensor):
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + EPS
+        up = fn().item()
+        flat[index] = original - EPS
+        down = fn().item()
+        flat[index] = original
+        grad_flat[index] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check(fn_builder, *shapes):
+    tensors = [
+        Tensor(RNG.standard_normal(shape).astype(np.float32) * 0.5, requires_grad=True)
+        for shape in shapes
+    ]
+
+    def run():
+        return fn_builder(*tensors)
+
+    out = run()
+    out.backward()
+    for tensor in tensors:
+        numeric = numeric_gradient(run, tensor)
+        assert tensor.grad is not None
+        assert np.abs(numeric - tensor.grad).max() < TOL, (
+            fn_builder.__name__,
+            np.abs(numeric - tensor.grad).max(),
+        )
+
+
+class TestElementwise:
+    def test_add(self):
+        check(lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_mul(self):
+        check(lambda a, b: (a * b).sum(), (3, 4), (3, 4))
+
+    def test_mul_broadcast_scalar_shape(self):
+        check(lambda a, b: (a * b).sum(), (2, 3), (1,))
+
+    def test_sub_neg(self):
+        check(lambda a, b: (a - b + (-a)).sum(), (4,), (4,))
+
+    def test_div(self):
+        a = Tensor(RNG.random((3, 3)).astype(np.float32) + 1.0, requires_grad=True)
+        b = Tensor(RNG.random((3, 3)).astype(np.float32) + 1.0, requires_grad=True)
+        out = (a / b).sum()
+        out.backward()
+        assert np.allclose(a.grad, 1.0 / b.data, atol=1e-5)
+
+    def test_pow(self):
+        check(lambda a: ((a * a + 1.0) ** 1.5).sum(), (3, 3))
+
+    def test_exp_log(self):
+        a = Tensor(RNG.random((4,)).astype(np.float32) + 0.5, requires_grad=True)
+        out = (a.log() + a.exp()).sum()
+        out.backward()
+        expected = 1.0 / a.data + np.exp(a.data)
+        assert np.allclose(a.grad, expected, rtol=1e-4)
+
+    def test_tanh_sigmoid_relu_gelu(self):
+        check(lambda a: a.tanh().sum(), (3, 3))
+        check(lambda a: a.sigmoid().sum(), (3, 3))
+        check(lambda a: a.gelu().sum(), (3, 3))
+        # relu at random points (kink measure zero).
+        check(lambda a: (a.relu() * a).sum(), (3, 3))
+
+    def test_sqrt(self):
+        a = Tensor(RNG.random((4,)).astype(np.float32) + 1.0, requires_grad=True)
+        a.sqrt().sum().backward()
+        assert np.allclose(a.grad, 0.5 / np.sqrt(a.data), rtol=1e-4)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        check(lambda a: (a.sum(axis=0) * a.sum(axis=0)).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check(lambda a: (a - a.sum(axis=-1, keepdims=True)).sum(), (3, 4))
+
+    def test_mean(self):
+        check(lambda a: ((a - a.mean(axis=-1, keepdims=True)) ** 2.0).mean(), (3, 4))
+
+    def test_max(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 7.0]], dtype=np.float32),
+                   requires_grad=True)
+        a.max(axis=1).sum().backward()
+        # Ties split mass evenly.
+        expected = np.array([[0, 1, 0], [0.5, 0, 0.5]], dtype=np.float32)
+        assert np.allclose(a.grad, expected)
+
+    def test_reshape_transpose(self):
+        check(lambda a: (a.transpose(1, 0).reshape(12) ** 2.0).sum(), (3, 4))
+
+    def test_transpose_multi_axis(self):
+        check(lambda a: (a.transpose(2, 0, 1) * 2.0).sum(), (2, 3, 4))
+
+    def test_getitem_int_array(self):
+        index = np.array([0, 2, 2])
+        check(lambda a: (a[index] * a[index]).sum(), (4, 3))
+
+    def test_getitem_slice(self):
+        check(lambda a: (a[:, 1:] ** 2.0).sum(), (3, 4))
+
+    def test_concatenate(self):
+        check(lambda a, b: (concatenate([a, b], axis=1) ** 2.0).sum(), (2, 3), (2, 2))
+
+
+class TestMatmulAndSoftmax:
+    def test_matmul(self):
+        check(lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+    def test_batched_matmul(self):
+        check(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 2))
+
+    def test_matmul_broadcast(self):
+        check(lambda a, b: (a @ b).sum(), (2, 3, 4), (4, 2))
+
+    def test_softmax(self):
+        weight = Tensor(RNG.standard_normal((3, 5)).astype(np.float32))
+        check(lambda a: (a.softmax(-1) * weight).sum(), (3, 5))
+
+    def test_softmax_rows_sum_to_one(self):
+        a = Tensor(RNG.standard_normal((4, 7)).astype(np.float32))
+        out = a.softmax(-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False], [False, True]])
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = a.masked_fill(mask, -5.0)
+        assert out.data[0, 0] == -5.0 and out.data[0, 1] == 1.0
+        out.sum().backward()
+        assert a.grad[0, 0] == 0.0 and a.grad[0, 1] == 1.0
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        out = a * a  # d(a^2)/da = 2a = 4
+        out.backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+
+    def test_backward_nonscalar_requires_grad_arg(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_detached_raises(self):
+        a = Tensor(np.ones(2, dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_detach(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        assert not a.detach().requires_grad
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        b = a * 2
+        c = a * 3
+        (b * c).sum().backward()  # d(6a^2)/da = 12a = 36
+        assert np.allclose(a.grad, [36.0])

@@ -1,0 +1,100 @@
+"""Synthetic-data generator baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CtganLike,
+    EWganLike,
+    NetShareLike,
+    RealTabFormerLike,
+    TvaeLike,
+)
+from repro.baselines.generators import _GanConfig
+from repro.data import COARSE_FIELDS, build_dataset
+from repro.metrics import histogram_jsd
+
+
+@pytest.fixture(scope="module")
+def rows():
+    dataset = build_dataset(6, 1, 80, seed=6)
+    return np.array(
+        [[w.coarse()[name] for name in COARSE_FIELDS]
+         for w in dataset.train_windows()],
+        dtype=np.int64,
+    )
+
+
+FAST_GAN = _GanConfig(steps=150, seed=0)
+
+
+def make_generators():
+    return [
+        NetShareLike(),
+        EWganLike(FAST_GAN),
+        CtganLike(FAST_GAN),
+        TvaeLike(steps=200),
+        RealTabFormerLike(),
+    ]
+
+
+class TestGeneratorContract:
+    @pytest.mark.parametrize("generator", make_generators(),
+                             ids=lambda g: g.name)
+    def test_sample_shape_and_domain(self, rows, generator):
+        generator.fit(rows)
+        sample = generator.sample(50, np.random.default_rng(0))
+        assert sample.shape == (50, rows.shape[1])
+        assert sample.dtype == np.int64
+        low = rows.min(axis=0)
+        high = rows.max(axis=0)
+        assert (sample >= low).all()
+        assert (sample <= high).all()
+
+    @pytest.mark.parametrize("generator", make_generators(),
+                             ids=lambda g: g.name)
+    def test_samples_vary(self, rows, generator):
+        generator.fit(rows)
+        sample = generator.sample(100, np.random.default_rng(1))
+        assert len({tuple(row) for row in sample}) > 5
+
+
+class TestFidelity:
+    def test_netshare_marginals_close(self, rows):
+        generator = NetShareLike().fit(rows)
+        sample = generator.sample(500, np.random.default_rng(2))
+        for index in range(rows.shape[1]):
+            assert histogram_jsd(rows[:, index], sample[:, index]) < 0.1
+
+    def test_netshare_preserves_correlation(self, rows):
+        generator = NetShareLike().fit(rows)
+        sample = generator.sample(1000, np.random.default_rng(3))
+        real_corr = np.corrcoef(rows[:, 0], rows[:, 3])[0, 1]
+        sample_corr = np.corrcoef(sample[:, 0], sample[:, 3])[0, 1]
+        # total and egress are strongly correlated in the data.
+        assert real_corr > 0.5
+        assert abs(real_corr - sample_corr) < 0.3
+
+    def test_realtabformer_fidelity_reasonable(self, rows):
+        generator = RealTabFormerLike().fit(rows)
+        sample = generator.sample(300, np.random.default_rng(4))
+        mean_jsd = np.mean(
+            [histogram_jsd(rows[:, i], sample[:, i]) for i in range(4)]
+        )
+        assert mean_jsd < 0.3
+
+    def test_gan_trains_toward_data(self, rows):
+        """After training, the GAN should do better than noise."""
+        generator = CtganLike(FAST_GAN).fit(rows)
+        sample = generator.sample(400, np.random.default_rng(5))
+        rng = np.random.default_rng(6)
+        noise = rng.integers(
+            rows.min(axis=0), rows.max(axis=0) + 1, size=(400, 4)
+        )
+        gan_jsd = np.mean(
+            [histogram_jsd(rows[:, i], sample[:, i]) for i in range(4)]
+        )
+        noise_jsd = np.mean(
+            [histogram_jsd(rows[:, i], noise[:, i]) for i in range(4)]
+        )
+        assert gan_jsd < noise_jsd

@@ -1,0 +1,110 @@
+"""Rejection sampling and post-hoc repair baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PosthocRepairer, RejectionSampler, RepairError
+from repro.data import COARSE_FIELDS, build_dataset
+from repro.lm import NgramLM
+from repro.rules import Rule, RuleSet, paper_rules, var, zoom2net_manual_rules
+from repro.smt import And, Ge, Le
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(4, 1, 50, seed=11)
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model
+
+
+class TestRejection:
+    def test_compliant_output(self, setting):
+        dataset, model = setting
+        rules = zoom2net_manual_rules(dataset.config)
+        sampler = RejectionSampler(model, rules, dataset.config,
+                                   max_attempts=400, seed=0)
+        window = dataset.test_windows()[0]
+        record = sampler.impute(window.coarse())
+        assert rules.compliant(record)
+        assert sampler.stats.attempts >= 1
+
+    def test_attempt_accounting(self, setting):
+        dataset, model = setting
+        rules = zoom2net_manual_rules(dataset.config)
+        sampler = RejectionSampler(model, rules, dataset.config,
+                                   max_attempts=400, seed=0)
+        for window in dataset.test_windows()[:3]:
+            sampler.impute(window.coarse())
+        assert sampler.stats.records == 3
+        assert sampler.stats.mean_attempts >= 1.0
+        assert sampler.stats.wall_time > 0
+
+    def test_budget_exhaustion_returns_best_effort(self, setting):
+        dataset, model = setting
+        impossible = RuleSet(
+            [Rule("no", And(Le(var("I0"), 1), Ge(var("I0"), 2)))]
+        )
+        sampler = RejectionSampler(model, impossible, dataset.config,
+                                   max_attempts=3, seed=0)
+        record = sampler.impute(dataset.test_windows()[0].coarse())
+        assert sampler.stats.budget_exhausted == 1
+        assert "I0" in record
+
+    def test_synthesis_mode(self, setting):
+        dataset, model = setting
+        rules = zoom2net_manual_rules(dataset.config)
+        sampler = RejectionSampler(model, rules, dataset.config,
+                                   max_attempts=400, seed=1)
+        record = sampler.synthesize()
+        assert rules.compliant(record)
+
+
+class TestPosthoc:
+    def test_compliant_input_returned_unchanged(self, setting):
+        dataset, _ = setting
+        rules = paper_rules(dataset.config)
+        window = dataset.test_windows()[0]
+        values = window.variables()
+        if rules.compliant(values):
+            repairer = PosthocRepairer(rules, dataset.config)
+            assert repairer.repair(values) == values
+
+    def test_nearest_repair_minimizes_l1(self, setting):
+        dataset, _ = setting
+        rules = paper_rules(dataset.config)
+        repairer = PosthocRepairer(rules, dataset.config, mode="nearest")
+        # Invalid: I0 breaks the bandwidth cap by 1; everything else fine.
+        record = {"total": 100, "cong": 0, "retx": 0, "egr": 100,
+                  "I0": 61, "I1": 39, "I2": 0, "I3": 0, "I4": 0}
+        repaired = repairer.repair(record, frozen=list(COARSE_FIELDS))
+        assert rules.compliant(repaired)
+        # Minimal L1 repair: shave 1 from I0 and add 1 elsewhere (cost 2).
+        l1 = sum(abs(repaired[k] - record[k]) for k in record)
+        assert l1 <= 2
+
+    def test_arbitrary_mode_compliant(self, setting):
+        dataset, _ = setting
+        rules = paper_rules(dataset.config)
+        repairer = PosthocRepairer(rules, dataset.config, mode="arbitrary")
+        record = {"total": 100, "cong": 0, "retx": 0, "egr": 100,
+                  "I0": 61, "I1": 90, "I2": 0, "I3": 0, "I4": 0}
+        repaired = repairer.repair(record, frozen=list(COARSE_FIELDS))
+        assert rules.compliant(repaired)
+        for name in COARSE_FIELDS:
+            assert repaired[name] == record[name]
+
+    def test_unsat_frozen_raises(self, setting):
+        dataset, _ = setting
+        rules = paper_rules(dataset.config)
+        repairer = PosthocRepairer(rules, dataset.config)
+        # total beyond the physical max cannot be repaired while frozen.
+        record = {"total": 900, "cong": 0, "retx": 0, "egr": 0,
+                  "I0": 0, "I1": 0, "I2": 0, "I3": 0, "I4": 0}
+        with pytest.raises(RepairError):
+            repairer.repair(record, frozen=["total"])
+
+    def test_invalid_mode_rejected(self, setting):
+        dataset, _ = setting
+        with pytest.raises(ValueError):
+            PosthocRepairer(paper_rules(dataset.config), dataset.config,
+                            mode="psychic")

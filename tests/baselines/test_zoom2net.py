@@ -1,0 +1,72 @@
+"""Zoom2Net-style imputer tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Zoom2NetConfig, Zoom2NetImputer
+from repro.data import COARSE_FIELDS, build_dataset, fine_field
+from repro.metrics import mae
+from repro.rules import zoom2net_manual_rules
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(6, 2, 80, seed=4)
+    imputer = Zoom2NetImputer(
+        dataset.config, Zoom2NetConfig(steps=400, seed=0)
+    ).fit(dataset.train_windows())
+    return dataset, imputer
+
+
+class TestZoom2Net:
+    def test_requires_fit(self):
+        dataset = build_dataset(2, 1, 10, seed=0)
+        with pytest.raises(RuntimeError):
+            Zoom2NetImputer(dataset.config).impute(
+                dataset.test_windows()[0].coarse()
+            )
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            Zoom2NetImputer().fit([])
+
+    def test_output_schema(self, setting):
+        dataset, imputer = setting
+        window = dataset.test_windows()[0]
+        record = imputer.impute(window.coarse())
+        for name in COARSE_FIELDS:
+            assert record[name] == window.coarse()[name]
+        for index in range(dataset.config.window):
+            assert fine_field(index) in record
+
+    def test_cem_enforces_manual_rules(self, setting):
+        dataset, imputer = setting
+        rules = zoom2net_manual_rules(dataset.config)
+        compliant = 0
+        total = 12
+        for window in dataset.test_windows()[:total]:
+            record = imputer.impute(window.coarse())
+            if rules.compliant(record):
+                compliant += 1
+        # CEM projection should succeed on essentially all records.
+        assert compliant >= total - imputer.cem_failures
+
+    def test_beats_trivial_baseline(self, setting):
+        """The trained imputer should beat an even-split heuristic."""
+        dataset, imputer = setting
+        window_size = dataset.config.window
+        model_errors, trivial_errors = [], []
+        for window in dataset.test_windows()[:40]:
+            record = imputer.impute(window.coarse())
+            predicted = [record[fine_field(t)] for t in range(window_size)]
+            even = [window.total / window_size] * window_size
+            model_errors.append(mae(list(window.fine), predicted))
+            trivial_errors.append(mae(list(window.fine), even))
+        assert np.mean(model_errors) <= np.mean(trivial_errors) * 1.5
+
+    def test_sum_consistency_via_cem(self, setting):
+        dataset, imputer = setting
+        window = dataset.test_windows()[1]
+        record = imputer.impute(window.coarse())
+        fine_sum = sum(record[fine_field(t)] for t in range(dataset.config.window))
+        assert fine_sum == window.total

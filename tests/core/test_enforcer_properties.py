@@ -1,0 +1,74 @@
+"""Property-based tests of the enforcement guarantee.
+
+The central invariant: for ANY feasible coarse prompt and ANY sampling
+seed, the guided record satisfies every enforced rule -- on both exact
+oracle tiers, with and without the optimistic fast path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EnforcerConfig, InfeasibleRecordError, JitEnforcer
+from repro.data import TelemetryConfig, build_dataset, fine_field
+from repro.lm import NgramLM
+from repro.rules import paper_rules
+
+
+CONFIG = TelemetryConfig()
+RULES = paper_rules(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def model():
+    dataset = build_dataset(4, 1, 60, seed=21)
+    return NgramLM(order=6).fit(dataset.train_texts())
+
+
+# Feasible-by-construction prompts: pick fine values first, derive coarse.
+@st.composite
+def feasible_prompts(draw):
+    fine = [draw(st.integers(0, CONFIG.bandwidth)) for _ in range(CONFIG.window)]
+    congested = draw(st.booleans())
+    if congested and max(fine) < CONFIG.bandwidth // 2:
+        index = draw(st.integers(0, CONFIG.window - 1))
+        fine[index] = draw(st.integers(CONFIG.bandwidth // 2, CONFIG.bandwidth))
+    cong = draw(st.integers(1, CONFIG.window)) if congested else 0
+    retx = draw(st.integers(0, cong)) if cong else 0
+    egr = draw(st.integers(0, CONFIG.max_egress()))
+    return {"total": sum(fine), "cong": cong, "retx": retx, "egr": egr}
+
+
+@given(feasible_prompts(), st.integers(0, 2**31 - 1), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_guided_imputation_always_complies(model, prompt, seed, optimistic):
+    enforcer = JitEnforcer(
+        model, RULES, CONFIG,
+        EnforcerConfig(seed=seed, optimistic=optimistic),
+    )
+    values = enforcer.impute(prompt)
+    assert RULES.compliant(values), (prompt, values)
+    for name, value in prompt.items():
+        assert values[name] == value
+    fine_sum = sum(values[fine_field(t)] for t in range(CONFIG.window))
+    assert fine_sum == prompt["total"]
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_synthesis_always_complies(model, seed):
+    enforcer = JitEnforcer(model, RULES, CONFIG, EnforcerConfig(seed=seed))
+    values = enforcer.synthesize()
+    assert RULES.compliant(values)
+
+
+@given(feasible_prompts())
+@settings(max_examples=20, deadline=None)
+def test_smt_tier_matches_hybrid_on_compliance(model, prompt):
+    for oracle in ("smt", "hybrid"):
+        enforcer = JitEnforcer(
+            model, RULES, CONFIG,
+            EnforcerConfig(oracle=oracle, seed=7, optimistic=False),
+        )
+        values = enforcer.impute(prompt)
+        assert RULES.compliant(values)

@@ -1,0 +1,186 @@
+"""Feasibility oracle tests: exactness of SMT, soundness of intervals."""
+
+import pytest
+
+from repro.core.feasible import (
+    HybridOracle,
+    InfeasibleRecordError,
+    IntervalOracle,
+    SmtOracle,
+    residualize,
+)
+from repro.data import TelemetryConfig, variable_bounds
+from repro.rules import paper_rules, zoom2net_manual_rules
+from repro.smt import FALSE, TRUE, And, Eq, Ge, Implies, IntVar, Le, Or
+
+
+CONFIG = TelemetryConfig()
+BOUNDS = variable_bounds(CONFIG)
+RULES = paper_rules(CONFIG)
+
+# The paper's running prompt (Total=100, congestion present).  In our
+# schema `cong` counts ECN-marked ticks, so it is capped by the window.
+PROMPT = {"total": 100, "cong": 3, "retx": 2, "egr": 100}
+
+
+@pytest.fixture(params=["smt", "interval", "hybrid"])
+def oracle(request):
+    cls = {"smt": SmtOracle, "interval": IntervalOracle, "hybrid": HybridOracle}
+    return cls[request.param](RULES, BOUNDS)
+
+
+class TestResidualize:
+    def test_deactivates_satisfied_implication(self):
+        formula = Implies(Ge(IntVar("cong"), 1), Ge(IntVar("I0"), 30))
+        assert residualize(formula, {"cong": 0}) == TRUE
+
+    def test_activates_implication(self):
+        formula = Implies(Ge(IntVar("cong"), 1), Ge(IntVar("I0"), 30))
+        residual = residualize(formula, {"cong": 3})
+        assert residual.evaluate({"I0": 30})
+        assert not residual.evaluate({"I0": 29})
+
+    def test_partial_sum_substitution(self):
+        formula = Eq(IntVar("I0") + IntVar("I1"), 10)
+        residual = residualize(formula, {"I0": 4})
+        assert residual.evaluate({"I1": 6})
+        assert not residual.evaluate({"I1": 5})
+
+    def test_ground_false(self):
+        formula = Le(IntVar("I0"), 5)
+        assert residualize(formula, {"I0": 6}) == FALSE
+
+    def test_or_collapse(self):
+        formula = Or(Ge(IntVar("I0"), 30), Ge(IntVar("I1"), 30))
+        residual = residualize(formula, {"I0": 0})
+        assert residual == Ge(IntVar("I1"), 30)
+
+
+class TestOracleBasics:
+    def test_begin_and_feasible_set(self, oracle):
+        oracle.begin_record(PROMPT)
+        fs = oracle.feasible_set("I0")
+        assert not fs.is_empty()
+        assert fs.min_value >= 0
+        assert fs.max_value <= CONFIG.bandwidth
+
+    def test_sum_forcing_last_variable(self, oracle):
+        oracle.begin_record(PROMPT)
+        for name, value in [("I0", 20), ("I1", 15), ("I2", 25), ("I3", 39)]:
+            assert oracle.confirm(name, value)
+            oracle.fix(name, value)
+        fs = oracle.feasible_set("I4")
+        # R2 forces I4 = 1 exactly (paper step 5).
+        assert fs.segments == ((1, 1),)
+
+    def test_confirm_rejects_bandwidth_violation(self, oracle):
+        oracle.begin_record(PROMPT)
+        assert not oracle.confirm("I0", 61)
+
+    def test_confirm_rejects_sum_overflow(self, oracle):
+        oracle.begin_record(PROMPT)
+        oracle.fix("I0", 60)
+        oracle.fix("I1", 39)
+        # Remaining budget is 1; 2 overshoots the exact total.
+        assert not oracle.confirm("I2", 2)
+
+
+class TestSmtExactness:
+    def test_lookahead_catches_r3_dead_end(self):
+        oracle = SmtOracle(RULES, BOUNDS)
+        oracle.begin_record(PROMPT)
+        # Spend almost the whole budget without ever bursting: feasible for
+        # R1/R2 alone but a dead end under R3 (no room for a 30+ burst).
+        oracle.fix("I0", 25)
+        oracle.fix("I1", 25)
+        oracle.fix("I2", 25)
+        # I3 = 20 leaves I4 = 5 < 30, violating R3: must be rejected.
+        assert not oracle.confirm("I3", 20)
+        # I3 = 15 leaves I4 = 35 >= 30: fine? No wait -- I4 = 10... total
+        # is 100, spent 75, I3=15 leaves I4=10 <30: rejected too.
+        assert not oracle.confirm("I3", 15)
+        # Does any I3 work? It must make I3 or I4 >= 30: I3 <= 25 (sum),
+        # so I4 = 25 - I3 >= 30 is impossible... record is a dead end.
+        fs = oracle.feasible_set("I3")
+        assert fs.is_empty()
+
+    def test_interval_oracle_collapses_single_branch_disjunction(self):
+        """With one free variable left in R3's Or, the interval tier *does*
+        catch the dead end (the disjunction collapses to one branch)."""
+        oracle = IntervalOracle(RULES, BOUNDS)
+        oracle.begin_record(PROMPT)
+        oracle.fix("I0", 25)
+        oracle.fix("I1", 25)
+        oracle.fix("I2", 25)
+        assert not oracle.confirm("I3", 20)
+
+    def test_interval_oracle_misses_two_branch_dead_end(self):
+        """Documents the incompleteness the hybrid tier compensates for:
+        with two variables free in R3's Or, interval propagation cannot
+        rule the combination out, while the SMT tier can."""
+        interval = IntervalOracle(RULES, BOUNDS)
+        interval.begin_record(PROMPT)
+        interval.fix("I0", 25)
+        interval.fix("I1", 25)
+        # I2 = 21 leaves I3 + I4 = 29: neither can reach the 30 burst R3
+        # demands, but the two-branch Or hides that from interval reasoning.
+        assert interval.confirm("I2", 21)
+        smt = SmtOracle(RULES, BOUNDS)
+        smt.begin_record(PROMPT)
+        smt.fix("I0", 25)
+        smt.fix("I1", 25)
+        assert not smt.confirm("I2", 21)
+
+    def test_infeasible_prompt_raises(self):
+        oracle = SmtOracle(RULES, BOUNDS)
+        # total=20 with congestion: R3 needs a 30+ burst, R2 caps sum at 20.
+        with pytest.raises(InfeasibleRecordError):
+            oracle.begin_record({"total": 20, "cong": 3, "retx": 0, "egr": 20})
+
+    def test_any_model_is_compliant(self):
+        oracle = SmtOracle(RULES, BOUNDS)
+        oracle.begin_record(PROMPT)
+        oracle.fix("I0", 10)
+        model = oracle.any_model()
+        values = dict(PROMPT)
+        values.update({name: model[name] for name in ["I0", "I1", "I2", "I3", "I4"]})
+        values["I0"] = 10
+        assert RULES.compliant(values)
+
+    def test_feasible_set_is_exact_range(self):
+        oracle = SmtOracle(RULES, BOUNDS)
+        oracle.begin_record(PROMPT)
+        for name, value in [("I0", 20), ("I1", 15), ("I2", 25)]:
+            oracle.fix(name, value)
+        fs = oracle.feasible_set("I3")
+        assert (fs.min_value, fs.max_value) == (0, 40)  # paper Fig. 2
+
+
+class TestHybridSoundness:
+    def test_interval_set_contains_smt_set(self):
+        smt = SmtOracle(RULES, BOUNDS)
+        interval = IntervalOracle(RULES, BOUNDS)
+        smt.begin_record(PROMPT)
+        interval.begin_record(PROMPT)
+        for name in ["I0", "I1", "I2", "I3"]:
+            smt_fs = smt.feasible_set(name)
+            int_fs = interval.feasible_set(name)
+            assert int_fs.min_value <= smt_fs.min_value
+            assert int_fs.max_value >= smt_fs.max_value
+            value = smt_fs.min_value
+            smt.fix(name, value)
+            interval.fix(name, value)
+
+    def test_hybrid_confirm_is_exact(self):
+        hybrid = HybridOracle(RULES, BOUNDS)
+        hybrid.begin_record(PROMPT)
+        hybrid.fix("I0", 25)
+        hybrid.fix("I1", 25)
+        hybrid.fix("I2", 25)
+        assert not hybrid.confirm("I3", 20)  # catches the R3 dead end
+
+    def test_manual_rules_oracle(self):
+        oracle = HybridOracle(zoom2net_manual_rules(CONFIG), BOUNDS)
+        oracle.begin_record(PROMPT)
+        fs = oracle.feasible_set("I0")
+        assert fs.max_value <= CONFIG.bandwidth

@@ -1,0 +1,86 @@
+"""RecordSampler (vanilla generation) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RecordSampler, audit_violation_rate
+from repro.core.pipeline import SamplerStats
+from repro.data import COARSE_FIELDS, TelemetryConfig, build_dataset, fine_field
+from repro.lm import NgramLM
+from repro.rules import domain_bound_rules, paper_rules
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(4, 1, 40, seed=9)
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model
+
+
+class TestRecordSampler:
+    def test_impute_raw_echoes_prompt(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config, seed=0)
+        window = dataset.test_windows()[0]
+        record = sampler.impute_raw(window.coarse())
+        for name in COARSE_FIELDS:
+            assert record[name] == window.coarse()[name]
+
+    def test_impute_raw_has_all_fine_fields(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config, seed=0)
+        record = sampler.impute_raw(dataset.test_windows()[0].coarse())
+        for index in range(dataset.config.window):
+            assert fine_field(index) in record
+            assert isinstance(record[fine_field(index)], int)
+
+    def test_synthesize_raw_produces_full_record(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config, seed=1)
+        record = sampler.synthesize_raw()
+        expected = set(COARSE_FIELDS) | {
+            fine_field(t) for t in range(dataset.config.window)
+        }
+        assert set(record) == expected
+
+    def test_stats_track_records(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config, seed=0)
+        for _ in range(3):
+            sampler.synthesize_raw()
+        assert sampler.stats.records == 3
+
+    def test_repair_path_clamps_to_domain(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config)
+        record = sampler._repair("999999 1 2>1 2\n")
+        bounds_rules = domain_bound_rules(dataset.config)
+        assert bounds_rules.compliant(record)
+
+    def test_repair_garbage(self, setting):
+        dataset, model = setting
+        sampler = RecordSampler(model, dataset.config)
+        record = sampler._repair("")
+        assert all(isinstance(v, int) for v in record.values())
+
+    def test_deterministic_with_seed(self, setting):
+        dataset, model = setting
+        first = RecordSampler(model, dataset.config, seed=5).synthesize_raw()
+        second = RecordSampler(model, dataset.config, seed=5).synthesize_raw()
+        assert first == second
+
+
+class TestAuditHelper:
+    def test_violation_rate(self, setting):
+        dataset, _ = setting
+        rules = paper_rules(dataset.config)
+        good = dataset.test_windows()[0].variables()
+        bad = dict(good)
+        bad["I0"] = 1000
+        assert audit_violation_rate([good, bad], rules) == pytest.approx(
+            (0 if rules.compliant(good) else 1) / 2 + 0.5
+        )
+
+    def test_empty_batch(self, setting):
+        dataset, _ = setting
+        assert audit_violation_rate([], paper_rules(dataset.config)) == 0.0

@@ -1,0 +1,139 @@
+"""Temporal (cross-window) enforcement tests -- the Section 5 extension."""
+
+import pytest
+
+from repro.core import (
+    EnforcerConfig,
+    SequenceEnforcer,
+    cross_window_assignments,
+    mine_cross_window_rules,
+)
+from repro.data import build_dataset, fine_field, window_variables
+from repro.lm import NgramLM
+from repro.rules import (
+    MinerOptions,
+    domain_bound_rules,
+    mine_rules,
+    zoom2net_manual_rules,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=6, num_test_racks=2, windows_per_rack=80, seed=3
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    racks = [rack.windows for rack in dataset.train_racks]
+    temporal = mine_cross_window_rules(
+        racks,
+        dataset.config,
+        MinerOptions(
+            identities=False, burst_implications=False, ratios=False, slack=3
+        ),
+    )
+    assignments = [w.variables() for w in dataset.train_windows()]
+    per_record = mine_rules(
+        assignments,
+        list(window_variables(dataset.config.window)),
+        MinerOptions(slack=2),
+        fine_variables=[fine_field(t) for t in range(dataset.config.window)],
+    )
+    return dataset, model, per_record, temporal
+
+
+class TestCrossWindowMining:
+    def test_assignments_join_consecutive_windows(self, setting):
+        dataset, *_ = setting
+        windows = dataset.train_racks[0].windows[:3]
+        joined = cross_window_assignments(windows)
+        assert len(joined) == 2
+        assert joined[0]["prev_total"] == windows[0].total
+        assert joined[0]["total"] == windows[1].total
+        assert joined[1]["prev_total"] == windows[1].total
+
+    def test_only_temporal_rules_survive(self, setting):
+        _, _, _, temporal = setting
+        for rule in temporal:
+            names = rule.variables()
+            assert any(n.startswith("prev_") for n in names), rule.name
+            assert any(not n.startswith("prev_") for n in names), rule.name
+            assert rule.kind.startswith("temporal-")
+
+    def test_temporal_rules_hold_on_training_pairs(self, setting):
+        dataset, _, _, temporal = setting
+        for rack in dataset.train_racks:
+            for joined in cross_window_assignments(rack.windows):
+                assert temporal.compliant(joined)
+
+    def test_empty_racks_rejected(self, setting):
+        dataset, *_ = setting
+        with pytest.raises(ValueError):
+            mine_cross_window_rules([[]], dataset.config)
+
+
+class TestSequenceEnforcer:
+    def test_imputed_sequence_fully_compliant(self, setting):
+        dataset, model, per_record, temporal = setting
+        enforcer = SequenceEnforcer(
+            model, per_record, temporal, dataset.config,
+            EnforcerConfig(seed=0),
+            fallback_rules=[zoom2net_manual_rules(dataset.config),
+                            domain_bound_rules(dataset.config)],
+        )
+        windows = dataset.test_racks[0].windows[:8]
+        records = enforcer.impute_sequence(windows)
+        assert len(records) == len(windows)
+        record_violations, temporal_violations = enforcer.audit_sequence(records)
+        # Fallback records may deviate; everything else is guaranteed.
+        assert record_violations <= enforcer.trace.fallback_records
+        assert temporal_violations <= enforcer.trace.fallback_records
+
+    def test_records_contain_only_record_variables(self, setting):
+        dataset, model, per_record, temporal = setting
+        enforcer = SequenceEnforcer(
+            model, per_record, temporal, dataset.config,
+            EnforcerConfig(seed=1),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+        )
+        records = enforcer.impute_sequence(dataset.test_racks[0].windows[:3])
+        names = set(window_variables(dataset.config.window))
+        for record in records:
+            assert set(record) == names
+
+    def test_synthesized_sequence_compliant(self, setting):
+        dataset, model, per_record, temporal = setting
+        enforcer = SequenceEnforcer(
+            model, per_record, temporal, dataset.config,
+            EnforcerConfig(seed=2),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+        )
+        records = enforcer.synthesize_sequence(5)
+        assert len(records) == 5
+        record_violations, temporal_violations = enforcer.audit_sequence(records)
+        assert record_violations <= enforcer.trace.fallback_records
+        assert temporal_violations <= enforcer.trace.fallback_records
+
+    def test_temporal_rules_actually_bind(self, setting):
+        """A hand-written harsh temporal rule visibly constrains step 2."""
+        from repro.rules import Rule, RuleSet, var
+        from repro.smt import Le
+
+        dataset, model, _, _ = setting
+        smooth = RuleSet(name="smooth")
+        # |total - prev_total| <= 10: an aggressive smoothness constraint.
+        smooth.add(Rule("s1", Le(var("total") - var("prev_total"), 10),
+                        kind="temporal-octagon"))
+        smooth.add(Rule("s2", Le(var("prev_total") - var("total"), 10),
+                        kind="temporal-octagon"))
+        enforcer = SequenceEnforcer(
+            model, domain_bound_rules(dataset.config), smooth, dataset.config,
+            EnforcerConfig(seed=3),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+        )
+        records = enforcer.synthesize_sequence(6)
+        diffs = [
+            abs(b["total"] - a["total"])
+            for a, b in zip(records, records[1:])
+        ]
+        assert all(d <= 10 for d in diffs), diffs

@@ -1,0 +1,160 @@
+"""Character-level transition system: soundness AND completeness.
+
+The key property (paper Fig. 2): a decimal literal is accepted by the
+transition system exactly when its value lies in the feasible set and it is
+canonically written (no leading zeros).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SEPARATOR, DigitTransitionSystem, FeasibleSet
+
+
+class TestFeasibleSet:
+    def test_from_interval(self):
+        fs = FeasibleSet.from_interval(3, 7)
+        assert fs.contains(3) and fs.contains(7)
+        assert not fs.contains(2) and not fs.contains(8)
+        assert fs.count() == 5
+
+    def test_merging_overlaps(self):
+        fs = FeasibleSet.from_segments([(0, 5), (4, 9), (11, 12)])
+        assert fs.segments == ((0, 9), (11, 12))
+
+    def test_adjacent_segments_merge(self):
+        fs = FeasibleSet.from_segments([(0, 4), (5, 9)])
+        assert fs.segments == ((0, 9),)
+
+    def test_negative_clamped(self):
+        fs = FeasibleSet.from_segments([(-5, 3)])
+        assert fs.segments == ((0, 3),)
+
+    def test_empty(self):
+        assert FeasibleSet.empty().is_empty()
+        assert FeasibleSet.from_segments([(5, 3)]).is_empty()
+
+    def test_remove_interior_point_splits(self):
+        fs = FeasibleSet.from_interval(0, 10).remove(5)
+        assert fs.segments == ((0, 4), (6, 10))
+        assert not fs.contains(5)
+
+    def test_remove_endpoint(self):
+        fs = FeasibleSet.from_interval(0, 10).remove(0)
+        assert fs.segments == ((1, 10),)
+
+    def test_remove_singleton(self):
+        assert FeasibleSet.from_interval(5, 5).remove(5).is_empty()
+
+    def test_intersect_interval(self):
+        fs = FeasibleSet.from_segments([(0, 5), (10, 20)])
+        assert fs.intersect_interval(3, 12).segments == ((3, 5), (10, 12))
+
+    def test_min_max(self):
+        fs = FeasibleSet.from_segments([(3, 5), (10, 20)])
+        assert fs.min_value == 3
+        assert fs.max_value == 20
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            FeasibleSet.empty().min_value
+
+    def test_values_iteration(self):
+        fs = FeasibleSet.from_segments([(0, 1), (5, 6)])
+        assert list(fs.values()) == [0, 1, 5, 6]
+
+    def test_intersects(self):
+        fs = FeasibleSet.from_segments([(5, 10)])
+        assert fs.intersects(0, 5)
+        assert fs.intersects(10, 99)
+        assert not fs.intersects(0, 4)
+
+
+def enumerate_accepted(system, max_digits):
+    """All literals the transition system accepts, by exhaustive walk."""
+    accepted = []
+    frontier = [""]
+    while frontier:
+        prefix = frontier.pop()
+        allowed = system.allowed_next(prefix)
+        if SEPARATOR in allowed:
+            accepted.append(prefix)
+        for char in allowed - {SEPARATOR}:
+            if len(prefix) + 1 <= max_digits:
+                frontier.append(prefix + char)
+    return accepted
+
+
+class TestTransitionSystem:
+    def test_empty_feasible_set_rejected(self):
+        with pytest.raises(ValueError):
+            DigitTransitionSystem(FeasibleSet.empty())
+
+    def test_single_value(self):
+        system = DigitTransitionSystem(FeasibleSet.from_interval(42, 42))
+        assert system.allowed_next("") == {"4"}
+        assert system.allowed_next("4") == {"2"}
+        assert system.allowed_next("42") == {SEPARATOR}
+
+    def test_zero_value(self):
+        system = DigitTransitionSystem(FeasibleSet.from_interval(0, 0))
+        assert system.allowed_next("") == {"0"}
+        assert system.allowed_next("0") == {SEPARATOR}
+
+    def test_no_leading_zeros(self):
+        system = DigitTransitionSystem(FeasibleSet.from_interval(0, 99))
+        allowed_after_zero = system.allowed_next("0")
+        assert allowed_after_zero == {SEPARATOR}
+
+    def test_paper_fig2_range(self):
+        """Imputing I3 with feasible region [0, 40] (paper Fig. 2)."""
+        system = DigitTransitionSystem(FeasibleSet.from_interval(0, 40))
+        first = system.allowed_next("")
+        # First digit: 0..4 can all start a value <= 40; 5..9 cannot
+        # (50..59 > 40) but 5..9 themselves are single-digit values <= 40!
+        assert first == set("0123456789")
+        # After '4': only '0' keeps the value <= 40, or close at 4.
+        assert system.allowed_next("4") == {"0", SEPARATOR}
+        assert system.allowed_next("40") == {SEPARATOR}
+        # After '3': any second digit gives 30..39 <= 40.
+        assert system.allowed_next("3") == set("0123456789") | {SEPARATOR}
+
+    def test_accepts(self):
+        system = DigitTransitionSystem(FeasibleSet.from_interval(5, 15))
+        assert system.accepts("5")
+        assert system.accepts("15")
+        assert not system.accepts("16")
+        assert not system.accepts("05")  # leading zero
+        assert not system.accepts("")
+
+    def test_hole_in_feasible_set(self):
+        fs = FeasibleSet.from_segments([(3, 5), (30, 50)])
+        system = DigitTransitionSystem(fs)
+        assert not system.accepts("7")
+        assert not system.accepts("20")
+        assert system.accepts("4")
+        assert system.accepts("35")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 400), st.integers(0, 80)),
+            min_size=1,
+            max_size=3,
+        ).map(lambda pairs: [(lo, lo + width) for lo, width in pairs])
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_accepted_language_equals_feasible_set(self, segments):
+        fs = FeasibleSet.from_segments(segments)
+        if fs.is_empty():
+            return
+        system = DigitTransitionSystem(fs)
+        max_digits = system.max_digits
+        accepted = enumerate_accepted(system, max_digits)
+        accepted_values = sorted(int(lit) for lit in accepted)
+        expected = sorted(v for v in fs.values())
+        assert accepted_values == expected
+        # Canonical form: no duplicates, no leading zeros.
+        assert len(set(accepted)) == len(accepted)
+        for literal in accepted:
+            assert literal == str(int(literal))

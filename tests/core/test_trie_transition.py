@@ -1,0 +1,119 @@
+"""Trie transition system tests (categorical fields, Section 5 Q1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transition import SEPARATOR, TrieTransitionSystem
+
+
+PROTOCOLS = ["tcp", "udp", "icmp", "icmp6", "gre"]
+
+
+class TestTrie:
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            TrieTransitionSystem([])
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValueError):
+            TrieTransitionSystem(["tcp", ""])
+
+    def test_first_characters(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        assert trie.allowed_next("") == {"t", "u", "i", "g"}
+
+    def test_shared_prefix_branches(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        # After "icmp": either close (icmp) or continue with '6' (icmp6).
+        assert trie.allowed_next("icmp") == {SEPARATOR, "6"}
+
+    def test_complete_word_closes(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        assert trie.allowed_next("udp") == {SEPARATOR}
+
+    def test_dead_prefix(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        assert trie.allowed_next("x") == set()
+
+    def test_accepts(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        assert trie.accepts("tcp")
+        assert not trie.accepts("tc")
+        assert not trie.accepts("http")
+
+    def test_restrict(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        narrowed = trie.restrict(["udp", "gre"])
+        assert narrowed.allowed_next("") == {"u", "g"}
+        assert not narrowed.accepts("tcp")
+
+    def test_restrict_to_nothing_rejected(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        with pytest.raises(ValueError):
+            trie.restrict(["http"])
+
+    def test_index_encoding_roundtrip(self):
+        trie = TrieTransitionSystem(PROTOCOLS)
+        for word in PROTOCOLS:
+            assert trie.word_of(trie.index_of(word)) == word
+        with pytest.raises(KeyError):
+            trie.index_of("http")
+        with pytest.raises(KeyError):
+            trie.word_of(99)
+
+    def test_solver_driven_restriction(self):
+        """Categorical enforcement: solver narrows the word set via the
+        index encoding, the trie masks characters accordingly."""
+        from repro.smt import IntVar, Le, Ne, Solver
+
+        trie = TrieTransitionSystem(PROTOCOLS)
+        solver = Solver()
+        proto = IntVar("proto")
+        solver.add(Le(0, proto))
+        solver.add(Le(proto, len(trie.words) - 1))
+        # Rule: protocol must not be tcp (say, a policy excludes it).
+        solver.add(Ne(proto, trie.index_of("tcp")))
+        allowed_words = [
+            word
+            for word in trie.words
+            if _feasible_with(solver, proto, trie.index_of(word))
+        ]
+        narrowed = trie.restrict(allowed_words)
+        assert not narrowed.accepts("tcp")
+        assert narrowed.accepts("udp")
+
+
+def _feasible_with(solver, variable, value):
+    from repro.smt import Eq
+
+    solver.push()
+    try:
+        solver.add(Eq(variable, value))
+        return solver.check().satisfiable
+    finally:
+        solver.pop()
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcde", min_size=1, max_size=5),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_trie_language_equals_vocabulary(words):
+    """Exhaustive walk of the trie accepts exactly the vocabulary."""
+    trie = TrieTransitionSystem(words)
+    accepted = []
+    frontier = [""]
+    while frontier:
+        prefix = frontier.pop()
+        allowed = trie.allowed_next(prefix)
+        if SEPARATOR in allowed:
+            accepted.append(prefix)
+        for char in allowed - {SEPARATOR}:
+            frontier.append(prefix + char)
+    assert sorted(accepted) == sorted(set(words))

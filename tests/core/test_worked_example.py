@@ -1,0 +1,97 @@
+"""The paper's full worked example (Figs. 1 and 2), end to end.
+
+A model biased toward the paper's invalid continuation [20, 15, 25, 70, 8]
+is guided by LeJIT with R1-R3 and must instead produce a compliant record,
+making only minimal changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.core.transition import DigitTransitionSystem, FeasibleSet
+from repro.data import TelemetryConfig, prompt_text
+from repro.lm import CharTokenizer, NgramLM
+from repro.rules import paper_rules
+
+
+CONFIG = TelemetryConfig()  # T=5, BW=60 exactly as in the paper
+COARSE = {"total": 100, "cong": 3, "retx": 1, "egr": 100}
+
+
+@pytest.fixture(scope="module")
+def biased_model():
+    """An LM that has only ever seen the invalid record of Fig. 1a."""
+    record = prompt_text(COARSE) + "20 15 25 70 8\n"
+    return NgramLM(order=8).fit([record] * 50)
+
+
+class TestWorkedExample:
+    def test_unguided_model_reproduces_the_mistake(self, biased_model):
+        from repro.core import RecordSampler
+
+        sampler = RecordSampler(biased_model, CONFIG, seed=0)
+        record = sampler.impute_raw(COARSE)
+        rules = paper_rules(CONFIG)
+        broken = {r.name for r in rules.violations(record)}
+        assert "R1[3]" in broken or "R2" in broken
+
+    def test_lejit_guides_to_compliance(self, biased_model):
+        rules = paper_rules(CONFIG)
+        enforcer = JitEnforcer(
+            biased_model, rules, CONFIG, EnforcerConfig(seed=0)
+        )
+        values = enforcer.impute(COARSE)
+        assert rules.compliant(values)
+        # The guided record still follows the model's early (valid) choices.
+        assert values["I0"] == 20
+        assert values["I1"] == 15
+        assert values["I2"] == 25
+
+    def test_i3_feasible_region_matches_figure(self):
+        """After [20, 15, 25], the solver's region for I3 is [0, 40]."""
+        from repro.core.feasible import SmtOracle
+        from repro.data import variable_bounds
+
+        oracle = SmtOracle(paper_rules(CONFIG), variable_bounds(CONFIG))
+        oracle.begin_record(COARSE)
+        for name, value in [("I0", 20), ("I1", 15), ("I2", 25)]:
+            oracle.fix(name, value)
+        fs = oracle.feasible_set("I3")
+        assert (fs.min_value, fs.max_value) == (0, 40)
+
+    def test_transition_system_for_i3(self):
+        """The Fig. 2 transition system over the region [0, 40]."""
+        system = DigitTransitionSystem(FeasibleSet.from_interval(0, 40))
+        # From the start state every digit is possible (single-digit values
+        # are all <= 40); after '7' no continuation stays in range...
+        assert "7" in system.allowed_next("")
+        # ...but '7' must close immediately: 70..79 are all out of range.
+        assert system.allowed_next("7") == {"sep"}
+        # After '4', only '0' or closing keeps the value valid.
+        assert system.allowed_next("4") == {"0", "sep"}
+
+    def test_forced_final_value(self, biased_model):
+        """With [20, 15, 25, 39] fixed, only I4 = 1 remains (step 5)."""
+        from repro.core.feasible import SmtOracle
+        from repro.data import variable_bounds
+
+        oracle = SmtOracle(paper_rules(CONFIG), variable_bounds(CONFIG))
+        oracle.begin_record(COARSE)
+        for name, value in [("I0", 20), ("I1", 15), ("I2", 25), ("I3", 39)]:
+            oracle.fix(name, value)
+        fs = oracle.feasible_set("I4")
+        assert fs.segments == ((1, 1),)
+
+    def test_guidance_is_minimally_invasive(self, biased_model):
+        """Valid prefixes pass through unchanged; only the invalid token is
+        diverted (the paper's 'a little guidance goes a long way')."""
+        rules = paper_rules(CONFIG)
+        enforcer = JitEnforcer(
+            biased_model, rules, CONFIG, EnforcerConfig(seed=0)
+        )
+        enforcer.impute(COARSE)
+        trace = enforcer.trace.sample
+        # Some steps were diverted (the 70), but not the majority.
+        assert trace.diverted_steps >= 1
+        assert trace.diverted_steps < trace.steps / 2

@@ -1,0 +1,104 @@
+"""Dataset assembly and record codec tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    COARSE_FIELDS,
+    TelemetryConfig,
+    build_dataset,
+    parse_record,
+    prompt_text,
+    record_text,
+    variable_bounds,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        num_train_racks=4, num_test_racks=2, windows_per_rack=30, seed=7
+    )
+
+
+class TestBuild:
+    def test_rack_split_sizes(self, dataset):
+        assert len(dataset.train_racks) == 4
+        assert len(dataset.test_racks) == 2
+
+    def test_rack_ids_disjoint(self, dataset):
+        train_ids = {r.rack_id for r in dataset.train_racks}
+        test_ids = {r.rack_id for r in dataset.test_racks}
+        assert not train_ids & test_ids
+
+    def test_windows_per_rack(self, dataset):
+        assert all(len(r.windows) == 30 for r in dataset.train_racks)
+
+    def test_deterministic(self):
+        a = build_dataset(2, 1, 10, seed=3)
+        b = build_dataset(2, 1, 10, seed=3)
+        assert a.train_texts() == b.train_texts()
+
+    def test_seed_changes_data(self):
+        a = build_dataset(2, 1, 10, seed=3)
+        b = build_dataset(2, 1, 10, seed=4)
+        assert a.train_texts() != b.train_texts()
+
+    def test_rack_heterogeneity(self, dataset):
+        rates = {r.params.burst_rate for r in dataset.train_racks}
+        assert len(rates) == len(dataset.train_racks)
+
+    def test_variables_property(self, dataset):
+        assert dataset.variables[: len(COARSE_FIELDS)] == COARSE_FIELDS
+
+
+class TestCodec:
+    def test_record_text_format(self, dataset):
+        window = dataset.train_racks[0].windows[0]
+        text = record_text(window)
+        assert text.endswith("\n")
+        assert text.count(">") == 1
+        head, _, tail = text.rstrip("\n").partition(">")
+        assert len(head.split()) == len(COARSE_FIELDS)
+        assert len(tail.split()) == dataset.config.window
+
+    def test_roundtrip(self, dataset):
+        window = dataset.train_racks[0].windows[0]
+        parsed = parse_record(record_text(window), dataset.config.window)
+        assert parsed == window.variables()
+
+    def test_prompt_text(self, dataset):
+        window = dataset.train_racks[0].windows[0]
+        prompt = prompt_text(window.coarse())
+        assert prompt.endswith(">")
+        assert record_text(window).startswith(prompt)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1 2 3 4 5 6 7 8 9\n",  # no separator
+            "1 2 3>1 2 3 4 5\n",  # wrong coarse arity
+            "1 2 3 4>1 2 3\n",  # wrong fine arity
+            "1 2 x 4>1 2 3 4 5\n",  # non-numeric
+            "",
+        ],
+    )
+    def test_malformed_records_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_record(bad, 5)
+
+    def test_bounds_cover_all_variables(self):
+        config = TelemetryConfig()
+        bounds = variable_bounds(config)
+        assert set(bounds) == {
+            "total", "cong", "retx", "egr", "I0", "I1", "I2", "I3", "I4",
+        }
+        assert bounds["total"] == (0, 300)
+        assert bounds["I0"] == (0, 60)
+
+    def test_all_training_data_within_bounds(self, dataset):
+        bounds = variable_bounds(dataset.config)
+        for window in dataset.train_windows():
+            for name, value in window.variables().items():
+                low, high = bounds[name]
+                assert low <= value <= high

@@ -1,0 +1,108 @@
+"""Telemetry coarsening tests: the queue model's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import TelemetryConfig, coarsen, window_variables
+from repro.data.telemetry import COARSE_FIELDS, fine_field
+
+
+CONFIG = TelemetryConfig()
+
+
+def make_windows(fine, initial_queue=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return coarsen(np.asarray(fine, dtype=np.int64), CONFIG, rng, initial_queue)
+
+
+class TestSchema:
+    def test_window_variables_order(self):
+        names = window_variables(3)
+        assert names == ("total", "cong", "retx", "egr", "I0", "I1", "I2")
+
+    def test_fine_field(self):
+        assert fine_field(2) == "I2"
+
+    def test_config_derived_quantities(self):
+        assert CONFIG.drain == int(60 * 0.7)
+        assert CONFIG.ecn_threshold == 30
+        assert CONFIG.max_total() == 300
+        assert CONFIG.max_egress() == 5 * 42
+
+
+class TestCoarsen:
+    def test_total_is_exact_sum(self):
+        windows, _ = make_windows([1, 2, 3, 4, 5, 10, 20, 30, 0, 0])
+        assert windows[0].total == 15
+        assert windows[1].total == 60
+
+    def test_window_count_floors(self):
+        windows, _ = make_windows(list(range(12)))  # 12 ticks, window 5
+        assert len(windows) == 2
+
+    def test_no_congestion_under_light_load(self):
+        windows, _ = make_windows([1] * 10)
+        assert all(w.cong == 0 for w in windows)
+        assert all(w.retx == 0 for w in windows)
+
+    def test_congestion_on_burst(self):
+        windows, _ = make_windows([60, 60, 0, 0, 0])
+        assert windows[0].cong >= 1
+
+    def test_retx_never_exceeds_cong(self):
+        rng_fine = np.random.default_rng(0).integers(0, 61, 200)
+        windows, _ = make_windows(rng_fine)
+        for window in windows:
+            assert 0 <= window.retx <= window.cong <= CONFIG.window
+
+    def test_egress_bounded_by_drain(self):
+        rng_fine = np.random.default_rng(1).integers(0, 61, 100)
+        windows, _ = make_windows(rng_fine)
+        for window in windows:
+            assert 0 <= window.egr <= CONFIG.max_egress()
+
+    def test_queue_conservation(self):
+        """ingress = egress + queue growth over the whole series."""
+        fine = np.random.default_rng(2).integers(0, 61, 100)
+        windows, final_queue = make_windows(fine)
+        total_in = sum(w.total for w in windows)
+        total_out = sum(w.egr for w in windows)
+        assert total_in == total_out + final_queue
+
+    def test_initial_queue_carries_over(self):
+        light = [0, 0, 0, 0, 0]
+        without, _ = make_windows(light, initial_queue=0)
+        with_queue, _ = make_windows(light, initial_queue=200)
+        assert with_queue[0].egr > without[0].egr
+        assert with_queue[0].cong >= without[0].cong
+
+    def test_variables_dict_complete(self):
+        windows, _ = make_windows([1, 2, 3, 4, 5])
+        values = windows[0].variables()
+        assert set(values) == set(window_variables(CONFIG.window))
+
+    def test_coarse_dict(self):
+        windows, _ = make_windows([1, 2, 3, 4, 5])
+        assert set(windows[0].coarse()) == set(COARSE_FIELDS)
+
+
+@given(
+    st.lists(st.integers(0, 60), min_size=5, max_size=40),
+    st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_invariants_hold_for_any_series(fine, initial_queue):
+    usable = (len(fine) // CONFIG.window) * CONFIG.window
+    windows, final_queue = make_windows(fine, initial_queue)
+    assert len(windows) == usable // CONFIG.window
+    for window in windows:
+        assert window.total == sum(window.fine)
+        assert 0 <= window.cong <= CONFIG.window
+        assert 0 <= window.retx <= window.cong
+        assert 0 <= window.egr <= CONFIG.max_egress()
+        assert all(0 <= v <= CONFIG.bandwidth for v in window.fine)
+    total_in = sum(w.total for w in windows)
+    total_out = sum(w.egr for w in windows)
+    assert initial_queue + total_in == total_out + final_queue

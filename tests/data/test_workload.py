@@ -1,0 +1,62 @@
+"""Workload generator tests: bounds, determinism, burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.data import RackWorkload, WorkloadParams, sample_rack_params
+
+
+class TestWorkload:
+    def test_values_within_bandwidth(self):
+        workload = RackWorkload(WorkloadParams(seed=0))
+        series = workload.generate(5000)
+        assert series.min() >= 0
+        assert series.max() <= WorkloadParams().bandwidth
+
+    def test_deterministic_per_seed(self):
+        first = RackWorkload(WorkloadParams(seed=3)).generate(1000)
+        second = RackWorkload(WorkloadParams(seed=3)).generate(1000)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = RackWorkload(WorkloadParams(seed=1)).generate(1000)
+        second = RackWorkload(WorkloadParams(seed=2)).generate(1000)
+        assert not np.array_equal(first, second)
+
+    def test_bursts_exist(self):
+        params = WorkloadParams(seed=0)
+        series = RackWorkload(params).generate(10_000)
+        half_bw = params.bandwidth / 2
+        burst_fraction = (series >= half_bw).mean()
+        # Bursty but not saturated: bursts are a minority of ticks.
+        assert 0.005 < burst_fraction < 0.5
+
+    def test_baseline_load_dominates(self):
+        params = WorkloadParams(seed=0)
+        series = RackWorkload(params).generate(10_000)
+        assert np.median(series) < params.bandwidth / 2
+
+    def test_heavy_tail(self):
+        params = WorkloadParams(seed=0)
+        series = RackWorkload(params).generate(20_000).astype(float)
+        p50, p99 = np.percentile(series, [50, 99])
+        assert p99 > 3 * max(p50, 1)
+
+    def test_length(self):
+        assert len(RackWorkload(WorkloadParams(seed=0)).generate(123)) == 123
+
+
+class TestMetaDistribution:
+    def test_sampled_params_within_ranges(self):
+        rng = np.random.default_rng(0)
+        for seed in range(20):
+            params = sample_rack_params(rng, bandwidth=60, seed=seed)
+            assert 3.0 <= params.base_load_mean <= 9.0
+            assert 0.04 <= params.burst_rate <= 0.14
+            assert params.bandwidth == 60
+            assert params.seed == seed
+
+    def test_rack_heterogeneity(self):
+        rng = np.random.default_rng(0)
+        rates = {sample_rack_params(rng).burst_rate for _ in range(10)}
+        assert len(rates) == 10

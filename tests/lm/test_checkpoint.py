@@ -1,0 +1,78 @@
+"""Model checkpoint tests."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    CharTokenizer,
+    NgramLM,
+    TransformerConfig,
+    TransformerLM,
+    load_ngram,
+    load_transformer,
+    save_ngram,
+    save_transformer,
+)
+
+
+class TestTransformerCheckpoint:
+    def test_roundtrip_identical_outputs(self, tmp_path):
+        tokenizer = CharTokenizer()
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, max_len=24, d_model=16,
+            n_heads=2, n_layers=1, seed=3,
+        )
+        model = TransformerLM(config, tokenizer)
+        path = tmp_path / "model.npz"
+        save_transformer(model, path)
+        restored = load_transformer(path)
+        prefix = tokenizer.encode("12 3")
+        assert np.allclose(
+            model.next_distribution(prefix), restored.next_distribution(prefix)
+        )
+        assert restored.config == config
+        assert not restored.training
+
+    def test_weights_actually_stored(self, tmp_path):
+        tokenizer = CharTokenizer()
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, max_len=24, d_model=16,
+            n_heads=2, n_layers=1, seed=3,
+        )
+        model = TransformerLM(config, tokenizer)
+        path = tmp_path / "model.npz"
+        save_transformer(model, path)
+        # Mutate the original; the checkpoint must be unaffected.
+        for param in model.parameters():
+            param.data += 1.0
+        restored = load_transformer(path)
+        assert not np.allclose(
+            model.token_embedding.weight.data,
+            restored.token_embedding.weight.data,
+        )
+
+
+class TestNgramCheckpoint:
+    def test_roundtrip_identical_distributions(self, tmp_path):
+        corpus = [f"{a} {a+1}>{2*a + 1}\n" for a in range(25)]
+        model = NgramLM(order=5).fit(corpus)
+        path = tmp_path / "ngram.json"
+        save_ngram(model, path)
+        restored = load_ngram(path)
+        assert restored.order == model.order
+        for prefix_text in ["", "1", "12 ", "3 4>"]:
+            prefix = model.tokenizer.encode(prefix_text)
+            assert np.allclose(
+                model.next_distribution(prefix),
+                restored.next_distribution(prefix),
+            )
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ngram(NgramLM(), tmp_path / "nope.json")
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            load_ngram(path)

@@ -1,0 +1,73 @@
+"""Transformer LM tests: shapes, causality, protocol conformance."""
+
+import numpy as np
+import pytest
+
+from repro.lm import CharTokenizer, TransformerConfig, TransformerLM
+from repro.lm.base import LanguageModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    tokenizer = CharTokenizer()
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, max_len=32, d_model=32, n_heads=2,
+        n_layers=2, seed=0,
+    )
+    return TransformerLM(config, tokenizer)
+
+
+class TestTransformer:
+    def test_forward_shape(self, model):
+        ids = np.zeros((3, 10), dtype=np.int64)
+        logits = model(ids)
+        assert logits.shape == (3, 10, model.config.vocab_size)
+
+    def test_causality(self, model):
+        """Changing a future token must not affect earlier positions."""
+        rng = np.random.default_rng(0)
+        ids = rng.integers(2, model.config.vocab_size, (1, 12))
+        base = model(ids).data.copy()
+        mutated = ids.copy()
+        mutated[0, 8] = (mutated[0, 8] + 1 - 2) % (model.config.vocab_size - 2) + 2
+        changed = model(mutated).data
+        assert np.allclose(base[0, :8], changed[0, :8], atol=1e-5)
+        assert not np.allclose(base[0, 8:], changed[0, 8:], atol=1e-5)
+
+    def test_next_distribution_protocol(self, model):
+        assert isinstance(model, LanguageModel)
+        probs = model.next_distribution([1, 2, 3])
+        assert probs.shape == (model.config.vocab_size,)
+        assert abs(probs.sum() - 1.0) < 1e-9
+
+    def test_next_distribution_truncates_long_prefix(self, model):
+        long_prefix = [2] * 100  # longer than max_len
+        probs = model.next_distribution(long_prefix)
+        assert abs(probs.sum() - 1.0) < 1e-9
+
+    def test_sequence_too_long_raises(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 64), dtype=np.int64))
+
+    def test_heads_divide_dim(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(d_model=30, n_heads=4)
+
+    def test_vocab_check(self):
+        tokenizer = CharTokenizer()
+        config = TransformerConfig(vocab_size=4)
+        with pytest.raises(ValueError):
+            TransformerLM(config, tokenizer)
+
+    def test_deterministic_given_seed(self):
+        tokenizer = CharTokenizer()
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, max_len=16, d_model=16,
+            n_heads=2, n_layers=1, seed=7,
+        )
+        m1, m2 = TransformerLM(config, tokenizer), TransformerLM(config, tokenizer)
+        ids = np.array([[2, 3, 4]])
+        assert np.allclose(m1(ids).data, m2(ids).data)
+
+    def test_parameter_count_positive(self, model):
+        assert model.num_parameters() > 1000

@@ -1,0 +1,74 @@
+"""Witten-Bell n-gram language model tests."""
+
+import numpy as np
+import pytest
+
+from repro.lm import CharTokenizer, NgramLM
+
+
+@pytest.fixture
+def corpus():
+    return ["12 3>4 5\n", "12 3>4 6\n", "99 1>2 3\n"] * 5
+
+
+@pytest.fixture
+def model(corpus):
+    return NgramLM(order=4).fit(corpus)
+
+
+class TestNgram:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            NgramLM().next_distribution([1])
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NgramLM(order=0)
+
+    def test_distribution_sums_to_one(self, model):
+        tokenizer = model.tokenizer
+        probs = model.next_distribution(tokenizer.encode("12 "))
+        assert abs(probs.sum() - 1.0) < 1e-9
+        assert (probs >= 0).all()
+
+    def test_specials_have_zero_mass(self, model):
+        tokenizer = model.tokenizer
+        probs = model.next_distribution(tokenizer.encode("12"))
+        assert probs[tokenizer.pad_id] == 0.0
+        assert probs[tokenizer.bos_id] == 0.0
+
+    def test_learns_deterministic_continuation(self, model):
+        tokenizer = model.tokenizer
+        # After "12 3>4 " the corpus continues with 5 or 6.
+        probs = model.next_distribution(tokenizer.encode("12 3>4 "))
+        five, six = tokenizer.id_of("5"), tokenizer.id_of("6")
+        assert probs[five] + probs[six] > 0.8
+
+    def test_context_matters(self, model):
+        tokenizer = model.tokenizer
+        after_9 = model.next_distribution(tokenizer.encode("9"))
+        after_1 = model.next_distribution(tokenizer.encode("1"))
+        nine = tokenizer.id_of("9")
+        two = tokenizer.id_of("2")
+        assert after_9[nine] > after_1[nine]
+        assert after_1[two] > after_9[two]
+
+    def test_unseen_context_backs_off(self, model):
+        tokenizer = model.tokenizer
+        probs = model.next_distribution(tokenizer.encode("777777"))
+        assert abs(probs.sum() - 1.0) < 1e-9
+        # Backoff still gives positive mass to common characters.
+        assert probs[tokenizer.id_of("1")] > 0
+
+    def test_perplexity_lower_on_training_data(self, corpus, model):
+        train_ppl = model.perplexity(corpus[:3])
+        weird_ppl = model.perplexity(["808 0>0 0\n"])
+        assert train_ppl < weird_ppl
+
+    def test_perplexity_empty(self, model):
+        assert model.perplexity([]) == float("inf")
+
+    def test_higher_order_sharper(self, corpus):
+        low = NgramLM(order=1).fit(corpus)
+        high = NgramLM(order=5).fit(corpus)
+        assert high.perplexity(corpus[:3]) < low.perplexity(corpus[:3])

@@ -1,0 +1,165 @@
+"""Masked sampling tests (the LeJIT integration seam)."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    CharTokenizer,
+    DeadEndError,
+    NgramLM,
+    SampleTrace,
+    sample_tokens,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    corpus = [f"{a} {b}>{a + b}\n" for a in range(20) for b in range(5)]
+    return NgramLM(order=5).fit(corpus)
+
+
+class TestSampling:
+    def test_stops_at_stop_id(self, model):
+        tokenizer = model.tokenizer
+        out = sample_tokens(
+            model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 20,
+            rng=np.random.default_rng(0),
+        )
+        assert out[-1] == tokenizer.record_end_id
+        assert tokenizer.record_end_id not in out[:-1]
+
+    def test_respects_budget(self, model):
+        tokenizer = model.tokenizer
+        out = sample_tokens(
+            model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 2,
+            rng=np.random.default_rng(0),
+        )
+        assert len(out) <= 2
+
+    def test_never_emits_specials(self, model):
+        tokenizer = model.tokenizer
+        for seed in range(5):
+            out = sample_tokens(
+                model, tokenizer.encode(""), tokenizer.record_end_id, 30,
+                rng=np.random.default_rng(seed),
+            )
+            assert tokenizer.pad_id not in out
+            assert tokenizer.bos_id not in out
+
+    def test_mask_is_honored(self, model):
+        tokenizer = model.tokenizer
+        allowed = {tokenizer.id_of("7"), tokenizer.record_end_id}
+        out = sample_tokens(
+            model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 10,
+            mask_hook=lambda ids: allowed,
+            rng=np.random.default_rng(1),
+        )
+        assert set(out) <= allowed
+
+    def test_empty_mask_raises_dead_end(self, model):
+        tokenizer = model.tokenizer
+        with pytest.raises(DeadEndError):
+            sample_tokens(
+                model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 5,
+                mask_hook=lambda ids: set(),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_mask_of_only_specials_raises(self, model):
+        tokenizer = model.tokenizer
+        with pytest.raises(DeadEndError):
+            sample_tokens(
+                model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 5,
+                mask_hook=lambda ids: {tokenizer.pad_id},
+                rng=np.random.default_rng(0),
+            )
+
+    def test_trace_counts(self, model):
+        tokenizer = model.tokenizer
+        allowed = {tokenizer.id_of("9"), tokenizer.record_end_id}
+        trace = SampleTrace()
+        sample_tokens(
+            model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 10,
+            mask_hook=lambda ids: allowed,
+            rng=np.random.default_rng(2),
+            trace=trace,
+        )
+        assert trace.steps >= 1
+        assert trace.masked_steps >= 1
+        assert 0 <= trace.diverted_steps <= trace.steps
+        assert trace.pruned_probability >= 0
+
+    def test_trace_merge(self):
+        first = SampleTrace(steps=3, masked_steps=1, diverted_steps=1,
+                            forced_steps=0, pruned_probability=0.5)
+        second = SampleTrace(steps=2, masked_steps=2, diverted_steps=0,
+                             forced_steps=1, pruned_probability=0.25)
+        first.merge(second)
+        assert first.steps == 5
+        assert first.masked_steps == 3
+        assert first.forced_steps == 1
+        assert abs(first.pruned_probability - 0.75) < 1e-12
+
+    def test_unmasked_matches_model_distribution(self, model):
+        """Empirically, unmasked sampling tracks the model's distribution."""
+        tokenizer = model.tokenizer
+        prefix = tokenizer.encode("3 2>")
+        probs = model.next_distribution(prefix)
+        top = int(np.argmax(probs))
+        rng = np.random.default_rng(3)
+        draws = [
+            sample_tokens(model, prefix, tokenizer.record_end_id, 1, rng=rng)[0]
+            for _ in range(300)
+        ]
+        frequency = draws.count(top) / len(draws)
+        assert abs(frequency - probs[top]) < 0.15
+
+    def test_temperature_zero_ish_is_greedy(self, model):
+        tokenizer = model.tokenizer
+        prefix = tokenizer.encode("3 2>")
+        probs = model.next_distribution(prefix)
+        greedy = int(np.argmax(probs))
+        out = sample_tokens(
+            model, prefix, tokenizer.record_end_id, 1,
+            temperature=0.01, rng=np.random.default_rng(4),
+        )
+        assert out[0] == greedy
+
+
+class TestTopK:
+    def test_top_k_restricts_support(self, model):
+        tokenizer = model.tokenizer
+        prefix = tokenizer.encode("3 2>")
+        probs = model.next_distribution(prefix)
+        import numpy as np
+
+        top2 = set(np.argsort(probs)[-2:])
+        draws = set()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            out = sample_tokens(
+                model, prefix, tokenizer.record_end_id, 1, top_k=2, rng=rng
+            )
+            draws.add(out[0])
+        assert draws <= top2
+
+    def test_top_k_composes_with_mask(self, model):
+        """The mask always wins: top-k never reintroduces pruned tokens."""
+        tokenizer = model.tokenizer
+        allowed = {tokenizer.id_of("7"), tokenizer.record_end_id}
+        import numpy as np
+
+        out = sample_tokens(
+            model, tokenizer.encode("3 2>"), tokenizer.record_end_id, 10,
+            mask_hook=lambda ids: allowed, top_k=3,
+            rng=np.random.default_rng(1),
+        )
+        assert set(out) <= allowed
+
+    def test_invalid_top_k(self, model):
+        tokenizer = model.tokenizer
+        with pytest.raises(ValueError):
+            sample_tokens(
+                model, tokenizer.encode("1"), tokenizer.record_end_id, 1,
+                top_k=0,
+            )

@@ -1,0 +1,55 @@
+"""Character tokenizer tests."""
+
+import pytest
+
+from repro.lm import CharTokenizer
+
+
+class TestCharTokenizer:
+    def setup_method(self):
+        self.tokenizer = CharTokenizer()
+
+    def test_roundtrip(self):
+        text = "12 34 5>678 9 0\n"
+        ids = self.tokenizer.encode(text)
+        assert self.tokenizer.decode(ids) == text  # BOS decodes to ""
+
+    def test_bos_prepended(self):
+        ids = self.tokenizer.encode("1")
+        assert ids[0] == self.tokenizer.bos_id
+
+    def test_no_bos_option(self):
+        ids = self.tokenizer.encode("1", add_bos=False)
+        assert ids == [self.tokenizer.id_of("1")]
+
+    def test_specials_decode_empty(self):
+        assert self.tokenizer.char_of(self.tokenizer.pad_id) == ""
+        assert self.tokenizer.char_of(self.tokenizer.bos_id) == ""
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(KeyError):
+            self.tokenizer.id_of("x")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(KeyError):
+            self.tokenizer.char_of(self.tokenizer.vocab_size)
+
+    def test_vocab_size(self):
+        # 10 digits + space + '>' + newline + 2 specials.
+        assert self.tokenizer.vocab_size == 15
+
+    def test_digit_ids_are_consecutive_chars(self):
+        ids = self.tokenizer.digit_ids()
+        assert len(ids) == 10
+        assert [self.tokenizer.char_of(i) for i in ids] == list("0123456789")
+
+    def test_separator_properties(self):
+        assert self.tokenizer.char_of(self.tokenizer.field_sep_id) == " "
+        assert self.tokenizer.char_of(self.tokenizer.prompt_sep_id) == ">"
+        assert self.tokenizer.char_of(self.tokenizer.record_end_id) == "\n"
+
+    def test_ids_unique(self):
+        all_ids = [self.tokenizer.id_of(c) for c in self.tokenizer.alphabet]
+        assert len(set(all_ids)) == len(all_ids)
+        assert self.tokenizer.pad_id not in all_ids
+        assert self.tokenizer.bos_id not in all_ids

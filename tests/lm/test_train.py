@@ -1,0 +1,86 @@
+"""Training-loop tests for the transformer LM (kept tiny for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    CharTokenizer,
+    TrainConfig,
+    TransformerConfig,
+    evaluate_loss,
+    make_batches,
+    train_lm,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    texts = [f"{a} {b}>{a + b}\n" for a in rng.integers(0, 30, 150)
+             for b in [int(rng.integers(0, 9))]]
+    tokenizer = CharTokenizer()
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, max_len=32, d_model=32, n_heads=2,
+        n_layers=1, seed=0,
+    )
+    model, report = train_lm(
+        texts, config, TrainConfig(steps=120, batch_size=16, eval_every=60)
+    )
+    return model, report, texts
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, report, _ = trained
+        first = np.mean(report.losses[:10])
+        last = np.mean(report.losses[-10:])
+        assert last < first * 0.8
+
+    def test_eval_losses_recorded(self, trained):
+        _, report, _ = trained
+        assert len(report.eval_losses) == 2
+
+    def test_model_in_eval_mode_after_training(self, trained):
+        model, _, _ = trained
+        assert not model.training
+
+    def test_evaluate_loss_finite(self, trained):
+        model, _, texts = trained
+        encoded = [model.tokenizer.encode(t) for t in texts[:20]]
+        loss = evaluate_loss(model, encoded)
+        assert 0 < loss < 10
+
+    def test_record_too_long_raises(self):
+        tokenizer = CharTokenizer()
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, max_len=4, d_model=16, n_heads=2,
+            n_layers=1,
+        )
+        with pytest.raises(ValueError):
+            train_lm(["123456789 123456\n"], config, TrainConfig(steps=1))
+
+
+class TestBatches:
+    def test_padding_and_shift(self):
+        tokenizer = CharTokenizer()
+        encoded = [tokenizer.encode("12\n"), tokenizer.encode("3\n")]
+        rng = np.random.default_rng(0)
+        inputs, targets = next(
+            make_batches(encoded, batch_size=2, pad_id=tokenizer.pad_id, rng=rng)
+        )
+        assert inputs.shape == targets.shape
+        # Targets are inputs shifted by one; padded tail marked -1.
+        for row_inputs, row_targets, ids in zip(
+            inputs, targets, [encoded[i] for i in np.argsort([0, 1])]
+        ):
+            width = (row_targets != -1).sum()
+            assert width <= len(ids) - 1
+
+    def test_batches_cycle_forever(self):
+        tokenizer = CharTokenizer()
+        encoded = [tokenizer.encode("1\n")] * 4
+        rng = np.random.default_rng(0)
+        generator = make_batches(encoded, 2, tokenizer.pad_id, rng)
+        for _ in range(10):
+            inputs, _ = next(generator)
+            assert inputs.shape[0] == 2

@@ -1,0 +1,111 @@
+"""Distribution metrics, cross-checked against scipy where possible."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import wasserstein_distance
+
+from repro.metrics import emd, histogram_jsd, jsd, mae, p99_error, relative_error, rmse
+
+
+class TestEmd:
+    def test_identical_samples_zero(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert emd(data, data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shift_by_constant(self):
+        a = np.arange(100, dtype=float)
+        assert emd(a, a + 5.0) == pytest.approx(5.0, rel=0.05)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.normal(0, 1, 200)
+            b = rng.normal(1, 2, 200)
+            assert emd(a, b) == pytest.approx(
+                wasserstein_distance(a, b), rel=0.1, abs=0.05
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            emd([], [1.0])
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=50), rng.normal(2, 1, 50)
+        assert emd(a, b) == pytest.approx(emd(b, a), rel=1e-6)
+
+
+class TestJsd:
+    def test_identical_zero(self):
+        p = [0.25, 0.25, 0.5]
+        assert jsd(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_one_bit(self):
+        assert jsd([1, 0], [0, 1]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            p = rng.random(8)
+            q = rng.random(8)
+            value = jsd(p, q)
+            assert 0.0 <= value <= 1.0
+
+    def test_symmetry(self):
+        p, q = [0.7, 0.2, 0.1], [0.1, 0.2, 0.7]
+        assert jsd(p, q) == pytest.approx(jsd(q, p), rel=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jsd([1, 0], [1, 0, 0])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            jsd([0, 0], [1, 0])
+
+    def test_histogram_jsd_similar_vs_different(self):
+        rng = np.random.default_rng(3)
+        real = rng.normal(10, 2, 2000)
+        close = rng.normal(10, 2, 2000)
+        far = rng.normal(30, 1, 2000)
+        assert histogram_jsd(real, close) < histogram_jsd(real, far)
+
+    def test_histogram_jsd_degenerate_support(self):
+        value = histogram_jsd([5.0] * 10, [5.0] * 10)
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+
+class TestErrors:
+    def test_p99(self):
+        truth = np.arange(1000, dtype=float)
+        assert p99_error(truth, truth) == pytest.approx(0.0, abs=1e-9)
+        assert p99_error(truth, truth * 2) == pytest.approx(1.0, rel=0.01)
+
+    def test_relative_error(self):
+        assert relative_error(10.0, 12.0) == pytest.approx(0.2)
+        assert relative_error(0.0, 1.0) > 1e6  # guarded denominator
+
+    def test_mae_rmse(self):
+        truth = [0.0, 0.0]
+        predicted = [3.0, -4.0]
+        assert mae(truth, predicted) == pytest.approx(3.5)
+        assert rmse(truth, predicted) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+
+@given(
+    st.lists(st.floats(0, 100), min_size=5, max_size=40),
+    st.lists(st.floats(0, 100), min_size=5, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_emd_nonnegative_and_triangleish(a, b):
+    value = emd(a, b)
+    assert value >= 0
+    assert np.isfinite(value)

@@ -1,0 +1,118 @@
+"""Burst analysis and autocorrelation metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Burst,
+    autocorrelation,
+    autocorrelation_error,
+    burst_metrics,
+    find_bursts,
+)
+
+
+class TestAutocorrelation:
+    def test_perfect_for_constant_trendless(self):
+        series = np.sin(np.linspace(0, 20, 200))
+        assert autocorrelation(series, 1) > 0.9
+
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=5000)
+        assert abs(autocorrelation(series, 1)) < 0.1
+
+    def test_degenerate_series_zero(self):
+        assert autocorrelation([5.0] * 10, 1) == 0.0
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 0)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+
+    def test_error_zero_for_identical(self):
+        series = np.sin(np.linspace(0, 10, 100))
+        assert autocorrelation_error(series, series) == pytest.approx(0.0)
+
+    def test_error_positive_for_shuffled(self):
+        rng = np.random.default_rng(1)
+        series = np.sin(np.linspace(0, 10, 100))
+        shuffled = rng.permutation(series)
+        assert autocorrelation_error(series, shuffled) > 0.05
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation_error([1.0], [1.0])
+
+
+class TestFindBursts:
+    BW = 60
+
+    def test_no_bursts(self):
+        assert find_bursts([1, 2, 3], self.BW) == []
+
+    def test_single_burst(self):
+        bursts = find_bursts([0, 35, 40, 0, 0], self.BW)
+        assert bursts == [Burst(start=1, end=2, height=40)]
+        assert bursts[0].duration == 2
+        assert bursts[0].position == 1.5
+
+    def test_burst_at_series_end(self):
+        bursts = find_bursts([0, 0, 45], self.BW)
+        assert bursts == [Burst(start=2, end=2, height=45)]
+
+    def test_threshold_boundary_inclusive(self):
+        bursts = find_bursts([30], self.BW, threshold_fraction=0.5)
+        assert len(bursts) == 1
+
+    def test_multiple_bursts(self):
+        series = [40, 0, 50, 55, 0, 0, 31]
+        bursts = find_bursts(series, self.BW)
+        assert len(bursts) == 3
+        assert [b.height for b in bursts] == [40, 55, 31]
+
+
+class TestBurstMetrics:
+    BW = 60
+
+    def test_identical_series_zero_errors(self):
+        series = [0, 40, 50, 0, 35]
+        report = burst_metrics(series, series, self.BW)
+        assert report.count_error == 0
+        assert report.height_error == 0
+        assert report.duration_error == 0
+        assert report.position_error == 0
+
+    def test_missing_burst_penalized(self):
+        truth = [0, 40, 0, 0, 0]
+        predicted = [0, 0, 0, 0, 0]
+        report = burst_metrics(truth, predicted, self.BW)
+        assert report.count_error == 1.0
+        assert report.position_error == 1.0
+
+    def test_spurious_burst_penalized(self):
+        truth = [0, 0, 0, 0, 0]
+        predicted = [0, 40, 0, 0, 0]
+        report = burst_metrics(truth, predicted, self.BW)
+        assert report.count_error >= 1.0
+        assert report.position_error == 1.0
+
+    def test_shifted_burst_position_error(self):
+        truth = [40, 0, 0, 0, 0]
+        predicted = [0, 0, 0, 0, 40]
+        report = burst_metrics(truth, predicted, self.BW)
+        assert report.count_error == 0
+        assert report.position_error == pytest.approx(4 / 5)
+
+    def test_height_error_normalized_by_bandwidth(self):
+        truth = [60, 0, 0]
+        predicted = [30, 0, 0]
+        report = burst_metrics(truth, predicted, self.BW)
+        assert report.height_error == pytest.approx(0.5)
+
+    def test_as_dict_keys(self):
+        report = burst_metrics([0, 40], [0, 40], self.BW)
+        assert set(report.as_dict()) == {
+            "burst_count", "burst_height", "burst_duration", "burst_position",
+        }

@@ -1,0 +1,55 @@
+"""Rule-violation audit tests."""
+
+import pytest
+
+from repro.metrics import audit
+from repro.rules import Rule, RuleSet, var
+from repro.smt import Ge, Le
+
+
+@pytest.fixture
+def rules():
+    return RuleSet(
+        [
+            Rule("x-hi", Le(var("x"), 10)),
+            Rule("x-lo", Ge(var("x"), 0)),
+            Rule("y-hi", Le(var("y"), 5)),
+        ]
+    )
+
+
+class TestAudit:
+    def test_clean_batch(self, rules):
+        report = audit([{"x": 5, "y": 1}, {"x": 0, "y": 5}], rules)
+        assert report.violating_records == 0
+        assert report.record_violation_rate == 0.0
+        assert report.rule_violation_rate == 0.0
+
+    def test_mixed_batch(self, rules):
+        records = [
+            {"x": 5, "y": 1},  # clean
+            {"x": 20, "y": 9},  # breaks x-hi, y-hi
+            {"x": -1, "y": 0},  # breaks x-lo
+        ]
+        report = audit(records, rules)
+        assert report.violating_records == 2
+        assert report.total_violations == 3
+        assert report.record_violation_rate == pytest.approx(2 / 3)
+        assert report.rule_violation_rate == pytest.approx(3 / 9)
+
+    def test_per_rule_counts(self, rules):
+        records = [{"x": 20, "y": 9}, {"x": 20, "y": 0}]
+        report = audit(records, rules)
+        assert report.per_rule["x-hi"] == 2
+        assert report.per_rule["y-hi"] == 1
+
+    def test_worst_rules_ranked(self, rules):
+        records = [{"x": 20, "y": 9}, {"x": 20, "y": 0}]
+        worst = audit(records, rules).worst_rules(top=1)
+        assert worst == [("x-hi", 2)]
+
+    def test_empty_batch(self, rules):
+        report = audit([], rules)
+        assert report.records == 0
+        assert report.record_violation_rate == 0.0
+        assert report.rule_violation_rate == 0.0

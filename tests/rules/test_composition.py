@@ -1,0 +1,62 @@
+"""Rule-set composition tests (Section 5: compose rule sets on the fly)."""
+
+import pytest
+
+from repro.data import TelemetryConfig
+from repro.rules import Rule, RuleSet, paper_rules, var, zoom2net_manual_rules
+from repro.smt import Ge, Le
+
+
+class TestUnion:
+    def test_union_disjoint(self):
+        a = RuleSet([Rule("a", Ge(var("x"), 0))], name="a")
+        b = RuleSet([Rule("b", Le(var("x"), 5))], name="b")
+        merged = a | b
+        assert len(merged) == 2
+        assert "a" in merged and "b" in merged
+        assert merged.name == "a|b"
+
+    def test_union_identical_rule_deduplicates(self):
+        rule = Rule("shared", Ge(var("x"), 0))
+        merged = RuleSet([rule]) | RuleSet([rule])
+        assert len(merged) == 1
+
+    def test_union_conflicting_definition_rejected(self):
+        a = RuleSet([Rule("r", Ge(var("x"), 0))])
+        b = RuleSet([Rule("r", Ge(var("x"), 1))])
+        with pytest.raises(ValueError):
+            a | b
+
+    def test_union_semantics_is_conjunction(self):
+        config = TelemetryConfig()
+        merged = paper_rules(config) | zoom2net_manual_rules(config)
+        assert len(merged) == len(paper_rules(config)) + len(
+            zoom2net_manual_rules(config)
+        )
+        values = {"total": 10, "cong": 0, "retx": 0, "egr": 10,
+                  "I0": 2, "I1": 2, "I2": 2, "I3": 2, "I4": 2}
+        assert merged.compliant(values) == (
+            paper_rules(config).compliant(values)
+            and zoom2net_manual_rules(config).compliant(values)
+        )
+
+    def test_originals_unchanged(self):
+        a = RuleSet([Rule("a", Ge(var("x"), 0))], name="a")
+        b = RuleSet([Rule("b", Le(var("x"), 5))], name="b")
+        _ = a | b
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestFiltered:
+    def test_filter_by_kind(self):
+        rules = paper_rules()
+        bounds_only = rules.filtered(lambda r: r.kind == "bound")
+        assert len(bounds_only) == 5  # R1[0..4]
+
+    def test_filter_preserves_rule_objects(self):
+        rules = paper_rules()
+        sums = rules.filtered(lambda r: r.kind == "sum")
+        assert sums["R2"] is rules["R2"]
+
+    def test_filter_to_empty(self):
+        assert len(paper_rules().filtered(lambda r: False)) == 0

@@ -1,0 +1,82 @@
+"""Infeasibility-diagnosis tests."""
+
+import pytest
+
+from repro.data import TelemetryConfig, variable_bounds
+from repro.rules import Rule, RuleSet, paper_rules, var
+from repro.rules.diagnose import diagnose_infeasibility
+from repro.smt import And, Ge, Le
+
+
+CONFIG = TelemetryConfig()
+BOUNDS = variable_bounds(CONFIG)
+
+
+class TestDiagnose:
+    def test_feasible_prompt(self):
+        report = diagnose_infeasibility(
+            paper_rules(CONFIG),
+            {"total": 100, "cong": 3, "retx": 1, "egr": 100},
+            BOUNDS,
+        )
+        assert report.feasible
+        assert bool(report)
+        assert report.conflicting_rules == []
+        assert "feasible" in report.summary()
+
+    def test_r2_r3_conflict_identified(self):
+        # total=20 with congestion: R3 needs a >=30 burst, R2 caps sum at 20.
+        report = diagnose_infeasibility(
+            paper_rules(CONFIG),
+            {"total": 20, "cong": 2, "retx": 0, "egr": 20},
+            BOUNDS,
+        )
+        assert not report.feasible
+        names = {rule.name for rule in report.conflicting_rules}
+        assert "R2" in names and "R3" in names
+        # R1 bounds are irrelevant to this conflict... except those needed
+        # to cap the burst; the core must at least exclude most of them.
+        assert len(names) <= 4
+        assert "infeasible" in report.summary()
+
+    def test_core_is_minimal(self):
+        rules = RuleSet(
+            [
+                Rule("lo", Ge(var("x"), 10)),
+                Rule("hi", Le(var("x"), 5)),
+                Rule("unrelated", Ge(var("y"), 0)),
+                Rule("also-lo", Ge(var("x"), 2)),  # implied by lo; redundant
+            ]
+        )
+        bounds = {"x": (0, 100), "y": (0, 100)}
+        report = diagnose_infeasibility(rules, {}, bounds)
+        assert not report.feasible
+        names = {rule.name for rule in report.conflicting_rules}
+        assert names == {"lo", "hi"}
+
+    def test_fixed_value_violating_rule_directly(self):
+        rules = RuleSet([Rule("cap", Le(var("total"), 50))])
+        report = diagnose_infeasibility(rules, {"total": 80}, BOUNDS)
+        assert not report.feasible
+        assert [r.name for r in report.conflicting_rules] == ["cap"]
+
+    def test_fixed_outside_domain(self):
+        report = diagnose_infeasibility(
+            paper_rules(CONFIG), {"total": 10_000}, BOUNDS
+        )
+        assert not report.feasible
+
+    def test_every_core_rule_is_necessary(self):
+        report = diagnose_infeasibility(
+            paper_rules(CONFIG),
+            {"total": 20, "cong": 2, "retx": 0, "egr": 20},
+            BOUNDS,
+        )
+        from repro.rules.diagnose import _is_feasible
+
+        core = report.conflicting_rules
+        for index in range(len(core)):
+            without = core[:index] + core[index + 1 :]
+            assert _is_feasible(without, report.fixed, BOUNDS), (
+                f"{core[index].name} is not necessary"
+            )

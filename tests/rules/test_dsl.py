@@ -1,0 +1,79 @@
+"""Rule DSL and RuleSet tests."""
+
+import pytest
+
+from repro.rules import Rule, RuleSet, var
+from repro.smt import And, Ge, Le
+
+
+def bound_rule(name, low, high):
+    return Rule(
+        name=name,
+        formula=And(Ge(var(name.split("-")[0]), low), Le(var(name.split("-")[0]), high)),
+        kind="bound",
+    )
+
+
+class TestRuleSet:
+    def test_add_and_lookup(self):
+        rules = RuleSet([bound_rule("x-dom", 0, 5)])
+        assert "x-dom" in rules
+        assert rules["x-dom"].kind == "bound"
+        assert len(rules) == 1
+
+    def test_duplicate_name_rejected(self):
+        rules = RuleSet([bound_rule("x-dom", 0, 5)])
+        with pytest.raises(ValueError):
+            rules.add(bound_rule("x-dom", 0, 9))
+
+    def test_violations(self):
+        rules = RuleSet([bound_rule("x-dom", 0, 5), bound_rule("y-dom", 0, 5)])
+        broken = rules.violations({"x": 7, "y": 3})
+        assert [r.name for r in broken] == ["x-dom"]
+        assert rules.compliant({"x": 2, "y": 3})
+
+    def test_by_kind(self):
+        rules = RuleSet(
+            [
+                bound_rule("x-dom", 0, 5),
+                Rule("imp", Ge(var("x"), 0), kind="implication"),
+            ]
+        )
+        assert len(rules.by_kind("bound")) == 1
+        assert len(rules.by_kind("implication")) == 1
+
+    def test_restricted_to(self):
+        rules = RuleSet(
+            [
+                Rule("only-x", Ge(var("x"), 0)),
+                Rule("x-and-y", Ge(var("x") + var("y"), 0)),
+            ]
+        )
+        restricted = rules.restricted_to(["x"])
+        assert [r.name for r in restricted] == ["only-x"]
+
+    def test_variables_collects_all(self):
+        rules = RuleSet(
+            [Rule("a", Ge(var("p"), 0)), Rule("b", Le(var("q") + var("p"), 3))]
+        )
+        assert set(rules.variables()) == {"p", "q"}
+
+    def test_conjunction_semantics(self):
+        rules = RuleSet([bound_rule("x-dom", 0, 5), bound_rule("y-dom", 0, 5)])
+        conj = rules.conjunction()
+        assert conj.evaluate({"x": 1, "y": 1})
+        assert not conj.evaluate({"x": 9, "y": 1})
+
+    def test_summary(self):
+        rules = RuleSet(
+            [
+                bound_rule("x-dom", 0, 5),
+                bound_rule("y-dom", 0, 5),
+                Rule("imp", Ge(var("x"), 0), kind="implication"),
+            ]
+        )
+        assert rules.summary() == {"bound": 2, "implication": 1}
+
+    def test_iteration_preserves_order(self):
+        rules = RuleSet([bound_rule("b-dom", 0, 1), bound_rule("a-dom", 0, 1)])
+        assert [r.name for r in rules] == ["b-dom", "a-dom"]

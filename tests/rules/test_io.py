@@ -1,0 +1,69 @@
+"""Rule-set persistence tests."""
+
+import json
+
+import pytest
+
+from repro.data import TelemetryConfig, build_dataset, fine_field, window_variables
+from repro.rules import (
+    MinerOptions,
+    load_rules,
+    mine_rules,
+    paper_rules,
+    rules_from_json,
+    rules_to_json,
+    save_rules,
+)
+
+
+class TestRuleIo:
+    def test_roundtrip_paper_rules(self, tmp_path):
+        rules = paper_rules(TelemetryConfig())
+        path = tmp_path / "rules.json"
+        save_rules(rules, path)
+        restored = load_rules(path)
+        assert len(restored) == len(rules)
+        assert restored.name == rules.name
+        for original in rules:
+            copy = restored[original.name]
+            assert copy.formula == original.formula
+            assert copy.kind == original.kind
+            assert copy.source == original.source
+            assert copy.description == original.description
+
+    def test_roundtrip_mined_rules_semantics(self, tmp_path):
+        dataset = build_dataset(3, 1, 30, seed=8)
+        assignments = [w.variables() for w in dataset.train_windows()]
+        rules = mine_rules(
+            assignments,
+            list(window_variables(dataset.config.window)),
+            MinerOptions(slack=1),
+            fine_variables=[fine_field(t) for t in range(dataset.config.window)],
+        )
+        path = tmp_path / "mined.json"
+        save_rules(rules, path)
+        restored = load_rules(path)
+        assert len(restored) == len(rules)
+        for assignment in assignments[:30]:
+            assert restored.violations(assignment) == []
+
+    def test_format_guard(self):
+        with pytest.raises(ValueError):
+            rules_from_json(json.dumps({"format": "something-else", "rules": []}))
+
+    def test_json_is_valid_and_versioned(self):
+        text = rules_to_json(paper_rules())
+        payload = json.loads(text)
+        assert payload["format"] == "lejit-rules/1"
+        assert len(payload["rules"]) == len(paper_rules())
+
+    def test_missing_fields_default(self):
+        payload = {
+            "format": "lejit-rules/1",
+            "rules": [
+                {"name": "r", "formula": {"op": "true"}},
+            ],
+        }
+        rules = rules_from_json(json.dumps(payload))
+        assert rules["r"].kind == "generic"
+        assert rules["r"].source == "manual"

@@ -1,0 +1,88 @@
+"""Hand-written rule libraries: R1-R3 and C4-C7 semantics."""
+
+import pytest
+
+from repro.data import TelemetryConfig
+from repro.rules import domain_bound_rules, paper_rules, zoom2net_manual_rules
+
+
+CONFIG = TelemetryConfig()  # T=5, BW=60
+
+
+def record(fine, total=None, cong=0, retx=0, egr=0):
+    values = {"total": sum(fine) if total is None else total,
+              "cong": cong, "retx": retx, "egr": egr}
+    for index, value in enumerate(fine):
+        values[f"I{index}"] = value
+    return values
+
+
+class TestPaperRules:
+    def setup_method(self):
+        self.rules = paper_rules(CONFIG)
+
+    def test_rule_names(self):
+        names = [r.name for r in self.rules]
+        assert names == ["R1[0]", "R1[1]", "R1[2]", "R1[3]", "R1[4]", "R2", "R3"]
+
+    def test_paper_invalid_example_violates(self):
+        # Fig. 1a: [20, 15, 25, 70, 8] with Total=100, Congestion=8.
+        values = record([20, 15, 25, 70, 8], total=100, cong=8)
+        broken = {r.name for r in self.rules.violations(values)}
+        assert "R1[3]" in broken  # 70 > BW
+        assert "R2" in broken  # sum 138 != 100
+
+    def test_paper_valid_example_complies(self):
+        # Fig. 1b: LeJIT's output [20, 15, 25, 39, 1].
+        values = record([20, 15, 25, 39, 1], total=100, cong=8)
+        assert self.rules.compliant(values)
+
+    def test_r3_requires_burst_under_congestion(self):
+        values = record([20, 20, 20, 20, 20], cong=3)
+        broken = {r.name for r in self.rules.violations(values)}
+        assert broken == {"R3"}
+
+    def test_r3_vacuous_without_congestion(self):
+        values = record([20, 20, 20, 20, 20], cong=0)
+        assert self.rules.compliant(values)
+
+    def test_r1_lower_bound(self):
+        values = record([-1, 20, 20, 20, 41], cong=0)
+        broken = {r.name for r in self.rules.violations(values)}
+        assert "R1[0]" in broken
+
+
+class TestManualRules:
+    def setup_method(self):
+        self.rules = zoom2net_manual_rules(CONFIG)
+
+    def test_four_rules(self):
+        assert [r.name for r in self.rules] == ["C4", "C5", "C6", "C7"]
+
+    def test_c4_bandwidth(self):
+        assert not self.rules["C4"].holds(record([61, 0, 0, 0, 0], total=61))
+        assert self.rules["C4"].holds(record([60, 0, 0, 0, 0], total=60))
+
+    def test_c5_sum(self):
+        assert not self.rules["C5"].holds(record([1, 1, 1, 1, 1], total=9))
+
+    def test_c6_burst(self):
+        assert not self.rules["C6"].holds(record([10, 10, 10, 10, 10], cong=2))
+        assert self.rules["C6"].holds(record([35, 5, 0, 5, 5], cong=2))
+
+    def test_c7_egress_cap(self):
+        good = record([0, 0, 0, 0, 0], egr=CONFIG.max_egress())
+        bad = record([0, 0, 0, 0, 0], egr=CONFIG.max_egress() + 1)
+        assert self.rules["C7"].holds(good)
+        assert not self.rules["C7"].holds(bad)
+
+
+class TestDomainRules:
+    def test_covers_all_variables(self):
+        rules = domain_bound_rules(CONFIG)
+        assert len(rules) == 4 + CONFIG.window
+
+    def test_domain_violation(self):
+        rules = domain_bound_rules(CONFIG)
+        values = record([0, 0, 0, 0, 0], total=301)
+        assert not rules.compliant(values)

@@ -1,0 +1,119 @@
+"""Rule miner tests: soundness on training data + family behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import build_dataset, fine_field, window_variables
+from repro.rules import MinerOptions, mine_rules
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    dataset = build_dataset(
+        num_train_racks=6, num_test_racks=1, windows_per_rack=60, seed=5
+    )
+    assignments = [w.variables() for w in dataset.train_windows()]
+    variables = list(window_variables(dataset.config.window))
+    fine = [fine_field(t) for t in range(dataset.config.window)]
+    return assignments, variables, fine
+
+
+class TestMinedRulesSoundness:
+    def test_all_rules_hold_on_training_data(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        for assignment in assignments:
+            assert rules.compliant(assignment)
+
+    def test_slack_widens_but_still_holds(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(
+            assignments, variables, MinerOptions(slack=3), fine_variables=fine
+        )
+        for assignment in assignments:
+            assert rules.compliant(assignment)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            mine_rules([], ["x"])
+
+
+class TestFamilies:
+    def test_family_toggles(self, training_data):
+        assignments, variables, fine = training_data
+        only_bounds = mine_rules(
+            assignments,
+            variables,
+            MinerOptions(
+                octagon=False, ratios=False, identities=False,
+                conditionals=False, burst_implications=False,
+            ),
+            fine_variables=fine,
+        )
+        assert set(only_bounds.summary()) == {"bound"}
+        assert len(only_bounds) == 2 * len(variables)
+
+    def test_identity_detection(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        assert "id[total=sum]" in rules
+
+    def test_identity_needs_fine_variables(self, training_data):
+        assignments, variables, _ = training_data
+        rules = mine_rules(assignments, variables, fine_variables=())
+        assert "id[total=sum]" not in rules
+
+    def test_burst_implications_generalize_r3(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        implications = rules.by_kind("implication")
+        assert len(implications) >= 1
+
+    def test_octagon_rules_nontrivial(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        octagon = rules.by_kind("octagon")
+        assert len(octagon) > 0
+        # retx <= cong emerges as a difference bound from the queue model.
+        diff_rules = [
+            r for r in octagon
+            if set(r.variables()) == {"retx", "cong"}
+        ]
+        assert diff_rules
+
+    def test_zero_propagation_rule(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        zero_rules = [name for name in (r.name for r in rules) if name.startswith("zero[")]
+        assert any("cong=0:retx=0" in name for name in zero_rules)
+
+    def test_rule_counts_scale_with_families(self, training_data):
+        assignments, variables, fine = training_data
+        full = mine_rules(assignments, variables, fine_variables=fine)
+        no_ratio = mine_rules(
+            assignments, variables, MinerOptions(ratios=False), fine_variables=fine
+        )
+        assert len(full) > len(no_ratio)
+
+
+class TestConditionalSemantics:
+    def test_conditional_rules_hold_by_construction(self, training_data):
+        assignments, variables, fine = training_data
+        rules = mine_rules(assignments, variables, fine_variables=fine)
+        conditionals = rules.by_kind("conditional")
+        for rule in conditionals:
+            for assignment in assignments[:100]:
+                assert rule.holds(assignment), rule.name
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_mined_rules_hold_on_arbitrary_synthetic_fleets(seed):
+    dataset = build_dataset(2, 1, 20, seed=seed % 1000)
+    assignments = [w.variables() for w in dataset.train_windows()]
+    variables = list(window_variables(dataset.config.window))
+    rules = mine_rules(assignments, variables)
+    for assignment in assignments:
+        assert rules.compliant(assignment)

@@ -1,0 +1,98 @@
+"""Tseitin CNF conversion: equisatisfiability with the source formula."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import And, Eq, Ge, Le, LinExpr, Ne, Not, Or
+from repro.smt.cnf import CnfBuilder, to_cnf
+from repro.smt.sat import SatSolver
+
+VARS = ["x", "y"]
+
+
+def formula_strategy():
+    atom = st.builds(
+        lambda coeffs, const, cmp: cmp(LinExpr(dict(zip(VARS, coeffs)), const), 0),
+        st.lists(st.integers(-2, 2), min_size=2, max_size=2),
+        st.integers(-4, 4),
+        st.sampled_from([Le, Ge, Eq, Ne]),
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+def formula_boolean_satisfiable(formula, atoms):
+    """Is there a truth assignment of the atoms that satisfies the boolean
+    skeleton? (Ignores arithmetic consistency on purpose.)"""
+
+    def evaluate(node, assignment):
+        from repro.smt.terms import Atom, BoolConst
+
+        if isinstance(node, BoolConst):
+            return node.value
+        if isinstance(node, Atom):
+            return assignment[node]
+        if isinstance(node, Not):
+            return not evaluate(node.arg, assignment)
+        if isinstance(node, And):
+            return all(evaluate(a, assignment) for a in node.args)
+        if isinstance(node, Or):
+            return any(evaluate(a, assignment) for a in node.args)
+        raise TypeError(node)
+
+    for bits in itertools.product([False, True], repeat=len(atoms)):
+        if evaluate(formula, dict(zip(atoms, bits))):
+            return True
+    return False
+
+
+@given(formula_strategy())
+@settings(max_examples=150, deadline=None)
+def test_cnf_equisatisfiable_with_boolean_skeleton(formula):
+    from repro.smt.simplify import simplify, to_nnf
+
+    nnf = simplify(to_nnf(formula))
+    result = to_cnf(formula)
+    solver = SatSolver()
+    for clause in result.clauses:
+        solver.add_clause(clause)
+    cnf_sat = solver.solve().satisfiable and not result.trivially_false
+    skeleton_sat = formula_boolean_satisfiable(nnf, list(nnf.atoms()))
+    assert cnf_sat == skeleton_sat
+
+
+def test_builder_shares_atom_variables():
+    builder = CnfBuilder()
+    x = LinExpr({"x": 1})
+    builder.assert_formula(Le(x, 5))
+    builder.assert_formula(Or(Le(x, 5), Le(x, 7)))
+    snapshot = builder.snapshot()
+    # Only two distinct atoms despite three occurrences.
+    assert len(snapshot.var_of_atom) == 2
+
+
+def test_builder_mark_rollback():
+    builder = CnfBuilder()
+    x = LinExpr({"x": 1})
+    builder.assert_formula(Le(x, 5))
+    mark = builder.mark()
+    builder.assert_formula(Or(Le(x, 1), Le(x, 2)))
+    builder.rollback(mark)
+    snapshot = builder.snapshot()
+    assert len(snapshot.var_of_atom) == 1
+    assert len(snapshot.clauses) == 1
+
+
+def test_trivially_false_assertion():
+    builder = CnfBuilder()
+    builder.assert_formula(Le(1, 0))
+    assert builder.trivially_false

@@ -1,0 +1,150 @@
+"""Integer feasibility (branch & bound) tests vs exhaustive enumeration."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.lia import check_lia
+from repro.smt.lincon import LinCon
+
+
+def brute_force(constraints, variables, low=-8, high=8):
+    solutions = []
+    for values in itertools.product(range(low, high + 1), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(c.holds(assignment) for c in constraints):
+            solutions.append(assignment)
+    return solutions
+
+
+def bounded(variables, low=-8, high=8):
+    cons = []
+    for name in variables:
+        cons.append(LinCon.make({name: 1}, -high, "<="))
+        cons.append(LinCon.make({name: -1}, low, "<="))
+    return cons
+
+
+class TestDirect:
+    def test_empty_is_sat(self):
+        assert check_lia([]).satisfiable
+
+    def test_single_bound(self):
+        result = check_lia([LinCon.make({"x": 1}, -5, "<=")])
+        assert result.satisfiable
+        assert result.model["x"] <= 5
+
+    def test_gcd_infeasible_equality(self):
+        # 2x + 2y == 5 has no integer solution.
+        result = check_lia([LinCon.make({"x": 2, "y": 2}, -5, "==", tag="eq")])
+        assert not result.satisfiable
+        assert result.core == {"eq"}
+
+    def test_gcd_tightening_of_inequality(self):
+        # 3x <= 7  =>  x <= 2.
+        cons = [
+            LinCon.make({"x": 3}, -7, "<="),
+            LinCon.make({"x": -1}, 3, "<="),  # x >= 3: conflict
+        ]
+        assert not check_lia(cons).satisfiable
+
+    def test_rational_feasible_integer_infeasible(self):
+        # 2 <= 2x <= 3 admits x=1.25 rationally but no integer... wait,
+        # 2x >= 3 and 2x <= 3 -> x = 1.5: LRA-sat, LIA-unsat.
+        cons = [
+            LinCon.make({"x": 2}, -3, "<=", tag="hi"),
+            LinCon.make({"x": -2}, 3, "<=", tag="lo"),
+        ]
+        assert not check_lia(cons).satisfiable
+
+    def test_disequality_splitting(self):
+        cons = bounded(["x"], 0, 1) + [LinCon.make({"x": 1}, 0, "!=")]
+        result = check_lia(cons)
+        assert result.satisfiable
+        assert result.model["x"] == 1
+
+    def test_disequality_pins_to_unsat(self):
+        cons = [
+            LinCon.make({"x": 1}, -3, "<=", tag="hi"),
+            LinCon.make({"x": -1}, 3, "<=", tag="lo"),
+            LinCon.make({"x": 1}, -3, "!=", tag="ne"),
+        ]
+        result = check_lia(cons)
+        assert not result.satisfiable
+        assert result.core and result.core <= {"hi", "lo", "ne"}
+
+    def test_core_is_infeasible_subset(self):
+        cons = [
+            LinCon.make({"x": 1, "y": 1}, -4, "<=", tag="a"),  # x+y <= 4
+            LinCon.make({"x": -1}, 3, "<=", tag="b"),  # x >= 3
+            LinCon.make({"y": -1}, 3, "<=", tag="c"),  # y >= 3
+            LinCon.make({"z": 1}, -100, "<=", tag="d"),  # irrelevant
+        ]
+        result = check_lia(cons)
+        assert not result.satisfiable
+        assert "d" not in result.core
+        core_cons = [c for c in cons if c.tag in result.core]
+        assert not brute_force(core_cons, ["x", "y", "z"], -10, 10)
+
+    def test_mixed_equality_system(self):
+        # x + y == 7, x - y == 1 -> x=4, y=3.
+        cons = [
+            LinCon.make({"x": 1, "y": 1}, -7, "=="),
+            LinCon.make({"x": 1, "y": -1}, -1, "=="),
+        ]
+        result = check_lia(cons)
+        assert result.satisfiable
+        assert result.model == {"x": 4, "y": 3}
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_enumeration(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            variables = [f"v{i}" for i in range(rng.randint(1, 3))]
+            cons = bounded(variables, -6, 6)
+            for _ in range(rng.randint(1, 5)):
+                coeffs = {
+                    v: rng.randint(-3, 3)
+                    for v in variables
+                    if rng.random() < 0.8
+                }
+                coeffs = {v: c for v, c in coeffs.items() if c}
+                if not coeffs:
+                    continue
+                op = rng.choice(["<=", "==", "!="])
+                cons.append(LinCon.make(coeffs, rng.randint(-10, 10), op))
+            expected = brute_force(cons, variables, -6, 6)
+            result = check_lia(cons)
+            assert result.satisfiable == bool(expected)
+            if result.satisfiable:
+                model = {v: result.model.get(v, 0) for v in variables}
+                assert all(c.holds(model) for c in cons)
+
+
+class TestLinCon:
+    def test_normalized_drops_trivial(self):
+        assert LinCon.make({}, -1, "<=").normalized() is None
+
+    def test_normalized_ground_false(self):
+        reduced = LinCon.make({}, 1, "<=").normalized()
+        assert reduced is not None
+        assert reduced.is_ground()
+        assert not reduced.ground_truth()
+
+    def test_gcd_floor_division(self):
+        # 4x <= 6  =>  x <= 1 (floor of 1.5).
+        reduced = LinCon.make({"x": 4}, -6, "<=").normalized()
+        assert reduced.items == (("x", 1),)
+        assert reduced.const == -1
+
+    def test_disequality_scaling_trivially_true(self):
+        # 2x != 5 is always true over the integers.
+        assert LinCon.make({"x": 2}, -5, "!=").normalized() is None
+
+    def test_holds(self):
+        con = LinCon.make({"x": 1, "y": -2}, 3, "<=")
+        assert con.holds({"x": 1, "y": 2})
+        assert not con.holds({"x": 5, "y": 0})

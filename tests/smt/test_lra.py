@@ -1,0 +1,149 @@
+"""Exact simplex tests, cross-checked against scipy.optimize.linprog."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.smt.lra import Simplex
+
+
+def feasible_by_scipy(constraint_rows, bounds_pairs, num_vars):
+    """Feasibility of {A x <= b, lo <= x <= hi} via linprog phase 1."""
+    a_ub, b_ub = [], []
+    for coeffs, bound in constraint_rows:
+        row = [0.0] * num_vars
+        for var, coeff in coeffs.items():
+            row[var] = coeff
+        a_ub.append(row)
+        b_ub.append(bound)
+    result = linprog(
+        c=[0.0] * num_vars,
+        A_ub=a_ub or None,
+        b_ub=b_ub or None,
+        bounds=bounds_pairs,
+        method="highs",
+    )
+    return result.status == 0
+
+
+class TestSimplexBasics:
+    def test_unconstrained_is_feasible(self):
+        simplex = Simplex()
+        simplex.add_var("x")
+        assert simplex.check().feasible
+
+    def test_simple_bounds(self):
+        simplex = Simplex()
+        simplex.add_var("x")
+        assert simplex.assert_lower("x", Fraction(2), "lo") is None
+        assert simplex.assert_upper("x", Fraction(5), "hi") is None
+        result = simplex.check()
+        assert result.feasible
+        assert Fraction(2) <= result.model["x"] <= Fraction(5)
+
+    def test_immediate_bound_conflict(self):
+        simplex = Simplex()
+        simplex.add_var("x")
+        simplex.assert_lower("x", Fraction(5), "lo")
+        conflict = simplex.assert_upper("x", Fraction(2), "hi")
+        assert conflict == {"lo", "hi"}
+
+    def test_sum_constraint(self):
+        # x + y <= 4, x >= 3, y >= 3 infeasible.
+        simplex = Simplex()
+        slack = simplex.slack_for({"x": 1, "y": 1})
+        simplex.assert_upper(slack, Fraction(4), "sum")
+        simplex.assert_lower("x", Fraction(3), "xlo")
+        simplex.assert_lower("y", Fraction(3), "ylo")
+        result = simplex.check()
+        assert not result.feasible
+        assert result.conflict <= {"sum", "xlo", "ylo"}
+        assert "sum" in result.conflict
+
+    def test_conflict_explanation_is_infeasible_subset(self):
+        simplex = Simplex()
+        slack = simplex.slack_for({"x": 1, "y": -1})
+        simplex.assert_lower(slack, Fraction(10), "diff")  # x - y >= 10
+        simplex.assert_upper("x", Fraction(3), "xhi")
+        simplex.assert_lower("y", Fraction(0), "ylo")
+        result = simplex.check()
+        assert not result.feasible
+        assert {"diff", "xhi", "ylo"} >= result.conflict
+        assert len(result.conflict) >= 2
+
+    def test_shared_slack_for_same_form(self):
+        simplex = Simplex()
+        first = simplex.slack_for({"x": 1, "y": 1})
+        second = simplex.slack_for({"y": 1, "x": 1})
+        assert first == second
+
+    def test_single_var_form_returns_var(self):
+        simplex = Simplex()
+        assert simplex.slack_for({"x": 1}) == "x"
+
+    def test_model_satisfies_rows(self):
+        simplex = Simplex()
+        s1 = simplex.slack_for({"x": 2, "y": 3})
+        simplex.assert_lower(s1, Fraction(12), "lo")
+        simplex.assert_upper("x", Fraction(3), "xhi")
+        simplex.assert_upper("y", Fraction(4), "yhi")
+        result = simplex.check()
+        assert result.feasible
+        model = result.model
+        assert 2 * model["x"] + 3 * model["y"] >= 12
+        assert model["x"] <= 3 and model["y"] <= 4
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_feasibility(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            num_vars = rng.randint(1, 4)
+            names = [f"v{i}" for i in range(num_vars)]
+            simplex = Simplex()
+            bounds_pairs = []
+            for index, name in enumerate(names):
+                low = rng.randint(-10, 0)
+                high = rng.randint(0, 10)
+                simplex.add_var(name)
+                simplex.assert_lower(name, Fraction(low), f"lo{index}")
+                simplex.assert_upper(name, Fraction(high), f"hi{index}")
+                bounds_pairs.append((low, high))
+            rows = []
+            failed_early = False
+            for c_index in range(rng.randint(0, 4)):
+                coeffs = {
+                    i: rng.randint(-3, 3)
+                    for i in range(num_vars)
+                    if rng.random() < 0.7
+                }
+                coeffs = {i: c for i, c in coeffs.items() if c}
+                if not coeffs:
+                    continue
+                bound = rng.randint(-15, 15)
+                rows.append((coeffs, bound))
+                named = {names[i]: c for i, c in coeffs.items()}
+                slack = simplex.slack_for(named)
+                conflict = simplex.assert_upper(
+                    slack, Fraction(bound), f"c{c_index}"
+                )
+                if conflict is not None:
+                    failed_early = True
+                    break
+            expected = feasible_by_scipy(rows, bounds_pairs, num_vars)
+            if failed_early:
+                assert not expected
+                continue
+            result = simplex.check()
+            assert result.feasible == expected, (rows, bounds_pairs)
+            if result.feasible:
+                for coeffs, bound in rows:
+                    total = sum(
+                        coeff * result.model[names[i]]
+                        for i, coeff in coeffs.items()
+                    )
+                    assert total <= bound

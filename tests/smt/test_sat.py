@@ -1,0 +1,181 @@
+"""CDCL SAT solver tests: unit cases plus randomized brute-force checks."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver
+
+
+def brute_force_sat(clauses, num_vars):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in c) for c in clauses):
+            return True
+    return False
+
+
+def model_satisfies(clauses, model):
+    return all(any((lit > 0) == model[abs(lit)] for lit in clause) for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_instance_is_sat(self):
+        assert SatSolver().solve().satisfiable
+
+    def test_unit_clause(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] is True
+
+    def test_contradictory_units(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve().satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver()
+        solver.add_clause([])
+        assert not solver.solve().satisfiable
+
+    def test_tautology_ignored(self):
+        solver = SatSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve().satisfiable
+
+    def test_duplicate_literals_collapse(self):
+        solver = SatSolver()
+        solver.add_clause([2, 2, 2])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[2] is True
+
+    def test_simple_implication_chain(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve()
+        assert result.model[3] is True
+
+
+class TestPigeonhole:
+    def test_php_4_into_3_unsat(self):
+        def var(p, h):
+            return p * 3 + h + 1
+
+        solver = SatSolver()
+        for p in range(4):
+            solver.add_clause([var(p, h) for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert not solver.solve().satisfiable
+
+    def test_php_3_into_3_sat(self):
+        def var(p, h):
+            return p * 3 + h + 1
+
+        solver = SatSolver()
+        for p in range(3):
+            solver.add_clause([var(p, h) for h in range(3)])
+        for h in range(3):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve().satisfiable
+
+
+class TestAssumptions:
+    def test_assumptions_restrict(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        assert not solver.solve([-2, -3]).satisfiable
+        assert solver.solve([-2]).satisfiable
+
+    def test_assumption_of_fresh_variable(self):
+        solver = SatSolver()
+        solver.add_clause([1])
+        result = solver.solve([5])
+        assert result.satisfiable
+        assert result.model[5] is True
+
+    def test_solver_reusable_after_unsat_assumptions(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert not solver.solve([-1, -2]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_incremental_clause_addition(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve().satisfiable
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert not solver.solve().satisfiable
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            num_vars = rng.randint(3, 10)
+            num_clauses = rng.randint(3, 45)
+            clauses = [
+                [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(num_clauses)
+            ]
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            assert result.satisfiable == brute_force_sat(clauses, num_vars)
+            if result.satisfiable:
+                assert model_satisfies(clauses, result.model)
+
+    def test_larger_random_instances_terminate(self):
+        rng = random.Random(99)
+        for _ in range(5):
+            num_vars = 40
+            clauses = [
+                [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(3)
+                ]
+                for _ in range(150)
+            ]
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            if result.satisfiable:
+                assert model_satisfies(clauses, result.model)
+
+    def test_phase_transition_instances_trigger_restarts(self):
+        """Near-threshold random 3-SAT exercises conflict analysis, clause
+        learning and the Luby restart schedule."""
+        rng = random.Random(7)
+        for _ in range(3):
+            num_vars = 50
+            clauses = [
+                [
+                    rng.choice([1, -1]) * v
+                    for v in rng.sample(range(1, num_vars + 1), 3)
+                ]
+                for _ in range(int(4.26 * num_vars))
+            ]
+            solver = SatSolver()
+            for clause in clauses:
+                solver.add_clause(clause)
+            result = solver.solve()
+            if result.satisfiable:
+                assert model_satisfies(clauses, result.model)

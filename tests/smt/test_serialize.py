@@ -1,0 +1,90 @@
+"""Formula serialization: roundtrip fidelity and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    Ge,
+    Iff,
+    Implies,
+    IntVar,
+    Le,
+    LinExpr,
+    Ne,
+    Not,
+    Or,
+    formula_from_dict,
+    formula_to_dict,
+)
+
+VARS = ["x", "y", "z"]
+
+
+def formula_strategy(depth=3):
+    atom = st.builds(
+        lambda coeffs, const, cmp: cmp(LinExpr(dict(zip(VARS, coeffs)), const), 0),
+        st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+        st.integers(-6, 6),
+        st.sampled_from([Le, Ge, Eq, Ne]),
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(formula_strategy())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_structural_equality(formula):
+    assert formula_from_dict(formula_to_dict(formula)) == formula
+
+
+@given(
+    formula_strategy(),
+    st.fixed_dictionaries({v: st.integers(-5, 5) for v in VARS}),
+)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_preserves_semantics(formula, assignment):
+    restored = formula_from_dict(formula_to_dict(formula))
+    assert restored.evaluate(assignment) == formula.evaluate(assignment)
+
+
+def test_json_compatible():
+    import json
+
+    formula = Implies(Ge(IntVar("cong"), 1), Or(Ge(IntVar("I0"), 30), TRUE))
+    text = json.dumps(formula_to_dict(formula))
+    assert formula_from_dict(json.loads(text)) == formula
+
+
+def test_constants():
+    assert formula_from_dict({"op": "true"}) == TRUE
+    assert formula_from_dict({"op": "false"}) == FALSE
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"op": "xor", "args": []},
+        {"op": "not", "args": []},
+        {"op": "implies", "args": [{"op": "true"}]},
+        {"op": "<=", "coeffs": "oops"},
+        {"no_op": True},
+        "not a dict",
+    ],
+)
+def test_malformed_rejected(bad):
+    with pytest.raises((ValueError, TypeError)):
+        formula_from_dict(bad)

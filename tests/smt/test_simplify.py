@@ -1,0 +1,140 @@
+"""NNF conversion, simplification and substitution: semantic preservation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Eq,
+    Ge,
+    Iff,
+    Implies,
+    IntVar,
+    Le,
+    LinExpr,
+    Ne,
+    Not,
+    Or,
+    simplify,
+    to_nnf,
+)
+from repro.smt.simplify import negate_atom, substitute
+from repro.smt.terms import BoolConst
+
+VARS = ["x", "y", "z"]
+
+
+def formula_strategy(depth=3):
+    atom = st.builds(
+        lambda coeffs, const, cmp: cmp(
+            LinExpr(dict(zip(VARS, coeffs)), const), 0
+        ),
+        st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+        st.integers(-6, 6),
+        st.sampled_from([Le, Ge, Eq, Ne]),
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.builds(And, children, children),
+            st.builds(Or, children, children),
+            st.builds(Not, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        ),
+        max_leaves=8,
+    )
+
+
+assignments = st.fixed_dictionaries({v: st.integers(-5, 5) for v in VARS})
+
+
+@given(formula_strategy(), assignments)
+@settings(max_examples=200, deadline=None)
+def test_nnf_preserves_semantics(formula, assignment):
+    converted = to_nnf(formula)
+    if isinstance(converted, BoolConst):
+        assert converted.value == formula.evaluate(assignment) or True
+    assert converted.evaluate(assignment) == formula.evaluate(assignment)
+
+
+@given(formula_strategy(), assignments)
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_semantics(formula, assignment):
+    simplified = simplify(to_nnf(formula))
+    assert simplified.evaluate(assignment) == formula.evaluate(assignment)
+
+
+@given(formula_strategy(), assignments)
+@settings(max_examples=100, deadline=None)
+def test_nnf_has_no_negations_above_atoms(formula, assignment):
+    def check(node):
+        assert not isinstance(node, (Not, Implies, Iff)), node
+        if isinstance(node, (And, Or)):
+            for arg in node.args:
+                check(arg)
+
+    check(to_nnf(formula))
+
+
+@given(formula_strategy(), assignments)
+@settings(max_examples=100, deadline=None)
+def test_substitute_partial(formula, assignment):
+    partial = {"x": assignment["x"]}
+    substituted = substitute(formula, partial)
+    assert substituted.evaluate(assignment) == formula.evaluate(assignment)
+
+
+def test_negate_atom_le():
+    atom = Le(IntVar("x"), 5)
+    negated = negate_atom(atom)
+    assert not negated.evaluate({"x": 5})
+    assert negated.evaluate({"x": 6})
+
+
+def test_negate_atom_eq_expands_to_disjunction():
+    atom = Eq(IntVar("x"), 3)
+    negated = negate_atom(atom)
+    assert isinstance(negated, Or)
+    assert negated.evaluate({"x": 2})
+    assert negated.evaluate({"x": 4})
+    assert not negated.evaluate({"x": 3})
+
+
+def test_simplify_folds_constants():
+    x = IntVar("x")
+    assert simplify(And(TRUE, Le(x, 5), TRUE)) == Le(x, 5)
+    assert simplify(And(FALSE, Le(x, 5))) == FALSE
+    assert simplify(Or(TRUE, Le(x, 5))) == TRUE
+    assert simplify(Or()) == FALSE
+    assert simplify(And()) == TRUE
+
+
+def test_simplify_deduplicates_and_flattens():
+    x = IntVar("x")
+    a = Le(x, 5)
+    nested = And(a, And(a, Le(x, 7)))
+    simplified = simplify(nested)
+    assert isinstance(simplified, And)
+    assert len(simplified.args) == 2
+
+
+def test_simplify_ground_atoms():
+    assert simplify(Atom(LinExpr({}, -1), "<=")) == TRUE
+    assert simplify(Atom(LinExpr({}, 1), "<=")) == FALSE
+    assert simplify(Atom(LinExpr({}, 0), "==")) == TRUE
+
+
+def test_substitute_grounds_formula():
+    x, y = IntVar("x"), IntVar("y")
+    f = And(Le(x + y, 10), Ge(x, 0))
+    grounded = simplify(substitute(f, {"x": 3, "y": 4}))
+    assert grounded == TRUE
+    grounded_false = simplify(substitute(f, {"x": 30, "y": 4}))
+    assert grounded_false == FALSE

@@ -1,0 +1,258 @@
+"""End-to-end DPLL(T) solver tests: models, push/pop, optimization."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt import (
+    And,
+    Eq,
+    Ge,
+    Implies,
+    IntVar,
+    Le,
+    LinExpr,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    Solver,
+)
+
+
+def bounded_solver(variables, low, high):
+    solver = Solver()
+    for name in variables:
+        solver.add(Le(low, IntVar(name)))
+        solver.add(Le(IntVar(name), high))
+    return solver
+
+
+class TestCheck:
+    def test_empty_sat(self):
+        assert Solver().check().satisfiable
+
+    def test_simple_model(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Eq(x, 42))
+        result = solver.check()
+        assert result.satisfiable
+        assert result.model["x"] == 42
+
+    def test_unsat_bounds(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(x, 1))
+        solver.add(Ge(x, 2))
+        assert not solver.check().satisfiable
+
+    def test_disjunction_picks_branch(self):
+        solver = bounded_solver(["x"], 0, 100)
+        x = IntVar("x")
+        solver.add(Or(Eq(x, 3), Eq(x, 77)))
+        result = solver.check()
+        assert result.model["x"] in (3, 77)
+
+    def test_implication_semantics(self):
+        solver = bounded_solver(["x", "y"], 0, 10)
+        x, y = IntVar("x"), IntVar("y")
+        solver.add(Implies(Ge(x, 5), Ge(y, 9)))
+        solver.add(Ge(x, 7))
+        result = solver.check()
+        assert result.model["y"] >= 9
+
+    def test_disequality(self):
+        solver = bounded_solver(["x"], 0, 1)
+        solver.add(Ne(IntVar("x"), 0))
+        assert solver.check().model["x"] == 1
+
+    def test_parity_unsat(self):
+        solver = Solver()
+        solver.add(Eq(2 * IntVar("x") + 2 * IntVar("y"), 5))
+        assert not solver.check().satisfiable
+
+    def test_model_value_helper(self):
+        solver = Solver()
+        solver.add(Eq(IntVar("x"), 5))
+        result = solver.check()
+        assert result.value(IntVar("x") * 2 + 1) == 11
+
+
+class TestPushPop:
+    def test_pop_restores_satisfiability(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 10))
+        solver.push()
+        solver.add(Ge(x, 20))
+        assert not solver.check().satisfiable
+        solver.pop()
+        assert solver.check().satisfiable
+
+    def test_nested_push_pop(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 100))
+        solver.push()
+        solver.add(Ge(x, 50))
+        solver.push()
+        solver.add(Le(x, 40))
+        assert not solver.check().satisfiable
+        solver.pop()
+        result = solver.check()
+        assert result.satisfiable and result.model["x"] >= 50
+        solver.pop()
+        assert solver.check().satisfiable
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().pop()
+
+    def test_ground_false_in_scope_vanishes_on_pop(self):
+        solver = Solver()
+        solver.add(Le(IntVar("x"), 5))
+        solver.push()
+        solver.add(Le(1, 0))  # ground FALSE
+        assert not solver.check().satisfiable
+        solver.pop()
+        assert solver.check().satisfiable
+
+    def test_many_push_pop_cycles(self):
+        solver = bounded_solver(["x"], 0, 9)
+        x = IntVar("x")
+        for value in range(10):
+            solver.push()
+            solver.add(Eq(x, value))
+            assert solver.check().model["x"] == value
+            solver.pop()
+
+
+class TestOptimize:
+    def test_minimize_maximize_interval(self):
+        solver = bounded_solver(["x"], 3, 17)
+        x = IntVar("x")
+        assert solver.minimize(x) == 3
+        assert solver.maximize(x) == 17
+        assert solver.feasible_interval(x) == (3, 17)
+
+    def test_optimize_expression(self):
+        solver = bounded_solver(["x", "y"], 0, 5)
+        objective = 2 * IntVar("x") - IntVar("y")
+        assert solver.maximize(objective) == 10
+        assert solver.minimize(objective) == -5
+
+    def test_optimize_with_constraints(self):
+        solver = bounded_solver(["x", "y"], 0, 10)
+        solver.add(Eq(IntVar("x") + IntVar("y"), 10))
+        solver.add(Implies(Ge(IntVar("x"), 5), Ge(IntVar("y"), 5)))
+        # x >= 5 forces y >= 5, and x+y=10 forces equality at 5.
+        assert solver.maximize(IntVar("x")) == 5
+
+    def test_optimize_constant_objective(self):
+        solver = bounded_solver(["x"], 0, 5)
+        constant = LinExpr({}, 7)
+        assert solver.minimize(constant) == 7
+        assert solver.maximize(constant) == 7
+        assert solver.check().satisfiable  # solver not corrupted
+
+    def test_optimize_unsat_raises(self):
+        solver = Solver()
+        solver.add(Le(IntVar("x"), 0))
+        solver.add(Ge(IntVar("x"), 1))
+        with pytest.raises(ValueError):
+            solver.minimize(IntVar("x"))
+
+    def test_feasible_interval_unsat_returns_none(self):
+        solver = Solver()
+        solver.add(Le(IntVar("x"), 0))
+        solver.add(Ge(IntVar("x"), 1))
+        assert solver.feasible_interval(IntVar("x")) is None
+
+    def test_unbounded_detection(self):
+        solver = Solver()
+        solver.add(Ge(IntVar("x"), 0))
+        assert solver.maximize(IntVar("x")) is None
+        assert solver.minimize(IntVar("x")) == 0
+
+
+class TestPaperExample:
+    """The R1-R3 walk-through from the paper's Figs. 1 and 2."""
+
+    BW = 60
+    TOTAL = 100
+
+    def make_solver(self):
+        solver = Solver()
+        fine = [IntVar(f"I{t}") for t in range(5)]
+        for t in range(5):
+            solver.add(Le(0, fine[t]))  # R1
+            solver.add(Le(fine[t], self.BW))
+        solver.add(Eq(sum(fine[1:], fine[0]), self.TOTAL))  # R2
+        solver.add(Or(*[Ge(fine[t], self.BW // 2) for t in range(5)]))  # R3
+        return solver, fine
+
+    def test_initial_sat(self):
+        solver, _ = self.make_solver()
+        assert solver.check().satisfiable
+
+    def test_i3_range_after_prefix(self):
+        solver, fine = self.make_solver()
+        for t, value in [(0, 20), (1, 15), (2, 25)]:
+            solver.add(Eq(fine[t], value))
+        assert solver.feasible_interval(fine[3]) == (0, 40)
+
+    def test_i4_forced_after_i3(self):
+        solver, fine = self.make_solver()
+        for t, value in [(0, 20), (1, 15), (2, 25), (3, 39)]:
+            solver.add(Eq(fine[t], value))
+        # Paper step 5: only one valid value remains.
+        assert solver.feasible_interval(fine[4]) == (1, 1)
+
+    def test_r3_binds_when_no_burst_yet(self):
+        solver, fine = self.make_solver()
+        for t, value in [(0, 20), (1, 15), (2, 25), (3, 10)]:
+            solver.add(Eq(fine[t], value))
+        # Sum forces I4 = 30, which also satisfies R3 exactly.
+        assert solver.feasible_interval(fine[4]) == (30, 30)
+
+    def test_paper_violating_output_refuted(self):
+        solver, fine = self.make_solver()
+        # The vanilla LLM output from Fig. 1a: [20, 15, 25, 70, 8].
+        for t, value in [(0, 20), (1, 15), (2, 25), (3, 70), (4, 8)]:
+            solver.add(Eq(fine[t], value))
+        assert not solver.check().satisfiable
+
+
+class TestRandomizedAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_formulas(self, seed):
+        rng = random.Random(seed)
+        operators = [Le, Ge, Eq, Ne, Lt]
+        for _ in range(20):
+            names = [f"v{i}" for i in range(rng.randint(1, 3))]
+            solver = bounded_solver(names, -5, 5)
+            formulas = []
+            for _ in range(rng.randint(1, 4)):
+                chosen = rng.sample(names, rng.randint(1, len(names)))
+                expr = LinExpr(
+                    {v: rng.randint(-3, 3) for v in chosen}, rng.randint(-5, 5)
+                )
+                formula = rng.choice(operators)(expr, rng.randint(-8, 8))
+                if rng.random() < 0.3:
+                    formula = Not(formula)
+                formulas.append(formula)
+            for formula in formulas:
+                solver.add(formula)
+            expected = any(
+                all(f.evaluate(dict(zip(names, values))) for f in formulas)
+                for values in itertools.product(range(-5, 6), repeat=len(names))
+            )
+            result = solver.check()
+            assert result.satisfiable == expected
+            if result.satisfiable:
+                model = {v: result.model.get(v, 0) for v in names}
+                assert all(f.evaluate(model) for f in formulas)

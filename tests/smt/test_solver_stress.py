@@ -1,0 +1,175 @@
+"""Stress and edge-case tests for the SMT stack."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt import (
+    And,
+    Eq,
+    Ge,
+    Implies,
+    IntVar,
+    Le,
+    LinExpr,
+    Ne,
+    Or,
+    Solver,
+    check_lia,
+)
+from repro.smt.lia import LiaLimitError
+from repro.smt.lincon import LinCon
+from repro.smt.sat import _luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestLiaLimits:
+    # x + 2y == 5 and 2x + y == 5 has the unique rational solution
+    # x = y = 5/3: LRA-feasible, LIA-infeasible, provable only by branching.
+    FRACTIONAL = [
+        LinCon.make({"x": 1, "y": 2}, -5, "=="),
+        LinCon.make({"x": 2, "y": 1}, -5, "=="),
+    ]
+
+    def test_node_limit_raises(self):
+        with pytest.raises(LiaLimitError):
+            check_lia(self.FRACTIONAL, node_limit=1)
+
+    def test_generous_limit_decides(self):
+        result = check_lia(self.FRACTIONAL, node_limit=1000)
+        assert not result.satisfiable
+
+    def test_gcd_tightening_avoids_branching(self):
+        # 5 <= 2x+2y <= 7 normalizes to x+y == 3: integral at the root.
+        cons = [
+            LinCon.make({"x": 2, "y": 2}, -7, "<="),
+            LinCon.make({"x": -2, "y": -2}, 5, "<="),
+        ]
+        result = check_lia(cons, node_limit=1)
+        assert result.satisfiable
+        assert result.model["x"] + result.model["y"] == 3
+
+
+class TestWiderCoefficients:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_with_large_coefficients(self, seed):
+        rng = random.Random(seed)
+        for _ in range(12):
+            names = [f"v{i}" for i in range(rng.randint(1, 2))]
+            solver = Solver()
+            formulas = []
+            for name in names:
+                formulas += [Le(-12, IntVar(name)), Le(IntVar(name), 12)]
+            for _ in range(rng.randint(1, 3)):
+                expr = LinExpr(
+                    {n: rng.randint(-20, 20) for n in names},
+                    rng.randint(-40, 40),
+                )
+                op = rng.choice([Le, Ge, Eq, Ne])
+                formulas.append(op(expr, rng.randint(-60, 60)))
+            for formula in formulas:
+                solver.add(formula)
+            expected = any(
+                all(f.evaluate(dict(zip(names, values))) for f in formulas)
+                for values in itertools.product(range(-12, 13), repeat=len(names))
+            )
+            assert solver.check().satisfiable == expected
+
+
+class TestDeepBooleanStructure:
+    def test_nested_implication_chain(self):
+        solver = Solver()
+        xs = [IntVar(f"x{i}") for i in range(10)]
+        for x in xs:
+            solver.add(Le(0, x))
+            solver.add(Le(x, 100))
+        # x0 >= 1 -> x1 >= 2 -> ... -> x9 >= 10 (chained).
+        for i in range(9):
+            solver.add(Implies(Ge(xs[i], i + 1), Ge(xs[i + 1], i + 2)))
+        solver.add(Ge(xs[0], 1))
+        result = solver.check()
+        assert result.satisfiable
+        assert result.model["x9"] >= 10
+
+    def test_big_disjunction_with_global_budget(self):
+        solver = Solver()
+        xs = [IntVar(f"x{i}") for i in range(8)]
+        for x in xs:
+            solver.add(Le(0, x))
+            solver.add(Le(x, 10))
+        solver.add(Eq(sum(xs[1:], xs[0]), 10))
+        solver.add(Or(*[Ge(x, 9) for x in xs]))
+        result = solver.check()
+        assert result.satisfiable
+        model = result.model
+        values = [model.get(f"x{i}", 0) for i in range(8)]
+        assert sum(values) == 10
+        assert max(values) >= 9
+
+    def test_exclusive_choices(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 100))
+        choices = [Eq(x, v) for v in (7, 21, 88)]
+        solver.add(Or(*choices))
+        solver.add(Ne(x, 7))
+        solver.add(Ne(x, 88))
+        result = solver.check()
+        assert result.model["x"] == 21
+
+    def test_repeated_checks_are_consistent(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 5))
+        first = solver.check()
+        second = solver.check()
+        assert first.satisfiable and second.satisfiable
+        assert solver.stats_checks == 2
+
+    def test_stats_accumulate(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Or(Eq(x, 1), Eq(x, 2)))
+        solver.check()
+        assert solver.stats_theory_rounds >= 1
+
+
+class TestOptimizeEdgeCases:
+    def test_tight_interval(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Eq(x, 42))
+        assert solver.feasible_interval(x) == (42, 42)
+
+    def test_optimize_over_disjunction_hull(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 100))
+        solver.add(Or(And(Ge(x, 10), Le(x, 20)), And(Ge(x, 50), Le(x, 60))))
+        assert solver.minimize(x) == 10
+        assert solver.maximize(x) == 60
+
+    def test_negative_domain(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(-50, x))
+        solver.add(Le(x, -10))
+        assert solver.feasible_interval(x) == (-50, -10)
+
+    def test_scaled_objective(self):
+        solver = Solver()
+        x = IntVar("x")
+        solver.add(Le(0, x))
+        solver.add(Le(x, 7))
+        assert solver.maximize(3 * x + 1) == 22
+        assert solver.minimize(-2 * x) == -14

@@ -1,0 +1,157 @@
+"""Unit tests for the term/formula layer."""
+
+import pytest
+
+from repro.smt import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Eq,
+    Ge,
+    Gt,
+    Implies,
+    IntVar,
+    Le,
+    LinExpr,
+    Lt,
+    Ne,
+    Not,
+    Or,
+)
+
+
+class TestLinExpr:
+    def test_variable_construction(self):
+        x = IntVar("x")
+        assert x.coeffs == {"x": 1}
+        assert x.const == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            IntVar("")
+
+    def test_addition_merges_coefficients(self):
+        x, y = IntVar("x"), IntVar("y")
+        expr = x + y + x
+        assert expr.coeffs == {"x": 2, "y": 1}
+
+    def test_subtraction_cancels(self):
+        x = IntVar("x")
+        expr = x - x
+        assert expr.is_constant()
+        assert expr.const == 0
+
+    def test_scalar_multiplication(self):
+        x = IntVar("x")
+        expr = 3 * x + 2
+        assert expr.coeffs == {"x": 3}
+        assert expr.const == 2
+
+    def test_non_integer_scale_rejected(self):
+        with pytest.raises(TypeError):
+            IntVar("x") * 1.5
+
+    def test_negation(self):
+        expr = -(IntVar("x") + 5)
+        assert expr.coeffs == {"x": -1}
+        assert expr.const == -5
+
+    def test_evaluate(self):
+        expr = 2 * IntVar("x") - IntVar("y") + 7
+        assert expr.evaluate({"x": 3, "y": 4}) == 9
+
+    def test_rsub(self):
+        expr = 10 - IntVar("x")
+        assert expr.evaluate({"x": 4}) == 6
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinExpr({"x": 0, "y": 1})
+        assert expr.variables == ("y",)
+
+    def test_hash_equality_canonical(self):
+        a = LinExpr({"x": 1, "y": 2}, 3)
+        b = LinExpr({"y": 2, "x": 1}, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_coeff_lookup(self):
+        expr = LinExpr({"x": 5})
+        assert expr.coeff("x") == 5
+        assert expr.coeff("missing") == 0
+
+
+class TestComparisons:
+    def test_le_builds_atom(self):
+        f = Le(IntVar("x"), 5)
+        assert isinstance(f, Atom)
+        assert f.op == "<="
+
+    def test_lt_uses_integrality(self):
+        # x < 5 over ints is x <= 4.
+        f = Lt(IntVar("x"), 5)
+        assert f.evaluate({"x": 4})
+        assert not f.evaluate({"x": 5})
+
+    def test_gt_ge(self):
+        assert Gt(IntVar("x"), 3).evaluate({"x": 4})
+        assert Ge(IntVar("x"), 3).evaluate({"x": 3})
+        assert not Gt(IntVar("x"), 3).evaluate({"x": 3})
+
+    def test_ground_comparisons_fold(self):
+        assert Le(3, 5) == TRUE
+        assert Le(5, 3) == FALSE
+        assert Eq(4, 4) == TRUE
+        assert Ne(4, 4) == FALSE
+
+    def test_eq_is_symmetric_canonical(self):
+        x, y = IntVar("x"), IntVar("y")
+        assert Eq(x, y) == Eq(y, x)
+
+    def test_ne_negates_eq(self):
+        f = Ne(IntVar("x"), 3)
+        assert f.evaluate({"x": 4})
+        assert not f.evaluate({"x": 3})
+
+
+class TestFormulas:
+    def test_connective_evaluation(self):
+        x = IntVar("x")
+        f = And(Ge(x, 0), Le(x, 10))
+        assert f.evaluate({"x": 5})
+        assert not f.evaluate({"x": 11})
+
+    def test_or_implies_iff(self):
+        x = IntVar("x")
+        assert Or(Le(x, 0), Ge(x, 10)).evaluate({"x": -1})
+        assert Implies(Ge(x, 5), Ge(x, 0)).evaluate({"x": 7})
+        assert Implies(Ge(x, 5), Ge(x, 0)).evaluate({"x": 1})  # vacuous
+
+    def test_operator_sugar(self):
+        x = IntVar("x")
+        f = (Ge(x, 0)) & (Le(x, 5))
+        assert f == And(Ge(x, 0), Le(x, 5))
+        g = Ge(x, 0) | Le(x, -5)
+        assert isinstance(g, Or)
+        assert (~Ge(x, 0)) == Not(Ge(x, 0))
+        assert (Ge(x, 5) >> Ge(x, 0)) == Implies(Ge(x, 5), Ge(x, 0))
+
+    def test_atoms_deduplicated_in_order(self):
+        x = IntVar("x")
+        a, b = Le(x, 5), Ge(x, 0)
+        f = And(a, Or(b, a), b)
+        assert f.atoms() == (a, b)
+
+    def test_variables(self):
+        f = And(Le(IntVar("b"), 1), Ge(IntVar("a"), 0))
+        assert set(f.variables()) == {"a", "b"}
+
+    def test_atom_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            Atom(IntVar("x"), "<")
+
+    def test_nary_flattening_of_iterables(self):
+        x = IntVar("x")
+        parts = [Le(x, 1), Le(x, 2)]
+        f = And(parts)
+        assert len(f.args) == 2

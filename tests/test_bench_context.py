@@ -1,0 +1,40 @@
+"""Benchmark-context construction and its environment knobs."""
+
+import pytest
+
+from repro.bench.common import _CACHE, bench_n, get_context
+
+
+class TestBenchContext:
+    def test_bench_n_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("LEJIT_BENCH_N", raising=False)
+        assert bench_n(33) == 33
+        monkeypatch.setenv("LEJIT_BENCH_N", "77")
+        assert bench_n() == 77
+        monkeypatch.setenv("LEJIT_BENCH_N", "not-a-number")
+        assert bench_n(5) == 5
+
+    def test_context_built_and_cached(self, monkeypatch):
+        monkeypatch.setenv("LEJIT_BENCH_RACKS", "4")
+        monkeypatch.setenv("LEJIT_BENCH_WINDOWS", "30")
+        monkeypatch.setenv("LEJIT_BENCH_LM", "ngram")
+        first = get_context(seed=99)
+        second = get_context(seed=99)
+        assert first is second
+        assert len(first.dataset.train_racks) == 4
+        assert len(first.imputation_rules) > 50
+        assert len(first.synthesis_rules) > 10
+        assert first.coarse_rows.shape[1] == 4
+        # Mined rules hold on the training data they came from.
+        for assignment in first.train_assignments[:50]:
+            assert first.imputation_rules.compliant(assignment)
+        _CACHE.clear()
+
+    def test_fallback_tiers_ordering(self, monkeypatch):
+        monkeypatch.setenv("LEJIT_BENCH_RACKS", "4")
+        monkeypatch.setenv("LEJIT_BENCH_WINDOWS", "30")
+        context = get_context(seed=98)
+        tiers = context.fallback_tiers()
+        assert tiers[0] is context.manual_rules
+        assert tiers[1] is context.domain_rules
+        _CACHE.clear()

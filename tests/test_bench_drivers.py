@@ -1,0 +1,115 @@
+"""The benchmark harness itself, exercised at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_imputation_table,
+    format_synthesis_table,
+    run_imputation,
+    run_invasiveness,
+    run_oracle_tiers,
+    run_synthesis,
+)
+from repro.bench.common import BenchContext
+from repro.data import COARSE_FIELDS, build_dataset, fine_field
+from repro.lm import NgramLM
+from repro.rules import (
+    MinerOptions,
+    domain_bound_rules,
+    mine_rules,
+    zoom2net_manual_rules,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=50, seed=13
+    )
+    assignments = [w.variables() for w in dataset.train_windows()]
+    fine = [fine_field(t) for t in range(dataset.config.window)]
+    options = MinerOptions(slack=2)
+    return BenchContext(
+        dataset=dataset,
+        model=NgramLM(order=6).fit(dataset.train_texts()),
+        imputation_rules=mine_rules(
+            assignments, list(dataset.variables), options, fine_variables=fine
+        ),
+        synthesis_rules=mine_rules(
+            [{k: a[k] for k in COARSE_FIELDS} for a in assignments],
+            list(COARSE_FIELDS),
+            options,
+        ),
+        manual_rules=zoom2net_manual_rules(dataset.config),
+        domain_rules=domain_bound_rules(dataset.config),
+        train_assignments=assignments,
+        coarse_rows=np.array(
+            [[a[k] for k in COARSE_FIELDS] for a in assignments], dtype=np.int64
+        ),
+    )
+
+
+class TestImputationDriver:
+    def test_runs_all_methods(self, tiny_context):
+        results = run_imputation(
+            tiny_context, count=6, methods=("vanilla", "lejit")
+        )
+        assert set(results) == {"vanilla", "lejit"}
+        for result in results.values():
+            assert len(result.records) == 6
+            assert result.violation_report is not None
+            assert set(result.accuracy) == {"emd", "p99_err", "mae", "autocorr_err"}
+            assert set(result.burst) == {
+                "burst_count", "burst_height", "burst_duration", "burst_position",
+            }
+
+    def test_lejit_compliant(self, tiny_context):
+        results = run_imputation(tiny_context, count=6, methods=("lejit",))
+        assert results["lejit"].violation_report.rule_violation_rate == 0.0
+
+    def test_unknown_method_rejected(self, tiny_context):
+        with pytest.raises(ValueError):
+            run_imputation(tiny_context, count=2, methods=("alchemy",))
+
+    def test_table_formatting(self, tiny_context):
+        results = run_imputation(tiny_context, count=4, methods=("vanilla",))
+        table = format_imputation_table(results)
+        assert "vanilla" in table
+        assert "rule_violation_%" in table
+
+
+class TestSynthesisDriver:
+    def test_runs_lm_and_generator_methods(self, tiny_context):
+        results = run_synthesis(
+            tiny_context, count=10, methods=("vanilla", "lejit", "netshare")
+        )
+        for name, result in results.items():
+            assert result.rows.shape == (10, len(COARSE_FIELDS))
+            assert set(result.jsd_per_field) == set(COARSE_FIELDS)
+        assert results["lejit"].violation_report.rule_violation_rate == 0.0
+
+    def test_table_formatting(self, tiny_context):
+        results = run_synthesis(tiny_context, count=5, methods=("vanilla",))
+        assert "jsd_mean" in format_synthesis_table(results)
+
+    def test_unknown_method_rejected(self, tiny_context):
+        with pytest.raises(ValueError):
+            run_synthesis(tiny_context, count=2, methods=("magic",))
+
+
+class TestAblationDrivers:
+    def test_oracle_tiers(self, tiny_context):
+        results = run_oracle_tiers(tiny_context, count=4)
+        tiers = {r.tier for r in results}
+        assert tiers == {
+            "interval", "hybrid-optimistic", "hybrid-strict", "smt",
+        }
+        for result in results:
+            assert result.seconds > 0
+
+    def test_invasiveness_stats(self, tiny_context):
+        stats = run_invasiveness(tiny_context, count=4)
+        assert stats["steps"] > 0
+        for key in ("masked_step_rate", "diverted_step_rate", "forced_step_rate"):
+            assert 0.0 <= stats[key] <= 1.0

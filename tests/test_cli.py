@@ -1,0 +1,85 @@
+"""End-to-end CLI workflow tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    data = root / "data.jsonl"
+    model = root / "model.json"
+    rules = root / "rules.json"
+    assert main(["dataset", "--out", str(data), "--racks", "4",
+                 "--windows", "40", "--seed", "1"]) == 0
+    assert main(["train", "--data", str(data), "--out", str(model)]) == 0
+    assert main(["mine", "--data", str(data), "--out", str(rules),
+                 "--slack", "2"]) == 0
+    return root, data, model, rules
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_output_is_jsonl(self, workspace):
+        _, data, _, _ = workspace
+        lines = data.read_text().strip().splitlines()
+        assert len(lines) == 4 * 40
+        record = json.loads(lines[0])
+        assert "total" in record and "I0" in record
+
+    def test_model_file_loadable(self, workspace):
+        from repro.lm import load_ngram
+
+        _, _, model_path, _ = workspace
+        model = load_ngram(model_path)
+        assert model.order == 6
+
+    def test_rules_file_loadable(self, workspace):
+        from repro.rules import load_rules
+
+        _, _, _, rules_path = workspace
+        rules = load_rules(rules_path)
+        assert len(rules) > 50
+
+    def test_impute_command(self, workspace, capsys):
+        _, _, model, rules = workspace
+        code = main([
+            "impute", "--model", str(model), "--rules", str(rules),
+            "--total", "50", "--cong", "0", "--retx", "0", "--egr", "50",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert sum(payload["fine"].values()) == 50  # sum rule enforced
+
+    def test_synth_command(self, workspace, capsys):
+        _, _, model, rules_path = workspace
+        # Synthesis rules scope: mine them for this test.
+        root = workspace[0]
+        synth_rules = root / "synth_rules.json"
+        assert main(["mine", "--data", str(workspace[1]), "--out",
+                     str(synth_rules), "--scope", "synthesis"]) == 0
+        capsys.readouterr()
+        code = main(["synth", "--model", str(model), "--rules",
+                     str(synth_rules), "-n", "3", "--seed", "0"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        from repro.rules import load_rules
+
+        rules = load_rules(synth_rules)
+        for line in lines:
+            record = json.loads(line)
+            assert rules.compliant(record)
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["train", "--data", str(empty), "--out",
+                  str(tmp_path / "m.json")])
