@@ -20,13 +20,23 @@ Quickstart::
 """
 
 from .core import (
+    LADDER_STAGES,
     EnforcerConfig,
     EnforcementTrace,
     InfeasibleRecordError,
     JitEnforcer,
+    RecordOutcome,
     RecordSampler,
     audit_violation_rate,
 )
+from .errors import (
+    DeadEnd,
+    DegradedResult,
+    InfeasibleRecord,
+    ReproError,
+    SolverBudgetExceeded,
+)
+from .smt import BudgetMeter, SolverBudget
 from .data import TelemetryConfig, TelemetryDataset, Window, build_dataset
 from .lm import (
     CharTokenizer,
@@ -52,7 +62,16 @@ __all__ = [
     "JitEnforcer",
     "EnforcerConfig",
     "EnforcementTrace",
+    "RecordOutcome",
+    "LADDER_STAGES",
     "InfeasibleRecordError",
+    "ReproError",
+    "SolverBudgetExceeded",
+    "DeadEnd",
+    "InfeasibleRecord",
+    "DegradedResult",
+    "SolverBudget",
+    "BudgetMeter",
     "RecordSampler",
     "audit_violation_rate",
     "build_dataset",

@@ -18,18 +18,24 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..data.dataset import variable_bounds
 from ..data.telemetry import TelemetryConfig
+from ..errors import InfeasibleRecord, SolverBudgetExceeded
 from ..rules.dsl import RuleSet
-from ..smt import IntVar, Le, LinExpr, Solver
+from ..smt import BudgetMeter, IntVar, Le, LinExpr, Solver
 
 __all__ = ["PosthocRepairer", "RepairError"]
 
 
-class RepairError(RuntimeError):
+class RepairError(InfeasibleRecord):
     """The rules admit no record consistent with the fixed fields."""
 
 
 class PosthocRepairer:
-    """SMT-based output correction applied after generation."""
+    """SMT-based output correction applied after generation.
+
+    ``meter`` (optional) charges the repair solver's work against a shared
+    budget; exhaustion raises :class:`~repro.errors.SolverBudgetExceeded`
+    (distinct from :class:`RepairError`, a genuine infeasibility).
+    """
 
     def __init__(
         self,
@@ -37,6 +43,7 @@ class PosthocRepairer:
         telemetry_config: Optional[TelemetryConfig] = None,
         mode: str = "nearest",
         bounds: Optional[Mapping[str, Tuple[int, int]]] = None,
+        meter: Optional[BudgetMeter] = None,
     ):
         if mode not in ("nearest", "arbitrary"):
             raise ValueError(f"unknown repair mode {mode!r}")
@@ -44,6 +51,7 @@ class PosthocRepairer:
         self.mode = mode
         self.telemetry_config = telemetry_config or TelemetryConfig()
         self.bounds = dict(bounds or variable_bounds(self.telemetry_config))
+        self.meter = meter
 
     def repair(
         self,
@@ -58,7 +66,7 @@ class PosthocRepairer:
         from ..smt import FALSE, TRUE
 
         frozen_values = {name: int(record[name]) for name in frozen}
-        solver = Solver()
+        solver = Solver(meter=self.meter)
         for name, (low, high) in self.bounds.items():
             if name in frozen_values:
                 continue
@@ -76,6 +84,11 @@ class PosthocRepairer:
                 )
             solver.add(residual)
         base = solver.check()
+        if base.is_unknown:
+            raise SolverBudgetExceeded(
+                "budget exhausted during post-hoc repair",
+                resource=solver.meter.last_exhausted,
+            )
         if not base.satisfiable:
             raise RepairError(f"rules unsatisfiable with frozen fields {frozen}")
         if self.mode == "arbitrary":

@@ -22,6 +22,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core import EnforcerConfig, JitEnforcer
+from .errors import InfeasibleRecord
+from .smt import SolverBudget
 from .data import (
     COARSE_FIELDS,
     TelemetryConfig,
@@ -75,13 +77,72 @@ def build_parser() -> argparse.ArgumentParser:
     impute_cmd.add_argument("--seed", type=int, default=0)
     for name in COARSE_FIELDS:
         impute_cmd.add_argument(f"--{name}", required=True, type=int)
+    _add_budget_args(impute_cmd)
 
     synth_cmd = sub.add_parser("synth", help="generate synthetic records")
     synth_cmd.add_argument("--model", required=True, type=Path)
     synth_cmd.add_argument("--rules", required=True, type=Path)
     synth_cmd.add_argument("-n", "--count", type=int, default=5)
     synth_cmd.add_argument("--seed", type=int, default=0)
+    _add_budget_args(synth_cmd)
     return parser
+
+
+def _add_budget_args(cmd: argparse.ArgumentParser) -> None:
+    """Solver work-budget and degradation knobs (see DESIGN.md)."""
+    group = cmd.add_argument_group("solver budget")
+    group.add_argument("--max-conflicts", type=int, default=None,
+                       help="CDCL conflict cap per solver query")
+    group.add_argument("--max-decisions", type=int, default=None,
+                       help="CDCL decision cap per solver query")
+    group.add_argument("--max-pivots", type=int, default=None,
+                       help="simplex pivot cap per solver query")
+    group.add_argument("--max-theory-rounds", type=int, default=None,
+                       help="DPLL(T) theory-round cap per solver query")
+    group.add_argument("--max-bb-nodes", type=int, default=None,
+                       help="branch-and-bound node cap per solver query")
+    group.add_argument("--budget", action="store_true", dest="default_budget",
+                       help="enable the default work budget for every cap")
+    group.add_argument("--budget-retries", type=int, default=2,
+                       help="record retries with exponentially scaled budget")
+    group.add_argument("--no-posthoc-repair", action="store_true",
+                       help="disable the posthoc-repair degradation stage")
+
+
+def _budget_from(args) -> Optional[SolverBudget]:
+    caps = {
+        "max_conflicts": args.max_conflicts,
+        "max_decisions": args.max_decisions,
+        "max_pivots": args.max_pivots,
+        "max_theory_rounds": args.max_theory_rounds,
+        "max_bb_nodes": args.max_bb_nodes,
+    }
+    if args.default_budget:
+        base = SolverBudget.default()
+        return SolverBudget(**{
+            name: value if value is not None else getattr(base, name)
+            for name, value in caps.items()
+        })
+    if all(value is None for value in caps.values()):
+        return None
+    return SolverBudget(**caps)
+
+
+def _enforcer_config_from(args) -> EnforcerConfig:
+    return EnforcerConfig(
+        seed=args.seed,
+        budget=_budget_from(args),
+        max_budget_retries=args.budget_retries,
+        posthoc_repair=not args.no_posthoc_repair,
+    )
+
+
+def _report_degradations(enforcer: JitEnforcer) -> None:
+    # stderr keeps stdout pure JSON for scripting.
+    print(
+        "degradation: " + enforcer.trace.degradation_summary(),
+        file=sys.stderr,
+    )
 
 
 def _load_windows(path: Path) -> List[dict]:
@@ -161,14 +222,20 @@ def _cmd_impute(args) -> int:
     model = load_ngram(args.model)
     rules = load_rules(args.rules)
     enforcer = JitEnforcer(
-        model, rules, config, EnforcerConfig(seed=args.seed),
+        model, rules, config, _enforcer_config_from(args),
         fallback_rules=[zoom2net_manual_rules(config), domain_bound_rules(config)],
     )
     coarse = {name: getattr(args, name) for name in COARSE_FIELDS}
-    values = enforcer.impute(coarse)
+    try:
+        outcome = enforcer.impute_record(coarse)
+    except InfeasibleRecord as exc:
+        raise SystemExit(f"infeasible prompt: {exc}")
+    values = outcome.values
     fine = {fine_field(t): values[fine_field(t)] for t in range(config.window)}
     print(json.dumps({"coarse": coarse, "fine": fine,
-                      "compliant": rules.compliant(values)}))
+                      "compliant": rules.compliant(values),
+                      "degraded": outcome.degraded, "stage": outcome.stage}))
+    _report_degradations(enforcer)
     return 0
 
 
@@ -177,11 +244,12 @@ def _cmd_synth(args) -> int:
     model = load_ngram(args.model)
     rules = load_rules(args.rules)
     enforcer = JitEnforcer(
-        model, rules, config, EnforcerConfig(seed=args.seed),
+        model, rules, config, _enforcer_config_from(args),
         fallback_rules=[domain_bound_rules(config)],
     )
     for _ in range(args.count):
         print(json.dumps(enforcer.synthesize()))
+    _report_degradations(enforcer)
     return 0
 
 

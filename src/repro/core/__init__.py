@@ -6,7 +6,13 @@ the emitted telemetry records comply with a configurable rule set -- the
 paper's central mechanism.
 """
 
-from .enforcer import EnforcerConfig, EnforcementTrace, JitEnforcer
+from .enforcer import (
+    LADDER_STAGES,
+    EnforcerConfig,
+    EnforcementTrace,
+    JitEnforcer,
+    RecordOutcome,
+)
 from .feasible import (
     FeasibilityOracle,
     HybridOracle,
@@ -14,7 +20,12 @@ from .feasible import (
     IntervalOracle,
     SmtOracle,
 )
-from .pipeline import GenerationError, RecordSampler, audit_violation_rate
+from .pipeline import (
+    GenerationError,
+    RecordSampler,
+    audit_violation_rate,
+    degradation_report,
+)
 from .sequence import (
     SequenceEnforcer,
     cross_window_assignments,
@@ -26,6 +37,8 @@ __all__ = [
     "JitEnforcer",
     "EnforcerConfig",
     "EnforcementTrace",
+    "RecordOutcome",
+    "LADDER_STAGES",
     "FeasibilityOracle",
     "HybridOracle",
     "SmtOracle",
@@ -34,6 +47,7 @@ __all__ = [
     "RecordSampler",
     "GenerationError",
     "audit_violation_rate",
+    "degradation_report",
     "SequenceEnforcer",
     "mine_cross_window_rules",
     "cross_window_assignments",

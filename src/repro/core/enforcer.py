@@ -16,21 +16,42 @@ order:
 
 The final record is rule-compliant by construction whenever the oracle's
 ``confirm`` is exact (the default hybrid/SMT tiers).
+
+Robustness: the solver sits on the token-emission hot path, so its work is
+bounded by a deterministic :class:`~repro.smt.SolverBudget` and every
+failure mode steps down an explicit **degradation ladder** instead of
+crashing the record:
+
+  ``smt-confirm``      full solver confirmation (the normal path), with
+                       per-record retry + exponential budget backoff;
+  ``interval-audit``   interval-only masking, exact rule audit at the end;
+  ``forced-model``     the solver's own model supplies every free value;
+  ``posthoc-repair``   free values handed to the post-hoc SMT repairer;
+  ``clamped``          last resort: best-effort values clamped into domain
+                       bounds, flagged non-compliant.
+
+Every emitted record carries a :class:`RecordOutcome`: it either passed the
+exact rule audit (``compliant``) or is explicitly flagged ``degraded`` --
+never silently wrong.  All degradations are counted in
+:class:`EnforcementTrace`.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import variable_bounds
 from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
+from ..errors import DeadEnd, DegradedResult, SolverBudgetExceeded
 from ..lm.base import LanguageModel
 from ..lm.sampler import DeadEndError, SampleTrace, sample_tokens
 from ..rules.dsl import RuleSet
+from ..smt import SAT, UNKNOWN_STATUS, BudgetMeter, SolverBudget
 from .feasible import (
     FeasibilityOracle,
     HybridOracle,
@@ -40,9 +61,27 @@ from .feasible import (
 )
 from .transition import SEPARATOR, DigitTransitionSystem, FeasibleSet
 
-__all__ = ["EnforcerConfig", "EnforcementTrace", "JitEnforcer"]
+__all__ = [
+    "EnforcerConfig",
+    "EnforcementTrace",
+    "JitEnforcer",
+    "RecordOutcome",
+    "LADDER_STAGES",
+]
+
+logger = logging.getLogger(__name__)
 
 _ORACLES = {"hybrid": HybridOracle, "smt": SmtOracle, "interval": IntervalOracle}
+
+# The degradation ladder, most exact first.  Each record's outcome names
+# the stage that produced it; only "smt-confirm" is non-degraded.
+LADDER_STAGES = (
+    "smt-confirm",
+    "interval-audit",
+    "forced-model",
+    "posthoc-repair",
+    "clamped",
+)
 
 
 class _StrictRetryExhausted(RuntimeError):
@@ -62,10 +101,42 @@ class EnforcerConfig:
     # confirmation.  Preserves the compliance guarantee at a fraction of the
     # solver cost because the fast phase almost always succeeds.
     optimistic: bool = True
+    # Deterministic per-query solver work budget; None = unlimited (the
+    # hard theory-round/branching backstops still apply and degrade to
+    # UNKNOWN rather than raising).
+    budget: Optional[SolverBudget] = None
+    # On budget exhaustion the whole record is retried with the budget
+    # scaled by budget_backoff**attempt, at most max_budget_retries times,
+    # before stepping down the degradation ladder.
+    max_budget_retries: int = 2
+    budget_backoff: float = 2.0
+    # Allow the posthoc-repair ladder stage (uses baselines.posthoc).
+    posthoc_repair: bool = True
+    # Strict mode: raise DegradedResult instead of returning a record that
+    # only exists via a degraded ladder stage.
+    raise_on_degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.oracle not in _ORACLES:
             raise ValueError(f"unknown oracle tier {self.oracle!r}")
+
+
+@dataclass
+class RecordOutcome:
+    """Provenance of one emitted record: audited-compliant or flagged.
+
+    The pipeline invariant is that every record satisfies
+    ``compliant or degraded`` -- a record is either proven rule-compliant
+    by the exact audit or explicitly marked as produced by a degraded
+    ladder stage (never silently wrong).
+    """
+
+    values: Dict[str, int]
+    compliant: bool  # passed the exact audit of the producing tier's rules
+    degraded: bool  # produced below the top ladder stage
+    stage: str  # LADDER_STAGES entry that produced the record
+    tier_index: int = 0  # 0 = primary rules, >0 = fallback rule tier
+    budget_retries: int = 0  # record-level budget backoff retries consumed
 
 
 @dataclass
@@ -80,6 +151,14 @@ class EnforcementTrace:
     infeasible_records: int = 0  # records infeasible under every tier
     phase2_records: int = 0  # optimistic phase failed; re-ran with full SMT
     wall_time: float = 0.0
+    # -- robustness / degradation counters ------------------------------------
+    degraded_records: int = 0  # records produced below the top ladder stage
+    ladder: Dict[str, int] = field(default_factory=dict)  # stage -> records
+    budget_exhaustions: int = 0  # SolverBudgetExceeded observed
+    budget_retries: int = 0  # record retries with a scaled-up budget
+    dead_ends: int = 0  # DeadEnd raised during literal sampling
+    unknown_confirms: int = 0  # confirm() came back UNKNOWN
+    solver_work: Dict[str, int] = field(default_factory=dict)  # meter totals
 
     def guidance_rate(self) -> float:
         """Fraction of steps where masking actually pruned model mass."""
@@ -92,9 +171,32 @@ class EnforcementTrace:
             return 0.0
         return self.sample.diverted_steps / self.sample.steps
 
+    def count_stage(self, stage: str) -> None:
+        self.ladder[stage] = self.ladder.get(stage, 0) + 1
+
+    def degradation_summary(self) -> str:
+        """One operator-facing line: ladder usage + budget counters."""
+        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.ladder.items()))
+        work = ", ".join(f"{k}={v}" for k, v in self.solver_work.items() if v)
+        return (
+            f"records={self.records} degraded={self.degraded_records} "
+            f"stages[{stages or 'none'}] "
+            f"budget[exhausted={self.budget_exhaustions} "
+            f"retries={self.budget_retries}] "
+            f"dead_ends={self.dead_ends} "
+            f"unknown_confirms={self.unknown_confirms} "
+            f"solver[{work or 'idle'}]"
+        )
+
 
 class JitEnforcer:
-    """Wraps any :class:`LanguageModel` with JIT logic enforcement."""
+    """Wraps any :class:`LanguageModel` with JIT logic enforcement.
+
+    ``oracle_wrapper`` is the fault-injection seam: every oracle (primary,
+    fallback, and degraded-stage tiers) is passed through it at
+    construction, so chaos tests can interpose failures (see
+    :mod:`repro.testing.faults`) without touching the enforcement logic.
+    """
 
     def __init__(
         self,
@@ -104,21 +206,35 @@ class JitEnforcer:
         config: Optional[EnforcerConfig] = None,
         fallback_rules: Sequence[RuleSet] = (),
         bounds: Optional[Mapping[str, Tuple[int, int]]] = None,
+        oracle_wrapper: Optional[
+            Callable[[FeasibilityOracle], FeasibilityOracle]
+        ] = None,
     ):
         self.model = model
         self.rules = rules
         self.telemetry_config = telemetry_config or TelemetryConfig()
         self.config = config or EnforcerConfig()
         self.bounds = dict(bounds or variable_bounds(self.telemetry_config))
+        self.meter = BudgetMeter(self.config.budget)
+        wrap = oracle_wrapper or (lambda oracle: oracle)
         oracle_cls = _ORACLES[self.config.oracle]
         self._tiers: List[Tuple[RuleSet, FeasibilityOracle]] = [
-            (rules, oracle_cls(rules, self.bounds))
+            (rules, wrap(oracle_cls(rules, self.bounds, meter=self.meter)))
         ]
         for fallback in fallback_rules:
-            self._tiers.append((fallback, oracle_cls(fallback, self.bounds)))
+            self._tiers.append(
+                (fallback, wrap(oracle_cls(fallback, self.bounds, meter=self.meter)))
+            )
+        # Interval-only tiers for the "interval-audit" ladder stage: pure
+        # bounds propagation, no solver, so they survive budget exhaustion.
+        self._interval_tiers: List[Tuple[RuleSet, FeasibilityOracle]] = [
+            (tier_rules, wrap(IntervalOracle(tier_rules, self.bounds, meter=self.meter)))
+            for tier_rules, _ in self._tiers
+        ]
         self._rng = np.random.default_rng(self.config.seed)
         self._audit_cache: Dict[Tuple, RuleSet] = {}
         self.trace = EnforcementTrace()
+        self.last_outcome: Optional[RecordOutcome] = None
 
     # -- record-level API ------------------------------------------------------
 
@@ -133,6 +249,14 @@ class JitEnforcer:
         but the record does not serialize -- e.g. ``prev_*`` variables for
         temporal cross-window rules (the Section 5 extension).
         """
+        return self.impute_record(coarse, context).values
+
+    def impute_record(
+        self,
+        coarse: Mapping[str, int],
+        context: Optional[Mapping[str, int]] = None,
+    ) -> RecordOutcome:
+        """Like :meth:`impute` but returns the full :class:`RecordOutcome`."""
         window = self.telemetry_config.window
         prompt = (
             " ".join(str(int(coarse[name])) for name in COARSE_FIELDS) + ">"
@@ -141,12 +265,11 @@ class JitEnforcer:
         fixed = {name: int(coarse[name]) for name in COARSE_FIELDS}
         for name, value in (context or {}).items():
             fixed[name] = int(value)
-        values = self._generate_record(
+        return self._generate_record(
             fixed=fixed,
             prompt_text=prompt,
             variables=fine_names,
         )
-        return values
 
     def synthesize(
         self, context: Optional[Mapping[str, int]] = None
@@ -156,12 +279,261 @@ class JitEnforcer:
         ``context`` works as in :meth:`impute` (extra fixed variables for
         temporal rules; not part of the serialized record).
         """
+        return self.synthesize_record(context).values
+
+    def synthesize_record(
+        self, context: Optional[Mapping[str, int]] = None
+    ) -> RecordOutcome:
+        """Like :meth:`synthesize` but returns the :class:`RecordOutcome`."""
         window = self.telemetry_config.window
         names = list(COARSE_FIELDS) + [fine_field(t) for t in range(window)]
         fixed = {name: int(value) for name, value in (context or {}).items()}
         return self._generate_record(fixed=fixed, prompt_text="", variables=names)
 
+    # -- ladder orchestration --------------------------------------------------
+
+    def _generate_record(
+        self,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+    ) -> RecordOutcome:
+        start_time = time.perf_counter()
+        self.trace.records += 1
+        try:
+            outcome = self._run_ladder(fixed, prompt_text, variables)
+        finally:
+            # Restore the configured budget for the next record and publish
+            # the deterministic work counters.
+            self.meter.set_budget(self.config.budget)
+            self.trace.wall_time += time.perf_counter() - start_time
+            self.trace.solver_work = self.meter.snapshot()
+        self.trace.count_stage(outcome.stage)
+        if outcome.degraded:
+            self.trace.degraded_records += 1
+        if outcome.tier_index > 0:
+            self.trace.fallback_records += 1
+        self.last_outcome = outcome
+        if outcome.degraded and self.config.raise_on_degraded:
+            raise DegradedResult(
+                f"record produced via degraded stage {outcome.stage!r}",
+                outcome=outcome,
+            )
+        return outcome
+
+    def _run_ladder(
+        self,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+    ) -> RecordOutcome:
+        """Full-confirmation generation with budget backoff, then degrade."""
+        retries_used = 0
+        for attempt in range(self.config.max_budget_retries + 1):
+            if self.config.budget is not None and attempt > 0:
+                self.meter.set_budget(
+                    self.config.budget.scaled(
+                        self.config.budget_backoff ** attempt
+                    )
+                )
+            try:
+                values, tier_index = self._generate_confirmed(
+                    fixed, prompt_text, variables
+                )
+            except SolverBudgetExceeded as exc:
+                self.trace.budget_exhaustions += 1
+                logger.debug(
+                    "budget exhausted on attempt %d (%s); %s",
+                    attempt,
+                    exc,
+                    "retrying with backoff"
+                    if attempt < self.config.max_budget_retries
+                    else "stepping down the ladder",
+                )
+                if attempt < self.config.max_budget_retries:
+                    self.trace.budget_retries += 1
+                    retries_used += 1
+                    continue
+                break
+            return RecordOutcome(
+                values,
+                compliant=True,
+                degraded=False,
+                stage="smt-confirm",
+                tier_index=tier_index,
+                budget_retries=retries_used,
+            )
+        return self._degrade(fixed, prompt_text, variables, retries_used)
+
+    def _degrade(
+        self,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+        retries_used: int,
+    ) -> RecordOutcome:
+        """Step down the ladder after the confirmed path gave up."""
+        # Later stages still touch the solver (forced model, repair); give
+        # them one further backoff step beyond the retried budgets.
+        if self.config.budget is not None:
+            self.meter.set_budget(
+                self.config.budget.scaled(
+                    self.config.budget_backoff
+                    ** (self.config.max_budget_retries + 1)
+                )
+            )
+        candidate: Optional[Dict[str, int]] = None
+        candidate_tier = 0
+
+        # Stage: interval-only masking + exact audit (no solver involved in
+        # masking; the audit is plain rule evaluation).
+        for tier_index, (tier_rules, oracle) in enumerate(self._interval_tiers):
+            try:
+                oracle.begin_record(fixed)
+                values = self._run_generation(
+                    oracle, fixed, prompt_text, variables, strict=False
+                )
+            except (InfeasibleRecordError, SolverBudgetExceeded, DeadEnd):
+                continue
+            if candidate is None:
+                candidate, candidate_tier = values, tier_index
+            if self._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to interval-audit (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="interval-audit",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+
+        # Stage: solver-model forced values (no sampling; the solver's own
+        # model completes the record, exact by construction when it checks).
+        for tier_index, (tier_rules, oracle) in enumerate(self._tiers):
+            any_model = getattr(oracle, "any_model", None)
+            if any_model is None:
+                continue
+            try:
+                oracle.begin_record(fixed)
+                model = any_model()
+            except (InfeasibleRecordError, SolverBudgetExceeded):
+                continue
+            values = dict(fixed)
+            for name in variables:
+                values[name] = int(model.get(name, self.bounds[name][0]))
+            self.trace.solver_forced_vars += len(variables)
+            if self._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to forced-model (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="forced-model",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+            if candidate is None:
+                candidate, candidate_tier = values, tier_index
+
+        # Stage: post-hoc repair of the best-effort candidate.
+        if self.config.posthoc_repair:
+            outcome = self._posthoc_stage(
+                fixed, variables, candidate, retries_used
+            )
+            if outcome is not None:
+                return outcome
+
+        # Last resort: clamp the candidate (or domain minima) into bounds.
+        values = self._clamped_values(fixed, variables, candidate)
+        compliant = self._auditable(self.rules, values).compliant(values)
+        logger.warning(
+            "record degraded to clamped values (compliant=%s)", compliant
+        )
+        return RecordOutcome(
+            values,
+            compliant=compliant,
+            degraded=True,
+            stage="clamped",
+            tier_index=candidate_tier,
+            budget_retries=retries_used,
+        )
+
+    def _posthoc_stage(
+        self,
+        fixed: Mapping[str, int],
+        variables: Sequence[str],
+        candidate: Optional[Dict[str, int]],
+        retries_used: int,
+    ) -> Optional[RecordOutcome]:
+        # Imported lazily: repro.baselines pulls in core.pipeline at package
+        # import time, which would cycle at module load.
+        from ..baselines.posthoc import PosthocRepairer, RepairError
+
+        base = self._clamped_values(fixed, variables, candidate)
+        full = dict(base)
+        for name, (low, high) in self.bounds.items():
+            full.setdefault(name, min(max(0, low), high))
+        frozen = [name for name in fixed if name in self.bounds]
+        for tier_index, (tier_rules, _) in enumerate(self._tiers):
+            repairer = PosthocRepairer(
+                tier_rules,
+                self.telemetry_config,
+                mode="nearest",
+                bounds=self.bounds,
+                meter=self.meter,
+            )
+            try:
+                repaired = repairer.repair(full, frozen=frozen)
+            except (RepairError, SolverBudgetExceeded, ValueError):
+                continue
+            values = dict(fixed)
+            for name in variables:
+                values[name] = int(repaired.get(name, full[name]))
+            if self._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to posthoc-repair (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="posthoc-repair",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+        return None
+
+    def _clamped_values(
+        self,
+        fixed: Mapping[str, int],
+        variables: Sequence[str],
+        candidate: Optional[Dict[str, int]],
+    ) -> Dict[str, int]:
+        values = dict(fixed)
+        for name in variables:
+            low, high = self.bounds[name]
+            raw = (candidate or {}).get(name, min(max(0, low), high))
+            values[name] = min(max(int(raw), low), high)
+        return values
+
     # -- generation engine -----------------------------------------------------
+
+    def _generate_confirmed(
+        self,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+    ) -> Tuple[Dict[str, int], int]:
+        """The top ladder stage: fully solver-confirmed generation."""
+        if self.config.optimistic and self.config.oracle == "hybrid":
+            optimistic = self._try_optimistic(fixed, prompt_text, variables)
+            if optimistic is not None:
+                return optimistic
+            self.trace.phase2_records += 1
+        oracle, _, tier_index = self._begin_with_fallback(fixed)
+        values = self._run_generation(
+            oracle, fixed, prompt_text, variables, strict=False
+        )
+        return values, tier_index
 
     def _separator_char(self, variable: str, variables: Sequence[str]) -> str:
         index = variables.index(variable)
@@ -171,33 +543,12 @@ class JitEnforcer:
             return ">"
         return " "
 
-    def _generate_record(
-        self,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-    ) -> Dict[str, int]:
-        start_time = time.perf_counter()
-        self.trace.records += 1
-        try:
-            if self.config.optimistic and self.config.oracle == "hybrid":
-                values = self._try_optimistic(fixed, prompt_text, variables)
-                if values is not None:
-                    return values
-                self.trace.phase2_records += 1
-            oracle, _ = self._begin_with_fallback(fixed)
-            return self._run_generation(
-                oracle, fixed, prompt_text, variables, strict=False
-            )
-        finally:
-            self.trace.wall_time += time.perf_counter() - start_time
-
     def _try_optimistic(
         self,
         fixed: Mapping[str, int],
         prompt_text: str,
         variables: Sequence[str],
-    ) -> Optional[Dict[str, int]]:
+    ) -> Optional[Tuple[Dict[str, int], int]]:
         """Phase 1: interval-only masking, exact audit at the end."""
         for tier_index, (rules, oracle) in enumerate(self._tiers):
             interval_oracle = oracle.interval  # type: ignore[attr-defined]
@@ -211,9 +562,7 @@ class JitEnforcer:
             except _StrictRetryExhausted:
                 return None  # maybe interval incompleteness: go to SMT phase
             if self._auditable(rules, values).compliant(values):
-                if tier_index > 0:
-                    self.trace.fallback_records += 1
-                return values
+                return values, tier_index
             return None  # audit failed: fall through to the SMT phase
         return None
 
@@ -253,15 +602,13 @@ class JitEnforcer:
 
     def _begin_with_fallback(
         self, fixed: Mapping[str, int]
-    ) -> Tuple[FeasibilityOracle, RuleSet]:
+    ) -> Tuple[FeasibilityOracle, RuleSet, int]:
         for tier_index, (rules, oracle) in enumerate(self._tiers):
             try:
                 oracle.begin_record(fixed)
             except InfeasibleRecordError:
                 continue
-            if tier_index > 0:
-                self.trace.fallback_records += 1
-            return oracle, rules
+            return oracle, rules, tier_index
         self.trace.infeasible_records += 1
         raise InfeasibleRecordError(
             f"every rule tier is infeasible for fixed values {dict(fixed)}"
@@ -285,13 +632,21 @@ class JitEnforcer:
                 feasible, max_digits=min(self.config.max_literal_digits,
                                          len(str(feasible.max_value))),
             )
-            attempt = self._sample_literal(system, ids, separator_id)
+            attempt = self._sample_literal(system, ids, separator_id, name)
             if attempt is None:
                 break  # model had no admissible path; go force a value
             value, new_ids = attempt
-            if oracle.confirm(name, value):
+            status = oracle.confirm_status(name, value)
+            if status == SAT:
                 oracle.fix(name, value)
                 return value, new_ids
+            if status == UNKNOWN_STATUS:
+                # Budget ran out mid-confirm (or a fault injector said so):
+                # the value is *not* refuted, but without confirmation we
+                # cannot emit it.  Drop it and keep sampling -- if the
+                # solver stays exhausted, the forced step below escalates
+                # via SolverBudgetExceeded to the record-level ladder.
+                self.trace.unknown_confirms += 1
             self.trace.var_retries += 1
             feasible = feasible.remove(value)
         if strict:
@@ -309,6 +664,7 @@ class JitEnforcer:
         system: DigitTransitionSystem,
         ids: List[int],
         separator_id: int,
+        variable: str,
     ) -> Optional[Tuple[int, List[int]]]:
         """Sample one literal under transition-system masking."""
         tokenizer = self.model.tokenizer
@@ -336,7 +692,11 @@ class JitEnforcer:
                 rng=self._rng,
                 trace=self.trace.sample,
             )
-        except DeadEndError:
+        except DeadEndError as exc:
+            self.trace.dead_ends += 1
+            logger.debug(
+                "dead end while sampling: %s", exc.with_context(variable=variable)
+            )
             return None
         if not generated or generated[-1] != separator_id:
             return None  # ran out of budget without closing the literal
@@ -351,8 +711,9 @@ class JitEnforcer:
         name: str,
         feasible: FeasibleSet,
     ) -> int:
-        if isinstance(oracle, (SmtOracle, HybridOracle)):
-            return int(oracle.any_model()[name])
+        any_model = getattr(oracle, "any_model", None)
+        if any_model is not None:
+            return int(any_model()[name])
         # Interval tier has no exact model; fall back to the feasible set.
         if not feasible.is_empty():
             return feasible.min_value

@@ -24,8 +24,24 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..errors import InfeasibleRecord, SolverBudgetExceeded
 from ..rules.dsl import RuleSet
-from ..smt import And, Atom, Eq, Formula, IntVar, Le, LinCon, LinExpr, Or, Solver, propagate
+from ..smt import (
+    SAT,
+    UNSAT,
+    And,
+    Atom,
+    BudgetMeter,
+    Eq,
+    Formula,
+    IntVar,
+    Le,
+    LinCon,
+    LinExpr,
+    Or,
+    Solver,
+    propagate,
+)
 from ..smt.intervals import Interval
 from ..smt.simplify import simplify, substitute, to_nnf
 from ..smt.terms import FALSE, TRUE, BoolConst, Implies, Iff, Not
@@ -51,17 +67,30 @@ def residualize(formula: Formula, fixed: Mapping[str, int]) -> Formula:
     return simplify(to_nnf(substitute(formula, fixed)))
 
 
-class InfeasibleRecordError(RuntimeError):
+class InfeasibleRecordError(InfeasibleRecord):
     """The rules admit no completion for the current record prefix."""
 
 
 class FeasibilityOracle:
-    """Common interface; concrete oracles override the query methods."""
+    """Common interface; concrete oracles override the query methods.
 
-    def __init__(self, rules: RuleSet, bounds: Bounds):
+    ``meter`` (optional) is a shared :class:`~repro.smt.BudgetMeter`: every
+    solver the oracle spins up charges its deterministic work (conflicts,
+    pivots, theory rounds, ...) against the meter's budget.  Budget
+    exhaustion surfaces as :class:`~repro.errors.SolverBudgetExceeded` --
+    distinct from :class:`InfeasibleRecordError`, which is a genuine UNSAT.
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        bounds: Bounds,
+        meter: Optional[BudgetMeter] = None,
+    ):
         self.rules = rules
         self.bounds = dict(bounds)
         self.fixed: Dict[str, int] = {}
+        self.meter = meter
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         """Start a fresh record with the given already-known variables."""
@@ -72,6 +101,16 @@ class FeasibilityOracle:
 
     def confirm(self, variable: str, value: int) -> bool:
         raise NotImplementedError
+
+    def confirm_status(self, variable: str, value: int) -> str:
+        """Tri-state confirm: ``sat`` | ``unsat`` | ``unknown``.
+
+        The default derives from :meth:`confirm`; solver-backed oracles
+        override it to surface UNKNOWN (budget exhaustion) distinctly so
+        the enforcer can step down its degradation ladder instead of
+        misreading resource exhaustion as a refuted value.
+        """
+        return SAT if self.confirm(variable, value) else UNSAT
 
     def fix(self, variable: str, value: int) -> None:
         raise NotImplementedError
@@ -95,14 +134,19 @@ class SmtOracle(FeasibilityOracle):
     proves a completion exists (lookahead).
     """
 
-    def __init__(self, rules: RuleSet, bounds: Bounds):
-        super().__init__(rules, bounds)
+    def __init__(
+        self,
+        rules: RuleSet,
+        bounds: Bounds,
+        meter: Optional[BudgetMeter] = None,
+    ):
+        super().__init__(rules, bounds, meter)
         self._solver: Optional[Solver] = None
         self._record_depth = 0
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
-        self._solver = Solver()
+        self._solver = Solver(meter=self.meter)
         self._record_depth = 0
         disjunctive: List[Formula] = []
         conjunctive: List[LinCon] = []
@@ -138,7 +182,13 @@ class SmtOracle(FeasibilityOracle):
             self._solver.add(formula)
         for formula in disjunctive:
             self._solver.add(formula)
-        if not self._solver.check().satisfiable:
+        result = self._solver.check()
+        if result.is_unknown:
+            raise SolverBudgetExceeded(
+                "budget exhausted while opening record",
+                resource=self._solver.meter.last_exhausted,
+            )
+        if not result.satisfiable:
             raise InfeasibleRecordError(
                 f"rules are unsatisfiable given fixed values {self.fixed}"
             )
@@ -155,10 +205,13 @@ class SmtOracle(FeasibilityOracle):
         return self._clip(variable, FeasibleSet.from_interval(low, high))
 
     def confirm(self, variable: str, value: int) -> bool:
+        return self.confirm_status(variable, value) == SAT
+
+    def confirm_status(self, variable: str, value: int) -> str:
         self._solver.push()
         try:
             self._solver.add(Eq(IntVar(variable), value))
-            return self._solver.check().satisfiable
+            return self._solver.check().status
         finally:
             self._solver.pop()
 
@@ -171,6 +224,11 @@ class SmtOracle(FeasibilityOracle):
     def any_model(self) -> Dict[str, int]:
         """A full rule-compliant completion of the current prefix."""
         result = self._solver.check()
+        if result.is_unknown:
+            raise SolverBudgetExceeded(
+                "budget exhausted while extracting a model",
+                resource=self._solver.meter.last_exhausted,
+            )
         if not result.satisfiable:
             raise InfeasibleRecordError("no completion exists")
         model = dict(result.model or {})
@@ -309,8 +367,13 @@ class IntervalOracle(FeasibilityOracle):
     branch dies).  Queries then run propagation over this compact state.
     """
 
-    def __init__(self, rules: RuleSet, bounds: Bounds):
-        super().__init__(rules, bounds)
+    def __init__(
+        self,
+        rules: RuleSet,
+        bounds: Bounds,
+        meter: Optional[BudgetMeter] = None,
+    ):
+        super().__init__(rules, bounds, meter)
         self._box: Dict[str, Tuple[int, int]] = dict(bounds)
         self._multi_cons: List[LinCon] = []
         self._disjunctive: List[Formula] = []
@@ -449,10 +512,15 @@ class IntervalOracle(FeasibilityOracle):
 class HybridOracle(FeasibilityOracle):
     """Interval masks + SMT confirmation: LeJIT's default configuration."""
 
-    def __init__(self, rules: RuleSet, bounds: Bounds):
-        super().__init__(rules, bounds)
-        self.interval = IntervalOracle(rules, bounds)
-        self.smt = SmtOracle(rules, bounds)
+    def __init__(
+        self,
+        rules: RuleSet,
+        bounds: Bounds,
+        meter: Optional[BudgetMeter] = None,
+    ):
+        super().__init__(rules, bounds, meter)
+        self.interval = IntervalOracle(rules, bounds, meter)
+        self.smt = SmtOracle(rules, bounds, meter)
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
@@ -463,10 +531,13 @@ class HybridOracle(FeasibilityOracle):
         return self.interval.feasible_set(variable)
 
     def confirm(self, variable: str, value: int) -> bool:
+        return self.confirm_status(variable, value) == SAT
+
+    def confirm_status(self, variable: str, value: int) -> str:
         # Cheap refutation first, exact check second.
         if not self.interval.confirm(variable, value):
-            return False
-        return self.smt.confirm(variable, value)
+            return UNSAT
+        return self.smt.confirm_status(variable, value)
 
     def fix(self, variable: str, value: int) -> None:
         self.fixed[variable] = value

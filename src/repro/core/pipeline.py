@@ -20,7 +20,7 @@ from ..lm.base import LanguageModel
 from ..lm.sampler import sample_tokens
 from ..rules.dsl import RuleSet
 
-__all__ = ["RecordSampler", "GenerationError"]
+__all__ = ["RecordSampler", "GenerationError", "degradation_report"]
 
 
 class GenerationError(RuntimeError):
@@ -118,6 +118,30 @@ class RecordSampler:
             low, high = bounds[name]
             record[name] = min(max(value, low), high)
         return record
+
+
+def degradation_report(outcomes: Sequence) -> Dict[str, object]:
+    """Aggregate :class:`~repro.core.enforcer.RecordOutcome` provenance.
+
+    Batch-level view of the degradation ladder: how many records exist only
+    via a degraded stage, which stages fired, and whether the
+    compliant-or-flagged invariant held for every record.
+    """
+    by_stage: Dict[str, int] = {}
+    degraded = 0
+    flagged_ok = True
+    for outcome in outcomes:
+        by_stage[outcome.stage] = by_stage.get(outcome.stage, 0) + 1
+        if outcome.degraded:
+            degraded += 1
+        if not (outcome.compliant or outcome.degraded):
+            flagged_ok = False
+    return {
+        "records": len(outcomes),
+        "degraded": degraded,
+        "stages": by_stage,
+        "all_compliant_or_flagged": flagged_ok,
+    }
 
 
 def audit_violation_rate(

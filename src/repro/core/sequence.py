@@ -29,7 +29,7 @@ from ..data.telemetry import TelemetryConfig, Window, window_variables
 from ..lm.base import LanguageModel
 from ..rules.dsl import Rule, RuleSet
 from ..rules.mining import MinerOptions, mine_rules
-from .enforcer import EnforcerConfig, JitEnforcer
+from .enforcer import EnforcerConfig, JitEnforcer, RecordOutcome
 
 __all__ = [
     "PREV_PREFIX",
@@ -137,6 +137,10 @@ class SequenceEnforcer:
             bounds=bounds,
         )
 
+        # Per-record provenance of the most recent sequence call: parallel
+        # to its returned records, each entry compliant-or-flagged.
+        self.last_outcomes: List[RecordOutcome] = []
+
     @property
     def trace(self):
         return self._enforcer.trace
@@ -150,11 +154,13 @@ class SequenceEnforcer:
     ) -> List[Dict[str, int]]:
         """Impute consecutive windows, threading prev_* context through."""
         records: List[Dict[str, int]] = []
+        self.last_outcomes = []
         context: Optional[Dict[str, int]] = None
         names = set(window_variables(self.telemetry_config.window))
         for window in windows:
-            values = self._enforcer.impute(window.coarse(), context=context)
-            record = {k: v for k, v in values.items() if k in names}
+            outcome = self._enforcer.impute_record(window.coarse(), context)
+            self.last_outcomes.append(outcome)
+            record = {k: v for k, v in outcome.values.items() if k in names}
             records.append(record)
             context = self._context_from(record)
         return records
@@ -162,11 +168,13 @@ class SequenceEnforcer:
     def synthesize_sequence(self, count: int) -> List[Dict[str, int]]:
         """Generate a temporally-consistent sequence of records."""
         records: List[Dict[str, int]] = []
+        self.last_outcomes = []
         context: Optional[Dict[str, int]] = None
         names = set(window_variables(self.telemetry_config.window))
         for _ in range(count):
-            values = self._enforcer.synthesize(context=context)
-            record = {k: v for k, v in values.items() if k in names}
+            outcome = self._enforcer.synthesize_record(context)
+            self.last_outcomes.append(outcome)
+            record = {k: v for k, v in outcome.values.items() if k in names}
             records.append(record)
             context = self._context_from(record)
         return records

@@ -1,0 +1,130 @@
+"""Typed failure taxonomy for the JIT enforcement loop.
+
+LeJIT puts an SMT solver on the token-emission hot path, so every failure
+mode of the solver stack must be distinguishable by the enforcer's
+degradation ladder instead of surfacing as an anonymous ``RuntimeError``:
+
+* :class:`SolverBudgetExceeded` -- a deterministic work budget (CDCL
+  conflicts/decisions, simplex pivots, theory rounds, branch-and-bound
+  nodes) ran out before the query was decided.  The query outcome is
+  UNKNOWN, *not* UNSAT; callers may retry with a larger budget or step
+  down the ladder.
+* :class:`DeadEnd` -- generation reached a state where no admissible token
+  exists (or the model's distribution collapsed).  Carries the variable
+  being generated, the emitted prefix, and the admissible-set size.
+* :class:`InfeasibleRecord` -- the rules genuinely admit no completion of
+  the current record prefix (a real UNSAT, not resource exhaustion).
+* :class:`DegradedResult` -- a record was produced, but only via a
+  degraded ladder stage; raised when the caller demanded strict mode.
+
+All inherit :class:`ReproError` (itself a ``RuntimeError`` so legacy
+``except RuntimeError`` call sites keep working).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "ReproError",
+    "SolverBudgetExceeded",
+    "DeadEnd",
+    "InfeasibleRecord",
+    "DegradedResult",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of every typed LeJIT failure."""
+
+
+class SolverBudgetExceeded(ReproError):
+    """A solver work budget was exhausted before the query was decided.
+
+    The corresponding query result is UNKNOWN: the caller must not treat
+    it as UNSAT.  ``resource`` names the exhausted counter (``conflicts``,
+    ``decisions``, ``pivots``, ``theory_rounds``, ``bb_nodes``) when known.
+    """
+
+    def __init__(
+        self,
+        message: str = "solver work budget exceeded",
+        resource: Optional[str] = None,
+        limit: Optional[int] = None,
+        spent: Optional[int] = None,
+    ):
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        detail = message
+        if resource is not None:
+            extras = [f"resource={resource}"]
+            if limit is not None:
+                extras.append(f"limit={limit}")
+            if spent is not None:
+                extras.append(f"spent={spent}")
+            detail = f"{message} [{', '.join(extras)}]"
+        super().__init__(detail)
+
+
+class DeadEnd(ReproError):
+    """No admissible token exists at some generation step.
+
+    Context fields (all optional, included in the message when set):
+
+    * ``variable`` -- the record variable being generated;
+    * ``prefix`` -- the literal prefix emitted so far;
+    * ``admissible`` -- size of the admissible token set at the dead end.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        variable: Optional[str] = None,
+        prefix: Optional[str] = None,
+        admissible: Optional[int] = None,
+    ):
+        self.reason = reason
+        self.variable = variable
+        self.prefix = prefix
+        self.admissible = admissible
+        parts = [reason]
+        if variable is not None:
+            parts.append(f"variable={variable!r}")
+        if prefix is not None:
+            parts.append(f"prefix={prefix!r}")
+        if admissible is not None:
+            parts.append(f"admissible_size={admissible}")
+        super().__init__("; ".join(parts))
+
+    def with_context(
+        self,
+        variable: Optional[str] = None,
+        prefix: Optional[str] = None,
+        admissible: Optional[int] = None,
+    ) -> "DeadEnd":
+        """A copy with missing context fields filled in."""
+        return DeadEnd(
+            self.reason,
+            variable=self.variable if self.variable is not None else variable,
+            prefix=self.prefix if self.prefix is not None else prefix,
+            admissible=(
+                self.admissible if self.admissible is not None else admissible
+            ),
+        )
+
+
+class InfeasibleRecord(ReproError):
+    """The rules admit no completion of the current record prefix."""
+
+
+class DegradedResult(ReproError):
+    """A record exists only via a degraded ladder stage (strict mode).
+
+    Carries the :class:`~repro.core.enforcer.RecordOutcome` so callers can
+    still inspect (or accept) the degraded record.
+    """
+
+    def __init__(self, message: str, outcome: Any = None):
+        self.outcome = outcome
+        super().__init__(message)

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..errors import DeadEnd
 from .base import LanguageModel
 
 __all__ = ["MaskHook", "SampleTrace", "sample_tokens", "DeadEndError"]
@@ -22,9 +23,11 @@ __all__ = ["MaskHook", "SampleTrace", "sample_tokens", "DeadEndError"]
 # Given the prefix ids, return the set of admissible next ids (None = all).
 MaskHook = Callable[[Sequence[int]], Optional[Set[int]]]
 
-
-class DeadEndError(RuntimeError):
-    """Raised when the mask hook admits no token at some step."""
+# Raised when no admissible token exists at some step -- either the mask
+# hook admits nothing or the model's distribution collapsed.  Carries
+# context fields (variable, emitted prefix, admissible-set size); see
+# :class:`repro.errors.DeadEnd`.
+DeadEndError = DeadEnd
 
 
 @dataclass
@@ -72,8 +75,22 @@ def sample_tokens(
     specials = {model.tokenizer.pad_id, model.tokenizer.bos_id}
     for _ in range(max_new_tokens):
         probs = np.array(model.next_distribution(ids), dtype=np.float64)
+        # Survive a misbehaving model (NaN/inf logits from a bad checkpoint
+        # or fault injection): non-finite mass is dropped, and a fully
+        # collapsed distribution becomes a typed DeadEnd, never NaN output.
+        if not np.all(np.isfinite(probs)):
+            probs = np.where(np.isfinite(probs), probs, 0.0)
+        np.maximum(probs, 0.0, out=probs)
         for special in specials:
             probs[special] = 0.0
+        if probs.sum() <= 0:
+            # Checked *before* temperature rescaling, which would otherwise
+            # resurrect the zeroed mass as a uniform distribution.
+            raise DeadEndError(
+                "model distribution is all-zero after specials",
+                prefix=model.tokenizer.decode(generated),
+                admissible=0,
+            )
         if temperature != 1.0:
             with np.errstate(divide="ignore"):
                 logits = np.log(np.maximum(probs, 1e-300)) / temperature
@@ -83,7 +100,11 @@ def sample_tokens(
             probs[probs < cutoff] = 0.0
         total = probs.sum()
         if total <= 0:
-            raise DeadEndError("model distribution is all-zero after specials")
+            raise DeadEndError(
+                "model distribution is all-zero after specials",
+                prefix=model.tokenizer.decode(generated),
+                admissible=0,
+            )
         probs /= total
 
         allowed = mask_hook(ids) if mask_hook is not None else None
@@ -116,7 +137,11 @@ def sample_tokens(
                     masked = mask.astype(np.float64)
                     remaining = masked.sum()
                     if remaining == 0:
-                        raise DeadEndError("mask hook admitted no token")
+                        raise DeadEndError(
+                            "mask hook admitted no token",
+                            prefix=model.tokenizer.decode(generated),
+                            admissible=0,
+                        )
                 choice = int(rng.choice(len(probs), p=masked / remaining))
         else:
             choice = int(rng.choice(len(probs), p=probs))

@@ -12,13 +12,14 @@ Layering (bottom up): :mod:`~repro.smt.sat` CDCL core ->
 bounds-propagation fast path used by the enforcer before full solver calls.
 """
 
+from .budget import RESOURCES, BudgetMeter, SolverBudget
 from .intervals import Interval, IntervalDomain, PropagationResult, propagate
 from .lincon import LinCon, constraint_from_atom
 from .lia import LiaLimitError, LiaResult, check_lia
 from .sat import SatResult, SatSolver
 from .serialize import formula_from_dict, formula_to_dict
 from .simplify import simplify, substitute, to_nnf
-from .solver import CheckResult, Solver, UNBOUNDED
+from .solver import SAT, UNKNOWN_STATUS, UNSAT, CheckResult, Solver, UNBOUNDED
 from .terms import (
     FALSE,
     TRUE,
@@ -44,6 +45,12 @@ __all__ = [
     "Solver",
     "CheckResult",
     "UNBOUNDED",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN_STATUS",
+    "SolverBudget",
+    "BudgetMeter",
+    "RESOURCES",
     "SatSolver",
     "SatResult",
     "LinCon",

@@ -1,0 +1,125 @@
+"""Deterministic solver work budgets.
+
+LeJIT bounds the worst-case decision latency of every solver query with
+*deterministic* counters -- CDCL conflicts and decisions, simplex pivots,
+DPLL(T) theory rounds, and branch-and-bound nodes -- never wall clock, so
+budget exhaustion is exactly reproducible across runs and machines (two
+runs with the same seed and budget report identical counts).
+
+:class:`SolverBudget` is an immutable bag of per-query limits (``None`` =
+unlimited).  :class:`BudgetMeter` is the mutable companion threaded through
+the solver stack: it accumulates lifetime totals *and* enforces the budget
+per query (a query is one :meth:`~repro.smt.solver.Solver.check`, spanning
+all of its SAT rounds and theory calls).  Exhaustion never raises inside
+the solver stack -- each layer returns a first-class UNKNOWN result that
+callers must distinguish from UNSAT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+__all__ = ["RESOURCES", "SolverBudget", "BudgetMeter"]
+
+# Deterministic work counters, one per solver layer:
+#   conflicts/decisions -- CDCL SAT core (repro.smt.sat)
+#   pivots              -- exact simplex (repro.smt.lra)
+#   theory_rounds       -- DPLL(T) loop (repro.smt.solver)
+#   bb_nodes            -- LIA branch & bound (repro.smt.lia)
+RESOURCES = ("conflicts", "decisions", "pivots", "theory_rounds", "bb_nodes")
+
+
+@dataclass(frozen=True)
+class SolverBudget:
+    """Per-query work limits; ``None`` means unlimited for that resource."""
+
+    max_conflicts: Optional[int] = None
+    max_decisions: Optional[int] = None
+    max_pivots: Optional[int] = None
+    max_theory_rounds: Optional[int] = None
+    max_bb_nodes: Optional[int] = None
+
+    def limit(self, resource: str) -> Optional[int]:
+        if resource not in RESOURCES:
+            raise ValueError(f"unknown budget resource {resource!r}")
+        return getattr(self, "max_" + resource)
+
+    def is_unlimited(self) -> bool:
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def scaled(self, factor: float) -> "SolverBudget":
+        """Every finite limit multiplied by ``factor`` (ceil, min 1)."""
+        updates = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            updates[f.name] = (
+                None if value is None else max(1, math.ceil(value * factor))
+            )
+        return SolverBudget(**updates)
+
+    @staticmethod
+    def default() -> "SolverBudget":
+        """Generous per-query limits that still bound pathological queries.
+
+        Sized so that normal LeJIT per-token queries (tens of conflicts,
+        hundreds of pivots) never come close, while a blow-up is cut off in
+        well under a second.
+        """
+        return SolverBudget(
+            max_conflicts=20_000,
+            max_decisions=50_000,
+            max_pivots=200_000,
+            max_theory_rounds=2_000,
+            max_bb_nodes=5_000,
+        )
+
+
+class BudgetMeter:
+    """Mutable work counters checked against a :class:`SolverBudget`.
+
+    ``totals`` accumulate over the meter's lifetime (deterministic trace
+    material); limits are enforced against the *per-query* delta, where a
+    query window opens at :meth:`begin_query`.  A single meter may be
+    shared by many solver instances -- queries are sequential, so one
+    start-snapshot suffices.
+    """
+
+    def __init__(self, budget: Optional[SolverBudget] = None):
+        self.budget = budget or SolverBudget()
+        self.totals: Dict[str, int] = {r: 0 for r in RESOURCES}
+        self._query_start: Dict[str, int] = dict(self.totals)
+        self.exhaustions = 0
+        self.last_exhausted: Optional[str] = None
+
+    def set_budget(self, budget: Optional[SolverBudget]) -> None:
+        self.budget = budget or SolverBudget()
+
+    def begin_query(self) -> None:
+        """Open a new per-query window (called on entry to ``check``)."""
+        self._query_start = dict(self.totals)
+
+    def charge(self, resource: str, amount: int = 1) -> bool:
+        """Record ``amount`` units of work; False when the query is over
+        budget for that resource (the caller must return UNKNOWN)."""
+        self.totals[resource] += amount
+        limit = self.budget.limit(resource)
+        if limit is None:
+            return True
+        if self.totals[resource] - self._query_start[resource] > limit:
+            self.exhaustions += 1
+            self.last_exhausted = resource
+            return False
+        return True
+
+    def query_spent(self, resource: str) -> int:
+        return self.totals[resource] - self._query_start[resource]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the lifetime totals (safe to store in traces)."""
+        return dict(self.totals)
+
+    def __repr__(self) -> str:
+        spent = ", ".join(f"{r}={v}" for r, v in self.totals.items() if v)
+        return f"BudgetMeter({spent or 'idle'})"

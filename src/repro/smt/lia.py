@@ -21,14 +21,20 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..errors import SolverBudgetExceeded
+from .budget import BudgetMeter
 from .lincon import LinCon
 from .lra import Simplex
 
 __all__ = ["LiaResult", "LiaLimitError", "check_lia"]
 
 
-class LiaLimitError(RuntimeError):
-    """Raised when branch-and-bound exceeds its node budget."""
+class LiaLimitError(SolverBudgetExceeded):
+    """Raised when branch-and-bound exceeds its legacy ``node_limit``.
+
+    Only the explicit ``node_limit`` parameter raises; metered budgets
+    return a first-class UNKNOWN :class:`LiaResult` instead.
+    """
 
 
 @dataclass
@@ -36,15 +42,24 @@ class LiaResult:
     satisfiable: bool
     model: Optional[Dict[str, int]] = None
     core: Optional[Set[Hashable]] = None
+    unknown: bool = False  # work budget exhausted; NOT a proof of UNSAT
 
 
 _branch_counter = itertools.count()
 
 
 def check_lia(
-    constraints: Iterable[LinCon], node_limit: int = 20_000
+    constraints: Iterable[LinCon],
+    node_limit: int = 20_000,
+    meter: Optional[BudgetMeter] = None,
 ) -> LiaResult:
-    """Decide integer feasibility of a conjunction of linear constraints."""
+    """Decide integer feasibility of a conjunction of linear constraints.
+
+    ``node_limit`` is the legacy hard cap (raises :class:`LiaLimitError`);
+    a ``meter`` additionally charges branch-and-bound nodes and simplex
+    pivots against its budget, returning ``LiaResult(unknown=True)`` on
+    exhaustion instead of raising.
+    """
     normalized: List[LinCon] = []
     for con in constraints:
         reduced = con.normalized()
@@ -58,7 +73,7 @@ def check_lia(
     if not normalized:
         return LiaResult(True, model={})
     budget = [node_limit]
-    result = _solve(normalized, budget)
+    result = _solve(normalized, budget, meter)
     if result.satisfiable:
         model = dict(result.model or {})
         for con in normalized:  # default-0 for vars the simplex never saw
@@ -71,9 +86,17 @@ def check_lia(
     return result
 
 
-def _solve(constraints: List[LinCon], budget: List[int]) -> LiaResult:
+def _solve(
+    constraints: List[LinCon],
+    budget: List[int],
+    meter: Optional[BudgetMeter] = None,
+) -> LiaResult:
+    if meter is not None and not meter.charge("bb_nodes"):
+        return LiaResult(False, unknown=True)
     if budget[0] <= 0:
-        raise LiaLimitError("branch-and-bound node limit exceeded")
+        raise LiaLimitError(
+            "branch-and-bound node limit exceeded", resource="bb_nodes"
+        )
     budget[0] -= 1
 
     simplex = Simplex()
@@ -87,7 +110,9 @@ def _solve(constraints: List[LinCon], budget: List[int]) -> LiaResult:
         conflict = _assert_constraint(simplex, con)
         if conflict is not None:
             return LiaResult(False, core=_strip_branch_tags(conflict))
-    lra = simplex.check()
+    lra = simplex.check(meter)
+    if lra.unknown:
+        return LiaResult(False, unknown=True)
     if not lra.feasible:
         return LiaResult(False, core=_strip_branch_tags(lra.conflict or set()))
 
@@ -111,7 +136,7 @@ def _solve(constraints: List[LinCon], budget: List[int]) -> LiaResult:
             violated.tag,
         )
         rest = [c for c in constraints if c is not violated]
-        return _branch(rest, low, high, filter_tags=(), budget=budget)
+        return _branch(rest, low, high, filter_tags=(), budget=budget, meter=meter)
 
     var, value = fractional
     floor_value = value.numerator // value.denominator
@@ -121,7 +146,8 @@ def _solve(constraints: List[LinCon], budget: List[int]) -> LiaResult:
     left = LinCon(((var, 1),), -floor_value, "<=", left_tag)
     right = LinCon(((var, -1),), floor_value + 1, "<=", right_tag)
     return _branch(
-        constraints, left, right, filter_tags=(left_tag, right_tag), budget=budget
+        constraints, left, right, filter_tags=(left_tag, right_tag),
+        budget=budget, meter=meter,
     )
 
 
@@ -131,12 +157,13 @@ def _branch(
     right: LinCon,
     filter_tags: Tuple[Hashable, ...],
     budget: List[int],
+    meter: Optional[BudgetMeter] = None,
 ) -> LiaResult:
-    left_result = _solve(constraints + [left], budget)
-    if left_result.satisfiable:
+    left_result = _solve(constraints + [left], budget, meter)
+    if left_result.satisfiable or left_result.unknown:
         return left_result
-    right_result = _solve(constraints + [right], budget)
-    if right_result.satisfiable:
+    right_result = _solve(constraints + [right], budget, meter)
+    if right_result.satisfiable or right_result.unknown:
         return right_result
     core = (left_result.core or set()) | (right_result.core or set())
     core -= set(filter_tags)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
+from .budget import BudgetMeter
+
 __all__ = ["Bound", "LraResult", "Simplex"]
 
 Tag = Hashable
@@ -36,6 +38,7 @@ class LraResult:
     feasible: bool
     model: Optional[Dict[str, Fraction]] = None
     conflict: Optional[Set[Tag]] = None  # tags of a conflicting bound set
+    unknown: bool = False  # pivot budget exhausted; NOT a proof of infeasible
 
 
 class Simplex:
@@ -133,8 +136,12 @@ class Simplex:
 
     # -- feasibility ---------------------------------------------------------
 
-    def check(self) -> LraResult:
-        """Pivot until all basic variables are within bounds (Bland's rule)."""
+    def check(self, meter: Optional[BudgetMeter] = None) -> LraResult:
+        """Pivot until all basic variables are within bounds (Bland's rule).
+
+        When a ``meter`` is supplied, each pivot is charged against its
+        budget; exhaustion yields ``LraResult(unknown=True)``.
+        """
         while True:
             violated = self._find_violated_basic()
             if violated is None:
@@ -143,6 +150,8 @@ class Simplex:
             entering = self._find_entering(basic, need_increase)
             if entering is None:
                 return LraResult(feasible=False, conflict=self._explain(basic, need_increase))
+            if meter is not None and not meter.charge("pivots"):
+                return LraResult(feasible=False, unknown=True)
             target = (
                 self._lower[basic].value if need_increase else self._upper[basic].value
             )

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from .budget import BudgetMeter
+
 __all__ = ["SatSolver", "SatResult"]
 
 _UNASSIGNED = 0
@@ -28,6 +30,7 @@ class SatResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    unknown: bool = False  # work budget exhausted; NOT a proof of UNSAT
 
 
 def _luby(i: int) -> int:
@@ -124,11 +127,18 @@ class SatSolver:
             return
         self._attach(_Clause(simplified))
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        meter: Optional[BudgetMeter] = None,
+    ) -> SatResult:
         """Search for a model extending ``assumptions``.
 
         The solver state (learned clauses, activities, phases) persists across
-        calls; the trail is reset to level 0 on entry and exit.
+        calls; the trail is reset to level 0 on entry and exit.  When a
+        ``meter`` is supplied, every conflict and branch decision is charged
+        against its budget; exhaustion yields ``SatResult(unknown=True)``
+        instead of an answer.
         """
         self._backtrack(0)
         if self._unsat or self._propagate() is not None:
@@ -143,6 +153,9 @@ class SatSolver:
             if conflict is not None:
                 self._conflicts_total += 1
                 conflicts_since_restart += 1
+                if meter is not None and not meter.charge("conflicts"):
+                    self._backtrack(0)
+                    return self._result_unknown()
                 if self._decision_level() == 0:
                     return self._result(False)
                 learned, backtrack_level = self._analyze(conflict)
@@ -186,6 +199,9 @@ class SatSolver:
                 }
                 self._backtrack(0)
                 return self._result(True, model)
+            if meter is not None and not meter.charge("decisions"):
+                self._backtrack(0)
+                return self._result_unknown()
             self._decide(decision)
 
     # -- internals -----------------------------------------------------------
@@ -197,6 +213,16 @@ class SatSolver:
             conflicts=self._conflicts_total,
             decisions=self._decisions_total,
             propagations=self._propagations_total,
+        )
+
+    def _result_unknown(self) -> SatResult:
+        return SatResult(
+            satisfiable=False,
+            model=None,
+            conflicts=self._conflicts_total,
+            decisions=self._decisions_total,
+            propagations=self._propagations_total,
+            unknown=True,
         )
 
     def _lit_value(self, lit: int) -> int:

@@ -23,16 +23,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..errors import SolverBudgetExceeded
+from .budget import BudgetMeter, SolverBudget
 from .cnf import CnfBuilder
-from .lia import check_lia
+from .lia import LiaLimitError, check_lia
 from .lincon import LinCon, constraint_from_atom
 from .sat import SatSolver
 from .simplify import simplify, to_nnf
 from .terms import FALSE, TRUE, Formula, Le, LinExpr
 
-__all__ = ["Solver", "CheckResult", "UNBOUNDED"]
+__all__ = ["Solver", "CheckResult", "UNBOUNDED", "SAT", "UNSAT", "UNKNOWN_STATUS"]
 
 UNBOUNDED = None  # sentinel returned by minimize/maximize
+
+# Tri-state query outcomes.  UNKNOWN means a work budget ran out before the
+# query was decided -- callers must never conflate it with UNSAT.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN_STATUS = "unknown"
 
 _MAX_THEORY_ROUNDS = 100_000
 _MAX_BRACKET_STEPS = 70  # 2**70 > any value representable in our domains
@@ -43,6 +51,19 @@ class CheckResult:
     satisfiable: bool
     model: Optional[Dict[str, int]] = None
     theory_rounds: int = 0
+    status: Optional[str] = None  # sat | unsat | unknown
+
+    def __post_init__(self) -> None:
+        if self.status is None:
+            self.status = SAT if self.satisfiable else UNSAT
+
+    @classmethod
+    def unknown(cls, theory_rounds: int = 0) -> "CheckResult":
+        return cls(False, None, theory_rounds, status=UNKNOWN_STATUS)
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == UNKNOWN_STATUS
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -59,9 +80,22 @@ class _DefaultZero(dict):
 
 
 class Solver:
-    """Incremental QF_LIA solver (the z3 stand-in used throughout LeJIT)."""
+    """Incremental QF_LIA solver (the z3 stand-in used throughout LeJIT).
 
-    def __init__(self) -> None:
+    ``budget``/``meter`` bound the deterministic work (CDCL conflicts and
+    decisions, simplex pivots, theory rounds, branch-and-bound nodes) of
+    each ``check``: an exhausted query returns a first-class UNKNOWN
+    :class:`CheckResult` instead of raising.  A shared ``meter`` lets many
+    solver instances accumulate into one set of counters (the enforcer
+    threads one meter through every per-record solver).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[SolverBudget] = None,
+        meter: Optional[BudgetMeter] = None,
+    ) -> None:
+        self.meter = meter if meter is not None else BudgetMeter(budget)
         self._builder = CnfBuilder()
         self._sat = SatSolver()
         self._emitted_clauses = 0  # builder clauses already sent to SAT
@@ -76,6 +110,8 @@ class Solver:
         self._base_false = False  # a ground-false formula asserted at level 0
         self.stats_theory_rounds = 0
         self.stats_checks = 0
+        self.stats_unknowns = 0  # checks cut off by a work budget
+        self.stats_inexact_intervals = 0  # feasible_interval sides widened
 
     # -- assertions ----------------------------------------------------------
 
@@ -124,23 +160,40 @@ class Solver:
     # -- solving -------------------------------------------------------------
 
     def check(self) -> CheckResult:
-        """Decide satisfiability of the current assertion stack."""
+        """Decide satisfiability of the current assertion stack.
+
+        Tri-state: SAT (with model), UNSAT, or UNKNOWN when the per-query
+        work budget -- or the hard theory-round/branching backstop -- is
+        exhausted before a verdict.  UNKNOWN is never a proof of UNSAT.
+        """
         self.stats_checks += 1
         if self._base_false or self._builder.trivially_false:
             return CheckResult(False)
+        self.meter.begin_query()
         assumptions = list(self._selectors)
         rounds = 0
         while True:
             rounds += 1
-            if rounds > _MAX_THEORY_ROUNDS:
-                raise RuntimeError("theory-round limit exceeded")
-            sat_result = self._sat.solve(assumptions)
+            if rounds > _MAX_THEORY_ROUNDS or not self.meter.charge(
+                "theory_rounds"
+            ):
+                return self._unknown(rounds)
+            sat_result = self._sat.solve(assumptions, self.meter)
+            if sat_result.unknown:
+                return self._unknown(rounds)
             if not sat_result.satisfiable:
                 self.stats_theory_rounds += rounds
                 return CheckResult(False, theory_rounds=rounds)
             assert sat_result.model is not None
             constraints, literals = self._lower_model(sat_result.model)
-            lia = check_lia(constraints)
+            try:
+                lia = check_lia(constraints, meter=self.meter)
+            except LiaLimitError:
+                # The legacy hard node cap: degrade to UNKNOWN rather than
+                # letting a pathological theory query crash the enforcer.
+                return self._unknown(rounds)
+            if lia.unknown:
+                return self._unknown(rounds)
             if lia.satisfiable:
                 self.stats_theory_rounds += rounds
                 model = _DefaultZero(lia.model or {})
@@ -151,6 +204,11 @@ class Solver:
                 # to blocking the full atom assignment.
                 core = set(literals)
             self._sat.add_clause([-lit for lit in core])
+
+    def _unknown(self, rounds: int) -> CheckResult:
+        self.stats_theory_rounds += rounds
+        self.stats_unknowns += 1
+        return CheckResult.unknown(theory_rounds=rounds)
 
     def _lower_model(
         self, model: Dict[int, bool]
@@ -183,7 +241,8 @@ class Solver:
 
     def minimize(self, expr: LinExpr) -> Optional[int]:
         """Smallest value of ``expr`` over all models; None if unbounded
-        below; raises ValueError when the assertions are unsatisfiable."""
+        below; raises ValueError when the assertions are unsatisfiable and
+        :class:`SolverBudgetExceeded` when the work budget runs out."""
         return self._optimize(expr, direction=-1)
 
     def maximize(self, expr: LinExpr) -> Optional[int]:
@@ -191,20 +250,42 @@ class Solver:
 
     def feasible_interval(self, expr: LinExpr) -> Optional[Tuple[Optional[int], Optional[int]]]:
         """(min, max) of expr over all models, None entries when unbounded;
-        returns None when the assertions are unsatisfiable."""
+        returns None when the assertions are unsatisfiable.
+
+        Unlike :meth:`minimize`/:meth:`maximize`, an exhausted work budget
+        during a probe does not raise: the affected side is conservatively
+        *widened* (kept sound as an over-approximation of the true range,
+        counted in ``stats_inexact_intervals``).  Only an UNKNOWN on the
+        base satisfiability check raises :class:`SolverBudgetExceeded`,
+        since soundness cannot be salvaged without any model.
+        """
         base = self.check()
+        if base.is_unknown:
+            raise SolverBudgetExceeded(
+                "budget exhausted before base feasibility was decided",
+                resource=self.meter.last_exhausted,
+            )
         if not base.satisfiable:
             return None
-        return (self._optimize(expr, -1, base), self._optimize(expr, +1, base))
+        return (
+            self._optimize(expr, -1, base, widen_on_unknown=True),
+            self._optimize(expr, +1, base, widen_on_unknown=True),
+        )
 
     def _optimize(
         self,
         expr: LinExpr,
         direction: int,
         base: Optional[CheckResult] = None,
+        widen_on_unknown: bool = False,
     ) -> Optional[int]:
         if base is None:
             base = self.check()
+        if base.is_unknown:
+            raise SolverBudgetExceeded(
+                "budget exhausted before base feasibility was decided",
+                resource=self.meter.last_exhausted,
+            )
         if not base.satisfiable:
             raise ValueError("cannot optimize over unsatisfiable assertions")
         best = base.value(expr)
@@ -214,6 +295,10 @@ class Solver:
         for _ in range(_MAX_BRACKET_STEPS):
             candidate = best + direction * step
             result = self._check_with_bound(expr, candidate, direction)
+            if result.is_unknown:
+                # No bracket yet: the only sound widening is "unbounded",
+                # which callers close back to the domain bounds.
+                return self._probe_unknown(widen_on_unknown, UNBOUNDED)
             if result.satisfiable:
                 best = result.value(expr)
                 step *= 2
@@ -232,6 +317,10 @@ class Solver:
                     return low
                 mid = (low + high) // 2
                 result = self._check_with_bound(expr, mid, direction)
+                if result.is_unknown:
+                    # `high` is a proven-unachievable bound, so the true
+                    # maximum is at most high - 1: sound over-approximation.
+                    return self._probe_unknown(widen_on_unknown, high - 1)
                 if result.satisfiable:
                     low = result.value(expr)
                 else:
@@ -241,10 +330,24 @@ class Solver:
                     return high
                 mid = (low + high) // 2
                 result = self._check_with_bound(expr, mid, direction)
+                if result.is_unknown:
+                    # `low` is proven unachievable: true minimum >= low + 1.
+                    return self._probe_unknown(widen_on_unknown, low + 1)
                 if result.satisfiable:
                     high = result.value(expr)
                 else:
                     low = mid
+
+    def _probe_unknown(
+        self, widen: bool, widened: Optional[int]
+    ) -> Optional[int]:
+        if widen:
+            self.stats_inexact_intervals += 1
+            return widened
+        raise SolverBudgetExceeded(
+            "budget exhausted during optimization probe",
+            resource=self.meter.last_exhausted,
+        )
 
     def _check_with_bound(
         self, expr: LinExpr, bound: int, direction: int

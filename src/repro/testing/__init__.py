@@ -1,0 +1,20 @@
+"""Fault-injection harness for chaos-testing the JIT enforcement loop.
+
+See :mod:`repro.testing.faults` for the wrappers and configuration.
+"""
+
+from .faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    FaultyLM,
+    FaultyOracle,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyLM",
+    "FaultyOracle",
+]

@@ -1,0 +1,188 @@
+"""Fault injection for chaos-testing the JIT enforcement loop.
+
+LeJIT's robustness claim is that a misbehaving model or solver degrades
+the output *gracefully*: every emitted record is either proven
+rule-compliant or explicitly flagged degraded -- never silently wrong,
+never an unhandled crash.  This module provides the test doubles that
+exercise that claim:
+
+* :class:`FaultyLM` wraps any :class:`~repro.lm.base.LanguageModel` and,
+  at configurable rates, corrupts its next-token distribution with NaNs
+  or zeros (a bad checkpoint, an overflowed softmax);
+* :class:`FaultyOracle` wraps any
+  :class:`~repro.core.feasible.FeasibilityOracle` and injects spurious
+  UNKNOWN confirmations, forced dead ends (empty feasible sets), and
+  budget exhaustion;
+* :class:`FaultInjector` is the shared, *seeded* randomness source, so a
+  chaos run is exactly reproducible, and :class:`FaultStats` counts what
+  actually fired.
+
+The wrappers implement the same protocols as the wrapped objects, so they
+drop into :class:`~repro.core.enforcer.JitEnforcer` via its ``model`` and
+``oracle_wrapper`` parameters without touching enforcement logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.feasible import FeasibilityOracle
+from ..core.transition import FeasibleSet
+from ..errors import SolverBudgetExceeded
+from ..lm.base import LanguageModel
+from ..smt import SAT, UNKNOWN_STATUS
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyLM",
+    "FaultyOracle",
+]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-call-site fault probabilities (all in ``[0, 1]``).
+
+    Rates are independent per call; ``seed`` makes the whole chaos run
+    deterministic (same seed -> same faults at the same call sites).
+    """
+
+    seed: int = 0
+    nan_logits: float = 0.0  # LM distribution gets NaN entries
+    zero_logits: float = 0.0  # LM distribution becomes all-zero
+    spurious_unknown: float = 0.0  # confirm_status lies: UNKNOWN
+    forced_dead_end: float = 0.0  # feasible_set comes back empty
+    budget_exhaustion: float = 0.0  # solver entry points raise
+
+    def __post_init__(self) -> None:
+        for name in (
+            "nan_logits",
+            "zero_logits",
+            "spurious_unknown",
+            "forced_dead_end",
+            "budget_exhaustion",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass
+class FaultStats:
+    """How many injected faults actually fired, by kind."""
+
+    fired: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> None:
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.fired.values())
+
+
+class FaultInjector:
+    """Shared seeded randomness for all wrappers of one chaos run."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(config.seed)
+
+    def fire(self, kind: str, rate: float) -> bool:
+        """Draw once; record and report whether the fault fires."""
+        if rate <= 0.0:
+            return False
+        if float(self._rng.random()) >= rate:
+            return False
+        self.stats.bump(kind)
+        return True
+
+
+class FaultyLM:
+    """A :class:`LanguageModel` whose distribution sometimes goes bad."""
+
+    def __init__(self, model: LanguageModel, injector: FaultInjector):
+        self._model = model
+        self._injector = injector
+        self.tokenizer = model.tokenizer
+
+    def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        probs = np.array(
+            self._model.next_distribution(prefix_ids), dtype=np.float64
+        )
+        config = self._injector.config
+        if self._injector.fire("nan_logits", config.nan_logits):
+            corrupted = probs.copy()
+            # NaN out the top half of the mass -- the shape a broken
+            # checkpoint or overflowed softmax actually produces.
+            corrupted[corrupted >= np.median(corrupted)] = np.nan
+            return corrupted
+        if self._injector.fire("zero_logits", config.zero_logits):
+            return np.zeros_like(probs)
+        return probs
+
+
+class FaultyOracle(FeasibilityOracle):
+    """A :class:`FeasibilityOracle` with injectable solver failures.
+
+    Wraps any oracle tier; nested ``interval``/``smt`` sub-oracles (the
+    hybrid tier) are wrapped too, sharing the same injector, so faults
+    also fire inside the enforcer's optimistic phase.  Attributes not
+    overridden here delegate to the wrapped oracle.
+    """
+
+    def __init__(self, oracle: FeasibilityOracle, injector: FaultInjector):
+        # Deliberately no super().__init__: state lives in the wrapped
+        # oracle and is reached via delegation.
+        self._oracle = oracle
+        self._injector = injector
+        for sub in ("interval", "smt"):
+            inner = getattr(oracle, sub, None)
+            if isinstance(inner, FeasibilityOracle):
+                setattr(self, sub, FaultyOracle(inner, injector))
+
+    def __getattr__(self, name: str):
+        inner = getattr(self._oracle, name)
+        if name == "any_model":
+            # Present only when the wrapped oracle has it (interval tiers
+            # do not); wrap the call with budget-exhaustion injection.
+            def faulty_any_model():
+                self._exhaust("any_model")
+                return inner()
+
+            return faulty_any_model
+        return inner
+
+    def _exhaust(self, where: str) -> None:
+        config = self._injector.config
+        if self._injector.fire("budget_exhaustion", config.budget_exhaustion):
+            raise SolverBudgetExceeded(
+                f"injected budget exhaustion in {where}", resource="injected"
+            )
+
+    def begin_record(self, fixed=None) -> None:
+        self._exhaust("begin_record")
+        self._oracle.begin_record(fixed)
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        config = self._injector.config
+        if self._injector.fire("forced_dead_end", config.forced_dead_end):
+            return FeasibleSet.empty()
+        return self._oracle.feasible_set(variable)
+
+    def confirm_status(self, variable: str, value: int) -> str:
+        config = self._injector.config
+        if self._injector.fire("spurious_unknown", config.spurious_unknown):
+            return UNKNOWN_STATUS
+        return self._oracle.confirm_status(variable, value)
+
+    def confirm(self, variable: str, value: int) -> bool:
+        return self.confirm_status(variable, value) == SAT
+
+    def fix(self, variable: str, value: int) -> None:
+        self._oracle.fix(variable, value)

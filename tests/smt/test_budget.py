@@ -1,0 +1,164 @@
+"""Deterministic solver work budgets: exhaustion yields UNKNOWN, never lies."""
+
+import pytest
+
+from repro.errors import SolverBudgetExceeded
+from repro.smt import (
+    SAT,
+    UNKNOWN_STATUS,
+    UNSAT,
+    And,
+    BudgetMeter,
+    Eq,
+    IntVar,
+    Le,
+    LiaLimitError,
+    Or,
+    Solver,
+    SolverBudget,
+    check_lia,
+    constraint_from_atom,
+)
+
+
+def _vars(*names):
+    return [IntVar(n) for n in names]
+
+
+def _bounded_problem(solver, n=6, high=50):
+    """A small but non-trivial LIA instance over n bounded variables."""
+    xs = _vars(*[f"x{i}" for i in range(n)])
+    total = xs[0]
+    for x in xs[1:]:
+        total = total + x
+    for x in xs:
+        solver.add(Le(0, x))
+        solver.add(Le(x, high))
+    solver.add(Eq(total, high * n // 2))
+    for a, b in zip(xs, xs[1:]):
+        solver.add(Or(Le(a + 1, b), Le(b + 1, a)))  # all-different-ish
+    return xs
+
+
+class TestSolverBudget:
+    def test_default_is_bounded_everywhere(self):
+        budget = SolverBudget.default()
+        assert not budget.is_unlimited()
+        for resource in ("conflicts", "decisions", "pivots",
+                         "theory_rounds", "bb_nodes"):
+            assert budget.limit(resource) is not None
+
+    def test_unlimited_by_default(self):
+        assert SolverBudget().is_unlimited()
+        assert SolverBudget().limit("pivots") is None
+
+    def test_scaled_rounds_up_and_floors_at_one(self):
+        budget = SolverBudget(max_pivots=3)
+        assert budget.scaled(2.5).max_pivots == 8  # ceil(7.5)
+        assert budget.scaled(0.01).max_pivots == 1
+        assert budget.scaled(4.0).max_conflicts is None  # unlimited stays
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            SolverBudget().limit("wall_clock")
+
+
+class TestBudgetMeter:
+    def test_charge_against_per_query_window(self):
+        meter = BudgetMeter(SolverBudget(max_pivots=2))
+        meter.begin_query()
+        assert meter.charge("pivots")
+        assert meter.charge("pivots")
+        assert not meter.charge("pivots")  # third pivot exceeds the cap
+        assert meter.last_exhausted == "pivots"
+        assert meter.exhaustions == 1
+        # A new query gets a fresh window; lifetime totals keep growing.
+        meter.begin_query()
+        assert meter.charge("pivots")
+        assert meter.totals["pivots"] == 4  # denied charges still counted
+
+    def test_unlimited_meter_never_exhausts(self):
+        meter = BudgetMeter()
+        meter.begin_query()
+        for _ in range(10_000):
+            assert meter.charge("conflicts")
+        assert meter.exhaustions == 0
+
+    def test_snapshot_is_a_copy(self):
+        meter = BudgetMeter()
+        meter.begin_query()
+        meter.charge("decisions")
+        snap = meter.snapshot()
+        meter.charge("decisions")
+        assert snap["decisions"] == 1
+
+
+class TestSolverUnderBudget:
+    def test_tiny_pivot_budget_yields_unknown(self):
+        solver = Solver(budget=SolverBudget(max_pivots=0))
+        _bounded_problem(solver)
+        result = solver.check()
+        assert result.is_unknown
+        assert result.status == UNKNOWN_STATUS
+        assert not result.satisfiable  # unknown is never reported SAT
+        assert solver.stats_unknowns >= 1
+
+    def test_ample_budget_solves_normally(self):
+        solver = Solver(budget=SolverBudget.default())
+        _bounded_problem(solver)
+        result = solver.check()
+        assert result.status == SAT
+        assert result.model is not None
+
+    def test_unsat_still_reported_exactly(self):
+        solver = Solver(budget=SolverBudget.default())
+        x = IntVar("x")
+        solver.add(And(Le(x, 1), Le(2, x)))
+        assert solver.check().status == UNSAT
+
+    def test_same_budget_same_work_counters(self):
+        """Determinism: identical problem + budget -> identical counters."""
+        totals = []
+        for _ in range(2):
+            solver = Solver(budget=SolverBudget.default())
+            _bounded_problem(solver)
+            status = solver.check().status
+            totals.append((status, solver.meter.snapshot()))
+        assert totals[0] == totals[1]
+
+    def test_optimize_raises_on_exhaustion(self):
+        solver = Solver(budget=SolverBudget(max_pivots=0))
+        xs = _bounded_problem(solver)
+        with pytest.raises(SolverBudgetExceeded):
+            solver.minimize(xs[0])
+
+    def test_feasible_interval_raises_when_base_unknown(self):
+        solver = Solver(budget=SolverBudget(max_pivots=0))
+        xs = _bounded_problem(solver)
+        with pytest.raises(SolverBudgetExceeded):
+            solver.feasible_interval(xs[0])
+
+
+class TestLiaBudget:
+    def _hard_constraints(self):
+        atoms = []
+        xs = _vars("a", "b", "c")
+        for x in xs:
+            atoms.append(Le(0, x))
+            atoms.append(Le(x, 20))
+        atoms.append(Eq(xs[0] + xs[1] + xs[2], 30))
+        return [constraint_from_atom(a, True) for a in atoms]
+
+    def test_meter_exhaustion_returns_unknown(self):
+        meter = BudgetMeter(SolverBudget(max_bb_nodes=0))
+        meter.begin_query()
+        result = check_lia(self._hard_constraints(), meter=meter)
+        assert result.unknown
+        assert not result.satisfiable
+
+    def test_legacy_node_limit_still_raises(self):
+        with pytest.raises(LiaLimitError):
+            check_lia(self._hard_constraints(), node_limit=0)
+
+    def test_lia_limit_error_is_budget_exceeded(self):
+        assert issubclass(LiaLimitError, SolverBudgetExceeded)
