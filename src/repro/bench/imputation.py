@@ -16,7 +16,7 @@ import numpy as np
 
 from ..baselines import PosthocRepairer, RejectionSampler, RepairError, Zoom2NetImputer
 from ..data.telemetry import COARSE_FIELDS
-from ..core import EnforcerConfig, JitEnforcer, RecordSampler
+from ..core import EnforcementEngine, EnforcerConfig, JitEnforcer, RecordSampler
 from ..data.telemetry import Window, fine_field
 from ..metrics import (
     ViolationReport,
@@ -108,11 +108,23 @@ def _run_method(
     return MethodResult(method=name, records=records, wall_time=elapsed)
 
 
+def _run_method_batched(
+    name: str,
+    impute_many: Callable[[Sequence[Mapping[str, int]]], List[Dict[str, int]]],
+    truths: Sequence[Window],
+) -> MethodResult:
+    start = time.perf_counter()
+    records = impute_many([w.coarse() for w in truths])
+    elapsed = time.perf_counter() - start
+    return MethodResult(method=name, records=records, wall_time=elapsed)
+
+
 def run_imputation(
     context: BenchContext,
     count: int,
     methods: Optional[Sequence[str]] = None,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> Dict[str, MethodResult]:
     """Run the requested imputation methods over the first ``count`` test
     windows and score them.  Methods (paper names):
@@ -122,16 +134,36 @@ def run_imputation(
     * ``lejit-manual``  -- LeJIT enforcing only the 4 manual rules (C4-C7)
     * ``zoom2net``      -- task-specific MLP imputer + CEM
     * ``lejit``         -- LeJIT enforcing the full mined rule set
+
+    ``batch_size > 1`` routes the LM-driven methods (vanilla and the two
+    LeJIT variants) through the lock-step batched schedulers.
     """
     methods = list(methods or IMPUTATION_METHODS)
     truths = context.test_windows(count)
     results: Dict[str, MethodResult] = {}
     cfg = context.dataset.config
 
+    def _lejit_result(name: str, enforcer: JitEnforcer) -> MethodResult:
+        if batch_size > 1:
+            engine = EnforcementEngine(enforcer, batch_size=batch_size)
+            return _run_method_batched(
+                name,
+                lambda batch: [o.values for o in engine.impute_many(batch)],
+                truths,
+            )
+        return _run_method(name, enforcer.impute, truths)
+
     for name in methods:
         if name == "vanilla":
             sampler = RecordSampler(context.model, cfg, seed=seed)
-            result = _run_method(name, sampler.impute_raw, truths)
+            if batch_size > 1:
+                result = _run_method_batched(
+                    name,
+                    lambda batch: sampler.impute_raw_many(batch, batch_size),
+                    truths,
+                )
+            else:
+                result = _run_method(name, sampler.impute_raw, truths)
         elif name == "rejection":
             rejection = RejectionSampler(
                 context.model,
@@ -149,7 +181,7 @@ def run_imputation(
                 EnforcerConfig(seed=seed),
                 fallback_rules=[context.domain_rules],
             )
-            result = _run_method(name, enforcer.impute, truths)
+            result = _lejit_result(name, enforcer)
         elif name == "zoom2net":
             imputer = Zoom2NetImputer(cfg).fit(context.dataset.train_windows())
             result = _run_method(name, imputer.impute, truths)
@@ -177,7 +209,7 @@ def run_imputation(
                 EnforcerConfig(seed=seed),
                 fallback_rules=context.fallback_tiers(),
             )
-            result = _run_method(name, enforcer.impute, truths)
+            result = _lejit_result(name, enforcer)
         else:
             raise ValueError(f"unknown imputation method {name!r}")
         results[name] = _score(result, truths, context)

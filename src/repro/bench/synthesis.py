@@ -21,7 +21,7 @@ from ..baselines import (
     RejectionSampler,
     TvaeLike,
 )
-from ..core import EnforcerConfig, JitEnforcer, RecordSampler
+from ..core import EnforcementEngine, EnforcerConfig, JitEnforcer, RecordSampler
 from ..data.telemetry import COARSE_FIELDS
 from ..metrics import ViolationReport, audit, histogram_jsd
 from .common import BenchContext
@@ -77,7 +77,11 @@ def run_synthesis(
     count: int,
     methods: Optional[Sequence[str]] = None,
     seed: int = 0,
+    batch_size: int = 1,
 ) -> Dict[str, SynthesisResult]:
+    """``batch_size > 1`` routes the LM-driven methods (vanilla / lejit)
+    through the lock-step batched schedulers; scores are computed the same
+    way either way."""
     methods = list(methods or SYNTHESIS_METHODS)
     cfg = context.dataset.config
     real_rows = context.coarse_rows
@@ -88,7 +92,10 @@ def run_synthesis(
         start = time.perf_counter()
         if name == "vanilla":
             sampler = RecordSampler(context.model, cfg, seed=seed)
-            records = [sampler.synthesize_raw() for _ in range(count)]
+            if batch_size > 1:
+                records = sampler.synthesize_raw_many(count, batch_size)
+            else:
+                records = [sampler.synthesize_raw() for _ in range(count)]
             rows = np.array(
                 [[r[f] for f in COARSE_FIELDS] for r in records], dtype=np.int64
             )
@@ -112,7 +119,11 @@ def run_synthesis(
                 EnforcerConfig(seed=seed),
                 fallback_rules=[context.domain_rules],
             )
-            records = [enforcer.synthesize() for _ in range(count)]
+            if batch_size > 1:
+                engine = EnforcementEngine(enforcer, batch_size=batch_size)
+                records = [o.values for o in engine.synthesize_many(count)]
+            else:
+                records = [enforcer.synthesize() for _ in range(count)]
             rows = np.array(
                 [[r[f] for f in COARSE_FIELDS] for r in records], dtype=np.int64
             )

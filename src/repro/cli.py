@@ -21,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core import EnforcerConfig, JitEnforcer
+from .core import EnforcementEngine, EnforcerConfig, JitEnforcer
 from .errors import InfeasibleRecord
 from .smt import SolverBudget
 from .data import (
@@ -84,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth_cmd.add_argument("--rules", required=True, type=Path)
     synth_cmd.add_argument("-n", "--count", type=int, default=5)
     synth_cmd.add_argument("--seed", type=int, default=0)
+    synth_cmd.add_argument(
+        "--batch-size", type=int, default=1,
+        help="records generated per lock-step batch (1 = legacy serial path)",
+    )
     _add_budget_args(synth_cmd)
     return parser
 
@@ -137,12 +141,27 @@ def _enforcer_config_from(args) -> EnforcerConfig:
     )
 
 
-def _report_degradations(enforcer: JitEnforcer) -> None:
+def _report_degradations(
+    enforcer: JitEnforcer, engine: Optional[EnforcementEngine] = None
+) -> None:
     # stderr keeps stdout pure JSON for scripting.
     print(
         "degradation: " + enforcer.trace.degradation_summary(),
         file=sys.stderr,
     )
+    trace = enforcer.trace
+    if engine is not None:
+        throughput = engine.stats.records_per_sec()
+        cache = engine.cache
+    else:
+        throughput = (
+            trace.records / trace.wall_time if trace.wall_time > 0 else 0.0
+        )
+        cache = enforcer.oracle_cache
+    line = f"throughput: {throughput:.1f} records/sec"
+    if cache is not None:
+        line += f", oracle cache hit-rate {cache.hit_rate():.2f}"
+    print(line, file=sys.stderr)
 
 
 def _load_windows(path: Path) -> List[dict]:
@@ -247,9 +266,19 @@ def _cmd_synth(args) -> int:
         model, rules, config, _enforcer_config_from(args),
         fallback_rules=[domain_bound_rules(config)],
     )
-    for _ in range(args.count):
-        print(json.dumps(enforcer.synthesize()))
-    _report_degradations(enforcer)
+    engine = None
+    if args.batch_size > 1:
+        engine = EnforcementEngine(enforcer, batch_size=args.batch_size)
+        try:
+            outcomes = engine.synthesize_many(args.count)
+        except InfeasibleRecord as exc:
+            raise SystemExit(f"infeasible synthesis: {exc}")
+        for outcome in outcomes:
+            print(json.dumps(outcome.values))
+    else:
+        for _ in range(args.count):
+            print(json.dumps(enforcer.synthesize()))
+    _report_degradations(enforcer, engine)
     return 0
 
 

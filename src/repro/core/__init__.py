@@ -13,13 +13,16 @@ from .enforcer import (
     JitEnforcer,
     RecordOutcome,
 )
+from .engine import EnforcementEngine, EngineStats, RecordRequest
 from .feasible import (
     FeasibilityOracle,
     HybridOracle,
     InfeasibleRecordError,
     IntervalOracle,
+    OracleCache,
     SmtOracle,
 )
+from .session import EnforcementSession, Lane
 from .pipeline import (
     GenerationError,
     RecordSampler,
@@ -39,6 +42,12 @@ __all__ = [
     "EnforcementTrace",
     "RecordOutcome",
     "LADDER_STAGES",
+    "EnforcementEngine",
+    "EngineStats",
+    "RecordRequest",
+    "EnforcementSession",
+    "Lane",
+    "OracleCache",
     "FeasibilityOracle",
     "HybridOracle",
     "SmtOracle",

@@ -17,49 +17,43 @@ order:
 The final record is rule-compliant by construction whenever the oracle's
 ``confirm`` is exact (the default hybrid/SMT tiers).
 
-Robustness: the solver sits on the token-emission hot path, so its work is
-bounded by a deterministic :class:`~repro.smt.SolverBudget` and every
-failure mode steps down an explicit **degradation ladder** instead of
-crashing the record:
-
-  ``smt-confirm``      full solver confirmation (the normal path), with
-                       per-record retry + exponential budget backoff;
-  ``interval-audit``   interval-only masking, exact rule audit at the end;
-  ``forced-model``     the solver's own model supplies every free value;
-  ``posthoc-repair``   free values handed to the post-hoc SMT repairer;
-  ``clamped``          last resort: best-effort values clamped into domain
-                       bounds, flagged non-compliant.
-
-Every emitted record carries a :class:`RecordOutcome`: it either passed the
-exact rule audit (``compliant``) or is explicitly flagged ``degraded`` --
-never silently wrong.  All degradations are counted in
-:class:`EnforcementTrace`.
+The per-record logic -- including the full degradation ladder
+(``smt-confirm`` > ``interval-audit`` > ``forced-model`` >
+``posthoc-repair`` > ``clamped``) and the budget backoff -- lives in
+:class:`repro.core.session.EnforcementSession`, a resumable state machine.
+This class is the *synchronous driver*: it builds one oracle lane, spawns
+one session per record, and feeds it distributions from the model one at a
+time.  The batched engine (:mod:`repro.core.engine`) drives many sessions
+in lock-step over the identical session code.
 """
 
 from __future__ import annotations
 
-import logging
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import variable_bounds
 from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
-from ..errors import DeadEnd, DegradedResult, SolverBudgetExceeded
 from ..lm.base import LanguageModel
-from ..lm.sampler import DeadEndError, SampleTrace, sample_tokens
 from ..rules.dsl import RuleSet
-from ..smt import SAT, UNKNOWN_STATUS, BudgetMeter, SolverBudget
+from ..smt import BudgetMeter
 from .feasible import (
     FeasibilityOracle,
     HybridOracle,
-    InfeasibleRecordError,
     IntervalOracle,
+    OracleCache,
     SmtOracle,
 )
-from .transition import SEPARATOR, DigitTransitionSystem, FeasibleSet
+from .session import (
+    LADDER_STAGES,
+    EnforcementSession,
+    EnforcementTrace,
+    EnforcerConfig,
+    Lane,
+    RecordOutcome,
+)
 
 __all__ = [
     "EnforcerConfig",
@@ -69,124 +63,7 @@ __all__ = [
     "LADDER_STAGES",
 ]
 
-logger = logging.getLogger(__name__)
-
 _ORACLES = {"hybrid": HybridOracle, "smt": SmtOracle, "interval": IntervalOracle}
-
-# The degradation ladder, most exact first.  Each record's outcome names
-# the stage that produced it; only "smt-confirm" is non-degraded.
-LADDER_STAGES = (
-    "smt-confirm",
-    "interval-audit",
-    "forced-model",
-    "posthoc-repair",
-    "clamped",
-)
-
-
-class _StrictRetryExhausted(RuntimeError):
-    """Internal: the optimistic phase could not place a variable."""
-
-
-@dataclass
-class EnforcerConfig:
-    oracle: str = "hybrid"  # hybrid | smt | interval (DESIGN.md ablation)
-    max_var_retries: int = 6
-    temperature: float = 1.0
-    max_literal_digits: int = 6
-    seed: Optional[int] = None
-    # Optimistic two-phase generation (hybrid tier only): phase 1 masks with
-    # interval propagation alone and audits the finished record exactly;
-    # only records failing the audit re-generate under per-variable SMT
-    # confirmation.  Preserves the compliance guarantee at a fraction of the
-    # solver cost because the fast phase almost always succeeds.
-    optimistic: bool = True
-    # Deterministic per-query solver work budget; None = unlimited (the
-    # hard theory-round/branching backstops still apply and degrade to
-    # UNKNOWN rather than raising).
-    budget: Optional[SolverBudget] = None
-    # On budget exhaustion the whole record is retried with the budget
-    # scaled by budget_backoff**attempt, at most max_budget_retries times,
-    # before stepping down the degradation ladder.
-    max_budget_retries: int = 2
-    budget_backoff: float = 2.0
-    # Allow the posthoc-repair ladder stage (uses baselines.posthoc).
-    posthoc_repair: bool = True
-    # Strict mode: raise DegradedResult instead of returning a record that
-    # only exists via a degraded ladder stage.
-    raise_on_degraded: bool = False
-
-    def __post_init__(self) -> None:
-        if self.oracle not in _ORACLES:
-            raise ValueError(f"unknown oracle tier {self.oracle!r}")
-
-
-@dataclass
-class RecordOutcome:
-    """Provenance of one emitted record: audited-compliant or flagged.
-
-    The pipeline invariant is that every record satisfies
-    ``compliant or degraded`` -- a record is either proven rule-compliant
-    by the exact audit or explicitly marked as produced by a degraded
-    ladder stage (never silently wrong).
-    """
-
-    values: Dict[str, int]
-    compliant: bool  # passed the exact audit of the producing tier's rules
-    degraded: bool  # produced below the top ladder stage
-    stage: str  # LADDER_STAGES entry that produced the record
-    tier_index: int = 0  # 0 = primary rules, >0 = fallback rule tier
-    budget_retries: int = 0  # record-level budget backoff retries consumed
-
-
-@dataclass
-class EnforcementTrace:
-    """Aggregated guidance statistics (the minimal-invasiveness evidence)."""
-
-    records: int = 0
-    sample: SampleTrace = field(default_factory=SampleTrace)
-    var_retries: int = 0
-    solver_forced_vars: int = 0
-    fallback_records: int = 0  # records generated under a fallback rule tier
-    infeasible_records: int = 0  # records infeasible under every tier
-    phase2_records: int = 0  # optimistic phase failed; re-ran with full SMT
-    wall_time: float = 0.0
-    # -- robustness / degradation counters ------------------------------------
-    degraded_records: int = 0  # records produced below the top ladder stage
-    ladder: Dict[str, int] = field(default_factory=dict)  # stage -> records
-    budget_exhaustions: int = 0  # SolverBudgetExceeded observed
-    budget_retries: int = 0  # record retries with a scaled-up budget
-    dead_ends: int = 0  # DeadEnd raised during literal sampling
-    unknown_confirms: int = 0  # confirm() came back UNKNOWN
-    solver_work: Dict[str, int] = field(default_factory=dict)  # meter totals
-
-    def guidance_rate(self) -> float:
-        """Fraction of steps where masking actually pruned model mass."""
-        if self.sample.steps == 0:
-            return 0.0
-        return self.sample.masked_steps / self.sample.steps
-
-    def diversion_rate(self) -> float:
-        if self.sample.steps == 0:
-            return 0.0
-        return self.sample.diverted_steps / self.sample.steps
-
-    def count_stage(self, stage: str) -> None:
-        self.ladder[stage] = self.ladder.get(stage, 0) + 1
-
-    def degradation_summary(self) -> str:
-        """One operator-facing line: ladder usage + budget counters."""
-        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.ladder.items()))
-        work = ", ".join(f"{k}={v}" for k, v in self.solver_work.items() if v)
-        return (
-            f"records={self.records} degraded={self.degraded_records} "
-            f"stages[{stages or 'none'}] "
-            f"budget[exhausted={self.budget_exhaustions} "
-            f"retries={self.budget_retries}] "
-            f"dead_ends={self.dead_ends} "
-            f"unknown_confirms={self.unknown_confirms} "
-            f"solver[{work or 'idle'}]"
-        )
 
 
 class JitEnforcer:
@@ -215,26 +92,78 @@ class JitEnforcer:
         self.telemetry_config = telemetry_config or TelemetryConfig()
         self.config = config or EnforcerConfig()
         self.bounds = dict(bounds or variable_bounds(self.telemetry_config))
-        self.meter = BudgetMeter(self.config.budget)
-        wrap = oracle_wrapper or (lambda oracle: oracle)
-        oracle_cls = _ORACLES[self.config.oracle]
-        self._tiers: List[Tuple[RuleSet, FeasibilityOracle]] = [
-            (rules, wrap(oracle_cls(rules, self.bounds, meter=self.meter)))
-        ]
-        for fallback in fallback_rules:
-            self._tiers.append(
-                (fallback, wrap(oracle_cls(fallback, self.bounds, meter=self.meter)))
-            )
-        # Interval-only tiers for the "interval-audit" ladder stage: pure
-        # bounds propagation, no solver, so they survive budget exhaustion.
-        self._interval_tiers: List[Tuple[RuleSet, FeasibilityOracle]] = [
-            (tier_rules, wrap(IntervalOracle(tier_rules, self.bounds, meter=self.meter)))
-            for tier_rules, _ in self._tiers
-        ]
-        self._rng = np.random.default_rng(self.config.seed)
+        self._all_rules: List[RuleSet] = [rules, *fallback_rules]
+        self._oracle_wrapper = oracle_wrapper or (lambda oracle: oracle)
+        # One cache shared by every lane (and every oracle tier within a
+        # lane): keys embed id(rule set) + the exact assignment history, so
+        # concurrent sessions can safely share answers.  The enforcer keeps
+        # the rule sets alive, which is what keeps the ids stable.
+        self.oracle_cache: Optional[OracleCache] = (
+            OracleCache(self.config.oracle_cache_entries)
+            if self.config.oracle_cache_entries > 0
+            else None
+        )
+        self._lane = self._build_lane()
+        self.meter = self._lane.meter
+        self._rng_entropy = self.config.seed
+        self._record_counter = 0
         self._audit_cache: Dict[Tuple, RuleSet] = {}
         self.trace = EnforcementTrace()
         self.last_outcome: Optional[RecordOutcome] = None
+
+    @property
+    def tokenizer(self):
+        return self.model.tokenizer
+
+    # -- lane / rng factories (shared with the batched engine) ----------------
+
+    def _build_lane(
+        self,
+        cache: Optional[OracleCache] = None,
+        pool_reuse: Optional[int] = None,
+    ) -> Lane:
+        """A fresh oracle lane: one tier set + meter, fault-wrapped.
+
+        Each lane is an isolated solver context -- the engine builds one per
+        batch slot so concurrent sessions never share solver state.  Solver
+        pooling and the shared cache default to the config's settings; the
+        engine passes overrides to switch them on for its lanes only.
+        """
+        wrap = self._oracle_wrapper
+        oracle_cls = _ORACLES[self.config.oracle]
+        meter = BudgetMeter(self.config.budget)
+        kwargs = dict(
+            cache=cache if cache is not None else self.oracle_cache,
+            pool_reuse=(
+                pool_reuse if pool_reuse is not None else self.config.solver_pool
+            ),
+        )
+        tiers = [
+            (tier_rules, wrap(oracle_cls(tier_rules, self.bounds, meter=meter, **kwargs)))
+            for tier_rules in self._all_rules
+        ]
+        # Interval-only tiers for the "interval-audit" ladder stage: pure
+        # bounds propagation, no solver, so they survive budget exhaustion.
+        interval_tiers = [
+            (tier_rules, wrap(IntervalOracle(tier_rules, self.bounds, meter=meter, **kwargs)))
+            for tier_rules in self._all_rules
+        ]
+        return Lane(tiers=tiers, interval_tiers=interval_tiers, meter=meter)
+
+    def _next_rng(self) -> np.random.Generator:
+        """This record's private random stream.
+
+        Streams are derived from the configured seed by *submission index*,
+        so record i samples identically whether it runs alone or as one of
+        a batch -- the batched engine's determinism-parity guarantee.
+        """
+        index = self._record_counter
+        self._record_counter += 1
+        if self._rng_entropy is None:
+            return np.random.default_rng()
+        return np.random.default_rng(
+            np.random.SeedSequence(self._rng_entropy, spawn_key=(index,))
+        )
 
     # -- record-level API ------------------------------------------------------
 
@@ -257,6 +186,15 @@ class JitEnforcer:
         context: Optional[Mapping[str, int]] = None,
     ) -> RecordOutcome:
         """Like :meth:`impute` but returns the full :class:`RecordOutcome`."""
+        fixed, prompt, variables = self.impute_plan(coarse, context)
+        return self._generate_record(fixed, prompt, variables)
+
+    def impute_plan(
+        self,
+        coarse: Mapping[str, int],
+        context: Optional[Mapping[str, int]] = None,
+    ) -> Tuple[Dict[str, int], str, List[str]]:
+        """The (fixed values, prompt text, variable order) of an imputation."""
         window = self.telemetry_config.window
         prompt = (
             " ".join(str(int(coarse[name])) for name in COARSE_FIELDS) + ">"
@@ -265,11 +203,7 @@ class JitEnforcer:
         fixed = {name: int(coarse[name]) for name in COARSE_FIELDS}
         for name, value in (context or {}).items():
             fixed[name] = int(value)
-        return self._generate_record(
-            fixed=fixed,
-            prompt_text=prompt,
-            variables=fine_names,
-        )
+        return fixed, prompt, fine_names
 
     def synthesize(
         self, context: Optional[Mapping[str, int]] = None
@@ -285,12 +219,36 @@ class JitEnforcer:
         self, context: Optional[Mapping[str, int]] = None
     ) -> RecordOutcome:
         """Like :meth:`synthesize` but returns the :class:`RecordOutcome`."""
+        fixed, prompt, variables = self.synthesize_plan(context)
+        return self._generate_record(fixed, prompt, variables)
+
+    def synthesize_plan(
+        self, context: Optional[Mapping[str, int]] = None
+    ) -> Tuple[Dict[str, int], str, List[str]]:
+        """The (fixed values, prompt text, variable order) of a synthesis."""
         window = self.telemetry_config.window
         names = list(COARSE_FIELDS) + [fine_field(t) for t in range(window)]
         fixed = {name: int(value) for name, value in (context or {}).items()}
-        return self._generate_record(fixed=fixed, prompt_text="", variables=names)
+        return fixed, "", names
 
-    # -- ladder orchestration --------------------------------------------------
+    # -- the synchronous driver ------------------------------------------------
+
+    def open_session(
+        self,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+        lane: Optional[Lane] = None,
+    ) -> EnforcementSession:
+        """A resumable session for one record (the engine's entry point)."""
+        return EnforcementSession(
+            self,
+            lane or self._lane,
+            fixed,
+            prompt_text,
+            variables,
+            rng=self._next_rng(),
+        )
 
     def _generate_record(
         self,
@@ -299,272 +257,16 @@ class JitEnforcer:
         variables: Sequence[str],
     ) -> RecordOutcome:
         start_time = time.perf_counter()
-        self.trace.records += 1
         try:
-            outcome = self._run_ladder(fixed, prompt_text, variables)
+            session = self.open_session(fixed, prompt_text, variables)
+            request = session.start()
+            while request is not None:
+                self.trace.lm_calls += 1
+                request = session.step(self.model.next_distribution(request))
+            return session.result()
         finally:
-            # Restore the configured budget for the next record and publish
-            # the deterministic work counters.
-            self.meter.set_budget(self.config.budget)
             self.trace.wall_time += time.perf_counter() - start_time
             self.trace.solver_work = self.meter.snapshot()
-        self.trace.count_stage(outcome.stage)
-        if outcome.degraded:
-            self.trace.degraded_records += 1
-        if outcome.tier_index > 0:
-            self.trace.fallback_records += 1
-        self.last_outcome = outcome
-        if outcome.degraded and self.config.raise_on_degraded:
-            raise DegradedResult(
-                f"record produced via degraded stage {outcome.stage!r}",
-                outcome=outcome,
-            )
-        return outcome
-
-    def _run_ladder(
-        self,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-    ) -> RecordOutcome:
-        """Full-confirmation generation with budget backoff, then degrade."""
-        retries_used = 0
-        for attempt in range(self.config.max_budget_retries + 1):
-            if self.config.budget is not None and attempt > 0:
-                self.meter.set_budget(
-                    self.config.budget.scaled(
-                        self.config.budget_backoff ** attempt
-                    )
-                )
-            try:
-                values, tier_index = self._generate_confirmed(
-                    fixed, prompt_text, variables
-                )
-            except SolverBudgetExceeded as exc:
-                self.trace.budget_exhaustions += 1
-                logger.debug(
-                    "budget exhausted on attempt %d (%s); %s",
-                    attempt,
-                    exc,
-                    "retrying with backoff"
-                    if attempt < self.config.max_budget_retries
-                    else "stepping down the ladder",
-                )
-                if attempt < self.config.max_budget_retries:
-                    self.trace.budget_retries += 1
-                    retries_used += 1
-                    continue
-                break
-            return RecordOutcome(
-                values,
-                compliant=True,
-                degraded=False,
-                stage="smt-confirm",
-                tier_index=tier_index,
-                budget_retries=retries_used,
-            )
-        return self._degrade(fixed, prompt_text, variables, retries_used)
-
-    def _degrade(
-        self,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-        retries_used: int,
-    ) -> RecordOutcome:
-        """Step down the ladder after the confirmed path gave up."""
-        # Later stages still touch the solver (forced model, repair); give
-        # them one further backoff step beyond the retried budgets.
-        if self.config.budget is not None:
-            self.meter.set_budget(
-                self.config.budget.scaled(
-                    self.config.budget_backoff
-                    ** (self.config.max_budget_retries + 1)
-                )
-            )
-        candidate: Optional[Dict[str, int]] = None
-        candidate_tier = 0
-
-        # Stage: interval-only masking + exact audit (no solver involved in
-        # masking; the audit is plain rule evaluation).
-        for tier_index, (tier_rules, oracle) in enumerate(self._interval_tiers):
-            try:
-                oracle.begin_record(fixed)
-                values = self._run_generation(
-                    oracle, fixed, prompt_text, variables, strict=False
-                )
-            except (InfeasibleRecordError, SolverBudgetExceeded, DeadEnd):
-                continue
-            if candidate is None:
-                candidate, candidate_tier = values, tier_index
-            if self._auditable(tier_rules, values).compliant(values):
-                logger.debug("degraded to interval-audit (tier %d)", tier_index)
-                return RecordOutcome(
-                    values,
-                    compliant=True,
-                    degraded=True,
-                    stage="interval-audit",
-                    tier_index=tier_index,
-                    budget_retries=retries_used,
-                )
-
-        # Stage: solver-model forced values (no sampling; the solver's own
-        # model completes the record, exact by construction when it checks).
-        for tier_index, (tier_rules, oracle) in enumerate(self._tiers):
-            any_model = getattr(oracle, "any_model", None)
-            if any_model is None:
-                continue
-            try:
-                oracle.begin_record(fixed)
-                model = any_model()
-            except (InfeasibleRecordError, SolverBudgetExceeded):
-                continue
-            values = dict(fixed)
-            for name in variables:
-                values[name] = int(model.get(name, self.bounds[name][0]))
-            self.trace.solver_forced_vars += len(variables)
-            if self._auditable(tier_rules, values).compliant(values):
-                logger.debug("degraded to forced-model (tier %d)", tier_index)
-                return RecordOutcome(
-                    values,
-                    compliant=True,
-                    degraded=True,
-                    stage="forced-model",
-                    tier_index=tier_index,
-                    budget_retries=retries_used,
-                )
-            if candidate is None:
-                candidate, candidate_tier = values, tier_index
-
-        # Stage: post-hoc repair of the best-effort candidate.
-        if self.config.posthoc_repair:
-            outcome = self._posthoc_stage(
-                fixed, variables, candidate, retries_used
-            )
-            if outcome is not None:
-                return outcome
-
-        # Last resort: clamp the candidate (or domain minima) into bounds.
-        values = self._clamped_values(fixed, variables, candidate)
-        compliant = self._auditable(self.rules, values).compliant(values)
-        logger.warning(
-            "record degraded to clamped values (compliant=%s)", compliant
-        )
-        return RecordOutcome(
-            values,
-            compliant=compliant,
-            degraded=True,
-            stage="clamped",
-            tier_index=candidate_tier,
-            budget_retries=retries_used,
-        )
-
-    def _posthoc_stage(
-        self,
-        fixed: Mapping[str, int],
-        variables: Sequence[str],
-        candidate: Optional[Dict[str, int]],
-        retries_used: int,
-    ) -> Optional[RecordOutcome]:
-        # Imported lazily: repro.baselines pulls in core.pipeline at package
-        # import time, which would cycle at module load.
-        from ..baselines.posthoc import PosthocRepairer, RepairError
-
-        base = self._clamped_values(fixed, variables, candidate)
-        full = dict(base)
-        for name, (low, high) in self.bounds.items():
-            full.setdefault(name, min(max(0, low), high))
-        frozen = [name for name in fixed if name in self.bounds]
-        for tier_index, (tier_rules, _) in enumerate(self._tiers):
-            repairer = PosthocRepairer(
-                tier_rules,
-                self.telemetry_config,
-                mode="nearest",
-                bounds=self.bounds,
-                meter=self.meter,
-            )
-            try:
-                repaired = repairer.repair(full, frozen=frozen)
-            except (RepairError, SolverBudgetExceeded, ValueError):
-                continue
-            values = dict(fixed)
-            for name in variables:
-                values[name] = int(repaired.get(name, full[name]))
-            if self._auditable(tier_rules, values).compliant(values):
-                logger.debug("degraded to posthoc-repair (tier %d)", tier_index)
-                return RecordOutcome(
-                    values,
-                    compliant=True,
-                    degraded=True,
-                    stage="posthoc-repair",
-                    tier_index=tier_index,
-                    budget_retries=retries_used,
-                )
-        return None
-
-    def _clamped_values(
-        self,
-        fixed: Mapping[str, int],
-        variables: Sequence[str],
-        candidate: Optional[Dict[str, int]],
-    ) -> Dict[str, int]:
-        values = dict(fixed)
-        for name in variables:
-            low, high = self.bounds[name]
-            raw = (candidate or {}).get(name, min(max(0, low), high))
-            values[name] = min(max(int(raw), low), high)
-        return values
-
-    # -- generation engine -----------------------------------------------------
-
-    def _generate_confirmed(
-        self,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-    ) -> Tuple[Dict[str, int], int]:
-        """The top ladder stage: fully solver-confirmed generation."""
-        if self.config.optimistic and self.config.oracle == "hybrid":
-            optimistic = self._try_optimistic(fixed, prompt_text, variables)
-            if optimistic is not None:
-                return optimistic
-            self.trace.phase2_records += 1
-        oracle, _, tier_index = self._begin_with_fallback(fixed)
-        values = self._run_generation(
-            oracle, fixed, prompt_text, variables, strict=False
-        )
-        return values, tier_index
-
-    def _separator_char(self, variable: str, variables: Sequence[str]) -> str:
-        index = variables.index(variable)
-        if index == len(variables) - 1:
-            return "\n"
-        if variable == COARSE_FIELDS[-1]:
-            return ">"
-        return " "
-
-    def _try_optimistic(
-        self,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-    ) -> Optional[Tuple[Dict[str, int], int]]:
-        """Phase 1: interval-only masking, exact audit at the end."""
-        for tier_index, (rules, oracle) in enumerate(self._tiers):
-            interval_oracle = oracle.interval  # type: ignore[attr-defined]
-            try:
-                interval_oracle.begin_record(fixed)
-                values = self._run_generation(
-                    interval_oracle, fixed, prompt_text, variables, strict=True
-                )
-            except InfeasibleRecordError:
-                continue  # truly infeasible prefix: try the next rule tier
-            except _StrictRetryExhausted:
-                return None  # maybe interval incompleteness: go to SMT phase
-            if self._auditable(rules, values).compliant(values):
-                return values, tier_index
-            return None  # audit failed: fall through to the SMT phase
-        return None
 
     def _auditable(self, rules: RuleSet, values: Mapping[str, int]) -> RuleSet:
         """Rules whose variables are all assigned in ``values``.
@@ -579,143 +281,3 @@ class JitEnforcer:
             cached = rules.restricted_to(list(values))
             self._audit_cache[key] = cached
         return cached
-
-    def _run_generation(
-        self,
-        oracle: FeasibilityOracle,
-        fixed: Mapping[str, int],
-        prompt_text: str,
-        variables: Sequence[str],
-        strict: bool,
-    ) -> Dict[str, int]:
-        tokenizer = self.model.tokenizer
-        ids = tokenizer.encode(prompt_text)
-        values: Dict[str, int] = dict(fixed)
-        all_names = list(fixed) + list(variables)
-        for name in variables:
-            value, new_ids = self._generate_variable(
-                oracle, name, ids, self._separator_char(name, all_names), strict
-            )
-            values[name] = value
-            ids = new_ids
-        return values
-
-    def _begin_with_fallback(
-        self, fixed: Mapping[str, int]
-    ) -> Tuple[FeasibilityOracle, RuleSet, int]:
-        for tier_index, (rules, oracle) in enumerate(self._tiers):
-            try:
-                oracle.begin_record(fixed)
-            except InfeasibleRecordError:
-                continue
-            return oracle, rules, tier_index
-        self.trace.infeasible_records += 1
-        raise InfeasibleRecordError(
-            f"every rule tier is infeasible for fixed values {dict(fixed)}"
-        )
-
-    def _generate_variable(
-        self,
-        oracle: FeasibilityOracle,
-        name: str,
-        ids: List[int],
-        separator_char: str,
-        strict: bool = False,
-    ) -> Tuple[int, List[int]]:
-        tokenizer = self.model.tokenizer
-        separator_id = tokenizer.id_of(separator_char)
-        feasible = oracle.feasible_set(name)
-        for _ in range(self.config.max_var_retries):
-            if feasible.is_empty():
-                break
-            system = DigitTransitionSystem(
-                feasible, max_digits=min(self.config.max_literal_digits,
-                                         len(str(feasible.max_value))),
-            )
-            attempt = self._sample_literal(system, ids, separator_id, name)
-            if attempt is None:
-                break  # model had no admissible path; go force a value
-            value, new_ids = attempt
-            status = oracle.confirm_status(name, value)
-            if status == SAT:
-                oracle.fix(name, value)
-                return value, new_ids
-            if status == UNKNOWN_STATUS:
-                # Budget ran out mid-confirm (or a fault injector said so):
-                # the value is *not* refuted, but without confirmation we
-                # cannot emit it.  Drop it and keep sampling -- if the
-                # solver stays exhausted, the forced step below escalates
-                # via SolverBudgetExceeded to the record-level ladder.
-                self.trace.unknown_confirms += 1
-            self.trace.var_retries += 1
-            feasible = feasible.remove(value)
-        if strict:
-            # Optimistic phase: never force -- bail out to the SMT phase.
-            raise _StrictRetryExhausted(name)
-        # Forced fallback: take the solver's model value for this variable.
-        value = self._forced_value(oracle, name, feasible)
-        oracle.fix(name, value)
-        self.trace.solver_forced_vars += 1
-        literal_ids = [tokenizer.id_of(c) for c in str(value)] + [separator_id]
-        return value, ids + literal_ids
-
-    def _sample_literal(
-        self,
-        system: DigitTransitionSystem,
-        ids: List[int],
-        separator_id: int,
-        variable: str,
-    ) -> Optional[Tuple[int, List[int]]]:
-        """Sample one literal under transition-system masking."""
-        tokenizer = self.model.tokenizer
-        base_len = len(ids)
-
-        def mask_hook(prefix_ids: Sequence[int]):
-            prefix = tokenizer.decode(prefix_ids[base_len:])
-            allowed_chars = system.allowed_next(prefix)
-            allowed_ids = set()
-            for char in allowed_chars:
-                if char == SEPARATOR:
-                    allowed_ids.add(separator_id)
-                else:
-                    allowed_ids.add(tokenizer.id_of(char))
-            return allowed_ids
-
-        try:
-            generated = sample_tokens(
-                self.model,
-                ids,
-                stop_id=separator_id,
-                max_new_tokens=system.max_digits + 1,
-                mask_hook=mask_hook,
-                temperature=self.config.temperature,
-                rng=self._rng,
-                trace=self.trace.sample,
-            )
-        except DeadEndError as exc:
-            self.trace.dead_ends += 1
-            logger.debug(
-                "dead end while sampling: %s", exc.with_context(variable=variable)
-            )
-            return None
-        if not generated or generated[-1] != separator_id:
-            return None  # ran out of budget without closing the literal
-        literal = tokenizer.decode(generated[:-1])
-        if not literal:
-            return None
-        return int(literal), ids + generated
-
-    def _forced_value(
-        self,
-        oracle: FeasibilityOracle,
-        name: str,
-        feasible: FeasibleSet,
-    ) -> int:
-        any_model = getattr(oracle, "any_model", None)
-        if any_model is not None:
-            return int(any_model()[name])
-        # Interval tier has no exact model; fall back to the feasible set.
-        if not feasible.is_empty():
-            return feasible.min_value
-        low, _ = self.bounds[name]
-        return low

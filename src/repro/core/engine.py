@@ -1,0 +1,259 @@
+"""Lock-step batched enforcement: N records per batched model call.
+
+The production argument for batching is the language model: one forward
+pass over a (B, T) batch costs far less than B sequential forwards, and an
+n-gram lookup over B lanes dedupes to a handful of distinct contexts.  The
+solver side batches differently -- work is *shared* (a prefix-keyed
+:class:`~repro.core.feasible.OracleCache` across lanes) and *amortized*
+(pooled solvers reused across consecutive records of a lane).
+
+:class:`EnforcementEngine` holds ``batch_size`` slots, each with its own
+oracle :class:`~repro.core.session.Lane` (so a stuck or faulty record can
+never corrupt a batch-mate's solver state or budget), and advances the
+resident :class:`~repro.core.session.EnforcementSession`\\ s in lock-step:
+
+1. refill free slots from the work queue (submission order -- which also
+   pins each record's private rng stream, making output independent of
+   batch size);
+2. gather every session's pending prefix and make ONE
+   :func:`~repro.lm.base.batched_next_distributions` call;
+3. feed each row back to its session, which advances through sampling and
+   solver work until it needs the next distribution or finishes;
+4. harvest finished sessions (outcome or captured per-session error) and
+   loop.
+
+Determinism: a record's sampling depends only on its own rng stream and on
+oracle answers, and the cached/pooled oracles return exactly what fresh
+ones would (see feasible.py) -- so the engine emits byte-identical records
+at any batch size, including batch 1 vs the legacy synchronous path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..lm.base import batched_next_distributions
+from .enforcer import JitEnforcer
+from .feasible import OracleCache
+from .session import EnforcementSession, Lane, RecordOutcome
+
+__all__ = ["EnforcementEngine", "EngineStats", "RecordRequest"]
+
+
+@dataclass
+class RecordRequest:
+    """One unit of work: generate a record with these fixed values."""
+
+    fixed: Dict[str, int]
+    prompt_text: str
+    variables: List[str]
+
+
+@dataclass
+class EngineStats:
+    """Throughput accounting for the engine's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0  # sessions that ended in a captured error
+    lm_calls: int = 0  # batched model invocations (one per lock-step)
+    lm_rows: int = 0  # total rows across those calls
+    elapsed: float = 0.0  # wall-clock seconds inside run()
+    solver_work: Dict[str, int] = field(default_factory=dict)
+
+    def records_per_sec(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.completed / self.elapsed
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lm_calls": self.lm_calls,
+            "lm_rows": self.lm_rows,
+            "elapsed": round(self.elapsed, 4),
+            "records_per_sec": round(self.records_per_sec(), 2),
+            "solver_work": dict(self.solver_work),
+        }
+
+
+# A slot is empty (None) or holds (work index, session, pending prefix ids).
+_Slot = Optional[Tuple[int, EnforcementSession, List[int]]]
+
+
+class EnforcementEngine:
+    """Drives N enforcement sessions in lock-step over one enforcer.
+
+    The engine builds its own lanes from the enforcer's factory, with
+    solver pooling and the shared oracle cache switched ON (they default
+    OFF in :class:`~repro.core.session.EnforcerConfig` to keep the legacy
+    single-record path byte-for-byte unchanged).  Pass ``solver_pool=0`` or
+    ``cache_entries=0`` to opt out.
+    """
+
+    def __init__(
+        self,
+        enforcer: JitEnforcer,
+        batch_size: int = 8,
+        solver_pool: Optional[int] = 64,
+        cache_entries: Optional[int] = 65536,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.enforcer = enforcer
+        self.batch_size = batch_size
+        if enforcer.oracle_cache is not None:
+            self.cache: Optional[OracleCache] = enforcer.oracle_cache
+        elif cache_entries:
+            self.cache = OracleCache(cache_entries)
+        else:
+            self.cache = None
+        self._lanes: List[Lane] = [
+            enforcer._build_lane(cache=self.cache, pool_reuse=solver_pool)
+            for _ in range(batch_size)
+        ]
+        self.stats = EngineStats()
+
+    # -- work submission -------------------------------------------------------
+
+    def impute_many(
+        self,
+        coarse_batch: Sequence[Mapping[str, int]],
+        contexts: Optional[Sequence[Optional[Mapping[str, int]]]] = None,
+        return_exceptions: bool = False,
+    ) -> List[Union[RecordOutcome, BaseException]]:
+        """Batched :meth:`~repro.core.enforcer.JitEnforcer.impute_record`."""
+        if contexts is None:
+            contexts = [None] * len(coarse_batch)
+        requests = [
+            RecordRequest(*self.enforcer.impute_plan(coarse, context))
+            for coarse, context in zip(coarse_batch, contexts)
+        ]
+        return self.run(requests, return_exceptions=return_exceptions)
+
+    def synthesize_many(
+        self,
+        count: int,
+        contexts: Optional[Sequence[Optional[Mapping[str, int]]]] = None,
+        return_exceptions: bool = False,
+    ) -> List[Union[RecordOutcome, BaseException]]:
+        """Batched :meth:`~repro.core.enforcer.JitEnforcer.synthesize_record`."""
+        if contexts is None:
+            contexts = [None] * count
+        requests = [
+            RecordRequest(*self.enforcer.synthesize_plan(context))
+            for context in contexts
+        ]
+        return self.run(requests, return_exceptions=return_exceptions)
+
+    # -- the lock-step scheduler -----------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[RecordRequest],
+        return_exceptions: bool = False,
+    ) -> List[Union[RecordOutcome, BaseException]]:
+        """Run every request to completion; results in submission order.
+
+        A session that fails (infeasible record, fault injection, strict
+        mode) is captured per-slot and never disturbs its batch-mates.
+        With ``return_exceptions`` the captured exception takes the
+        record's place in the result list; otherwise the first error (in
+        submission order) is raised after the whole batch has drained.
+        """
+        start_time = time.perf_counter()
+        model = self.enforcer.model
+        trace = self.enforcer.trace
+        queue: Deque[Tuple[int, RecordRequest]] = deque(enumerate(requests))
+        results: List[Union[RecordOutcome, BaseException, None]] = [None] * len(
+            requests
+        )
+        slots: List[_Slot] = [None] * self.batch_size
+        self.stats.submitted += len(requests)
+
+        def harvest(index: int, session: EnforcementSession) -> None:
+            if session.error is not None:
+                results[index] = session.error
+                self.stats.failed += 1
+            else:
+                results[index] = session.outcome
+                self.stats.completed += 1
+
+        try:
+            while queue or any(slot is not None for slot in slots):
+                # Refill: pop work in submission order into free slots.  A
+                # session may finish inside start() (e.g. every tier
+                # infeasible) -- harvest it and keep the slot hungry.
+                for slot_index in range(self.batch_size):
+                    while slots[slot_index] is None and queue:
+                        index, request = queue.popleft()
+                        session = self.enforcer.open_session(
+                            request.fixed,
+                            request.prompt_text,
+                            request.variables,
+                            lane=self._lanes[slot_index],
+                        )
+                        pending = session.start()
+                        if session.done:
+                            harvest(index, session)
+                        else:
+                            slots[slot_index] = (index, session, pending)
+                live = [
+                    (slot_index, slot)
+                    for slot_index, slot in enumerate(slots)
+                    if slot is not None
+                ]
+                if not live:
+                    continue
+                # One batched model call serves every live lane this step.
+                distributions = batched_next_distributions(
+                    model, [pending for _, (_, _, pending) in live]
+                )
+                trace.lm_calls += 1
+                self.stats.lm_calls += 1
+                self.stats.lm_rows += len(live)
+                for row, (slot_index, (index, session, _)) in zip(
+                    distributions, live
+                ):
+                    pending = session.step(row)
+                    if session.done:
+                        harvest(index, session)
+                        slots[slot_index] = None
+                    else:
+                        slots[slot_index] = (index, session, pending)
+        finally:
+            elapsed = time.perf_counter() - start_time
+            self.stats.elapsed += elapsed
+            trace.wall_time += elapsed
+            self._publish_solver_work()
+        if not return_exceptions:
+            for entry in results:
+                if isinstance(entry, BaseException):
+                    raise entry
+        return results  # type: ignore[return-value]
+
+    def _publish_solver_work(self) -> None:
+        """Aggregate deterministic solver counters across every lane.
+
+        Lane meters are cumulative since construction, so recomputing the
+        sum each run is idempotent (mirrors the synchronous enforcer's
+        "overwrite with the meter snapshot" semantics).
+        """
+        totals: Counter = Counter(self.enforcer.meter.snapshot())
+        for lane in self._lanes:
+            totals.update(lane.meter.snapshot())
+        merged = dict(totals)
+        self.enforcer.trace.solver_work = merged
+        self.stats.solver_work = merged
+
+    def summary(self) -> Dict[str, object]:
+        """Operator-facing snapshot: throughput + cache effectiveness."""
+        out = self.stats.snapshot()
+        out["batch_size"] = self.batch_size
+        out["cache"] = self.cache.snapshot() if self.cache is not None else None
+        return out

@@ -53,9 +53,75 @@ __all__ = [
     "IntervalOracle",
     "HybridOracle",
     "InfeasibleRecordError",
+    "OracleCache",
 ]
 
 Bounds = Mapping[str, Tuple[int, int]]
+
+# An oracle's answers are a pure function of (rule set, bounds, the ordered
+# history of fixed values).  The *state key* captures that history exactly:
+# the begin_record assignment (order-canonicalized -- residualization
+# substitutes it in one step) plus the sequence of fix() calls in order
+# (incremental refolds are path-dependent, so order is part of the key).
+StateKey = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]
+
+
+class OracleCache:
+    """Bounded memo shared by every oracle of one enforcer or engine.
+
+    Concurrent sessions of a batched engine repeatedly reach identical
+    partial assignments -- every synthesis record starts from the empty
+    prefix, and coarse prompts repeat across a workload.  This cache lets
+    them share three kinds of (deterministic, state-keyed) work:
+
+    * ``fs``       feasible sets per (state, variable);
+    * ``istate``   the interval tier's refolded constraint state;
+    * ``confirm``  definite (never UNKNOWN) confirmation verdicts.
+
+    Soundness rests on the state key being exact: two oracles with equal
+    keys have byte-identical logical state, so replaying a cached answer is
+    indistinguishable from recomputing it.  Entries are only ever written
+    from fully-computed, immutable snapshots; UNKNOWN verdicts (budget
+    exhaustion) are never cached, so resource-dependent outcomes stay live.
+
+    The cache must be scoped to one enforcer/engine: keys embed ``id(rule
+    set)``, which is only stable while the owner keeps the rule sets alive.
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        self.max_entries = max(1, int(max_entries))
+        self._data: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple):
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: Tuple, value: object) -> None:
+        if len(self._data) >= self.max_entries and key not in self._data:
+            # FIFO eviction: drop the oldest insertion (dicts are ordered).
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
 
 
 def residualize(formula: Formula, fixed: Mapping[str, int]) -> Formula:
@@ -79,6 +145,11 @@ class FeasibilityOracle:
     pivots, theory rounds, ...) against the meter's budget.  Budget
     exhaustion surfaces as :class:`~repro.errors.SolverBudgetExceeded` --
     distinct from :class:`InfeasibleRecordError`, which is a genuine UNSAT.
+
+    ``cache`` (optional) is an :class:`OracleCache` shared across the
+    oracles of one enforcer or engine; ``pool_reuse`` > 0 lets solver-backed
+    tiers keep one solver instance across that many consecutive records
+    (reset via push/pop) instead of rebuilding it per record.
     """
 
     def __init__(
@@ -86,11 +157,45 @@ class FeasibilityOracle:
         rules: RuleSet,
         bounds: Bounds,
         meter: Optional[BudgetMeter] = None,
+        cache: Optional[OracleCache] = None,
+        pool_reuse: int = 0,
     ):
         self.rules = rules
         self.bounds = dict(bounds)
         self.fixed: Dict[str, int] = {}
         self.meter = meter
+        self.cache = cache
+        self.pool_reuse = int(pool_reuse)
+        self._cache_tag = (id(rules), type(self).__name__)
+        self._state_key: StateKey = ((), ())
+
+    # -- state-key bookkeeping (see StateKey above) ---------------------------
+
+    def _reset_state_key(self, fixed: Mapping[str, int]) -> None:
+        self._state_key = (
+            tuple(sorted((name, int(value)) for name, value in fixed.items())),
+            (),
+        )
+
+    def _extend_state_key(self, variable: str, value: int) -> None:
+        base, fixes = self._state_key
+        self._state_key = (base, fixes + ((variable, int(value)),))
+
+    def _cache_key(self, section: str, *parts) -> Tuple:
+        return (section, self._cache_tag, self._state_key) + parts
+
+    def _cached_feasible_set(self, variable: str, compute) -> FeasibleSet:
+        """Memoized feasible set for the current state; sound because the
+        state key pins the oracle's exact logical state."""
+        if self.cache is None:
+            return compute()
+        key = self._cache_key("fs", variable)
+        hit = self.cache.lookup(key)
+        if hit is not None:
+            return hit
+        feasible = compute()
+        self.cache.store(key, feasible)
+        return feasible
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         """Start a fresh record with the given already-known variables."""
@@ -129,9 +234,14 @@ class SmtOracle(FeasibilityOracle):
     "dynamic partial instantiation": fixing values deactivates rules (their
     residual simplifies to TRUE) and specializes the rest.
 
-    A fresh solver is built per record (cheap at residual size); domain
-    bounds of the free variables are always asserted so every ``check`` also
-    proves a completion exists (lookahead).
+    With ``pool_reuse`` == 0 a fresh solver is built per record (cheap at
+    residual size).  With ``pool_reuse`` > 0 one solver is kept across that
+    many consecutive records: every record's assertions live inside a
+    dedicated push level, popped at the next ``begin_record``, so the
+    incremental SAT core's learned theory lemmas and Tseitin encodings
+    carry over -- they are valid facts about the *atoms*, independent of
+    which record asserted them.  The reuse cap bounds the clause-database
+    growth that popped selector levels leave behind.
     """
 
     def __init__(
@@ -139,15 +249,57 @@ class SmtOracle(FeasibilityOracle):
         rules: RuleSet,
         bounds: Bounds,
         meter: Optional[BudgetMeter] = None,
+        cache: Optional[OracleCache] = None,
+        pool_reuse: int = 0,
     ):
-        super().__init__(rules, bounds, meter)
+        super().__init__(rules, bounds, meter, cache=cache, pool_reuse=pool_reuse)
         self._solver: Optional[Solver] = None
-        self._record_depth = 0
+        self._open_levels = 0  # record frame + one level per fix()
+        self._pool_used = 0  # records served by the current solver
+        self._base_fixed: Optional[Dict[str, int]] = None  # frame's assignment
+        self._base_ok = False  # frame fully asserted + proven SAT
+
+    def _fresh_record_solver(self) -> Solver:
+        """A solver positioned at an empty record frame."""
+        if (
+            self._solver is None
+            or self.pool_reuse <= 0
+            or self._pool_used >= self.pool_reuse
+        ):
+            self._solver = Solver(meter=self.meter)
+            self._pool_used = 0
+        else:
+            # Pop the previous record's frame(s); learned lemmas survive.
+            for _ in range(self._open_levels):
+                self._solver.pop()
+        self._solver.push()
+        self._open_levels = 1
+        self._pool_used += 1
+        return self._solver
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
-        self._solver = Solver(meter=self.meter)
-        self._record_depth = 0
+        self._reset_state_key(self.fixed)
+        # Pool fast path: consecutive records with the *same* base assignment
+        # (ubiquitous in synthesis, where every record starts from {}) keep
+        # the record frame's assertions -- pop only the fix() levels back to
+        # the frame, skipping residualization, folding, re-assertion, and
+        # the initial SAT check (whose answer is pinned by the frame).
+        if (
+            self._base_ok
+            and self._solver is not None
+            and self.pool_reuse > 0
+            and self._pool_used < self.pool_reuse
+            and self.fixed == self._base_fixed
+        ):
+            for _ in range(self._open_levels - 1):
+                self._solver.pop()
+            self._open_levels = 1
+            self._pool_used += 1
+            return
+        self._base_fixed = dict(self.fixed)
+        self._base_ok = False
+        self._solver = self._fresh_record_solver()
         disjunctive: List[Formula] = []
         conjunctive: List[LinCon] = []
         for formula in self.rules.formulas():
@@ -192,8 +344,12 @@ class SmtOracle(FeasibilityOracle):
             raise InfeasibleRecordError(
                 f"rules are unsatisfiable given fixed values {self.fixed}"
             )
+        self._base_ok = True
 
     def feasible_set(self, variable: str) -> FeasibleSet:
+        return self._cached_feasible_set(variable, lambda: self._feasible_set(variable))
+
+    def _feasible_set(self, variable: str) -> FeasibleSet:
         interval = self._solver.feasible_interval(IntVar(variable))
         if interval is None:
             return FeasibleSet.empty()
@@ -208,17 +364,29 @@ class SmtOracle(FeasibilityOracle):
         return self.confirm_status(variable, value) == SAT
 
     def confirm_status(self, variable: str, value: int) -> str:
+        key = None
+        if self.cache is not None:
+            key = self._cache_key("confirm", variable, int(value))
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                return hit
         self._solver.push()
         try:
             self._solver.add(Eq(IntVar(variable), value))
-            return self._solver.check().status
+            status = self._solver.check().status
         finally:
             self._solver.pop()
+        # Only definite verdicts are cached: UNKNOWN means the budget ran
+        # out, and a later query under a fresh budget may well decide it.
+        if key is not None and status in (SAT, UNSAT):
+            self.cache.store(key, status)
+        return status
 
     def fix(self, variable: str, value: int) -> None:
         self.fixed[variable] = value
+        self._extend_state_key(variable, value)
         self._solver.push()
-        self._record_depth += 1
+        self._open_levels += 1
         self._solver.add(Eq(IntVar(variable), value))
 
     def any_model(self) -> Dict[str, int]:
@@ -372,18 +540,59 @@ class IntervalOracle(FeasibilityOracle):
         rules: RuleSet,
         bounds: Bounds,
         meter: Optional[BudgetMeter] = None,
+        cache: Optional[OracleCache] = None,
+        pool_reuse: int = 0,
     ):
-        super().__init__(rules, bounds, meter)
+        super().__init__(rules, bounds, meter, cache=cache, pool_reuse=pool_reuse)
         self._box: Dict[str, Tuple[int, int]] = dict(bounds)
         self._multi_cons: List[LinCon] = []
         self._disjunctive: List[Formula] = []
         self._refuted = False
         self._domain_cache: Optional[Dict[str, Interval]] = None
 
+    # -- refold-state snapshots ('istate' cache section) ----------------------
+
+    def _restore_istate(self) -> bool:
+        """Adopt a cached refold state for the current state key, if any."""
+        if self.cache is None:
+            return False
+        hit = self.cache.lookup(self._cache_key("istate"))
+        if hit is None:
+            return False
+        refuted, box, multi, disjunctive = hit
+        self._refuted = refuted
+        self._box = dict(box)
+        self._multi_cons = list(multi)
+        self._disjunctive = list(disjunctive)
+        # Never adopt a propagated-domain cache along with the snapshot: a
+        # domain computed before some fix() on the producing path would
+        # silently *widen* the admissible set here.  Domains are recomputed
+        # lazily from the (exact) refold state instead.
+        self._domain_cache = None
+        return True
+
+    def _store_istate(self) -> None:
+        if self.cache is None:
+            return
+        self.cache.store(
+            self._cache_key("istate"),
+            (
+                self._refuted,
+                tuple(self._box.items()),
+                tuple(self._multi_cons),
+                tuple(self._disjunctive),
+            ),
+        )
+
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
-        self._refuted = False
-        self._refold(self.rules.formulas(), self.fixed)
+        self._reset_state_key(self.fixed)
+        if self._restore_istate():
+            self._domain_cache = None
+        else:
+            self._refuted = False
+            self._refold(self.rules.formulas(), self.fixed)
+            self._store_istate()
         if self._refuted or self._propagate(None, None) is None:
             raise InfeasibleRecordError(
                 f"bounds propagation refutes fixed values {self.fixed}"
@@ -441,6 +650,17 @@ class IntervalOracle(FeasibilityOracle):
             return None
         if extra_var is None and self._domain_cache is not None:
             return self._domain_cache
+        if extra_var is None and self.cache is not None:
+            # The propagated domain is a pure function of the refold state,
+            # which the state key pins exactly -- so unlike ``_domain_cache``
+            # (which must be dropped on every state change) the shared entry
+            # can never leak a stale, wider domain into a narrower state.
+            key = self._cache_key("dom")
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                domain = hit[0]
+                self._domain_cache = domain
+                return domain
         constraints = list(self._multi_cons)
         initial = self._initial_domain()
         if extra_var is not None:
@@ -461,9 +681,16 @@ class IntervalOracle(FeasibilityOracle):
         domain = result.domain if result.feasible else None
         if extra_var is None:
             self._domain_cache = domain
+            if self.cache is not None:
+                # Wrapped in a tuple so a legitimately-infeasible None is
+                # distinguishable from a cache miss.
+                self.cache.store(self._cache_key("dom"), (domain,))
         return domain
 
     def feasible_set(self, variable: str) -> FeasibleSet:
+        return self._cached_feasible_set(variable, lambda: self._feasible_set(variable))
+
+    def _feasible_set(self, variable: str) -> FeasibleSet:
         domain = self._propagate(None, None)
         if domain is None:
             return FeasibleSet.empty()
@@ -478,11 +705,26 @@ class IntervalOracle(FeasibilityOracle):
         return self._clip(variable, FeasibleSet.from_interval(low, high))
 
     def confirm(self, variable: str, value: int) -> bool:
-        return self._propagate(variable, value) is not None
+        key = None
+        if self.cache is not None:
+            key = self._cache_key("confirm", variable, int(value))
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                return hit == SAT
+        verdict = self._propagate(variable, value) is not None
+        if key is not None:
+            # Propagation is deterministic and budget-free here, so both
+            # verdicts are definite and safe to cache.
+            self.cache.store(key, SAT if verdict else UNSAT)
+        return verdict
 
     def fix(self, variable: str, value: int) -> None:
         self.fixed[variable] = value
+        self._extend_state_key(variable, value)
+        if self._restore_istate():
+            return
         if self._refuted:
+            self._store_istate()
             return
         # Re-residualize the compact state (not the original rules): the
         # box becomes formulas implicitly via bounds, multi-var constraints
@@ -507,6 +749,7 @@ class IntervalOracle(FeasibilityOracle):
             if merged[name][0] > merged[name][1] and name not in self.fixed:
                 self._refuted = True
         self._box = merged
+        self._store_istate()
 
 
 class HybridOracle(FeasibilityOracle):
@@ -517,13 +760,20 @@ class HybridOracle(FeasibilityOracle):
         rules: RuleSet,
         bounds: Bounds,
         meter: Optional[BudgetMeter] = None,
+        cache: Optional[OracleCache] = None,
+        pool_reuse: int = 0,
     ):
-        super().__init__(rules, bounds, meter)
-        self.interval = IntervalOracle(rules, bounds, meter)
-        self.smt = SmtOracle(rules, bounds, meter)
+        super().__init__(rules, bounds, meter, cache=cache, pool_reuse=pool_reuse)
+        self.interval = IntervalOracle(
+            rules, bounds, meter, cache=cache, pool_reuse=pool_reuse
+        )
+        self.smt = SmtOracle(
+            rules, bounds, meter, cache=cache, pool_reuse=pool_reuse
+        )
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
+        self._reset_state_key(self.fixed)
         self.interval.begin_record(self.fixed)  # raises on interval refutation
         self.smt.begin_record(self.fixed)  # raises on exact refutation
 
@@ -541,6 +791,7 @@ class HybridOracle(FeasibilityOracle):
 
     def fix(self, variable: str, value: int) -> None:
         self.fixed[variable] = value
+        self._extend_state_key(variable, value)
         self.interval.fix(variable, value)
         self.smt.fix(variable, value)
 

@@ -9,15 +9,16 @@ syntactically valid record so audits can score them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Deque, Dict, Generator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import parse_record, prompt_text, variable_bounds
 from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
-from ..lm.base import LanguageModel
-from ..lm.sampler import sample_tokens
+from ..lm.base import LanguageModel, batched_next_distributions
+from ..lm.sampler import sample_steps, sample_tokens
 from ..rules.dsl import RuleSet
 
 __all__ = ["RecordSampler", "GenerationError", "degradation_report"]
@@ -49,7 +50,9 @@ class RecordSampler:
         self.telemetry_config = telemetry_config or TelemetryConfig()
         self.max_parse_retries = max_parse_retries
         self.temperature = temperature
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+        self._spawn_counter = 0
         self.stats = SamplerStats()
 
     def _max_new_tokens(self) -> int:
@@ -92,6 +95,111 @@ class RecordSampler:
                 continue
         self.stats.repaired += 1
         return self._repair(last_text)
+
+    # -- batched generation ----------------------------------------------------
+    #
+    # The batched methods drive one resumable generator per record in
+    # lock-step, sharing a single :func:`batched_next_distributions` call
+    # per step -- the same scheduling shape as the enforcement engine, but
+    # with no oracle in the loop.  Each record gets a private rng stream
+    # derived from the seed by submission index, so output is independent
+    # of batch size (though distinct from the serial methods, which share
+    # one stream across records).
+
+    def impute_raw_many(
+        self,
+        coarse_batch: Sequence[Mapping[str, int]],
+        batch_size: int = 8,
+    ) -> List[Dict[str, int]]:
+        """Batched :meth:`impute_raw` over many prompts."""
+        prompts = [prompt_text(coarse) for coarse in coarse_batch]
+        records = self._run_raw_batch(prompts, batch_size)
+        for coarse, record in zip(coarse_batch, records):
+            for name in COARSE_FIELDS:  # the prompt fixes the coarse part
+                record[name] = int(coarse[name])
+        return records
+
+    def synthesize_raw_many(
+        self, count: int, batch_size: int = 8
+    ) -> List[Dict[str, int]]:
+        """Batched :meth:`synthesize_raw`."""
+        return self._run_raw_batch([""] * count, batch_size)
+
+    def _next_rng(self) -> np.random.Generator:
+        index = self._spawn_counter
+        self._spawn_counter += 1
+        if self._seed is None:
+            return np.random.default_rng()
+        return np.random.default_rng(
+            np.random.SeedSequence(self._seed, spawn_key=(index,))
+        )
+
+    def _record_steps(
+        self, prompt: str, rng: np.random.Generator
+    ) -> Generator[List[int], np.ndarray, Dict[str, int]]:
+        """Resumable :meth:`_sample_parseable`: yields prefixes, returns
+        the parsed (or repaired) record."""
+        tokenizer = self.model.tokenizer
+        window = self.telemetry_config.window
+        self.stats.records += 1
+        prompt_ids = tokenizer.encode(prompt)
+        last_text = ""
+        for _ in range(self.max_parse_retries):
+            generated = yield from sample_steps(
+                tokenizer,
+                prompt_ids,
+                stop_id=tokenizer.record_end_id,
+                max_new_tokens=self._max_new_tokens(),
+                temperature=self.temperature,
+                rng=rng,
+            )
+            last_text = prompt + tokenizer.decode(generated)
+            try:
+                return parse_record(last_text, window)
+            except ValueError:
+                self.stats.malformed += 1
+                continue
+        self.stats.repaired += 1
+        return self._repair(last_text)
+
+    def _run_raw_batch(
+        self, prompts: Sequence[str], batch_size: int
+    ) -> List[Dict[str, int]]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        results: List[Optional[Dict[str, int]]] = [None] * len(prompts)
+        queue: Deque[Tuple[int, str]] = deque(enumerate(prompts))
+        slots: List[Optional[Tuple[int, Generator, List[int]]]] = (
+            [None] * batch_size
+        )
+        while queue or any(slot is not None for slot in slots):
+            for slot_index in range(batch_size):
+                while slots[slot_index] is None and queue:
+                    index, prompt = queue.popleft()
+                    steps = self._record_steps(prompt, self._next_rng())
+                    try:
+                        pending = next(steps)
+                        slots[slot_index] = (index, steps, pending)
+                    except StopIteration as stop:
+                        results[index] = stop.value
+            live = [
+                (slot_index, slot)
+                for slot_index, slot in enumerate(slots)
+                if slot is not None
+            ]
+            if not live:
+                continue
+            rows = batched_next_distributions(
+                self.model, [pending for _, (_, _, pending) in live]
+            )
+            for row, (slot_index, (index, steps, _)) in zip(rows, live):
+                try:
+                    pending = steps.send(row)
+                    slots[slot_index] = (index, steps, pending)
+                except StopIteration as stop:
+                    results[index] = stop.value
+                    slots[slot_index] = None
+        return results  # type: ignore[return-value]
 
     def _repair(self, text: str) -> Dict[str, int]:
         """Best-effort repair of a malformed record (keeps audits total)."""

@@ -30,6 +30,7 @@ from ..lm.base import LanguageModel
 from ..rules.dsl import Rule, RuleSet
 from ..rules.mining import MinerOptions, mine_rules
 from .enforcer import EnforcerConfig, JitEnforcer, RecordOutcome
+from .engine import EnforcementEngine
 
 __all__ = [
     "PREV_PREFIX",
@@ -140,6 +141,10 @@ class SequenceEnforcer:
         # Per-record provenance of the most recent sequence call: parallel
         # to its returned records, each entry compliant-or-flagged.
         self.last_outcomes: List[RecordOutcome] = []
+        # Per-sequence provenance of the most recent *batched* call, and
+        # the engine that ran it (for throughput / cache summaries).
+        self.last_sequence_outcomes: List[List[RecordOutcome]] = []
+        self.last_engine: Optional[EnforcementEngine] = None
 
     @property
     def trace(self):
@@ -177,6 +182,70 @@ class SequenceEnforcer:
             record = {k: v for k, v in outcome.values.items() if k in names}
             records.append(record)
             context = self._context_from(record)
+        return records
+
+    # -- batched wave scheduling ----------------------------------------------
+    #
+    # Records *within* a sequence are serially dependent (each one's prev_*
+    # context is the previous record), so a single sequence cannot batch.
+    # Many sequences can: wave t imputes window t of every sequence in one
+    # engine run, then threads each sequence's context forward.  Note the
+    # engine assigns per-record rng streams in wave order, so batched
+    # sequences are deterministic for a fixed sequence set and batch size
+    # but are not byte-identical to the serial per-sequence methods.
+
+    def impute_sequences(
+        self,
+        sequences: Sequence[Sequence[Window]],
+        batch_size: int = 8,
+        engine: Optional[EnforcementEngine] = None,
+    ) -> List[List[Dict[str, int]]]:
+        """Impute many window sequences in lock-step waves."""
+        engine = engine or EnforcementEngine(self._enforcer, batch_size=batch_size)
+        names = set(window_variables(self.telemetry_config.window))
+        records: List[List[Dict[str, int]]] = [[] for _ in sequences]
+        outcomes: List[List[RecordOutcome]] = [[] for _ in sequences]
+        contexts: List[Optional[Dict[str, int]]] = [None] * len(sequences)
+        longest = max((len(seq) for seq in sequences), default=0)
+        for step in range(longest):
+            active = [i for i, seq in enumerate(sequences) if step < len(seq)]
+            wave = engine.impute_many(
+                [sequences[i][step].coarse() for i in active],
+                contexts=[contexts[i] for i in active],
+            )
+            for i, outcome in zip(active, wave):
+                record = {k: v for k, v in outcome.values.items() if k in names}
+                records[i].append(record)
+                outcomes[i].append(outcome)
+                contexts[i] = self._context_from(record)
+        self.last_sequence_outcomes = outcomes
+        self.last_outcomes = [o for seq in outcomes for o in seq]
+        self.last_engine = engine
+        return records
+
+    def synthesize_sequences(
+        self,
+        count: int,
+        length: int,
+        batch_size: int = 8,
+        engine: Optional[EnforcementEngine] = None,
+    ) -> List[List[Dict[str, int]]]:
+        """Generate ``count`` temporally-consistent sequences of ``length``."""
+        engine = engine or EnforcementEngine(self._enforcer, batch_size=batch_size)
+        names = set(window_variables(self.telemetry_config.window))
+        records: List[List[Dict[str, int]]] = [[] for _ in range(count)]
+        outcomes: List[List[RecordOutcome]] = [[] for _ in range(count)]
+        contexts: List[Optional[Dict[str, int]]] = [None] * count
+        for _ in range(length):
+            wave = engine.synthesize_many(count, contexts=contexts)
+            for i, outcome in enumerate(wave):
+                record = {k: v for k, v in outcome.values.items() if k in names}
+                records[i].append(record)
+                outcomes[i].append(outcome)
+                contexts[i] = self._context_from(record)
+        self.last_sequence_outcomes = outcomes
+        self.last_outcomes = [o for seq in outcomes for o in seq]
+        self.last_engine = engine
         return records
 
     def audit_sequence(

@@ -1,0 +1,713 @@
+"""Resumable per-record enforcement sessions.
+
+:class:`EnforcementSession` is the per-record core of the JIT enforcer,
+inverted into a state machine: instead of calling the language model
+directly, the session *suspends* whenever it needs a next-token
+distribution and resumes when one is supplied via :meth:`step`.  The full
+degradation ladder -- solver-confirmed generation with budget backoff,
+interval-audit, forced-model, post-hoc repair, clamping -- runs inside the
+session, so a record driven one distribution at a time behaves exactly like
+the legacy synchronous path (it is literally the same code, suspended).
+
+The inversion is what makes lock-step batching possible: the engine in
+:mod:`repro.core.engine` holds N sessions, gathers their pending prefixes,
+makes ONE batched model call per step, and feeds each distribution back to
+its session.  The synchronous enforcer drives a single session with plain
+``model.next_distribution`` calls -- both drivers share this file's logic
+and the same per-record rng stream, so they emit byte-identical records.
+
+Implementation note: the suspension points thread through the ladder as a
+generator-coroutine chain -- every method between :meth:`_drive` and the
+token sampler is a generator delegating with ``yield from``, bottoming out
+in :func:`repro.lm.sampler.sample_steps` which yields the prefix ids and
+receives the distribution.  Solver work (feasibility, confirmation, fixes,
+degradation stages that never sample) runs eagerly between suspensions.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..data.telemetry import COARSE_FIELDS
+from ..errors import DeadEnd, DegradedResult, SolverBudgetExceeded
+from ..lm.sampler import DeadEndError, SampleTrace, sample_steps
+from ..rules.dsl import RuleSet
+from ..smt import SAT, UNKNOWN_STATUS, BudgetMeter, SolverBudget
+from .feasible import FeasibilityOracle, InfeasibleRecordError
+from .transition import SEPARATOR, DigitTransitionSystem, FeasibleSet
+
+__all__ = [
+    "EnforcerConfig",
+    "EnforcementTrace",
+    "EnforcementSession",
+    "Lane",
+    "RecordOutcome",
+    "LADDER_STAGES",
+]
+
+logger = logging.getLogger(__name__)
+
+# Process-wide memo for the literal-sampling mask hook: admissible token
+# ids keyed by (feasible segments, digit cap, emitted suffix ids,
+# separator id).  Mirrors DigitTransitionSystem._MEMO one level up, saving
+# the per-step decode + char->id translation.  Bounded; cleared wholesale
+# on overflow.
+_MASK_MEMO: Dict[tuple, frozenset] = {}
+_MASK_MEMO_LIMIT = 1 << 16
+
+# The degradation ladder, most exact first.  Each record's outcome names
+# the stage that produced it; only "smt-confirm" is non-degraded.
+LADDER_STAGES = (
+    "smt-confirm",
+    "interval-audit",
+    "forced-model",
+    "posthoc-repair",
+    "clamped",
+)
+
+
+class _StrictRetryExhausted(RuntimeError):
+    """Internal: the optimistic phase could not place a variable."""
+
+
+@dataclass
+class EnforcerConfig:
+    oracle: str = "hybrid"  # hybrid | smt | interval (DESIGN.md ablation)
+    max_var_retries: int = 6
+    temperature: float = 1.0
+    max_literal_digits: int = 6
+    seed: Optional[int] = None
+    # Optimistic two-phase generation (hybrid tier only): phase 1 masks with
+    # interval propagation alone and audits the finished record exactly;
+    # only records failing the audit re-generate under per-variable SMT
+    # confirmation.  Preserves the compliance guarantee at a fraction of the
+    # solver cost because the fast phase almost always succeeds.
+    optimistic: bool = True
+    # Deterministic per-query solver work budget; None = unlimited (the
+    # hard theory-round/branching backstops still apply and degrade to
+    # UNKNOWN rather than raising).
+    budget: Optional[SolverBudget] = None
+    # On budget exhaustion the whole record is retried with the budget
+    # scaled by budget_backoff**attempt, at most max_budget_retries times,
+    # before stepping down the degradation ladder.
+    max_budget_retries: int = 2
+    budget_backoff: float = 2.0
+    # Allow the posthoc-repair ladder stage (uses baselines.posthoc).
+    posthoc_repair: bool = True
+    # Strict mode: raise DegradedResult instead of returning a record that
+    # only exists via a degraded ladder stage.
+    raise_on_degraded: bool = False
+    # Keep one solver per oracle across this many consecutive records
+    # (reset via push/pop) instead of rebuilding per record; 0 disables
+    # pooling (the legacy behavior).
+    solver_pool: int = 0
+    # Share feasible sets / interval states / confirm verdicts across
+    # records and concurrent sessions through an OracleCache of this many
+    # entries; 0 disables caching (the legacy behavior).
+    oracle_cache_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.oracle not in ("hybrid", "smt", "interval"):
+            raise ValueError(f"unknown oracle tier {self.oracle!r}")
+
+
+@dataclass
+class RecordOutcome:
+    """Provenance of one emitted record: audited-compliant or flagged.
+
+    The pipeline invariant is that every record satisfies
+    ``compliant or degraded`` -- a record is either proven rule-compliant
+    by the exact audit or explicitly marked as produced by a degraded
+    ladder stage (never silently wrong).
+    """
+
+    values: Dict[str, int]
+    compliant: bool  # passed the exact audit of the producing tier's rules
+    degraded: bool  # produced below the top ladder stage
+    stage: str  # LADDER_STAGES entry that produced the record
+    tier_index: int = 0  # 0 = primary rules, >0 = fallback rule tier
+    budget_retries: int = 0  # record-level budget backoff retries consumed
+
+
+@dataclass
+class EnforcementTrace:
+    """Aggregated guidance statistics (the minimal-invasiveness evidence)."""
+
+    records: int = 0
+    sample: SampleTrace = field(default_factory=SampleTrace)
+    var_retries: int = 0
+    solver_forced_vars: int = 0
+    fallback_records: int = 0  # records generated under a fallback rule tier
+    infeasible_records: int = 0  # records infeasible under every tier
+    phase2_records: int = 0  # optimistic phase failed; re-ran with full SMT
+    wall_time: float = 0.0
+    # -- robustness / degradation counters ------------------------------------
+    degraded_records: int = 0  # records produced below the top ladder stage
+    ladder: Dict[str, int] = field(default_factory=dict)  # stage -> records
+    budget_exhaustions: int = 0  # SolverBudgetExceeded observed
+    budget_retries: int = 0  # record retries with a scaled-up budget
+    dead_ends: int = 0  # DeadEnd raised during literal sampling
+    unknown_confirms: int = 0  # confirm() came back UNKNOWN
+    solver_work: Dict[str, int] = field(default_factory=dict)  # meter totals
+    lm_calls: int = 0  # model invocations (a batched call counts once)
+
+    def guidance_rate(self) -> float:
+        """Fraction of steps where masking actually pruned model mass."""
+        if self.sample.steps == 0:
+            return 0.0
+        return self.sample.masked_steps / self.sample.steps
+
+    def diversion_rate(self) -> float:
+        if self.sample.steps == 0:
+            return 0.0
+        return self.sample.diverted_steps / self.sample.steps
+
+    def count_stage(self, stage: str) -> None:
+        self.ladder[stage] = self.ladder.get(stage, 0) + 1
+
+    def comparable_counters(self) -> Dict[str, object]:
+        """The deterministic counters (everything except timing and the
+        solver's internal work totals, which legitimately vary with solver
+        pooling and batching)."""
+        return {
+            "records": self.records,
+            "sample": (
+                self.sample.steps,
+                self.sample.masked_steps,
+                self.sample.diverted_steps,
+                self.sample.forced_steps,
+                round(self.sample.pruned_probability, 9),
+            ),
+            "var_retries": self.var_retries,
+            "solver_forced_vars": self.solver_forced_vars,
+            "fallback_records": self.fallback_records,
+            "infeasible_records": self.infeasible_records,
+            "phase2_records": self.phase2_records,
+            "degraded_records": self.degraded_records,
+            "ladder": dict(self.ladder),
+            "budget_exhaustions": self.budget_exhaustions,
+            "budget_retries": self.budget_retries,
+            "dead_ends": self.dead_ends,
+            "unknown_confirms": self.unknown_confirms,
+        }
+
+    def degradation_summary(self) -> str:
+        """One operator-facing line: ladder usage + budget counters."""
+        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.ladder.items()))
+        work = ", ".join(f"{k}={v}" for k, v in self.solver_work.items() if v)
+        return (
+            f"records={self.records} degraded={self.degraded_records} "
+            f"stages[{stages or 'none'}] "
+            f"budget[exhausted={self.budget_exhaustions} "
+            f"retries={self.budget_retries}] "
+            f"dead_ends={self.dead_ends} "
+            f"unknown_confirms={self.unknown_confirms} "
+            f"solver[{work or 'idle'}]"
+        )
+
+
+@dataclass
+class Lane:
+    """One slot's worth of oracle state: tier list + interval tiers + meter.
+
+    The synchronous enforcer owns a single lane; the batched engine builds
+    one per concurrent slot so sessions never share solver state or budget
+    meters (a stuck record in one lane cannot starve its batch-mates).
+    """
+
+    tiers: List[Tuple[RuleSet, FeasibilityOracle]]
+    interval_tiers: List[Tuple[RuleSet, FeasibilityOracle]]
+    meter: BudgetMeter
+
+
+# The driver protocol: ``start()``/``step(distribution)`` return the prefix
+# ids the session needs a distribution for, or None once the record is done.
+Request = Optional[List[int]]
+
+
+class EnforcementSession:
+    """One record's enforcement, resumable one distribution at a time.
+
+    ``owner`` is the :class:`~repro.core.enforcer.JitEnforcer` (duck-typed:
+    the session reads its config, bounds, trace, tokenizer, and audit
+    helper).  ``lane`` carries the oracle tiers and budget meter this
+    session may mutate.  ``rng`` is this record's private random stream --
+    derived per-record so scheduling order cannot perturb sampling.
+
+    Driving protocol::
+
+        request = session.start()
+        while request is not None:
+            request = session.step(model.next_distribution(request))
+        outcome = session.result()   # RecordOutcome, or raises
+
+    A session never lets an exception escape ``start``/``step``: failures
+    are captured in ``error`` (and re-raised by ``result``), which is what
+    lets the batched engine keep a faulty record from aborting its
+    batch-mates.
+    """
+
+    def __init__(
+        self,
+        owner,
+        lane: Lane,
+        fixed: Mapping[str, int],
+        prompt_text: str,
+        variables: Sequence[str],
+        rng: np.random.Generator,
+    ):
+        self._owner = owner
+        self._lane = lane
+        self._config: EnforcerConfig = owner.config
+        self._bounds: Dict[str, Tuple[int, int]] = owner.bounds
+        self._trace: EnforcementTrace = owner.trace
+        self._tokenizer = owner.model.tokenizer
+        self._fixed = dict(fixed)
+        self._prompt_text = prompt_text
+        self._variables = list(variables)
+        self._rng = rng
+        self.emitted_ids: List[int] = []  # every token emitted, in order
+        self.outcome: Optional[RecordOutcome] = None
+        self.error: Optional[BaseException] = None
+        self._trace.records += 1
+        self._gen: Generator[List[int], np.ndarray, RecordOutcome] = self._drive()
+
+    # -- driver-facing surface -------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not None or self.error is not None
+
+    def start(self) -> Request:
+        """Run until the first distribution is needed (or completion)."""
+        return self._advance(lambda: next(self._gen))
+
+    def step(self, distribution: np.ndarray) -> Request:
+        """Feed one next-token distribution; run until the next need."""
+        return self._advance(lambda: self._gen.send(distribution))
+
+    def result(self) -> RecordOutcome:
+        if self.error is not None:
+            raise self.error
+        if self.outcome is None:
+            raise RuntimeError("session has not finished")
+        return self.outcome
+
+    def _advance(self, resume: Callable[[], List[int]]) -> Request:
+        try:
+            return resume()
+        except StopIteration as stop:
+            self._finish(stop.value)
+        except BaseException as exc:  # noqa: BLE001 -- isolated per session
+            self._lane.meter.set_budget(self._config.budget)
+            self.error = exc
+        return None
+
+    def _finish(self, outcome: RecordOutcome) -> None:
+        # Restore the configured budget for the lane's next record.
+        self._lane.meter.set_budget(self._config.budget)
+        self._trace.count_stage(outcome.stage)
+        if outcome.degraded:
+            self._trace.degraded_records += 1
+        if outcome.tier_index > 0:
+            self._trace.fallback_records += 1
+        self._owner.last_outcome = outcome
+        if outcome.degraded and self._config.raise_on_degraded:
+            self.error = DegradedResult(
+                f"record produced via degraded stage {outcome.stage!r}",
+                outcome=outcome,
+            )
+            return
+        self.outcome = outcome
+
+    # -- ladder orchestration (generator chain) --------------------------------
+
+    def _drive(self) -> Generator[List[int], np.ndarray, RecordOutcome]:
+        """Full-confirmation generation with budget backoff, then degrade."""
+        retries_used = 0
+        meter = self._lane.meter
+        for attempt in range(self._config.max_budget_retries + 1):
+            if self._config.budget is not None and attempt > 0:
+                meter.set_budget(
+                    self._config.budget.scaled(
+                        self._config.budget_backoff ** attempt
+                    )
+                )
+            try:
+                values, tier_index = yield from self._generate_confirmed()
+            except SolverBudgetExceeded as exc:
+                self._trace.budget_exhaustions += 1
+                logger.debug(
+                    "budget exhausted on attempt %d (%s); %s",
+                    attempt,
+                    exc,
+                    "retrying with backoff"
+                    if attempt < self._config.max_budget_retries
+                    else "stepping down the ladder",
+                )
+                if attempt < self._config.max_budget_retries:
+                    self._trace.budget_retries += 1
+                    retries_used += 1
+                    continue
+                break
+            return RecordOutcome(
+                values,
+                compliant=True,
+                degraded=False,
+                stage="smt-confirm",
+                tier_index=tier_index,
+                budget_retries=retries_used,
+            )
+        return (yield from self._degrade(retries_used))
+
+    def _degrade(
+        self, retries_used: int
+    ) -> Generator[List[int], np.ndarray, RecordOutcome]:
+        """Step down the ladder after the confirmed path gave up."""
+        # Later stages still touch the solver (forced model, repair); give
+        # them one further backoff step beyond the retried budgets.
+        if self._config.budget is not None:
+            self._lane.meter.set_budget(
+                self._config.budget.scaled(
+                    self._config.budget_backoff
+                    ** (self._config.max_budget_retries + 1)
+                )
+            )
+        candidate: Optional[Dict[str, int]] = None
+        candidate_tier = 0
+
+        # Stage: interval-only masking + exact audit (no solver involved in
+        # masking; the audit is plain rule evaluation).
+        for tier_index, (tier_rules, oracle) in enumerate(
+            self._lane.interval_tiers
+        ):
+            try:
+                oracle.begin_record(self._fixed)
+                values = yield from self._run_generation(oracle, strict=False)
+            except (InfeasibleRecordError, SolverBudgetExceeded, DeadEnd):
+                continue
+            if candidate is None:
+                candidate, candidate_tier = values, tier_index
+            if self._owner._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to interval-audit (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="interval-audit",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+
+        # Stage: solver-model forced values (no sampling; the solver's own
+        # model completes the record, exact by construction when it checks).
+        for tier_index, (tier_rules, oracle) in enumerate(self._lane.tiers):
+            any_model = getattr(oracle, "any_model", None)
+            if any_model is None:
+                continue
+            try:
+                oracle.begin_record(self._fixed)
+                model = any_model()
+            except (InfeasibleRecordError, SolverBudgetExceeded):
+                continue
+            values = dict(self._fixed)
+            for name in self._variables:
+                values[name] = int(model.get(name, self._bounds[name][0]))
+            self._trace.solver_forced_vars += len(self._variables)
+            if self._owner._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to forced-model (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="forced-model",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+            if candidate is None:
+                candidate, candidate_tier = values, tier_index
+
+        # Stage: post-hoc repair of the best-effort candidate.
+        if self._config.posthoc_repair:
+            outcome = self._posthoc_stage(candidate, retries_used)
+            if outcome is not None:
+                return outcome
+
+        # Last resort: clamp the candidate (or domain minima) into bounds.
+        values = self._clamped_values(candidate)
+        compliant = self._owner._auditable(
+            self._owner.rules, values
+        ).compliant(values)
+        logger.warning(
+            "record degraded to clamped values (compliant=%s)", compliant
+        )
+        return RecordOutcome(
+            values,
+            compliant=compliant,
+            degraded=True,
+            stage="clamped",
+            tier_index=candidate_tier,
+            budget_retries=retries_used,
+        )
+
+    def _posthoc_stage(
+        self,
+        candidate: Optional[Dict[str, int]],
+        retries_used: int,
+    ) -> Optional[RecordOutcome]:
+        # Imported lazily: repro.baselines pulls in core.pipeline at package
+        # import time, which would cycle at module load.
+        from ..baselines.posthoc import PosthocRepairer, RepairError
+
+        base = self._clamped_values(candidate)
+        full = dict(base)
+        for name, (low, high) in self._bounds.items():
+            full.setdefault(name, min(max(0, low), high))
+        frozen = [name for name in self._fixed if name in self._bounds]
+        for tier_index, (tier_rules, _) in enumerate(self._lane.tiers):
+            repairer = PosthocRepairer(
+                tier_rules,
+                self._owner.telemetry_config,
+                mode="nearest",
+                bounds=self._bounds,
+                meter=self._lane.meter,
+            )
+            try:
+                repaired = repairer.repair(full, frozen=frozen)
+            except (RepairError, SolverBudgetExceeded, ValueError):
+                continue
+            values = dict(self._fixed)
+            for name in self._variables:
+                values[name] = int(repaired.get(name, full[name]))
+            if self._owner._auditable(tier_rules, values).compliant(values):
+                logger.debug("degraded to posthoc-repair (tier %d)", tier_index)
+                return RecordOutcome(
+                    values,
+                    compliant=True,
+                    degraded=True,
+                    stage="posthoc-repair",
+                    tier_index=tier_index,
+                    budget_retries=retries_used,
+                )
+        return None
+
+    def _clamped_values(
+        self, candidate: Optional[Dict[str, int]]
+    ) -> Dict[str, int]:
+        values = dict(self._fixed)
+        for name in self._variables:
+            low, high = self._bounds[name]
+            raw = (candidate or {}).get(name, min(max(0, low), high))
+            values[name] = min(max(int(raw), low), high)
+        return values
+
+    # -- generation engine -----------------------------------------------------
+
+    def _generate_confirmed(
+        self,
+    ) -> Generator[List[int], np.ndarray, Tuple[Dict[str, int], int]]:
+        """The top ladder stage: fully solver-confirmed generation."""
+        if self._config.optimistic and self._config.oracle == "hybrid":
+            optimistic = yield from self._try_optimistic()
+            if optimistic is not None:
+                return optimistic
+            self._trace.phase2_records += 1
+        oracle, _, tier_index = self._begin_with_fallback()
+        values = yield from self._run_generation(oracle, strict=False)
+        return values, tier_index
+
+    def _try_optimistic(
+        self,
+    ) -> Generator[List[int], np.ndarray, Optional[Tuple[Dict[str, int], int]]]:
+        """Phase 1: interval-only masking, exact audit at the end."""
+        for tier_index, (rules, oracle) in enumerate(self._lane.tiers):
+            interval_oracle = oracle.interval  # type: ignore[attr-defined]
+            try:
+                interval_oracle.begin_record(self._fixed)
+                values = yield from self._run_generation(
+                    interval_oracle, strict=True
+                )
+            except InfeasibleRecordError:
+                continue  # truly infeasible prefix: try the next rule tier
+            except _StrictRetryExhausted:
+                return None  # maybe interval incompleteness: go to SMT phase
+            if self._owner._auditable(rules, values).compliant(values):
+                return values, tier_index
+            return None  # audit failed: fall through to the SMT phase
+        return None
+
+    def _begin_with_fallback(self) -> Tuple[FeasibilityOracle, RuleSet, int]:
+        for tier_index, (rules, oracle) in enumerate(self._lane.tiers):
+            try:
+                oracle.begin_record(self._fixed)
+            except InfeasibleRecordError:
+                continue
+            return oracle, rules, tier_index
+        self._trace.infeasible_records += 1
+        raise InfeasibleRecordError(
+            f"every rule tier is infeasible for fixed values {self._fixed}"
+        )
+
+    def _separator_char(self, variable: str, all_names: Sequence[str]) -> str:
+        index = all_names.index(variable)
+        if index == len(all_names) - 1:
+            return "\n"
+        if variable == COARSE_FIELDS[-1]:
+            return ">"
+        return " "
+
+    def _run_generation(
+        self,
+        oracle: FeasibilityOracle,
+        strict: bool,
+    ) -> Generator[List[int], np.ndarray, Dict[str, int]]:
+        ids = self._tokenizer.encode(self._prompt_text)
+        values: Dict[str, int] = dict(self._fixed)
+        all_names = list(self._fixed) + list(self._variables)
+        for name in self._variables:
+            value, new_ids = yield from self._generate_variable(
+                oracle, name, ids, self._separator_char(name, all_names), strict
+            )
+            values[name] = value
+            ids = new_ids
+        return values
+
+    def _generate_variable(
+        self,
+        oracle: FeasibilityOracle,
+        name: str,
+        ids: List[int],
+        separator_char: str,
+        strict: bool = False,
+    ) -> Generator[List[int], np.ndarray, Tuple[int, List[int]]]:
+        tokenizer = self._tokenizer
+        separator_id = tokenizer.id_of(separator_char)
+        feasible = oracle.feasible_set(name)
+        for _ in range(self._config.max_var_retries):
+            if feasible.is_empty():
+                break
+            system = DigitTransitionSystem(
+                feasible, max_digits=min(self._config.max_literal_digits,
+                                         len(str(feasible.max_value))),
+            )
+            attempt = yield from self._sample_literal(
+                system, ids, separator_id, name
+            )
+            if attempt is None:
+                break  # model had no admissible path; go force a value
+            value, new_ids = attempt
+            status = oracle.confirm_status(name, value)
+            if status == SAT:
+                oracle.fix(name, value)
+                return value, new_ids
+            if status == UNKNOWN_STATUS:
+                # Budget ran out mid-confirm (or a fault injector said so):
+                # the value is *not* refuted, but without confirmation we
+                # cannot emit it.  Drop it and keep sampling -- if the
+                # solver stays exhausted, the forced step below escalates
+                # via SolverBudgetExceeded to the record-level ladder.
+                self._trace.unknown_confirms += 1
+            self._trace.var_retries += 1
+            feasible = feasible.remove(value)
+        if strict:
+            # Optimistic phase: never force -- bail out to the SMT phase.
+            raise _StrictRetryExhausted(name)
+        # Forced fallback: take the solver's model value for this variable.
+        value = self._forced_value(oracle, name, feasible)
+        oracle.fix(name, value)
+        self._trace.solver_forced_vars += 1
+        literal_ids = [tokenizer.id_of(c) for c in str(value)] + [separator_id]
+        return value, ids + literal_ids
+
+    def _sample_literal(
+        self,
+        system: DigitTransitionSystem,
+        ids: List[int],
+        separator_id: int,
+        variable: str,
+    ) -> Generator[List[int], np.ndarray, Optional[Tuple[int, List[int]]]]:
+        """Sample one literal under transition-system masking."""
+        tokenizer = self._tokenizer
+        base_len = len(ids)
+
+        def mask_hook(prefix_ids: Sequence[int]):
+            # Memoized end-to-end: the admissible id set is a pure function
+            # of (feasible segments, digit cap, emitted suffix, separator),
+            # so repeats across steps/records skip the decode and the
+            # per-char id translation entirely.  (The char->id map itself
+            # is fixed: CharTokenizer has one static vocabulary.)
+            suffix = tuple(prefix_ids[base_len:])
+            key = (
+                system.feasible.segments,
+                system.max_digits,
+                suffix,
+                separator_id,
+            )
+            cached = _MASK_MEMO.get(key)
+            if cached is not None:
+                return cached
+            allowed_chars = system.allowed_next(tokenizer.decode(suffix))
+            allowed_ids = set()
+            for char in allowed_chars:
+                if char == SEPARATOR:
+                    allowed_ids.add(separator_id)
+                else:
+                    allowed_ids.add(tokenizer.id_of(char))
+            result = frozenset(allowed_ids)
+            if len(_MASK_MEMO) >= _MASK_MEMO_LIMIT:
+                _MASK_MEMO.clear()
+            _MASK_MEMO[key] = result
+            return result
+
+        try:
+            generated = yield from sample_steps(
+                tokenizer,
+                ids,
+                stop_id=separator_id,
+                max_new_tokens=system.max_digits + 1,
+                mask_hook=mask_hook,
+                temperature=self._config.temperature,
+                rng=self._rng,
+                trace=self._trace.sample,
+                on_token=self.emitted_ids.append,
+            )
+        except DeadEndError as exc:
+            self._trace.dead_ends += 1
+            logger.debug(
+                "dead end while sampling: %s", exc.with_context(variable=variable)
+            )
+            return None
+        if not generated or generated[-1] != separator_id:
+            return None  # ran out of budget without closing the literal
+        literal = tokenizer.decode(generated[:-1])
+        if not literal:
+            return None
+        return int(literal), ids + generated
+
+    def _forced_value(
+        self,
+        oracle: FeasibilityOracle,
+        name: str,
+        feasible: FeasibleSet,
+    ) -> int:
+        any_model = getattr(oracle, "any_model", None)
+        if any_model is not None:
+            return int(any_model()[name])
+        # Interval tier has no exact model; fall back to the feasible set.
+        if not feasible.is_empty():
+            return feasible.min_value
+        low, _ = self._bounds[name]
+        return low

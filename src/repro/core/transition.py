@@ -117,6 +117,13 @@ class DigitTransitionSystem:
     complete literal.
     """
 
+    # allowed_next(prefix) is a pure function of (segments, max_digits,
+    # prefix); literals are short and feasible sets repeat heavily across
+    # records, so a process-wide memo turns the per-token mask computation
+    # into a dict hit.  Bounded; cleared wholesale on overflow.
+    _MEMO: dict = {}
+    _MEMO_LIMIT = 1 << 16
+
     def __init__(self, feasible: FeasibleSet, max_digits: Optional[int] = None):
         if feasible.is_empty():
             raise ValueError("cannot build a transition system over nothing")
@@ -146,6 +153,18 @@ class DigitTransitionSystem:
 
     def allowed_next(self, prefix: str) -> Set[str]:
         """Characters admissible after ``prefix`` (possibly empty)."""
+        key = (self.feasible.segments, self.max_digits, prefix)
+        memo = DigitTransitionSystem._MEMO
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        allowed = self._allowed_next(prefix)
+        if len(memo) >= DigitTransitionSystem._MEMO_LIMIT:
+            memo.clear()
+        memo[key] = allowed
+        return allowed
+
+    def _allowed_next(self, prefix: str) -> Set[str]:
         allowed: Set[str] = set()
         if prefix == "":
             if self.feasible.contains(0):

@@ -5,11 +5,11 @@ protocol: a numpy decoder-only transformer (:class:`TransformerLM`) and a
 Witten-Bell n-gram model (:class:`NgramLM`) for benchmark-scale generation.
 """
 
-from .base import LanguageModel
+from .base import LanguageModel, batched_next_distributions
 from .checkpoint import load_ngram, load_transformer, save_ngram, save_transformer
 from .model import TransformerConfig, TransformerLM
 from .ngram import NgramLM
-from .sampler import DeadEndError, MaskHook, SampleTrace, sample_tokens
+from .sampler import DeadEndError, MaskHook, SampleTrace, sample_steps, sample_tokens
 from .tokenizer import (
     DIGITS,
     FIELD_SEP,
@@ -21,6 +21,7 @@ from .train import TrainConfig, TrainReport, evaluate_loss, make_batches, train_
 
 __all__ = [
     "LanguageModel",
+    "batched_next_distributions",
     "save_transformer",
     "load_transformer",
     "save_ngram",
@@ -34,6 +35,7 @@ __all__ = [
     "PROMPT_SEP",
     "RECORD_END",
     "sample_tokens",
+    "sample_steps",
     "SampleTrace",
     "MaskHook",
     "DeadEndError",

@@ -3,6 +3,12 @@
 LeJIT is model-agnostic (the paper swaps GPT-2 in and out freely): anything
 that maps a token prefix to a next-token distribution can be guided.  Both
 the numpy transformer and the n-gram model implement this protocol.
+
+The batched enforcement engine additionally wants one *batched* call per
+lock-step -- ``next_distributions`` maps B prefixes to a (B, V) matrix.
+Implementing it is optional: :func:`batched_next_distributions` dispatches
+to the model's native batched path when present and otherwise loops the
+single-prefix method, so third-party models keep working unchanged.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import numpy as np
 
 from .tokenizer import CharTokenizer
 
-__all__ = ["LanguageModel"]
+__all__ = ["LanguageModel", "batched_next_distributions"]
 
 
 @runtime_checkable
@@ -29,3 +35,26 @@ class LanguageModel(Protocol):
         sums to 1.  The prefix always starts with BOS.
         """
         ...
+
+
+def batched_next_distributions(
+    model: LanguageModel, batch_of_prefix_ids: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Next-token distributions for a batch of prefixes, shape (B, V).
+
+    Protocol-level fallback: models exposing ``next_distributions`` (the
+    transformer's padded batch forward, the n-gram's deduplicated lookup)
+    answer in one call; anything else is looped row by row, which keeps
+    every :class:`LanguageModel` usable under the batched engine.  Each
+    returned row is exactly what ``next_distribution`` would return for
+    that prefix, so batching never changes sampling behavior.
+    """
+    batched = getattr(model, "next_distributions", None)
+    if batched is not None:
+        return np.asarray(batched(batch_of_prefix_ids), dtype=np.float64)
+    return np.stack(
+        [
+            np.asarray(model.next_distribution(prefix), dtype=np.float64)
+            for prefix in batch_of_prefix_ids
+        ]
+    )

@@ -118,6 +118,44 @@ class TransformerLM(Module):
             logits = self.forward(ids).data[0, -1]
             if was_training:
                 self.train()
-        shifted = logits - logits.max()
+        return self._softmax(logits)
+
+    def next_distributions(
+        self, batch_of_prefix_ids: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Batched protocol: (B, V) next-token probabilities in one forward.
+
+        Prefixes are truncated to the context window, right-padded with PAD
+        to the longest row, and pushed through a single vectorized forward
+        pass; causal attention guarantees the padding can never influence
+        the logits at each row's last real position, which are the ones
+        gathered here.  One (B, T) matmul pipeline replaces B sequential
+        forwards -- the batching win the lock-step engine is built around.
+        """
+        if len(batch_of_prefix_ids) == 0:
+            return np.zeros((0, self.config.vocab_size), dtype=np.float64)
+        rows = [
+            np.asarray(prefix, dtype=np.int64)[-self.config.max_len :]
+            for prefix in batch_of_prefix_ids
+        ]
+        lengths = np.array([len(row) for row in rows], dtype=np.int64)
+        if np.any(lengths == 0):
+            raise ValueError("every prefix must contain at least BOS")
+        width = int(lengths.max())
+        ids = np.full((len(rows), width), self.tokenizer.pad_id, dtype=np.int64)
+        for index, row in enumerate(rows):
+            ids[index, : len(row)] = row
+        with no_grad():
+            was_training = self.training
+            self.eval()
+            logits = self.forward(ids).data
+            if was_training:
+                self.train()
+        last = logits[np.arange(len(rows)), lengths - 1]
+        return self._softmax(last)
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=-1, keepdims=True)
         exp = np.exp(shifted.astype(np.float64))
-        return exp / exp.sum()
+        return exp / exp.sum(axis=-1, keepdims=True)

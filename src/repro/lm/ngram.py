@@ -22,6 +22,11 @@ __all__ = ["NgramLM"]
 class NgramLM:
     """Interpolated (Witten-Bell) n-gram model over token ids."""
 
+    # Bound on the batched-path memo of context -> distribution; contexts
+    # are (order-1)-grams over a ~14-char alphabet, so real workloads stay
+    # far below this and the memo amounts to a full lookup table.
+    _DIST_CACHE_LIMIT = 65536
+
     def __init__(self, order: int = 6, tokenizer: CharTokenizer | None = None):
         if order < 1:
             raise ValueError("order must be >= 1")
@@ -32,6 +37,7 @@ class NgramLM:
             defaultdict(Counter) for _ in range(order)
         ]
         self._trained = False
+        self._dist_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def fit(self, texts: Iterable[str]) -> "NgramLM":
         """Count n-grams over records (each encoded with BOS, ending in \\n)."""
@@ -45,7 +51,41 @@ class NgramLM:
                     context = tuple(ids[position - k : position])
                     self._counts[k][context][token] += 1
         self._trained = True
+        self._dist_cache.clear()
         return self
+
+    def _context_key(self, prefix_ids: Sequence[int]) -> Tuple[int, ...]:
+        """The distribution depends only on the last ``order - 1`` ids."""
+        window = self.order - 1
+        return tuple(prefix_ids[-window:]) if window else ()
+
+    def next_distributions(
+        self, batch_of_prefix_ids: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Batched protocol: the n-gram analogue of a vectorized forward.
+
+        An n-gram "forward pass" is a table lookup, so the batch win is
+        deduplication: rows sharing an (order-1)-gram context -- the common
+        case under lock-step scheduling, where every lane sits at the same
+        field position -- are computed once and broadcast.  Computed rows
+        are memoized across steps (bounded), turning the hot loop into a
+        dictionary hit.  Each row is bitwise identical to what
+        ``next_distribution`` returns for that prefix.
+        """
+        out = np.empty(
+            (len(batch_of_prefix_ids), self.tokenizer.vocab_size),
+            dtype=np.float64,
+        )
+        for index, prefix in enumerate(batch_of_prefix_ids):
+            key = self._context_key(prefix)
+            cached = self._dist_cache.get(key)
+            if cached is None:
+                cached = self.next_distribution(prefix)
+                if len(self._dist_cache) >= self._DIST_CACHE_LIMIT:
+                    self._dist_cache.clear()
+                self._dist_cache[key] = cached
+            out[index] = cached
+        return out
 
     def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
         if not self._trained:

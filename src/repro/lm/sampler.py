@@ -4,6 +4,14 @@ The mask hook is LeJIT's seam: at every step the sampler asks the hook which
 token ids are admissible, renormalizes the model's distribution over them,
 and samples.  With no hook this is plain (vanilla) ancestral sampling.
 
+The core is :func:`sample_steps`, a *resumable generator*: it yields the
+current prefix ids whenever it needs a next-token distribution and receives
+the distribution via ``send``.  Inverting control like this lets the batched
+enforcement engine advance many generations in lock-step with one batched
+model call per step, while :func:`sample_tokens` remains the synchronous
+single-model driver over the very same code path -- both modes therefore
+sample byte-identically for the same rng stream.
+
 ``SampleTrace`` records, per step, whether the hook actually changed the
 model's choice -- the data behind the paper's "minimally invasive" claim.
 """
@@ -11,14 +19,15 @@ model's choice -- the data behind the paper's "minimally invasive" claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Generator, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..errors import DeadEnd
 from .base import LanguageModel
+from .tokenizer import CharTokenizer
 
-__all__ = ["MaskHook", "SampleTrace", "sample_tokens", "DeadEndError"]
+__all__ = ["MaskHook", "SampleTrace", "sample_tokens", "sample_steps", "DeadEndError"]
 
 # Given the prefix ids, return the set of admissible next ids (None = all).
 MaskHook = Callable[[Sequence[int]], Optional[Set[int]]]
@@ -28,6 +37,20 @@ MaskHook = Callable[[Sequence[int]], Optional[Set[int]]]
 # context fields (variable, emitted prefix, admissible-set size); see
 # :class:`repro.errors.DeadEnd`.
 DeadEndError = DeadEnd
+
+
+def _categorical(rng: np.random.Generator, probs: np.ndarray) -> int:
+    """One draw from an (unnormalized-ok) categorical via inverse CDF.
+
+    Equivalent in distribution to ``rng.choice(len(probs), p=probs)`` but
+    without its per-call validation overhead -- this sits on the per-token
+    hot path.  Deterministic given the rng stream.
+    """
+    cumulative = np.cumsum(probs)
+    index = int(
+        np.searchsorted(cumulative, rng.random() * cumulative[-1], side="right")
+    )
+    return min(index, len(cumulative) - 1)
 
 
 @dataclass
@@ -48,8 +71,8 @@ class SampleTrace:
         self.pruned_probability += other.pruned_probability
 
 
-def sample_tokens(
-    model: LanguageModel,
+def sample_steps(
+    tokenizer: CharTokenizer,
     prefix_ids: Sequence[int],
     stop_id: int,
     max_new_tokens: int,
@@ -58,37 +81,51 @@ def sample_tokens(
     top_k: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     trace: Optional[SampleTrace] = None,
-) -> List[int]:
-    """Ancestral sampling until ``stop_id`` (inclusive) or the length cap.
+    on_token: Optional[Callable[[int], None]] = None,
+) -> Generator[List[int], np.ndarray, List[int]]:
+    """Resumable ancestral sampling until ``stop_id`` or the length cap.
+
+    A generator that *yields* the current prefix ids each time it needs the
+    model's next-token distribution and expects that distribution back via
+    ``send``.  The generated ids are the generator's return value (read them
+    from ``StopIteration.value``, or via ``yield from``).
 
     ``temperature`` rescales log-probabilities; ``top_k`` truncates the
     distribution to the k most likely tokens before (re)normalizing --
     note top-k truncation composes with the mask hook, never overriding it.
-    Returns only the newly generated ids.  Special ids (PAD/BOS) are always
-    excluded from sampling.
+    Special ids (PAD/BOS) are always excluded from sampling.  ``on_token``
+    is invoked with every emitted token id (the engine's per-step char
+    reporting seam).
     """
     if top_k is not None and top_k < 1:
         raise ValueError("top_k must be a positive integer")
     rng = rng or np.random.default_rng()
     generated: List[int] = []
     ids = list(prefix_ids)
-    specials = {model.tokenizer.pad_id, model.tokenizer.bos_id}
+    specials = {tokenizer.pad_id, tokenizer.bos_id}
     for _ in range(max_new_tokens):
-        probs = np.array(model.next_distribution(ids), dtype=np.float64)
-        # Survive a misbehaving model (NaN/inf logits from a bad checkpoint
-        # or fault injection): non-finite mass is dropped, and a fully
-        # collapsed distribution becomes a typed DeadEnd, never NaN output.
-        if not np.all(np.isfinite(probs)):
-            probs = np.where(np.isfinite(probs), probs, 0.0)
+        received = yield ids
+        probs = np.array(received, dtype=np.float64)
+        # Clamp negatives and -inf; NaN/+inf propagate into the total and
+        # are caught below (one cheap finiteness check on the scalar sum
+        # instead of a per-element scan on the hot path).
         np.maximum(probs, 0.0, out=probs)
         for special in specials:
             probs[special] = 0.0
-        if probs.sum() <= 0:
+        total = float(probs.sum())
+        if not np.isfinite(total):
+            # Survive a misbehaving model (NaN/inf logits from a bad
+            # checkpoint or fault injection): non-finite mass is dropped,
+            # and a fully collapsed distribution becomes a typed DeadEnd,
+            # never NaN output.
+            probs = np.where(np.isfinite(probs), probs, 0.0)
+            total = float(probs.sum())
+        if total <= 0:
             # Checked *before* temperature rescaling, which would otherwise
             # resurrect the zeroed mass as a uniform distribution.
             raise DeadEndError(
                 "model distribution is all-zero after specials",
-                prefix=model.tokenizer.decode(generated),
+                prefix=tokenizer.decode(generated),
                 admissible=0,
             )
         if temperature != 1.0:
@@ -102,7 +139,7 @@ def sample_tokens(
         if total <= 0:
             raise DeadEndError(
                 "model distribution is all-zero after specials",
-                prefix=model.tokenizer.decode(generated),
+                prefix=tokenizer.decode(generated),
                 admissible=0,
             )
         probs /= total
@@ -111,42 +148,80 @@ def sample_tokens(
         if trace is not None:
             trace.steps += 1
         if allowed is not None:
-            mask = np.zeros_like(probs, dtype=bool)
-            for token in allowed:
-                if token not in specials:
-                    mask[token] = True
-            pruned_mass = float(probs[~mask].sum())
+            allowed_ids = [t for t in allowed if t not in specials]
+            allowed_mass = (
+                float(probs[allowed_ids].sum()) if allowed_ids else 0.0
+            )
+            # probs is normalized, so the pruned mass is the complement.
+            pruned_mass = 1.0 - allowed_mass
             if trace is not None:
                 if pruned_mass > 1e-12:
                     trace.masked_steps += 1
                     trace.pruned_probability += pruned_mass
-                if mask.sum() == 1:
+                if len(allowed_ids) == 1:
                     trace.forced_steps += 1
             # Was the model's own pick admissible?
-            pre_choice = int(rng.choice(len(probs), p=probs))
-            if mask[pre_choice]:
+            pre_choice = _categorical(rng, probs)
+            if pre_choice in allowed and pre_choice not in specials:
                 choice = pre_choice
             else:
                 if trace is not None:
                     trace.diverted_steps += 1
-                masked = probs * mask
-                remaining = masked.sum()
-                if remaining <= 0:
+                if not allowed_ids:
+                    raise DeadEndError(
+                        "mask hook admitted no token",
+                        prefix=tokenizer.decode(generated),
+                        admissible=0,
+                    )
+                masked = np.zeros_like(probs)
+                if allowed_mass > 0:
+                    masked[allowed_ids] = probs[allowed_ids]
+                else:
                     # The model puts zero mass on every admissible token:
                     # fall back to uniform over the admissible set.
-                    masked = mask.astype(np.float64)
-                    remaining = masked.sum()
-                    if remaining == 0:
-                        raise DeadEndError(
-                            "mask hook admitted no token",
-                            prefix=model.tokenizer.decode(generated),
-                            admissible=0,
-                        )
-                choice = int(rng.choice(len(probs), p=masked / remaining))
+                    masked[allowed_ids] = 1.0
+                choice = _categorical(rng, masked)
         else:
-            choice = int(rng.choice(len(probs), p=probs))
+            choice = _categorical(rng, probs)
         generated.append(choice)
         ids.append(choice)
+        if on_token is not None:
+            on_token(choice)
         if choice == stop_id:
             break
     return generated
+
+
+def sample_tokens(
+    model: LanguageModel,
+    prefix_ids: Sequence[int],
+    stop_id: int,
+    max_new_tokens: int,
+    mask_hook: Optional[MaskHook] = None,
+    temperature: float = 1.0,
+    top_k: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    trace: Optional[SampleTrace] = None,
+) -> List[int]:
+    """Synchronous driver over :func:`sample_steps` for a single model.
+
+    Returns only the newly generated ids.  This is the legacy single-prefix
+    entry point; the batched engine drives :func:`sample_steps` directly.
+    """
+    steps = sample_steps(
+        model.tokenizer,
+        prefix_ids,
+        stop_id=stop_id,
+        max_new_tokens=max_new_tokens,
+        mask_hook=mask_hook,
+        temperature=temperature,
+        top_k=top_k,
+        rng=rng,
+        trace=trace,
+    )
+    try:
+        request = next(steps)
+        while True:
+            request = steps.send(model.next_distribution(request))
+    except StopIteration as stop:
+        return stop.value

@@ -10,7 +10,12 @@ rule-compliant or explicitly flagged degraded.
 import numpy as np
 import pytest
 
-from repro.core import EnforcerConfig, JitEnforcer, LADDER_STAGES
+from repro.core import (
+    EnforcementEngine,
+    EnforcerConfig,
+    JitEnforcer,
+    LADDER_STAGES,
+)
 from repro.data import build_dataset
 from repro.errors import DeadEnd
 from repro.lm import NgramLM
@@ -184,6 +189,108 @@ class TestChaosDeterminism:
                 "faults": dict(injector.stats.fired),
             })
         assert runs[0] == runs[1]
+
+
+class TestChaosUnderEngine:
+    """The same robustness contract, batched: faults fire inside lanes of a
+    lock-step engine and must stay contained to their own slot."""
+
+    def test_batched_chaos_contract(self, setting):
+        dataset, model, rules = setting
+        enforcer, injector = _chaos_enforcer(
+            dataset, model, rules,
+            FaultConfig(
+                seed=7,
+                nan_logits=0.03,
+                zero_logits=0.05,
+                spurious_unknown=0.25,
+                forced_dead_end=0.08,
+                budget_exhaustion=0.10,
+            ),
+        )
+        engine = EnforcementEngine(enforcer, batch_size=4)
+        windows = dataset.test_windows()[:12]
+        results = engine.impute_many(
+            [w.coarse() for w in windows], return_exceptions=True
+        )
+        for window, outcome in zip(windows, results):
+            # Zero unhandled exceptions: the ladder absorbs every fault.
+            assert not isinstance(outcome, BaseException)
+            assert outcome.compliant or outcome.degraded
+            assert outcome.stage in LADDER_STAGES
+            for name, value in window.coarse().items():
+                assert outcome.values[name] == value
+        assert sum(injector.stats.fired.values()) > 0
+        assert sum(enforcer.trace.ladder.values()) == len(windows)
+
+    def test_total_solver_outage_under_engine(self, setting):
+        dataset, model, rules = setting
+        enforcer, _ = _chaos_enforcer(
+            dataset, model, rules, FaultConfig(seed=5, budget_exhaustion=1.0)
+        )
+        engine = EnforcementEngine(enforcer, batch_size=4)
+        results = engine.impute_many(
+            [w.coarse() for w in dataset.test_windows()[:8]],
+            return_exceptions=True,
+        )
+        assert all(not isinstance(o, BaseException) for o in results)
+        assert all(o.degraded for o in results)
+        assert engine.stats.completed == 8
+
+    def test_crashing_slot_never_perturbs_batch_mates(self, setting):
+        """A hard oracle crash in one session leaves every batch-mate
+        byte-identical to a fault-free run over the same submission list."""
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:8]]
+        poison = {"total": 77, "cong": 1, "retx": 0, "egr": 80}
+        prompts[3] = poison
+
+        class _PoisonOracle:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def begin_record(self, fixed=None):
+                if fixed and all(
+                    fixed.get(k) == v for k, v in poison.items()
+                ) and len(fixed) == len(poison):
+                    raise RuntimeError("injected oracle crash")
+                return self._inner.begin_record(fixed)
+
+            @property
+            def interval(self):
+                # The optimistic phase reaches the hybrid tier's interval
+                # sub-oracle directly; poison that seam too (mirrors
+                # FaultyOracle's nested wrapping).
+                return _PoisonOracle(self._inner.interval)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        def build(wrapper=None):
+            return JitEnforcer(
+                model,
+                rules,
+                dataset.config,
+                EnforcerConfig(seed=21),
+                fallback_rules=[domain_bound_rules(dataset.config)],
+                oracle_wrapper=wrapper,
+            )
+
+        clean_engine = EnforcementEngine(build(), batch_size=4)
+        clean = clean_engine.impute_many(prompts, return_exceptions=True)
+        poisoned_engine = EnforcementEngine(
+            build(lambda oracle: _PoisonOracle(oracle)), batch_size=4
+        )
+        poisoned = poisoned_engine.impute_many(prompts, return_exceptions=True)
+
+        assert isinstance(poisoned[3], RuntimeError)
+        for index in range(len(prompts)):
+            if index == 3:
+                continue
+            assert poisoned[index].values == clean[index].values
+            assert poisoned[index].stage == clean[index].stage
+        assert poisoned_engine.stats.failed == 1
+        assert poisoned_engine.stats.completed == len(prompts) - 1
 
 
 class TestFaultHarness:

@@ -137,3 +137,65 @@ class TestSequenceEnforcer:
             for a, b in zip(records, records[1:])
         ]
         assert all(d <= 10 for d in diffs), diffs
+
+
+class TestSequenceWaves:
+    """Batched wave scheduling across many sequences."""
+
+    def _enforcer(self, setting, seed=4):
+        dataset, model, per_record, temporal = setting
+        return SequenceEnforcer(
+            model, per_record, temporal, dataset.config,
+            EnforcerConfig(seed=seed),
+            fallback_rules=[zoom2net_manual_rules(dataset.config),
+                            domain_bound_rules(dataset.config)],
+        )
+
+    def test_impute_sequences_threads_context(self, setting):
+        dataset, *_ = setting
+        enforcer = self._enforcer(setting)
+        sequences = [rack.windows[:4] for rack in dataset.test_racks[:2]]
+        records = enforcer.impute_sequences(sequences, batch_size=4)
+        assert [len(r) for r in records] == [4, 4]
+        assert [len(o) for o in enforcer.last_sequence_outcomes] == [4, 4]
+        names = set(window_variables(dataset.config.window))
+        for sequence, outcomes in zip(
+            records, enforcer.last_sequence_outcomes
+        ):
+            for record, outcome in zip(sequence, outcomes):
+                assert set(record) == names
+                assert outcome.compliant or outcome.degraded
+            violations, temporal_violations = enforcer.audit_sequence(sequence)
+            fallback = enforcer.trace.fallback_records
+            assert violations <= fallback
+            assert temporal_violations <= fallback
+        assert enforcer.last_engine.stats.completed == 8
+
+    def test_impute_sequences_handles_ragged_lengths(self, setting):
+        dataset, *_ = setting
+        enforcer = self._enforcer(setting)
+        sequences = [
+            dataset.test_racks[0].windows[:5],
+            dataset.test_racks[1].windows[:2],
+        ]
+        records = enforcer.impute_sequences(sequences, batch_size=2)
+        assert [len(r) for r in records] == [5, 2]
+
+    def test_synthesize_sequences_shapes_and_audit(self, setting):
+        dataset, *_ = setting
+        enforcer = self._enforcer(setting, seed=6)
+        records = enforcer.synthesize_sequences(3, 4, batch_size=3)
+        assert [len(r) for r in records] == [4, 4, 4]
+        for sequence in records:
+            violations, temporal_violations = enforcer.audit_sequence(sequence)
+            assert violations <= enforcer.trace.fallback_records
+            assert temporal_violations <= enforcer.trace.fallback_records
+
+    def test_waves_are_deterministic(self, setting):
+        dataset, *_ = setting
+        sequences = [rack.windows[:3] for rack in dataset.test_racks[:2]]
+        runs = [
+            self._enforcer(setting).impute_sequences(sequences, batch_size=4)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

@@ -1,0 +1,112 @@
+"""Batched LM protocol tests: `next_distributions` must match row-wise
+`next_distribution` for every backend, and the protocol helper must fall
+back to a per-row loop for models that only implement the scalar method.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import build_dataset
+from repro.lm import CharTokenizer, NgramLM, TransformerConfig, TransformerLM
+from repro.lm.base import batched_next_distributions
+
+
+@pytest.fixture(scope="module")
+def ngram():
+    dataset = build_dataset(
+        num_train_racks=2, num_test_racks=1, windows_per_rack=20, seed=1
+    )
+    return NgramLM(order=5).fit(dataset.train_texts())
+
+
+@pytest.fixture(scope="module")
+def transformer():
+    tokenizer = CharTokenizer()
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, max_len=48, d_model=32, n_heads=2,
+        n_layers=2, seed=0,
+    )
+    return TransformerLM(config, tokenizer)
+
+
+def _prefixes(tokenizer, lengths=(1, 3, 7, 12)):
+    rng = np.random.default_rng(3)
+    out = []
+    for length in lengths:
+        ids = rng.integers(2, tokenizer.vocab_size, length)
+        out.append([int(i) for i in ids])
+    return out
+
+
+class TestNgramBatched:
+    def test_rows_bitwise_equal_to_scalar(self, ngram):
+        prefixes = _prefixes(ngram.tokenizer)
+        rows = ngram.next_distributions(prefixes)
+        assert len(rows) == len(prefixes)
+        for prefix, row in zip(prefixes, rows):
+            expected = ngram.next_distribution(prefix)
+            assert np.array_equal(np.asarray(row), np.asarray(expected))
+
+    def test_duplicate_prefixes_share_one_lookup(self, ngram):
+        prefix = _prefixes(ngram.tokenizer)[0]
+        rows = ngram.next_distributions([prefix] * 4)
+        reference = ngram.next_distribution(prefix)
+        for row in rows:
+            assert np.array_equal(np.asarray(row), np.asarray(reference))
+
+
+class TestTransformerBatched:
+    def test_padded_forward_matches_scalar(self, transformer):
+        """Ragged prefixes go through one padded (B, T) forward; each row
+        must match the unbatched forward on the same prefix."""
+        prefixes = _prefixes(transformer.tokenizer)
+        rows = transformer.next_distributions(prefixes)
+        assert len(rows) == len(prefixes)
+        for prefix, row in zip(prefixes, rows):
+            expected = transformer.next_distribution(prefix)
+            assert np.allclose(np.asarray(row), np.asarray(expected), atol=1e-6)
+
+    def test_single_row_batch(self, transformer):
+        prefix = _prefixes(transformer.tokenizer)[2]
+        (row,) = transformer.next_distributions([prefix])
+        assert np.allclose(
+            np.asarray(row),
+            np.asarray(transformer.next_distribution(prefix)),
+            atol=1e-6,
+        )
+
+
+class TestProtocolFallback:
+    def test_scalar_only_model_loops(self, ngram):
+        """A model exposing only `next_distribution` still serves batches
+        through the protocol helper, row-for-row identical."""
+
+        class ScalarOnly:
+            def __init__(self, inner):
+                self.tokenizer = inner.tokenizer
+                self._inner = inner
+                self.calls = 0
+
+            def next_distribution(self, prefix_ids):
+                self.calls += 1
+                return self._inner.next_distribution(prefix_ids)
+
+        wrapped = ScalarOnly(ngram)
+        prefixes = _prefixes(ngram.tokenizer)
+        rows = batched_next_distributions(wrapped, prefixes)
+        assert wrapped.calls == len(prefixes)
+        for prefix, row in zip(prefixes, rows):
+            assert np.array_equal(
+                np.asarray(row), np.asarray(ngram.next_distribution(prefix))
+            )
+
+    def test_batched_model_is_used_directly(self, ngram):
+        prefixes = _prefixes(ngram.tokenizer)
+        rows = batched_next_distributions(ngram, prefixes)
+        for prefix, row in zip(prefixes, rows):
+            assert np.array_equal(
+                np.asarray(row), np.asarray(ngram.next_distribution(prefix))
+            )
+
+    def test_empty_batch(self, ngram):
+        assert len(batched_next_distributions(ngram, [])) == 0
