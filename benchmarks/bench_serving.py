@@ -1,0 +1,56 @@
+"""Serving benchmark: open-loop Poisson load against the scheduler.
+
+Measures end-to-end request latency (queueing included) at fixed offered
+loads, pairing ``wave`` and ``continuous`` admission over identical
+arrival schedules and per-request seeds -- the p99 gap between the two is
+exactly what mid-flight admission buys.  Runs the in-process harness from
+:mod:`repro.serve.harness`; no HTTP, no pytest, no third-party deps::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --loads 300 600 --requests 150 --out BENCH_serving.json
+
+``python -m repro.cli bench-serving`` is the same harness behind the CLI.
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.serve import format_report, run_serving_bench
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serving.json")
+    )
+    parser.add_argument(
+        "--loads", type=float, nargs="+", default=[300.0, 600.0],
+        help="offered loads in requests/sec (one run per load per policy)",
+    )
+    parser.add_argument("--lanes", type=int, nargs="+", default=[4])
+    parser.add_argument(
+        "--requests", type=int, default=150,
+        help="requests replayed per configuration",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="optional per-request deadline in milliseconds",
+    )
+    args = parser.parse_args()
+    report = run_serving_bench(
+        offered_loads=args.loads,
+        lane_counts=args.lanes,
+        requests=args.requests,
+        seed=args.seed,
+        timeout_ms=args.timeout_ms,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(format_report(report))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

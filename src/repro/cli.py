@@ -8,9 +8,13 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli impute   --model model.json --rules rules.json \
                                  --total 100 --cong 3 --retx 1 --egr 100
     python -m repro.cli synth    --model model.json --rules rules.json -n 10
+    python -m repro.cli serve    --model model.json --rules rules.json \
+                                 --port 8080 --lanes 4
+    python -m repro.cli bench-serving --out BENCH_serving.json
 
 The model format is the n-gram JSON checkpoint (fast to train anywhere);
-datasets are one JSON record per line.
+datasets are one JSON record per line.  Diagnostics go to stderr as
+single-line ``key=value`` records; stdout stays pure JSON for scripting.
 """
 
 from __future__ import annotations
@@ -44,6 +48,28 @@ from .rules import (
 from .rules.io import load_rules, save_rules
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (lanes, batch sizes...)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for capacities where 0 means disabled."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,13 +108,65 @@ def build_parser() -> argparse.ArgumentParser:
     synth_cmd = sub.add_parser("synth", help="generate synthetic records")
     synth_cmd.add_argument("--model", required=True, type=Path)
     synth_cmd.add_argument("--rules", required=True, type=Path)
-    synth_cmd.add_argument("-n", "--count", type=int, default=5)
+    synth_cmd.add_argument("-n", "--count", type=_positive_int, default=5)
     synth_cmd.add_argument("--seed", type=int, default=0)
     synth_cmd.add_argument(
-        "--batch-size", type=int, default=1,
+        "--batch-size", type=_positive_int, default=1,
         help="records generated per lock-step batch (1 = legacy serial path)",
     )
     _add_budget_args(synth_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the continuous-batching HTTP serving front end"
+    )
+    serve_cmd.add_argument("--model", required=True, type=Path)
+    serve_cmd.add_argument("--rules", required=True, type=Path)
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (0 = pick an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--lanes", type=_positive_int, default=4,
+        help="concurrent enforcement lanes in the scheduler",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth", type=_positive_int, default=64,
+        help="admission queue capacity before 429 backpressure",
+    )
+    serve_cmd.add_argument(
+        "--admit-policy", choices=["continuous", "wave"], default="continuous",
+        help="mid-flight admission (continuous) or wave barriers (wave)",
+    )
+    serve_cmd.add_argument(
+        "--cache-entries", type=_nonnegative_int, default=None,
+        help="oracle cache capacity (0 disables the cache)",
+    )
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    _add_budget_args(serve_cmd)
+
+    bench_cmd = sub.add_parser(
+        "bench-serving", help="open-loop Poisson load benchmark of the server"
+    )
+    bench_cmd.add_argument(
+        "--out", type=Path, default=Path("BENCH_serving.json")
+    )
+    bench_cmd.add_argument(
+        "--loads", type=float, nargs="+", default=[300.0, 600.0],
+        help="offered loads in requests/sec (one run per load per policy)",
+    )
+    bench_cmd.add_argument(
+        "--lanes", type=_positive_int, nargs="+", default=[4]
+    )
+    bench_cmd.add_argument(
+        "--requests", type=_positive_int, default=150,
+        help="requests replayed per configuration",
+    )
+    bench_cmd.add_argument("--seed", type=int, default=7)
+    bench_cmd.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="optional per-request deadline in milliseconds",
+    )
     return parser
 
 
@@ -144,9 +222,10 @@ def _enforcer_config_from(args) -> EnforcerConfig:
 def _report_degradations(
     enforcer: JitEnforcer, engine: Optional[EnforcementEngine] = None
 ) -> None:
-    # stderr keeps stdout pure JSON for scripting.
+    # stderr keeps stdout pure JSON for scripting; each summary is a
+    # single-line key=value record so log scrapers need no custom parser.
     print(
-        "degradation: " + enforcer.trace.degradation_summary(),
+        "degradation " + enforcer.trace.degradation_summary(),
         file=sys.stderr,
     )
     trace = enforcer.trace
@@ -158,9 +237,9 @@ def _report_degradations(
             trace.records / trace.wall_time if trace.wall_time > 0 else 0.0
         )
         cache = enforcer.oracle_cache
-    line = f"throughput: {throughput:.1f} records/sec"
+    line = f"throughput records_per_sec={throughput:.1f}"
     if cache is not None:
-        line += f", oracle cache hit-rate {cache.hit_rate():.2f}"
+        line += f" oracle_cache_hit_rate={cache.hit_rate():.4f}"
     print(line, file=sys.stderr)
 
 
@@ -282,12 +361,65 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ContinuousBatchingScheduler, ServingServer
+
+    config = TelemetryConfig()
+    model = load_ngram(args.model)
+    rules = load_rules(args.rules)
+    enforcer = JitEnforcer(
+        model, rules, config, _enforcer_config_from(args),
+        fallback_rules=[zoom2net_manual_rules(config), domain_bound_rules(config)],
+    )
+    scheduler = ContinuousBatchingScheduler(
+        enforcer,
+        lanes=args.lanes,
+        queue_depth=args.queue_depth,
+        admit_policy=args.admit_policy,
+        cache_entries=args.cache_entries,
+    )
+    server = ServingServer(scheduler, host=args.host, port=args.port)
+    host, port = server.address
+    # Single-line key=value records on stderr: scrapable, stdout untouched.
+    print(
+        f"serving host={host} port={port} lanes={args.lanes} "
+        f"queue_depth={args.queue_depth} admit_policy={args.admit_policy}",
+        file=sys.stderr,
+        flush=True,
+    )
+    with server:
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            print("serving shutdown=graceful-drain", file=sys.stderr)
+    print(scheduler.summary_line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_serving(args) -> int:
+    from .serve import format_report, run_serving_bench
+
+    report = run_serving_bench(
+        offered_loads=args.loads,
+        lane_counts=args.lanes,
+        requests=args.requests,
+        seed=args.seed,
+        timeout_ms=args.timeout_ms,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(format_report(report))
+    print(f"bench_serving out={args.out}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "dataset": _cmd_dataset,
     "train": _cmd_train,
     "mine": _cmd_mine,
     "impute": _cmd_impute,
     "synth": _cmd_synth,
+    "serve": _cmd_serve,
+    "bench-serving": _cmd_bench_serving,
 }
 
 

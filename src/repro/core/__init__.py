@@ -12,8 +12,9 @@ from .enforcer import (
     EnforcementTrace,
     JitEnforcer,
     RecordOutcome,
+    record_rng,
 )
-from .engine import EnforcementEngine, EngineStats, RecordRequest
+from .engine import EnforcementEngine, EngineStats, LanePool, RecordRequest
 from .feasible import (
     FeasibilityOracle,
     HybridOracle,
@@ -44,7 +45,9 @@ __all__ = [
     "LADDER_STAGES",
     "EnforcementEngine",
     "EngineStats",
+    "LanePool",
     "RecordRequest",
+    "record_rng",
     "EnforcementSession",
     "Lane",
     "OracleCache",

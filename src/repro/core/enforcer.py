@@ -61,9 +61,25 @@ __all__ = [
     "JitEnforcer",
     "RecordOutcome",
     "LADDER_STAGES",
+    "record_rng",
 ]
 
 _ORACLES = {"hybrid": HybridOracle, "smt": SmtOracle, "interval": IntervalOracle}
+
+
+def record_rng(seed: Optional[int], index: int = 0) -> np.random.Generator:
+    """The private random stream record ``index`` gets under ``seed``.
+
+    This is the determinism contract shared by every driver: the
+    synchronous enforcer, the batched engine, and the serving scheduler all
+    derive record streams the same way, so a record generated anywhere is
+    byte-identical to the serial path given the same (seed, index).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )
 
 
 class JitEnforcer:
@@ -159,11 +175,7 @@ class JitEnforcer:
         """
         index = self._record_counter
         self._record_counter += 1
-        if self._rng_entropy is None:
-            return np.random.default_rng()
-        return np.random.default_rng(
-            np.random.SeedSequence(self._rng_entropy, spawn_key=(index,))
-        )
+        return record_rng(self._rng_entropy, index)
 
     # -- record-level API ------------------------------------------------------
 
@@ -239,15 +251,26 @@ class JitEnforcer:
         prompt_text: str,
         variables: Sequence[str],
         lane: Optional[Lane] = None,
+        rng: Optional[np.random.Generator] = None,
+        checkpoint: Optional[Callable[[], None]] = None,
     ) -> EnforcementSession:
-        """A resumable session for one record (the engine's entry point)."""
+        """A resumable session for one record (the engine's entry point).
+
+        ``rng`` overrides the enforcer's submission-indexed stream -- the
+        serving scheduler passes per-request streams (see
+        :func:`record_rng`) so a request's output is independent of what
+        else the server happens to be running.  ``checkpoint`` is called at
+        every suspension boundary; raising from it aborts just this session
+        (deadline/cancellation enforcement).
+        """
         return EnforcementSession(
             self,
             lane or self._lane,
             fixed,
             prompt_text,
             variables,
-            rng=self._next_rng(),
+            rng=rng if rng is not None else self._next_rng(),
+            checkpoint=checkpoint,
         )
 
     def _generate_record(

@@ -40,7 +40,61 @@ from .enforcer import JitEnforcer
 from .feasible import OracleCache
 from .session import EnforcementSession, Lane, RecordOutcome
 
-__all__ = ["EnforcementEngine", "EngineStats", "RecordRequest"]
+__all__ = ["EnforcementEngine", "EngineStats", "LanePool", "RecordRequest"]
+
+
+class LanePool:
+    """A fixed pool of isolated oracle lanes sharing one oracle cache.
+
+    Extracted from :class:`EnforcementEngine` so that every batched driver
+    -- the offline lock-step engine here and the continuous-batching
+    serving scheduler in :mod:`repro.serve.scheduler` -- builds its
+    concurrency substrate the same way: ``size`` independent lanes (solver
+    state never shared across concurrent sessions) over one shared
+    prefix-keyed :class:`~repro.core.feasible.OracleCache` and pooled
+    solvers.  Pass ``solver_pool=0`` or ``cache_entries=0`` to opt out of
+    pooling/caching (the legacy per-record behavior).
+    """
+
+    def __init__(
+        self,
+        enforcer: JitEnforcer,
+        size: int,
+        solver_pool: Optional[int] = 64,
+        cache_entries: Optional[int] = None,
+    ):
+        if size < 1:
+            raise ValueError("lane pool size must be >= 1")
+        self.enforcer = enforcer
+        self.size = size
+        if enforcer.oracle_cache is not None:
+            self.cache: Optional[OracleCache] = enforcer.oracle_cache
+        else:
+            entries = (
+                OracleCache.DEFAULT_ENTRIES
+                if cache_entries is None
+                else cache_entries
+            )
+            self.cache = OracleCache(entries) if entries else None
+        self.lanes: List[Lane] = [
+            enforcer._build_lane(cache=self.cache, pool_reuse=solver_pool)
+            for _ in range(size)
+        ]
+
+    def solver_work(self) -> Dict[str, int]:
+        """Aggregate deterministic solver counters across every lane.
+
+        Lane meters are cumulative since construction, so recomputing the
+        sum each time is idempotent (mirrors the synchronous enforcer's
+        "overwrite with the meter snapshot" semantics).
+        """
+        totals: Counter = Counter(self.enforcer.meter.snapshot())
+        for lane in self.lanes:
+            totals.update(lane.meter.snapshot())
+        return dict(totals)
+
+    def cache_stats(self) -> Optional[Dict[str, float]]:
+        return self.cache.stats() if self.cache is not None else None
 
 
 @dataclass
@@ -89,11 +143,18 @@ _Slot = Optional[Tuple[int, EnforcementSession, List[int]]]
 class EnforcementEngine:
     """Drives N enforcement sessions in lock-step over one enforcer.
 
-    The engine builds its own lanes from the enforcer's factory, with
+    The engine builds a :class:`LanePool` from the enforcer's factory, with
     solver pooling and the shared oracle cache switched ON (they default
     OFF in :class:`~repro.core.session.EnforcerConfig` to keep the legacy
-    single-record path byte-for-byte unchanged).  Pass ``solver_pool=0`` or
+    single-record path byte-for-byte unchanged).  ``cache_entries=None``
+    takes :attr:`OracleCache.DEFAULT_ENTRIES`; pass ``solver_pool=0`` or
     ``cache_entries=0`` to opt out.
+
+    Within one :meth:`run` the slot refill is already continuous (a freed
+    slot takes the next queued request mid-flight); the *wave barrier* is
+    at the API boundary -- the whole workload is fixed up front and
+    :meth:`run` only returns when all of it has drained.  The serving
+    scheduler (:mod:`repro.serve.scheduler`) lifts exactly that barrier.
     """
 
     def __init__(
@@ -101,23 +162,24 @@ class EnforcementEngine:
         enforcer: JitEnforcer,
         batch_size: int = 8,
         solver_pool: Optional[int] = 64,
-        cache_entries: Optional[int] = 65536,
+        cache_entries: Optional[int] = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.enforcer = enforcer
         self.batch_size = batch_size
-        if enforcer.oracle_cache is not None:
-            self.cache: Optional[OracleCache] = enforcer.oracle_cache
-        elif cache_entries:
-            self.cache = OracleCache(cache_entries)
-        else:
-            self.cache = None
-        self._lanes: List[Lane] = [
-            enforcer._build_lane(cache=self.cache, pool_reuse=solver_pool)
-            for _ in range(batch_size)
-        ]
+        self.pool = LanePool(
+            enforcer,
+            batch_size,
+            solver_pool=solver_pool,
+            cache_entries=cache_entries,
+        )
+        self._lanes = self.pool.lanes
         self.stats = EngineStats()
+
+    @property
+    def cache(self) -> Optional[OracleCache]:
+        return self.pool.cache
 
     # -- work submission -------------------------------------------------------
 
@@ -238,16 +300,7 @@ class EnforcementEngine:
         return results  # type: ignore[return-value]
 
     def _publish_solver_work(self) -> None:
-        """Aggregate deterministic solver counters across every lane.
-
-        Lane meters are cumulative since construction, so recomputing the
-        sum each run is idempotent (mirrors the synchronous enforcer's
-        "overwrite with the meter snapshot" semantics).
-        """
-        totals: Counter = Counter(self.enforcer.meter.snapshot())
-        for lane in self._lanes:
-            totals.update(lane.meter.snapshot())
-        merged = dict(totals)
+        merged = self.pool.solver_work()
         self.enforcer.trace.solver_work = merged
         self.stats.solver_work = merged
 
@@ -255,5 +308,5 @@ class EnforcementEngine:
         """Operator-facing snapshot: throughput + cache effectiveness."""
         out = self.stats.snapshot()
         out["batch_size"] = self.batch_size
-        out["cache"] = self.cache.snapshot() if self.cache is not None else None
+        out["cache"] = self.pool.cache_stats()
         return out

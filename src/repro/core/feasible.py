@@ -88,11 +88,16 @@ class OracleCache:
     set)``, which is only stable while the owner keeps the rule sets alive.
     """
 
-    def __init__(self, max_entries: int = 65536):
+    #: Default FIFO capacity, used by the engine and the serving scheduler
+    #: when the caller does not configure one explicitly.
+    DEFAULT_ENTRIES = 65536
+
+    def __init__(self, max_entries: int = DEFAULT_ENTRIES):
         self.max_entries = max(1, int(max_entries))
         self._data: Dict[Tuple, object] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, key: Tuple):
         entry = self._data.get(key)
@@ -106,7 +111,11 @@ class OracleCache:
         if len(self._data) >= self.max_entries and key not in self._data:
             # FIFO eviction: drop the oldest insertion (dicts are ordered).
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
         self._data[key] = value
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._data
 
     def __len__(self) -> int:
         return len(self._data)
@@ -115,13 +124,19 @@ class OracleCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, float]:
+        """Operator-facing counters (served verbatim by ``GET /metrics``)."""
         return {
             "entries": len(self._data),
+            "capacity": self.max_entries,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": round(self.hit_rate(), 4),
         }
+
+    # Backwards-compatible alias (pre-serving callers used snapshot()).
+    snapshot = stats
 
 
 def residualize(formula: Formula, fixed: Mapping[str, int]) -> Formula:

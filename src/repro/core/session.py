@@ -205,18 +205,30 @@ class EnforcementTrace:
         }
 
     def degradation_summary(self) -> str:
-        """One operator-facing line: ladder usage + budget counters."""
-        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.ladder.items()))
-        work = ", ".join(f"{k}={v}" for k, v in self.solver_work.items() if v)
-        return (
-            f"records={self.records} degraded={self.degraded_records} "
-            f"stages[{stages or 'none'}] "
-            f"budget[exhausted={self.budget_exhaustions} "
-            f"retries={self.budget_retries}] "
-            f"dead_ends={self.dead_ends} "
-            f"unknown_confirms={self.unknown_confirms} "
-            f"solver[{work or 'idle'}]"
+        """One operator-facing line of ``key=value`` pairs.
+
+        The format is deliberately machine-parseable (single line, no
+        brackets, ``key=value`` tokens separated by single spaces) so the
+        serving load harness and log scrapers can consume it with a split.
+        """
+        pairs = [
+            ("records", self.records),
+            ("degraded", self.degraded_records),
+        ]
+        for stage, count in sorted(self.ladder.items()):
+            pairs.append((f"stage.{stage}", count))
+        pairs.extend(
+            [
+                ("budget_exhausted", self.budget_exhaustions),
+                ("budget_retries", self.budget_retries),
+                ("dead_ends", self.dead_ends),
+                ("unknown_confirms", self.unknown_confirms),
+            ]
         )
+        for name, value in self.solver_work.items():
+            if value:
+                pairs.append((f"solver.{name}", value))
+        return " ".join(f"{key}={value}" for key, value in pairs)
 
 
 @dataclass
@@ -268,9 +280,16 @@ class EnforcementSession:
         prompt_text: str,
         variables: Sequence[str],
         rng: np.random.Generator,
+        checkpoint: Optional[Callable[[], None]] = None,
     ):
         self._owner = owner
         self._lane = lane
+        # Lifecycle checkpoint: called at every suspension boundary (before
+        # each resume).  The serving scheduler uses it to abort a session
+        # whose request was cancelled or blew its deadline -- the raised
+        # exception is captured like any other per-session failure, so
+        # batch-mates are untouched and the lane is immediately reusable.
+        self._checkpoint = checkpoint
         self._config: EnforcerConfig = owner.config
         self._bounds: Dict[str, Tuple[int, int]] = owner.bounds
         self._trace: EnforcementTrace = owner.trace
@@ -308,6 +327,8 @@ class EnforcementSession:
 
     def _advance(self, resume: Callable[[], List[int]]) -> Request:
         try:
+            if self._checkpoint is not None:
+                self._checkpoint()
             return resume()
         except StopIteration as stop:
             self._finish(stop.value)

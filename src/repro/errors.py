@@ -31,6 +31,10 @@ __all__ = [
     "DeadEnd",
     "InfeasibleRecord",
     "DegradedResult",
+    "QueueFull",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "ServerClosed",
 ]
 
 
@@ -128,3 +132,30 @@ class DegradedResult(ReproError):
     def __init__(self, message: str, outcome: Any = None):
         self.outcome = outcome
         super().__init__(message)
+
+
+# -- serving lifecycle failures (see repro.serve) ---------------------------
+
+
+class QueueFull(ReproError):
+    """Admission refused: the serving queue is at its configured depth.
+
+    The HTTP front end maps this to ``429 Too Many Requests`` -- explicit
+    backpressure instead of unbounded buffering.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline passed before its records finished.
+
+    Raised inside the owning sessions at their next suspension checkpoint
+    (never in batch-mates) and mapped to ``504`` by the HTTP front end.
+    """
+
+
+class RequestCancelled(ReproError):
+    """A request was cancelled by its submitter before completion."""
+
+
+class ServerClosed(ReproError):
+    """The scheduler is shut down (or draining) and accepts no new work."""

@@ -1,0 +1,56 @@
+"""repro.serve: an always-on serving layer over the batched engine.
+
+Turns the offline lock-step :class:`~repro.core.engine.EnforcementEngine`
+into a service that takes live traffic:
+
+* :class:`ContinuousBatchingScheduler` -- engine lanes with mid-flight
+  admission (no wave barriers), priorities, per-request seeds, deadlines,
+  cancellation, and graceful drain;
+* :class:`AdmissionQueue` -- bounded depth with explicit 429-style
+  backpressure;
+* :class:`ServingServer` -- a stdlib-only HTTP front end
+  (``POST /v1/impute``, ``POST /v1/synthesize``, ``GET /healthz``,
+  ``GET /metrics``);
+* :class:`ServeClient` -- the matching zero-dependency client;
+* :func:`run_serving_bench` -- the open-loop Poisson load harness behind
+  ``BENCH_serving.json``.
+
+Start one from the CLI with ``python -m repro.cli serve`` (see README,
+"Serving").
+"""
+
+from .client import ServeClient, ServeClientError
+from .harness import format_report, run_serving_bench
+from .http import ServingServer
+from .queue import AdmissionQueue
+from .scheduler import ContinuousBatchingScheduler
+from .types import (
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    RequestSpec,
+    ServeRequest,
+    ServeResult,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "ContinuousBatchingScheduler",
+    "ServingServer",
+    "ServeClient",
+    "ServeClientError",
+    "RequestSpec",
+    "ServeRequest",
+    "ServeResult",
+    "run_serving_bench",
+    "format_report",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "EXPIRED",
+]

@@ -1,0 +1,127 @@
+"""Stdlib HTTP client for the serving API (used by the load harness & CI).
+
+Maps the server's status codes back onto the typed error taxonomy, so a
+caller handles backpressure and deadlines the same way whether it talks to
+an in-process scheduler or a remote server::
+
+    client = ServeClient("127.0.0.1", 8080)
+    try:
+        reply = client.impute({"total": 50, "cong": 0, "retx": 0, "egr": 50},
+                              seed=13, timeout_ms=2000)
+    except QueueFull:          # 429 -- back off and retry
+        ...
+    except DeadlineExceeded:   # 504 -- the request blew its deadline
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional
+
+from ..errors import (
+    DeadlineExceeded,
+    InfeasibleRecord,
+    QueueFull,
+    ReproError,
+    ServerClosed,
+)
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ReproError):
+    """An HTTP-level failure that maps to no more specific typed error."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+_STATUS_ERRORS = {
+    429: QueueFull,
+    504: DeadlineExceeded,
+    422: InfeasibleRecord,
+    503: ServerClosed,
+}
+
+
+class ServeClient:
+    """Blocking JSON client over :mod:`urllib` (zero dependencies)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- API calls -------------------------------------------------------------
+
+    def impute(
+        self,
+        coarse: Mapping[str, int],
+        context: Optional[Mapping[str, int]] = None,
+        seed: Optional[int] = None,
+        priority: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict:
+        payload: Dict[str, object] = {"coarse": dict(coarse)}
+        _put_optional(payload, context=context, seed=seed,
+                      priority=priority, timeout_ms=timeout_ms)
+        return self._request("POST", "/v1/impute", payload)
+
+    def synthesize(
+        self,
+        count: int = 1,
+        context: Optional[Mapping[str, int]] = None,
+        seed: Optional[int] = None,
+        priority: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict:
+        payload: Dict[str, object] = {"count": count}
+        _put_optional(payload, context=context, seed=seed,
+                      priority=priority, timeout_ms=timeout_ms)
+        return self._request("POST", "/v1/synthesize", payload)
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read())
+        except urllib.error.HTTPError as exc:
+            detail = _error_detail(exc)
+            error_cls = _STATUS_ERRORS.get(exc.code)
+            if error_cls is not None:
+                raise error_cls(detail) from None
+            raise ServeClientError(exc.code, detail) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(0, f"cannot reach server: {exc.reason}")
+
+
+def _put_optional(payload: Dict[str, object], **fields) -> None:
+    for key, value in fields.items():
+        if value is not None:
+            payload[key] = dict(value) if key == "context" else value
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    try:
+        return json.loads(exc.read()).get("error", exc.reason)
+    except Exception:  # noqa: BLE001 -- any malformed body falls back
+        return str(exc.reason)

@@ -1,0 +1,252 @@
+"""Open-loop Poisson load harness for the serving scheduler.
+
+Replays a fixed arrival schedule (exponential inter-arrival gaps, i.e. a
+Poisson process at the offered rate) against an in-process
+:class:`~repro.serve.scheduler.ContinuousBatchingScheduler` and measures
+end-to-end request latency -- queueing included, which is the entire
+point: open-loop load does not slow down when the server does, so the
+latency distribution honestly reflects saturation.
+
+Every (lanes, offered-load) point runs once per admission policy with the
+*same* arrival schedule and the same per-request seeds, so the
+``wave``-vs-``continuous`` comparison is paired: identical records at
+identical times; only the admission discipline differs.  Process-wide
+memos are cleared before every run so no configuration inherits another's
+warm caches.
+
+The report feeds ``BENCH_serving.json`` (see ``benchmarks/bench_serving.py``
+and ``python -m repro.cli bench-serving``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import EnforcerConfig, JitEnforcer
+from ..core import session as _session_module
+from ..core.transition import DigitTransitionSystem
+from ..data import build_dataset
+from ..errors import QueueFull
+from ..lm import NgramLM
+from ..rules import domain_bound_rules, paper_rules
+from .scheduler import ContinuousBatchingScheduler
+from .types import DONE, EXPIRED, RequestSpec, ServeRequest
+
+__all__ = ["run_serving_bench", "format_report"]
+
+
+def _clear_process_memos(model) -> None:
+    """Reset cross-configuration memos so runs are comparable."""
+    cache = getattr(model, "_dist_cache", None)
+    if cache is not None:
+        cache.clear()
+    DigitTransitionSystem._MEMO.clear()
+    _session_module._MASK_MEMO.clear()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _build_setting(seed: int):
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=40, seed=seed
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    rules = paper_rules(dataset.config)
+    fallback = [domain_bound_rules(dataset.config)]
+    prompts = [w.coarse() for w in dataset.test_windows()[:8]]
+    return dataset, model, rules, fallback, prompts
+
+
+def _run_one(
+    model,
+    rules,
+    fallback,
+    config,
+    prompts,
+    arrivals: Sequence[float],
+    lanes: int,
+    policy: str,
+    queue_depth: int,
+    timeout_ms: Optional[float],
+) -> Dict[str, object]:
+    """One measured run: replay ``arrivals`` and collect the distribution."""
+    _clear_process_memos(model)
+    enforcer = JitEnforcer(
+        model, rules, config, EnforcerConfig(seed=29), fallback_rules=fallback
+    )
+    scheduler = ContinuousBatchingScheduler(
+        enforcer, lanes=lanes, queue_depth=queue_depth, admit_policy=policy
+    )
+    handles: List[Optional[ServeRequest]] = []
+    rejected = 0
+    with scheduler:
+        start = time.monotonic()
+        for index, offset in enumerate(arrivals):
+            delay = start + offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            spec = RequestSpec(
+                "impute",
+                coarse=prompts[index % len(prompts)],
+                seed=1000 + index,
+                timeout_ms=timeout_ms,
+            )
+            try:
+                handles.append(scheduler.submit(spec))
+            except QueueFull:
+                rejected += 1
+                handles.append(None)
+        for handle in handles:
+            if handle is not None:
+                handle.wait(timeout=120)
+        metrics = scheduler.metrics()
+    latencies = sorted(
+        handle.latency_ms
+        for handle in handles
+        if handle is not None and handle.status == DONE
+    )
+    completed = len(latencies)
+    expired = sum(
+        1 for h in handles if h is not None and h.status == EXPIRED
+    )
+    finish_times = [
+        h.finished_at
+        for h in handles
+        if h is not None and h.finished_at is not None
+    ]
+    makespan = (max(finish_times) - start) if finish_times else 0.0
+    entry: Dict[str, object] = {
+        "lanes": lanes,
+        "policy": policy,
+        "offered_rps": None,  # filled by the caller
+        "requests": len(arrivals),
+        "completed": completed,
+        "rejected": rejected,
+        "expired": expired,
+        "failed": len(arrivals) - completed - rejected - expired,
+        "throughput_rps": round(completed / makespan, 2) if makespan else 0.0,
+        "lane_occupancy": metrics["lm"]["lane_occupancy"],
+        "cache_hit_rate": (metrics["oracle_cache"] or {}).get("hit_rate"),
+    }
+    if latencies:
+        entry.update(
+            p50_ms=round(_percentile(latencies, 0.50), 2),
+            p99_ms=round(_percentile(latencies, 0.99), 2),
+            mean_ms=round(sum(latencies) / completed, 2),
+            max_ms=round(latencies[-1], 2),
+        )
+    return entry
+
+
+def run_serving_bench(
+    offered_loads: Sequence[float] = (300.0, 600.0),
+    lane_counts: Sequence[int] = (4,),
+    policies: Sequence[str] = ("wave", "continuous"),
+    requests: int = 150,
+    seed: int = 7,
+    timeout_ms: Optional[float] = None,
+) -> Dict[str, object]:
+    """Throughput vs latency across offered loads, lane counts, policies.
+
+    Returns a JSON-able report with one entry per configuration plus a
+    paired wave-vs-continuous p99 comparison per (lanes, load) point.
+    """
+    dataset, model, rules, fallback, prompts = _build_setting(seed)
+
+    # Warm pass outside timing: touch every code path once.
+    warm = JitEnforcer(
+        model, rules, dataset.config, EnforcerConfig(seed=3),
+        fallback_rules=fallback,
+    )
+    for prompt in prompts[:4]:
+        warm.impute_record(prompt)
+
+    rng = np.random.default_rng(seed)
+    schedules = {
+        rate: np.cumsum(rng.exponential(1.0 / rate, size=requests)).tolist()
+        for rate in offered_loads
+    }
+
+    configs: List[Dict[str, object]] = []
+    comparisons: List[Dict[str, object]] = []
+    for lanes in lane_counts:
+        for rate in offered_loads:
+            by_policy: Dict[str, Dict[str, object]] = {}
+            for policy in policies:
+                entry = _run_one(
+                    model,
+                    rules,
+                    fallback,
+                    dataset.config,
+                    prompts,
+                    schedules[rate],
+                    lanes=lanes,
+                    policy=policy,
+                    queue_depth=max(64, requests),
+                    timeout_ms=timeout_ms,
+                )
+                entry["offered_rps"] = rate
+                configs.append(entry)
+                by_policy[policy] = entry
+            if "wave" in by_policy and "continuous" in by_policy:
+                wave_p99 = by_policy["wave"].get("p99_ms")
+                cont_p99 = by_policy["continuous"].get("p99_ms")
+                comparisons.append(
+                    {
+                        "lanes": lanes,
+                        "offered_rps": rate,
+                        "wave_p99_ms": wave_p99,
+                        "continuous_p99_ms": cont_p99,
+                        "continuous_wins_p99": (
+                            wave_p99 is not None
+                            and cont_p99 is not None
+                            and cont_p99 < wave_p99
+                        ),
+                    }
+                )
+    return {
+        "workload": f"cyclic-impute-{len(prompts)}",
+        "requests": requests,
+        "seed": seed,
+        "timeout_ms": timeout_ms,
+        "configs": configs,
+        "comparisons": comparisons,
+    }
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`run_serving_bench` report."""
+    lines = [
+        f"Serving bench: {report['workload']}, "
+        f"{report['requests']} open-loop Poisson requests per config",
+        "",
+        f"{'lanes':>5s} {'load rps':>9s} {'policy':>11s} {'done':>5s} "
+        f"{'rej':>4s} {'thr rps':>8s} {'p50 ms':>8s} {'p99 ms':>8s} "
+        f"{'occup':>6s}",
+    ]
+    for entry in report["configs"]:
+        lines.append(
+            f"{entry['lanes']:>5d} {entry['offered_rps']:>9.1f} "
+            f"{entry['policy']:>11s} {entry['completed']:>5d} "
+            f"{entry['rejected']:>4d} {entry['throughput_rps']:>8.1f} "
+            f"{entry.get('p50_ms', float('nan')):>8.1f} "
+            f"{entry.get('p99_ms', float('nan')):>8.1f} "
+            f"{entry['lane_occupancy']:>6.2f}"
+        )
+    if report["comparisons"]:
+        lines.append("")
+        for cmp in report["comparisons"]:
+            verdict = "WIN" if cmp["continuous_wins_p99"] else "loss"
+            lines.append(
+                f"continuous vs wave @ lanes={cmp['lanes']} "
+                f"load={cmp['offered_rps']:.0f}rps: "
+                f"p99 {cmp['continuous_p99_ms']} vs {cmp['wave_p99_ms']} ms "
+                f"[{verdict}]"
+            )
+    return "\n".join(lines)

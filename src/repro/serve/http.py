@@ -1,0 +1,265 @@
+"""Stdlib-only HTTP front end for the continuous-batching scheduler.
+
+Endpoints (JSON in, JSON out; stdout/err untouched):
+
+* ``POST /v1/impute``      ``{"coarse": {"total":..,"cong":..,"retx":..,
+  "egr":..}, "context"?: {..}, "seed"?: int, "priority"?: int,
+  "timeout_ms"?: number}``
+* ``POST /v1/synthesize``  ``{"count"?: int, "context"?, "seed"?,
+  "priority"?, "timeout_ms"?}``
+* ``GET /healthz``         liveness + lane/queue occupancy
+* ``GET /metrics``         the scheduler's full metrics snapshot
+
+Failure mapping is explicit so clients can react per cause: queue
+backpressure is ``429`` (with ``Retry-After``), a blown deadline is
+``504``, an infeasible prompt is ``422``, shutdown is ``503``, malformed
+input is ``400``.
+
+Built on :class:`http.server.ThreadingHTTPServer` -- one handler thread
+per connection, each blocking on its request handle while the single
+scheduler thread does all enforcement work.  No third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..data.telemetry import COARSE_FIELDS
+from ..errors import (
+    DeadlineExceeded,
+    InfeasibleRecord,
+    QueueFull,
+    RequestCancelled,
+    ServerClosed,
+)
+from .scheduler import ContinuousBatchingScheduler
+from .types import RequestSpec
+
+__all__ = ["ServingServer", "MAX_BODY_BYTES"]
+
+logger = logging.getLogger(__name__)
+
+#: Request bodies above this size are refused outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _BadRequest(ValueError):
+    """Client-side input error; rendered as HTTP 400."""
+
+
+def _int_or_none(payload: Dict, key: str) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(f"{key!r} must be an integer")
+    return value
+
+
+def _number_or_none(payload: Dict, key: str) -> Optional[float]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _BadRequest(f"{key!r} must be a number")
+    return float(value)
+
+
+def _spec_from_payload(kind: str, payload: Dict) -> RequestSpec:
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    coarse = None
+    if kind == "impute":
+        coarse = payload.get("coarse")
+        if not isinstance(coarse, dict):
+            raise _BadRequest('"coarse" must be an object of counters')
+        missing = [name for name in COARSE_FIELDS if name not in coarse]
+        if missing:
+            raise _BadRequest(f'"coarse" is missing {missing}')
+        try:
+            coarse = {name: int(coarse[name]) for name in COARSE_FIELDS}
+        except (TypeError, ValueError):
+            raise _BadRequest('"coarse" values must be integers')
+    context = payload.get("context")
+    if context is not None:
+        if not isinstance(context, dict):
+            raise _BadRequest('"context" must be an object')
+        try:
+            context = {str(k): int(v) for k, v in context.items()}
+        except (TypeError, ValueError):
+            raise _BadRequest('"context" values must be integers')
+    count = payload.get("count", 1)
+    if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+        raise _BadRequest('"count" must be a positive integer')
+    try:
+        return RequestSpec(
+            kind,
+            coarse=coarse,
+            context=context,
+            count=count,
+            seed=_int_or_none(payload, "seed"),
+            priority=_int_or_none(payload, "priority") or 0,
+            timeout_ms=_number_or_none(payload, "timeout_ms"),
+        )
+    except ValueError as exc:
+        raise _BadRequest(str(exc))
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep handler threads from lingering on half-open connections.
+    timeout = 60
+    protocol_version = "HTTP/1.1"
+
+    server: "ServingServer"
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server naming
+        if self.path == "/healthz":
+            self._send(200, self.server.scheduler_health())
+        elif self.path == "/metrics":
+            self._send(200, self.server.scheduler.metrics())
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        routes = {"/v1/impute": "impute", "/v1/synthesize": "synthesize"}
+        kind = routes.get(self.path)
+        if kind is None:
+            self._send(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            payload = self._read_json()
+            spec = _spec_from_payload(kind, payload)
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        try:
+            request = self.server.scheduler.submit(spec)
+            result = request.result(timeout=self.server.request_timeout)
+        except QueueFull as exc:
+            self._send(429, {"error": str(exc)}, retry_after=1)
+        except DeadlineExceeded as exc:
+            self._send(504, {"error": str(exc)})
+        except InfeasibleRecord as exc:
+            self._send(422, {"error": f"infeasible request: {exc}"})
+        except (ServerClosed, RequestCancelled) as exc:
+            self._send(503, {"error": str(exc)})
+        except TimeoutError as exc:
+            request.cancel()
+            self._send(504, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 -- captured session errors
+            self._send(500, {"error": str(exc)})
+        else:
+            self._send(200, result.to_json())
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest("request body too large")
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise _BadRequest("empty request body")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON: {exc}")
+
+    def _send(
+        self, status: int, payload: Dict, retry_after: Optional[int] = None
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route access logs through logging instead of spamming stderr
+        # (stderr is reserved for the CLI's key=value summary records).
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class ServingServer(ThreadingHTTPServer):
+    """The bound HTTP server wrapping one scheduler.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`server_address` -- the tests and the CI smoke job do).  The
+    server owns the scheduler lifecycle: :meth:`start` launches both, and
+    :meth:`shutdown_gracefully` drains in-flight work before closing.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        scheduler: ContinuousBatchingScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: Optional[float] = 300.0,
+    ):
+        super().__init__((host, port), _Handler)
+        self.scheduler = scheduler
+        self.request_timeout = request_timeout
+        self._serve_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def scheduler_health(self) -> Dict[str, object]:
+        draining = self.scheduler.queue.closed
+        return {
+            "status": "draining" if draining else "ok",
+            "lanes": self.scheduler.lanes,
+            "lanes_busy": sum(
+                1 for slot in self.scheduler._slots if slot is not None
+            ),
+            "queue_depth": len(self.scheduler.queue),
+        }
+
+    def start(self) -> "ServingServer":
+        if not self.scheduler.running:
+            self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def wait(self, poll_interval: float = 1.0) -> None:
+        """Block until the serving thread exits (interruptible by signals)."""
+        thread = self._serve_thread
+        while thread is not None and thread.is_alive():
+            thread.join(timeout=poll_interval)
+
+    def shutdown_gracefully(self, drain: bool = True) -> None:
+        """Stop accepting connections, then drain the scheduler."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5)
+        self.scheduler.stop(drain=drain)
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown_gracefully()

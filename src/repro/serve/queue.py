@@ -1,0 +1,115 @@
+"""Bounded, priority-aware admission queue with explicit backpressure.
+
+The serving front door.  Depth is bounded: once ``max_depth`` requests are
+waiting, :meth:`AdmissionQueue.submit` raises
+:class:`~repro.errors.QueueFull` (mapped to HTTP 429) instead of buffering
+without limit -- under overload the cost is paid by the *newest* arrivals,
+visibly, rather than by every queued request's latency silently growing.
+
+Ordering is (priority, arrival): lower priority values run first, FIFO
+within a class.  Cancelled and deadline-expired requests are reaped at pop
+time, so they consume no lane time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from ..errors import DeadlineExceeded, QueueFull, RequestCancelled, ServerClosed
+from .types import ServeRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Thread-safe bounded priority/FIFO queue of :class:`ServeRequest`\\ s."""
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._heap: List[Tuple[int, int, ServeRequest]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._closed = False
+        self.rejected = 0  # submissions refused with QueueFull
+        self.reaped_expired = 0  # dropped at pop time: deadline passed
+        self.reaped_cancelled = 0  # dropped at pop time: cancel requested
+
+    def submit(self, request: ServeRequest) -> None:
+        """Admit or refuse; never blocks the submitter."""
+        with self._work:
+            if self._closed:
+                raise ServerClosed("server is shutting down")
+            if len(self._heap) >= self.max_depth:
+                self.rejected += 1
+                raise QueueFull(
+                    f"queue depth {self.max_depth} reached; retry later"
+                )
+            heapq.heappush(
+                self._heap, (request.spec.priority, next(self._seq), request)
+            )
+            self._work.notify()
+
+    def pop(self, now: Optional[float] = None) -> Optional[ServeRequest]:
+        """The next admissible request, or None if the queue is empty.
+
+        Requests already cancelled or past their deadline are completed
+        with the matching error here and never reach a lane.
+        """
+        if now is None:
+            now = time.monotonic()
+        while True:
+            with self._lock:
+                if not self._heap:
+                    return None
+                _, _, request = heapq.heappop(self._heap)
+            if request.cancel_requested:
+                self.reaped_cancelled += 1
+                request.fail(RequestCancelled(f"request {request.id} cancelled"))
+                continue
+            if request.expired(now):
+                self.reaped_expired += 1
+                request.fail(
+                    DeadlineExceeded(
+                        f"request {request.id} expired while queued"
+                    )
+                )
+                continue
+            return request
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until something is queued (or the queue closes)."""
+        with self._work:
+            if self._heap or self._closed:
+                return True
+            return self._work.wait(timeout)
+
+    def close(self, drain: bool = True) -> None:
+        """Refuse new submissions; optionally fail everything queued.
+
+        ``drain=True`` leaves queued requests in place for the scheduler
+        to finish (graceful shutdown); ``drain=False`` completes them all
+        with :class:`~repro.errors.ServerClosed` immediately.
+        """
+        with self._work:
+            self._closed = True
+            pending = [] if drain else [req for _, _, req in self._heap]
+            if not drain:
+                self._heap.clear()
+            self._work.notify_all()
+        for request in pending:
+            request.fail(ServerClosed("server shut down before admission"))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -1,0 +1,418 @@
+"""Continuous-batching scheduler: lock-step lanes without wave barriers.
+
+The offline :class:`~repro.core.engine.EnforcementEngine` fixes its whole
+workload up front and returns when everything drains -- fine for batch
+jobs, fatal for serving, where a request arriving just after a wave starts
+would wait for the *entire* wave.  This scheduler generalizes the engine's
+round-robin refill into an always-on loop over the same
+:class:`~repro.core.engine.LanePool`:
+
+1. admit queued requests into free lanes *mid-flight* (a lane frees the
+   moment its session finishes, and takes new work on the very next step);
+2. make ONE batched LM call over every live lane (the engine's lock-step);
+3. feed each row back, harvest finished sessions, loop.
+
+All enforcement work runs on a single scheduler thread -- sessions,
+solvers, and the LM are never shared across threads, so the core needs no
+locking.  Submitting threads only touch the thread-safe admission queue
+and per-request handles.  (An asyncio front end would still have to push
+this CPU-bound lock-step off the event loop; a dedicated thread driven by
+a condition variable is the same design without the indirection.)
+
+Determinism: record ``i`` of a request seeded ``s`` samples from
+``record_rng(s, i)`` and oracle answers are state-keyed, so a request's
+bytes are independent of lane placement, batch-mates, and server load --
+identical to the serial path given the same seed.
+
+``admit_policy="wave"`` restores the barrier (admit only when every lane
+is idle); it exists so the serving benchmark can measure exactly what
+continuous batching buys (p99 at equal offered load).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from ..core.enforcer import JitEnforcer, record_rng
+from ..core.engine import LanePool
+from ..core.session import EnforcementSession
+from ..errors import DeadlineExceeded, RequestCancelled, ServerClosed
+from ..lm.base import batched_next_distributions
+from .queue import AdmissionQueue
+from .types import RequestSpec, ServeRequest, ServeResult
+
+__all__ = ["ContinuousBatchingScheduler"]
+
+logger = logging.getLogger(__name__)
+
+Plan = Tuple[Dict[str, int], str, List[str]]
+
+
+@dataclass
+class _Unit:
+    """One record's worth of work for one request."""
+
+    request: ServeRequest
+    index: int  # record index within the request (pins the rng stream)
+    plan: Plan
+
+
+# A lane slot is empty (None) or holds (unit, session, pending prefix ids).
+_Slot = Optional[Tuple[_Unit, EnforcementSession, List[int]]]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def _safe_copy(mapping: Mapping) -> Dict:
+    """Copy a dict that another thread may be growing (retry on resize)."""
+    for _ in range(8):
+        try:
+            return dict(mapping)
+        except RuntimeError:  # pragma: no cover -- needs a racing writer
+            continue
+    return {}  # pragma: no cover
+
+
+class ContinuousBatchingScheduler:
+    """Always-on enforcement service over a pool of engine lanes.
+
+    ``lanes`` concurrent sessions run in lock-step; ``queue_depth`` bounds
+    admission (overflow raises :class:`~repro.errors.QueueFull`).  Requests
+    carry priorities, per-request seeds, and optional deadlines; a request
+    that blows its deadline or is cancelled aborts at its next suspension
+    checkpoint without touching batch-mates.  ``stop(drain=True)`` finishes
+    everything admitted before shutting down.
+    """
+
+    def __init__(
+        self,
+        enforcer: JitEnforcer,
+        lanes: int = 4,
+        queue_depth: int = 64,
+        admit_policy: str = "continuous",
+        solver_pool: Optional[int] = 64,
+        cache_entries: Optional[int] = None,
+        latency_window: int = 4096,
+        idle_wait: float = 0.02,
+    ):
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if admit_policy not in ("continuous", "wave"):
+            raise ValueError(f"unknown admit_policy {admit_policy!r}")
+        self.enforcer = enforcer
+        self.lanes = lanes
+        self.admit_policy = admit_policy
+        self.pool = LanePool(
+            enforcer, lanes, solver_pool=solver_pool, cache_entries=cache_entries
+        )
+        self.queue = AdmissionQueue(queue_depth)
+        self._slots: List[_Slot] = [None] * lanes
+        self._ready: Deque[_Unit] = deque()
+        self._idle_wait = idle_wait
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._started_at: Optional[float] = None
+        # -- metrics (ints under the GIL; the reservoir under its lock) -------
+        self._metrics_lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.expired = 0
+        self.records_completed = 0
+        self.lm_calls = 0
+        self.lm_rows = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ContinuousBatchingScheduler":
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut down; with ``drain`` finish all admitted work first."""
+        self.queue.close(drain=drain)
+        if not drain:
+            for slot in list(self._slots):
+                if slot is not None:
+                    slot[0].request.fail(ServerClosed("server shut down"))
+        self._stopping = True
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ContinuousBatchingScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, spec: RequestSpec) -> ServeRequest:
+        """Enqueue a request; returns its live handle immediately.
+
+        Raises :class:`~repro.errors.QueueFull` under backpressure and
+        :class:`~repro.errors.ServerClosed` once shutdown has begun.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            raise ServerClosed("scheduler is not running")
+        request = ServeRequest(spec)
+        self.queue.submit(request)  # raises QueueFull / ServerClosed
+        self.submitted += 1
+        return request
+
+    def impute(
+        self,
+        coarse: Mapping[str, int],
+        context: Optional[Mapping[str, int]] = None,
+        seed: Optional[int] = None,
+        priority: int = 0,
+        timeout_ms: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> ServeResult:
+        """Synchronous imputation round-trip (submit + wait)."""
+        request = self.submit(
+            RequestSpec(
+                "impute",
+                coarse=coarse,
+                context=context,
+                seed=seed,
+                priority=priority,
+                timeout_ms=timeout_ms,
+            )
+        )
+        return request.result(wait_timeout)
+
+    def synthesize(
+        self,
+        count: int = 1,
+        context: Optional[Mapping[str, int]] = None,
+        seed: Optional[int] = None,
+        priority: int = 0,
+        timeout_ms: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ) -> ServeResult:
+        """Synchronous synthesis round-trip (submit + wait)."""
+        request = self.submit(
+            RequestSpec(
+                "synthesize",
+                count=count,
+                context=context,
+                seed=seed,
+                priority=priority,
+                timeout_ms=timeout_ms,
+            )
+        )
+        return request.result(wait_timeout)
+
+    # -- the continuous loop ---------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while True:
+                self._admit()
+                live = [
+                    (slot_index, slot)
+                    for slot_index, slot in enumerate(self._slots)
+                    if slot is not None
+                ]
+                if not live:
+                    if self._stopping and self.queue.closed and not len(
+                        self.queue
+                    ) and not self._ready:
+                        return
+                    self.queue.wait_for_work(self._idle_wait)
+                    continue
+                rows = batched_next_distributions(
+                    self.enforcer.model,
+                    [pending for _, (_, _, pending) in live],
+                )
+                self.enforcer.trace.lm_calls += 1
+                self.lm_calls += 1
+                self.lm_rows += len(live)
+                for row, (slot_index, (unit, session, _)) in zip(rows, live):
+                    pending = session.step(row)
+                    if session.done:
+                        self._harvest(unit, session)
+                        self._slots[slot_index] = None
+                    else:
+                        self._slots[slot_index] = (unit, session, pending)
+        except BaseException as exc:  # pragma: no cover -- crash backstop
+            logger.exception("scheduler loop died: %s", exc)
+            for slot_index, slot in enumerate(self._slots):
+                if slot is not None:
+                    slot[0].request.fail(exc)
+                    self._slots[slot_index] = None
+            self.queue.close(drain=False)
+            raise
+        finally:
+            self.enforcer.trace.solver_work = self.pool.solver_work()
+
+    def _admit(self) -> None:
+        """Place queued work into free lanes (mid-flight by default)."""
+        if self.admit_policy == "wave" and any(
+            slot is not None for slot in self._slots
+        ):
+            return  # wave barrier: no admission until every lane drains
+        now = time.monotonic()
+        for slot_index in range(self.lanes):
+            while self._slots[slot_index] is None:
+                unit = self._next_unit(now)
+                if unit is None:
+                    return
+                session = self.enforcer.open_session(
+                    *unit.plan,
+                    lane=self.pool.lanes[slot_index],
+                    rng=record_rng(unit.request.spec.seed, unit.index),
+                    checkpoint=unit.request.checkpoint,
+                )
+                pending = session.start()
+                if session.done:
+                    self._harvest(unit, session)
+                else:
+                    self._slots[slot_index] = (unit, session, pending)
+
+    def _next_unit(self, now: float) -> Optional[_Unit]:
+        """The next admissible unit, expanding requests as they are popped."""
+        while True:
+            while not self._ready:
+                request = self.queue.pop(now)
+                if request is None:
+                    return None
+                request.mark_running()
+                plan = self._plan(request.spec)
+                for index in range(request.spec.count):
+                    self._ready.append(_Unit(request, index, plan))
+            unit = self._ready.popleft()
+            request = unit.request
+            if request.done:
+                continue  # a sibling unit already failed the request
+            if request.cancel_requested:
+                if request.fail(RequestCancelled(f"request {request.id} cancelled")):
+                    self.cancelled += 1
+                continue
+            if request.expired(now):
+                if request.fail(
+                    DeadlineExceeded(f"request {request.id} expired while queued")
+                ):
+                    self.expired += 1
+                continue
+            return unit
+
+    def _plan(self, spec: RequestSpec) -> Plan:
+        if spec.kind == "impute":
+            return self.enforcer.impute_plan(spec.coarse, spec.context)
+        return self.enforcer.synthesize_plan(spec.context)
+
+    def _harvest(self, unit: _Unit, session: EnforcementSession) -> None:
+        request = unit.request
+        if session.error is not None:
+            if request.fail(session.error):
+                if isinstance(session.error, DeadlineExceeded):
+                    self.expired += 1
+                elif isinstance(session.error, RequestCancelled):
+                    self.cancelled += 1
+                else:
+                    self.failed += 1
+            return
+        self.records_completed += 1
+        if request.finish_unit(unit.index, session.outcome):
+            self.completed += 1
+            with self._metrics_lock:
+                self._latencies.append(request.latency_ms)
+
+    # -- observability -----------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, object]:
+        """The ``GET /metrics`` payload; safe to call from any thread."""
+        with self._metrics_lock:
+            latencies = sorted(self._latencies)
+        latency: Dict[str, object] = {"count": len(latencies)}
+        if latencies:
+            latency.update(
+                p50=round(_percentile(latencies, 0.50), 3),
+                p99=round(_percentile(latencies, 0.99), 3),
+                mean=round(sum(latencies) / len(latencies), 3),
+                max=round(latencies[-1], 3),
+            )
+        busy = sum(1 for slot in self._slots if slot is not None)
+        uptime = (
+            time.monotonic() - self._started_at if self._started_at else 0.0
+        )
+        return {
+            "uptime_s": round(uptime, 3),
+            "admit_policy": self.admit_policy,
+            "lanes": self.lanes,
+            "lanes_busy": busy,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.max_depth,
+            "requests": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled + self.queue.reaped_cancelled,
+                "expired": self.expired + self.queue.reaped_expired,
+                "rejected": self.queue.rejected,
+            },
+            "records_completed": self.records_completed,
+            "latency_ms": latency,
+            "lm": {
+                "calls": self.lm_calls,
+                "rows": self.lm_rows,
+                "lane_occupancy": round(
+                    self.lm_rows / (self.lm_calls * self.lanes), 4
+                )
+                if self.lm_calls
+                else 0.0,
+            },
+            "oracle_cache": self.pool.cache_stats(),
+            "ladder": _safe_copy(self.enforcer.trace.ladder),
+            "degraded_records": self.enforcer.trace.degraded_records,
+            "solver_work": self.pool.solver_work(),
+        }
+
+    def summary_line(self) -> str:
+        """One machine-parseable ``key=value`` line for operator logs."""
+        m = self.metrics()
+        requests = m["requests"]
+        latency = m["latency_ms"]
+        throughput = (
+            self.completed / m["uptime_s"] if m["uptime_s"] > 0 else 0.0
+        )
+        pairs = [
+            ("requests_completed", requests["completed"]),
+            ("requests_failed", requests["failed"]),
+            ("requests_rejected", requests["rejected"]),
+            ("requests_expired", requests["expired"]),
+            ("requests_cancelled", requests["cancelled"]),
+            ("records_completed", m["records_completed"]),
+            ("throughput_rps", f"{throughput:.2f}"),
+            ("p50_ms", latency.get("p50", 0.0)),
+            ("p99_ms", latency.get("p99", 0.0)),
+            ("lane_occupancy", m["lm"]["lane_occupancy"]),
+        ]
+        cache = m["oracle_cache"]
+        if cache is not None:
+            pairs.append(("oracle_cache_hit_rate", cache["hit_rate"]))
+            pairs.append(("oracle_cache_evictions", cache["evictions"]))
+        return " ".join(f"{key}={value}" for key, value in pairs)

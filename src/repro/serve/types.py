@@ -1,0 +1,244 @@
+"""Request/response types and lifecycle state for the serving subsystem.
+
+A client-facing request is a :class:`RequestSpec` (what to generate, under
+which seed/priority/deadline).  Submission turns it into a
+:class:`ServeRequest` -- the live handle that travels through the admission
+queue and the continuous-batching scheduler, carries cancellation and
+deadline state, and completes into a :class:`ServeResult`.
+
+Determinism contract: a request with ``seed=s`` producing ``count`` records
+gets record ``i`` the rng stream ``record_rng(s, i)`` -- exactly the stream
+the synchronous :class:`~repro.core.enforcer.JitEnforcer` configured with
+``seed=s`` would give its ``i``-th record.  Server load, lane placement,
+and batch-mates therefore never change a request's bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..core.session import RecordOutcome
+from ..errors import DeadlineExceeded, RequestCancelled
+
+__all__ = [
+    "RequestSpec",
+    "ServeRequest",
+    "ServeResult",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "EXPIRED",
+]
+
+# Lifecycle states.  QUEUED -> RUNNING -> one of the terminal states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+EXPIRED = "expired"
+
+_TERMINAL = (DONE, FAILED, CANCELLED, EXPIRED)
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """What a client asked for; immutable once submitted.
+
+    ``kind`` is ``"impute"`` (requires ``coarse``) or ``"synthesize"``.
+    ``count`` records are generated per request (record ``i`` uses rng
+    stream ``record_rng(seed, i)``).  ``priority`` orders admission --
+    lower runs first, FIFO within a priority class.  ``timeout_ms`` is the
+    end-to-end deadline measured from submission; a request that exceeds
+    it is aborted at its next suspension checkpoint.
+    """
+
+    kind: str
+    coarse: Optional[Mapping[str, int]] = None
+    context: Optional[Mapping[str, int]] = None
+    count: int = 1
+    seed: Optional[int] = None
+    priority: int = 0
+    timeout_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("impute", "synthesize"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.kind == "impute" and self.coarse is None:
+            raise ValueError("impute requests need coarse values")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.timeout_ms is not None and self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+
+
+@dataclass
+class ServeResult:
+    """The completed side of a request: records plus provenance."""
+
+    request_id: int
+    status: str
+    records: List[Dict[str, int]]
+    outcomes: List[Dict[str, object]]  # stage/compliant/degraded per record
+    latency_ms: float
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "records": self.records,
+            "outcomes": self.outcomes,
+            "latency_ms": round(self.latency_ms, 3),
+        }
+
+
+class ServeRequest:
+    """A submitted request's live handle (thread-safe).
+
+    The submitting thread holds this to :meth:`wait`/:meth:`result` or
+    :meth:`cancel`; the scheduler thread drives completion.  Cancellation
+    and deadline enforcement are *cooperative*: flags set here are observed
+    by the owning sessions at their next suspension checkpoint, so an
+    abort never disturbs lanes running other requests.
+    """
+
+    def __init__(self, spec: RequestSpec, now: Optional[float] = None):
+        self.spec = spec
+        self.id = next(_request_ids)
+        self.submitted_at = time.monotonic() if now is None else now
+        self.deadline: Optional[float] = (
+            self.submitted_at + spec.timeout_ms / 1000.0
+            if spec.timeout_ms is not None
+            else None
+        )
+        self.status = QUEUED
+        self.error: Optional[BaseException] = None
+        self.finished_at: Optional[float] = None
+        self._cancel_requested = False
+        self._outcomes: List[Optional[RecordOutcome]] = [None] * spec.count
+        self._remaining = spec.count
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+
+    # -- submitter-facing side -------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if already terminal.
+
+        Queued requests are dropped at the next admission scan; running
+        ones abort at their next suspension checkpoint.
+        """
+        with self._lock:
+            if self.status in _TERMINAL:
+                return False
+            self._cancel_requested = True
+            return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request is terminal; returns reached-ness."""
+        return self._finished.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """The completed :class:`ServeResult`; raises the captured error."""
+        if not self._finished.wait(timeout):
+            raise TimeoutError(f"request {self.id} still {self.status}")
+        if self.error is not None:
+            raise self.error
+        return ServeResult(
+            request_id=self.id,
+            status=self.status,
+            records=[dict(o.values) for o in self._outcomes],
+            outcomes=[
+                {
+                    "stage": o.stage,
+                    "compliant": o.compliant,
+                    "degraded": o.degraded,
+                    "tier_index": o.tier_index,
+                }
+                for o in self._outcomes
+            ],
+            latency_ms=self.latency_ms,
+        )
+
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    @property
+    def latency_ms(self) -> float:
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return (end - self.submitted_at) * 1000.0
+
+    # -- scheduler-facing side -------------------------------------------------
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    def checkpoint(self) -> None:
+        """Session-side lifecycle check; raises to abort just this request.
+
+        Installed as every owning session's suspension checkpoint, so a
+        cancelled or overdue request stops at the next lock-step boundary.
+        """
+        if self._cancel_requested:
+            raise RequestCancelled(f"request {self.id} cancelled")
+        if self.expired():
+            raise DeadlineExceeded(
+                f"request {self.id} exceeded its "
+                f"{self.spec.timeout_ms:.0f}ms deadline"
+            )
+
+    def finish_unit(self, index: int, outcome: RecordOutcome) -> bool:
+        """Record one completed unit; True when the whole request is done."""
+        with self._lock:
+            if self.status in _TERMINAL:
+                return False
+            self._outcomes[index] = outcome
+            self._remaining -= 1
+            if self._remaining > 0:
+                return False
+            self._terminate(DONE)
+            return True
+
+    def fail(self, error: BaseException) -> bool:
+        """Move to the terminal state matching ``error``; True if it won.
+
+        Any sibling units still in flight observe ``cancel_requested`` at
+        their next checkpoint and unwind without further effect.
+        """
+        with self._lock:
+            if self.status in _TERMINAL:
+                return False
+            self.error = error
+            self._cancel_requested = True  # reap in-flight sibling units
+            if isinstance(error, DeadlineExceeded):
+                self._terminate(EXPIRED)
+            elif isinstance(error, RequestCancelled):
+                self._terminate(CANCELLED)
+            else:
+                self._terminate(FAILED)
+            return True
+
+    def mark_running(self) -> None:
+        with self._lock:
+            if self.status == QUEUED:
+                self.status = RUNNING
+
+    def _terminate(self, status: str) -> None:
+        self.status = status
+        self.finished_at = time.monotonic()
+        self._finished.set()

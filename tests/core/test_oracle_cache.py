@@ -1,0 +1,119 @@
+"""OracleCache capacity/eviction tests (ISSUE satellite).
+
+The cache is a bounded FIFO memo: under pressure it must drop the oldest
+insertion first, count every eviction, and -- the soundness half -- any
+evicted key that is queried again must recompute to exactly the answer it
+had before eviction (entries are pure functions of their state key).
+"""
+
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer, OracleCache
+from repro.core.engine import LanePool
+from repro.core.feasible import SmtOracle
+from repro.data import build_dataset, variable_bounds
+from repro.lm import NgramLM
+from repro.rules import domain_bound_rules, paper_rules
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=40, seed=5
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model, paper_rules(dataset.config)
+
+
+class TestFifoEviction:
+    def test_drop_order_is_insertion_order(self):
+        cache = OracleCache(max_entries=3)
+        for index in range(3):
+            cache.store(("key", index), index)
+        assert cache.evictions == 0
+        cache.store(("key", 3), 3)  # evicts ("key", 0), the oldest
+        assert cache.evictions == 1
+        assert ("key", 0) not in cache
+        assert all(("key", index) in cache for index in (1, 2, 3))
+        cache.store(("key", 4), 4)  # next-oldest goes next
+        assert ("key", 1) not in cache
+        assert cache.evictions == 2
+        assert len(cache) == 3
+
+    def test_overwriting_resident_key_never_evicts(self):
+        cache = OracleCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        cache.store(("a",), 99)  # resident: update in place, no pressure
+        assert cache.evictions == 0
+        assert len(cache) == 2
+        assert cache.lookup(("a",)) == 99
+
+    def test_capacity_floor_is_one(self):
+        cache = OracleCache(max_entries=0)
+        cache.store(("a",), 1)
+        cache.store(("b",), 2)
+        assert len(cache) == 1
+        assert cache.evictions == 1
+
+    def test_stats_dict_shape(self):
+        cache = OracleCache(max_entries=2)
+        cache.store(("a",), 1)
+        cache.lookup(("a",))
+        cache.lookup(("zzz",))
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "capacity": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
+        # Pre-serving callers used snapshot(); it must stay an alias.
+        assert cache.snapshot() == stats
+
+    def test_default_capacity_constant(self):
+        assert OracleCache().max_entries == OracleCache.DEFAULT_ENTRIES
+
+
+class TestEvictionSoundness:
+    def test_requeried_evicted_key_recomputes_identically(self, setting):
+        """Evict aggressively; every answer must still match a fresh oracle."""
+        dataset, _, rules = setting
+        bounds = variable_bounds(dataset.config)
+        tiny = OracleCache(max_entries=4)  # far below the working set
+        shared = SmtOracle(rules, bounds, cache=tiny)
+        window = dataset.config.window
+        prompts = [w.coarse() for w in dataset.test_windows()[:3]]
+        # Two passes: pass 2 re-queries keys that pass 1 evicted.
+        for prompt in prompts * 2:
+            fresh = SmtOracle(rules, bounds)
+            shared.begin_record(prompt)
+            fresh.begin_record(prompt)
+            for t in range(window):
+                name = f"I{t}"
+                shared_set = shared.feasible_set(name)
+                assert shared_set.segments == fresh.feasible_set(name).segments
+                value = shared_set.min_value
+                assert shared.confirm(name, value) == fresh.confirm(name, value)
+                shared.fix(name, value)
+                fresh.fix(name, value)
+        assert tiny.evictions > 0  # the pressure was real
+        assert len(tiny) <= 4
+
+    def test_lane_pool_capacity_is_configurable(self, setting):
+        dataset, model, rules = setting
+        enforcer = JitEnforcer(
+            model,
+            rules,
+            dataset.config,
+            EnforcerConfig(seed=3),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+        )
+        pool = LanePool(enforcer, 2, cache_entries=16)
+        assert pool.cache.max_entries == 16
+        assert LanePool(enforcer, 2).cache.max_entries == (
+            OracleCache.DEFAULT_ENTRIES
+        )
+        assert LanePool(enforcer, 2, cache_entries=0).cache is None

@@ -1,0 +1,129 @@
+"""Admission queue tests: backpressure, ordering, reaping, shutdown."""
+
+import pytest
+
+from repro.errors import QueueFull, ServerClosed
+from repro.serve import AdmissionQueue, RequestSpec, ServeRequest
+from repro.serve.types import CANCELLED, EXPIRED, FAILED, QUEUED
+
+
+def _request(priority=0, timeout_ms=None, seed=None):
+    return ServeRequest(
+        RequestSpec(
+            "synthesize", priority=priority, timeout_ms=timeout_ms, seed=seed
+        )
+    )
+
+
+class TestBackpressure:
+    def test_submit_past_depth_raises_queue_full(self):
+        queue = AdmissionQueue(max_depth=3)
+        for _ in range(3):
+            queue.submit(_request())
+        with pytest.raises(QueueFull):
+            queue.submit(_request())
+        assert queue.rejected == 1
+        assert len(queue) == 3
+
+    def test_rejected_submission_never_blocks_or_buffers(self):
+        queue = AdmissionQueue(max_depth=1)
+        queue.submit(_request())
+        overflow = _request()
+        with pytest.raises(QueueFull):
+            queue.submit(overflow)
+        # The refused request is untouched: still QUEUED, not failed.
+        assert overflow.status == QUEUED
+        assert not overflow.done
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+
+class TestOrdering:
+    def test_lower_priority_value_pops_first(self):
+        queue = AdmissionQueue()
+        low = _request(priority=5)
+        high = _request(priority=-1)
+        mid = _request(priority=0)
+        for request in (low, high, mid):
+            queue.submit(request)
+        assert queue.pop() is high
+        assert queue.pop() is mid
+        assert queue.pop() is low
+        assert queue.pop() is None
+
+    def test_fifo_within_a_priority_class(self):
+        queue = AdmissionQueue()
+        requests = [_request(priority=1) for _ in range(4)]
+        for request in requests:
+            queue.submit(request)
+        assert [queue.pop() for _ in range(4)] == requests
+
+
+class TestReaping:
+    def test_cancelled_request_is_reaped_at_pop(self):
+        queue = AdmissionQueue()
+        doomed = _request()
+        survivor = _request()
+        queue.submit(doomed)
+        queue.submit(survivor)
+        assert doomed.cancel()
+        assert queue.pop() is survivor
+        assert doomed.status == CANCELLED
+        assert doomed.done
+        assert queue.reaped_cancelled == 1
+
+    def test_expired_request_is_reaped_at_pop(self):
+        queue = AdmissionQueue()
+        doomed = _request(timeout_ms=0)
+        queue.submit(doomed)
+        assert queue.pop(now=doomed.deadline + 1.0) is None
+        assert doomed.status == EXPIRED
+        assert queue.reaped_expired == 1
+
+    def test_cancel_after_terminal_is_a_noop(self):
+        request = _request()
+        request.fail(RuntimeError("boom"))
+        assert request.status == FAILED
+        assert not request.cancel()
+        assert request.status == FAILED
+
+
+class TestShutdown:
+    def test_submit_after_close_raises_server_closed(self):
+        queue = AdmissionQueue()
+        queue.close()
+        assert queue.closed
+        with pytest.raises(ServerClosed):
+            queue.submit(_request())
+
+    def test_close_without_drain_fails_everything_queued(self):
+        queue = AdmissionQueue()
+        requests = [_request() for _ in range(3)]
+        for request in requests:
+            queue.submit(request)
+        queue.close(drain=False)
+        assert len(queue) == 0
+        for request in requests:
+            assert request.done
+            with pytest.raises(ServerClosed):
+                request.result(timeout=0)
+
+    def test_close_with_drain_keeps_queued_work(self):
+        queue = AdmissionQueue()
+        request = _request()
+        queue.submit(request)
+        queue.close(drain=True)
+        assert len(queue) == 1
+        assert queue.pop() is request  # the scheduler can still finish it
+
+    def test_wait_for_work_wakes_on_close(self):
+        queue = AdmissionQueue()
+        queue.close()
+        assert queue.wait_for_work(timeout=0.001)
+
+    def test_wait_for_work_sees_queued_item_immediately(self):
+        queue = AdmissionQueue()
+        queue.submit(_request())
+        assert queue.wait_for_work(timeout=0)
