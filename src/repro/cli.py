@@ -11,15 +11,21 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli serve    --model model.json --rules rules.json \
                                  --port 8080 --lanes 4
     python -m repro.cli bench-serving --out BENCH_serving.json
+    python -m repro.cli trace-report --trace trace.jsonl
 
 The model format is the n-gram JSON checkpoint (fast to train anywhere);
 datasets are one JSON record per line.  Diagnostics go to stderr as
-single-line ``key=value`` records; stdout stays pure JSON for scripting.
+single-line ``key=value`` records -- every one of them rendered by
+:func:`repro.obs.kv.format_kv` so scrapers face exactly one quoting
+convention; stdout stays pure JSON for scripting.  ``--trace-out`` on
+``impute``/``synth`` writes a JSONL span trace that ``trace-report``
+aggregates into the per-stage solver-vs-LM breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -27,6 +33,7 @@ from typing import List, Optional
 
 from .core import EnforcementEngine, EnforcerConfig, JitEnforcer
 from .errors import InfeasibleRecord
+from .obs import OBS, SpanTracer, emit_kv
 from .smt import SolverBudget
 from .data import (
     COARSE_FIELDS,
@@ -103,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     impute_cmd.add_argument("--seed", type=int, default=0)
     for name in COARSE_FIELDS:
         impute_cmd.add_argument(f"--{name}", required=True, type=int)
+    _add_trace_args(impute_cmd)
     _add_budget_args(impute_cmd)
 
     synth_cmd = sub.add_parser("synth", help="generate synthetic records")
@@ -114,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=1,
         help="records generated per lock-step batch (1 = legacy serial path)",
     )
+    _add_trace_args(synth_cmd)
     _add_budget_args(synth_cmd)
 
     serve_cmd = sub.add_parser(
@@ -167,7 +176,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout-ms", type=float, default=None,
         help="optional per-request deadline in milliseconds",
     )
+
+    trace_cmd = sub.add_parser(
+        "trace-report",
+        help="aggregate a JSONL span trace into the solver-vs-LM breakdown",
+    )
+    trace_cmd.add_argument("--trace", required=True, type=Path)
+    trace_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregate as JSON instead of tables",
+    )
     return parser
+
+
+def _add_trace_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write a JSONL span trace of the run (see trace-report)",
+    )
 
 
 def _add_budget_args(cmd: argparse.ArgumentParser) -> None:
@@ -219,14 +245,31 @@ def _enforcer_config_from(args) -> EnforcerConfig:
     )
 
 
+@contextlib.contextmanager
+def _span_sink(args):
+    """Activate JSONL span tracing for one command when requested."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        yield
+        return
+    OBS.enable(SpanTracer(sink=trace_out))
+    try:
+        yield
+    finally:
+        OBS.disable()
+        emit_kv("trace", [("out", trace_out)])
+
+
 def _report_degradations(
     enforcer: JitEnforcer, engine: Optional[EnforcementEngine] = None
 ) -> None:
     # stderr keeps stdout pure JSON for scripting; each summary is a
-    # single-line key=value record so log scrapers need no custom parser.
+    # single-line key=value record (rendered by obs.kv) so log scrapers
+    # need no custom parser.
     print(
         "degradation " + enforcer.trace.degradation_summary(),
         file=sys.stderr,
+        flush=True,
     )
     trace = enforcer.trace
     if engine is not None:
@@ -237,10 +280,10 @@ def _report_degradations(
             trace.records / trace.wall_time if trace.wall_time > 0 else 0.0
         )
         cache = enforcer.oracle_cache
-    line = f"throughput records_per_sec={throughput:.1f}"
+    pairs = [("records_per_sec", f"{throughput:.1f}")]
     if cache is not None:
-        line += f" oracle_cache_hit_rate={cache.hit_rate():.4f}"
-    print(line, file=sys.stderr)
+        pairs.append(("oracle_cache_hit_rate", f"{cache.hit_rate():.4f}"))
+    emit_kv("throughput", pairs)
 
 
 def _load_windows(path: Path) -> List[dict]:
@@ -325,7 +368,8 @@ def _cmd_impute(args) -> int:
     )
     coarse = {name: getattr(args, name) for name in COARSE_FIELDS}
     try:
-        outcome = enforcer.impute_record(coarse)
+        with _span_sink(args):
+            outcome = enforcer.impute_record(coarse)
     except InfeasibleRecord as exc:
         raise SystemExit(f"infeasible prompt: {exc}")
     values = outcome.values
@@ -349,16 +393,45 @@ def _cmd_synth(args) -> int:
     if args.batch_size > 1:
         engine = EnforcementEngine(enforcer, batch_size=args.batch_size)
         try:
-            outcomes = engine.synthesize_many(args.count)
+            with _span_sink(args):
+                outcomes = engine.synthesize_many(args.count)
         except InfeasibleRecord as exc:
             raise SystemExit(f"infeasible synthesis: {exc}")
         for outcome in outcomes:
             print(json.dumps(outcome.values))
     else:
-        for _ in range(args.count):
-            print(json.dumps(enforcer.synthesize()))
+        with _span_sink(args):
+            values = [enforcer.synthesize() for _ in range(args.count)]
+        for record in values:
+            print(json.dumps(record))
     _report_degradations(enforcer, engine)
     return 0
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Route SIGTERM through KeyboardInterrupt so `kill` drains the server.
+
+    Shells run background jobs (`... serve &`) with SIGINT set to SIG_IGN,
+    in which case Python never installs its KeyboardInterrupt handler and
+    `kill -INT` is silently dropped -- so scripted shutdown must use
+    SIGTERM, whose default would skip the drain and the summary line.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _cmd_serve(args) -> int:
@@ -381,18 +454,19 @@ def _cmd_serve(args) -> int:
     server = ServingServer(scheduler, host=args.host, port=args.port)
     host, port = server.address
     # Single-line key=value records on stderr: scrapable, stdout untouched.
-    print(
-        f"serving host={host} port={port} lanes={args.lanes} "
-        f"queue_depth={args.queue_depth} admit_policy={args.admit_policy}",
-        file=sys.stderr,
-        flush=True,
-    )
-    with server:
+    emit_kv("serving", [
+        ("host", host),
+        ("port", port),
+        ("lanes", args.lanes),
+        ("queue_depth", args.queue_depth),
+        ("admit_policy", args.admit_policy),
+    ])
+    with _graceful_sigterm(), server:
         try:
             server.wait()
         except KeyboardInterrupt:
-            print("serving shutdown=graceful-drain", file=sys.stderr)
-    print(scheduler.summary_line(), file=sys.stderr)
+            emit_kv("serving", [("shutdown", "graceful-drain")])
+    print(scheduler.summary_line(), file=sys.stderr, flush=True)
     return 0
 
 
@@ -408,7 +482,26 @@ def _cmd_bench_serving(args) -> int:
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(format_report(report))
-    print(f"bench_serving out={args.out}", file=sys.stderr)
+    emit_kv("bench_serving", [("out", args.out)])
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from .obs.report import aggregate
+    from .obs.report import format_report as format_trace_report
+    from .obs.trace import load_trace
+
+    try:
+        spans = load_trace(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace: {exc}")
+    report = aggregate(spans)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_trace_report(report))
     return 0
 
 
@@ -420,6 +513,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "serve": _cmd_serve,
     "bench-serving": _cmd_bench_serving,
+    "trace-report": _cmd_trace_report,
 }
 
 

@@ -29,7 +29,6 @@ in lock-step over the identical session code.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +36,7 @@ import numpy as np
 from ..data.dataset import variable_bounds
 from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
 from ..lm.base import LanguageModel
+from ..obs import OBS, Sample
 from ..rules.dsl import RuleSet
 from ..smt import BudgetMeter
 from .feasible import (
@@ -65,6 +65,80 @@ __all__ = [
 ]
 
 _ORACLES = {"hybrid": HybridOracle, "smt": SmtOracle, "interval": IntervalOracle}
+
+
+def _enforcer_samples(enforcer: "JitEnforcer") -> List[Sample]:
+    """Render the enforcer's trace/cache/meter state as registry samples.
+
+    Registered as a weakly-owned collector (see
+    :meth:`~repro.obs.registry.MetricsRegistry.register_collector`), so the
+    counters appear in every scrape without the hot path paying for a
+    second set of increments, and vanish when the enforcer is collected.
+    Ladder-stage counters are emitted for every rung -- a zero is
+    operator-visible evidence that a rung was never hit.
+    """
+    trace = enforcer.trace
+    samples = [
+        Sample.counter("repro_enforcer_records_total", trace.records,
+                       help="Records whose enforcement was started"),
+        Sample.counter("repro_enforcer_degraded_records_total",
+                       trace.degraded_records,
+                       help="Records produced below the top ladder stage"),
+        Sample.counter("repro_enforcer_budget_exhaustions_total",
+                       trace.budget_exhaustions,
+                       help="SolverBudgetExceeded observed"),
+        Sample.counter("repro_enforcer_budget_retries_total",
+                       trace.budget_retries,
+                       help="Record retries under a scaled-up budget"),
+        Sample.counter("repro_enforcer_dead_ends_total", trace.dead_ends,
+                       help="Dead ends hit during literal sampling"),
+        Sample.counter("repro_enforcer_unknown_confirms_total",
+                       trace.unknown_confirms,
+                       help="Confirm queries that returned UNKNOWN"),
+        Sample.counter("repro_enforcer_var_retries_total", trace.var_retries,
+                       help="Refuted literals that were resampled"),
+        Sample.counter("repro_enforcer_solver_forced_vars_total",
+                       trace.solver_forced_vars,
+                       help="Variables forced from a solver model"),
+        Sample.counter("repro_enforcer_fallback_records_total",
+                       trace.fallback_records,
+                       help="Records generated under a fallback rule tier"),
+        Sample.counter("repro_enforcer_infeasible_records_total",
+                       trace.infeasible_records,
+                       help="Records infeasible under every rule tier"),
+        Sample.counter("repro_enforcer_phase2_records_total",
+                       trace.phase2_records,
+                       help="Optimistic phase failures re-run under full SMT"),
+        Sample.counter("repro_enforcer_lm_calls_total", trace.lm_calls,
+                       help="Model invocations (a batched call counts once)"),
+    ]
+    ladder_help = "Records emitted per degradation-ladder rung"
+    for stage in LADDER_STAGES:
+        samples.append(Sample.counter(
+            "repro_enforcer_ladder_records_total",
+            trace.ladder.get(stage, 0),
+            labels={"stage": stage},
+            help=ladder_help,
+        ))
+    for resource, total in enforcer.meter.snapshot().items():
+        samples.append(Sample.counter(
+            "repro_enforcer_solver_work_total", total,
+            labels={"resource": resource},
+            help="Deterministic solver work on the enforcer's own lane",
+        ))
+    cache = enforcer.oracle_cache
+    if cache is not None:
+        stats = cache.stats()
+        for key in ("hits", "misses", "evictions"):
+            samples.append(Sample.counter(
+                f"repro_enforcer_oracle_cache_{key}_total", stats[key],
+                help=f"Oracle cache {key}",
+            ))
+        samples.append(Sample.gauge(
+            "repro_enforcer_oracle_cache_entries", stats["entries"],
+            help="Oracle cache resident entries",
+        ))
+    return samples
 
 
 def record_rng(seed: Optional[int], index: int = 0) -> np.random.Generator:
@@ -126,6 +200,11 @@ class JitEnforcer:
         self._audit_cache: Dict[Tuple, RuleSet] = {}
         self.trace = EnforcementTrace()
         self.last_outcome: Optional[RecordOutcome] = None
+        # Scrape-time metrics: weakly owned, so transient enforcers (tests,
+        # benchmarks) drop out of exposition once garbage collected.  Last
+        # registration wins the "repro_enforcer" collector slot -- one
+        # enforcer per serving process is the deployment shape.
+        OBS.registry.register_collector("enforcer", _enforcer_samples, owner=self)
 
     @property
     def tokenizer(self):
@@ -279,16 +358,21 @@ class JitEnforcer:
         prompt_text: str,
         variables: Sequence[str],
     ) -> RecordOutcome:
-        start_time = time.perf_counter()
+        start_time = OBS.clock.now()
         try:
             session = self.open_session(fixed, prompt_text, variables)
             request = session.start()
             while request is not None:
                 self.trace.lm_calls += 1
-                request = session.step(self.model.next_distribution(request))
+                if OBS.active:
+                    with OBS.profile("lm_forward", parent=session.span, rows=1):
+                        distribution = self.model.next_distribution(request)
+                else:
+                    distribution = self.model.next_distribution(request)
+                request = session.step(distribution)
             return session.result()
         finally:
-            self.trace.wall_time += time.perf_counter() - start_time
+            self.trace.wall_time += OBS.clock.now() - start_time
             self.trace.solver_work = self.meter.snapshot()
 
     def _auditable(self, rules: RuleSet, values: Mapping[str, int]) -> RuleSet:

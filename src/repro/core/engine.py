@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..lm.base import batched_next_distributions
+from ..obs import OBS
 from .enforcer import JitEnforcer
 from .feasible import OracleCache
 from .session import EnforcementSession, Lane, RecordOutcome
@@ -273,9 +274,18 @@ class EnforcementEngine:
                 if not live:
                     continue
                 # One batched model call serves every live lane this step.
-                distributions = batched_next_distributions(
-                    model, [pending for _, (_, _, pending) in live]
-                )
+                # The span is a root (parent=None): one forward serves many
+                # records, so attributing it to any single one would lie --
+                # trace-report surfaces it as the shared_lm bucket instead.
+                if OBS.active:
+                    with OBS.profile("lm_forward", parent=None, rows=len(live)):
+                        distributions = batched_next_distributions(
+                            model, [pending for _, (_, _, pending) in live]
+                        )
+                else:
+                    distributions = batched_next_distributions(
+                        model, [pending for _, (_, _, pending) in live]
+                    )
                 trace.lm_calls += 1
                 self.stats.lm_calls += 1
                 self.stats.lm_rows += len(live)

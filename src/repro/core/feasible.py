@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import InfeasibleRecord, SolverBudgetExceeded
+from ..obs import OBS
 from ..rules.dsl import RuleSet
 from ..smt import (
     SAT,
@@ -293,6 +294,12 @@ class SmtOracle(FeasibilityOracle):
         return self._solver
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        if not OBS.active:
+            return self._begin_record_impl(fixed)
+        with OBS.profile("oracle_begin", oracle="smt"):
+            return self._begin_record_impl(fixed)
+
+    def _begin_record_impl(self, fixed: Optional[Mapping[str, int]]) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
         self._reset_state_key(self.fixed)
         # Pool fast path: consecutive records with the *same* base assignment
@@ -600,6 +607,12 @@ class IntervalOracle(FeasibilityOracle):
         )
 
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
+        if not OBS.active:
+            return self._begin_record_impl(fixed)
+        with OBS.profile("oracle_begin", oracle="interval"):
+            return self._begin_record_impl(fixed)
+
+    def _begin_record_impl(self, fixed: Optional[Mapping[str, int]]) -> None:
         self.fixed = {k: int(v) for k, v in (fixed or {}).items()}
         self._reset_state_key(self.fixed)
         if self._restore_istate():

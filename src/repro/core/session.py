@@ -44,6 +44,7 @@ import numpy as np
 from ..data.telemetry import COARSE_FIELDS
 from ..errors import DeadEnd, DegradedResult, SolverBudgetExceeded
 from ..lm.sampler import DeadEndError, SampleTrace, sample_steps
+from ..obs import DEFAULT_LATENCY_BUCKETS_MS, OBS, format_kv
 from ..rules.dsl import RuleSet
 from ..smt import SAT, UNKNOWN_STATUS, BudgetMeter, SolverBudget
 from .feasible import FeasibilityOracle, InfeasibleRecordError
@@ -67,6 +68,33 @@ logger = logging.getLogger(__name__)
 # on overflow.
 _MASK_MEMO: Dict[tuple, frozenset] = {}
 _MASK_MEMO_LIMIT = 1 << 16
+
+# Hot-path step instruments, created lazily against the current registry
+# and touched only while tracing is active (OBS.active); the cache avoids
+# re-taking the registry lock on every variable step.
+_STEP_INSTRUMENTS = None
+_FEASIBLE_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 250, 500, 1000, 10_000)
+
+
+def _step_instruments():
+    global _STEP_INSTRUMENTS
+    registry = OBS.registry
+    if _STEP_INSTRUMENTS is None or _STEP_INSTRUMENTS[0] is not registry:
+        _STEP_INSTRUMENTS = (
+            registry,
+            registry.histogram(
+                "repro_enforcer_step_latency_ms",
+                DEFAULT_LATENCY_BUCKETS_MS,
+                help="Wall time of one variable's generation step",
+            ),
+            registry.histogram(
+                "repro_enforcer_feasible_set_size",
+                _FEASIBLE_SIZE_BUCKETS,
+                help="Cardinality of the oracle's feasible set per step",
+            ),
+        )
+    return _STEP_INSTRUMENTS[1], _STEP_INSTRUMENTS[2]
+
 
 # The degradation ladder, most exact first.  Each record's outcome names
 # the stage that produced it; only "smt-confirm" is non-degraded.
@@ -140,6 +168,14 @@ class RecordOutcome:
     stage: str  # LADDER_STAGES entry that produced the record
     tier_index: int = 0  # 0 = primary rules, >0 = fallback rule tier
     budget_retries: int = 0  # record-level budget backoff retries consumed
+    # -- per-record resource attribution (filled in by the session) ------------
+    # These are deltas scoped to THIS record, never cumulative lifetime
+    # totals: the session snapshots its lane's meter and the clock at open
+    # and subtracts at close, so outcome N is isolated from outcomes 0..N-1
+    # even when the enforcer, lane, and meter are reused across records.
+    wall_time: float = 0.0  # seconds from session open to outcome
+    lm_steps: int = 0  # distributions this record consumed
+    solver_work: Dict[str, int] = field(default_factory=dict)  # meter delta
 
 
 @dataclass
@@ -228,7 +264,7 @@ class EnforcementTrace:
         for name, value in self.solver_work.items():
             if value:
                 pairs.append((f"solver.{name}", value))
-        return " ".join(f"{key}={value}" for key, value in pairs)
+        return format_kv(pairs)
 
 
 @dataclass
@@ -302,6 +338,17 @@ class EnforcementSession:
         self.outcome: Optional[RecordOutcome] = None
         self.error: Optional[BaseException] = None
         self._trace.records += 1
+        # Per-record resource attribution: snapshot the lane meter and the
+        # clock now, subtract at close (see RecordOutcome.solver_work).
+        self._opened_at = OBS.clock.now()
+        self._meter_start = lane.meter.snapshot()
+        self._lm_steps = 0
+        # The record span parents every child span this session emits.  It
+        # is None whenever tracing is inactive (the common case).
+        self.span: Optional[int] = OBS.start_span(
+            "record", parent=None, attrs={"variables": len(self._variables)}
+        )
+        self._step_span: Optional[int] = None
         self._gen: Generator[List[int], np.ndarray, RecordOutcome] = self._drive()
 
     # -- driver-facing surface -------------------------------------------------
@@ -316,6 +363,7 @@ class EnforcementSession:
 
     def step(self, distribution: np.ndarray) -> Request:
         """Feed one next-token distribution; run until the next need."""
+        self._lm_steps += 1
         return self._advance(lambda: self._gen.send(distribution))
 
     def result(self) -> RecordOutcome:
@@ -326,6 +374,12 @@ class EnforcementSession:
         return self.outcome
 
     def _advance(self, resume: Callable[[], List[int]]) -> Request:
+        # While the generator runs, child spans (step, smt_confirm, ...)
+        # nest under this record even though many sessions interleave on
+        # one thread -- the parent stack is pushed per-resume, per-session.
+        tracing = self.span is not None and OBS.active
+        if tracing:
+            OBS._push_parent(self.span)
         try:
             if self._checkpoint is not None:
                 self._checkpoint()
@@ -335,11 +389,41 @@ class EnforcementSession:
         except BaseException as exc:  # noqa: BLE001 -- isolated per session
             self._lane.meter.set_budget(self._config.budget)
             self.error = exc
+            self._close_record_span({"error": type(exc).__name__})
+        finally:
+            if tracing:
+                OBS._pop_parent()
         return None
+
+    def _record_usage(self) -> Tuple[float, Dict[str, int]]:
+        """This record's (wall seconds, solver-work delta) since open."""
+        wall = OBS.clock.now() - self._opened_at
+        start = self._meter_start
+        delta = {
+            name: total - start.get(name, 0)
+            for name, total in self._lane.meter.snapshot().items()
+            if total - start.get(name, 0)
+        }
+        return wall, delta
+
+    def _close_record_span(self, attrs: Optional[Dict] = None) -> None:
+        if self.span is not None:
+            OBS.end_span(self.span, attrs)
+            self.span = None
 
     def _finish(self, outcome: RecordOutcome) -> None:
         # Restore the configured budget for the lane's next record.
         self._lane.meter.set_budget(self._config.budget)
+        outcome.wall_time, outcome.solver_work = self._record_usage()
+        outcome.lm_steps = self._lm_steps
+        self._close_record_span(
+            {
+                "stage": outcome.stage,
+                "compliant": outcome.compliant,
+                "degraded": outcome.degraded,
+                "lm_steps": outcome.lm_steps,
+            }
+        )
         self._trace.count_stage(outcome.stage)
         if outcome.degraded:
             self._trace.degraded_records += 1
@@ -463,7 +547,8 @@ class EnforcementSession:
 
         # Stage: post-hoc repair of the best-effort candidate.
         if self._config.posthoc_repair:
-            outcome = self._posthoc_stage(candidate, retries_used)
+            with OBS.profile("repair", parent=self.span):
+                outcome = self._posthoc_stage(candidate, retries_used)
             if outcome is not None:
                 return outcome
 
@@ -614,9 +699,63 @@ class EnforcementSession:
         separator_char: str,
         strict: bool = False,
     ) -> Generator[List[int], np.ndarray, Tuple[int, List[int]]]:
+        if OBS.active:
+            return (
+                yield from self._generate_variable_traced(
+                    oracle, name, ids, separator_char, strict
+                )
+            )
+        return (
+            yield from self._generate_variable_inner(
+                oracle, name, ids, separator_char, strict
+            )
+        )
+
+    def _generate_variable_traced(
+        self,
+        oracle: FeasibilityOracle,
+        name: str,
+        ids: List[int],
+        separator_char: str,
+        strict: bool,
+    ) -> Generator[List[int], np.ndarray, Tuple[int, List[int]]]:
+        """Span-wrapped variable generation (tracing-active path only).
+
+        The step span is opened and closed with explicit calls rather than
+        a ``with`` block because the body suspends (``yield from``); its
+        duration therefore includes time spent waiting for distributions,
+        which in batched drivers covers batch-mates' work too -- per-step
+        *compute* attribution comes from the child spans instead.
+        """
+        step_latency, _ = _step_instruments()
+        span = OBS.start_span("step", parent=self.span, attrs={"variable": name})
+        started = OBS.clock.now()
+        self._step_span = span
+        try:
+            result = yield from self._generate_variable_inner(
+                oracle, name, ids, separator_char, strict
+            )
+        except BaseException as exc:
+            OBS.end_span(span, {"error": type(exc).__name__})
+            step_latency.observe((OBS.clock.now() - started) * 1000.0)
+            raise
+        finally:
+            self._step_span = None
+        OBS.end_span(span, {"value": result[0]})
+        step_latency.observe((OBS.clock.now() - started) * 1000.0)
+        return result
+
+    def _generate_variable_inner(
+        self,
+        oracle: FeasibilityOracle,
+        name: str,
+        ids: List[int],
+        separator_char: str,
+        strict: bool,
+    ) -> Generator[List[int], np.ndarray, Tuple[int, List[int]]]:
         tokenizer = self._tokenizer
         separator_id = tokenizer.id_of(separator_char)
-        feasible = oracle.feasible_set(name)
+        feasible = self._feasible_set_observed(oracle, name)
         for _ in range(self._config.max_var_retries):
             if feasible.is_empty():
                 break
@@ -630,7 +769,7 @@ class EnforcementSession:
             if attempt is None:
                 break  # model had no admissible path; go force a value
             value, new_ids = attempt
-            status = oracle.confirm_status(name, value)
+            status = self._confirm_observed(oracle, name, value)
             if status == SAT:
                 oracle.fix(name, value)
                 return value, new_ids
@@ -652,6 +791,38 @@ class EnforcementSession:
         self._trace.solver_forced_vars += 1
         literal_ids = [tokenizer.id_of(c) for c in str(value)] + [separator_id]
         return value, ids + literal_ids
+
+    # -- observed oracle queries (span + histogram when tracing is active) -----
+
+    def _feasible_set_observed(
+        self, oracle: FeasibilityOracle, name: str
+    ) -> FeasibleSet:
+        if not OBS.active:
+            return oracle.feasible_set(name)
+        _, size_hist = _step_instruments()
+        with OBS.profile(
+            "feasible_digits", parent=self._step_span or self.span, variable=name
+        ) as ctx:
+            feasible = oracle.feasible_set(name)
+            size = feasible.count()
+            ctx.annotate(size=size)
+        size_hist.observe(size)
+        return feasible
+
+    def _confirm_observed(
+        self, oracle: FeasibilityOracle, name: str, value: int
+    ) -> str:
+        if not OBS.active:
+            return oracle.confirm_status(name, value)
+        with OBS.profile(
+            "smt_confirm",
+            parent=self._step_span or self.span,
+            variable=name,
+            value=value,
+        ) as ctx:
+            status = oracle.confirm_status(name, value)
+            ctx.annotate(status=status)
+        return status
 
     def _sample_literal(
         self,

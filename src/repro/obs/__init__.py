@@ -1,0 +1,217 @@
+"""Unified observability: span tracing, metrics registry, exposition.
+
+One subsystem replaces the repo's previous three ad-hoc telemetry
+mechanisms (``EnforcementTrace`` counter fragments, per-subcommand stderr
+``key=value`` lines, the server's JSON blob):
+
+* :mod:`repro.obs.trace` -- nestable, explicitly-parented spans with
+  injectable clocks, a bounded ring buffer, and a JSONL file sink;
+* :mod:`repro.obs.registry` -- process-wide counters, gauges, and
+  fixed-bucket histograms, fed directly or by weakly-owned collectors;
+* :mod:`repro.obs.prometheus` -- text exposition for ``GET /metrics``;
+* :mod:`repro.obs.report` -- JSONL trace -> Fig.-3-style time breakdown;
+* :mod:`repro.obs.kv` -- the one shared ``key=value`` stderr formatter.
+
+The module-level :data:`OBS` singleton is the instrumentation seam the hot
+path uses.  The contract that keeps enforcement fast: when no tracer is
+attached, ``OBS.active`` is False and every per-step instrumentation site
+reduces to a single attribute check (no allocation, no clock read).
+Metrics *collectors* stay registered regardless -- they cost nothing until
+someone scrapes.
+
+Thread model: spans are created only by enforcement drivers (one thread at
+a time per tracer); the registry is safe to scrape from any thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from .clock import Clock, ManualClock, MonotonicClock
+from .kv import emit_kv, format_kv, kv_line, parse_kv
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from .trace import (
+    SPAN_SCHEMA_VERSION,
+    WELL_KNOWN_SPANS,
+    SpanTracer,
+    load_trace,
+    validate_span,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "profile",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "SpanTracer",
+    "load_trace",
+    "validate_span",
+    "SPAN_SCHEMA_VERSION",
+    "WELL_KNOWN_SPANS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "format_kv",
+    "kv_line",
+    "emit_kv",
+    "parse_kv",
+]
+
+
+class _NullSpan:
+    """The shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+    span_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_UNSET = object()
+
+
+class _SpanContext:
+    """Context manager for one live span (also pushes the parent stack)."""
+
+    __slots__ = ("_obs", "span_id", "_end_attrs")
+
+    def __init__(self, obs: "Observability", span_id: int):
+        self._obs = obs
+        self.span_id = span_id
+        self._end_attrs: Optional[Dict] = None
+
+    def annotate(self, **attrs) -> None:
+        """Attach attrs that land on the span when it closes."""
+        if self._end_attrs is None:
+            self._end_attrs = {}
+        self._end_attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanContext":
+        self._obs._push_parent(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._obs._pop_parent()
+        if exc_type is not None:
+            self.annotate(error=exc_type.__name__)
+        tracer = self._obs.tracer
+        if tracer is not None:
+            try:
+                tracer.end(self.span_id, self._end_attrs)
+            except KeyError:
+                pass  # tracer was swapped/closed mid-span; nothing to emit
+
+
+class Observability:
+    """Process-wide observability state: tracer, registry, clock.
+
+    ``active`` is a plain bool attribute -- hot paths read it directly.
+    ``registry`` always exists (scraping works with tracing off);
+    ``tracer`` exists only between :meth:`enable` and :meth:`disable`.
+    """
+
+    def __init__(self) -> None:
+        self.active = False
+        self.tracer: Optional[SpanTracer] = None
+        self.registry = MetricsRegistry()
+        self.clock: Clock = MonotonicClock()
+        self._parents = threading.local()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self, tracer: Optional[SpanTracer] = None) -> SpanTracer:
+        """Attach a tracer (a fresh ring-only one by default) and go active."""
+        if self.tracer is not None:
+            self.tracer.close()
+        self.tracer = tracer or SpanTracer(clock=self.clock)
+        self.active = True
+        return self.tracer
+
+    def disable(self) -> None:
+        """Detach and close the tracer; hot paths go back to one bool check."""
+        self.active = False
+        if self.tracer is not None:
+            self.tracer.close()
+            self.tracer = None
+
+    # -- the parent stack (strictly nested regions on one thread) --------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._parents, "stack", None)
+        if stack is None:
+            stack = self._parents.stack = []
+        return stack
+
+    def _push_parent(self, span_id: Optional[int]) -> None:
+        self._stack().append(span_id)
+
+    def _pop_parent(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def current_parent(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span API --------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[int] = _UNSET,  # type: ignore[assignment]
+        attrs: Optional[Dict] = None,
+    ) -> Optional[int]:
+        """Open an explicitly-managed span; None while tracing is off.
+
+        ``parent`` defaults to the innermost :meth:`profile` region on this
+        thread; pass ``parent=None`` explicitly for a root span.
+        """
+        if not self.active or self.tracer is None:
+            return None
+        if parent is _UNSET:
+            parent = self.current_parent()
+        return self.tracer.start(name, parent=parent, attrs=attrs)
+
+    def end_span(self, span_id: Optional[int], attrs: Optional[Dict] = None) -> None:
+        if span_id is None or self.tracer is None:
+            return
+        try:
+            self.tracer.end(span_id, attrs)
+        except KeyError:
+            pass  # tracer swapped between start and end
+
+    def profile(self, name: str, parent: Optional[int] = _UNSET, **attrs):  # type: ignore[assignment]
+        """``with OBS.profile("smt_confirm"): ...`` -- no-op when inactive."""
+        if not self.active or self.tracer is None:
+            return _NULL_SPAN
+        if parent is _UNSET:
+            parent = self.current_parent()
+        return _SpanContext(self, self.tracer.start(name, parent=parent, attrs=attrs))
+
+
+#: The process-wide instrumentation seam.
+OBS = Observability()
+
+
+def profile(name: str, parent: Optional[int] = _UNSET, **attrs):  # type: ignore[assignment]
+    """Module-level alias for :meth:`Observability.profile` on :data:`OBS`."""
+    return OBS.profile(name, parent=parent, **attrs)

@@ -1,0 +1,52 @@
+"""Injectable monotonic clocks for deterministic observability tests.
+
+Every timing source in the observability layer -- span durations, the
+per-record wall time attached to :class:`~repro.core.session.RecordOutcome`,
+the trace sink's timestamps -- reads time through a :class:`Clock` object
+instead of calling :func:`time.perf_counter` directly.  Production uses
+:class:`MonotonicClock`; tests install a :class:`ManualClock` and advance it
+explicitly, so span durations in assertions are exact numbers rather than
+"some small positive float".
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing ``now()`` in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The production clock: :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand (``advance``/``set``)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, seconds: float) -> float:
+        if seconds < self._now:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now = float(seconds)
+        return self._now

@@ -1,0 +1,82 @@
+"""The one shared formatter for single-line ``key=value`` stderr records.
+
+Every operator-facing diagnostic line in the repo -- the CLI's degradation
+and throughput summaries, the serving scheduler's summary line, the bench
+drivers -- goes through :func:`format_kv`, so log scrapers can rely on one
+quoting convention: a value containing whitespace, ``=``, or ``"`` is
+double-quoted with ``\\`` and ``"`` backslash-escaped; everything else is
+emitted bare.  Keys must already be scraper-safe (no spaces or ``=``);
+:func:`format_kv` rejects ones that are not, since a malformed key would
+silently corrupt every downstream parse.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import IO, Iterable, Mapping, Optional, Tuple, Union
+
+__all__ = ["format_kv", "kv_line", "emit_kv", "parse_kv"]
+
+Pairs = Union[Mapping[str, object], Iterable[Tuple[str, object]]]
+
+_NEEDS_QUOTING = re.compile(r'[\s="]')
+_BAD_KEY = re.compile(r'[\s="]|^$')
+
+# key := anything format_kv accepts (no whitespace, '=', or '"');
+# value := bare token | double-quoted string with \" and \\ escapes
+_TOKEN = re.compile(r'([^\s="]+)=("(?:[^"\\]|\\.)*"|\S*)')
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        text = repr(value)
+    else:
+        text = str(value)
+    if text == "" or _NEEDS_QUOTING.search(text):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def format_kv(pairs: Pairs) -> str:
+    """Render ``key=value`` pairs as one space-separated line."""
+    items = pairs.items() if isinstance(pairs, Mapping) else pairs
+    out = []
+    for key, value in items:
+        if _BAD_KEY.search(str(key)):
+            raise ValueError(f"unscrapeable key=value key: {key!r}")
+        out.append(f"{key}={_format_value(value)}")
+    return " ".join(out)
+
+
+def kv_line(event: str, pairs: Pairs) -> str:
+    """An event-tagged record: ``<event> k1=v1 k2=v2 ...``."""
+    if _BAD_KEY.search(event):
+        raise ValueError(f"unscrapeable event tag: {event!r}")
+    body = format_kv(pairs)
+    return f"{event} {body}" if body else event
+
+
+def emit_kv(event: str, pairs: Pairs, stream: Optional[IO[str]] = None) -> None:
+    """Print one record to ``stream`` (stderr by default, flushed)."""
+    print(kv_line(event, pairs), file=stream or sys.stderr, flush=True)
+
+
+def parse_kv(line: str) -> Tuple[Optional[str], dict]:
+    """Inverse of :func:`kv_line` (used by tests and log scrapers).
+
+    Returns ``(event, pairs)``; ``event`` is None when the line starts
+    directly with a ``key=value`` token.
+    """
+    line = line.strip()
+    event: Optional[str] = None
+    if line and "=" not in line.split(None, 1)[0]:
+        event, _, line = line.partition(" ")
+    pairs = {}
+    for match in _TOKEN.finditer(line):
+        key, raw = match.group(1), match.group(2)
+        if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+            raw = re.sub(r"\\(.)", r"\1", raw[1:-1])
+        pairs[key] = raw
+    return event, pairs

@@ -1,0 +1,188 @@
+"""Prometheus text exposition (format version 0.0.4) for the registry.
+
+:func:`render` turns a :class:`~repro.obs.registry.MetricsRegistry` (or a
+raw sample list) into the plain-text scrape format: ``# HELP``/``# TYPE``
+once per family, one ``name{labels} value`` line per sample.  Escaping
+follows the spec exactly -- backslash and newline in HELP text; backslash,
+double-quote, and newline in label values -- and is unit-tested, because a
+single unescaped quote silently truncates a scrape.
+
+:func:`parse` is the minimal inverse used by tests and the CI smoke to
+assert that what we serve actually parses; it is strict about line syntax
+but does not attempt full OpenMetrics semantics.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .registry import MetricsRegistry, Sample
+
+__all__ = ["CONTENT_TYPE", "render", "parse", "metric_value"]
+
+#: The Content-Type a Prometheus scraper expects from a /metrics endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _family_name(sample: Sample) -> str:
+    """The family a sample belongs to (histogram suffixes stripped)."""
+    if sample.type == "histogram":
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample.name.endswith(suffix):
+                return sample.name[: -len(suffix)]
+    return sample.name
+
+
+def render(source: Union[MetricsRegistry, Iterable[Sample]]) -> str:
+    """The full scrape body, families sorted, HELP/TYPE emitted once."""
+    samples = source.collect() if isinstance(source, MetricsRegistry) else list(source)
+    by_family: Dict[str, List[Sample]] = {}
+    meta: Dict[str, Tuple[str, str]] = {}
+    for sample in samples:
+        family = _family_name(sample)
+        if not _NAME_RE.match(sample.name):
+            raise ValueError(f"invalid metric name {sample.name!r}")
+        by_family.setdefault(family, []).append(sample)
+        if family not in meta or (sample.help and not meta[family][1]):
+            meta[family] = (sample.type, sample.help)
+    lines: List[str] = []
+    for family in sorted(by_family):
+        type_, help_ = meta[family]
+        if help_:
+            lines.append(f"# HELP {family} {escape_help(help_)}")
+        lines.append(f"# TYPE {family} {type_}")
+        for sample in by_family[family]:
+            if sample.labels:
+                for key, _ in sample.labels:
+                    if not _LABEL_RE.match(key):
+                        raise ValueError(f"invalid label name {key!r}")
+                rendered = ",".join(
+                    f'{key}="{escape_label_value(str(value))}"'
+                    for key, value in sample.labels
+                )
+                lines.append(
+                    f"{sample.name}{{{rendered}}} {_format_value(sample.value)}"
+                )
+            else:
+                lines.append(f"{sample.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered == "nan":
+        return float("nan")
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse a scrape body into ``{name: [(labels, value), ...]}``.
+
+    Raises ``ValueError`` on any malformed line -- this is the CI smoke's
+    "is the exposition actually valid" assertion, so it must never let a
+    broken line slide.
+    """
+    out: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    declared_types: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            parts = stripped.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                if not _NAME_RE.match(parts[2]):
+                    raise ValueError(
+                        f"line {lineno}: invalid family name {parts[2]!r}"
+                    )
+                if parts[1] == "TYPE":
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        raise ValueError(
+                            f"line {lineno}: invalid TYPE {kind!r}"
+                        )
+                    declared_types[parts[2]] = kind
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                labels[pair.group("key")] = re.sub(
+                    r"\\(.)",
+                    lambda m: {"n": "\n"}.get(m.group(1), m.group(1)),
+                    pair.group("value"),
+                )
+                consumed = pair.end()
+            if consumed != len(raw_labels):
+                raise ValueError(
+                    f"line {lineno}: malformed labels {raw_labels!r}"
+                )
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {match.group('value')!r}"
+            )
+        out.setdefault(match.group("name"), []).append((labels, value))
+    return out
+
+
+def metric_value(
+    parsed: Dict[str, List[Tuple[Dict[str, str], float]]],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Convenience lookup for tests: the value of one (name, labels)."""
+    for sample_labels, value in parsed.get(name, []):
+        if labels is None or all(
+            sample_labels.get(k) == v for k, v in labels.items()
+        ):
+            return value
+    return None

@@ -1,0 +1,289 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` replaces the repo's previous scatter of private
+stat dicts (``EnforcementTrace`` fields, ``OracleCache.stats``, the serving
+scheduler's ad-hoc ints): components either own registry instruments
+directly (hot counters/histograms) or register a *collector* -- a callback
+that renders their existing state into samples at scrape time.  Collectors
+are registered against an owner object held by weak reference, so transient
+components (test enforcers, short-lived schedulers) vanish from exposition
+when they are garbage collected instead of accumulating forever.
+
+Naming convention (see DESIGN.md "Observability"): ``repro_<component>_
+<metric>[_total|_ms|...]``, labels only for bounded enumerations (ladder
+stage, solver resource).  Counters are monotonic; gauges are point-in-time;
+histograms have fixed, registration-time bucket bounds.
+
+The registry is thread-safe for registration and collection; instrument
+*updates* (``inc``/``observe``) are plain attribute math, relying on the
+GIL exactly like the counters they replace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Sample",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Shared bucket bounds for request/step latencies in milliseconds.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+def _labels_key(labels: Optional[Dict[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample: a (name, labels, value) triple plus family
+    metadata.  Collectors return these; instruments render to these."""
+
+    name: str
+    value: float
+    labels: Labels = ()
+    type: str = "gauge"  # counter | gauge | histogram (histograms via raw samples)
+    help: str = ""
+
+    @staticmethod
+    def counter(name: str, value: float, labels: Optional[Dict[str, str]] = None,
+                help: str = "") -> "Sample":
+        return Sample(name, float(value), _labels_key(labels), "counter", help)
+
+    @staticmethod
+    def gauge(name: str, value: float, labels: Optional[Dict[str, str]] = None,
+              help: str = "") -> "Sample":
+        return Sample(name, float(value), _labels_key(labels), "gauge", help)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on exposition, like Prometheus).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit +Inf bucket closes the range.  ``observe`` is a bisect plus
+    two adds -- cheap enough for per-record paths, and per-step paths only
+    observe when observability is active.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]):
+        cleaned = tuple(float(b) for b in bounds)
+        if not cleaned or list(cleaned) != sorted(set(cleaned)):
+            raise ValueError("histogram bounds must be sorted and distinct")
+        self.bounds = cleaned
+        self.counts = [0] * (len(cleaned) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, +Inf last."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+@dataclass
+class _Family:
+    type: str
+    help: str
+    instruments: Dict[Labels, object] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Named instrument families plus weakly-owned collectors.
+
+    Instrument accessors are get-or-create: asking twice for the same
+    (name, labels) returns the same object, so independent call sites can
+    share one counter.  Re-registering a name with a different type or
+    bucket layout is an error -- silently diverging families would corrupt
+    exposition.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: Dict[str, Tuple[Optional[weakref.ref], Callable]] = {}
+
+    # -- instruments -----------------------------------------------------------
+
+    def _instrument(self, name: str, type_: str, help_: str,
+                    labels: Optional[Dict[str, str]], factory) -> object:
+        key = _labels_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(type_, help_)
+            elif family.type != type_:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.type}"
+                )
+            if help_ and not family.help:
+                family.help = help_
+            instrument = family.instruments.get(key)
+            if instrument is None:
+                instrument = family.instruments[key] = factory()
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._instrument(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._instrument(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[float], help: str = "",
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        instrument = self._instrument(
+            name, "histogram", help, labels, lambda: Histogram(buckets)
+        )
+        if instrument.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with other buckets"
+            )
+        return instrument
+
+    # -- collectors ------------------------------------------------------------
+
+    def register_collector(
+        self,
+        key: str,
+        fn: Callable[..., Iterable[Sample]],
+        owner: Optional[object] = None,
+    ) -> None:
+        """Attach a scrape-time sample source under ``key`` (last wins).
+
+        With ``owner``, the registry holds only a weak reference and calls
+        ``fn(owner)``; the collector silently disappears once the owner is
+        garbage collected.  Without ``owner``, ``fn()`` is called and the
+        collector lives until :meth:`unregister_collector`.
+        """
+        ref = weakref.ref(owner) if owner is not None else None
+        with self._lock:
+            self._collectors[key] = (ref, fn)
+
+    def unregister_collector(self, key: str) -> None:
+        with self._lock:
+            self._collectors.pop(key, None)
+
+    # -- collection ------------------------------------------------------------
+
+    def collect(self) -> List[Sample]:
+        """Every current sample: instruments first, then live collectors.
+
+        Histogram families are rendered as their Prometheus-style triple
+        (``_bucket``/``_sum``/``_count``) so downstream renderers can stay
+        sample-oriented.
+        """
+        with self._lock:
+            families = {
+                name: (f.type, f.help, dict(f.instruments))
+                for name, f in self._families.items()
+            }
+            collectors = list(self._collectors.items())
+        samples: List[Sample] = []
+        for name, (type_, help_, instruments) in sorted(families.items()):
+            for labels, instrument in instruments.items():
+                if type_ == "histogram":
+                    for bound, cumulative in instrument.cumulative():
+                        le = "+Inf" if bound == float("inf") else repr(bound)
+                        samples.append(Sample(
+                            f"{name}_bucket", float(cumulative),
+                            labels + (("le", le),), "histogram", help_,
+                        ))
+                    samples.append(Sample(
+                        f"{name}_sum", instrument.sum, labels, "histogram", help_
+                    ))
+                    samples.append(Sample(
+                        f"{name}_count", float(instrument.count), labels,
+                        "histogram", help_,
+                    ))
+                else:
+                    samples.append(
+                        Sample(name, float(instrument.value), labels, type_, help_)
+                    )
+        dead = []
+        for key, (ref, fn) in collectors:
+            if ref is None:
+                samples.extend(fn())
+                continue
+            owner = ref()
+            if owner is None:
+                dead.append(key)
+                continue
+            samples.extend(fn(owner))
+        if dead:
+            with self._lock:
+                for key in dead:
+                    self._collectors.pop(key, None)
+        return samples
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat ``{name{labels}: value}`` dict (JSON-friendly debugging)."""
+        out = {}
+        for sample in self.collect():
+            if sample.labels:
+                rendered = ",".join(f"{k}={v}" for k, v in sample.labels)
+                out[f"{sample.name}{{{rendered}}}"] = sample.value
+            else:
+                out[sample.name] = sample.value
+        return out

@@ -1,0 +1,159 @@
+"""Aggregate a JSONL span trace into the paper's Fig.-3-style breakdown.
+
+The paper's runtime claim is about *where enforcement time goes*: solver
+lookahead vs LM inference per emitted record.  Given a trace produced by
+the built-in instrumentation, :func:`aggregate` reconstructs exactly that:
+
+* a per-stage table (count / total / mean / max milliseconds per span name);
+* a per-record attribution: for every ``record`` span, the summed duration
+  of its ``lm_forward`` descendants (LM time) vs its ``feasible_digits`` +
+  ``smt_confirm`` + ``repair`` descendants (solver time), with the record's
+  remaining wall time as "other" (sampling arithmetic, bookkeeping);
+* trace-wide totals and shares.
+
+Batched drivers emit ``lm_forward`` spans with no parent (one span serves
+many records); those are reported in a separate ``shared_lm`` bucket rather
+than being misattributed to any single record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["aggregate", "format_report", "SOLVER_SPANS"]
+
+#: Top-level solver-side span names.  ``smt_check`` is deliberately absent:
+#: it nests *inside* these, and counting both would double-bill the solver.
+SOLVER_SPANS = ("feasible_digits", "smt_confirm", "repair", "oracle_begin")
+
+_MS = 1000.0
+
+
+def _stage_row(durations: Sequence[float]) -> Dict[str, float]:
+    total = sum(durations)
+    return {
+        "count": len(durations),
+        "total_ms": round(total * _MS, 3),
+        "mean_ms": round(total * _MS / len(durations), 4) if durations else 0.0,
+        "max_ms": round(max(durations) * _MS, 3) if durations else 0.0,
+    }
+
+
+def aggregate(spans: Sequence[Dict]) -> Dict:
+    """Aggregate validated span dicts (see :func:`repro.obs.trace.load_trace`).
+
+    Parent links may point at spans that never closed (aborted sessions);
+    such orphans are attributed to the nearest *known* ancestor, or to the
+    shared bucket when no record ancestor exists.
+    """
+    by_id = {span["span"]: span for span in spans}
+    stage_durations: Dict[str, List[float]] = {}
+    for span in spans:
+        stage_durations.setdefault(span["name"], []).append(span["dur_s"])
+
+    def record_ancestor(span: Dict) -> Optional[int]:
+        seen = set()
+        current = span
+        while True:
+            if current["name"] == "record":
+                return current["span"]
+            parent = current.get("parent")
+            if parent is None or parent in seen or parent not in by_id:
+                return None
+            seen.add(parent)
+            current = by_id[parent]
+
+    records: Dict[int, Dict[str, float]] = {}
+    shared_lm_s = 0.0
+    for span in spans:
+        if span["name"] == "record":
+            records.setdefault(
+                span["span"],
+                {"lm_s": 0.0, "solver_s": 0.0, "wall_s": 0.0, "steps": 0},
+            )["wall_s"] = span["dur_s"]
+    for span in spans:
+        name = span["name"]
+        if name not in ("lm_forward", "step") and name not in SOLVER_SPANS:
+            continue
+        owner = record_ancestor(span)
+        if name == "lm_forward":
+            if owner is None:
+                shared_lm_s += span["dur_s"]
+            else:
+                records[owner]["lm_s"] += span["dur_s"]
+        elif name == "step":
+            if owner is not None:
+                records[owner]["steps"] += 1
+        elif owner is not None:
+            records[owner]["solver_s"] += span["dur_s"]
+
+    per_record = []
+    for span_id in sorted(records):
+        row = records[span_id]
+        other = max(0.0, row["wall_s"] - row["lm_s"] - row["solver_s"])
+        per_record.append({
+            "record_span": span_id,
+            "steps": row["steps"],
+            "wall_ms": round(row["wall_s"] * _MS, 3),
+            "lm_ms": round(row["lm_s"] * _MS, 3),
+            "solver_ms": round(row["solver_s"] * _MS, 3),
+            "other_ms": round(other * _MS, 3),
+        })
+
+    lm_total = sum(r["lm_s"] for r in records.values()) + shared_lm_s
+    solver_total = sum(r["solver_s"] for r in records.values())
+    wall_total = sum(r["wall_s"] for r in records.values())
+    attributed = lm_total + solver_total
+    return {
+        "spans": len(spans),
+        "records": len(records),
+        "stages": {
+            name: _stage_row(durations)
+            for name, durations in sorted(stage_durations.items())
+        },
+        "per_record": per_record,
+        "totals": {
+            "record_wall_ms": round(wall_total * _MS, 3),
+            "lm_ms": round(lm_total * _MS, 3),
+            "solver_ms": round(solver_total * _MS, 3),
+            "shared_lm_ms": round(shared_lm_s * _MS, 3),
+            "lm_share": round(lm_total / attributed, 4) if attributed else 0.0,
+            "solver_share": (
+                round(solver_total / attributed, 4) if attributed else 0.0
+            ),
+        },
+    }
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable tables (the ``repro.cli trace-report`` output)."""
+    lines = [
+        f"trace: {report['spans']} spans, {report['records']} records",
+        "",
+        f"{'stage':<18}{'count':>8}{'total_ms':>12}{'mean_ms':>10}{'max_ms':>10}",
+    ]
+    for name, row in report["stages"].items():
+        lines.append(
+            f"{name:<18}{row['count']:>8}{row['total_ms']:>12.2f}"
+            f"{row['mean_ms']:>10.3f}{row['max_ms']:>10.2f}"
+        )
+    totals = report["totals"]
+    lines += [
+        "",
+        "per-record breakdown (solver lookahead vs LM inference):",
+        f"{'record':>8}{'steps':>7}{'wall_ms':>10}{'lm_ms':>9}"
+        f"{'solver_ms':>11}{'other_ms':>10}",
+    ]
+    for row in report["per_record"]:
+        lines.append(
+            f"{row['record_span']:>8}{row['steps']:>7}{row['wall_ms']:>10.2f}"
+            f"{row['lm_ms']:>9.2f}{row['solver_ms']:>11.2f}{row['other_ms']:>10.2f}"
+        )
+    lines += [
+        "",
+        f"totals: lm={totals['lm_ms']:.2f}ms ({totals['lm_share']:.1%})  "
+        f"solver={totals['solver_ms']:.2f}ms ({totals['solver_share']:.1%})  "
+        f"record_wall={totals['record_wall_ms']:.2f}ms  "
+        f"shared_lm={totals['shared_lm_ms']:.2f}ms",
+    ]
+    return "\n".join(lines)

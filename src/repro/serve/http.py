@@ -8,7 +8,9 @@ Endpoints (JSON in, JSON out; stdout/err untouched):
 * ``POST /v1/synthesize``  ``{"count"?: int, "context"?, "seed"?,
   "priority"?, "timeout_ms"?}``
 * ``GET /healthz``         liveness + lane/queue occupancy
-* ``GET /metrics``         the scheduler's full metrics snapshot
+* ``GET /metrics``         the scheduler's full metrics snapshot (JSON by
+  default; Prometheus text 0.0.4 when the ``Accept`` header asks for
+  ``text/plain``/``openmetrics`` or with ``?format=prometheus``)
 
 Failure mapping is explicit so clients can react per cause: queue
 backpressure is ``429`` (with ``Retry-After``), a blown deadline is
@@ -36,6 +38,7 @@ from ..errors import (
     RequestCancelled,
     ServerClosed,
 )
+from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from .scheduler import ContinuousBatchingScheduler
 from .types import RequestSpec
 
@@ -119,12 +122,27 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server naming
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             self._send(200, self.server.scheduler_health())
-        elif self.path == "/metrics":
-            self._send(200, self.server.scheduler.metrics())
+        elif path == "/metrics":
+            if self._wants_prometheus(query):
+                self._send_text(
+                    200,
+                    self.server.scheduler.prometheus_text(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send(200, self.server.scheduler.metrics())
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
+
+    def _wants_prometheus(self, query: str) -> bool:
+        """Existing JSON scrapers keep working: text is strictly opt-in."""
+        if "format=prometheus" in query.split("&"):
+            return True
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept or "openmetrics" in accept
 
     def do_POST(self) -> None:  # noqa: N802
         routes = {"/v1/impute": "impute", "/v1/synthesize": "synthesize"}
@@ -174,9 +192,25 @@ class _Handler(BaseHTTPRequestHandler):
     def _send(
         self, status: int, payload: Dict, retry_after: Optional[int] = None
     ) -> None:
-        body = json.dumps(payload).encode()
+        self._send_bytes(
+            status,
+            json.dumps(payload).encode(),
+            "application/json",
+            retry_after=retry_after,
+        )
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))

@@ -38,11 +38,19 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
-from ..core.enforcer import JitEnforcer, record_rng
+from ..core.enforcer import JitEnforcer, _enforcer_samples, record_rng
 from ..core.engine import LanePool
 from ..core.session import EnforcementSession
 from ..errors import DeadlineExceeded, RequestCancelled, ServerClosed
 from ..lm.base import batched_next_distributions
+from ..obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    OBS,
+    MetricsRegistry,
+    Sample,
+    format_kv,
+)
+from ..obs.prometheus import render
 from .queue import AdmissionQueue
 from .types import RequestSpec, ServeRequest, ServeResult
 
@@ -82,6 +90,75 @@ def _safe_copy(mapping: Mapping) -> Dict:
     return {}  # pragma: no cover
 
 
+def _serve_samples(scheduler: "ContinuousBatchingScheduler") -> List[Sample]:
+    """Render the scheduler's live state as registry samples.
+
+    Registered as a weakly-owned collector: the scheduler's counters reach
+    every Prometheus scrape with no hot-path double counting, and vanish
+    from exposition when the scheduler is garbage collected.  Request
+    counters fold in the admission queue's reaped/rejected tallies so the
+    exposed totals match :meth:`ContinuousBatchingScheduler.metrics`.
+    """
+    queue = scheduler.queue
+    busy = sum(1 for slot in scheduler._slots if slot is not None)
+    uptime = (
+        time.monotonic() - scheduler._started_at
+        if scheduler._started_at
+        else 0.0
+    )
+    samples = [
+        Sample.counter("repro_serve_requests_submitted_total",
+                       scheduler.submitted,
+                       help="Requests accepted into the admission queue"),
+        Sample.counter("repro_serve_requests_completed_total",
+                       scheduler.completed,
+                       help="Requests finished successfully"),
+        Sample.counter("repro_serve_requests_failed_total", scheduler.failed,
+                       help="Requests failed by an enforcement error"),
+        Sample.counter("repro_serve_requests_cancelled_total",
+                       scheduler.cancelled + queue.reaped_cancelled,
+                       help="Requests cancelled by the client"),
+        Sample.counter("repro_serve_requests_expired_total",
+                       scheduler.expired + queue.reaped_expired,
+                       help="Requests that blew their deadline"),
+        Sample.counter("repro_serve_requests_rejected_total", queue.rejected,
+                       help="Requests rejected by queue backpressure"),
+        Sample.counter("repro_serve_records_completed_total",
+                       scheduler.records_completed,
+                       help="Records emitted across all requests"),
+        Sample.counter("repro_serve_lm_calls_total", scheduler.lm_calls,
+                       help="Batched model invocations"),
+        Sample.counter("repro_serve_lm_rows_total", scheduler.lm_rows,
+                       help="Total rows across batched model invocations"),
+        Sample.gauge("repro_serve_queue_depth", len(queue),
+                     help="Requests currently waiting for a lane"),
+        Sample.gauge("repro_serve_lanes", scheduler.lanes,
+                     help="Configured concurrent lanes"),
+        Sample.gauge("repro_serve_lanes_busy", busy,
+                     help="Lanes with a resident session"),
+        Sample.gauge("repro_serve_uptime_seconds", uptime,
+                     help="Seconds since the scheduler thread started"),
+    ]
+    for resource, total in scheduler.pool.solver_work().items():
+        samples.append(Sample.counter(
+            "repro_serve_solver_work_total", total,
+            labels={"resource": resource},
+            help="Deterministic solver work across the lane pool",
+        ))
+    cache = scheduler.pool.cache_stats()
+    if cache is not None:
+        for key in ("hits", "misses", "evictions"):
+            samples.append(Sample.counter(
+                f"repro_serve_oracle_cache_{key}_total", cache[key],
+                help=f"Shared oracle cache {key}",
+            ))
+        samples.append(Sample.gauge(
+            "repro_serve_oracle_cache_entries", cache["entries"],
+            help="Shared oracle cache resident entries",
+        ))
+    return samples
+
+
 class ContinuousBatchingScheduler:
     """Always-on enforcement service over a pool of engine lanes.
 
@@ -103,6 +180,7 @@ class ContinuousBatchingScheduler:
         cache_entries: Optional[int] = None,
         latency_window: int = 4096,
         idle_wait: float = 0.02,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if lanes < 1:
             raise ValueError("lanes must be >= 1")
@@ -132,6 +210,20 @@ class ContinuousBatchingScheduler:
         self.records_completed = 0
         self.lm_calls = 0
         self.lm_rows = 0
+        # -- metrics registry (defaults to the process-wide one) --------------
+        self.registry = registry if registry is not None else OBS.registry
+        self._latency_hist = self.registry.histogram(
+            "repro_serve_request_latency_ms",
+            DEFAULT_LATENCY_BUCKETS_MS,
+            help="End-to-end request latency (submit to final record)",
+        )
+        self.registry.register_collector("serve", _serve_samples, owner=self)
+        # Ladder-rung, budget-exhaustion, and cache counters ride along via
+        # the enforcer's collector -- re-register it here so they reach this
+        # scheduler's registry even when it is not the process-wide default.
+        self.registry.register_collector(
+            "enforcer", _enforcer_samples, owner=enforcer
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -243,10 +335,19 @@ class ContinuousBatchingScheduler:
                         return
                     self.queue.wait_for_work(self._idle_wait)
                     continue
-                rows = batched_next_distributions(
-                    self.enforcer.model,
-                    [pending for _, (_, _, pending) in live],
-                )
+                # Root span (parent=None): one forward serves many requests,
+                # so trace-report books it under the shared_lm bucket.
+                if OBS.active:
+                    with OBS.profile("lm_forward", parent=None, rows=len(live)):
+                        rows = batched_next_distributions(
+                            self.enforcer.model,
+                            [pending for _, (_, _, pending) in live],
+                        )
+                else:
+                    rows = batched_next_distributions(
+                        self.enforcer.model,
+                        [pending for _, (_, _, pending) in live],
+                    )
                 self.enforcer.trace.lm_calls += 1
                 self.lm_calls += 1
                 self.lm_rows += len(live)
@@ -338,6 +439,7 @@ class ContinuousBatchingScheduler:
         self.records_completed += 1
         if request.finish_unit(unit.index, session.outcome):
             self.completed += 1
+            self._latency_hist.observe(request.latency_ms)
             with self._metrics_lock:
                 self._latencies.append(request.latency_ms)
 
@@ -388,8 +490,22 @@ class ContinuousBatchingScheduler:
             "oracle_cache": self.pool.cache_stats(),
             "ladder": _safe_copy(self.enforcer.trace.ladder),
             "degraded_records": self.enforcer.trace.degraded_records,
+            "budget": {
+                "exhaustions": self.enforcer.trace.budget_exhaustions,
+                "retries": self.enforcer.trace.budget_retries,
+                "unknown_confirms": self.enforcer.trace.unknown_confirms,
+            },
             "solver_work": self.pool.solver_work(),
         }
+
+    def prometheus_text(self) -> str:
+        """The registry rendered as Prometheus exposition text.
+
+        Includes this scheduler's collector, the enforcer's (ladder rungs,
+        budget exhaustions, cache hit/miss), and the request-latency
+        histogram; safe to call from any thread.
+        """
+        return render(self.registry)
 
     def summary_line(self) -> str:
         """One machine-parseable ``key=value`` line for operator logs."""
@@ -415,4 +531,4 @@ class ContinuousBatchingScheduler:
         if cache is not None:
             pairs.append(("oracle_cache_hit_rate", cache["hit_rate"]))
             pairs.append(("oracle_cache_evictions", cache["evictions"]))
-        return " ".join(f"{key}={value}" for key, value in pairs)
+        return format_kv(pairs)

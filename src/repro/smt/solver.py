@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import SolverBudgetExceeded
+from ..obs import OBS
 from .budget import BudgetMeter, SolverBudget
 from .cnf import CnfBuilder
 from .lia import LiaLimitError, check_lia
@@ -166,6 +167,16 @@ class Solver:
         work budget -- or the hard theory-round/branching backstop -- is
         exhausted before a verdict.  UNKNOWN is never a proof of UNSAT.
         """
+        if not OBS.active:
+            return self._check_impl()
+        with OBS.profile("smt_check") as ctx:
+            result = self._check_impl()
+            ctx.annotate(
+                status=result.status, theory_rounds=result.theory_rounds
+            )
+            return result
+
+    def _check_impl(self) -> CheckResult:
         self.stats_checks += 1
         if self._base_false or self._builder.trivially_false:
             return CheckResult(False)

@@ -1,0 +1,67 @@
+"""The shared key=value formatter: quoting, parsing, and the stderr seam."""
+
+import io
+
+import pytest
+
+from repro.obs import format_kv, kv_line, parse_kv
+from repro.obs.kv import emit_kv
+
+
+class TestQuoting:
+    def test_simple_values_render_bare(self):
+        # CI greps for bare tokens like requests_completed=2; the formatter
+        # must never quote values that do not need it.
+        line = format_kv([("requests_completed", 2), ("p50_ms", 1.5)])
+        assert line == "requests_completed=2 p50_ms=1.5"
+
+    @pytest.mark.parametrize(
+        "value, rendered",
+        [
+            ("two words", '"two words"'),
+            ("a=b", '"a=b"'),
+            ('say "hi"', '"say \\"hi\\""'),
+            ("back\\slash", "back\\slash"),  # bare: no space/=/quote
+            ("", '""'),
+        ],
+    )
+    def test_values_needing_quotes_are_quoted(self, value, rendered):
+        assert format_kv([("k", value)]) == f"k={rendered}"
+
+    def test_bad_keys_are_rejected(self):
+        with pytest.raises(ValueError, match="key"):
+            format_kv([("bad key", 1)])
+        with pytest.raises(ValueError, match="key"):
+            format_kv([("k=v", 1)])
+
+    def test_event_tag_is_validated(self):
+        assert kv_line("degradation", [("records", 3)]) == "degradation records=3"
+        with pytest.raises(ValueError, match="event"):
+            kv_line("two words", [])
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "pairs",
+        [
+            {"a": "1", "b": "two words", "c": "x=y"},
+            {"msg": 'he said "no"', "n": "7"},
+            {"empty": ""},
+        ],
+    )
+    def test_parse_inverts_format(self, pairs):
+        event, parsed = parse_kv(kv_line("event", pairs))
+        assert event == "event"
+        assert parsed == pairs
+
+    def test_event_is_none_for_bare_records(self):
+        event, pairs = parse_kv("a=1 b=2")
+        assert event is None
+        assert pairs == {"a": "1", "b": "2"}
+
+
+class TestEmit:
+    def test_emit_kv_writes_one_line_to_the_stream(self):
+        stream = io.StringIO()
+        emit_kv("throughput", [("records_per_sec", "12.5")], stream=stream)
+        assert stream.getvalue() == "throughput records_per_sec=12.5\n"

@@ -1,0 +1,108 @@
+"""Exposition tests: escaping, label rendering, parse round-trips.
+
+Satellite coverage for the ISSUE: a single unescaped quote or backslash
+silently truncates a Prometheus scrape, so the escaping rules are pinned
+here value by value.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Sample
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    escape_help,
+    escape_label_value,
+    metric_value,
+    parse,
+    render,
+)
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "raw, escaped",
+        [
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("two\nlines", "two\\nlines"),
+            ("plain", "plain"),
+        ],
+    )
+    def test_label_value_escaping(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    def test_help_escapes_backslash_and_newline_but_not_quotes(self):
+        assert escape_help('a\\b\nc "q"') == 'a\\\\b\\nc "q"'
+
+    def test_escaped_label_values_round_trip_through_parse(self):
+        nasty = 'quote " backslash \\ and spaces'
+        text = render([
+            Sample.counter("repro_x_total", 1, labels={"rule": nasty})
+        ])
+        parsed = parse(text)
+        assert metric_value(parsed, "repro_x_total", {"rule": nasty}) == 1.0
+
+
+class TestRendering:
+    def test_help_and_type_emitted_once_per_family(self):
+        text = render([
+            Sample.counter("repro_l_total", 1, labels={"stage": "a"},
+                           help="ladder"),
+            Sample.counter("repro_l_total", 2, labels={"stage": "b"},
+                           help="ladder"),
+        ])
+        assert text.count("# HELP repro_l_total ladder") == 1
+        assert text.count("# TYPE repro_l_total counter") == 1
+        assert 'repro_l_total{stage="a"} 1' in text
+        assert 'repro_l_total{stage="b"} 2' in text
+
+    def test_histogram_family_groups_bucket_sum_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_lat_ms", (1.0,), help="lat").observe(0.5)
+        text = render(registry)
+        assert text.count("# TYPE repro_lat_ms histogram") == 1
+        assert 'repro_lat_ms_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_ms_sum 0.5" in text
+        assert "repro_lat_ms_count 1" in text
+        # +Inf parses back as infinity, not as a malformed value.
+        assert metric_value(parse(text), "repro_lat_ms_bucket",
+                            {"le": "+Inf"}) == 1.0
+
+    def test_invalid_metric_or_label_names_are_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            render([Sample.gauge("bad name", 1)])
+        with pytest.raises(ValueError, match="invalid label name"):
+            render([Sample.gauge("repro_ok", 1, labels={"bad-label": "x"})])
+
+    def test_integral_floats_render_without_decimal_point(self):
+        text = render([Sample.counter("repro_x_total", 3.0)])
+        assert "repro_x_total 3\n" in text
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestParserStrictness:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "repro x 1\n",
+            "repro_x_total not_a_number\n",
+            'repro_x_total{key="unterminated} 1\n',
+            "# TYPE repro_x_total bogus\n",
+        ],
+    )
+    def test_malformed_lines_raise(self, body):
+        with pytest.raises(ValueError):
+            parse(body)
+
+    def test_registry_render_always_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", help='has "quotes"').inc()
+        registry.gauge("repro_b", labels={"rack": 'r"1"'}).set(2.5)
+        registry.histogram("repro_c_ms", (0.5, 1.0)).observe(0.7)
+        parsed = parse(render(registry))
+        assert metric_value(parsed, "repro_a_total") == 1.0
+        assert metric_value(parsed, "repro_b", {"rack": 'r"1"'}) == 2.5
+        assert metric_value(parsed, "repro_c_ms_count") == 1.0

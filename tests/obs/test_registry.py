@@ -1,0 +1,118 @@
+"""Registry tests: get-or-create, type conflicts, histograms, collectors."""
+
+import gc
+
+import pytest
+
+from repro.obs import MetricsRegistry, Sample
+
+
+class TestInstruments:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", help="x")
+        b = registry.counter("repro_x_total")
+        assert a is b
+        a.inc()
+        b.inc(2)
+        assert a.value == 3.0
+
+    def test_labels_distinguish_instruments_within_a_family(self):
+        registry = MetricsRegistry()
+        sat = registry.counter("repro_checks_total", labels={"status": "sat"})
+        unsat = registry.counter("repro_checks_total", labels={"status": "unsat"})
+        assert sat is not unsat
+        sat.inc()
+        values = registry.snapshot()
+        assert values["repro_checks_total{status=sat}"] == 1.0
+        assert values["repro_checks_total{status=unsat}"] == 0.0
+
+    def test_type_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_x_total")
+
+    def test_counters_reject_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("repro_x_total").inc(-1)
+
+    def test_histogram_cumulative_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_latency_ms", (1.0, 5.0, 10.0))
+        for value in (0.5, 0.9, 3.0, 7.0, 50.0):
+            hist.observe(value)
+        assert hist.cumulative() == [
+            (1.0, 2),
+            (5.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+        assert hist.sum == pytest.approx(61.4)
+        assert hist.count == 5
+
+    def test_histogram_bucket_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_ms", (1.0, 5.0))
+        with pytest.raises(ValueError, match="other buckets"):
+            registry.histogram("repro_latency_ms", (1.0, 2.0))
+
+    def test_histogram_renders_as_bucket_sum_count_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_ms", (1.0,)).observe(0.4)
+        names = {sample.name for sample in registry.collect()}
+        assert names == {
+            "repro_latency_ms_bucket",
+            "repro_latency_ms_sum",
+            "repro_latency_ms_count",
+        }
+        buckets = [
+            sample
+            for sample in registry.collect()
+            if sample.name == "repro_latency_ms_bucket"
+        ]
+        assert [dict(s.labels)["le"] for s in buckets] == ["1.0", "+Inf"]
+
+
+class _Component:
+    """A stand-in for an enforcer/scheduler exposing its state on scrape."""
+
+    def __init__(self) -> None:
+        self.records = 0
+
+    @staticmethod
+    def samples(component: "_Component"):
+        return [Sample.counter("repro_component_records_total", component.records)]
+
+
+class TestCollectors:
+    def test_collector_renders_live_owner_state(self):
+        registry = MetricsRegistry()
+        component = _Component()
+        registry.register_collector("c", _Component.samples, owner=component)
+        component.records = 7
+        assert registry.snapshot()["repro_component_records_total"] == 7.0
+
+    def test_weakly_owned_collector_vanishes_on_gc(self):
+        registry = MetricsRegistry()
+        component = _Component()
+        registry.register_collector("c", _Component.samples, owner=component)
+        assert "repro_component_records_total" in registry.snapshot()
+        del component
+        gc.collect()
+        assert "repro_component_records_total" not in registry.snapshot()
+
+    def test_reregistering_a_key_replaces_the_collector(self):
+        registry = MetricsRegistry()
+        first, second = _Component(), _Component()
+        first.records, second.records = 1, 2
+        registry.register_collector("c", _Component.samples, owner=first)
+        registry.register_collector("c", _Component.samples, owner=second)
+        assert registry.snapshot()["repro_component_records_total"] == 2.0
+
+    def test_unregister_collector(self):
+        registry = MetricsRegistry()
+        registry.register_collector("c", lambda: [Sample.gauge("repro_g", 1)])
+        registry.unregister_collector("c")
+        assert registry.snapshot() == {}

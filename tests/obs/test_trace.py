@@ -1,0 +1,174 @@
+"""Span tracer tests: parenting, exact timing, the ring bound, the sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    OBS,
+    ManualClock,
+    SPAN_SCHEMA_VERSION,
+    SpanTracer,
+    load_trace,
+    validate_span,
+)
+
+
+class TestSpanLifecycle:
+    def test_manual_clock_gives_exact_durations(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock=clock)
+        outer = tracer.start("record")
+        clock.advance(0.5)
+        inner = tracer.start("step", parent=outer)
+        clock.advance(0.25)
+        inner_span = tracer.end(inner)
+        outer_span = tracer.end(outer)
+        assert inner_span["dur_s"] == 0.25
+        assert outer_span["dur_s"] == 0.75
+        assert inner_span["parent"] == outer
+        assert outer_span["parent"] is None
+
+    def test_end_attrs_merge_over_start_attrs(self):
+        tracer = SpanTracer(clock=ManualClock())
+        span_id = tracer.start("step", attrs={"variable": "I0", "try": 1})
+        span = tracer.end(span_id, attrs={"try": 2, "value": 7})
+        assert span["attrs"] == {"variable": "I0", "try": 2, "value": 7}
+
+    def test_children_are_emitted_before_parents(self):
+        tracer = SpanTracer(clock=ManualClock())
+        outer = tracer.start("record")
+        inner = tracer.start("step", parent=outer)
+        tracer.end(inner)
+        tracer.end(outer)
+        names = [span["name"] for span in tracer.drain()]
+        assert names == ["step", "record"]
+
+    def test_ending_unknown_span_raises(self):
+        tracer = SpanTracer(clock=ManualClock())
+        with pytest.raises(KeyError):
+            tracer.end(99)
+
+    def test_abandon_drops_without_emitting(self):
+        tracer = SpanTracer(clock=ManualClock())
+        span_id = tracer.start("record")
+        tracer.abandon(span_id)
+        assert tracer.open_spans == 0
+        assert tracer.emitted == 0
+
+
+class TestRingAndSink:
+    def test_ring_is_bounded_and_counts_drops(self):
+        tracer = SpanTracer(ring_size=3, clock=ManualClock())
+        for index in range(5):
+            tracer.end(tracer.start("step", attrs={"i": index}))
+        assert tracer.emitted == 5
+        assert tracer.dropped == 2
+        kept = [span["attrs"]["i"] for span in tracer.drain()]
+        assert kept == [2, 3, 4]  # newest wins
+
+    def test_sink_receives_every_span_as_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = ManualClock()
+        tracer = SpanTracer(ring_size=2, sink=path, clock=clock)
+        for _ in range(4):
+            span_id = tracer.start("step")
+            clock.advance(0.001)
+            tracer.end(span_id)
+        tracer.close()
+        spans = load_trace(path)
+        assert len(spans) == 4  # the sink outlives the ring bound
+        for span in spans:
+            assert span["v"] == SPAN_SCHEMA_VERSION
+
+    def test_file_object_sink_is_not_closed(self):
+        buffer = io.StringIO()
+        tracer = SpanTracer(sink=buffer, clock=ManualClock())
+        tracer.end(tracer.start("record"))
+        tracer.close()
+        assert not buffer.closed
+        assert len(buffer.getvalue().splitlines()) == 1
+
+
+class TestValidation:
+    def _valid(self):
+        return {
+            "v": SPAN_SCHEMA_VERSION,
+            "span": 1,
+            "parent": None,
+            "name": "record",
+            "start": 0.0,
+            "end": 1.0,
+            "dur_s": 1.0,
+            "attrs": {"stage": "smt-confirm"},
+        }
+
+    def test_valid_span_passes(self):
+        assert validate_span(self._valid())["span"] == 1
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda s: s.update(v=99), "schema version"),
+            (lambda s: s.pop("dur_s"), "missing required field"),
+            (lambda s: s.update(name=7), "wrong type"),
+            (lambda s: s.update(parent="x"), "'parent'"),
+            (lambda s: s.update(dur_s=-1.0, end=-1.0), "negative duration"),
+            (lambda s: s["attrs"].update(bad=[1, 2]), "not a scalar"),
+        ],
+    )
+    def test_violations_raise_with_field_context(self, mutate, message):
+        span = self._valid()
+        mutate(span)
+        with pytest.raises(ValueError, match=message):
+            validate_span(span)
+
+    def test_load_trace_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(self._valid())
+        path.write_text(good + "\n{not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(path)
+
+
+class TestObservabilitySeam:
+    def teardown_method(self):
+        OBS.disable()
+
+    def test_inactive_profile_is_shared_null_span(self):
+        assert OBS.profile("record") is OBS.profile("step")
+        assert OBS.start_span("record") is None
+
+    def test_profile_nesting_sets_implicit_parent(self):
+        tracer = OBS.enable(SpanTracer(clock=ManualClock()))
+        with OBS.profile("record") as outer:
+            with OBS.profile("step"):
+                pass
+        spans = {span["name"]: span for span in tracer.drain()}
+        assert spans["step"]["parent"] == outer.span_id
+        assert spans["record"]["parent"] is None
+
+    def test_explicit_parent_overrides_the_stack(self):
+        tracer = OBS.enable(SpanTracer(clock=ManualClock()))
+        root = OBS.start_span("record", parent=None)
+        with OBS.profile("step"):
+            with OBS.profile("smt_confirm", parent=root):
+                pass
+        OBS.end_span(root)
+        spans = {span["name"]: span for span in tracer.drain()}
+        assert spans["smt_confirm"]["parent"] == root
+
+    def test_exception_is_annotated_and_span_still_emitted(self):
+        tracer = OBS.enable(SpanTracer(clock=ManualClock()))
+        with pytest.raises(RuntimeError):
+            with OBS.profile("repair"):
+                raise RuntimeError("boom")
+        (span,) = tracer.drain()
+        assert span["attrs"]["error"] == "RuntimeError"
+
+    def test_disable_detaches_tracer(self):
+        OBS.enable(SpanTracer(clock=ManualClock()))
+        OBS.disable()
+        assert OBS.active is False
+        assert OBS.tracer is None

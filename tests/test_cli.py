@@ -83,3 +83,82 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["train", "--data", str(empty), "--out",
                   str(tmp_path / "m.json")])
+
+
+class TestObservabilityCli:
+    def test_impute_trace_out_then_trace_report(
+        self, workspace, tmp_path, capsys
+    ):
+        _, _, model, rules = workspace
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "impute", "--model", str(model), "--rules", str(rules),
+            "--total", "50", "--cong", "0", "--retx", "0", "--egr", "50",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"trace out={trace}" in captured.err
+
+        from repro.obs.trace import load_trace
+
+        spans = load_trace(trace)  # validates every line
+        names = {span["name"] for span in spans}
+        assert {"record", "step", "lm_forward", "feasible_digits"} <= names
+
+        assert main(["trace-report", "--trace", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "per-record breakdown" in report
+        assert "1 records" in report
+
+    def test_trace_report_json_output(self, workspace, tmp_path, capsys):
+        _, _, model, rules = workspace
+        trace = tmp_path / "trace.jsonl"
+        main([
+            "impute", "--model", str(model), "--rules", str(rules),
+            "--total", "40", "--cong", "1", "--retx", "0", "--egr", "40",
+            "--trace-out", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["trace-report", "--trace", str(trace), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["records"] == 1
+        assert report["totals"]["lm_share"] + report["totals"][
+            "solver_share"
+        ] == pytest.approx(1.0)
+
+    def test_trace_report_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1, "span": "nope"}\n')
+        with pytest.raises(SystemExit, match="malformed trace"):
+            main(["trace-report", "--trace", str(bad)])
+
+    def test_stderr_records_parse_with_shared_kv_convention(
+        self, workspace, capsys
+    ):
+        from repro.obs import parse_kv
+
+        _, _, model, rules = workspace
+        main([
+            "impute", "--model", str(model), "--rules", str(rules),
+            "--total", "50", "--cong", "0", "--retx", "0", "--egr", "50",
+        ])
+        err_lines = capsys.readouterr().err.strip().splitlines()
+        events = {}
+        for line in err_lines:
+            event, pairs = parse_kv(line)
+            events[event] = pairs
+        assert events["degradation"]["records"] == "1"
+        assert "records_per_sec" in events["throughput"]
+
+    def test_tracing_is_disabled_after_the_command(self, workspace, tmp_path):
+        from repro.obs import OBS
+
+        _, _, model, rules = workspace
+        main([
+            "impute", "--model", str(model), "--rules", str(rules),
+            "--total", "50", "--cong", "0", "--retx", "0", "--egr", "50",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        ])
+        assert OBS.active is False
+        assert OBS.tracer is None
