@@ -20,8 +20,9 @@ import pytest
 from repro.core import EnforcementEngine, EnforcerConfig, JitEnforcer
 from repro.core import session as _session_module
 from repro.core.transition import DigitTransitionSystem
-from repro.data import build_dataset
-from repro.lm import NgramLM
+from repro.data import TelemetryConfig, build_dataset
+from repro.data.dataset import record_text
+from repro.lm import NgramLM, TransformerConfig, TransformerLM
 from repro.rules import (
     MinerOptions,
     domain_bound_rules,
@@ -234,11 +235,161 @@ def test_batched_engine_throughput(results_dir):
     assert hot["speedup_vs_legacy"] >= 1.2
 
 
+# ---------------------------------------------------------------------------
+# Decode-mode bench: incremental (KV cache) vs full re-encode, by length.
+# ---------------------------------------------------------------------------
+
+class DecodeParityError(AssertionError):
+    """Incremental decoding produced different record bytes than full."""
+
+
+def run_decode_bench(windows=(5, 12, 16, 20), modes=("full", "incremental"),
+                     records=24, trials=3, seed=5):
+    """Transformer decode throughput by record length and decode mode.
+
+    Two measurements per (window-size, mode) cell:
+
+    - ``lm_tokens_per_sec``: steady-state LM speed, isolated from solver
+      work by teacher-forcing a real record's token sequence through
+      ``next_distribution`` one step at a time (exactly the enforcement
+      loop's call pattern).  This is where the KV cache's O(1)-per-step
+      claim is visible: full mode re-encodes the whole prefix per step, so
+      its tokens/s falls with record length while incremental stays flat.
+    - ``records_per_sec``: end-to-end enforced imputation (solver included)
+      through the serial driver.
+
+    Every window size also byte-compares the enforced records produced by
+    the two modes at the same seed and raises :class:`DecodeParityError`
+    on any drift -- CI runs this bench precisely to catch parity rot.
+    """
+    report = {"records": records, "trials": trials, "modes": list(modes),
+              "windows": {}}
+    for window in windows:
+        config = TelemetryConfig(window=window)
+        dataset = build_dataset(
+            num_train_racks=2, num_test_racks=1, windows_per_rack=24,
+            config=config, seed=seed,
+        )
+        rules = paper_rules(config)
+        fallback = [domain_bound_rules(config)]
+        sample = max(
+            (record_text(w) for w in dataset.test_windows()), key=len
+        )
+        coarse = [w.coarse() for w in dataset.test_windows()[:8]]
+        prompts = (coarse * ((records + len(coarse) - 1) // len(coarse)))
+        prompts = prompts[:records]
+        entry = {"record_chars": len(sample), "modes": {}}
+
+        def fresh_model():
+            return TransformerLM(TransformerConfig(seed=11))
+
+        def fresh_enforcer(mode):
+            return JitEnforcer(
+                fresh_model(), rules, config,
+                EnforcerConfig(seed=13, decode_mode=mode),
+                fallback_rules=fallback,
+            )
+
+        outputs = {}
+        for mode in modes:
+            # Steady-state LM tokens/s: teacher-force one record's ids so
+            # both modes do identical token-level work.
+            model = fresh_model()
+            ids = model.tokenizer.encode(sample)
+            steps = len(ids) - 1
+            cache = model.new_kv_cache(1) if mode == "incremental" else None
+            best_lm = 0.0
+            for _ in range(trials):
+                start = time.perf_counter()
+                for position in range(1, len(ids)):
+                    if cache is not None:
+                        model.next_distribution(
+                            ids[:position], cache=cache, row=0
+                        )
+                    else:
+                        model.next_distribution(ids[:position])
+                best_lm = max(best_lm, steps / (time.perf_counter() - start))
+
+            # End-to-end enforced imputation through the serial driver.
+            best_e2e = 0.0
+            values = None
+            for _ in range(trials):
+                _clear_process_memos(model)
+                enforcer = fresh_enforcer(mode)
+                start = time.perf_counter()
+                values = [enforcer.impute(prompt) for prompt in prompts]
+                best_e2e = max(
+                    best_e2e, len(prompts) / (time.perf_counter() - start)
+                )
+            outputs[mode] = values
+            entry["modes"][mode] = {
+                "lm_tokens_per_sec": round(best_lm, 1),
+                "records_per_sec": round(best_e2e, 2),
+            }
+        if "full" in outputs and "incremental" in outputs:
+            if outputs["full"] != outputs["incremental"]:
+                raise DecodeParityError(
+                    f"window={window}: incremental records diverged from "
+                    "full-forward bytes at the same seed"
+                )
+            entry["parity"] = "byte-identical"
+            full_stats = entry["modes"]["full"]
+            inc_stats = entry["modes"]["incremental"]
+            entry["lm_speedup"] = round(
+                inc_stats["lm_tokens_per_sec"]
+                / full_stats["lm_tokens_per_sec"], 2,
+            )
+            entry["e2e_speedup"] = round(
+                inc_stats["records_per_sec"] / full_stats["records_per_sec"], 2,
+            )
+        report["windows"][str(window)] = entry
+    return report
+
+
+def _format_decode(report):
+    lines = ["Decode-mode bench: incremental (KV cache) vs full re-encode",
+             ""]
+    header = f"{'window':>7s}{'chars':>7s}"
+    for mode in report["modes"]:
+        header += f"{mode + ' tok/s':>20s}{mode + ' rec/s':>20s}"
+    header += f"{'lm speedup':>12s}{'parity':>16s}"
+    lines.append(header)
+    for window, entry in report["windows"].items():
+        row = f"{window:>7s}{entry['record_chars']:>7d}"
+        for mode in report["modes"]:
+            stats = entry["modes"][mode]
+            row += (f"{stats['lm_tokens_per_sec']:>20.1f}"
+                    f"{stats['records_per_sec']:>20.2f}")
+        row += (f"{entry.get('lm_speedup', 0.0):>12.2f}"
+                f"{entry.get('parity', 'n/a'):>16s}")
+        lines.append(row)
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_decode_mode_throughput(results_dir):
+    """CI smoke: incremental decode must beat full re-encode at length >=48.
+
+    The acceptance bar is >=2x steady-state LM tokens/s at record length
+    >= 48 chars; the assertion floor here is the bar itself (measured
+    locally at >5x), and the parity raise inside the bench is the real
+    guard -- any byte drift between modes fails the job outright.
+    """
+    report = run_decode_bench(windows=(16,), records=8, trials=2)
+    out = results_dir / "BENCH_decode.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    write_result(results_dir, "decode", _format_decode(report))
+    entry = report["windows"]["16"]
+    assert entry["record_chars"] >= 48
+    assert entry["parity"] == "byte-identical"
+    assert entry["lm_speedup"] >= 2.0
+
+
 if __name__ == "__main__":
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="batched-engine throughput bench (no pytest needed)"
+        description="batched-engine + decode-mode benches (no pytest needed)"
     )
     parser.add_argument("--batch-sizes", type=int, nargs="+",
                         default=[1, 8, 16])
@@ -246,15 +397,37 @@ if __name__ == "__main__":
     parser.add_argument("--trials", type=int, default=3)
     parser.add_argument("--out", type=str, default=None,
                         help="write the JSON report here")
+    parser.add_argument("--decode-mode", choices=["full", "incremental",
+                                                  "both", "off"],
+                        default="off",
+                        help="run the decode bench instead of the "
+                        "throughput bench ('both' also byte-checks parity)")
+    parser.add_argument("-n", "--size", choices=["small", "full"],
+                        default="full",
+                        help="decode bench size: small = one window size, "
+                        "fewer records (the CI smoke shape)")
     cli_args = parser.parse_args()
-    result = run_batched_throughput(
-        batch_sizes=tuple(cli_args.batch_sizes),
-        records=cli_args.records,
-        trials=cli_args.trials,
-    )
-    print(_format_throughput(result))
-    if cli_args.out:
-        with open(cli_args.out, "w") as handle:
+    if cli_args.decode_mode != "off":
+        modes = (("full", "incremental")
+                 if cli_args.decode_mode == "both"
+                 else (cli_args.decode_mode,))
+        if cli_args.size == "small":
+            result = run_decode_bench(windows=(16,), modes=modes,
+                                      records=8, trials=2)
+        else:
+            result = run_decode_bench(modes=modes)
+        print(_format_decode(result))
+        out_path = cli_args.out or "BENCH_decode.json"
+    else:
+        result = run_batched_throughput(
+            batch_sizes=tuple(cli_args.batch_sizes),
+            records=cli_args.records,
+            trials=cli_args.trials,
+        )
+        print(_format_throughput(result))
+        out_path = cli_args.out
+    if out_path:
+        with open(out_path, "w") as handle:
             json.dump(result, handle, indent=2)
             handle.write("\n")
-        print(f"saved {cli_args.out}")
+        print(f"saved {out_path}")

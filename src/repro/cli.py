@@ -110,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     impute_cmd.add_argument("--seed", type=int, default=0)
     for name in COARSE_FIELDS:
         impute_cmd.add_argument(f"--{name}", required=True, type=int)
+    _add_decode_args(impute_cmd)
     _add_trace_args(impute_cmd)
     _add_budget_args(impute_cmd)
 
@@ -122,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=1,
         help="records generated per lock-step batch (1 = legacy serial path)",
     )
+    _add_decode_args(synth_cmd)
     _add_trace_args(synth_cmd)
     _add_budget_args(synth_cmd)
 
@@ -152,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="oracle cache capacity (0 disables the cache)",
     )
     serve_cmd.add_argument("--seed", type=int, default=0)
+    _add_decode_args(serve_cmd)
     _add_budget_args(serve_cmd)
 
     bench_cmd = sub.add_parser(
@@ -187,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the aggregate as JSON instead of tables",
     )
     return parser
+
+
+def _add_decode_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--decode-mode", choices=["incremental", "full"], default="incremental",
+        help="incremental = per-lane KV cache (default); full = re-encode "
+        "the whole prefix each step (bytes are identical either way)",
+    )
 
 
 def _add_trace_args(cmd: argparse.ArgumentParser) -> None:
@@ -242,6 +253,7 @@ def _enforcer_config_from(args) -> EnforcerConfig:
         budget=_budget_from(args),
         max_budget_retries=args.budget_retries,
         posthoc_repair=not args.no_posthoc_repair,
+        decode_mode=getattr(args, "decode_mode", "incremental"),
     )
 
 

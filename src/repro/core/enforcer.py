@@ -138,6 +138,19 @@ def _enforcer_samples(enforcer: "JitEnforcer") -> List[Sample]:
             "repro_enforcer_oracle_cache_entries", stats["entries"],
             help="Oracle cache resident entries",
         ))
+    # LM-side cache counters, uniform across backends: the transformer
+    # aggregates its KV caches, the n-gram its context-row memo -- both
+    # expose lm_cache_stats() with the same hit/miss/invalidation keys.
+    lm_cache_stats = getattr(enforcer.model, "lm_cache_stats", None)
+    if callable(lm_cache_stats):
+        stats = lm_cache_stats()
+        backend = str(stats.get("backend", "unknown"))
+        for key in ("hits", "misses", "invalidations"):
+            samples.append(Sample.counter(
+                f"repro_lm_cache_{key}_total", stats.get(key, 0),
+                labels={"backend": backend},
+                help=f"LM decode cache {key}",
+            ))
     return samples
 
 
@@ -195,6 +208,14 @@ class JitEnforcer:
         )
         self._lane = self._build_lane()
         self.meter = self._lane.meter
+        # One-row KV cache for the synchronous driver's single lane;
+        # models without KV-cache support (n-gram) keep their native path.
+        self._kv_cache = (
+            model.new_kv_cache(1)
+            if self.config.decode_mode == "incremental"
+            and getattr(model, "supports_kv_cache", False)
+            else None
+        )
         self._rng_entropy = self.config.seed
         self._record_counter = 0
         self._audit_cache: Dict[Tuple, RuleSet] = {}
@@ -359,21 +380,39 @@ class JitEnforcer:
         variables: Sequence[str],
     ) -> RecordOutcome:
         start_time = OBS.clock.now()
+        mode = "incremental" if self._kv_cache is not None else "full"
         try:
             session = self.open_session(fixed, prompt_text, variables)
             request = session.start()
             while request is not None:
                 self.trace.lm_calls += 1
                 if OBS.active:
-                    with OBS.profile("lm_forward", parent=session.span, rows=1):
-                        distribution = self.model.next_distribution(request)
+                    with OBS.profile(
+                        "lm_forward", parent=session.span, rows=1, mode=mode
+                    ):
+                        distribution = self._next_distribution(request)
                 else:
-                    distribution = self.model.next_distribution(request)
+                    distribution = self._next_distribution(request)
                 request = session.step(distribution)
             return session.result()
+        except BaseException:
+            # The cache row may hold a prefix the aborted session never
+            # unwound; the prefix-match would recover, but counting it as
+            # a hit after a fault would lie.
+            if self._kv_cache is not None:
+                self._kv_cache.invalidate(0)
+            raise
         finally:
             self.trace.wall_time += OBS.clock.now() - start_time
             self.trace.solver_work = self.meter.snapshot()
+
+    def _next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        """One model call, routed through the serial KV-cache row if any."""
+        if self._kv_cache is not None:
+            return self.model.next_distribution(
+                prefix_ids, cache=self._kv_cache, row=0
+            )
+        return self.model.next_distribution(prefix_ids)
 
     def _auditable(self, rules: RuleSet, values: Mapping[str, int]) -> RuleSet:
         """Rules whose variables are all assigned in ``values``.

@@ -81,6 +81,19 @@ class LanePool:
             enforcer._build_lane(cache=self.cache, pool_reuse=solver_pool)
             for _ in range(size)
         ]
+        # Per-lane KV-cache rows for incremental LM decoding: row i belongs
+        # to lane i for the pool's lifetime.  Lane reuse and session rewinds
+        # are handled by the cache's prefix matching (the next lookup trims
+        # to the common prefix); drivers explicitly invalidate a row when
+        # its session dies mid-record.  None when the model has no KV-cache
+        # support (n-gram) or the config says decode_mode="full".
+        model = enforcer.model
+        self.kv_cache = (
+            model.new_kv_cache(size)
+            if enforcer.config.decode_mode == "incremental"
+            and getattr(model, "supports_kv_cache", False)
+            else None
+        )
 
     def solver_work(self) -> Dict[str, int]:
         """Aggregate deterministic solver counters across every lane.
@@ -96,6 +109,9 @@ class LanePool:
 
     def cache_stats(self) -> Optional[Dict[str, float]]:
         return self.cache.stats() if self.cache is not None else None
+
+    def lm_cache_stats(self) -> Optional[Dict[str, float]]:
+        return self.kv_cache.stats() if self.kv_cache is not None else None
 
 
 @dataclass
@@ -232,6 +248,8 @@ class EnforcementEngine:
         start_time = time.perf_counter()
         model = self.enforcer.model
         trace = self.enforcer.trace
+        kv_cache = self.pool.kv_cache
+        mode = "incremental" if kv_cache is not None else "full"
         queue: Deque[Tuple[int, RecordRequest]] = deque(enumerate(requests))
         results: List[Union[RecordOutcome, BaseException, None]] = [None] * len(
             requests
@@ -239,10 +257,14 @@ class EnforcementEngine:
         slots: List[_Slot] = [None] * self.batch_size
         self.stats.submitted += len(requests)
 
-        def harvest(index: int, session: EnforcementSession) -> None:
+        def harvest(index: int, session: EnforcementSession, slot_index: int) -> None:
             if session.error is not None:
                 results[index] = session.error
                 self.stats.failed += 1
+                # The session died mid-record; its lane's cache row holds a
+                # prefix that no longer corresponds to committed output.
+                if kv_cache is not None:
+                    kv_cache.invalidate(slot_index)
             else:
                 results[index] = session.outcome
                 self.stats.completed += 1
@@ -263,7 +285,7 @@ class EnforcementEngine:
                         )
                         pending = session.start()
                         if session.done:
-                            harvest(index, session)
+                            harvest(index, session, slot_index)
                         else:
                             slots[slot_index] = (index, session, pending)
                 live = [
@@ -277,14 +299,21 @@ class EnforcementEngine:
                 # The span is a root (parent=None): one forward serves many
                 # records, so attributing it to any single one would lie --
                 # trace-report surfaces it as the shared_lm bucket instead.
+                # Each live lane decodes against its own KV-cache row
+                # (lane i <-> row i), so output is independent of which
+                # lanes happen to be live.
+                prefixes = [pending for _, (_, _, pending) in live]
+                lanes_live = [slot_index for slot_index, _ in live]
                 if OBS.active:
-                    with OBS.profile("lm_forward", parent=None, rows=len(live)):
+                    with OBS.profile(
+                        "lm_forward", parent=None, rows=len(live), mode=mode
+                    ):
                         distributions = batched_next_distributions(
-                            model, [pending for _, (_, _, pending) in live]
+                            model, prefixes, cache=kv_cache, rows=lanes_live
                         )
                 else:
                     distributions = batched_next_distributions(
-                        model, [pending for _, (_, _, pending) in live]
+                        model, prefixes, cache=kv_cache, rows=lanes_live
                     )
                 trace.lm_calls += 1
                 self.stats.lm_calls += 1
@@ -294,7 +323,7 @@ class EnforcementEngine:
                 ):
                     pending = session.step(row)
                     if session.done:
-                        harvest(index, session)
+                        harvest(index, session, slot_index)
                         slots[slot_index] = None
                     else:
                         slots[slot_index] = (index, session, pending)
@@ -319,4 +348,5 @@ class EnforcementEngine:
         out = self.stats.snapshot()
         out["batch_size"] = self.batch_size
         out["cache"] = self.pool.cache_stats()
+        out["lm_cache"] = self.pool.lm_cache_stats()
         return out

@@ -146,10 +146,18 @@ class EnforcerConfig:
     # records and concurrent sessions through an OracleCache of this many
     # entries; 0 disables caching (the legacy behavior).
     oracle_cache_entries: int = 0
+    # LM decode strategy: "incremental" reuses per-lane KV-cache rows so
+    # each step only encodes new tokens (models without KV-cache support,
+    # e.g. the n-gram backend, silently keep their native path); "full"
+    # re-encodes the whole prefix every step (the legacy behavior, and the
+    # automatic fallback when a prefix outgrows the context window).
+    decode_mode: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.oracle not in ("hybrid", "smt", "interval"):
             raise ValueError(f"unknown oracle tier {self.oracle!r}")
+        if self.decode_mode not in ("incremental", "full"):
+            raise ValueError(f"unknown decode_mode {self.decode_mode!r}")
 
 
 @dataclass

@@ -7,6 +7,7 @@ Witten-Bell n-gram model (:class:`NgramLM`) for benchmark-scale generation.
 
 from .base import LanguageModel, batched_next_distributions
 from .checkpoint import load_ngram, load_transformer, save_ngram, save_transformer
+from .kv_cache import KVCache
 from .model import TransformerConfig, TransformerLM
 from .ngram import NgramLM
 from .sampler import DeadEndError, MaskHook, SampleTrace, sample_steps, sample_tokens
@@ -21,6 +22,7 @@ from .train import TrainConfig, TrainReport, evaluate_loss, make_batches, train_
 
 __all__ = [
     "LanguageModel",
+    "KVCache",
     "batched_next_distributions",
     "save_transformer",
     "load_transformer",

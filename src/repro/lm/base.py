@@ -13,7 +13,7 @@ single-prefix method, so third-party models keep working unchanged.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -38,7 +38,10 @@ class LanguageModel(Protocol):
 
 
 def batched_next_distributions(
-    model: LanguageModel, batch_of_prefix_ids: Sequence[Sequence[int]]
+    model: LanguageModel,
+    batch_of_prefix_ids: Sequence[Sequence[int]],
+    cache=None,
+    rows: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
     """Next-token distributions for a batch of prefixes, shape (B, V).
 
@@ -48,9 +51,21 @@ def batched_next_distributions(
     every :class:`LanguageModel` usable under the batched engine.  Each
     returned row is exactly what ``next_distribution`` would return for
     that prefix, so batching never changes sampling behavior.
+
+    ``cache``/``rows`` route incremental decoding: drivers that obtained a
+    KV cache from ``model.new_kv_cache`` pass it back with one cache row
+    per prefix, and the model reuses each row's cached K/V instead of
+    re-encoding the whole prefix.  Both are ignored for models without
+    KV-cache support (``cache`` is then always None -- only the model's own
+    ``new_kv_cache`` produces one).
     """
     batched = getattr(model, "next_distributions", None)
     if batched is not None:
+        if cache is not None:
+            return np.asarray(
+                batched(batch_of_prefix_ids, cache=cache, rows=rows),
+                dtype=np.float64,
+            )
         return np.asarray(batched(batch_of_prefix_ids), dtype=np.float64)
     return np.stack(
         [

@@ -3,19 +3,61 @@
 Architecture mirrors GPT-2 at miniature scale: learned token + position
 embeddings, pre-norm blocks with causal multi-head self-attention and a GELU
 MLP, weight-tied output head.  Built entirely on :mod:`repro.autograd`.
+
+Inference never touches the autograd tape.  ``forward`` remains the
+training path (builds the reverse-mode graph); ``next_distribution`` and
+``next_distributions`` run one of two pure-numpy fast paths instead:
+
+* :meth:`TransformerLM._forward_data` -- the *full* path: vectorized over
+  (B, T) like ``forward`` and numerically **bit-identical** to it (every
+  kernel mirrors the exact numpy expressions the autograd ops execute,
+  down to float32 scalar wrapping), just without allocating ``Tensor``
+  nodes per op.
+* :meth:`TransformerLM.forward_incremental` -- the *incremental* path:
+  per-lane, per-token kernels over a :class:`~repro.lm.kv_cache.KVCache`,
+  computing Q/K/V only for new tokens and attending against cached keys.
+  O(1) work per step in prefix length instead of O(T).
+
+The incremental path is intentionally **per-lane**: each row is decoded
+by 1-D/one-token kernels that never see its batch-mates, so cached
+decoding is bitwise-reproducible at any batch size and across the serial
+/ batched / serving drivers.  It is *not* bit-identical to the vectorized
+full path -- BLAS reduction order depends on matrix shape, so a sliced
+matmul already differs from a row of the batched one in the last ulp --
+but the two agree to float32 roundoff and, at fixed seeds, produce
+byte-identical enforced records (asserted in tests/lm/test_kv_cache.py
+and benchmarks/bench_scaling.py).
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import Dropout, Embedding, LayerNorm, Linear, Module, Tensor, no_grad
+from .kv_cache import KVCache
 from .tokenizer import CharTokenizer
 
 __all__ = ["TransformerConfig", "TransformerLM"]
+
+
+# Causal masks memoized by sequence length: the hot loop calls attention
+# with the same handful of lengths thousands of times, and np.triu on a
+# fresh (T, T) allocation was measurable.  Bounded in practice by max_len.
+_CAUSAL_MASKS: Dict[int, np.ndarray] = {}
+
+
+def _causal_mask(seq: int) -> np.ndarray:
+    mask = _CAUSAL_MASKS.get(seq)
+    if mask is None:
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        mask.setflags(write=False)
+        _CAUSAL_MASKS[seq] = mask
+    return mask
 
 
 @dataclass
@@ -50,8 +92,7 @@ class CausalSelfAttention(Module):
         q, k, v = qkv[0], qkv[1], qkv[2]
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
-        causal = np.triu(np.ones((seq, seq), dtype=bool), k=1)
-        scores = scores.masked_fill(causal, -1e9)
+        scores = scores.masked_fill(_causal_mask(seq), -1e9)
         attention = scores.softmax(axis=-1)
         attention = self.dropout(attention)
         out = attention @ v  # (B, H, T, hd)
@@ -75,8 +116,35 @@ class Block(Module):
         return x
 
 
+def _layer_norm_data(
+    x: np.ndarray, gain: np.ndarray, shift: np.ndarray, eps: float
+) -> np.ndarray:
+    """Bit-exact mirror of ``LayerNorm.forward`` on raw arrays.
+
+    ``Tensor.mean`` is ``sum * (1/count)`` with the scalar wrapped to
+    float32, and the autograd ``x - mu`` lowers to ``x + (-mu)`` -- both
+    reproduce here so the graph-free path matches ``forward()`` bitwise.
+    """
+    count = np.float32(1.0 / float(x.shape[-1]))
+    mu = x.sum(axis=-1, keepdims=True) * count
+    centered = x + (-mu)
+    var = (centered * centered).sum(axis=-1, keepdims=True) * count
+    normalized = centered * ((var + np.float32(eps)) ** -0.5)
+    return normalized * gain + shift
+
+
+def _gelu_data(x: np.ndarray) -> np.ndarray:
+    """Bit-exact mirror of ``Tensor.gelu`` (tanh-approximated GELU)."""
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    inner = c * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t)
+
+
 class TransformerLM(Module):
     """GPT-style causal LM implementing the LeJIT ``LanguageModel`` protocol."""
+
+    supports_kv_cache = True
 
     def __init__(
         self,
@@ -96,6 +164,11 @@ class TransformerLM(Module):
             self._modules[f"block{idx}"] = block
         self.ln_final = LayerNorm(config.d_model)
         self.head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+        # Caches handed out by new_kv_cache, tracked weakly so
+        # lm_cache_stats() can aggregate without pinning driver lifetimes.
+        self._kv_caches: "weakref.WeakSet[KVCache]" = weakref.WeakSet()
+
+    # -- training path (autograd graph) ----------------------------------------
 
     def forward(self, ids: np.ndarray) -> Tensor:
         """ids: int array (B, T) -> logits Tensor (B, T, V)."""
@@ -109,53 +182,304 @@ class TransformerLM(Module):
             x = block(x)
         return self.head(self.ln_final(x))
 
-    def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
-        """LanguageModel protocol: next-token probabilities for one prefix."""
-        ids = np.asarray(prefix_ids, dtype=np.int64)[None, -self.config.max_len :]
+    # -- inference plumbing ------------------------------------------------------
+
+    @contextmanager
+    def _inference(self):
+        """no_grad + eval for the duration of one inference call.
+
+        Hoisted out of next_distribution/next_distributions, which used to
+        toggle ``self.eval()``/``self.train()`` (a full module-tree walk,
+        twice) on *every* decode step.  The walk now only happens in the
+        rare case the model is actually in training mode.
+        """
         with no_grad():
             was_training = self.training
-            self.eval()
-            logits = self.forward(ids).data[0, -1]
             if was_training:
-                self.train()
+                self.eval()
+            try:
+                yield
+            finally:
+                if was_training:
+                    self.train()
+
+    def _block_weights(self, block: Block):
+        attn = block.attn
+        return (
+            block.ln1.gain.data,
+            block.ln1.shift.data,
+            block.ln1.eps,
+            attn.qkv.weight.data,
+            attn.qkv.bias.data,
+            attn.proj.weight.data,
+            attn.proj.bias.data,
+            block.ln2.gain.data,
+            block.ln2.shift.data,
+            block.ln2.eps,
+            block.fc.weight.data,
+            block.fc.bias.data,
+            block.proj.weight.data,
+            block.proj.bias.data,
+        )
+
+    def _inference_weights(self):
+        """Raw parameter arrays for the graph-free kernels.
+
+        Collected per call (a few dozen attribute reads) rather than
+        memoized: optimizers and load_state_dict update ``.data`` in
+        place, but nothing stops a caller from rebinding it.
+        """
+        return (
+            self.token_embedding.weight.data,
+            self.position_embedding.weight.data,
+            [self._block_weights(block) for block in self.blocks],
+            self.ln_final.gain.data,
+            self.ln_final.shift.data,
+            self.ln_final.eps,
+            self.head.weight.data,
+        )
+
+    # -- full fast path (vectorized, bitwise-equal to forward()) -----------------
+
+    def _forward_data(self, ids: np.ndarray) -> np.ndarray:
+        """Graph-free twin of :meth:`forward`: (B, T) ids -> (B, T, V) logits.
+
+        Every expression mirrors what the autograd ops execute on ``.data``
+        (same numpy calls, shapes, order, and float32 scalar wrapping), so
+        the result is bit-identical to ``forward(ids).data`` in eval mode
+        -- asserted in tests/lm/test_kv_cache.py -- while allocating zero
+        ``Tensor`` nodes in the hot loop.
+        """
+        ids = np.asarray(ids)
+        batch, seq = ids.shape
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len")
+        tok, pos, blocks, gain_f, shift_f, eps_f, head = self._inference_weights()
+        n_heads, head_dim = self.config.n_heads, self.config.d_model // self.config.n_heads
+        scale = np.float32(1.0 / np.sqrt(head_dim))
+        causal = _causal_mask(seq)
+        x = tok[ids] + pos[np.arange(seq)]
+        for (
+            gain1, shift1, eps1, w_qkv, b_qkv, w_proj, b_proj,
+            gain2, shift2, eps2, w_fc, b_fc, w_out, b_out,
+        ) in blocks:
+            h = _layer_norm_data(x, gain1, shift1, eps1)
+            qkv = (h @ w_qkv) + b_qkv
+            qkv = qkv.reshape(batch, seq, 3, n_heads, head_dim)
+            qkv = qkv.transpose(2, 0, 3, 1, 4)
+            q, k, v = qkv[0], qkv[1], qkv[2]
+            scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+            scores = np.where(causal, np.float32(-1e9), scores)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            attention = exp / exp.sum(axis=-1, keepdims=True)
+            out = (attention @ v).transpose(0, 2, 1, 3).reshape(batch, seq, -1)
+            x = x + ((out @ w_proj) + b_proj)
+            h2 = _layer_norm_data(x, gain2, shift2, eps2)
+            x = x + ((_gelu_data((h2 @ w_fc) + b_fc) @ w_out) + b_out)
+        return _layer_norm_data(x, gain_f, shift_f, eps_f) @ head
+
+    # -- incremental fast path (per-lane KV cache) -------------------------------
+
+    def new_kv_cache(self, rows: int) -> KVCache:
+        """Allocate a decode cache with one row per lane."""
+        cache = KVCache(
+            rows=rows,
+            n_layers=self.config.n_layers,
+            n_heads=self.config.n_heads,
+            max_len=self.config.max_len,
+            head_dim=self.config.d_model // self.config.n_heads,
+        )
+        self._kv_caches.add(cache)
+        return cache
+
+    def lm_cache_stats(self) -> Dict[str, float]:
+        """Aggregate hit/miss/invalidation counters over live caches."""
+        totals = {
+            "backend": "transformer",
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "fallbacks": 0,
+            "tokens_reused": 0,
+            "tokens_computed": 0,
+        }
+        for cache in list(self._kv_caches):
+            stats = cache.stats()
+            for key in (
+                "hits", "misses", "invalidations", "fallbacks",
+                "tokens_reused", "tokens_computed",
+            ):
+                totals[key] += stats[key]
+        return totals
+
+    def _decode_token(self, token_id: int, cache: KVCache, row: int, weights):
+        """Run one token through all layers, appending its K/V to the row.
+
+        Works on 1-D per-lane arrays: the lane never sees its batch-mates,
+        which is what makes cached decoding bitwise-independent of batch
+        composition.  Returns the (V,) logits at the new position.
+        """
+        tok, pos_table, blocks, gain_f, shift_f, eps_f, head = weights
+        n_heads, head_dim = self.config.n_heads, self.config.d_model // self.config.n_heads
+        scale = np.float32(1.0 / np.sqrt(head_dim))
+        position = cache.length(row)
+        keys_row = cache.keys[row]
+        values_row = cache.values[row]
+        x = tok[token_id] + pos_table[position]  # (D,)
+        for layer, (
+            gain1, shift1, eps1, w_qkv, b_qkv, w_proj, b_proj,
+            gain2, shift2, eps2, w_fc, b_fc, w_out, b_out,
+        ) in enumerate(blocks):
+            h = _layer_norm_data(x, gain1, shift1, eps1)
+            qkv = ((h @ w_qkv) + b_qkv).reshape(3, n_heads, head_dim)
+            keys_row[layer, :, position, :] = qkv[1]
+            values_row[layer, :, position, :] = qkv[2]
+            keys = keys_row[layer, :, : position + 1, :]  # (H, P, hd)
+            values = values_row[layer, :, : position + 1, :]
+            scores = (keys @ qkv[0][:, :, None])[:, :, 0] * scale  # (H, P)
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            attention = exp / exp.sum(axis=-1, keepdims=True)
+            context = (attention[:, None, :] @ values).reshape(-1)  # (D,)
+            x = x + ((context @ w_proj) + b_proj)
+            h2 = _layer_norm_data(x, gain2, shift2, eps2)
+            x = x + ((_gelu_data((h2 @ w_fc) + b_fc) @ w_out) + b_out)
+        cache.commit(row, token_id)
+        return _layer_norm_data(x, gain_f, shift_f, eps_f) @ head
+
+    def forward_incremental(
+        self,
+        ids_step: Sequence[Sequence[int]],
+        cache: KVCache,
+        rows: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Append new token(s) per row; (B, V) logits at each row's new end.
+
+        Computes Q/K/V only for the appended tokens and attends against
+        the row's cached keys.  The caller is responsible for prefix
+        bookkeeping (``KVCache.match``/``trim``); ``next_distribution``
+        and ``next_distributions`` wrap this with that logic plus the
+        full-forward fallback for prefixes beyond the context window.
+        """
+        if rows is None:
+            rows = range(len(ids_step))
+        weights = self._inference_weights()
+        logits = np.empty((len(ids_step), self.config.vocab_size), dtype=np.float32)
+        with self._inference():
+            for index, (row, step) in enumerate(zip(rows, ids_step)):
+                step_ids = np.atleast_1d(np.asarray(step, dtype=np.int64))
+                if step_ids.size == 0:
+                    raise ValueError("each step must append at least one token")
+                for token in step_ids:
+                    last = self._decode_token(int(token), cache, row, weights)
+                logits[index] = last
+        return logits
+
+    def _cached_logits(
+        self, ids: np.ndarray, cache: KVCache, row: int, weights
+    ) -> np.ndarray:
+        """Logits after ``ids`` for one lane, reusing the row's cached prefix."""
+        max_len = self.config.max_len
+        length = ids.shape[0]
+        if length == 0:
+            raise ValueError("prefix must contain at least BOS")
+        if length > max_len:
+            # A sliding window shifts every position index, so the cached
+            # K/V no longer line up.  Drop the row and take the full
+            # forward on the truncated window -- bitwise identical to what
+            # the uncached path computes for the same prefix.
+            cache.invalidate(row)
+            cache.note_fallback()
+            return self._forward_data(ids[None, -max_len:])[0, -1]
+        matched = cache.match(row, ids)
+        if matched >= length:
+            # Whole prefix already cached (rewind to a seen state): logits
+            # aren't stored, so recompute just the last token.
+            matched = length - 1
+        cache.trim(row, matched)
+        cache.note_lookup(matched, length - matched)
+        for token in ids[matched:]:
+            logits = self._decode_token(int(token), cache, row, weights)
+        return logits
+
+    # -- LanguageModel protocol ---------------------------------------------------
+
+    def next_distribution(
+        self,
+        prefix_ids: Sequence[int],
+        cache: Optional[KVCache] = None,
+        row: int = 0,
+    ) -> np.ndarray:
+        """LanguageModel protocol: next-token probabilities for one prefix.
+
+        With a ``cache``, decodes incrementally against the given row;
+        without one, runs the vectorized graph-free full forward (bitwise
+        identical to the historical autograd path).
+        """
+        ids = np.asarray(prefix_ids, dtype=np.int64)
+        with self._inference():
+            if cache is not None:
+                logits = self._cached_logits(ids, cache, row, self._inference_weights())
+            else:
+                logits = self._forward_data(ids[None, -self.config.max_len :])[0, -1]
         return self._softmax(logits)
 
     def next_distributions(
-        self, batch_of_prefix_ids: Sequence[Sequence[int]]
+        self,
+        batch_of_prefix_ids: Sequence[Sequence[int]],
+        cache: Optional[KVCache] = None,
+        rows: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
-        """Batched protocol: (B, V) next-token probabilities in one forward.
+        """Batched protocol: (B, V) next-token probabilities.
 
-        Prefixes are truncated to the context window, right-padded with PAD
-        to the longest row, and pushed through a single vectorized forward
-        pass; causal attention guarantees the padding can never influence
-        the logits at each row's last real position, which are the ones
-        gathered here.  One (B, T) matmul pipeline replaces B sequential
-        forwards -- the batching win the lock-step engine is built around.
+        Cached mode decodes each lane independently through the per-token
+        kernels -- rows are bitwise identical to the serial cached path at
+        any batch size.  Uncached mode keeps the padded single-forward
+        batch: prefixes are truncated to the context window, right-padded
+        with PAD to the longest row, and pushed through one vectorized
+        forward; causal attention guarantees the padding can never
+        influence the logits at each row's last real position, which are
+        the ones gathered here.
         """
         if len(batch_of_prefix_ids) == 0:
             return np.zeros((0, self.config.vocab_size), dtype=np.float64)
-        rows = [
+        if cache is not None:
+            if rows is None:
+                rows = range(len(batch_of_prefix_ids))
+            with self._inference():
+                weights = self._inference_weights()
+                return np.stack(
+                    [
+                        self._softmax(
+                            self._cached_logits(
+                                np.asarray(prefix, dtype=np.int64), cache, row, weights
+                            )
+                        )
+                        for prefix, row in zip(batch_of_prefix_ids, rows)
+                    ]
+                )
+        prefix_rows = [
             np.asarray(prefix, dtype=np.int64)[-self.config.max_len :]
             for prefix in batch_of_prefix_ids
         ]
-        lengths = np.array([len(row) for row in rows], dtype=np.int64)
+        lengths = np.array([len(row) for row in prefix_rows], dtype=np.int64)
         if np.any(lengths == 0):
             raise ValueError("every prefix must contain at least BOS")
         width = int(lengths.max())
-        ids = np.full((len(rows), width), self.tokenizer.pad_id, dtype=np.int64)
-        for index, row in enumerate(rows):
+        ids = np.full((len(prefix_rows), width), self.tokenizer.pad_id, dtype=np.int64)
+        for index, row in enumerate(prefix_rows):
             ids[index, : len(row)] = row
-        with no_grad():
-            was_training = self.training
-            self.eval()
-            logits = self.forward(ids).data
-            if was_training:
-                self.train()
-        last = logits[np.arange(len(rows)), lengths - 1]
+        with self._inference():
+            logits = self._forward_data(ids)
+        last = logits[np.arange(len(prefix_rows)), lengths - 1]
         return self._softmax(last)
 
     @staticmethod
     def _softmax(logits: np.ndarray) -> np.ndarray:
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted.astype(np.float64))
-        return exp / exp.sum(axis=-1, keepdims=True)
+        # Single stable pass: one float64 buffer shifted, exponentiated in
+        # place, and normalized -- same bits as the old exp-then-divide.
+        shifted = (logits - logits.max(axis=-1, keepdims=True)).astype(np.float64)
+        np.exp(shifted, out=shifted)
+        shifted /= shifted.sum(axis=-1, keepdims=True)
+        return shifted

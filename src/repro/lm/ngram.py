@@ -38,6 +38,11 @@ class NgramLM:
         ]
         self._trained = False
         self._dist_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        # Cache-stats counters matching the transformer's KV cache, so
+        # /metrics reports LM cache behaviour uniformly across backends.
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
 
     def fit(self, texts: Iterable[str]) -> "NgramLM":
         """Count n-grams over records (each encoded with BOS, ending in \\n)."""
@@ -51,13 +56,49 @@ class NgramLM:
                     context = tuple(ids[position - k : position])
                     self._counts[k][context][token] += 1
         self._trained = True
-        self._dist_cache.clear()
+        self._invalidate_cache()
         return self
+
+    def _invalidate_cache(self) -> None:
+        if self._dist_cache:
+            self._cache_invalidations += 1
+        self._dist_cache.clear()
 
     def _context_key(self, prefix_ids: Sequence[int]) -> Tuple[int, ...]:
         """The distribution depends only on the last ``order - 1`` ids."""
         window = self.order - 1
         return tuple(prefix_ids[-window:]) if window else ()
+
+    def _lookup(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        """Memoized context-row lookup shared by both protocol entry points.
+
+        Rows sharing an (order-1)-gram context -- the common case under
+        lock-step scheduling, where every lane sits at the same field
+        position -- are computed once and reused, bitwise identical to a
+        fresh computation.  Bounded; cleared wholesale on overflow and on
+        :meth:`fit` (each counts as one invalidation).
+        """
+        key = self._context_key(prefix_ids)
+        cached = self._dist_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        computed = self._compute_distribution(prefix_ids)
+        if len(self._dist_cache) >= self._DIST_CACHE_LIMIT:
+            self._invalidate_cache()
+        self._dist_cache[key] = computed
+        return computed
+
+    def lm_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/invalidation counters in the transformer cache's shape."""
+        return {
+            "backend": "ngram",
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "invalidations": self._cache_invalidations,
+            "entries": len(self._dist_cache),
+        }
 
     def next_distributions(
         self, batch_of_prefix_ids: Sequence[Sequence[int]]
@@ -65,29 +106,21 @@ class NgramLM:
         """Batched protocol: the n-gram analogue of a vectorized forward.
 
         An n-gram "forward pass" is a table lookup, so the batch win is
-        deduplication: rows sharing an (order-1)-gram context -- the common
-        case under lock-step scheduling, where every lane sits at the same
-        field position -- are computed once and broadcast.  Computed rows
-        are memoized across steps (bounded), turning the hot loop into a
-        dictionary hit.  Each row is bitwise identical to what
-        ``next_distribution`` returns for that prefix.
+        deduplication via the shared :meth:`_lookup` memo.  Each row is
+        bitwise identical to what ``next_distribution`` returns.
         """
         out = np.empty(
             (len(batch_of_prefix_ids), self.tokenizer.vocab_size),
             dtype=np.float64,
         )
         for index, prefix in enumerate(batch_of_prefix_ids):
-            key = self._context_key(prefix)
-            cached = self._dist_cache.get(key)
-            if cached is None:
-                cached = self.next_distribution(prefix)
-                if len(self._dist_cache) >= self._DIST_CACHE_LIMIT:
-                    self._dist_cache.clear()
-                self._dist_cache[key] = cached
-            out[index] = cached
+            out[index] = self._lookup(prefix)
         return out
 
     def next_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
+        return self._lookup(prefix_ids)
+
+    def _compute_distribution(self, prefix_ids: Sequence[int]) -> np.ndarray:
         if not self._trained:
             raise RuntimeError("NgramLM.fit must be called before sampling")
         vocab = self.tokenizer.vocab_size

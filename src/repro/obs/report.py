@@ -65,6 +65,11 @@ def aggregate(spans: Sequence[Dict]) -> Dict:
 
     records: Dict[int, Dict[str, float]] = {}
     shared_lm_s = 0.0
+    # LM time split by decode mode (the lm_forward span's "mode" attr:
+    # "incremental" = KV-cached, "full" = whole-prefix re-encode).  Spans
+    # from traces predating the attribute count as "full".
+    lm_mode_s: Dict[str, float] = {}
+    lm_mode_calls: Dict[str, int] = {}
     for span in spans:
         if span["name"] == "record":
             records.setdefault(
@@ -77,6 +82,9 @@ def aggregate(spans: Sequence[Dict]) -> Dict:
             continue
         owner = record_ancestor(span)
         if name == "lm_forward":
+            mode = str(span.get("attrs", {}).get("mode", "full"))
+            lm_mode_s[mode] = lm_mode_s.get(mode, 0.0) + span["dur_s"]
+            lm_mode_calls[mode] = lm_mode_calls.get(mode, 0) + 1
             if owner is None:
                 shared_lm_s += span["dur_s"]
             else:
@@ -117,6 +125,11 @@ def aggregate(spans: Sequence[Dict]) -> Dict:
             "lm_ms": round(lm_total * _MS, 3),
             "solver_ms": round(solver_total * _MS, 3),
             "shared_lm_ms": round(shared_lm_s * _MS, 3),
+            "lm_mode_ms": {
+                mode: round(seconds * _MS, 3)
+                for mode, seconds in sorted(lm_mode_s.items())
+            },
+            "lm_mode_calls": dict(sorted(lm_mode_calls.items())),
             "lm_share": round(lm_total / attributed, 4) if attributed else 0.0,
             "solver_share": (
                 round(solver_total / attributed, 4) if attributed else 0.0
@@ -156,4 +169,14 @@ def format_report(report: Dict) -> str:
         f"record_wall={totals['record_wall_ms']:.2f}ms  "
         f"shared_lm={totals['shared_lm_ms']:.2f}ms",
     ]
+    modes = totals.get("lm_mode_ms", {})
+    if modes:
+        calls = totals.get("lm_mode_calls", {})
+        lines.append(
+            "lm by decode mode: "
+            + "  ".join(
+                f"{mode}={modes[mode]:.2f}ms/{calls.get(mode, 0)} calls"
+                for mode in sorted(modes)
+            )
+        )
     return "\n".join(lines)

@@ -337,16 +337,28 @@ class ContinuousBatchingScheduler:
                     continue
                 # Root span (parent=None): one forward serves many requests,
                 # so trace-report books it under the shared_lm bucket.
+                # Lane i decodes against KV-cache row i, so admission order
+                # and batch-mates never change a request's bytes.
+                kv_cache = self.pool.kv_cache
+                mode = "incremental" if kv_cache is not None else "full"
+                prefixes = [pending for _, (_, _, pending) in live]
+                lanes_live = [slot_index for slot_index, _ in live]
                 if OBS.active:
-                    with OBS.profile("lm_forward", parent=None, rows=len(live)):
+                    with OBS.profile(
+                        "lm_forward", parent=None, rows=len(live), mode=mode
+                    ):
                         rows = batched_next_distributions(
                             self.enforcer.model,
-                            [pending for _, (_, _, pending) in live],
+                            prefixes,
+                            cache=kv_cache,
+                            rows=lanes_live,
                         )
                 else:
                     rows = batched_next_distributions(
                         self.enforcer.model,
-                        [pending for _, (_, _, pending) in live],
+                        prefixes,
+                        cache=kv_cache,
+                        rows=lanes_live,
                     )
                 self.enforcer.trace.lm_calls += 1
                 self.lm_calls += 1
@@ -354,7 +366,7 @@ class ContinuousBatchingScheduler:
                 for row, (slot_index, (unit, session, _)) in zip(rows, live):
                     pending = session.step(row)
                     if session.done:
-                        self._harvest(unit, session)
+                        self._harvest(unit, session, slot_index)
                         self._slots[slot_index] = None
                     else:
                         self._slots[slot_index] = (unit, session, pending)
@@ -364,6 +376,8 @@ class ContinuousBatchingScheduler:
                 if slot is not None:
                     slot[0].request.fail(exc)
                     self._slots[slot_index] = None
+            if self.pool.kv_cache is not None:
+                self.pool.kv_cache.reset()
             self.queue.close(drain=False)
             raise
         finally:
@@ -425,9 +439,20 @@ class ContinuousBatchingScheduler:
             return self.enforcer.impute_plan(spec.coarse, spec.context)
         return self.enforcer.synthesize_plan(spec.context)
 
-    def _harvest(self, unit: _Unit, session: EnforcementSession) -> None:
+    def _harvest(
+        self,
+        unit: _Unit,
+        session: EnforcementSession,
+        slot_index: Optional[int] = None,
+    ) -> None:
         request = unit.request
         if session.error is not None:
+            # A session that died mid-record (deadline, cancellation, fault)
+            # leaves its lane's KV-cache row mid-prefix; retire the row so
+            # the next tenant starts clean.  slot_index is None only when
+            # the session finished inside start(), before any decode.
+            if slot_index is not None and self.pool.kv_cache is not None:
+                self.pool.kv_cache.evict_row(slot_index)
             if request.fail(session.error):
                 if isinstance(session.error, DeadlineExceeded):
                     self.expired += 1
@@ -488,6 +513,7 @@ class ContinuousBatchingScheduler:
                 else 0.0,
             },
             "oracle_cache": self.pool.cache_stats(),
+            "lm_cache": self.pool.lm_cache_stats(),
             "ladder": _safe_copy(self.enforcer.trace.ladder),
             "degraded_records": self.enforcer.trace.degraded_records,
             "budget": {

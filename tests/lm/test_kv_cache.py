@@ -1,0 +1,299 @@
+"""KV-cache parity suite: incremental decoding must be invisible in output.
+
+Layered guarantees, weakest to strongest:
+
+* the graph-free full forward is *bitwise* identical to the autograd path
+  (it mirrors the exact numpy expressions, so this is exact, not approx);
+* the per-token incremental kernel matches the full forward to float32
+  rounding on distributions (bitwise equality is impossible here: OpenBLAS
+  picks different kernels for (T,D)@(D,D) and (1,D)@(D,D) matmuls);
+* cached decoding is *bitwise* deterministic with respect to itself --
+  replaying any prefix against a warm, rewound, reused, or fresh row gives
+  identical bytes at any batch size;
+* end-to-end, the enforced record bytes at a fixed seed are identical
+  between ``decode_mode="full"`` and ``decode_mode="incremental"`` through
+  the serial enforcer, the batched engine, and the serving scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EnforcementEngine, EnforcerConfig, JitEnforcer
+from repro.data import build_dataset
+from repro.errors import InfeasibleRecord
+from repro.lm import KVCache, NgramLM, TransformerConfig, TransformerLM
+from repro.rules import domain_bound_rules, paper_rules
+from repro.serve import ContinuousBatchingScheduler, RequestSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransformerLM(TransformerConfig(seed=11))
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=2, num_test_racks=1, windows_per_rack=20, seed=5
+    )
+    return dataset, paper_rules(dataset.config)
+
+
+def _ids(model, length, seed=0):
+    rng = np.random.default_rng(seed)
+    vocab = model.tokenizer.vocab_size
+    return [model.tokenizer.bos_id] + [
+        int(t) for t in rng.integers(0, vocab, size=length - 1)
+    ]
+
+
+def _enforcer(dataset, rules, mode, seed=13, strict=False):
+    return JitEnforcer(
+        TransformerLM(TransformerConfig(seed=11)),
+        rules,
+        dataset.config,
+        EnforcerConfig(seed=seed, decode_mode=mode),
+        fallback_rules=(
+            () if strict else [domain_bound_rules(dataset.config)]
+        ),
+    )
+
+
+class TestKernelParity:
+    def test_graph_free_forward_bitwise_matches_autograd(self, model):
+        ids = np.array([_ids(model, 20, seed=1), _ids(model, 20, seed=2)])
+        fast = model._forward_data(ids)
+        slow = model.forward(ids).data
+        assert np.array_equal(fast, slow)
+
+    def test_incremental_close_to_full_at_every_prefix_length(self, model):
+        ids = _ids(model, 40, seed=3)
+        cache = model.new_kv_cache(1)
+        for length in range(1, len(ids) + 1):
+            cached = model.next_distribution(ids[:length], cache=cache, row=0)
+            full = model.next_distribution(ids[:length])
+            np.testing.assert_allclose(cached, full, rtol=0, atol=1e-6)
+            # Distributions, both ways.
+            assert abs(cached.sum() - 1.0) < 1e-9
+
+    def test_cached_decode_bitwise_batch_invariant(self, model):
+        prefixes = [_ids(model, n, seed=n) for n in (6, 17, 30)]
+        solo = []
+        for prefix in prefixes:
+            cache = model.new_kv_cache(1)
+            solo.append(
+                model.next_distribution(prefix, cache=cache, row=0)
+            )
+        cache = model.new_kv_cache(len(prefixes))
+        batched = model.next_distributions(prefixes, cache=cache)
+        for row, expected in zip(batched, solo):
+            assert np.array_equal(row, expected)
+
+    def test_warm_cache_bitwise_matches_fresh_replay(self, model):
+        ids = _ids(model, 35, seed=4)
+        warm = model.new_kv_cache(1)
+        for length in range(1, len(ids) + 1):
+            incremental = model.next_distribution(
+                ids[:length], cache=warm, row=0
+            )
+            fresh = model.next_distribution(
+                ids[:length], cache=model.new_kv_cache(1), row=0
+            )
+            assert np.array_equal(incremental, fresh)
+
+    def test_forward_incremental_appends_and_returns_last_logits(self, model):
+        ids = _ids(model, 12, seed=5)
+        cache = model.new_kv_cache(1)
+        logits = model.forward_incremental([ids], cache)
+        assert logits.shape == (1, model.config.vocab_size)
+        assert cache.length(0) == len(ids)
+        via_softmax = model._softmax(logits[0])
+        replay = model.next_distribution(
+            ids, cache=model.new_kv_cache(1), row=0
+        )
+        assert np.array_equal(via_softmax, replay)
+        with pytest.raises(ValueError):
+            model.forward_incremental([[]], cache)
+
+
+class TestCacheBookkeeping:
+    def test_rewind_reuses_prefix_and_counts_hit(self, model):
+        ids = _ids(model, 25, seed=6)
+        cache = model.new_kv_cache(1)
+        model.next_distribution(ids, cache=cache, row=0)
+        assert cache.length(0) == len(ids)
+        before = cache.stats()["tokens_reused"]
+        rewound = model.next_distribution(ids[:10], cache=cache, row=0)
+        stats = cache.stats()
+        # Rewind recomputes only the last token of the shorter prefix.
+        assert stats["tokens_reused"] == before + 9
+        assert cache.length(0) == 10
+        assert np.array_equal(
+            rewound,
+            model.next_distribution(ids[:10], cache=model.new_kv_cache(1)),
+        )
+
+    def test_lane_reuse_with_divergent_prefix_trims_and_invalidates(
+        self, model
+    ):
+        left = _ids(model, 20, seed=7)
+        vocab = model.tokenizer.vocab_size
+        right = left[:3] + [(t + 1) % vocab for t in left[3:]]
+        assert left[:3] == right[:3] and left != right
+        cache = model.new_kv_cache(1)
+        model.next_distribution(left, cache=cache, row=0)
+        invalidations = cache.stats()["invalidations"]
+        reused = model.next_distribution(right, cache=cache, row=0)
+        # The divergent tail was discarded: that is an invalidation.
+        assert cache.stats()["invalidations"] == invalidations + 1
+        assert np.array_equal(
+            reused,
+            model.next_distribution(right, cache=model.new_kv_cache(1)),
+        )
+
+    def test_overflow_falls_back_bitwise_to_uncached_path(self, model):
+        too_long = _ids(model, model.config.max_len + 8, seed=9)
+        cache = model.new_kv_cache(1)
+        model.next_distribution(too_long[:12], cache=cache, row=0)
+        overflowed = model.next_distribution(too_long, cache=cache, row=0)
+        assert np.array_equal(
+            overflowed, model.next_distribution(too_long)
+        )
+        stats = cache.stats()
+        assert stats["fallbacks"] == 1
+        assert cache.length(0) == 0  # row dropped, not silently stale
+
+    def test_commit_raises_when_row_is_full(self):
+        cache = KVCache(rows=1, n_layers=1, n_heads=1, max_len=4, head_dim=2)
+        for token in range(4):
+            cache.commit(0, token)
+        with pytest.raises(ValueError):
+            cache.commit(0, 4)
+
+    def test_match_trim_evict_and_stats_shape(self):
+        cache = KVCache(rows=2, n_layers=1, n_heads=1, max_len=8, head_dim=2)
+        for token in (1, 2, 3):
+            cache.commit(0, token)
+        assert cache.match(0, np.array([1, 2, 3, 4])) == 3
+        assert cache.match(0, np.array([1, 9])) == 1
+        assert cache.match(1, np.array([1, 2])) == 0
+        cache.trim(0, 2)
+        assert cache.length(0) == 2
+        cache.evict_row(0)
+        assert cache.length(0) == 0
+        stats = cache.stats()
+        for key in (
+            "rows", "hits", "misses", "invalidations", "fallbacks",
+            "tokens_reused", "tokens_computed", "hit_rate",
+            "token_reuse_rate",
+        ):
+            assert key in stats
+
+    def test_decode_mode_config_is_validated(self):
+        with pytest.raises(ValueError):
+            EnforcerConfig(decode_mode="turbo")
+
+    def test_ngram_memo_reports_uniform_cache_stats(self):
+        dataset = build_dataset(
+            num_train_racks=2, num_test_racks=1, windows_per_rack=10, seed=5
+        )
+        model = NgramLM(order=4).fit(dataset.train_texts())
+        stats = model.lm_cache_stats()
+        assert stats["backend"] == "ngram"
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        ids = model.tokenizer.encode("12>3")
+        model.next_distribution(ids)
+        model.next_distribution(ids)
+        stats = model.lm_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        model.fit(dataset.train_texts())  # refit flushes the memo
+        assert model.lm_cache_stats()["invalidations"] == 1
+
+
+class TestEndToEndParity:
+    """Acceptance: record bytes identical across modes in every driver."""
+
+    def test_serial_enforcer_mode_parity(self, setting):
+        dataset, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:4]]
+        full = _enforcer(dataset, rules, "full")
+        incremental = _enforcer(dataset, rules, "incremental")
+        assert incremental._kv_cache is not None
+        assert full._kv_cache is None
+        for prompt in prompts:
+            assert (
+                incremental.impute_record(prompt).values
+                == full.impute_record(prompt).values
+            )
+        stats = incremental._kv_cache.stats()
+        assert stats["hits"] > 0 and stats["token_reuse_rate"] > 0.5
+
+    def test_batched_engine_mode_parity(self, setting):
+        dataset, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:6]]
+        serial = _enforcer(dataset, rules, "full")
+        reference = [serial.impute_record(p).values for p in prompts]
+        engine = EnforcementEngine(
+            _enforcer(dataset, rules, "incremental"), batch_size=3
+        )
+        outcomes = engine.impute_many(prompts)
+        assert [o.values for o in outcomes] == reference
+        cache_stats = engine.summary()["lm_cache"]
+        assert cache_stats["hits"] > 0
+
+    def test_serving_scheduler_mode_parity(self, setting):
+        dataset, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:4]]
+        reference = [
+            _enforcer(dataset, rules, "full", seed=50 + i)
+            .impute_record(p)
+            .values
+            for i, p in enumerate(prompts)
+        ]
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, rules, "incremental"), lanes=2
+        ) as scheduler:
+            handles = [
+                scheduler.submit(RequestSpec("impute", coarse=p, seed=50 + i))
+                for i, p in enumerate(prompts)
+            ]
+            results = [h.result(timeout=60) for h in handles]
+            metrics = scheduler.metrics()
+        assert [r.records[0] for r in results] == [
+            dict(v) for v in reference
+        ]
+        assert metrics["lm_cache"]["hits"] > 0
+
+    def test_infeasible_record_invalidates_lane_row(self, setting):
+        """Fault injection: a dead session must not leave a stale row."""
+        dataset, rules = setting
+        # R3 needs a 30+ burst under congestion, R2 caps the sum at 20:
+        # with no fallback tiers this prompt has no feasible completion.
+        poisoned = {"total": 20, "cong": 3, "retx": 0, "egr": 20}
+        enforcer = _enforcer(dataset, rules, "incremental", strict=True)
+        with pytest.raises(InfeasibleRecord):
+            enforcer.impute_record(poisoned)
+        assert enforcer._kv_cache.stats()["invalidations"] >= 1
+        assert enforcer._kv_cache.length(0) == 0
+
+        prompts = [w.coarse() for w in dataset.test_windows()[:3]]
+        jobs = prompts[:1] + [poisoned] + prompts[1:]
+        serial = _enforcer(dataset, rules, "full", strict=True)
+        reference = []
+        for index, job in enumerate(jobs):
+            if index == 1:
+                with pytest.raises(InfeasibleRecord):
+                    serial.impute_record(job)
+                reference.append(None)
+            else:
+                reference.append(serial.impute_record(job).values)
+        engine = EnforcementEngine(
+            _enforcer(dataset, rules, "incremental", strict=True),
+            batch_size=2,
+        )
+        results = engine.impute_many(jobs, return_exceptions=True)
+        assert isinstance(results[1], InfeasibleRecord)
+        assert engine.pool.kv_cache.stats()["invalidations"] >= 1
+        for index, result in enumerate(results):
+            if index != 1:
+                assert result.values == reference[index]
