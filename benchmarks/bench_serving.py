@@ -9,6 +9,14 @@ exactly what mid-flight admission buys.  Runs the in-process harness from
     PYTHONPATH=src python benchmarks/bench_serving.py \
         --loads 300 600 --requests 150 --out BENCH_serving.json
 
+With ``--workers`` the same harness also drives the supervised
+multi-process pool: throughput scaling across worker counts plus, with
+``--kill-worker-at T``, a crash scenario that SIGKILLs one worker T
+seconds in and reports the before/during/after latency and error split::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --workers 1 2 4 --kill-worker-at 0.25
+
 ``python -m repro.cli bench-serving`` is the same harness behind the CLI.
 """
 
@@ -16,7 +24,12 @@ import argparse
 import json
 from pathlib import Path
 
-from repro.serve import format_report, run_serving_bench
+from repro.serve import (
+    format_pool_report,
+    format_report,
+    run_pool_scaling_bench,
+    run_serving_bench,
+)
 
 
 def main() -> int:
@@ -38,6 +51,16 @@ def main() -> int:
         "--timeout-ms", type=float, default=None,
         help="optional per-request deadline in milliseconds",
     )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="also bench the multi-process worker pool at these worker "
+        "counts (rps scaling / saturation table)",
+    )
+    parser.add_argument(
+        "--kill-worker-at", type=float, default=None,
+        help="with --workers: SIGKILL one worker this many seconds into "
+        "an extra run and report the before/during/after latency split",
+    )
     args = parser.parse_args()
     report = run_serving_bench(
         offered_loads=args.loads,
@@ -46,8 +69,20 @@ def main() -> int:
         seed=args.seed,
         timeout_ms=args.timeout_ms,
     )
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(format_report(report))
+    if args.workers:
+        pool_report = run_pool_scaling_bench(
+            worker_counts=args.workers,
+            offered_loads=args.loads,
+            requests=args.requests,
+            seed=args.seed,
+            timeout_ms=args.timeout_ms,
+            kill_worker_at=args.kill_worker_at,
+        )
+        report["worker_pool"] = pool_report
+        print()
+        print(format_pool_report(pool_report))
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.out}")
     return 0
 

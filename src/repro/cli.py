@@ -11,6 +11,7 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli serve    --model model.json --rules rules.json \
                                  --port 8080 --lanes 4
     python -m repro.cli bench-serving --out BENCH_serving.json
+    python -m repro.cli chaos    --workers 4 --requests 24
     python -m repro.cli trace-report --trace trace.jsonl
 
 The model format is the n-gram JSON checkpoint (fast to train anywhere);
@@ -153,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=_nonnegative_int, default=None,
         help="oracle cache capacity (0 disables the cache)",
     )
+    serve_cmd.add_argument(
+        "--workers", type=_nonnegative_int, default=0,
+        help="supervised worker processes (0 = single-process scheduler; "
+        "with N > 0, --lanes means lanes per worker)",
+    )
     serve_cmd.add_argument("--seed", type=int, default=0)
     _add_decode_args(serve_cmd)
     _add_budget_args(serve_cmd)
@@ -178,6 +184,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--timeout-ms", type=float, default=None,
         help="optional per-request deadline in milliseconds",
+    )
+    bench_cmd.add_argument(
+        "--workers", type=_positive_int, nargs="+", default=None,
+        help="also bench the supervised worker pool at these worker counts",
+    )
+    bench_cmd.add_argument(
+        "--kill-worker-at", type=float, default=None,
+        help="with --workers: SIGKILL one worker this many seconds into an "
+        "extra run and report the before/during/after latency split",
+    )
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="kill workers mid-run; audit availability, byte parity, "
+        "and pool reconvergence",
+    )
+    chaos_cmd.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="worker processes in the pool under test",
+    )
+    chaos_cmd.add_argument(
+        "--lanes", type=_positive_int, default=2,
+        help="enforcement lanes per worker",
+    )
+    chaos_cmd.add_argument(
+        "--requests", type=_positive_int, default=24,
+        help="imputation requests driven through the pool",
+    )
+    chaos_cmd.add_argument(
+        "--kill-fraction", type=float, default=0.25,
+        help="fraction of requests completed before the kill fires",
+    )
+    chaos_cmd.add_argument(
+        "--availability-target", type=float, default=0.99,
+        help="minimum completed/accepted ratio for a PASS",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=5)
+    chaos_cmd.add_argument("--base-seed", type=int, default=500)
+    chaos_cmd.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON chaos report here",
     )
 
     trace_cmd = sub.add_parser(
@@ -447,28 +494,56 @@ def _graceful_sigterm():
 
 
 def _cmd_serve(args) -> int:
-    from .serve import ContinuousBatchingScheduler, ServingServer
+    from .serve import ContinuousBatchingScheduler, ServingServer, WorkerPool
 
     config = TelemetryConfig()
-    model = load_ngram(args.model)
-    rules = load_rules(args.rules)
-    enforcer = JitEnforcer(
-        model, rules, config, _enforcer_config_from(args),
-        fallback_rules=[zoom2net_manual_rules(config), domain_bound_rules(config)],
-    )
-    scheduler = ContinuousBatchingScheduler(
-        enforcer,
-        lanes=args.lanes,
-        queue_depth=args.queue_depth,
-        admit_policy=args.admit_policy,
-        cache_entries=args.cache_entries,
-    )
+    enforcer_config = _enforcer_config_from(args)
+    if args.workers:
+        # Supervised multi-process pool: each worker builds its own
+        # enforcer from the checkpoint files, so a restarted worker is
+        # bit-for-bit the one that crashed.
+        model_path, rules_path = args.model, args.rules
+
+        def factory():
+            model = load_ngram(model_path)
+            rules = load_rules(rules_path)
+            return JitEnforcer(
+                model, rules, config, enforcer_config,
+                fallback_rules=[
+                    zoom2net_manual_rules(config), domain_bound_rules(config)
+                ],
+            )
+
+        scheduler = WorkerPool(
+            factory,
+            workers=args.workers,
+            lanes_per_worker=args.lanes,
+            queue_depth=args.queue_depth,
+            cache_entries=args.cache_entries,
+        )
+    else:
+        model = load_ngram(args.model)
+        rules = load_rules(args.rules)
+        enforcer = JitEnforcer(
+            model, rules, config, enforcer_config,
+            fallback_rules=[
+                zoom2net_manual_rules(config), domain_bound_rules(config)
+            ],
+        )
+        scheduler = ContinuousBatchingScheduler(
+            enforcer,
+            lanes=args.lanes,
+            queue_depth=args.queue_depth,
+            admit_policy=args.admit_policy,
+            cache_entries=args.cache_entries,
+        )
     server = ServingServer(scheduler, host=args.host, port=args.port)
     host, port = server.address
     # Single-line key=value records on stderr: scrapable, stdout untouched.
     emit_kv("serving", [
         ("host", host),
         ("port", port),
+        ("workers", args.workers),
         ("lanes", args.lanes),
         ("queue_depth", args.queue_depth),
         ("admit_policy", args.admit_policy),
@@ -483,7 +558,12 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_bench_serving(args) -> int:
-    from .serve import format_report, run_serving_bench
+    from .serve import (
+        format_pool_report,
+        format_report,
+        run_pool_scaling_bench,
+        run_serving_bench,
+    )
 
     report = run_serving_bench(
         offered_loads=args.loads,
@@ -492,10 +572,48 @@ def _cmd_bench_serving(args) -> int:
         seed=args.seed,
         timeout_ms=args.timeout_ms,
     )
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(format_report(report))
+    if args.workers:
+        pool_report = run_pool_scaling_bench(
+            worker_counts=args.workers,
+            offered_loads=args.loads,
+            requests=args.requests,
+            seed=args.seed,
+            timeout_ms=args.timeout_ms,
+            kill_worker_at=args.kill_worker_at,
+        )
+        report["worker_pool"] = pool_report
+        print()
+        print(format_pool_report(pool_report))
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
     emit_kv("bench_serving", [("out", args.out)])
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .serve import format_chaos_report, run_chaos
+
+    report = run_chaos(
+        workers=args.workers,
+        lanes_per_worker=args.lanes,
+        requests=args.requests,
+        base_seed=args.base_seed,
+        seed=args.seed,
+        kill_fraction=args.kill_fraction,
+        availability_target=args.availability_target,
+    )
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(format_chaos_report(report))
+    emit_kv("chaos", [
+        ("passed", report["passed"]),
+        ("availability", report["availability"]),
+        ("parity_mismatches", len(report["parity_mismatches"])),
+        ("reconverged", report["reconverged"]),
+        ("worker_crashes", report["worker_crashes"]),
+        ("units_lost", report["units_lost"]),
+    ])
+    return 0 if report["passed"] else 1
 
 
 def _cmd_trace_report(args) -> int:
@@ -525,6 +643,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "serve": _cmd_serve,
     "bench-serving": _cmd_bench_serving,
+    "chaos": _cmd_chaos,
     "trace-report": _cmd_trace_report,
 }
 

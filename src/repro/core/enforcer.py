@@ -398,9 +398,12 @@ class JitEnforcer:
         except BaseException:
             # The cache row may hold a prefix the aborted session never
             # unwound; the prefix-match would recover, but counting it as
-            # a hit after a fault would lie.
+            # a hit after a fault would lie.  The lane's oracles get the
+            # same treatment: a mid-record abort may leave pooled solver
+            # frames or refold snapshots out of sync with their state keys.
             if self._kv_cache is not None:
                 self._kv_cache.invalidate(0)
+            self._lane.reset()
             raise
         finally:
             self.trace.wall_time += OBS.clock.now() - start_time

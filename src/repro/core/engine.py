@@ -262,9 +262,13 @@ class EnforcementEngine:
                 results[index] = session.error
                 self.stats.failed += 1
                 # The session died mid-record; its lane's cache row holds a
-                # prefix that no longer corresponds to committed output.
+                # prefix that no longer corresponds to committed output, and
+                # the lane's oracles may hold solver frames / refold
+                # snapshots out of sync with their state keys.  Evict both
+                # so the slot's next tenant starts clean.
                 if kv_cache is not None:
                     kv_cache.invalidate(slot_index)
+                self._lanes[slot_index].reset()
             else:
                 results[index] = session.outcome
                 self.stats.completed += 1

@@ -115,6 +115,19 @@ class OracleCache:
             self.evictions += 1
         self._data[key] = value
 
+    def evict(self, key: Tuple) -> bool:
+        """Drop one entry; True if it was resident.
+
+        Used by the poisoned-lane path: a session that dies mid-record may
+        have stored snapshots computed by a faulty oracle, so its lane
+        evicts them rather than letting the next admitted record adopt
+        state of unknown provenance.
+        """
+        if self._data.pop(key, None) is None:
+            return False
+        self.evictions += 1
+        return True
+
     def __contains__(self, key: Tuple) -> bool:
         return key in self._data
 
@@ -216,6 +229,20 @@ class FeasibilityOracle:
     def begin_record(self, fixed: Optional[Mapping[str, int]] = None) -> None:
         """Start a fresh record with the given already-known variables."""
         raise NotImplementedError
+
+    def discard_record_state(self) -> None:
+        """Drop all per-record state after a session died mid-record.
+
+        A poisoned lane (fault injection, an exception escaping between
+        paired state updates) may leave an oracle's internal state out of
+        sync with its state key; the next ``begin_record`` would then adopt
+        stale solver frames or refold snapshots.  Subclasses extend this to
+        tear down anything that could survive into the next record --
+        pooled solvers, refold state, and the shared-cache snapshots the
+        dying record wrote under its current state key.
+        """
+        self.fixed = {}
+        self._state_key = ((), ())
 
     def feasible_set(self, variable: str) -> FeasibleSet:
         raise NotImplementedError
@@ -410,6 +437,18 @@ class SmtOracle(FeasibilityOracle):
         self._solver.push()
         self._open_levels += 1
         self._solver.add(Eq(IntVar(variable), value))
+
+    def discard_record_state(self) -> None:
+        """Retire the pooled solver outright: its push/pop frames and the
+        ``_base_ok`` fast-path marker may not match the state key after a
+        mid-record abort, and rebuilding one solver is cheap next to
+        serving a wrong answer from a stale frame."""
+        super().discard_record_state()
+        self._solver = None
+        self._open_levels = 0
+        self._pool_used = 0
+        self._base_fixed = None
+        self._base_ok = False
 
     def any_model(self) -> Dict[str, int]:
         """A full rule-compliant completion of the current prefix."""
@@ -779,6 +818,21 @@ class IntervalOracle(FeasibilityOracle):
         self._box = merged
         self._store_istate()
 
+    def discard_record_state(self) -> None:
+        """Drop the refold state and the shared-cache snapshots the dying
+        record stored under its final state key (``istate`` + the derived
+        propagated domain), so no later session -- on this lane or any
+        other -- can adopt state a poisoned record computed."""
+        if self.cache is not None:
+            self.cache.evict(self._cache_key("istate"))
+            self.cache.evict(self._cache_key("dom"))
+        super().discard_record_state()
+        self._box = dict(self.bounds)
+        self._multi_cons = []
+        self._disjunctive = []
+        self._refuted = False
+        self._domain_cache = None
+
 
 class HybridOracle(FeasibilityOracle):
     """Interval masks + SMT confirmation: LeJIT's default configuration."""
@@ -822,6 +876,13 @@ class HybridOracle(FeasibilityOracle):
         self._extend_state_key(variable, value)
         self.interval.fix(variable, value)
         self.smt.fix(variable, value)
+
+    def discard_record_state(self) -> None:
+        # An abort between the paired interval/smt updates in fix() leaves
+        # the two sub-oracles disagreeing on state -- reset both.
+        super().discard_record_state()
+        self.interval.discard_record_state()
+        self.smt.discard_record_state()
 
     def any_model(self) -> Dict[str, int]:
         return self.smt.any_model()

@@ -288,6 +288,23 @@ class Lane:
     interval_tiers: List[Tuple[RuleSet, FeasibilityOracle]]
     meter: BudgetMeter
 
+    def reset(self) -> None:
+        """Quarantine-reset after a session died mid-record on this lane.
+
+        Every oracle tier discards its per-record state (pooled solver
+        frames, refold snapshots, and the shared-cache ``istate``/``dom``
+        entries stored under the dying record's state key), so the next
+        admitted record rebuilds from the rules instead of adopting state a
+        poisoned session left behind.  Drivers pair this with evicting the
+        lane's KV-cache row -- both halves of "a crashed record leaks
+        nothing into its lane's next tenant".
+        """
+        for tier_list in (self.tiers, self.interval_tiers):
+            for _, oracle in tier_list:
+                discard = getattr(oracle, "discard_record_state", None)
+                if discard is not None:
+                    discard()
+
 
 # The driver protocol: ``start()``/``step(distribution)`` return the prefix
 # ids the session needs a distribution for, or None once the record is done.

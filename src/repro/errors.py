@@ -35,6 +35,9 @@ __all__ = [
     "DeadlineExceeded",
     "RequestCancelled",
     "ServerClosed",
+    "InjectedFault",
+    "WorkerCrashed",
+    "WorkerPoolUnavailable",
 ]
 
 
@@ -159,3 +162,60 @@ class RequestCancelled(ReproError):
 
 class ServerClosed(ReproError):
     """The scheduler is shut down (or draining) and accepts no new work."""
+
+
+# -- fault injection & worker supervision (see repro.testing.faults and
+# -- repro.serve.supervisor) -------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault fired (chaos testing only).
+
+    Raised by the deterministic fault doubles in
+    :mod:`repro.testing.faults` (e.g. :class:`~repro.testing.faults.CrashingLM`)
+    so chaos tests can distinguish the faults *they* scheduled from any
+    organic failure the fault provoked downstream.  ``site`` names the
+    call site that fired; ``call_index`` is its 0-based trigger position.
+    """
+
+    def __init__(
+        self,
+        message: str = "injected fault",
+        site: Optional[str] = None,
+        call_index: Optional[int] = None,
+    ):
+        self.site = site
+        self.call_index = call_index
+        detail = message
+        extras = []
+        if site is not None:
+            extras.append(f"site={site}")
+        if call_index is not None:
+            extras.append(f"call_index={call_index}")
+        if extras:
+            detail = f"{message} [{', '.join(extras)}]"
+        super().__init__(detail)
+
+
+class WorkerCrashed(ReproError):
+    """A worker process died (or stalled past liveness) holding a record.
+
+    The supervisor replays the record on a healthy worker -- byte-identical
+    by the ``record_rng(seed, i)`` contract -- so this error only reaches a
+    client once the bounded retry budget is exhausted.
+    """
+
+
+class WorkerPoolUnavailable(ReproError):
+    """No healthy worker can take the request (crash loop / open breaker).
+
+    The circuit-breaker shedding signal: mapped to ``503 Service
+    Unavailable`` (with ``Retry-After: retry_after``) by the HTTP front
+    end, so clients back off instead of queueing behind a flapping pool.
+    """
+
+    def __init__(
+        self, message: str = "worker pool unavailable", retry_after: int = 1
+    ):
+        self.retry_after = retry_after
+        super().__init__(message)

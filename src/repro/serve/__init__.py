@@ -8,6 +8,9 @@ into a service that takes live traffic:
   cancellation, and graceful drain;
 * :class:`AdmissionQueue` -- bounded depth with explicit 429-style
   backpressure;
+* :class:`WorkerPool` -- the same surface sharded across supervised
+  worker processes (heartbeats, crash replay, exponential-backoff
+  restarts, circuit-breaker shedding) for fault isolation;
 * :class:`ServingServer` -- a stdlib-only HTTP front end
   (``POST /v1/impute``, ``POST /v1/synthesize``, ``GET /healthz``,
   ``GET /metrics``);
@@ -19,11 +22,19 @@ Start one from the CLI with ``python -m repro.cli serve`` (see README,
 "Serving").
 """
 
+from .chaos import format_chaos_report, run_chaos
 from .client import ServeClient, ServeClientError
-from .harness import format_report, run_serving_bench
+from .harness import (
+    format_pool_report,
+    format_report,
+    run_pool_scaling_bench,
+    run_serving_bench,
+)
 from .http import ServingServer
 from .queue import AdmissionQueue
 from .scheduler import ContinuousBatchingScheduler
+from .supervisor import WorkerHandle, WorkerPool
+from .workers import WorkerConfig, worker_main
 from .types import (
     CANCELLED,
     DONE,
@@ -39,6 +50,10 @@ from .types import (
 __all__ = [
     "AdmissionQueue",
     "ContinuousBatchingScheduler",
+    "WorkerPool",
+    "WorkerHandle",
+    "WorkerConfig",
+    "worker_main",
     "ServingServer",
     "ServeClient",
     "ServeClientError",
@@ -46,7 +61,11 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "run_serving_bench",
+    "run_pool_scaling_bench",
+    "run_chaos",
     "format_report",
+    "format_pool_report",
+    "format_chaos_report",
     "QUEUED",
     "RUNNING",
     "DONE",

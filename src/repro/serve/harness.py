@@ -29,13 +29,18 @@ from ..core import EnforcerConfig, JitEnforcer
 from ..core import session as _session_module
 from ..core.transition import DigitTransitionSystem
 from ..data import build_dataset
-from ..errors import QueueFull
+from ..errors import QueueFull, WorkerPoolUnavailable
 from ..lm import NgramLM
 from ..rules import domain_bound_rules, paper_rules
 from .scheduler import ContinuousBatchingScheduler
 from .types import DONE, EXPIRED, RequestSpec, ServeRequest
 
-__all__ = ["run_serving_bench", "format_report"]
+__all__ = [
+    "run_serving_bench",
+    "run_pool_scaling_bench",
+    "format_report",
+    "format_pool_report",
+]
 
 
 def _clear_process_memos(model) -> None:
@@ -218,6 +223,328 @@ def run_serving_bench(
         "configs": configs,
         "comparisons": comparisons,
     }
+
+
+def _run_pool_one(
+    model,
+    rules,
+    fallback,
+    config,
+    prompts,
+    arrivals: Sequence[float],
+    workers: int,
+    lanes_per_worker: int,
+    queue_depth: int,
+    timeout_ms: Optional[float],
+    kill_at: Optional[float] = None,
+    kill_slot: int = 0,
+) -> Dict[str, object]:
+    """One measured worker-pool run, optionally with a timed worker kill.
+
+    ``kill_at`` seconds into the replay the ``kill_slot``-th worker gets
+    SIGKILLed -- the p99/error split before/during/after quantifies what a
+    crash costs clients while the supervisor replays and restarts.
+    """
+    from ..testing.faults import kill_worker
+    from .supervisor import WorkerPool
+
+    _clear_process_memos(model)
+
+    def factory() -> JitEnforcer:
+        return JitEnforcer(
+            model, rules, config, EnforcerConfig(seed=29),
+            fallback_rules=fallback,
+        )
+
+    pool = WorkerPool(
+        factory,
+        workers=workers,
+        lanes_per_worker=lanes_per_worker,
+        queue_depth=queue_depth,
+        liveness_timeout=1.5,
+        backoff_base=0.1,
+    )
+    if kill_at is not None and arrivals:
+        # The kill check runs inside the arrival loop, so an offset past
+        # the last arrival would never fire.  Clamp it to mid-schedule --
+        # the reported kill_at_s is the offset that actually happened.
+        kill_at = min(kill_at, max(arrivals) * 0.5)
+    handles: List[Optional[ServeRequest]] = []
+    offsets: List[float] = []
+    rejected = shed = 0
+    killed_pid = None
+    with pool:
+        # Wait for every worker's enforcer to come up so timing starts at
+        # steady state, not mid-fork.
+        ready_deadline = time.monotonic() + 120
+        while time.monotonic() < ready_deadline:
+            if pool.health()["workers_healthy"] >= workers:
+                break
+            time.sleep(0.02)
+        start = time.monotonic()
+        for index, offset in enumerate(arrivals):
+            delay = start + offset - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            now_offset = time.monotonic() - start
+            if kill_at is not None and killed_pid is None and (
+                now_offset >= kill_at
+            ):
+                pid = pool.worker_pids()[kill_slot % workers]
+                if pid is not None:
+                    kill_worker(pid)
+                    killed_pid = pid
+            spec = RequestSpec(
+                "impute",
+                coarse=prompts[index % len(prompts)],
+                seed=1000 + index,
+                timeout_ms=timeout_ms,
+            )
+            offsets.append(now_offset)
+            try:
+                handles.append(pool.submit(spec))
+            except QueueFull:
+                rejected += 1
+                handles.append(None)
+            except WorkerPoolUnavailable:
+                shed += 1
+                handles.append(None)
+        for handle in handles:
+            if handle is not None:
+                handle.wait(timeout=120)
+        metrics = pool.metrics()
+    latencies = sorted(
+        handle.latency_ms
+        for handle in handles
+        if handle is not None and handle.status == DONE
+    )
+    completed = len(latencies)
+    finish_times = [
+        h.finished_at
+        for h in handles
+        if h is not None and h.finished_at is not None
+    ]
+    makespan = (max(finish_times) - start) if finish_times else 0.0
+    supervision = metrics["supervision"]
+    entry: Dict[str, object] = {
+        "workers": workers,
+        "lanes_per_worker": lanes_per_worker,
+        "offered_rps": None,  # filled by the caller
+        "requests": len(arrivals),
+        "completed": completed,
+        "rejected": rejected,
+        "shed": shed,
+        "failed": sum(
+            1
+            for h in handles
+            if h is not None and h.done and h.status != DONE
+        ),
+        "throughput_rps": round(completed / makespan, 2) if makespan else 0.0,
+        "worker_crashes": supervision["worker_crashes"],
+        "worker_restarts": supervision["worker_restarts"],
+        "units_retried": supervision["units_retried"],
+        "units_lost": supervision["units_lost"],
+    }
+    if latencies:
+        entry.update(
+            p50_ms=round(_percentile(latencies, 0.50), 2),
+            p99_ms=round(_percentile(latencies, 0.99), 2),
+            mean_ms=round(sum(latencies) / completed, 2),
+            max_ms=round(latencies[-1], 2),
+        )
+    if kill_at is not None:
+        entry["kill_at_s"] = round(kill_at, 4)
+        entry["killed_pid"] = killed_pid
+        # On short schedules a fixed 2 s recovery window would swallow
+        # every post-kill arrival into "during"; give "after" the second
+        # half of the remaining schedule.
+        span = max(arrivals) if arrivals else 0.0
+        window = min(2.0, max(0.05, (span - kill_at) / 2))
+        entry["phases"] = _phase_split(
+            handles, offsets, kill_at, recovery_window=window
+        )
+    return entry
+
+
+def _phase_split(
+    handles: List[Optional[ServeRequest]],
+    offsets: List[float],
+    kill_at: float,
+    recovery_window: float = 2.0,
+) -> Dict[str, Dict[str, object]]:
+    """Latency/error split by submit time: before / during / after a kill.
+
+    ``during`` covers ``recovery_window`` seconds after the kill -- the
+    interval where crash replay and worker restart are actually happening;
+    ``after`` shows the pool back at steady state.
+    """
+    phases: Dict[str, Dict[str, List[float]]] = {
+        "before": {"latencies": [], "errors": 0, "total": 0},
+        "during": {"latencies": [], "errors": 0, "total": 0},
+        "after": {"latencies": [], "errors": 0, "total": 0},
+    }
+    for handle, offset in zip(handles, offsets):
+        if offset < kill_at:
+            phase = phases["before"]
+        elif offset < kill_at + recovery_window:
+            phase = phases["during"]
+        else:
+            phase = phases["after"]
+        phase["total"] += 1
+        if handle is None or (handle.done and handle.status != DONE):
+            phase["errors"] += 1
+        elif handle.status == DONE:
+            phase["latencies"].append(handle.latency_ms)
+    out: Dict[str, Dict[str, object]] = {}
+    for name, phase in phases.items():
+        latencies = sorted(phase["latencies"])
+        total = phase["total"]
+        out[name] = {
+            "requests": total,
+            "errors": phase["errors"],
+            "error_rate": round(phase["errors"] / total, 4) if total else 0.0,
+            "p50_ms": round(_percentile(latencies, 0.50), 2)
+            if latencies
+            else None,
+            "p99_ms": round(_percentile(latencies, 0.99), 2)
+            if latencies
+            else None,
+        }
+    return out
+
+
+def run_pool_scaling_bench(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    lanes_per_worker: int = 2,
+    offered_loads: Sequence[float] = (100.0, 300.0),
+    requests: int = 80,
+    seed: int = 7,
+    timeout_ms: Optional[float] = None,
+    kill_worker_at: Optional[float] = None,
+) -> Dict[str, object]:
+    """Worker-pool throughput scaling, plus an optional crash scenario.
+
+    Every (workers, load) point replays the same Poisson arrival schedule;
+    the ``saturation`` table reports each worker count's best sustained
+    throughput across the offered loads -- the rps knee where adding load
+    stops adding completions.  With ``kill_worker_at`` an extra run kills
+    one worker that many seconds in and reports the before/during/after
+    p99 and error-rate split.
+    """
+    dataset, model, rules, fallback, prompts = _build_setting(seed)
+
+    warm = JitEnforcer(
+        model, rules, dataset.config, EnforcerConfig(seed=3),
+        fallback_rules=fallback,
+    )
+    for prompt in prompts[:4]:
+        warm.impute_record(prompt)
+
+    rng = np.random.default_rng(seed)
+    schedules = {
+        rate: np.cumsum(rng.exponential(1.0 / rate, size=requests)).tolist()
+        for rate in offered_loads
+    }
+
+    configs: List[Dict[str, object]] = []
+    saturation: List[Dict[str, object]] = []
+    for workers in worker_counts:
+        best_rps = 0.0
+        best_load = None
+        for rate in offered_loads:
+            entry = _run_pool_one(
+                model, rules, fallback, dataset.config, prompts,
+                schedules[rate],
+                workers=workers,
+                lanes_per_worker=lanes_per_worker,
+                queue_depth=max(64, requests),
+                timeout_ms=timeout_ms,
+            )
+            entry["offered_rps"] = rate
+            configs.append(entry)
+            if entry["throughput_rps"] > best_rps:
+                best_rps = entry["throughput_rps"]
+                best_load = rate
+        saturation.append({
+            "workers": workers,
+            "lanes_per_worker": lanes_per_worker,
+            "saturation_rps": best_rps,
+            "at_offered_rps": best_load,
+        })
+
+    kill_scenario: Optional[Dict[str, object]] = None
+    if kill_worker_at is not None:
+        workers = max(worker_counts)
+        rate = max(offered_loads)
+        kill_scenario = _run_pool_one(
+            model, rules, fallback, dataset.config, prompts,
+            schedules[rate],
+            workers=workers,
+            lanes_per_worker=lanes_per_worker,
+            queue_depth=max(64, requests),
+            timeout_ms=timeout_ms,
+            kill_at=kill_worker_at,
+        )
+        kill_scenario["offered_rps"] = rate
+
+    return {
+        "workload": f"cyclic-impute-{len(prompts)}",
+        "requests": requests,
+        "seed": seed,
+        "timeout_ms": timeout_ms,
+        "lanes_per_worker": lanes_per_worker,
+        "configs": configs,
+        "saturation": saturation,
+        "kill_scenario": kill_scenario,
+    }
+
+
+def format_pool_report(report: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`run_pool_scaling_bench` report."""
+    lines = [
+        f"Worker-pool bench: {report['workload']}, "
+        f"{report['requests']} open-loop Poisson requests per config, "
+        f"{report['lanes_per_worker']} lanes/worker",
+        "",
+        f"{'workers':>7s} {'load rps':>9s} {'done':>5s} {'rej':>4s} "
+        f"{'thr rps':>8s} {'p50 ms':>8s} {'p99 ms':>8s} {'crash':>6s} "
+        f"{'retry':>6s}",
+    ]
+    for entry in report["configs"]:
+        lines.append(
+            f"{entry['workers']:>7d} {entry['offered_rps']:>9.1f} "
+            f"{entry['completed']:>5d} {entry['rejected']:>4d} "
+            f"{entry['throughput_rps']:>8.1f} "
+            f"{entry.get('p50_ms', float('nan')):>8.1f} "
+            f"{entry.get('p99_ms', float('nan')):>8.1f} "
+            f"{entry['worker_crashes']:>6d} {entry['units_retried']:>6d}"
+        )
+    lines.append("")
+    for row in report["saturation"]:
+        lines.append(
+            f"workers={row['workers']}: saturation "
+            f"{row['saturation_rps']:.1f} rps "
+            f"(at {row['at_offered_rps']:.0f} rps offered)"
+        )
+    scenario = report.get("kill_scenario")
+    if scenario:
+        lines.append("")
+        lines.append(
+            f"kill scenario: workers={scenario['workers']} "
+            f"load={scenario['offered_rps']:.0f}rps "
+            f"kill at {scenario['kill_at_s']}s (pid {scenario['killed_pid']}) "
+            f"crashes={scenario['worker_crashes']} "
+            f"retried={scenario['units_retried']} "
+            f"lost={scenario['units_lost']}"
+        )
+        for name in ("before", "during", "after"):
+            phase = scenario["phases"][name]
+            lines.append(
+                f"  {name:>6s}: {phase['requests']} reqs, "
+                f"error_rate={phase['error_rate']:.3f}, "
+                f"p50={phase['p50_ms']} ms, p99={phase['p99_ms']} ms"
+            )
+    return "\n".join(lines)
 
 
 def format_report(report: Dict[str, object]) -> str:

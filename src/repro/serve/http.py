@@ -37,6 +37,8 @@ from ..errors import (
     QueueFull,
     RequestCancelled,
     ServerClosed,
+    WorkerCrashed,
+    WorkerPoolUnavailable,
 )
 from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from .scheduler import ContinuousBatchingScheduler
@@ -161,12 +163,19 @@ class _Handler(BaseHTTPRequestHandler):
             result = request.result(timeout=self.server.request_timeout)
         except QueueFull as exc:
             self._send(429, {"error": str(exc)}, retry_after=1)
+        except WorkerPoolUnavailable as exc:
+            # The worker pool's circuit breaker is shedding load; the
+            # condition clears once a worker restart sticks, so tell the
+            # client when to come back.
+            self._send(503, {"error": str(exc)}, retry_after=exc.retry_after)
         except DeadlineExceeded as exc:
             self._send(504, {"error": str(exc)})
         except InfeasibleRecord as exc:
             self._send(422, {"error": f"infeasible request: {exc}"})
         except (ServerClosed, RequestCancelled) as exc:
             self._send(503, {"error": str(exc)})
+        except WorkerCrashed as exc:
+            self._send(500, {"error": str(exc)})
         except TimeoutError as exc:
             request.cancel()
             self._send(504, {"error": str(exc)})
@@ -257,15 +266,7 @@ class ServingServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def scheduler_health(self) -> Dict[str, object]:
-        draining = self.scheduler.queue.closed
-        return {
-            "status": "draining" if draining else "ok",
-            "lanes": self.scheduler.lanes,
-            "lanes_busy": sum(
-                1 for slot in self.scheduler._slots if slot is not None
-            ),
-            "queue_depth": len(self.scheduler.queue),
-        }
+        return self.scheduler.health()
 
     def start(self) -> "ServingServer":
         if not self.scheduler.running:

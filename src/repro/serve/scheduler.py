@@ -66,7 +66,7 @@ class _Unit:
     """One record's worth of work for one request."""
 
     request: ServeRequest
-    index: int  # record index within the request (pins the rng stream)
+    index: int  # absolute record index (pins the rng stream)
     plan: Plan
 
 
@@ -416,8 +416,9 @@ class ContinuousBatchingScheduler:
                     return None
                 request.mark_running()
                 plan = self._plan(request.spec)
+                base = request.spec.index_offset
                 for index in range(request.spec.count):
-                    self._ready.append(_Unit(request, index, plan))
+                    self._ready.append(_Unit(request, base + index, plan))
             unit = self._ready.popleft()
             request = unit.request
             if request.done:
@@ -448,11 +449,14 @@ class ContinuousBatchingScheduler:
         request = unit.request
         if session.error is not None:
             # A session that died mid-record (deadline, cancellation, fault)
-            # leaves its lane's KV-cache row mid-prefix; retire the row so
-            # the next tenant starts clean.  slot_index is None only when
-            # the session finished inside start(), before any decode.
-            if slot_index is not None and self.pool.kv_cache is not None:
-                self.pool.kv_cache.evict_row(slot_index)
+            # leaves its lane's KV-cache row mid-prefix and possibly its
+            # oracles mid-update; retire the row and quarantine-reset the
+            # lane so the next tenant starts clean.  slot_index is None only
+            # when the session finished inside start(), before any decode.
+            if slot_index is not None:
+                if self.pool.kv_cache is not None:
+                    self.pool.kv_cache.evict_row(slot_index)
+                self.pool.lanes[slot_index].reset()
             if request.fail(session.error):
                 if isinstance(session.error, DeadlineExceeded):
                     self.expired += 1
@@ -462,13 +466,24 @@ class ContinuousBatchingScheduler:
                     self.failed += 1
             return
         self.records_completed += 1
-        if request.finish_unit(unit.index, session.outcome):
+        relative = unit.index - request.spec.index_offset
+        if request.finish_unit(relative, session.outcome):
             self.completed += 1
             self._latency_hist.observe(request.latency_ms)
             with self._metrics_lock:
                 self._latencies.append(request.latency_ms)
 
     # -- observability -----------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The ``GET /healthz`` payload; safe to call from any thread."""
+        draining = self.queue.closed
+        return {
+            "status": "draining" if draining else "ok",
+            "lanes": self.lanes,
+            "lanes_busy": sum(1 for slot in self._slots if slot is not None),
+            "queue_depth": len(self.queue),
+        }
 
     def metrics(self) -> Dict[str, object]:
         """The ``GET /metrics`` payload; safe to call from any thread."""

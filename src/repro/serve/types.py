@@ -68,6 +68,12 @@ class RequestSpec:
     seed: Optional[int] = None
     priority: int = 0
     timeout_ms: Optional[float] = None
+    # Absolute record index of this request's record 0.  Clients leave it at
+    # 0; the worker pool sets it when it splits a count=N request into
+    # single-record jobs so that record i still samples ``record_rng(seed,
+    # index_offset + i)`` wherever it lands -- the determinism contract
+    # above survives sharding, worker crashes, and replay.
+    index_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("impute", "synthesize"):
@@ -78,6 +84,8 @@ class RequestSpec:
             raise ValueError("count must be >= 1")
         if self.timeout_ms is not None and self.timeout_ms < 0:
             raise ValueError("timeout_ms must be >= 0")
+        if self.index_offset < 0:
+            raise ValueError("index_offset must be >= 0")
 
 
 @dataclass
@@ -213,6 +221,15 @@ class ServeRequest:
                 return False
             self._terminate(DONE)
             return True
+
+    def unit_outcomes(self) -> List[Optional[RecordOutcome]]:
+        """The raw per-record outcomes so far (serving-internal side).
+
+        Worker processes ship these back to the parent router, which
+        reassembles them into the client-facing result.
+        """
+        with self._lock:
+            return list(self._outcomes)
 
     def fail(self, error: BaseException) -> bool:
         """Move to the terminal state matching ``error``; True if it won.

@@ -4,11 +4,16 @@ See :mod:`repro.testing.faults` for the wrappers and configuration.
 """
 
 from .faults import (
+    CrashingLM,
     FaultConfig,
     FaultInjector,
     FaultStats,
     FaultyLM,
     FaultyOracle,
+    StallingOracle,
+    kill_worker,
+    resume_worker,
+    stall_worker,
 )
 
 __all__ = [
@@ -17,4 +22,9 @@ __all__ = [
     "FaultStats",
     "FaultyLM",
     "FaultyOracle",
+    "CrashingLM",
+    "StallingOracle",
+    "kill_worker",
+    "stall_worker",
+    "resume_worker",
 ]

@@ -15,7 +15,20 @@ exercise that claim:
   budget exhaustion;
 * :class:`FaultInjector` is the shared, *seeded* randomness source, so a
   chaos run is exactly reproducible, and :class:`FaultStats` counts what
-  actually fired.
+  actually fired;
+* :class:`CrashingLM` and :class:`StallingOracle` fire on *deterministic
+  call-index schedules* instead of rates -- the same call always faults,
+  which is what replay-parity chaos tests need;
+* the process-level helpers (:func:`kill_worker`, :func:`stall_worker`,
+  :func:`resume_worker`) inject worker-pool faults -- crash, scheduler
+  stall, slow start -- for the supervisor chaos harness
+  (:mod:`repro.serve.chaos`).
+
+Every injected failure raises a *typed* error from :mod:`repro.errors`
+(:class:`~repro.errors.InjectedFault` for scheduled faults,
+:class:`~repro.errors.SolverBudgetExceeded` for injected exhaustion) --
+never a bare ``RuntimeError`` -- so chaos tests can tell the faults they
+scheduled from organic failures.
 
 The wrappers implement the same protocols as the wrapped objects, so they
 drop into :class:`~repro.core.enforcer.JitEnforcer` via its ``model`` and
@@ -24,14 +37,17 @@ drop into :class:`~repro.core.enforcer.JitEnforcer` via its ``model`` and
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..core.feasible import FeasibilityOracle
 from ..core.transition import FeasibleSet
-from ..errors import SolverBudgetExceeded
+from ..errors import InjectedFault, SolverBudgetExceeded
 from ..lm.base import LanguageModel
 from ..smt import SAT, UNKNOWN_STATUS
 
@@ -41,6 +57,11 @@ __all__ = [
     "FaultStats",
     "FaultyLM",
     "FaultyOracle",
+    "CrashingLM",
+    "StallingOracle",
+    "kill_worker",
+    "stall_worker",
+    "resume_worker",
 ]
 
 
@@ -125,6 +146,146 @@ class FaultyLM:
         if self._injector.fire("zero_logits", config.zero_logits):
             return np.zeros_like(probs)
         return probs
+
+
+class CrashingLM:
+    """A :class:`LanguageModel` that dies on a deterministic call schedule.
+
+    ``crash_at`` lists 0-based ``next_distribution`` call indices; each
+    scheduled call raises :class:`~repro.errors.InjectedFault` (a typed
+    :class:`~repro.errors.ReproError`, so the degradation ladder and the
+    engine's per-lane isolation see a classifiable failure, not an
+    anonymous crash).  With ``exit_code`` set, the scheduled call instead
+    terminates the whole process via ``os._exit`` -- the worker-pool chaos
+    tests use this to kill a worker *mid-record*, exactly at a chosen
+    decode step, so the supervisor's replay path is exercised
+    deterministically.
+
+    The schedule is consumed per instance: a replacement worker (or a
+    retried record) builds a fresh model state but the *same* schedule, so
+    pair ``exit_code`` crashes with a ``crash_once_path`` sentinel file --
+    the first firing creates it, later instances see it and stay healthy.
+    """
+
+    def __init__(
+        self,
+        model: LanguageModel,
+        crash_at: Iterable[int],
+        exit_code: Optional[int] = None,
+        crash_once_path: Optional[str] = None,
+    ):
+        self._model = model
+        self.crash_at: FrozenSet[int] = frozenset(int(i) for i in crash_at)
+        self.exit_code = exit_code
+        self.crash_once_path = crash_once_path
+        self.calls = 0
+        self.tokenizer = model.tokenizer
+
+    def _disarmed(self) -> bool:
+        if self.crash_once_path is None:
+            return False
+        return os.path.exists(self.crash_once_path)
+
+    def _arm_once(self) -> None:
+        if self.crash_once_path is not None:
+            with open(self.crash_once_path, "w") as handle:
+                handle.write(str(os.getpid()))
+
+    def next_distribution(self, prefix_ids: Sequence[int], **kwargs) -> np.ndarray:
+        index = self.calls
+        self.calls += 1
+        if index in self.crash_at and not self._disarmed():
+            self._arm_once()
+            if self.exit_code is not None:
+                os._exit(self.exit_code)
+            raise InjectedFault(
+                "scheduled LM crash", site="next_distribution", call_index=index
+            )
+        return self._model.next_distribution(prefix_ids, **kwargs)
+
+
+class StallingOracle(FeasibilityOracle):
+    """A :class:`FeasibilityOracle` that stalls on a deterministic schedule.
+
+    ``stall_at`` lists 0-based *query* indices (``feasible_set`` and
+    ``confirm_status`` calls share one counter); each scheduled query calls
+    ``sleep(stall_s)`` before delegating -- the shape of a solver lost in a
+    hard instance.  ``sleep`` is injectable so unit tests can count stalls
+    without waiting; the worker-pool chaos harness leaves the real
+    ``time.sleep`` in place to trip the supervisor's liveness timeout.
+
+    Attribute access (including ``discard_record_state``) delegates to the
+    wrapped oracle, which keeps all real state.
+    """
+
+    def __init__(
+        self,
+        oracle: FeasibilityOracle,
+        stall_at: Iterable[int],
+        stall_s: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        # Deliberately no super().__init__: state lives in the wrapped
+        # oracle and is reached via delegation (same shape as FaultyOracle).
+        self._oracle = oracle
+        self.stall_at: FrozenSet[int] = frozenset(int(i) for i in stall_at)
+        self.stall_s = float(stall_s)
+        self._sleep = sleep
+        self.queries = 0
+        self.stalls_fired = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self._oracle, name)
+
+    def _maybe_stall(self) -> None:
+        index = self.queries
+        self.queries += 1
+        if index in self.stall_at:
+            self.stalls_fired += 1
+            self._sleep(self.stall_s)
+
+    def begin_record(self, fixed=None) -> None:
+        self._oracle.begin_record(fixed)
+
+    def feasible_set(self, variable: str) -> FeasibleSet:
+        self._maybe_stall()
+        return self._oracle.feasible_set(variable)
+
+    def confirm_status(self, variable: str, value: int) -> str:
+        self._maybe_stall()
+        return self._oracle.confirm_status(variable, value)
+
+    def confirm(self, variable: str, value: int) -> bool:
+        return self.confirm_status(variable, value) == SAT
+
+    def fix(self, variable: str, value: int) -> None:
+        self._oracle.fix(variable, value)
+
+
+# -- process-level faults (worker-pool chaos) --------------------------------
+#
+# The supervisor's failure model has three process-shaped faults; these
+# helpers inject them against live worker PIDs.  ``slow-start`` is not a
+# signal but a worker-config knob (``slow_start_s`` on
+# ``repro.serve.workers.WorkerConfig`` / ``repro.serve.supervisor.WorkerPool``):
+# the worker sleeps before reporting ready, which exercises the
+# supervisor's startup timeout separately from liveness.
+
+
+def kill_worker(pid: int) -> None:
+    """Hard-crash a worker (SIGKILL): no cleanup, no goodbye message."""
+    os.kill(pid, signal.SIGKILL)
+
+
+def stall_worker(pid: int) -> None:
+    """Freeze a worker (SIGSTOP): heartbeats stop but the pipe stays open,
+    so only the liveness timeout -- not EOF -- can detect it."""
+    os.kill(pid, signal.SIGSTOP)
+
+
+def resume_worker(pid: int) -> None:
+    """Resume a stalled worker (SIGCONT); used to clean up stall tests."""
+    os.kill(pid, signal.SIGCONT)
 
 
 class FaultyOracle(FeasibilityOracle):

@@ -7,6 +7,8 @@ zero unhandled exceptions, and every emitted record is either proven
 rule-compliant or explicitly flagged degraded.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -17,16 +19,18 @@ from repro.core import (
     LADDER_STAGES,
 )
 from repro.data import build_dataset
-from repro.errors import DeadEnd
+from repro.errors import DeadEnd, InjectedFault
 from repro.lm import NgramLM
 from repro.lm.sampler import sample_tokens
 from repro.rules import domain_bound_rules, paper_rules
 from repro.smt import SolverBudget
 from repro.testing import (
+    CrashingLM,
     FaultConfig,
     FaultInjector,
     FaultyLM,
     FaultyOracle,
+    StallingOracle,
 )
 
 
@@ -324,6 +328,91 @@ class TestFaultHarness:
                 mask_hook=lambda _ids: {model.tokenizer.pad_id},
             )
 
+    def test_crashing_lm_fires_typed_fault_on_schedule(self, setting):
+        """crash_at indices raise InjectedFault (typed, attributed);
+        every other call is byte-identical to the wrapped model."""
+        dataset, model, _ = setting
+        crashing = CrashingLM(model, crash_at={2})
+        ids = model.tokenizer.encode("")
+        for _ in range(2):  # calls 0 and 1 pass through untouched
+            np.testing.assert_array_equal(
+                crashing.next_distribution(ids), model.next_distribution(ids)
+            )
+        with pytest.raises(InjectedFault) as excinfo:
+            crashing.next_distribution(ids)
+        assert excinfo.value.site == "next_distribution"
+        assert excinfo.value.call_index == 2
+        # The schedule is spent: call 3 is healthy again.
+        np.testing.assert_array_equal(
+            crashing.next_distribution(ids), model.next_distribution(ids)
+        )
+        assert crashing.calls == 4
+
+    def test_crash_once_sentinel_disarms_next_incarnation(
+        self, setting, tmp_path
+    ):
+        """The sentinel file models 'a restarted worker must not re-crash':
+        the first incarnation fires and arms it, the second stays healthy."""
+        dataset, model, _ = setting
+        sentinel = str(tmp_path / "fired")
+        ids = model.tokenizer.encode("")
+        first = CrashingLM(model, crash_at={0}, crash_once_path=sentinel)
+        with pytest.raises(InjectedFault):
+            first.next_distribution(ids)
+        assert os.path.exists(sentinel)
+        second = CrashingLM(model, crash_at={0}, crash_once_path=sentinel)
+        np.testing.assert_array_equal(
+            second.next_distribution(ids), model.next_distribution(ids)
+        )
+
+    def test_stalling_oracle_counts_and_delegates(self, setting):
+        """feasible_set and confirm_status share one query counter; the
+        injectable sleep lets tests count stalls without waiting."""
+        dataset, _, rules = setting
+        from repro.core.feasible import IntervalOracle
+        from repro.data.dataset import variable_bounds
+
+        naps = []
+        oracle = StallingOracle(
+            IntervalOracle(rules, variable_bounds(dataset.config)),
+            stall_at={0, 2},
+            stall_s=0.5,
+            sleep=naps.append,
+        )
+        oracle.begin_record(None)
+        oracle.feasible_set("total")  # query 0 -> stalls
+        oracle.confirm_status("total", 40)  # query 1
+        oracle.feasible_set("cong")  # query 2 -> stalls
+        assert oracle.queries == 3
+        assert oracle.stalls_fired == 2
+        assert naps == [0.5, 0.5]
+        oracle.discard_record_state()  # delegated; must not raise
+        assert oracle._oracle.fixed == {}
+
+    def test_stalls_never_perturb_bytes(self, setting):
+        """A stalled solver is slow, not wrong: records match a clean run."""
+        dataset, model, rules = setting
+        window = dataset.test_windows()[0]
+
+        def build(wrapper=None):
+            return JitEnforcer(
+                model,
+                rules,
+                dataset.config,
+                EnforcerConfig(seed=31),
+                fallback_rules=[domain_bound_rules(dataset.config)],
+                oracle_wrapper=wrapper,
+            )
+
+        clean = build().impute_record(window.coarse())
+        stalled = build(
+            lambda oracle: StallingOracle(
+                oracle, stall_at={1, 4, 9}, stall_s=1.0, sleep=lambda _s: None
+            )
+        ).impute_record(window.coarse())
+        assert stalled.values == clean.values
+        assert stalled.stage == clean.stage
+
     def test_wrapped_hybrid_exposes_sub_oracles(self, setting):
         dataset, _, rules = setting
         from repro.core.feasible import HybridOracle
@@ -340,3 +429,108 @@ class TestFaultHarness:
 
         plain = FaultyOracle(IntervalOracle(rules, bounds), injector)
         assert getattr(plain, "any_model", None) is None
+
+
+class TestPoisonedLaneQuarantine:
+    """Regression for the harvest bugfix: a session that dies mid-record
+    must leave nothing behind in its lane -- not a stale KV-cache row, not
+    a half-pushed solver, not a cached interval state."""
+
+    def test_poisoned_lane_never_leaks_into_next_tenant(self, setting):
+        from repro.serve import ContinuousBatchingScheduler
+
+        dataset, model, rules = setting
+        windows = dataset.test_windows()
+        poison = windows[0].coarse()
+        clean_window = windows[1]
+
+        class _MidDecodePoison:
+            """Raises a typed fault from confirm_status, but only while the
+            poisoned record is being decoded -- i.e. mid-record, after the
+            oracle has accumulated real per-record state.  The ``interval``
+            property poisons the hybrid tier's optimistic seam too (the
+            session generates against ``oracle.interval`` directly)."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._poisoned = False
+
+            def begin_record(self, fixed=None):
+                self._poisoned = bool(fixed) and all(
+                    fixed.get(k) == v for k, v in poison.items()
+                ) and len(fixed) == len(poison)
+                self._inner.begin_record(fixed)
+
+            def confirm_status(self, variable, value):
+                if self._poisoned:
+                    raise InjectedFault(
+                        "poisoned lane", site="confirm_status"
+                    )
+                return self._inner.confirm_status(variable, value)
+
+            def confirm(self, variable, value):
+                from repro.smt import SAT
+
+                return self.confirm_status(variable, value) == SAT
+
+            def feasible_set(self, variable):
+                return self._inner.feasible_set(variable)
+
+            def fix(self, variable, value):
+                self._inner.fix(variable, value)
+
+            @property
+            def interval(self):
+                return _MidDecodePoison(self._inner.interval)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        def build(seed=23, wrapper=None):
+            return JitEnforcer(
+                model,
+                rules,
+                dataset.config,
+                EnforcerConfig(seed=seed),
+                fallback_rules=[domain_bound_rules(dataset.config)],
+                oracle_wrapper=wrapper,
+            )
+
+        def assert_discarded(oracle):
+            # Base oracle contract after discard_record_state().
+            assert oracle.fixed == {}
+            assert oracle._state_key == ((), ())
+            if hasattr(oracle, "_solver"):  # SmtOracle
+                assert oracle._solver is None
+                assert oracle._open_levels == 0
+                assert oracle._base_ok is False
+            for sub in ("interval", "smt"):
+                inner = getattr(oracle, sub, None)
+                if inner is not None and hasattr(inner, "fixed"):
+                    assert_discarded(inner)
+
+        from repro.serve import RequestSpec
+
+        scheduler = ContinuousBatchingScheduler(
+            build(wrapper=lambda oracle: _MidDecodePoison(oracle)), lanes=1
+        )
+        with scheduler:
+            poisoned = scheduler.submit(
+                RequestSpec("impute", coarse=poison, seed=23)
+            )
+            with pytest.raises(InjectedFault):
+                poisoned.result(timeout=120)
+            assert scheduler.failed == 1
+            # The lane the poisoned session died on is quarantine-reset:
+            # every tier oracle is back to its no-record baseline.
+            lane = scheduler.pool.lanes[0]
+            for tier_list in (lane.tiers, lane.interval_tiers):
+                for _tier_rules, tier_oracle in tier_list:
+                    assert_discarded(tier_oracle._inner)
+            # And the next tenant of that same lane is byte-identical to a
+            # fresh serial enforcer: nothing leaked.
+            follow_up = scheduler.impute(
+                clean_window.coarse(), seed=77, wait_timeout=120
+            )
+        reference = build(seed=77).impute_record(clean_window.coarse())
+        assert follow_up.records == [dict(reference.values)]

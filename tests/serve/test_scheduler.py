@@ -66,6 +66,25 @@ class TestSerialParity:
             result = scheduler.synthesize(count=3, seed=77, wait_timeout=60)
         assert result.records == [dict(r.values) for r in reference]
 
+    def test_index_offset_pins_absolute_record_indices(self, setting):
+        """index_offset=k makes the request produce records k..k+count-1 of
+        the serial stream -- the contract the worker pool's single-record
+        sharding (and crash replay) is built on."""
+        dataset, model, rules = setting
+        serial = _enforcer(dataset, model, rules, seed=55)
+        reference = [serial.synthesize_record() for _ in range(4)]
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules)
+        ) as scheduler:
+            tail = scheduler.submit(
+                RequestSpec("synthesize", count=2, seed=55, index_offset=2)
+            ).result(timeout=60)
+            head = scheduler.submit(
+                RequestSpec("synthesize", count=2, seed=55)
+            ).result(timeout=60)
+        assert head.records == [dict(r.values) for r in reference[:2]]
+        assert tail.records == [dict(r.values) for r in reference[2:]]
+
     def test_parity_survives_concurrent_batch_mates(self, setting):
         """Lane placement and batch-mates never leak into a request."""
         dataset, model, rules = setting
