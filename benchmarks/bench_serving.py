@@ -17,6 +17,13 @@ seconds in and reports the before/during/after latency and error split::
     PYTHONPATH=src python benchmarks/bench_serving.py \
         --workers 1 2 4 --kill-worker-at 0.25
 
+With ``--tenants`` an extra run stripes the schedule across named rule
+packs (builtin registry names; default ``paper-R1-R3 domain-bounds``) and
+reports per-tenant latency plus byte parity against single-tenant
+replays of the same seeds::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --tenants
+
 ``python -m repro.cli bench-serving`` is the same harness behind the CLI.
 """
 
@@ -27,6 +34,8 @@ from pathlib import Path
 from repro.serve import (
     format_pool_report,
     format_report,
+    format_tenant_report,
+    run_mixed_tenant_bench,
     run_pool_scaling_bench,
     run_serving_bench,
 )
@@ -61,6 +70,12 @@ def main() -> int:
         help="with --workers: SIGKILL one worker this many seconds into "
         "an extra run and report the before/during/after latency split",
     )
+    parser.add_argument(
+        "--tenants", type=str, nargs="*", default=None,
+        help="also run a mixed-tenant scenario striping requests across "
+        "these builtin rule-pack names (no names = paper-R1-R3 + "
+        "domain-bounds); reports per-tenant latency and byte parity",
+    )
     args = parser.parse_args()
     report = run_serving_bench(
         offered_loads=args.loads,
@@ -82,6 +97,18 @@ def main() -> int:
         report["worker_pool"] = pool_report
         print()
         print(format_pool_report(pool_report))
+    if args.tenants is not None:
+        tenant_report = run_mixed_tenant_bench(
+            tenants=tuple(args.tenants) or ("paper-R1-R3", "domain-bounds"),
+            offered_load=max(args.loads),
+            lanes=max(args.lanes),
+            requests=min(args.requests, 120),
+            seed=args.seed,
+            timeout_ms=args.timeout_ms,
+        )
+        report["mixed_tenant"] = tenant_report
+        print()
+        print(format_tenant_report(tenant_report))
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.out}")
     return 0

@@ -10,6 +10,7 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli synth    --model model.json --rules rules.json -n 10
     python -m repro.cli serve    --model model.json --rules rules.json \
                                  --port 8080 --lanes 4
+    python -m repro.cli rules    list --dir packs/
     python -m repro.cli bench-serving --out BENCH_serving.json
     python -m repro.cli chaos    --workers 4 --requests 24
     python -m repro.cli trace-report --trace trace.jsonl
@@ -78,6 +79,32 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _rule_pack_ref(text: str) -> str:
+    """argparse type for rule-pack references: ``name`` or ``name@version``.
+
+    Syntax is validated here (fail fast at parse time); whether the pack
+    *exists* is checked against the registry at startup, where the error
+    can list what is actually available.
+    """
+    name, sep, version = text.partition("@")
+    if not name:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a rule-pack reference (name or name@version)"
+        )
+    if sep:
+        try:
+            value = int(version)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"version in {text!r} must be an integer"
+            )
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"version in {text!r} must be >= 1"
+            )
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,8 +187,61 @@ def build_parser() -> argparse.ArgumentParser:
         "with N > 0, --lanes means lanes per worker)",
     )
     serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--rule-pack", action="append", type=_rule_pack_ref, default=None,
+        metavar="NAME[@VERSION]", dest="rule_packs",
+        help="preload (and validate) this registered rule pack at startup; "
+        "repeatable.  Unknown names fail fast listing what is available",
+    )
+    serve_cmd.add_argument(
+        "--registry-dir", type=Path, default=None,
+        help="persisted rule-pack registry directory (see `rules register`); "
+        "packs found there are served alongside the built-in libraries",
+    )
     _add_decode_args(serve_cmd)
     _add_budget_args(serve_cmd)
+
+    rules_cmd = sub.add_parser(
+        "rules", help="inspect and manage the rule-pack registry"
+    )
+    rules_sub = rules_cmd.add_subparsers(dest="rules_command", required=True)
+    rules_list = rules_sub.add_parser(
+        "list", help="list registered packs (name, version, hash, active)"
+    )
+    rules_list.add_argument(
+        "--dir", type=Path, default=None,
+        help="registry directory (defaults to the built-in libraries)",
+    )
+    rules_show = rules_sub.add_parser(
+        "show", help="print one pack version as rule JSON"
+    )
+    rules_show.add_argument(
+        "ref", type=_rule_pack_ref, metavar="NAME[@VERSION]"
+    )
+    rules_show.add_argument("--dir", type=Path, default=None)
+    rules_register = rules_sub.add_parser(
+        "register", help="add a mined/exported pack version to a registry"
+    )
+    rules_register.add_argument("--file", required=True, type=Path,
+                                help="rule JSON written by `mine`/save_rules")
+    rules_register.add_argument("--dir", required=True, type=Path,
+                                help="registry directory (created if needed)")
+    rules_register.add_argument("--name", default=None,
+                                help="pack name (defaults to the set's name)")
+    rules_register.add_argument(
+        "--version", type=_positive_int, default=None,
+        help="explicit version (defaults to one past the highest)",
+    )
+    rules_register.add_argument(
+        "--activate", action="store_true",
+        help="make this version active immediately (first version always is)",
+    )
+    rules_promote = rules_sub.add_parser(
+        "promote", help="atomically activate a registered pack version"
+    )
+    rules_promote.add_argument("ref", type=_rule_pack_ref,
+                               metavar="NAME@VERSION")
+    rules_promote.add_argument("--dir", required=True, type=Path)
 
     bench_cmd = sub.add_parser(
         "bench-serving", help="open-loop Poisson load benchmark of the server"
@@ -193,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kill-worker-at", type=float, default=None,
         help="with --workers: SIGKILL one worker this many seconds into an "
         "extra run and report the before/during/after latency split",
+    )
+    bench_cmd.add_argument(
+        "--tenants", type=str, nargs="*", default=None,
+        help="also run a mixed-tenant scenario striping requests across "
+        "these builtin rule-pack names (no names = paper-R1-R3 + "
+        "domain-bounds); reports per-tenant latency and byte parity",
     )
 
     chaos_cmd = sub.add_parser(
@@ -467,6 +553,68 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _open_registry(dir_path: Optional[Path], config: TelemetryConfig):
+    """A registry seeded with the built-in libraries (+ a persisted dir)."""
+    from .rules import builtin_registry
+
+    return builtin_registry(config, root=dir_path)
+
+
+def _cmd_rules(args) -> int:
+    from .errors import RetiredRuleSet, UnknownRuleSet
+    from .rules import RuleSetRegistry
+    from .rules.io import rules_to_json
+
+    config = TelemetryConfig()
+    if args.rules_command == "list":
+        registry = _open_registry(args.dir, config)
+        print(json.dumps(registry.describe(), indent=2))
+        return 0
+    if args.rules_command == "show":
+        registry = _open_registry(args.dir, config)
+        try:
+            handle = registry.resolve(args.ref)
+        except (UnknownRuleSet, RetiredRuleSet) as exc:
+            raise SystemExit(str(exc))
+        emit_kv("rule_pack", [
+            ("ref", handle.ref), ("hash", handle.content_hash),
+            ("rules", len(handle.rules)),
+        ])
+        print(rules_to_json(handle.rules))
+        return 0
+    if args.rules_command == "register":
+        registry = RuleSetRegistry(root=args.dir)
+        rules = load_rules(args.file)
+        try:
+            handle = registry.register(
+                rules,
+                name=args.name,
+                version=args.version,
+                activate=True if args.activate else None,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(json.dumps({
+            "name": handle.name, "version": handle.version,
+            "hash": handle.content_hash, "rules": len(handle.rules),
+        }))
+        return 0
+    # promote
+    registry = RuleSetRegistry(root=args.dir)
+    name, _, version = args.ref.partition("@")
+    if not version:
+        raise SystemExit("promote needs an explicit NAME@VERSION reference")
+    try:
+        handle = registry.promote(name, int(version))
+    except (UnknownRuleSet, RetiredRuleSet) as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps({
+        "name": handle.name, "version": handle.version,
+        "hash": handle.content_hash, "active": True,
+    }))
+    return 0
+
+
 @contextlib.contextmanager
 def _graceful_sigterm():
     """Route SIGTERM through KeyboardInterrupt so `kill` drains the server.
@@ -494,10 +642,36 @@ def _graceful_sigterm():
 
 
 def _cmd_serve(args) -> int:
+    from .errors import RetiredRuleSet, UnknownRuleSet
+    from .rules.io import rules_fingerprint
     from .serve import ContinuousBatchingScheduler, ServingServer, WorkerPool
 
     config = TelemetryConfig()
     enforcer_config = _enforcer_config_from(args)
+
+    # Multi-tenant registry: built-in libraries, any persisted packs under
+    # --registry-dir, and the --rules file itself (so requests can name it
+    # explicitly).  Skip re-registering content the registry already holds
+    # -- restarting the server must not bump versions.
+    registry = _open_registry(args.registry_dir, config)
+    served_rules = load_rules(args.rules)
+    served_hash = rules_fingerprint(served_rules)
+    already = any(
+        row["name"] == served_rules.name and row["hash"] == served_hash
+        for row in registry.describe()
+    )
+    if not already:
+        registry.register(served_rules)
+    for ref in args.rule_packs or []:
+        try:
+            handle = registry.resolve(ref)
+        except (UnknownRuleSet, RetiredRuleSet) as exc:
+            raise SystemExit(f"--rule-pack {ref}: {exc}")
+        emit_kv("rule_pack", [
+            ("ref", handle.ref), ("hash", handle.content_hash[:12]),
+            ("rules", len(handle.rules)),
+        ])
+
     if args.workers:
         # Supervised multi-process pool: each worker builds its own
         # enforcer from the checkpoint files, so a restarted worker is
@@ -520,6 +694,7 @@ def _cmd_serve(args) -> int:
             lanes_per_worker=args.lanes,
             queue_depth=args.queue_depth,
             cache_entries=args.cache_entries,
+            rule_registry=registry,
         )
     else:
         model = load_ngram(args.model)
@@ -536,6 +711,7 @@ def _cmd_serve(args) -> int:
             queue_depth=args.queue_depth,
             admit_policy=args.admit_policy,
             cache_entries=args.cache_entries,
+            rule_registry=registry,
         )
     server = ServingServer(scheduler, host=args.host, port=args.port)
     host, port = server.address
@@ -561,6 +737,8 @@ def _cmd_bench_serving(args) -> int:
     from .serve import (
         format_pool_report,
         format_report,
+        format_tenant_report,
+        run_mixed_tenant_bench,
         run_pool_scaling_bench,
         run_serving_bench,
     )
@@ -585,6 +763,18 @@ def _cmd_bench_serving(args) -> int:
         report["worker_pool"] = pool_report
         print()
         print(format_pool_report(pool_report))
+    if args.tenants is not None:
+        tenant_report = run_mixed_tenant_bench(
+            tenants=tuple(args.tenants) or ("paper-R1-R3", "domain-bounds"),
+            offered_load=max(args.loads),
+            lanes=max(args.lanes),
+            requests=min(args.requests, 120),
+            seed=args.seed,
+            timeout_ms=args.timeout_ms,
+        )
+        report["mixed_tenant"] = tenant_report
+        print()
+        print(format_tenant_report(tenant_report))
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     emit_kv("bench_serving", [("out", args.out)])
     return 0
@@ -642,6 +832,7 @@ _COMMANDS = {
     "impute": _cmd_impute,
     "synth": _cmd_synth,
     "serve": _cmd_serve,
+    "rules": _cmd_rules,
     "bench-serving": _cmd_bench_serving,
     "chaos": _cmd_chaos,
     "trace-report": _cmd_trace_report,

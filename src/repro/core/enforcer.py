@@ -38,6 +38,8 @@ from ..data.telemetry import COARSE_FIELDS, TelemetryConfig, fine_field
 from ..lm.base import LanguageModel
 from ..obs import OBS, Sample
 from ..rules.dsl import RuleSet
+from ..rules.io import rules_fingerprint
+from ..rules.registry import RuleSetHandle
 from ..smt import BudgetMeter
 from .feasible import (
     FeasibilityOracle,
@@ -195,12 +197,18 @@ class JitEnforcer:
         self.telemetry_config = telemetry_config or TelemetryConfig()
         self.config = config or EnforcerConfig()
         self.bounds = dict(bounds or variable_bounds(self.telemetry_config))
+        self.fallback_rules: List[RuleSet] = list(fallback_rules)
         self._all_rules: List[RuleSet] = [rules, *fallback_rules]
         self._oracle_wrapper = oracle_wrapper or (lambda oracle: oracle)
+        # The constructor rules wrapped as an unregistered handle (version
+        # 0): lanes not bound to a tenant pack enforce these, and rebinds
+        # compare content hashes against it.
+        self.default_handle = RuleSetHandle.for_rules(rules)
         # One cache shared by every lane (and every oracle tier within a
-        # lane): keys embed id(rule set) + the exact assignment history, so
-        # concurrent sessions can safely share answers.  The enforcer keeps
-        # the rule sets alive, which is what keeps the ids stable.
+        # lane): keys embed the rule set's content fingerprint + the exact
+        # assignment history, so concurrent sessions -- and lanes rebound
+        # across tenant packs -- safely share answers within a partition
+        # while differing rule content can never alias.
         self.oracle_cache: Optional[OracleCache] = (
             OracleCache(self.config.oracle_cache_entries)
             if self.config.oracle_cache_entries > 0
@@ -237,6 +245,8 @@ class JitEnforcer:
         self,
         cache: Optional[OracleCache] = None,
         pool_reuse: Optional[int] = None,
+        handle: Optional[RuleSetHandle] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> Lane:
         """A fresh oracle lane: one tier set + meter, fault-wrapped.
 
@@ -244,27 +254,70 @@ class JitEnforcer:
         batch slot so concurrent sessions never share solver state.  Solver
         pooling and the shared cache default to the config's settings; the
         engine passes overrides to switch them on for its lanes only.
+
+        ``handle`` selects the primary rule pack (defaulting to the
+        constructor rules); the fallback tiers stay the enforcer's own.
+        ``meter`` is passed by :meth:`bind_lane` so a rebound lane keeps
+        its cumulative solver-work accounting.
         """
         wrap = self._oracle_wrapper
         oracle_cls = _ORACLES[self.config.oracle]
-        meter = BudgetMeter(self.config.budget)
-        kwargs = dict(
-            cache=cache if cache is not None else self.oracle_cache,
-            pool_reuse=(
-                pool_reuse if pool_reuse is not None else self.config.solver_pool
-            ),
+        if meter is None:
+            meter = BudgetMeter(self.config.budget)
+        handle = handle or self.default_handle
+        all_rules = [handle.rules, *self.fallback_rules]
+        resolved_cache = cache if cache is not None else self.oracle_cache
+        resolved_pool = (
+            pool_reuse if pool_reuse is not None else self.config.solver_pool
         )
+        kwargs = dict(cache=resolved_cache, pool_reuse=resolved_pool)
         tiers = [
             (tier_rules, wrap(oracle_cls(tier_rules, self.bounds, meter=meter, **kwargs)))
-            for tier_rules in self._all_rules
+            for tier_rules in all_rules
         ]
         # Interval-only tiers for the "interval-audit" ladder stage: pure
         # bounds propagation, no solver, so they survive budget exhaustion.
         interval_tiers = [
             (tier_rules, wrap(IntervalOracle(tier_rules, self.bounds, meter=meter, **kwargs)))
-            for tier_rules in self._all_rules
+            for tier_rules in all_rules
         ]
-        return Lane(tiers=tiers, interval_tiers=interval_tiers, meter=meter)
+        return Lane(
+            tiers=tiers,
+            interval_tiers=interval_tiers,
+            meter=meter,
+            handle=handle,
+            cache=resolved_cache,
+            pool_reuse=resolved_pool,
+        )
+
+    def bind_lane(
+        self, lane: Lane, handle: Optional[RuleSetHandle]
+    ) -> Lane:
+        """Rebind ``lane`` to ``handle``'s rules in place (hot swap).
+
+        Lanes are sticky: when the incoming handle's content hash matches
+        the lane's current binding, only the handle metadata is updated --
+        no oracle churn, and pooled solver state survives.  On a real
+        content change the tiers are rebuilt while the *same* meter keeps
+        accumulating (cumulative solver-work totals must survive rebinds)
+        and the same partitioned cache is reused, which is safe because
+        every key embeds the content fingerprint.
+        """
+        target = handle or self.default_handle
+        current = lane.handle or self.default_handle
+        if current.content_hash == target.content_hash:
+            lane.handle = target
+            return lane
+        rebuilt = self._build_lane(
+            cache=lane.cache,
+            pool_reuse=lane.pool_reuse,
+            handle=target,
+            meter=lane.meter,
+        )
+        lane.tiers = rebuilt.tiers
+        lane.interval_tiers = rebuilt.interval_tiers
+        lane.handle = target
+        return lane
 
     def _next_rng(self) -> np.random.Generator:
         """This record's private random stream.
@@ -283,23 +336,27 @@ class JitEnforcer:
         self,
         coarse: Mapping[str, int],
         context: Optional[Mapping[str, int]] = None,
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> Dict[str, int]:
         """Generate the fine-grained values given coarse counters.
 
         ``context`` carries extra fixed variables the rules may reference
         but the record does not serialize -- e.g. ``prev_*`` variables for
         temporal cross-window rules (the Section 5 extension).
+        ``rule_set`` (a resolved handle) enforces a registry pack instead
+        of the constructor rules.
         """
-        return self.impute_record(coarse, context).values
+        return self.impute_record(coarse, context, rule_set=rule_set).values
 
     def impute_record(
         self,
         coarse: Mapping[str, int],
         context: Optional[Mapping[str, int]] = None,
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> RecordOutcome:
         """Like :meth:`impute` but returns the full :class:`RecordOutcome`."""
         fixed, prompt, variables = self.impute_plan(coarse, context)
-        return self._generate_record(fixed, prompt, variables)
+        return self._generate_record(fixed, prompt, variables, rule_set=rule_set)
 
     def impute_plan(
         self,
@@ -318,21 +375,25 @@ class JitEnforcer:
         return fixed, prompt, fine_names
 
     def synthesize(
-        self, context: Optional[Mapping[str, int]] = None
+        self,
+        context: Optional[Mapping[str, int]] = None,
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> Dict[str, int]:
         """Generate a full record unconditionally (the synthesis task).
 
         ``context`` works as in :meth:`impute` (extra fixed variables for
         temporal rules; not part of the serialized record).
         """
-        return self.synthesize_record(context).values
+        return self.synthesize_record(context, rule_set=rule_set).values
 
     def synthesize_record(
-        self, context: Optional[Mapping[str, int]] = None
+        self,
+        context: Optional[Mapping[str, int]] = None,
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> RecordOutcome:
         """Like :meth:`synthesize` but returns the :class:`RecordOutcome`."""
         fixed, prompt, variables = self.synthesize_plan(context)
-        return self._generate_record(fixed, prompt, variables)
+        return self._generate_record(fixed, prompt, variables, rule_set=rule_set)
 
     def synthesize_plan(
         self, context: Optional[Mapping[str, int]] = None
@@ -353,6 +414,7 @@ class JitEnforcer:
         lane: Optional[Lane] = None,
         rng: Optional[np.random.Generator] = None,
         checkpoint: Optional[Callable[[], None]] = None,
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> EnforcementSession:
         """A resumable session for one record (the engine's entry point).
 
@@ -361,11 +423,18 @@ class JitEnforcer:
         :func:`record_rng`) so a request's output is independent of what
         else the server happens to be running.  ``checkpoint`` is called at
         every suspension boundary; raising from it aborts just this session
-        (deadline/cancellation enforcement).
+        (deadline/cancellation enforcement).  ``rule_set`` is a resolved
+        :class:`~repro.rules.registry.RuleSetHandle`: the lane is rebound
+        to it (or back to the constructor rules when None) before the
+        session opens, so mixed-tenant records can interleave on shared
+        lanes.
         """
+        lane = lane or self._lane
+        if rule_set is not None or lane.handle is not self.default_handle:
+            self.bind_lane(lane, rule_set)
         return EnforcementSession(
             self,
-            lane or self._lane,
+            lane,
             fixed,
             prompt_text,
             variables,
@@ -378,11 +447,14 @@ class JitEnforcer:
         fixed: Mapping[str, int],
         prompt_text: str,
         variables: Sequence[str],
+        rule_set: Optional[RuleSetHandle] = None,
     ) -> RecordOutcome:
         start_time = OBS.clock.now()
         mode = "incremental" if self._kv_cache is not None else "full"
         try:
-            session = self.open_session(fixed, prompt_text, variables)
+            session = self.open_session(
+                fixed, prompt_text, variables, rule_set=rule_set
+            )
             request = session.start()
             while request is not None:
                 self.trace.lm_calls += 1
@@ -424,7 +496,11 @@ class JitEnforcer:
         context absent on the first window of a sequence) are not binding
         on this record and cannot be evaluated against it.
         """
-        key = (id(rules), frozenset(values))
+        # Keyed on the rule content's fingerprint, not id(rules): lanes
+        # rebound across tenant packs produce fresh RuleSet objects whose
+        # ids would otherwise grow the cache without bound, while packs
+        # with identical content legitimately share restrictions.
+        key = (rules_fingerprint(rules), frozenset(values))
         cached = self._audit_cache.get(key)
         if cached is None:
             cached = rules.restricted_to(list(values))

@@ -116,11 +116,18 @@ class LanePool:
 
 @dataclass
 class RecordRequest:
-    """One unit of work: generate a record with these fixed values."""
+    """One unit of work: generate a record with these fixed values.
+
+    ``rule_set`` (a resolved :class:`~repro.rules.registry.RuleSetHandle`,
+    or None for the enforcer's constructor rules) selects the pack this
+    record enforces -- the engine rebinds the slot's lane before opening
+    the session, so one run can interleave mixed-tenant records.
+    """
 
     fixed: Dict[str, int]
     prompt_text: str
     variables: List[str]
+    rule_set: Optional[object] = None
 
 
 @dataclass
@@ -205,12 +212,16 @@ class EnforcementEngine:
         coarse_batch: Sequence[Mapping[str, int]],
         contexts: Optional[Sequence[Optional[Mapping[str, int]]]] = None,
         return_exceptions: bool = False,
+        rule_set: Optional[object] = None,
     ) -> List[Union[RecordOutcome, BaseException]]:
         """Batched :meth:`~repro.core.enforcer.JitEnforcer.impute_record`."""
         if contexts is None:
             contexts = [None] * len(coarse_batch)
         requests = [
-            RecordRequest(*self.enforcer.impute_plan(coarse, context))
+            RecordRequest(
+                *self.enforcer.impute_plan(coarse, context),
+                rule_set=rule_set,
+            )
             for coarse, context in zip(coarse_batch, contexts)
         ]
         return self.run(requests, return_exceptions=return_exceptions)
@@ -220,12 +231,15 @@ class EnforcementEngine:
         count: int,
         contexts: Optional[Sequence[Optional[Mapping[str, int]]]] = None,
         return_exceptions: bool = False,
+        rule_set: Optional[object] = None,
     ) -> List[Union[RecordOutcome, BaseException]]:
         """Batched :meth:`~repro.core.enforcer.JitEnforcer.synthesize_record`."""
         if contexts is None:
             contexts = [None] * count
         requests = [
-            RecordRequest(*self.enforcer.synthesize_plan(context))
+            RecordRequest(
+                *self.enforcer.synthesize_plan(context), rule_set=rule_set
+            )
             for context in contexts
         ]
         return self.run(requests, return_exceptions=return_exceptions)
@@ -286,6 +300,7 @@ class EnforcementEngine:
                             request.prompt_text,
                             request.variables,
                             lane=self._lanes[slot_index],
+                            rule_set=request.rule_set,
                         )
                         pending = session.start()
                         if session.done:

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from ..errors import InfeasibleRecord, SolverBudgetExceeded
 from ..obs import OBS
 from ..rules.dsl import RuleSet
+from ..rules.io import rules_fingerprint
 from ..smt import (
     SAT,
     UNSAT,
@@ -85,8 +86,14 @@ class OracleCache:
     from fully-computed, immutable snapshots; UNKNOWN verdicts (budget
     exhaustion) are never cached, so resource-dependent outcomes stay live.
 
-    The cache must be scoped to one enforcer/engine: keys embed ``id(rule
-    set)``, which is only stable while the owner keeps the rule sets alive.
+    Keys embed the rule set's *content fingerprint*
+    (:func:`~repro.rules.io.rules_fingerprint`), which partitions the
+    cache by rule-set hash: oracles over identical rule content share
+    verdicts -- across tenants, lanes, and rebinds -- while any content
+    difference isolates them completely, so a sat/unsat verdict cached
+    under pack A can never be served for pack B.  Per-partition counters
+    make mixed-tenant behaviour debuggable, and :meth:`evict_partition`
+    drops a retired pack's verdicts wholesale.
     """
 
     #: Default FIFO capacity, used by the engine and the serving scheduler
@@ -99,20 +106,46 @@ class OracleCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # partition -> [hits, misses, evictions, entries]; the partition of
+        # a key is the rule-set fingerprint its oracle baked into the tag.
+        self._partitions: Dict[object, List[int]] = {}
+
+    @staticmethod
+    def _partition_of(key: Tuple) -> object:
+        tag = key[1] if len(key) > 1 else None
+        if isinstance(tag, tuple) and tag:
+            return tag[0]
+        return "default"
+
+    def _partition_row(self, key: Tuple) -> List[int]:
+        partition = self._partition_of(key)
+        row = self._partitions.get(partition)
+        if row is None:
+            row = self._partitions[partition] = [0, 0, 0, 0]
+        return row
 
     def lookup(self, key: Tuple):
         entry = self._data.get(key)
         if entry is None:
             self.misses += 1
+            self._partition_row(key)[1] += 1
             return None
         self.hits += 1
+        self._partition_row(key)[0] += 1
         return entry
 
     def store(self, key: Tuple, value: object) -> None:
-        if len(self._data) >= self.max_entries and key not in self._data:
-            # FIFO eviction: drop the oldest insertion (dicts are ordered).
-            self._data.pop(next(iter(self._data)))
-            self.evictions += 1
+        if key not in self._data:
+            if len(self._data) >= self.max_entries:
+                # FIFO eviction: drop the oldest insertion (dicts are
+                # ordered) and charge the eviction to *its* partition.
+                oldest = next(iter(self._data))
+                self._data.pop(oldest)
+                self.evictions += 1
+                row = self._partition_row(oldest)
+                row[2] += 1
+                row[3] -= 1
+            self._partition_row(key)[3] += 1
         self._data[key] = value
 
     def evict(self, key: Tuple) -> bool:
@@ -126,7 +159,31 @@ class OracleCache:
         if self._data.pop(key, None) is None:
             return False
         self.evictions += 1
+        row = self._partition_row(key)
+        row[2] += 1
+        row[3] -= 1
         return True
+
+    def evict_partition(self, partition: object) -> int:
+        """Drop every entry of one rule-set partition; returns the count.
+
+        Called when a rule pack is retired: its verdicts will never be
+        queried again (new requests cannot name it), so holding them only
+        crowds out live tenants' entries.
+        """
+        doomed = [
+            key for key in self._data if self._partition_of(key) == partition
+        ]
+        for key in doomed:
+            self._data.pop(key)
+        count = len(doomed)
+        if count:
+            self.evictions += count
+            row = self._partitions.get(partition)
+            if row is not None:
+                row[2] += count
+                row[3] -= count
+        return count
 
     def __contains__(self, key: Tuple) -> bool:
         return key in self._data
@@ -139,7 +196,23 @@ class OracleCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        """Operator-facing counters (served verbatim by ``GET /metrics``)."""
+        """Operator-facing counters (served verbatim by ``GET /metrics``).
+
+        ``partitions`` breaks hits/misses/evictions/entries down per
+        rule-set fingerprint, so a mixed-tenant deployment can see which
+        pack's verdicts are hot and which are being crowded out.
+        """
+        partitions = {}
+        for partition, row in self._partitions.items():
+            hits, misses, evictions, entries = row
+            total = hits + misses
+            partitions[str(partition)] = {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "entries": entries,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+            }
         return {
             "entries": len(self._data),
             "capacity": self.max_entries,
@@ -147,6 +220,7 @@ class OracleCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate(), 4),
+            "partitions": partitions,
         }
 
     # Backwards-compatible alias (pre-serving callers used snapshot()).
@@ -195,7 +269,12 @@ class FeasibilityOracle:
         self.meter = meter
         self.cache = cache
         self.pool_reuse = int(pool_reuse)
-        self._cache_tag = (id(rules), type(self).__name__)
+        # Content-hashed tag: the fingerprint is the cache *partition*, so
+        # oracles over identical rule content share entries (across lanes,
+        # tenants, and hot-swap rebinds) while differing content -- even
+        # with identical pack names -- can never alias.  The type name
+        # keeps solver-exact and interval-approximate answers apart.
+        self._cache_tag = (rules_fingerprint(rules), type(self).__name__)
         self._state_key: StateKey = ((), ())
 
     # -- state-key bookkeeping (see StateKey above) ---------------------------

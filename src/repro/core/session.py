@@ -282,11 +282,23 @@ class Lane:
     The synchronous enforcer owns a single lane; the batched engine builds
     one per concurrent slot so sessions never share solver state or budget
     meters (a stuck record in one lane cannot starve its batch-mates).
+
+    A lane is also the rule-set binding point: ``handle`` names the
+    resolved :class:`~repro.rules.registry.RuleSetHandle` whose rules the
+    tier oracles were built from.  ``JitEnforcer.bind_lane`` rebinds a
+    lane in place when a record resolved a different pack -- rebuilding
+    the tiers but *keeping the meter* (cumulative solver-work accounting
+    survives rebinds) and the shared cache (whose content-hash partitions
+    make cross-pack reuse safe by construction).  ``cache``/``pool_reuse``
+    remember the build parameters so a rebind reproduces them.
     """
 
     tiers: List[Tuple[RuleSet, FeasibilityOracle]]
     interval_tiers: List[Tuple[RuleSet, FeasibilityOracle]]
     meter: BudgetMeter
+    handle: Optional[object] = None  # RuleSetHandle (untyped: no core dep)
+    cache: Optional[object] = None  # OracleCache used to build the tiers
+    pool_reuse: Optional[int] = None
 
     def reset(self) -> None:
         """Quarantine-reset after a session died mid-record on this lane.
@@ -370,8 +382,13 @@ class EnforcementSession:
         self._lm_steps = 0
         # The record span parents every child span this session emits.  It
         # is None whenever tracing is inactive (the common case).
+        span_attrs: Dict[str, object] = {"variables": len(self._variables)}
+        handle = getattr(lane, "handle", None)
+        if handle is not None:
+            span_attrs["tenant"] = handle.name
+            span_attrs["rule_set"] = handle.ref
         self.span: Optional[int] = OBS.start_span(
-            "record", parent=None, attrs={"variables": len(self._variables)}
+            "record", parent=None, attrs=span_attrs
         )
         self._step_span: Optional[int] = None
         self._gen: Generator[List[int], np.ndarray, RecordOutcome] = self._drive()
@@ -578,9 +595,15 @@ class EnforcementSession:
                 return outcome
 
         # Last resort: clamp the candidate (or domain minima) into bounds.
+        # Audit against the lane's *bound* primary rules, not the owner's
+        # constructor rules: under per-record rule sets they differ, and a
+        # tenant's clamped record must be judged by its own pack.
         values = self._clamped_values(candidate)
+        primary_rules = (
+            self._lane.tiers[0][0] if self._lane.tiers else self._owner.rules
+        )
         compliant = self._owner._auditable(
-            self._owner.rules, values
+            primary_rules, values
         ).compliant(values)
         logger.warning(
             "record degraded to clamped values (compliant=%s)", compliant

@@ -38,6 +38,8 @@ __all__ = [
     "InjectedFault",
     "WorkerCrashed",
     "WorkerPoolUnavailable",
+    "UnknownRuleSet",
+    "RetiredRuleSet",
 ]
 
 
@@ -219,3 +221,26 @@ class WorkerPoolUnavailable(ReproError):
     ):
         self.retry_after = retry_after
         super().__init__(message)
+
+
+# -- multi-tenant rule-set registry (see repro.rules.registry) ---------------
+
+
+class UnknownRuleSet(ReproError):
+    """A request named a rule pack the registry has never seen.
+
+    Raised synchronously at admission (before the request is queued) and
+    mapped to ``404 Not Found`` by the HTTP front end.  Both constructor
+    shapes must stay single-string so the worker pipe's
+    ``resolve_error(type, message)`` round-trip can rebuild it.
+    """
+
+
+class RetiredRuleSet(ReproError):
+    """A request named a rule pack version that has been retired.
+
+    Retired versions stay resolvable *by content hash* so in-flight and
+    replayed records finish under the version they were admitted with,
+    but new requests naming them explicitly are refused with ``409
+    Conflict``.
+    """

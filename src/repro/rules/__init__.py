@@ -7,9 +7,16 @@ from training data NetNomos-style (:func:`mine_rules`).
 
 from .diagnose import InfeasibilityReport, diagnose_infeasibility
 from .dsl import Rule, RuleSet, var
-from .io import load_rules, rules_from_json, rules_to_json, save_rules
+from .io import (
+    load_rules,
+    rules_fingerprint,
+    rules_from_json,
+    rules_to_json,
+    save_rules,
+)
 from .library import domain_bound_rules, paper_rules, zoom2net_manual_rules
 from .mining import MinerOptions, mine_rules
+from .registry import RuleSetHandle, RuleSetRegistry, builtin_registry
 
 __all__ = [
     "Rule",
@@ -24,6 +31,10 @@ __all__ = [
     "load_rules",
     "rules_to_json",
     "rules_from_json",
+    "rules_fingerprint",
+    "RuleSetHandle",
+    "RuleSetRegistry",
+    "builtin_registry",
     "diagnose_infeasibility",
     "InfeasibilityReport",
 ]

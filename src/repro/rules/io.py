@@ -16,16 +16,65 @@ plug-ins" that repurpose a model.  The JSON layout::
 
 from __future__ import annotations
 
+import hashlib
 import json
+import weakref
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 from ..smt.serialize import formula_from_dict, formula_to_dict
 from .dsl import Rule, RuleSet
 
-__all__ = ["save_rules", "load_rules", "rules_to_json", "rules_from_json"]
+__all__ = [
+    "save_rules",
+    "load_rules",
+    "rules_to_json",
+    "rules_from_json",
+    "rules_fingerprint",
+]
 
 _FORMAT = "lejit-rules/1"
+
+# Fingerprint memo.  RuleSet is identity-hashable and weakref-able, so a
+# WeakKeyDictionary gives O(1) repeat lookups without pinning rule sets in
+# memory.  The rule count is stored alongside the digest as a cheap guard
+# against post-registration mutation via RuleSet.add().
+_FINGERPRINTS: "weakref.WeakKeyDictionary[RuleSet, Tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def rules_fingerprint(rules: RuleSet) -> str:
+    """Content hash (sha256 hex) of a rule set's logic, order included.
+
+    The pack *name* is deliberately excluded: renaming a pack, or
+    registering the same rules under a new version, must not change its
+    logic identity -- the fingerprint is what partitions the oracle cache
+    and joins serving cache keys, so two packs with identical rules in
+    identical order share verdicts while any content difference isolates
+    them.  Rule order is hashed because assertion order is part of the
+    enforcement contract (it shapes solver behaviour deterministically).
+    """
+    cached = _FINGERPRINTS.get(rules)
+    if cached is not None and cached[0] == len(rules):
+        return cached[1]
+    canonical = json.dumps(
+        [
+            {
+                "name": rule.name,
+                "kind": rule.kind,
+                "source": rule.source,
+                "description": rule.description,
+                "formula": formula_to_dict(rule.formula),
+            }
+            for rule in rules
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    _FINGERPRINTS[rules] = (len(rules), digest)
+    return digest
 
 
 def rules_to_json(rules: RuleSet) -> str:

@@ -27,6 +27,8 @@ from .client import ServeClient, ServeClientError
 from .harness import (
     format_pool_report,
     format_report,
+    format_tenant_report,
+    run_mixed_tenant_bench,
     run_pool_scaling_bench,
     run_serving_bench,
 )
@@ -62,9 +64,11 @@ __all__ = [
     "ServeResult",
     "run_serving_bench",
     "run_pool_scaling_bench",
+    "run_mixed_tenant_bench",
     "run_chaos",
     "format_report",
     "format_pool_report",
+    "format_tenant_report",
     "format_chaos_report",
     "QUEUED",
     "RUNNING",

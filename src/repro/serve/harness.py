@@ -38,8 +38,10 @@ from .types import DONE, EXPIRED, RequestSpec, ServeRequest
 __all__ = [
     "run_serving_bench",
     "run_pool_scaling_bench",
+    "run_mixed_tenant_bench",
     "format_report",
     "format_pool_report",
+    "format_tenant_report",
 ]
 
 
@@ -223,6 +225,173 @@ def run_serving_bench(
         "configs": configs,
         "comparisons": comparisons,
     }
+
+
+def run_mixed_tenant_bench(
+    tenants: Sequence[str] = ("paper-R1-R3", "domain-bounds"),
+    offered_load: float = 300.0,
+    lanes: int = 4,
+    requests: int = 120,
+    seed: int = 7,
+    timeout_ms: Optional[float] = None,
+) -> Dict[str, object]:
+    """Mixed-tenant serving: per-tenant latency plus byte-parity proof.
+
+    One Poisson arrival schedule is striped round-robin across ``tenants``
+    (each request resolving its pack by name through a
+    :func:`~repro.rules.registry.builtin_registry`) and replayed twice:
+    once mixed, then once per tenant in isolation with the *same* arrival
+    offsets and per-request seeds.  ``byte_parity`` per tenant asserts the
+    determinism contract end to end: sharing lanes with other tenants must
+    not change a single record byte.
+    """
+    from ..rules import builtin_registry
+
+    dataset, model, rules, fallback, prompts = _build_setting(seed)
+    registry = builtin_registry(dataset.config)
+    for tenant in tenants:
+        registry.resolve(tenant)  # fail fast on a bad tenant name
+
+    warm = JitEnforcer(
+        model, rules, dataset.config, EnforcerConfig(seed=3),
+        fallback_rules=fallback,
+    )
+    for prompt in prompts[:4]:
+        warm.impute_record(prompt)
+
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(
+        rng.exponential(1.0 / offered_load, size=requests)
+    ).tolist()
+    assignment = [tenants[i % len(tenants)] for i in range(requests)]
+
+    def replay(only: Optional[str]) -> Dict[int, Optional[ServeRequest]]:
+        """One run over the schedule, restricted to ``only`` if given."""
+        _clear_process_memos(model)
+        enforcer = JitEnforcer(
+            model, rules, dataset.config, EnforcerConfig(seed=29),
+            fallback_rules=fallback,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            enforcer,
+            lanes=lanes,
+            queue_depth=max(64, requests),
+            rule_registry=registry,
+        )
+        handles: Dict[int, Optional[ServeRequest]] = {}
+        with scheduler:
+            start = time.monotonic()
+            for index, offset in enumerate(arrivals):
+                if only is not None and assignment[index] != only:
+                    continue
+                delay = start + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                spec = RequestSpec(
+                    "impute",
+                    coarse=prompts[index % len(prompts)],
+                    seed=1000 + index,
+                    timeout_ms=timeout_ms,
+                    rule_set=assignment[index],
+                )
+                try:
+                    handles[index] = scheduler.submit(spec)
+                except QueueFull:
+                    handles[index] = None
+            for handle in handles.values():
+                if handle is not None:
+                    handle.wait(timeout=120)
+            replay.metrics = scheduler.metrics()
+            replay.makespan = (
+                max(
+                    (h.finished_at for h in handles.values()
+                     if h is not None and h.finished_at is not None),
+                    default=start,
+                ) - start
+            )
+        return handles
+
+    mixed = replay(only=None)
+    mixed_metrics = replay.metrics
+    makespan = replay.makespan
+
+    def records_of(handle: Optional[ServeRequest]):
+        if handle is None or handle.status != DONE:
+            return None
+        return handle.result().records
+
+    per_tenant: List[Dict[str, object]] = []
+    for tenant in tenants:
+        solo = replay(only=tenant)
+        indices = [i for i in sorted(mixed) if assignment[i] == tenant]
+        parity = all(
+            records_of(mixed[i]) == records_of(solo[i])
+            for i in indices
+            if records_of(mixed[i]) is not None
+            and records_of(solo[i]) is not None
+        )
+        latencies = sorted(
+            mixed[i].latency_ms
+            for i in indices
+            if mixed[i] is not None and mixed[i].status == DONE
+        )
+        row: Dict[str, object] = {
+            "tenant": tenant,
+            "requests": len(indices),
+            "completed": len(latencies),
+            "byte_parity": parity,
+            "metrics": mixed_metrics["tenants"].get(tenant),
+        }
+        if latencies:
+            row.update(
+                p50_ms=round(_percentile(latencies, 0.50), 2),
+                p99_ms=round(_percentile(latencies, 0.99), 2),
+                mean_ms=round(sum(latencies) / len(latencies), 2),
+            )
+        per_tenant.append(row)
+
+    completed = sum(row["completed"] for row in per_tenant)
+    return {
+        "workload": f"cyclic-impute-{len(prompts)}",
+        "tenants": list(tenants),
+        "offered_rps": offered_load,
+        "lanes": lanes,
+        "requests": requests,
+        "seed": seed,
+        "timeout_ms": timeout_ms,
+        "completed": completed,
+        "throughput_rps": round(completed / makespan, 2) if makespan else 0.0,
+        "byte_parity": all(row["byte_parity"] for row in per_tenant),
+        "per_tenant": per_tenant,
+    }
+
+
+def format_tenant_report(report: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`run_mixed_tenant_bench` report."""
+    lines = [
+        f"Mixed-tenant bench: {report['workload']}, "
+        f"{report['requests']} requests at {report['offered_rps']:.0f} rps "
+        f"striped over {len(report['tenants'])} tenants, "
+        f"{report['lanes']} lanes",
+        "",
+        f"{'tenant':>16s} {'reqs':>5s} {'done':>5s} {'p50 ms':>8s} "
+        f"{'p99 ms':>8s} {'parity':>7s}",
+    ]
+    for row in report["per_tenant"]:
+        lines.append(
+            f"{row['tenant']:>16s} {row['requests']:>5d} "
+            f"{row['completed']:>5d} "
+            f"{row.get('p50_ms', float('nan')):>8.1f} "
+            f"{row.get('p99_ms', float('nan')):>8.1f} "
+            f"{'OK' if row['byte_parity'] else 'FAIL':>7s}"
+        )
+    lines.append("")
+    lines.append(
+        f"throughput {report['throughput_rps']:.1f} rps, byte parity "
+        f"{'OK' if report['byte_parity'] else 'FAIL'} "
+        "(mixed vs single-tenant records, same seeds)"
+    )
+    return "\n".join(lines)
 
 
 def _run_pool_one(

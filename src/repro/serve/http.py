@@ -4,9 +4,9 @@ Endpoints (JSON in, JSON out; stdout/err untouched):
 
 * ``POST /v1/impute``      ``{"coarse": {"total":..,"cong":..,"retx":..,
   "egr":..}, "context"?: {..}, "seed"?: int, "priority"?: int,
-  "timeout_ms"?: number}``
+  "timeout_ms"?: number, "rule_set"?: str}``
 * ``POST /v1/synthesize``  ``{"count"?: int, "context"?, "seed"?,
-  "priority"?, "timeout_ms"?}``
+  "priority"?, "timeout_ms"?, "rule_set"?}``
 * ``GET /healthz``         liveness + lane/queue occupancy
 * ``GET /metrics``         the scheduler's full metrics snapshot (JSON by
   default; Prometheus text 0.0.4 when the ``Accept`` header asks for
@@ -15,7 +15,8 @@ Endpoints (JSON in, JSON out; stdout/err untouched):
 Failure mapping is explicit so clients can react per cause: queue
 backpressure is ``429`` (with ``Retry-After``), a blown deadline is
 ``504``, an infeasible prompt is ``422``, shutdown is ``503``, malformed
-input is ``400``.
+input is ``400``, an unknown rule pack is ``404``, and a retired pack
+version is ``409``.
 
 Built on :class:`http.server.ThreadingHTTPServer` -- one handler thread
 per connection, each blocking on its request handle while the single
@@ -36,7 +37,9 @@ from ..errors import (
     InfeasibleRecord,
     QueueFull,
     RequestCancelled,
+    RetiredRuleSet,
     ServerClosed,
+    UnknownRuleSet,
     WorkerCrashed,
     WorkerPoolUnavailable,
 )
@@ -100,6 +103,10 @@ def _spec_from_payload(kind: str, payload: Dict) -> RequestSpec:
     count = payload.get("count", 1)
     if isinstance(count, bool) or not isinstance(count, int) or count < 1:
         raise _BadRequest('"count" must be a positive integer')
+    rule_set = payload.get("rule_set")
+    if rule_set is not None and not isinstance(rule_set, str):
+        raise _BadRequest('"rule_set" must be a string (name, name@version,'
+                          " or hash:<hex>)")
     try:
         return RequestSpec(
             kind,
@@ -109,6 +116,7 @@ def _spec_from_payload(kind: str, payload: Dict) -> RequestSpec:
             seed=_int_or_none(payload, "seed"),
             priority=_int_or_none(payload, "priority") or 0,
             timeout_ms=_number_or_none(payload, "timeout_ms"),
+            rule_set=rule_set,
         )
     except ValueError as exc:
         raise _BadRequest(str(exc))
@@ -163,6 +171,14 @@ class _Handler(BaseHTTPRequestHandler):
             result = request.result(timeout=self.server.request_timeout)
         except QueueFull as exc:
             self._send(429, {"error": str(exc)}, retry_after=1)
+        except UnknownRuleSet as exc:
+            # Raised synchronously at submission: the named pack has never
+            # been registered (or no registry is configured at all).
+            self._send(404, {"error": str(exc)})
+        except RetiredRuleSet as exc:
+            # The pack exists but that version was retired from name-based
+            # resolution; 409 tells the client to re-resolve, not retry.
+            self._send(409, {"error": str(exc)})
         except WorkerPoolUnavailable as exc:
             # The worker pool's circuit breaker is shedding load; the
             # condition clears once a worker restart sticks, so tell the

@@ -9,6 +9,14 @@ visibly, rather than by every queued request's latency silently growing.
 Ordering is (priority, arrival): lower priority values run first, FIFO
 within a class.  Cancelled and deadline-expired requests are reaped at pop
 time, so they consume no lane time.
+
+Multi-tenant fairness rides on the same heap.  A request's *tenant* is the
+rule-pack name it resolved against (``"default"`` when it named none);
+``tenant_quotas`` bounds how much of the shared depth one tenant may hold
+(excess is refused with :class:`~repro.errors.QueueFull`, so a chatty
+tenant back-pressures itself instead of starving its neighbours), and
+``tenant_priorities`` adds a per-tenant bias to each request's priority so
+an operator can de-prioritise batch tenants without touching clients.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import heapq
 import itertools
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import DeadlineExceeded, QueueFull, RequestCancelled, ServerClosed
 from .types import ServeRequest
@@ -28,21 +36,34 @@ __all__ = ["AdmissionQueue"]
 class AdmissionQueue:
     """Thread-safe bounded priority/FIFO queue of :class:`ServeRequest`\\ s."""
 
-    def __init__(self, max_depth: int = 64):
+    def __init__(
+        self,
+        max_depth: int = 64,
+        tenant_quotas: Optional[Mapping[str, int]] = None,
+        tenant_priorities: Optional[Mapping[str, int]] = None,
+    ):
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        for tenant, quota in (tenant_quotas or {}).items():
+            if quota < 1:
+                raise ValueError(f"tenant quota for {tenant!r} must be >= 1")
         self.max_depth = max_depth
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.tenant_priorities = dict(tenant_priorities or {})
         self._heap: List[Tuple[int, int, ServeRequest]] = []
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._closed = False
+        self._tenant_depth: Dict[str, int] = {}
         self.rejected = 0  # submissions refused with QueueFull
+        self.rejected_by_tenant: Dict[str, int] = {}  # quota refusals
         self.reaped_expired = 0  # dropped at pop time: deadline passed
         self.reaped_cancelled = 0  # dropped at pop time: cancel requested
 
     def submit(self, request: ServeRequest) -> None:
         """Admit or refuse; never blocks the submitter."""
+        tenant = request.tenant
         with self._work:
             if self._closed:
                 raise ServerClosed("server is shutting down")
@@ -51,10 +72,33 @@ class AdmissionQueue:
                 raise QueueFull(
                     f"queue depth {self.max_depth} reached; retry later"
                 )
-            heapq.heappush(
-                self._heap, (request.spec.priority, next(self._seq), request)
+            quota = self.tenant_quotas.get(tenant)
+            if quota is not None and self._tenant_depth.get(tenant, 0) >= quota:
+                self.rejected += 1
+                self.rejected_by_tenant[tenant] = (
+                    self.rejected_by_tenant.get(tenant, 0) + 1
+                )
+                raise QueueFull(
+                    f"tenant {tenant!r} queue quota {quota} reached; "
+                    "retry later"
+                )
+            effective = (
+                request.spec.priority + self.tenant_priorities.get(tenant, 0)
             )
+            heapq.heappush(
+                self._heap, (effective, next(self._seq), request)
+            )
+            self._tenant_depth[tenant] = self._tenant_depth.get(tenant, 0) + 1
             self._work.notify()
+
+    def _release(self, request: ServeRequest) -> None:
+        """Give a popped request's tenant its quota slot back (under lock)."""
+        tenant = request.tenant
+        depth = self._tenant_depth.get(tenant, 0)
+        if depth <= 1:
+            self._tenant_depth.pop(tenant, None)
+        else:
+            self._tenant_depth[tenant] = depth - 1
 
     def pop(self, now: Optional[float] = None) -> Optional[ServeRequest]:
         """The next admissible request, or None if the queue is empty.
@@ -69,6 +113,7 @@ class AdmissionQueue:
                 if not self._heap:
                     return None
                 _, _, request = heapq.heappop(self._heap)
+                self._release(request)
             if request.cancel_requested:
                 self.reaped_cancelled += 1
                 request.fail(RequestCancelled(f"request {request.id} cancelled"))
@@ -82,6 +127,11 @@ class AdmissionQueue:
                 )
                 continue
             return request
+
+    def tenant_depths(self) -> Dict[str, int]:
+        """Waiting requests per tenant (for metrics; a copy)."""
+        with self._lock:
+            return dict(self._tenant_depth)
 
     def wait_for_work(self, timeout: float) -> bool:
         """Block until something is queued (or the queue closes)."""
@@ -102,6 +152,7 @@ class AdmissionQueue:
             pending = [] if drain else [req for _, _, req in self._heap]
             if not drain:
                 self._heap.clear()
+                self._tenant_depth.clear()
             self._work.notify_all()
         for request in pending:
             request.fail(ServerClosed("server shut down before admission"))

@@ -41,7 +41,12 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple
 from ..core.enforcer import JitEnforcer, _enforcer_samples, record_rng
 from ..core.engine import LanePool
 from ..core.session import EnforcementSession
-from ..errors import DeadlineExceeded, RequestCancelled, ServerClosed
+from ..errors import (
+    DeadlineExceeded,
+    RequestCancelled,
+    ServerClosed,
+    UnknownRuleSet,
+)
 from ..lm.base import batched_next_distributions
 from ..obs import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -51,6 +56,7 @@ from ..obs import (
     format_kv,
 )
 from ..obs.prometheus import render
+from ..rules.registry import RuleSetHandle, RuleSetRegistry
 from .queue import AdmissionQueue
 from .types import RequestSpec, ServeRequest, ServeResult
 
@@ -139,6 +145,20 @@ def _serve_samples(scheduler: "ContinuousBatchingScheduler") -> List[Sample]:
         Sample.gauge("repro_serve_uptime_seconds", uptime,
                      help="Seconds since the scheduler thread started"),
     ]
+    for tenant, row in sorted(scheduler.tenant_stats().items()):
+        labels = {"tenant": tenant}
+        samples.append(Sample.counter(
+            "repro_serve_tenant_requests_completed_total", row["completed"],
+            labels=labels, help="Requests finished per rule-pack tenant",
+        ))
+        samples.append(Sample.counter(
+            "repro_serve_tenant_requests_failed_total", row["failed"],
+            labels=labels, help="Requests failed per rule-pack tenant",
+        ))
+        samples.append(Sample.counter(
+            "repro_serve_tenant_records_completed_total", row["records"],
+            labels=labels, help="Records emitted per rule-pack tenant",
+        ))
     for resource, total in scheduler.pool.solver_work().items():
         samples.append(Sample.counter(
             "repro_serve_solver_work_total", total,
@@ -181,6 +201,9 @@ class ContinuousBatchingScheduler:
         latency_window: int = 4096,
         idle_wait: float = 0.02,
         registry: Optional[MetricsRegistry] = None,
+        rule_registry: Optional[RuleSetRegistry] = None,
+        tenant_quotas: Optional[Mapping[str, int]] = None,
+        tenant_priorities: Optional[Mapping[str, int]] = None,
     ):
         if lanes < 1:
             raise ValueError("lanes must be >= 1")
@@ -192,7 +215,20 @@ class ContinuousBatchingScheduler:
         self.pool = LanePool(
             enforcer, lanes, solver_pool=solver_pool, cache_entries=cache_entries
         )
-        self.queue = AdmissionQueue(queue_depth)
+        self.queue = AdmissionQueue(
+            queue_depth,
+            tenant_quotas=tenant_quotas,
+            tenant_priorities=tenant_priorities,
+        )
+        # -- multi-tenant rule sets -------------------------------------------
+        # Requests resolve their pack at submission; registry mutations
+        # (promote/retire) are queued here and applied on the scheduler
+        # thread so cache eviction never races the enforcement loop.
+        self.rule_registry = rule_registry
+        self._rule_events: Deque[Dict[str, object]] = deque()
+        self._tenant_stats: Dict[str, Dict[str, int]] = {}
+        if rule_registry is not None:
+            rule_registry.subscribe(self._rule_events.append)
         self._slots: List[_Slot] = [None] * lanes
         self._ready: Deque[_Unit] = deque()
         self._idle_wait = idle_wait
@@ -268,10 +304,29 @@ class ContinuousBatchingScheduler:
         """
         if self._thread is None or not self._thread.is_alive():
             raise ServerClosed("scheduler is not running")
+        handle = self._resolve_rule_set(spec)
         request = ServeRequest(spec)
+        request.rule_handle = handle
         self.queue.submit(request)  # raises QueueFull / ServerClosed
         self.submitted += 1
         return request
+
+    def _resolve_rule_set(self, spec: RequestSpec) -> Optional[RuleSetHandle]:
+        """Pin the pack version this request will enforce, or fail fast.
+
+        Resolution happens synchronously at submission so unknown packs
+        (404) and retired versions (409) surface before any queueing, and
+        a promote between submission and admission cannot change what an
+        accepted request enforces.
+        """
+        if spec.rule_set is None:
+            return None
+        if self.rule_registry is None:
+            raise UnknownRuleSet(
+                f"request named rule pack {spec.rule_set!r} but this server "
+                "has no rule-set registry configured"
+            )
+        return self.rule_registry.resolve(spec.rule_set)
 
     def impute(
         self,
@@ -281,6 +336,7 @@ class ContinuousBatchingScheduler:
         priority: int = 0,
         timeout_ms: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        rule_set: Optional[str] = None,
     ) -> ServeResult:
         """Synchronous imputation round-trip (submit + wait)."""
         request = self.submit(
@@ -291,6 +347,7 @@ class ContinuousBatchingScheduler:
                 seed=seed,
                 priority=priority,
                 timeout_ms=timeout_ms,
+                rule_set=rule_set,
             )
         )
         return request.result(wait_timeout)
@@ -303,6 +360,7 @@ class ContinuousBatchingScheduler:
         priority: int = 0,
         timeout_ms: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        rule_set: Optional[str] = None,
     ) -> ServeResult:
         """Synchronous synthesis round-trip (submit + wait)."""
         request = self.submit(
@@ -313,6 +371,7 @@ class ContinuousBatchingScheduler:
                 seed=seed,
                 priority=priority,
                 timeout_ms=timeout_ms,
+                rule_set=rule_set,
             )
         )
         return request.result(wait_timeout)
@@ -322,6 +381,7 @@ class ContinuousBatchingScheduler:
     def _run(self) -> None:
         try:
             while True:
+                self._apply_rule_events()
                 self._admit()
                 live = [
                     (slot_index, slot)
@@ -383,6 +443,24 @@ class ContinuousBatchingScheduler:
         finally:
             self.enforcer.trace.solver_work = self.pool.solver_work()
 
+    def _apply_rule_events(self) -> None:
+        """Apply queued registry mutations on the scheduler thread.
+
+        A ``retire`` evicts the pack's oracle-cache partition so a retired
+        tenant stops holding cache capacity; ``register``/``promote`` need
+        no action here -- partitions are keyed by content hash, so a newly
+        active version simply warms its own partition.  Running this on
+        the scheduler thread means eviction never races a lane's
+        lookup/store (the cache is not locked).
+        """
+        while self._rule_events:
+            event = self._rule_events.popleft()
+            if event.get("event") != "retire":
+                continue
+            cache = self.pool.cache
+            if cache is not None:
+                cache.evict_partition(event["hash"])
+
     def _admit(self) -> None:
         """Place queued work into free lanes (mid-flight by default)."""
         if self.admit_policy == "wave" and any(
@@ -400,6 +478,7 @@ class ContinuousBatchingScheduler:
                     lane=self.pool.lanes[slot_index],
                     rng=record_rng(unit.request.spec.seed, unit.index),
                     checkpoint=unit.request.checkpoint,
+                    rule_set=unit.request.rule_handle,
                 )
                 pending = session.start()
                 if session.done:
@@ -447,6 +526,9 @@ class ContinuousBatchingScheduler:
         slot_index: Optional[int] = None,
     ) -> None:
         request = unit.request
+        tenant_row = self._tenant_stats.setdefault(
+            request.tenant, {"completed": 0, "failed": 0, "records": 0}
+        )
         if session.error is not None:
             # A session that died mid-record (deadline, cancellation, fault)
             # leaves its lane's KV-cache row mid-prefix and possibly its
@@ -464,16 +546,26 @@ class ContinuousBatchingScheduler:
                     self.cancelled += 1
                 else:
                     self.failed += 1
+                    tenant_row["failed"] += 1
             return
         self.records_completed += 1
+        tenant_row["records"] += 1
         relative = unit.index - request.spec.index_offset
         if request.finish_unit(relative, session.outcome):
             self.completed += 1
+            tenant_row["completed"] += 1
             self._latency_hist.observe(request.latency_ms)
             with self._metrics_lock:
                 self._latencies.append(request.latency_ms)
 
     # -- observability -----------------------------------------------------------------
+
+    def tenant_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant request/record counters (a copy; any thread)."""
+        return {
+            tenant: dict(row)
+            for tenant, row in _safe_copy(self._tenant_stats).items()
+        }
 
     def health(self) -> Dict[str, object]:
         """The ``GET /healthz`` payload; safe to call from any thread."""
@@ -501,6 +593,7 @@ class ContinuousBatchingScheduler:
         uptime = (
             time.monotonic() - self._started_at if self._started_at else 0.0
         )
+        queued = self.queue.tenant_depths()
         return {
             "uptime_s": round(uptime, 3),
             "admit_policy": self.admit_policy,
@@ -518,6 +611,15 @@ class ContinuousBatchingScheduler:
             },
             "records_completed": self.records_completed,
             "latency_ms": latency,
+            "tenants": {
+                tenant: dict(row, queued=queued.get(tenant, 0))
+                for tenant, row in sorted(self.tenant_stats().items())
+            },
+            "rule_sets": (
+                self.rule_registry.describe()
+                if self.rule_registry is not None
+                else None
+            ),
             "lm": {
                 "calls": self.lm_calls,
                 "rows": self.lm_rows,

@@ -61,9 +61,11 @@ from ..errors import (
     DeadlineExceeded,
     RequestCancelled,
     ServerClosed,
+    UnknownRuleSet,
     WorkerCrashed,
     WorkerPoolUnavailable,
 )
+from ..rules.registry import RuleSetHandle, RuleSetRegistry
 from ..obs import (
     DEFAULT_LATENCY_BUCKETS_MS,
     OBS,
@@ -183,6 +185,20 @@ def _pool_samples(pool: "WorkerPool") -> List[Sample]:
         Sample.counter("repro_pool_lm_rows_total", lm["lm_rows"],
                        help="Batched model rows across workers"),
     ]
+    for tenant, row in sorted(pool.tenant_stats().items()):
+        labels = {"tenant": tenant}
+        samples.append(Sample.counter(
+            "repro_serve_tenant_requests_completed_total", row["completed"],
+            labels=labels, help="Requests finished per rule-pack tenant",
+        ))
+        samples.append(Sample.counter(
+            "repro_serve_tenant_requests_failed_total", row["failed"],
+            labels=labels, help="Requests failed per rule-pack tenant",
+        ))
+        samples.append(Sample.counter(
+            "repro_serve_tenant_records_completed_total", row["records"],
+            labels=labels, help="Records emitted per rule-pack tenant",
+        ))
     return samples
 
 
@@ -217,6 +233,9 @@ class WorkerPool:
         start_method: Optional[str] = None,
         slow_start_s: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
+        rule_registry: Optional[RuleSetRegistry] = None,
+        tenant_quotas: Optional[Mapping[str, int]] = None,
+        tenant_priorities: Optional[Mapping[str, int]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -251,7 +270,21 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
 
-        self.queue = AdmissionQueue(queue_depth)
+        self.queue = AdmissionQueue(
+            queue_depth,
+            tenant_quotas=tenant_quotas,
+            tenant_priorities=tenant_priorities,
+        )
+        # -- multi-tenant rule sets -------------------------------------------
+        # The parent resolves every request's pack at submission and ships
+        # jobs by content hash; workers are seeded with a registry snapshot
+        # at spawn and kept current by ("rules", event) broadcasts, which
+        # the supervisor thread drains from this deque.
+        self.rule_registry = rule_registry
+        self._rule_events: Deque[Dict[str, object]] = deque()
+        self._tenant_stats: Dict[str, Dict[str, int]] = {}
+        if rule_registry is not None:
+            rule_registry.subscribe(self._rule_events.append)
         self._handles: List[WorkerHandle] = [
             WorkerHandle(worker_id=i) for i in range(workers)
         ]
@@ -350,10 +383,29 @@ class WorkerPool:
                 "all workers are crash-looping; shedding load",
                 retry_after=max(1, math.ceil(self.breaker_cooldown)),
             )
+        handle = self._resolve_rule_set(spec)
         request = ServeRequest(spec)
+        request.rule_handle = handle
         self.queue.submit(request)  # raises QueueFull / ServerClosed
         self.submitted += 1
         return request
+
+    def _resolve_rule_set(self, spec: RequestSpec) -> Optional[RuleSetHandle]:
+        """Pin the pack version this request will enforce (parent-side).
+
+        Resolving *before* queueing means 404/409 surface synchronously,
+        and dispatch ships the pinned content hash -- so a promote or even
+        a retire after submission never changes what an admitted record
+        (or its crash replay) enforces.
+        """
+        if spec.rule_set is None:
+            return None
+        if self.rule_registry is None:
+            raise UnknownRuleSet(
+                f"request named rule pack {spec.rule_set!r} but this server "
+                "has no rule-set registry configured"
+            )
+        return self.rule_registry.resolve(spec.rule_set)
 
     def impute(
         self,
@@ -363,6 +415,7 @@ class WorkerPool:
         priority: int = 0,
         timeout_ms: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        rule_set: Optional[str] = None,
     ) -> ServeResult:
         """Synchronous imputation round-trip (submit + wait)."""
         request = self.submit(
@@ -373,6 +426,7 @@ class WorkerPool:
                 seed=seed,
                 priority=priority,
                 timeout_ms=timeout_ms,
+                rule_set=rule_set,
             )
         )
         return request.result(wait_timeout)
@@ -385,6 +439,7 @@ class WorkerPool:
         priority: int = 0,
         timeout_ms: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        rule_set: Optional[str] = None,
     ) -> ServeResult:
         """Synchronous synthesis round-trip (submit + wait)."""
         request = self.submit(
@@ -395,6 +450,7 @@ class WorkerPool:
                 seed=seed,
                 priority=priority,
                 timeout_ms=timeout_ms,
+                rule_set=rule_set,
             )
         )
         return request.result(wait_timeout)
@@ -407,6 +463,7 @@ class WorkerPool:
                 now = time.monotonic()
                 self._reap(now)
                 self._restart_due(now)
+                self._broadcast_rules()
                 self._scan_inflight(now)
                 self._admit(now)
                 self._dispatch(now)
@@ -440,6 +497,14 @@ class WorkerPool:
             cache_entries=self.cache_entries,
             heartbeat_interval=self.heartbeat_interval,
             slow_start_s=self.slow_start_s,
+            # A fresh snapshot per (re)spawn: restarted workers come back
+            # knowing every pack registered since the pool started, so a
+            # replayed job's hash ref always resolves.
+            registry_snapshot=(
+                self.rule_registry.snapshot()
+                if self.rule_registry is not None
+                else None
+            ),
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -569,6 +634,25 @@ class WorkerPool:
             self._retired_stats[key] += int(handle.stats.get(key, 0))
         handle.stats = {}
 
+    def _broadcast_rules(self) -> None:
+        """Forward queued registry mutations to every live worker.
+
+        Workers spawned after an event already carry it in their snapshot;
+        ``apply_event`` ignores duplicate registers, so the overlap window
+        between snapshot and broadcast is harmless.
+        """
+        while self._rule_events:
+            event = self._rule_events.popleft()
+            for handle in self._handles:
+                if handle.conn is None or handle.state not in (
+                    STARTING, READY
+                ):
+                    continue
+                try:
+                    handle.conn.send(("rules", event))
+                except (BrokenPipeError, OSError):
+                    pass  # the reaper will claim this worker shortly
+
     # -- routing -----------------------------------------------------------------
 
     def _admit(self, now: float) -> None:
@@ -634,6 +718,7 @@ class WorkerPool:
         if unit.request.deadline is not None:
             remaining_ms = max(0.0, (unit.request.deadline - now) * 1000.0)
         unit_id = next(self._unit_ids)
+        rule_handle = unit.request.rule_handle
         job = {
             "kind": spec.kind,
             "coarse": dict(spec.coarse) if spec.coarse is not None else None,
@@ -643,6 +728,12 @@ class WorkerPool:
             "priority": spec.priority,
             "timeout_ms": remaining_ms,
             "index_offset": unit.abs_index,
+            # Ship the pinned content hash, not the client's name ref: hash
+            # resolution survives promote *and* retire, so replays on a
+            # restarted worker enforce exactly the admitted version.
+            "rule_set": (
+                rule_handle.hash_ref if rule_handle is not None else None
+            ),
         }
         try:
             handle.conn.send(("job", unit_id, job))
@@ -722,10 +813,13 @@ class WorkerPool:
             unit = handle.inflight.pop(unit_id, None)
             if unit is None:
                 return  # raced with a cancel/requeue; request already settled
+            tenant_row = self._tenant_row(unit.request.tenant)
             self.records_completed += 1
+            tenant_row["records"] += 1
             outcome = RecordOutcome(**wire)
             if unit.request.finish_unit(unit.index, outcome):
                 self.completed += 1
+                tenant_row["completed"] += 1
                 self._latency_hist.observe(unit.request.latency_ms)
                 with self._metrics_lock:
                     self._latencies.append(unit.request.latency_ms)
@@ -745,6 +839,7 @@ class WorkerPool:
                     self.cancelled += 1
                 else:
                     self.failed += 1
+                    self._tenant_row(unit.request.tenant)["failed"] += 1
         elif kind == "bye":
             handle.stats = message[1]
             handle.state = STOPPED
@@ -790,6 +885,19 @@ class WorkerPool:
                 handle.state = STOPPED
 
     # -- observability -----------------------------------------------------------
+
+    def _tenant_row(self, tenant: str) -> Dict[str, int]:
+        return self._tenant_stats.setdefault(
+            tenant, {"completed": 0, "failed": 0, "records": 0}
+        )
+
+    def tenant_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant request/record counters (a copy; any thread)."""
+        return {
+            tenant: dict(row) for tenant, row in list(
+                self._tenant_stats.items()
+            )
+        }
 
     def _healthy_workers(self) -> int:
         return sum(1 for handle in self._handles if handle.state == READY)
@@ -861,6 +969,7 @@ class WorkerPool:
             time.monotonic() - self._started_at if self._started_at else 0.0
         )
         lm = self._aggregate_worker_stats()
+        queued = self.queue.tenant_depths()
         return {
             "uptime_s": round(uptime, 3),
             "mode": "worker_pool",
@@ -881,6 +990,15 @@ class WorkerPool:
             },
             "records_completed": self.records_completed,
             "latency_ms": latency,
+            "tenants": {
+                tenant: dict(row, queued=queued.get(tenant, 0))
+                for tenant, row in sorted(self.tenant_stats().items())
+            },
+            "rule_sets": (
+                self.rule_registry.describe()
+                if self.rule_registry is not None
+                else None
+            ),
             "supervision": {
                 "dispatched": self.dispatched,
                 "worker_crashes": self.worker_crashes,

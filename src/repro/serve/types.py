@@ -74,6 +74,15 @@ class RequestSpec:
     # index_offset + i)`` wherever it lands -- the determinism contract
     # above survives sharding, worker crashes, and replay.
     index_offset: int = 0
+    # Which rule pack enforces this request: ``"name"`` (active version),
+    # ``"name@version"``, or ``"hash:<hex>"``.  None means the server's
+    # default pack.  Resolved against the rule-set registry at submission
+    # (404/409 surface synchronously, before queueing); the resolved handle
+    # rides on the ServeRequest so a promote mid-flight never changes what
+    # an admitted record enforces.  The rule-set hash keys oracle-cache
+    # partitions but never the rng stream: bytes depend only on
+    # (seed, index, rule-set content).
+    rule_set: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("impute", "synthesize"):
@@ -86,6 +95,8 @@ class RequestSpec:
             raise ValueError("timeout_ms must be >= 0")
         if self.index_offset < 0:
             raise ValueError("index_offset must be >= 0")
+        if self.rule_set is not None and not isinstance(self.rule_set, str):
+            raise ValueError("rule_set must be a string reference")
 
 
 @dataclass
@@ -121,6 +132,11 @@ class ServeRequest:
     def __init__(self, spec: RequestSpec, now: Optional[float] = None):
         self.spec = spec
         self.id = next(_request_ids)
+        # The rule-set handle resolved at submission (None = server default).
+        # Set once by the scheduler/pool before the request enters the
+        # admission queue; immutable afterwards so every unit of this
+        # request -- including crash replays -- enforces the same version.
+        self.rule_handle: Optional[object] = None
         self.submitted_at = time.monotonic() if now is None else now
         self.deadline: Optional[float] = (
             self.submitted_at + spec.timeout_ms / 1000.0
@@ -179,6 +195,20 @@ class ServeRequest:
     @property
     def done(self) -> bool:
         return self._finished.is_set()
+
+    @property
+    def tenant(self) -> str:
+        """The pack *name* behind this request -- the quota/metrics key.
+
+        Versions of one pack share a tenant; requests that name no pack
+        land in ``"default"``.
+        """
+        handle = self.rule_handle
+        if handle is not None:
+            return handle.name  # type: ignore[attr-defined]
+        if self.spec.rule_set is None:
+            return "default"
+        return self.spec.rule_set.split("@", 1)[0]
 
     @property
     def latency_ms(self) -> float:

@@ -20,6 +20,7 @@ Wire protocol (pickled tuples over a ``multiprocessing.Pipe``):
 parent -> worker
     ``("job", unit_id, spec_kwargs)``  run one record
     ``("cancel", unit_id)``            abort a dispatched record
+    ``("rules", event)``               replay a registry mutation
     ``("shutdown",)``                  drain in-flight jobs and exit
 
 worker -> parent
@@ -50,6 +51,7 @@ from .. import errors as _errors
 from ..core.enforcer import JitEnforcer
 from ..errors import ReproError
 from ..obs import MetricsRegistry
+from ..rules.registry import RuleSetRegistry
 from .scheduler import ContinuousBatchingScheduler
 from .types import DONE, RequestSpec, ServeRequest
 
@@ -78,6 +80,10 @@ class WorkerConfig:
     # Chaos knob: sleep this long before building the enforcer, so tests
     # can exercise the supervisor's startup timeout (slow-start fault).
     slow_start_s: float = 0.0
+    # Picklable rule-registry state (RuleSetRegistry.snapshot()) taken at
+    # spawn; the parent keeps the worker current afterwards by forwarding
+    # register/promote/retire events over the pipe.  None = no registry.
+    registry_snapshot: Optional[list] = None
     # Extra keyword arguments forwarded to the in-process scheduler.
     scheduler_kwargs: Dict[str, Any] = field(default_factory=dict)
 
@@ -147,6 +153,15 @@ def worker_main(conn, config: WorkerConfig) -> None:
         if config.slow_start_s > 0:
             time.sleep(config.slow_start_s)
         enforcer = config.enforcer_factory()
+        # Rebuild the parent's registry from its snapshot: jobs arrive with
+        # ``rule_set="hash:<hex>"`` refs, which resolve here even for
+        # versions retired after dispatch (admitted work finishes under the
+        # version it was admitted with).
+        rule_registry = (
+            RuleSetRegistry.from_snapshot(config.registry_snapshot)
+            if config.registry_snapshot is not None
+            else None
+        )
         scheduler = ContinuousBatchingScheduler(
             enforcer,
             lanes=config.lanes,
@@ -154,6 +169,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
             solver_pool=config.solver_pool,
             cache_entries=config.cache_entries,
             registry=registry,
+            rule_registry=rule_registry,
             **config.scheduler_kwargs,
         )
         scheduler.start()
@@ -252,6 +268,14 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     handle = inflight.get(unit_id)
                 if handle is not None:
                     handle.cancel()
+            elif kind == "rules":
+                if rule_registry is not None:
+                    try:
+                        rule_registry.apply_event(message[1])
+                    except Exception:  # replayed/duplicate event: harmless
+                        logger.exception(
+                            "worker %d: rules event failed", config.worker_id
+                        )
             elif kind == "shutdown":
                 break
             else:  # pragma: no cover -- protocol drift guard

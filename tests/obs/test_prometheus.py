@@ -42,6 +42,55 @@ class TestEscaping:
         parsed = parse(text)
         assert metric_value(parsed, "repro_x_total", {"rule": nasty}) == 1.0
 
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            'tenant-with-"quotes"',
+            "tenant\\with\\backslashes",
+            "tenant\nwith\nnewlines",
+            'mix\\"of\n\\everything"\\',
+            "",  # empty label value is legal exposition
+            "trailing-backslash\\",
+        ],
+        ids=["quotes", "backslashes", "newlines", "mixed", "empty",
+             "trailing-backslash"],
+    )
+    def test_hostile_tenant_labels_round_trip(self, hostile):
+        """Tenant names come from user-supplied pack names, so every
+        hostile shape must survive render -> parse without truncating or
+        corrupting the scrape (per-tenant serving metrics ride on this)."""
+        text = render([
+            Sample.counter(
+                "repro_serve_tenant_requests_completed_total",
+                3,
+                labels={"tenant": hostile},
+            ),
+            Sample.counter(
+                "repro_serve_tenant_requests_completed_total",
+                5,
+                labels={"tenant": "plain"},
+            ),
+        ])
+        parsed = parse(text)
+        assert metric_value(
+            parsed,
+            "repro_serve_tenant_requests_completed_total",
+            {"tenant": hostile},
+        ) == 3.0
+        # The hostile neighbour must not bleed into adjacent series.
+        assert metric_value(
+            parsed,
+            "repro_serve_tenant_requests_completed_total",
+            {"tenant": "plain"},
+        ) == 5.0
+
+    def test_escape_then_unescape_is_identity_on_control_set(self):
+        for raw in ['"', "\\", "\n", '\\"', '\\\\', '\\n', 'a"b\\c\nd']:
+            text = render([
+                Sample.gauge("repro_y", 1, labels={"value": raw})
+            ])
+            assert metric_value(parse(text), "repro_y", {"value": raw}) == 1.0
+
 
 class TestRendering:
     def test_help_and_type_emitted_once_per_family(self):

@@ -4,12 +4,20 @@ import json
 
 import pytest
 
-from repro.data import TelemetryConfig, build_dataset, fine_field, window_variables
+from repro.data import (
+    TelemetryConfig,
+    build_dataset,
+    fine_field,
+    variable_bounds,
+    window_variables,
+)
 from repro.rules import (
     MinerOptions,
+    RuleSetRegistry,
     load_rules,
     mine_rules,
     paper_rules,
+    rules_fingerprint,
     rules_from_json,
     rules_to_json,
     save_rules,
@@ -56,6 +64,88 @@ class TestRuleIo:
         payload = json.loads(text)
         assert payload["format"] == "lejit-rules/1"
         assert len(payload["rules"]) == len(paper_rules())
+
+    def test_mined_pack_fingerprint_survives_round_trip(self, tmp_path):
+        """A mined pack's content hash -- the registry identity and the
+        cache-partition key -- must be bit-stable through save/load."""
+        dataset = build_dataset(3, 1, 30, seed=8)
+        assignments = [w.variables() for w in dataset.train_windows()]
+        rules = mine_rules(
+            assignments,
+            list(window_variables(dataset.config.window)),
+            MinerOptions(slack=1),
+            fine_variables=[fine_field(t) for t in range(dataset.config.window)],
+        )
+        path = tmp_path / "mined.json"
+        save_rules(rules, path)
+        restored = load_rules(path)
+        assert rules_fingerprint(restored) == rules_fingerprint(rules)
+        # And through a second generation: load -> save -> load.
+        save_rules(restored, tmp_path / "mined2.json")
+        assert rules_fingerprint(
+            load_rules(tmp_path / "mined2.json")
+        ) == rules_fingerprint(rules)
+
+    def test_mined_pack_feasible_behaviour_survives_round_trip(self, tmp_path):
+        """The loaded pack must induce the same feasible sets as the mined
+        original -- solver semantics, not just JSON text."""
+        from repro.core.feasible import SmtOracle
+
+        dataset = build_dataset(3, 1, 30, seed=8)
+        assignments = [w.variables() for w in dataset.train_windows()]
+        rules = mine_rules(
+            assignments,
+            list(window_variables(dataset.config.window)),
+            MinerOptions(slack=1),
+            fine_variables=[fine_field(t) for t in range(dataset.config.window)],
+        )
+        path = tmp_path / "mined.json"
+        save_rules(rules, path)
+        restored = load_rules(path)
+        bounds = variable_bounds(dataset.config)
+        mined_oracle = SmtOracle(rules, bounds)
+        loaded_oracle = SmtOracle(restored, bounds)
+        window = dataset.test_windows()[0]
+        prompt = window.coarse()
+        fine = window.variables()
+        mined_oracle.begin_record(prompt)
+        loaded_oracle.begin_record(prompt)
+        for t in range(dataset.config.window):
+            name = f"I{t}"
+            assert (
+                loaded_oracle.feasible_set(name).segments
+                == mined_oracle.feasible_set(name).segments
+            )
+            mined_oracle.fix(name, fine[name])
+            loaded_oracle.fix(name, fine[name])
+
+    def test_registry_version_bump_on_remined_pack(self, tmp_path):
+        """Re-mining and re-registering under one name bumps the version;
+        identical content keeps an identical hash across versions."""
+        dataset = build_dataset(3, 1, 30, seed=8)
+        assignments = [w.variables() for w in dataset.train_windows()]
+
+        def mined():
+            return mine_rules(
+                assignments,
+                list(window_variables(dataset.config.window)),
+                MinerOptions(slack=1),
+                fine_variables=[
+                    fine_field(t) for t in range(dataset.config.window)
+                ],
+            )
+
+        registry = RuleSetRegistry(root=tmp_path)
+        path = tmp_path / "mined.json"
+        save_rules(mined(), path)
+        v1 = registry.register(load_rules(path), name="mined-pack")
+        v2 = registry.register(load_rules(path), name="mined-pack")
+        assert (v1.version, v2.version) == (1, 2)
+        assert v1.content_hash == v2.content_hash  # same data, same mine
+        assert registry.resolve("mined-pack") is v1  # v2 needs a promote
+        registry.promote("mined-pack", 2)
+        reopened = RuleSetRegistry(root=tmp_path)
+        assert reopened.resolve("mined-pack").version == 2
 
     def test_missing_fields_default(self):
         payload = {

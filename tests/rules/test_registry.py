@@ -1,0 +1,229 @@
+"""Lifecycle, resolution, and propagation tests for the rule registry."""
+
+import pytest
+
+from repro.data import TelemetryConfig
+from repro.errors import RetiredRuleSet, UnknownRuleSet
+from repro.rules import (
+    RuleSetHandle,
+    RuleSetRegistry,
+    builtin_registry,
+    domain_bound_rules,
+    paper_rules,
+    rules_fingerprint,
+)
+
+
+@pytest.fixture()
+def config():
+    return TelemetryConfig()
+
+
+@pytest.fixture()
+def registry():
+    return RuleSetRegistry()
+
+
+class TestLifecycle:
+    def test_first_version_activates(self, registry, config):
+        handle = registry.register(paper_rules(config), name="pack")
+        assert handle.version == 1
+        assert registry.resolve("pack") is handle
+        assert handle.ref == "pack@1"
+        assert handle.hash_ref == f"hash:{handle.content_hash}"
+
+    def test_versions_bump_monotonically(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        v2 = registry.register(domain_bound_rules(config), name="pack")
+        assert v2.version == 2
+        # Non-first versions do not steal the active pointer by default.
+        assert registry.resolve("pack").version == 1
+
+    def test_register_with_activate_switches(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        v2 = registry.register(
+            domain_bound_rules(config), name="pack", activate=True
+        )
+        assert registry.resolve("pack") is v2
+
+    def test_duplicate_version_is_value_error(self, registry, config):
+        registry.register(paper_rules(config), name="pack", version=3)
+        with pytest.raises(ValueError, match="immutable"):
+            registry.register(
+                domain_bound_rules(config), name="pack", version=3
+            )
+
+    def test_promote_switches_atomically(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        registry.promote("pack", 2)
+        assert registry.resolve("pack").version == 2
+        registry.promote("pack", 1)
+        assert registry.resolve("pack").version == 1
+
+    def test_cannot_retire_active_version(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        with pytest.raises(ValueError, match="promote a replacement"):
+            registry.retire("pack", 1)
+
+    def test_cannot_promote_retired_version(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        registry.promote("pack", 2)
+        registry.retire("pack", 1)
+        with pytest.raises(RetiredRuleSet):
+            registry.promote("pack", 1)
+
+    def test_content_hash_is_name_independent(self, registry, config):
+        a = registry.register(paper_rules(config), name="alpha")
+        b = registry.register(paper_rules(config), name="beta")
+        assert a.content_hash == b.content_hash
+        assert a.content_hash == rules_fingerprint(paper_rules(config))
+        assert (
+            a.content_hash
+            != registry.register(domain_bound_rules(config)).content_hash
+        )
+
+
+class TestResolution:
+    def test_versioned_ref(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        assert registry.resolve("pack@2").version == 2
+        assert registry.resolve("pack@1").version == 1
+
+    def test_hash_ref_survives_retire(self, registry, config):
+        v1 = registry.register(paper_rules(config), name="pack")
+        registry.register(
+            domain_bound_rules(config), name="pack", activate=True
+        )
+        registry.retire("pack", 1)
+        with pytest.raises(RetiredRuleSet):
+            registry.resolve("pack@1")
+        assert registry.resolve(v1.hash_ref) is v1
+
+    def test_unknown_name_lists_available(self, registry, config):
+        registry.register(paper_rules(config), name="alpha")
+        registry.register(domain_bound_rules(config), name="beta")
+        with pytest.raises(UnknownRuleSet, match="alpha, beta"):
+            registry.resolve("gamma")
+
+    def test_unknown_version_lists_registered(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        with pytest.raises(UnknownRuleSet, match="registered: 1"):
+            registry.resolve("pack@9")
+
+    def test_malformed_version_is_unknown(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        with pytest.raises(UnknownRuleSet, match="name@<integer>"):
+            registry.resolve("pack@latest")
+
+    def test_unknown_hash_is_unknown(self, registry):
+        with pytest.raises(UnknownRuleSet, match="content hash"):
+            registry.resolve("hash:deadbeef")
+
+    def test_handle_passthrough(self, registry, config):
+        handle = RuleSetHandle.for_rules(paper_rules(config))
+        assert registry.resolve(handle) is handle
+        assert handle.version == 0
+
+
+class TestPropagation:
+    def test_snapshot_round_trip(self, registry, config):
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        registry.promote("pack", 2)
+        registry.retire("pack", 1)
+        clone = RuleSetRegistry.from_snapshot(registry.snapshot())
+        assert clone.describe() == registry.describe()
+        assert clone.resolve("pack").version == 2
+        with pytest.raises(RetiredRuleSet):
+            clone.resolve("pack@1")
+        # Hash refs resolve in the clone too -- the crash-replay path.
+        v1_hash = registry.resolve(
+            f"hash:{rules_fingerprint(paper_rules(config))}"
+        ).content_hash
+        assert clone.resolve(f"hash:{v1_hash}").version == 1
+
+    def test_events_replay_to_identical_state(self, registry, config):
+        events = []
+        registry.subscribe(events.append)
+        clone = RuleSetRegistry()
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        registry.promote("pack", 2)
+        registry.retire("pack", 1)
+        for event in events:
+            clone.apply_event(event)
+        assert clone.describe() == registry.describe()
+
+    def test_duplicate_register_event_is_idempotent(self, registry, config):
+        events = []
+        registry.subscribe(events.append)
+        registry.register(paper_rules(config), name="pack")
+        clone = RuleSetRegistry.from_snapshot(registry.snapshot())
+        # Snapshot-at-spawn can overlap with an event already queued on
+        # the pipe; replaying the duplicate register must be a no-op.
+        clone.apply_event(events[0])
+        assert clone.describe() == registry.describe()
+
+    def test_subscriber_receives_retire_hash(self, registry, config):
+        events = []
+        registry.subscribe(events.append)
+        v1 = registry.register(paper_rules(config), name="pack")
+        registry.register(
+            domain_bound_rules(config), name="pack", activate=True
+        )
+        registry.retire("pack", 1)
+        retire = [e for e in events if e["event"] == "retire"]
+        assert retire == [{
+            "event": "retire",
+            "name": "pack",
+            "version": 1,
+            "hash": v1.content_hash,
+        }]
+
+
+class TestPersistence:
+    def test_directory_round_trip(self, tmp_path, config):
+        registry = RuleSetRegistry(root=tmp_path)
+        registry.register(paper_rules(config), name="pack")
+        registry.register(domain_bound_rules(config), name="pack")
+        registry.promote("pack", 2)
+        registry.retire("pack", 1)
+        reopened = RuleSetRegistry(root=tmp_path)
+        assert reopened.describe() == registry.describe()
+        assert reopened.resolve("pack").version == 2
+        with pytest.raises(RetiredRuleSet):
+            reopened.resolve("pack@1")
+
+    def test_unsafe_names_are_sanitized_on_disk(self, tmp_path, config):
+        registry = RuleSetRegistry(root=tmp_path)
+        registry.register(paper_rules(config), name="a/b c")
+        files = {p.name for p in tmp_path.iterdir()}
+        assert "a_b_c@1.json" in files
+        reopened = RuleSetRegistry(root=tmp_path)
+        assert reopened.resolve("a/b c").version == 1
+
+    def test_manifest_format_guard(self, tmp_path):
+        (tmp_path / "registry.json").write_text('{"format": "bogus/9"}')
+        with pytest.raises(ValueError, match="manifest format"):
+            RuleSetRegistry(root=tmp_path)
+
+
+class TestBuiltinRegistry:
+    def test_seeds_paper_packs(self, config):
+        registry = builtin_registry(config)
+        assert registry.names() == [
+            "domain-bounds", "paper-R1-R3", "zoom2net-C4-C7",
+        ]
+        for row in registry.describe():
+            assert row["version"] == 1
+            assert row["active"] is True
+
+    def test_does_not_duplicate_persisted_packs(self, tmp_path, config):
+        first = builtin_registry(config, root=tmp_path)
+        hashes = {row["name"]: row["hash"] for row in first.describe()}
+        again = builtin_registry(config, root=tmp_path)
+        assert {row["name"]: row["hash"] for row in again.describe()} == hashes
+        assert all(row["version"] == 1 for row in again.describe())

@@ -1,0 +1,523 @@
+"""Multi-tenant rule-set tests: hot swap, isolation, and byte parity.
+
+The tentpole contract: a rule set is a named, versioned, content-hashed
+object resolved per request.  Under test here:
+
+* byte determinism -- the same ``(seed, index, rule-set hash)`` produces
+  identical bytes on the serial enforcer, the batch engine, the
+  single-process scheduler, and the supervised worker pool, no matter
+  which other tenants share the lanes;
+* hot swap -- ``promote`` mid-load switches *new* requests to the new
+  version atomically while requests admitted earlier finish under the
+  version they resolved, with zero failures during the swap;
+* retire semantics -- name-based resolution of a retired version is
+  refused (409 at the HTTP edge) while hash refs keep resolving, which is
+  what crash replay rides on;
+* tenant bookkeeping -- per-tenant queue quotas back-pressure only the
+  offending tenant, and per-tenant counters reach /metrics and the
+  Prometheus exposition with a ``tenant`` label.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.core.engine import EnforcementEngine, RecordRequest
+from repro.errors import QueueFull, RetiredRuleSet, UnknownRuleSet
+from repro.lm import NgramLM
+from repro.data import build_dataset
+from repro.obs.prometheus import metric_value, parse
+from repro.rules import (
+    RuleSetRegistry,
+    builtin_registry,
+    domain_bound_rules,
+    paper_rules,
+)
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    RequestSpec,
+    ServingServer,
+    WorkerPool,
+)
+from repro.serve.types import DONE
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=40, seed=5
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model, paper_rules(dataset.config)
+
+
+@pytest.fixture()
+def registry(setting):
+    dataset, _, _ = setting
+    return builtin_registry(dataset.config)
+
+
+def _enforcer(dataset, model, rules, seed=13):
+    return JitEnforcer(
+        model,
+        rules,
+        dataset.config,
+        EnforcerConfig(seed=seed),
+        fallback_rules=[domain_bound_rules(dataset.config)],
+    )
+
+
+def _pack_rules(dataset, name):
+    return {
+        "paper-R1-R3": paper_rules,
+        "domain-bounds": domain_bound_rules,
+    }[name](dataset.config)
+
+
+def _serial_reference(dataset, model, pack_name, coarse, seed):
+    """Record 0 of a fresh enforcer built directly on the pack's rules --
+    the ground truth for ``(seed, index=0, hash(pack))``."""
+    return _enforcer(
+        dataset, model, _pack_rules(dataset, pack_name), seed=seed
+    ).impute_record(coarse)
+
+
+MIX = ("paper-R1-R3", "domain-bounds")
+
+
+class TestByteDeterminismAcrossBackends:
+    """Same (seed, index, rule-set hash) -> same bytes, every backend."""
+
+    def test_scheduler_mixed_tenants_match_serial(self, setting, registry):
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:6]]
+        tenants = [MIX[i % 2] for i in range(len(prompts))]
+        reference = [
+            _serial_reference(dataset, model, pack, coarse, seed=300 + i)
+            for i, (coarse, pack) in enumerate(zip(prompts, tenants))
+        ]
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules), lanes=2, rule_registry=registry
+        ) as scheduler:
+            handles = [
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=coarse, seed=300 + i, rule_set=pack,
+                ))
+                for i, (coarse, pack) in enumerate(zip(prompts, tenants))
+            ]
+            results = [h.result(timeout=120) for h in handles]
+        for result, expected in zip(results, reference):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+
+    def test_engine_mixed_tenants_match_interleaved_serial(
+        self, setting, registry
+    ):
+        """One engine run interleaving two packs == the serial enforcer
+        making the same per-record pack choices in the same order."""
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:4]]
+        handles = [
+            None if i % 2 == 0 else registry.resolve("domain-bounds")
+            for i in range(len(prompts))
+        ]
+        serial = _enforcer(dataset, model, rules, seed=71)
+        reference = [
+            serial.impute_record(coarse, rule_set=handle)
+            for coarse, handle in zip(prompts, handles)
+        ]
+        batched = _enforcer(dataset, model, rules, seed=71)
+        engine = EnforcementEngine(batched, batch_size=2)
+        requests = [
+            RecordRequest(*batched.impute_plan(coarse), rule_set=handle)
+            for coarse, handle in zip(prompts, handles)
+        ]
+        outcomes = engine.run(requests)
+        for outcome, expected in zip(outcomes, reference):
+            assert dict(outcome.values) == dict(expected.values)
+            assert outcome.stage == expected.stage
+
+    def test_worker_pool_mixed_tenants_match_serial(self, setting, registry):
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:6]]
+        tenants = [MIX[i % 2] for i in range(len(prompts))]
+        reference = [
+            _serial_reference(dataset, model, pack, coarse, seed=300 + i)
+            for i, (coarse, pack) in enumerate(zip(prompts, tenants))
+        ]
+
+        def factory():
+            return _enforcer(dataset, model, rules)
+
+        with WorkerPool(
+            factory, workers=2, lanes_per_worker=2, rule_registry=registry
+        ) as pool:
+            handles = [
+                pool.submit(RequestSpec(
+                    "impute", coarse=coarse, seed=300 + i, rule_set=pack,
+                ))
+                for i, (coarse, pack) in enumerate(zip(prompts, tenants))
+            ]
+            results = [h.result(timeout=120) for h in handles]
+        for result, expected in zip(results, reference):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+
+    def test_tenant_mix_does_not_change_single_tenant_bytes(
+        self, setting, registry
+    ):
+        """A tenant's bytes are identical whether it runs alone or
+        interleaved with another tenant on the same lanes."""
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:4]]
+
+        def run(mixed):
+            with ContinuousBatchingScheduler(
+                _enforcer(dataset, model, rules),
+                lanes=2,
+                rule_registry=registry,
+            ) as scheduler:
+                handles = []
+                for i, coarse in enumerate(prompts):
+                    handles.append(scheduler.submit(RequestSpec(
+                        "impute", coarse=coarse, seed=400 + i,
+                        rule_set="paper-R1-R3",
+                    )))
+                    if mixed:
+                        handles.append(scheduler.submit(RequestSpec(
+                            "impute", coarse=coarse, seed=800 + i,
+                            rule_set="domain-bounds",
+                        )))
+                return [h.result(timeout=120).records for h in handles]
+
+        alone = run(mixed=False)
+        mixed = run(mixed=True)
+        assert mixed[0::2] == alone  # the paper-R1-R3 records, unchanged
+
+
+def _register_hot_pack(registry, dataset):
+    """A two-version pack: v1 enforces the paper rules, v2 only bounds."""
+    registry.register(paper_rules(dataset.config), name="hot")
+    registry.register(
+        domain_bound_rules(dataset.config), name="hot", activate=False
+    )
+    return registry
+
+
+class TestHotSwap:
+    def test_promote_mid_load_scheduler(self, setting, registry):
+        """Requests admitted before the promote finish under v1; requests
+        submitted after resolve v2; nothing fails during the swap."""
+        dataset, model, rules = setting
+        _register_hot_pack(registry, dataset)
+        prompts = [w.coarse() for w in dataset.test_windows()[:4]]
+        ref_v1 = [
+            _serial_reference(dataset, model, "paper-R1-R3", c, seed=500 + i)
+            for i, c in enumerate(prompts)
+        ]
+        ref_v2 = [
+            _serial_reference(dataset, model, "domain-bounds", c, seed=500 + i)
+            for i, c in enumerate(prompts)
+        ]
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules), lanes=2, rule_registry=registry
+        ) as scheduler:
+            before = [
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=c, seed=500 + i, rule_set="hot",
+                ))
+                for i, c in enumerate(prompts)
+            ]
+            registry.promote("hot", 2)  # atomic: all later submits see v2
+            after = [
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=c, seed=500 + i, rule_set="hot",
+                ))
+                for i, c in enumerate(prompts)
+            ]
+            old = [h.result(timeout=120) for h in before]
+            new = [h.result(timeout=120) for h in after]
+            metrics = scheduler.metrics()
+        for result, expected in zip(old, ref_v1):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+        for result, expected in zip(new, ref_v2):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+        assert metrics["requests"]["failed"] == 0
+        # The swap is observable: at least one prompt imputes differently
+        # under v2's looser rules than under v1's paper rules.
+        assert any(
+            a.records != b.records for a, b in zip(old, new)
+        )
+
+    def test_promote_mid_load_worker_pool(self, setting, registry):
+        dataset, model, rules = setting
+        _register_hot_pack(registry, dataset)
+        prompts = [w.coarse() for w in dataset.test_windows()[:3]]
+        ref_v1 = [
+            _serial_reference(dataset, model, "paper-R1-R3", c, seed=600 + i)
+            for i, c in enumerate(prompts)
+        ]
+        ref_v2 = [
+            _serial_reference(dataset, model, "domain-bounds", c, seed=600 + i)
+            for i, c in enumerate(prompts)
+        ]
+
+        def factory():
+            return _enforcer(dataset, model, rules)
+
+        with WorkerPool(
+            factory, workers=2, lanes_per_worker=2, rule_registry=registry
+        ) as pool:
+            before = [
+                pool.submit(RequestSpec(
+                    "impute", coarse=c, seed=600 + i, rule_set="hot",
+                ))
+                for i, c in enumerate(prompts)
+            ]
+            pool.rule_registry.promote("hot", 2)
+            after = [
+                pool.submit(RequestSpec(
+                    "impute", coarse=c, seed=600 + i, rule_set="hot",
+                ))
+                for i, c in enumerate(prompts)
+            ]
+            old = [h.result(timeout=120) for h in before]
+            new = [h.result(timeout=120) for h in after]
+            metrics = pool.metrics()
+        for result, expected in zip(old, ref_v1):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+        for result, expected in zip(new, ref_v2):
+            assert result.status == DONE
+            assert result.records == [dict(expected.values)]
+        assert metrics["requests"]["failed"] == 0
+        assert metrics["supervision"]["units_lost"] == 0
+
+    def test_retire_blocks_names_but_not_hashes(self, setting, registry):
+        dataset, model, rules = setting
+        _register_hot_pack(registry, dataset)
+        v1_hash = registry.resolve("hot@1").hash_ref
+        registry.promote("hot", 2)
+        registry.retire("hot", 1)
+        coarse = dataset.test_windows()[0].coarse()
+        expected = _serial_reference(
+            dataset, model, "paper-R1-R3", coarse, seed=77
+        )
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules), rule_registry=registry
+        ) as scheduler:
+            with pytest.raises(RetiredRuleSet):
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=coarse, rule_set="hot@1",
+                ))
+            # Hash refs outlive the retire: this is the crash-replay path.
+            result = scheduler.submit(RequestSpec(
+                "impute", coarse=coarse, seed=77, rule_set=v1_hash,
+            )).result(timeout=120)
+        assert result.records == [dict(expected.values)]
+
+    def test_unknown_pack_rejected_at_submit(self, setting, registry):
+        dataset, model, rules = setting
+        coarse = dataset.test_windows()[0].coarse()
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules), rule_registry=registry
+        ) as scheduler:
+            with pytest.raises(UnknownRuleSet) as excinfo:
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=coarse, rule_set="no-such-pack",
+                ))
+            assert "paper-R1-R3" in str(excinfo.value)  # lists available
+            assert scheduler.metrics()["requests"]["submitted"] == 0
+
+    def test_rule_set_without_registry_is_unknown(self, setting):
+        dataset, model, rules = setting
+        coarse = dataset.test_windows()[0].coarse()
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules)
+        ) as scheduler:
+            with pytest.raises(UnknownRuleSet):
+                scheduler.submit(RequestSpec(
+                    "impute", coarse=coarse, rule_set="paper-R1-R3",
+                ))
+
+    def test_retire_evicts_cache_partition(self, setting, registry):
+        import time as _time
+
+        dataset, model, rules = setting
+        _register_hot_pack(registry, dataset)
+        coarse = dataset.test_windows()[0].coarse()
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules), rule_registry=registry
+        ) as scheduler:
+            scheduler.impute(coarse, seed=3, rule_set="hot@1",
+                             wait_timeout=120)
+            v1_hash = registry.resolve("hot@1").content_hash
+            partitions = scheduler.pool.cache.stats()["partitions"]
+            assert partitions[v1_hash]["entries"] > 0
+            registry.promote("hot", 2)
+            registry.retire("hot", 1)
+            deadline = _time.monotonic() + 30
+            while _time.monotonic() < deadline:
+                partitions = scheduler.pool.cache.stats()["partitions"]
+                if partitions.get(v1_hash, {}).get("entries", 0) == 0:
+                    break
+                _time.sleep(0.05)
+            assert partitions.get(v1_hash, {}).get("entries", 0) == 0
+
+
+class TestTenantBookkeeping:
+    def test_tenant_quota_backpressures_only_that_tenant(
+        self, setting, registry
+    ):
+        dataset, model, rules = setting
+        coarse = dataset.test_windows()[0].coarse()
+        scheduler = ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules),
+            rule_registry=registry,
+            tenant_quotas={"domain-bounds": 1},
+        )
+        # Not started: submissions queue without being drained, so the
+        # quota is exercised deterministically via the queue directly.
+        queue = scheduler.queue
+        from repro.serve.types import ServeRequest
+
+        first = ServeRequest(RequestSpec(
+            "impute", coarse=coarse, rule_set="domain-bounds",
+        ))
+        first.rule_handle = registry.resolve("domain-bounds")
+        queue.submit(first)
+        second = ServeRequest(RequestSpec(
+            "impute", coarse=coarse, rule_set="domain-bounds",
+        ))
+        second.rule_handle = registry.resolve("domain-bounds")
+        with pytest.raises(QueueFull) as excinfo:
+            queue.submit(second)
+        assert "domain-bounds" in str(excinfo.value)
+        # The default tenant is unaffected by the exhausted quota.
+        queue.submit(ServeRequest(RequestSpec("impute", coarse=coarse)))
+        assert queue.tenant_depths() == {"domain-bounds": 1, "default": 1}
+        assert queue.rejected_by_tenant == {"domain-bounds": 1}
+
+    def test_tenant_priority_bias_orders_admission(self, setting, registry):
+        dataset, model, rules = setting
+        coarse = dataset.test_windows()[0].coarse()
+        from repro.serve.queue import AdmissionQueue
+        from repro.serve.types import ServeRequest
+
+        queue = AdmissionQueue(8, tenant_priorities={"domain-bounds": -10})
+        plain = ServeRequest(RequestSpec("impute", coarse=coarse))
+        queue.submit(plain)
+        urgent = ServeRequest(RequestSpec(
+            "impute", coarse=coarse, rule_set="domain-bounds",
+        ))
+        urgent.rule_handle = registry.resolve("domain-bounds")
+        queue.submit(urgent)
+        assert queue.pop() is urgent  # bias beats arrival order
+        assert queue.pop() is plain
+
+    def test_per_tenant_metrics_and_prometheus_labels(
+        self, setting, registry
+    ):
+        dataset, model, rules = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:2]]
+        from repro.obs import MetricsRegistry
+
+        with ContinuousBatchingScheduler(
+            _enforcer(dataset, model, rules),
+            lanes=2,
+            rule_registry=registry,
+            registry=MetricsRegistry(),
+        ) as scheduler:
+            scheduler.impute(prompts[0], seed=1, rule_set="domain-bounds",
+                             wait_timeout=120)
+            scheduler.impute(prompts[1], seed=2, wait_timeout=120)
+            metrics = scheduler.metrics()
+            text = scheduler.prometheus_text()
+        assert metrics["tenants"]["domain-bounds"]["completed"] == 1
+        assert metrics["tenants"]["default"]["completed"] == 1
+        assert [row["name"] for row in metrics["rule_sets"]] == [
+            "domain-bounds", "paper-R1-R3", "zoom2net-C4-C7",
+        ]
+        parsed = parse(text)
+        assert metric_value(
+            parsed,
+            "repro_serve_tenant_requests_completed_total",
+            {"tenant": "domain-bounds"},
+        ) == 1.0
+        assert metric_value(
+            parsed,
+            "repro_serve_tenant_records_completed_total",
+            {"tenant": "default"},
+        ) == 1.0
+
+
+@pytest.fixture()
+def tenant_server(setting, registry):
+    dataset, model, rules = setting
+    _register_hot_pack(registry, dataset)
+    registry.promote("hot", 2)
+    registry.retire("hot", 1)
+    scheduler = ContinuousBatchingScheduler(
+        _enforcer(dataset, model, rules), lanes=2, rule_registry=registry
+    )
+    with ServingServer(scheduler, port=0) as server:
+        yield server
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttpRuleSets:
+    def test_rule_set_round_trip(self, setting, tenant_server):
+        dataset, model, _ = setting
+        coarse = dataset.test_windows()[0].coarse()
+        expected = _serial_reference(
+            dataset, model, "domain-bounds", coarse, seed=9
+        )
+        status, payload = _post(tenant_server, "/v1/impute", {
+            "coarse": coarse, "seed": 9, "rule_set": "domain-bounds",
+        })
+        assert status == 200
+        assert payload["records"] == [dict(expected.values)]
+
+    def test_unknown_pack_is_404(self, setting, tenant_server):
+        dataset, _, _ = setting
+        coarse = dataset.test_windows()[0].coarse()
+        status, payload = _post(tenant_server, "/v1/impute", {
+            "coarse": coarse, "rule_set": "no-such-pack",
+        })
+        assert status == 404
+        assert "no-such-pack" in payload["error"]
+
+    def test_retired_version_is_409(self, setting, tenant_server):
+        dataset, _, _ = setting
+        coarse = dataset.test_windows()[0].coarse()
+        status, payload = _post(tenant_server, "/v1/impute", {
+            "coarse": coarse, "rule_set": "hot@1",
+        })
+        assert status == 409
+        assert "retired" in payload["error"]
+
+    def test_non_string_rule_set_is_400(self, setting, tenant_server):
+        dataset, _, _ = setting
+        coarse = dataset.test_windows()[0].coarse()
+        status, _ = _post(tenant_server, "/v1/impute", {
+            "coarse": coarse, "rule_set": 7,
+        })
+        assert status == 400
