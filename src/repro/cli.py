@@ -10,6 +10,9 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli synth    --model model.json --rules rules.json -n 10
     python -m repro.cli serve    --model model.json --rules rules.json \
                                  --port 8080 --lanes 4
+    python -m repro.cli stream   --generate 500 > events.jsonl
+    python -m repro.cli stream   --model model.json --rules rules.json \
+                                 --input events.jsonl --late-policy patch
     python -m repro.cli rules    list --dir packs/
     python -m repro.cli bench-serving --out BENCH_serving.json
     python -m repro.cli chaos    --workers 4 --requests 24
@@ -129,7 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("--out", required=True, type=Path)
     mine_cmd.add_argument("--slack", type=int, default=2)
     mine_cmd.add_argument(
-        "--scope", choices=["imputation", "synthesis"], default="imputation"
+        "--scope", choices=["imputation", "synthesis", "stream"],
+        default="imputation",
+        help="stream = imputation rules plus cross-record temporal rules "
+        "joined at --window-depth (feeds `repro.cli stream` / /v1/stream)",
+    )
+    mine_cmd.add_argument(
+        "--window-depth", type=_positive_int, default=2,
+        help="records joined per window when mining temporal rules "
+        "(--scope stream only)",
     )
 
     impute_cmd = sub.add_parser("impute", help="impute fine values for a prompt")
@@ -200,6 +211,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_decode_args(serve_cmd)
     _add_budget_args(serve_cmd)
+
+    stream_cmd = sub.add_parser(
+        "stream",
+        help="drive an unbounded telemetry event stream through windowed "
+        "enforcement (or --generate synthetic events)",
+    )
+    stream_cmd.add_argument("--model", type=Path, default=None)
+    stream_cmd.add_argument(
+        "--rules", type=Path, default=None,
+        help="rule file; mine with `--scope stream` to get cross-record "
+        "temporal rules",
+    )
+    stream_cmd.add_argument(
+        "--input", default="-",
+        help="event JSONL file (`-` = stdin, the default)",
+    )
+    stream_cmd.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing --input for new events instead of stopping at EOF",
+    )
+    stream_cmd.add_argument("--seed", type=int, default=0)
+    stream_cmd.add_argument(
+        "--window", type=_positive_int, default=2,
+        help="records joined per sliding window (carryover depth)",
+    )
+    stream_cmd.add_argument(
+        "--lateness", type=float, default=0.5,
+        help="event-time slack before the watermark declares a gap",
+    )
+    stream_cmd.add_argument(
+        "--late-policy", choices=["drop", "patch", "reemit"], default="drop",
+        help="what to do with an event that arrives after its gap closed",
+    )
+    stream_cmd.add_argument(
+        "--progress-every", type=_positive_int, default=100,
+        help="events between stream_progress records on stderr",
+    )
+    stream_cmd.add_argument(
+        "--generate", type=_positive_int, default=None, metavar="N",
+        help="emit N synthetic stream events as JSONL on stdout and exit "
+        "(needs no model; pairs with `--input -`)",
+    )
+    stream_cmd.add_argument(
+        "--stream-seed", type=int, default=0,
+        help="generator seed (--generate)",
+    )
+    stream_cmd.add_argument(
+        "--mean-interarrival", type=float, default=1.0,
+        help="mean seconds between events in the calm MMPP state "
+        "(--generate)",
+    )
+    stream_cmd.add_argument(
+        "--late-fraction", type=float, default=0.05,
+        help="fraction of generated events delayed past the watermark "
+        "(--generate)",
+    )
+    stream_cmd.add_argument(
+        "--late-delay", type=float, default=6.0,
+        help="mean extra delay for late generated events (--generate)",
+    )
+    _add_decode_args(stream_cmd)
+    _add_trace_args(stream_cmd)
+    _add_budget_args(stream_cmd)
 
     rules_cmd = sub.add_parser(
         "rules", help="inspect and manage the rule-pack registry"
@@ -277,8 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--tenants", type=str, nargs="*", default=None,
         help="also run a mixed-tenant scenario striping requests across "
-        "these builtin rule-pack names (no names = paper-R1-R3 + "
-        "domain-bounds); reports per-tenant latency and byte parity",
+        "these tenant specs -- NAME (imputation) or NAME:synthesize -- "
+        "(no names = paper-R1-R3 + domain-bounds + "
+        "domain-bounds:synthesize); reports per-tenant latency and byte "
+        "parity",
     )
 
     chaos_cmd = sub.add_parser(
@@ -485,19 +561,42 @@ def _cmd_train(args) -> int:
 def _cmd_mine(args) -> int:
     config = TelemetryConfig()
     records = _load_windows(args.data)
-    if args.scope == "imputation":
+    if args.scope == "synthesis":
+        coarse = [{k: r[k] for k in COARSE_FIELDS} for r in records]
+        rules = mine_rules(
+            coarse, list(COARSE_FIELDS), MinerOptions(slack=args.slack),
+            name="cli-synthesis",
+        )
+    else:
         variables = list(window_variables(config.window))
         fine = [fine_field(t) for t in range(config.window)]
         rules = mine_rules(
             records, variables, MinerOptions(slack=args.slack),
             fine_variables=fine, name="cli-imputation",
         )
-    else:
-        coarse = [{k: r[k] for k in COARSE_FIELDS} for r in records]
-        rules = mine_rules(
-            coarse, list(COARSE_FIELDS), MinerOptions(slack=args.slack),
-            name="cli-synthesis",
-        )
+        if args.scope == "stream":
+            from .stream import combine_rule_sets, mine_stream_rules
+
+            # The dataset JSONL carries no rack boundaries, so treat the
+            # whole record sequence as one stream: joins across real rack
+            # boundaries only widen the mined envelopes, never tighten
+            # them, so the result stays sound for any record order.
+            windows = [
+                Window(
+                    fine=tuple(v[fine_field(t)] for t in range(config.window)),
+                    total=v["total"], cong=v["cong"],
+                    retx=v["retx"], egr=v["egr"],
+                )
+                for v in records
+            ]
+            temporal = mine_stream_rules(
+                [windows], config, depth=args.window_depth,
+                options=MinerOptions(
+                    identities=False, burst_implications=False,
+                    conditionals=False, slack=args.slack,
+                ),
+            )
+            rules = combine_rule_sets(rules, temporal, name="cli-stream")
     save_rules(rules, args.out)
     print(f"mined {len(rules)} rules ({rules.summary()}) -> {args.out}")
     return 0
@@ -645,9 +744,13 @@ def _cmd_serve(args) -> int:
     from .errors import RetiredRuleSet, UnknownRuleSet
     from .rules.io import rules_fingerprint
     from .serve import ContinuousBatchingScheduler, ServingServer, WorkerPool
+    from .stream import stream_bounds
 
     config = TelemetryConfig()
     enforcer_config = _enforcer_config_from(args)
+    # Bounds for the prev*_ history variables that /v1/stream carryover
+    # contexts reference; inert for plain impute/synthesize requests.
+    bounds = stream_bounds(config)
 
     # Multi-tenant registry: built-in libraries, any persisted packs under
     # --registry-dir, and the --rules file itself (so requests can name it
@@ -686,6 +789,7 @@ def _cmd_serve(args) -> int:
                 fallback_rules=[
                     zoom2net_manual_rules(config), domain_bound_rules(config)
                 ],
+                bounds=stream_bounds(config),
             )
 
         scheduler = WorkerPool(
@@ -704,6 +808,7 @@ def _cmd_serve(args) -> int:
             fallback_rules=[
                 zoom2net_manual_rules(config), domain_bound_rules(config)
             ],
+            bounds=bounds,
         )
         scheduler = ContinuousBatchingScheduler(
             enforcer,
@@ -713,7 +818,9 @@ def _cmd_serve(args) -> int:
             cache_entries=args.cache_entries,
             rule_registry=registry,
         )
-    server = ServingServer(scheduler, host=args.host, port=args.port)
+    server = ServingServer(
+        scheduler, host=args.host, port=args.port, telemetry_config=config
+    )
     host, port = server.address
     # Single-line key=value records on stderr: scrapable, stdout untouched.
     emit_kv("serving", [
@@ -730,6 +837,130 @@ def _cmd_serve(args) -> int:
         except KeyboardInterrupt:
             emit_kv("serving", [("shutdown", "graceful-drain")])
     print(scheduler.summary_line(), file=sys.stderr, flush=True)
+    return 0
+
+
+def _stream_input_lines(path_text: str, follow: bool):
+    """Lines from the event source; ``--follow`` tails past EOF forever."""
+    if path_text == "-":
+        yield from sys.stdin
+        return
+    import time
+
+    with open(path_text) as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                yield line
+            elif follow:
+                time.sleep(0.2)
+            else:
+                return
+
+
+def _cmd_stream(args) -> int:
+    config = TelemetryConfig()
+    if args.generate is not None:
+        from .data.workload import StreamParams, TelemetryStream
+
+        params = StreamParams(
+            seed=args.stream_seed,
+            mean_interarrival=args.mean_interarrival,
+            late_fraction=args.late_fraction,
+            late_delay=args.late_delay,
+        )
+        count = 0
+        for event in TelemetryStream(params, config).events(args.generate):
+            print(json.dumps(event, sort_keys=True))
+            count += 1
+        emit_kv("stream_generate", [
+            ("events", count), ("seed", args.stream_seed),
+        ])
+        return 0
+
+    if args.model is None or args.rules is None:
+        raise SystemExit(
+            "stream enforcement needs --model and --rules "
+            "(or use --generate N to emit synthetic events)"
+        )
+    from .obs import ProgressEmitter
+    from .stream import (
+        EnforcerExecutor,
+        StreamConfig,
+        StreamSession,
+        stream_bounds,
+    )
+
+    model = load_ngram(args.model)
+    rules = load_rules(args.rules)
+    enforcer = JitEnforcer(
+        model, rules, config, _enforcer_config_from(args),
+        fallback_rules=[
+            zoom2net_manual_rules(config), domain_bound_rules(config)
+        ],
+        bounds=stream_bounds(config),
+    )
+    stream_config = StreamConfig(
+        window=args.window,
+        lateness=args.lateness,
+        late_policy=args.late_policy,
+        seed=args.seed,
+    )
+    executor = EnforcerExecutor(enforcer, seed=args.seed)
+    session = StreamSession(stream_config, executor, telemetry_config=config)
+
+    def _pairs():
+        stats = session.stats()
+        pairs = [
+            ("emitted", stats["emitted"]),
+            ("next_seq", stats["next_seq"]),
+            ("pending", stats["pending"]),
+            ("watermark", f"{stats['watermark']:.3f}"),
+            ("gaps", stats["gaps"]),
+            ("late_dropped", stats["late_dropped"]),
+            ("late_patched", stats["late_patched"]),
+            ("reemitted", stats["reemitted"]),
+            ("duplicates", stats["duplicates"]),
+            ("carryover_hits", stats["carryover_hits"]),
+            ("lag_p50_ms", stats["lag_p50_ms"]),
+            ("lag_p99_ms", stats["lag_p99_ms"]),
+            ("emitted_per_sec", stats["emitted_per_sec"]),
+        ]
+        kv_stats = executor.kv_stats()
+        if kv_stats is not None:
+            pairs.append(("kv_row_tokens", int(kv_stats["row_length"])))
+        return pairs
+
+    progress = ProgressEmitter(
+        "stream_progress", _pairs, every=args.progress_every
+    )
+
+    def _write(emissions) -> None:
+        for emission in emissions:
+            print(emission.encode(), flush=True)
+
+    with _graceful_sigterm(), _span_sink(args):
+        try:
+            for line in _stream_input_lines(args.input, args.follow):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    emit_kv("stream_error", [("error", f"bad JSON: {exc}")])
+                    continue
+                try:
+                    _write(session.ingest(event))
+                except ValueError as exc:
+                    emit_kv("stream_error", [("error", str(exc))])
+                    continue
+                progress.tick()
+        except KeyboardInterrupt:
+            # SIGTERM/Ctrl-C on a --follow stream: drain and summarize.
+            pass
+        _write(session.close())
+    progress.finish("stream_summary")
     return 0
 
 
@@ -765,7 +996,9 @@ def _cmd_bench_serving(args) -> int:
         print(format_pool_report(pool_report))
     if args.tenants is not None:
         tenant_report = run_mixed_tenant_bench(
-            tenants=tuple(args.tenants) or ("paper-R1-R3", "domain-bounds"),
+            tenants=tuple(args.tenants) or (
+                "paper-R1-R3", "domain-bounds", "domain-bounds:synthesize"
+            ),
             offered_load=max(args.loads),
             lanes=max(args.lanes),
             requests=min(args.requests, 120),
@@ -832,6 +1065,7 @@ _COMMANDS = {
     "impute": _cmd_impute,
     "synth": _cmd_synth,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
     "rules": _cmd_rules,
     "bench-serving": _cmd_bench_serving,
     "chaos": _cmd_chaos,

@@ -364,6 +364,16 @@ class SmtOracle(FeasibilityOracle):
     carry over -- they are valid facts about the *atoms*, independent of
     which record asserted them.  The reuse cap bounds the clause-database
     growth that popped selector levels leave behind.
+
+    Reuse preserves *verdicts and exact optima* -- SAT/UNSAT answers and
+    ``feasible_interval`` endpoints are pure functions of the asserted
+    formulas -- but NOT model choice or work counters: retained lemmas
+    steer which model the SAT core finds first and how many theory rounds
+    a query takes.  Byte-determinism therefore requires that only
+    verdicts and optima reach emitted records; :meth:`any_model` values
+    must never be emitted directly (the enforcer's forced-value path
+    learned this the hard way: pooled serving lanes and fresh-solver CLI
+    lanes forced different bytes for the same record).
     """
 
     def __init__(
@@ -530,7 +540,15 @@ class SmtOracle(FeasibilityOracle):
         self._base_ok = False
 
     def any_model(self) -> Dict[str, int]:
-        """A full rule-compliant completion of the current prefix."""
+        """A full rule-compliant completion of the current prefix.
+
+        Which model comes back depends on solver-internal search state
+        (learned clauses, variable numbering, pooled-reuse history), so
+        the values are *not* deterministic across solver configurations.
+        Use it for existence checks and audits, never as a source of
+        emitted record bytes -- those must come from verdicts and exact
+        interval optima, which reuse does preserve.
+        """
         result = self._solver.check()
         if result.is_unknown:
             raise SolverBudgetExceeded(

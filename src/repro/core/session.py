@@ -833,8 +833,20 @@ class EnforcementSession:
         if strict:
             # Optimistic phase: never force -- bail out to the SMT phase.
             raise _StrictRetryExhausted(name)
-        # Forced fallback: take the solver's model value for this variable.
+        # Forced fallback: pin the canonical feasible minimum, confirmed
+        # like any sampled value so the stage's guarantee (every emitted
+        # value solver-checked) survives the forcing.
         value = self._forced_value(oracle, name, feasible)
+        if self._confirm_observed(oracle, name, value) != SAT:
+            # An exact oracle's feasible minimum is attained, hence always
+            # confirmable -- a refusal here means budget widening corrupted
+            # the interval (or the set was empty and we fell back to the
+            # domain floor).  Escalate as exhaustion: the record-level
+            # ladder retries with backoff, then degrades.
+            raise SolverBudgetExceeded(
+                f"forced value for {name} not confirmable",
+                resource="forced-confirm",
+            )
         oracle.fix(name, value)
         self._trace.solver_forced_vars += 1
         literal_ids = [tokenizer.id_of(c) for c in str(value)] + [separator_id]
@@ -943,10 +955,15 @@ class EnforcementSession:
         name: str,
         feasible: FeasibleSet,
     ) -> int:
-        any_model = getattr(oracle, "any_model", None)
-        if any_model is not None:
-            return int(any_model()[name])
-        # Interval tier has no exact model; fall back to the feasible set.
+        # Canonical choice: the minimum of the remaining feasible set.  An
+        # exact oracle's interval minimum is *attained* by some model, so
+        # it can never have been refuted out of ``feasible`` and fixing it
+        # keeps the record satisfiable.  Unlike a solver model -- whose
+        # value depends on clause-database history, e.g. the lemmas a
+        # pooled solver retains from earlier records -- it is a pure
+        # function of verdicts, so identical on pooled and fresh lanes.
+        # Forced values land in emitted bytes; they must not see solver
+        # search state.
         if not feasible.is_empty():
             return feasible.min_value
         low, _ = self._bounds[name]

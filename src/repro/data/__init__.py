@@ -23,7 +23,13 @@ from .telemetry import (
     fine_field,
     window_variables,
 )
-from .workload import RackWorkload, WorkloadParams, sample_rack_params
+from .workload import (
+    RackWorkload,
+    StreamParams,
+    TelemetryStream,
+    WorkloadParams,
+    sample_rack_params,
+)
 
 __all__ = [
     "TelemetryDataset",
@@ -42,4 +48,6 @@ __all__ = [
     "RackWorkload",
     "WorkloadParams",
     "sample_rack_params",
+    "StreamParams",
+    "TelemetryStream",
 ]

@@ -14,11 +14,18 @@ makes the imputation task non-trivial.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List
 
 
 import numpy as np
 
-__all__ = ["WorkloadParams", "RackWorkload", "sample_rack_params"]
+__all__ = [
+    "WorkloadParams",
+    "RackWorkload",
+    "sample_rack_params",
+    "StreamParams",
+    "TelemetryStream",
+]
 
 
 @dataclass(frozen=True)
@@ -88,3 +95,99 @@ class RackWorkload:
 
         np.clip(ingress, 0, p.bandwidth, out=ingress)
         return ingress
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Parameters of one replayable telemetry stream.
+
+    Event times follow a two-state MMPP: exponential inter-arrivals whose
+    mean switches between a calm and a burst regime, the regime itself
+    flipping with the configured per-event probabilities -- the arrival
+    burstiness the paper's operator-pipeline framing assumes.  Delivery
+    (arrival) times add exponential transport jitter, plus a long extra
+    delay for a seeded fraction of events, which is what produces the
+    out-of-order and late records a stream driver must survive.
+    """
+
+    seed: int = 0
+    bandwidth: int = 60
+    mean_interarrival: float = 1.0  # calm-regime mean gap (event time)
+    burst_interarrival: float = 0.2  # burst-regime mean gap
+    switch_on: float = 0.08  # P(calm -> burst) per event
+    switch_off: float = 0.35  # P(burst -> calm) per event
+    jitter: float = 0.25  # mean transport delay (exponential)
+    late_fraction: float = 0.05  # fraction held back far past the watermark
+    late_delay: float = 6.0  # extra delivery delay of a late event
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival <= 0 or self.burst_interarrival <= 0:
+            raise ValueError("inter-arrival means must be > 0")
+        if not 0 <= self.late_fraction <= 1:
+            raise ValueError("late_fraction must be in [0, 1]")
+        if self.jitter < 0 or self.late_delay < 0:
+            raise ValueError("jitter and late_delay must be >= 0")
+
+
+class TelemetryStream:
+    """Seed-deterministic coarse event stream for one telemetry source.
+
+    The *content* (coarse counters per seq) comes from one
+    :class:`RackWorkload` fine series coarsened through the standard queue
+    model, so streamed windows are distributed like dataset windows.  The
+    *delivery schedule* -- MMPP event times, jitter, a late tail -- is
+    drawn from an independent generator, so the same seed always produces
+    the same events in the same (shuffled) delivery order: replaying a
+    stream is just re-running this generator.
+    """
+
+    def __init__(self, params: StreamParams, config=None):
+        from .telemetry import TelemetryConfig, coarsen
+
+        self.params = params
+        self.config = config or TelemetryConfig(bandwidth=params.bandwidth)
+        self._coarsen = coarsen
+
+    def events(self, count: int) -> List[Dict[str, object]]:
+        """``count`` events in delivery order, each a wire-format dict.
+
+        Each event carries ``seq`` (content order), ``event_time`` (source
+        timestamp), ``arrival_time`` (delivery timestamp; the sort key),
+        and the ``coarse`` counters.  Floats are rounded to microseconds
+        so the JSONL encoding is byte-stable.
+        """
+        p = self.params
+        seeds = np.random.SeedSequence(p.seed).spawn(2)
+        content_rng = np.random.default_rng(seeds[0])
+        sched_rng = np.random.default_rng(seeds[1])
+
+        rack = RackWorkload(
+            sample_rack_params(content_rng, bandwidth=p.bandwidth, seed=p.seed)
+        )
+        fine = rack.generate(count * self.config.window)
+        windows, _ = self._coarsen(fine, self.config, content_rng)
+
+        events: List[Dict[str, object]] = []
+        clock = 0.0
+        bursting = False
+        for seq in range(count):
+            if bursting:
+                if sched_rng.random() < p.switch_off:
+                    bursting = False
+            elif sched_rng.random() < p.switch_on:
+                bursting = True
+            mean = p.burst_interarrival if bursting else p.mean_interarrival
+            clock += float(sched_rng.exponential(mean))
+            delay = float(sched_rng.exponential(p.jitter))
+            if sched_rng.random() < p.late_fraction:
+                delay += p.late_delay * (1.0 + float(sched_rng.exponential(0.5)))
+            events.append(
+                {
+                    "seq": seq,
+                    "event_time": round(clock, 6),
+                    "arrival_time": round(clock + delay, 6),
+                    "coarse": windows[seq].coarse(),
+                }
+            )
+        events.sort(key=lambda e: (e["arrival_time"], e["seq"]))
+        return events

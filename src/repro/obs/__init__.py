@@ -29,7 +29,7 @@ import threading
 from typing import Dict, Optional
 
 from .clock import Clock, ManualClock, MonotonicClock
-from .kv import emit_kv, format_kv, kv_line, parse_kv
+from .kv import ProgressEmitter, emit_kv, format_kv, kv_line, parse_kv
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -68,6 +68,7 @@ __all__ = [
     "kv_line",
     "emit_kv",
     "parse_kv",
+    "ProgressEmitter",
 ]
 
 

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import re
 import sys
-from typing import IO, Iterable, Mapping, Optional, Tuple, Union
+import time
+from typing import IO, Callable, Iterable, Mapping, Optional, Tuple, Union
 
-__all__ = ["format_kv", "kv_line", "emit_kv", "parse_kv"]
+__all__ = ["format_kv", "kv_line", "emit_kv", "parse_kv", "ProgressEmitter"]
 
 Pairs = Union[Mapping[str, object], Iterable[Tuple[str, object]]]
 
@@ -61,6 +62,61 @@ def kv_line(event: str, pairs: Pairs) -> str:
 def emit_kv(event: str, pairs: Pairs, stream: Optional[IO[str]] = None) -> None:
     """Print one record to ``stream`` (stderr by default, flushed)."""
     print(kv_line(event, pairs), file=stream or sys.stderr, flush=True)
+
+
+class ProgressEmitter:
+    """Periodic ``key=value`` progress records for long-lived drivers.
+
+    A driver that runs unbounded (``repro.cli stream --follow``) never
+    reaches its end-of-run summary line, so operators would see nothing.
+    This emitter rate-limits interim records instead: :meth:`tick` emits
+    one ``event`` record whenever ``every`` more units of work have
+    completed *or* ``interval`` seconds have passed since the last record,
+    whichever comes first.  ``pairs`` is a callable so the snapshot is
+    only computed when a record is actually due.
+    """
+
+    def __init__(
+        self,
+        event: str,
+        pairs: Callable[[], Pairs],
+        every: int = 100,
+        interval: float = 10.0,
+        stream: Optional[IO[str]] = None,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.event = event
+        self.pairs = pairs
+        self.every = every
+        self.interval = interval
+        self.stream = stream
+        self.emitted = 0
+        self._count = 0
+        self._last_count = 0
+        self._last_time = time.monotonic()
+
+    def tick(self, units: int = 1) -> bool:
+        """Count ``units`` of progress; True if a record was emitted."""
+        self._count += units
+        now = time.monotonic()
+        if (
+            self._count - self._last_count < self.every
+            and now - self._last_time < self.interval
+        ):
+            return False
+        self._last_count = self._count
+        self._last_time = now
+        emit_kv(self.event, self.pairs(), stream=self.stream)
+        self.emitted += 1
+        return True
+
+    def finish(self, event: Optional[str] = None) -> None:
+        """The final record, unconditionally (bounded runs get closure)."""
+        emit_kv(event or self.event, self.pairs(), stream=self.stream)
+        self.emitted += 1
 
 
 def parse_kv(line: str) -> Tuple[Optional[str], dict]:

@@ -35,6 +35,7 @@ from .harness import (
 from .http import ServingServer
 from .queue import AdmissionQueue
 from .scheduler import ContinuousBatchingScheduler
+from .streaming import SubmitStreamExecutor, parse_stream_header
 from .supervisor import WorkerHandle, WorkerPool
 from .workers import WorkerConfig, worker_main
 from .types import (
@@ -59,6 +60,8 @@ __all__ = [
     "ServingServer",
     "ServeClient",
     "ServeClientError",
+    "SubmitStreamExecutor",
+    "parse_stream_header",
     "RequestSpec",
     "ServeRequest",
     "ServeResult",

@@ -16,10 +16,11 @@ an in-process scheduler or a remote server::
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
-from typing import Dict, Mapping, Optional
+from typing import Dict, Iterable, Iterator, Mapping, Optional
 
 from ..errors import (
     DeadlineExceeded,
@@ -83,6 +84,78 @@ class ServeClient:
                       priority=priority, timeout_ms=timeout_ms)
         return self._request("POST", "/v1/synthesize", payload)
 
+    def stream(
+        self,
+        events: Iterable[Mapping[str, object]],
+        seed: int = 0,
+        window: int = 2,
+        lateness: float = 0.5,
+        late_policy: str = "drop",
+        rule_set: Optional[str] = None,
+        stream_id: Optional[str] = None,
+        chunked: bool = False,
+    ) -> Iterator[Dict]:
+        """``POST /v1/stream``: yields one parsed emission per record.
+
+        With ``chunked=False`` the whole event list is materialized and
+        sent with a ``Content-Length`` (replay of a recorded stream); with
+        ``chunked=True`` each event goes out as its own transfer chunk,
+        the way a live follower that cannot know its length would send
+        them.  Either way the response is consumed incrementally, so
+        emissions arrive as the server produces them.  The emission bytes
+        are identical under both modes -- that is the subsystem's
+        determinism contract, and the stream tests diff it.
+        """
+        header: Dict[str, object] = {
+            "seed": seed,
+            "window": window,
+            "lateness": lateness,
+            "late_policy": late_policy,
+        }
+        if rule_set is not None:
+            header["rule_set"] = rule_set
+        if stream_id is not None:
+            header["stream_id"] = stream_id
+        lines = [json.dumps(header).encode()] + [
+            json.dumps(dict(event)).encode() for event in events
+        ]
+        host, port = self.base_url[len("http://"):].rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=self.timeout)
+        try:
+            if chunked:
+                conn.putrequest("POST", "/v1/stream")
+                conn.putheader("Content-Type", "application/x-ndjson")
+                conn.putheader("Transfer-Encoding", "chunked")
+                conn.endheaders()
+                for line in lines:
+                    data = line + b"\n"
+                    conn.send(f"{len(data):X}\r\n".encode("ascii"))
+                    conn.send(data)
+                    conn.send(b"\r\n")
+                conn.send(b"0\r\n\r\n")
+            else:
+                conn.request(
+                    "POST",
+                    "/v1/stream",
+                    body=b"\n".join(lines) + b"\n",
+                    headers={"Content-Type": "application/x-ndjson"},
+                )
+            reply = conn.getresponse()
+            if reply.status != 200:
+                detail = _stream_error_detail(reply)
+                error_cls = _STATUS_ERRORS.get(reply.status)
+                if error_cls is not None:
+                    raise error_cls(detail)
+                raise ServeClientError(reply.status, detail)
+            while True:
+                line = reply.readline()  # http.client undoes the chunking
+                if not line:
+                    break
+                if line.strip():
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
     def metrics(self) -> Dict:
         return self._request("GET", "/metrics")
 
@@ -125,3 +198,10 @@ def _error_detail(exc: urllib.error.HTTPError) -> str:
         return json.loads(exc.read()).get("error", exc.reason)
     except Exception:  # noqa: BLE001 -- any malformed body falls back
         return str(exc.reason)
+
+
+def _stream_error_detail(reply: "http.client.HTTPResponse") -> str:
+    try:
+        return json.loads(reply.read()).get("error", reply.reason)
+    except Exception:  # noqa: BLE001 -- any malformed body falls back
+        return str(reply.reason)

@@ -21,7 +21,7 @@ and ``python -m repro.cli bench-serving``).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -227,6 +227,17 @@ def run_serving_bench(
     }
 
 
+def _parse_tenant(spec: str) -> Tuple[str, str]:
+    """``NAME`` or ``NAME:synthesize`` -> ``(pack name, request kind)``."""
+    name, _, kind = spec.partition(":")
+    kind = kind or "impute"
+    if not name or kind not in ("impute", "synthesize"):
+        raise ValueError(
+            f"tenant spec {spec!r} must be NAME or NAME:synthesize"
+        )
+    return name, kind
+
+
 def run_mixed_tenant_bench(
     tenants: Sequence[str] = ("paper-R1-R3", "domain-bounds"),
     offered_load: float = 300.0,
@@ -244,13 +255,20 @@ def run_mixed_tenant_bench(
     offsets and per-request seeds.  ``byte_parity`` per tenant asserts the
     determinism contract end to end: sharing lanes with other tenants must
     not change a single record byte.
+
+    A tenant is ``"name"`` (imputation traffic, the default) or
+    ``"name:synthesize"`` (open-ended generation under that pack), so one
+    schedule can mix the two request kinds the way a real multi-tenant
+    deployment does.  Tenants naming the same pack share its quota and
+    metrics bucket; the report rows stay separate per spec.
     """
     from ..rules import builtin_registry
 
     dataset, model, rules, fallback, prompts = _build_setting(seed)
     registry = builtin_registry(dataset.config)
-    for tenant in tenants:
-        registry.resolve(tenant)  # fail fast on a bad tenant name
+    parsed = [_parse_tenant(tenant) for tenant in tenants]
+    for name, _ in parsed:
+        registry.resolve(name)  # fail fast on a bad tenant name
 
     warm = JitEnforcer(
         model, rules, dataset.config, EnforcerConfig(seed=3),
@@ -287,12 +305,17 @@ def run_mixed_tenant_bench(
                 delay = start + offset - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
+                name, kind = _parse_tenant(assignment[index])
                 spec = RequestSpec(
-                    "impute",
-                    coarse=prompts[index % len(prompts)],
+                    kind,
+                    coarse=(
+                        prompts[index % len(prompts)]
+                        if kind == "impute"
+                        else None
+                    ),
                     seed=1000 + index,
                     timeout_ms=timeout_ms,
-                    rule_set=assignment[index],
+                    rule_set=name,
                 )
                 try:
                     handles[index] = scheduler.submit(spec)
@@ -335,12 +358,17 @@ def run_mixed_tenant_bench(
             for i in indices
             if mixed[i] is not None and mixed[i].status == DONE
         )
+        name, kind = _parse_tenant(tenant)
         row: Dict[str, object] = {
             "tenant": tenant,
+            "pack": name,
+            "kind": kind,
             "requests": len(indices),
             "completed": len(latencies),
             "byte_parity": parity,
-            "metrics": mixed_metrics["tenants"].get(tenant),
+            # Scheduler metrics are keyed by pack name, so tenants sharing
+            # a pack (impute + synthesize) see one combined bucket here.
+            "metrics": mixed_metrics["tenants"].get(name),
         }
         if latencies:
             row.update(
@@ -374,12 +402,13 @@ def format_tenant_report(report: Dict[str, object]) -> str:
         f"striped over {len(report['tenants'])} tenants, "
         f"{report['lanes']} lanes",
         "",
-        f"{'tenant':>16s} {'reqs':>5s} {'done':>5s} {'p50 ms':>8s} "
-        f"{'p99 ms':>8s} {'parity':>7s}",
+        f"{'tenant':>16s} {'kind':>11s} {'reqs':>5s} {'done':>5s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'parity':>7s}",
     ]
     for row in report["per_tenant"]:
         lines.append(
-            f"{row['tenant']:>16s} {row['requests']:>5d} "
+            f"{row.get('pack', row['tenant']):>16s} "
+            f"{row.get('kind', 'impute'):>11s} {row['requests']:>5d} "
             f"{row['completed']:>5d} "
             f"{row.get('p50_ms', float('nan')):>8.1f} "
             f"{row.get('p99_ms', float('nan')):>8.1f} "

@@ -7,6 +7,12 @@ Endpoints (JSON in, JSON out; stdout/err untouched):
   "timeout_ms"?: number, "rule_set"?: str}``
 * ``POST /v1/synthesize``  ``{"count"?: int, "context"?, "seed"?,
   "priority"?, "timeout_ms"?, "rule_set"?}``
+* ``POST /v1/stream``      newline-delimited JSON: one header line
+  (``{"seed"?, "window"?, "lateness"?, "late_policy"?, "rule_set"?,
+  "stream_id"?}``) followed by event lines (``{"seq", "event_time",
+  "coarse"}``); the response is a chunked-transfer ndjson stream of
+  enforced emissions, one chunk per record, ordered by seq behind the
+  event-time watermark
 * ``GET /healthz``         liveness + lane/queue occupancy
 * ``GET /metrics``         the scheduler's full metrics snapshot (JSON by
   default; Prometheus text 0.0.4 when the ``Accept`` header asks for
@@ -43,8 +49,11 @@ from ..errors import (
     WorkerCrashed,
     WorkerPoolUnavailable,
 )
+from ..data.telemetry import TelemetryConfig
 from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..stream.session import StreamSession, as_event
 from .scheduler import ContinuousBatchingScheduler
+from .streaming import SubmitStreamExecutor, parse_stream_header
 from .types import RequestSpec
 
 __all__ = ["ServingServer", "MAX_BODY_BYTES"]
@@ -155,6 +164,9 @@ class _Handler(BaseHTTPRequestHandler):
         return "text/plain" in accept or "openmetrics" in accept
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/v1/stream":
+            self._handle_stream()
+            return
         routes = {"/v1/impute": "impute", "/v1/synthesize": "synthesize"}
         kind = routes.get(self.path)
         if kind is None:
@@ -199,6 +211,154 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(500, {"error": str(exc)})
         else:
             self._send(200, result.to_json())
+
+    # -- streaming -------------------------------------------------------------
+
+    def _handle_stream(self) -> None:
+        """``POST /v1/stream``: ndjson in, chunked ndjson out.
+
+        Everything that can be rejected is rejected *before* the 200
+        status goes out (malformed header -> 400, unknown pack -> 404,
+        retired version -> 409).  After that the response is committed:
+        mid-stream failures surface as an ``{"error": ...}`` line followed
+        by the end-of-stream chunk, mirroring how a downstream consumer of
+        a live pipeline has to handle source failure anyway.
+        """
+        lines = self._iter_stream_lines()
+        try:
+            header_line = next(lines, None)
+            if header_line is None:
+                raise _BadRequest("empty stream body (missing header line)")
+            try:
+                header = json.loads(header_line)
+            except json.JSONDecodeError as exc:
+                raise _BadRequest(f"invalid header JSON: {exc}")
+            try:
+                config, rule_set, stream_id = parse_stream_header(header)
+            except ValueError as exc:
+                raise _BadRequest(str(exc))
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        scheduler = self.server.scheduler
+        if rule_set is not None:
+            # Probe pack resolution now, while a clean status is possible;
+            # per-record submission re-resolves under the same reference.
+            registry = getattr(scheduler, "rule_registry", None)
+            try:
+                if registry is None:
+                    raise UnknownRuleSet(
+                        f"stream named rule pack {rule_set!r} but this "
+                        "server has no rule-set registry configured"
+                    )
+                registry.resolve(rule_set)
+            except UnknownRuleSet as exc:
+                self._send(404, {"error": str(exc)})
+                return
+            except RetiredRuleSet as exc:
+                self._send(409, {"error": str(exc)})
+                return
+        session = StreamSession(
+            config,
+            SubmitStreamExecutor(
+                scheduler,
+                seed=config.seed,
+                rule_set=rule_set,
+                sticky_key=stream_id,
+                wait_timeout=self.server.request_timeout,
+            ),
+            telemetry_config=self.server.telemetry_config,
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in lines:
+                try:
+                    event = as_event(json.loads(line))
+                except (json.JSONDecodeError, ValueError) as exc:
+                    self._write_chunk_line(
+                        json.dumps({"error": f"bad event: {exc}"})
+                    )
+                    continue
+                for emission in session.ingest(event):
+                    self._write_chunk_line(emission.encode())
+            for emission in session.close():
+                self._write_chunk_line(emission.encode())
+        except BrokenPipeError:  # client went away mid-stream
+            return
+        except Exception as exc:  # noqa: BLE001 -- headers already sent
+            logger.exception("stream %s died: %s", stream_id, exc)
+            try:
+                self._write_chunk_line(json.dumps({"error": str(exc)}))
+            except OSError:
+                return
+        try:
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except OSError:
+            pass
+
+    def _write_chunk_line(self, text: str) -> None:
+        """One ndjson line as one HTTP chunk, flushed immediately."""
+        data = text.encode("utf-8") + b"\n"
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _iter_stream_lines(self):
+        """The request body as non-empty lines, incrementally.
+
+        Handles both a plain ``Content-Length`` body and client-side
+        ``Transfer-Encoding: chunked`` (a follow-mode client cannot know
+        its length up front).  Lines are capped at 64 KiB -- far above any
+        legitimate event -- so a malformed source cannot balloon memory.
+        """
+        max_line = 1 << 16
+        buffer = b""
+
+        def split(buffer: bytes):
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield line
+            if len(buffer) > max_line:
+                raise ValueError("stream line exceeds 64 KiB")
+            yield buffer  # sentinel: remainder, returned via closure below
+
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            while True:
+                size_line = self.rfile.readline(72)
+                if not size_line:
+                    break
+                try:
+                    size = int(size_line.split(b";")[0].strip() or b"0", 16)
+                except ValueError:
+                    break
+                if size == 0:
+                    self.rfile.readline()  # trailer-less final CRLF
+                    break
+                buffer += self.rfile.read(size)
+                self.rfile.read(2)  # chunk-terminating CRLF
+                *complete, buffer = list(split(buffer))
+                for line in complete:
+                    yield line
+        else:
+            remaining = int(self.headers.get("Content-Length") or 0)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                buffer += chunk
+                *complete, buffer = list(split(buffer))
+                for line in complete:
+                    yield line
+        if buffer.strip():
+            yield buffer
 
     # -- plumbing --------------------------------------------------------------
 
@@ -266,10 +426,17 @@ class ServingServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout: Optional[float] = 300.0,
+        telemetry_config: Optional[TelemetryConfig] = None,
     ):
         super().__init__((host, port), _Handler)
         self.scheduler = scheduler
         self.request_timeout = request_timeout
+        # /v1/stream needs the record schema to filter emissions; the
+        # in-process scheduler carries it on its enforcer, the worker pool
+        # does not (enforcers live in child processes), so it is injectable.
+        self.telemetry_config = telemetry_config or getattr(
+            getattr(scheduler, "enforcer", None), "telemetry_config", None
+        ) or TelemetryConfig()
         self._serve_thread: Optional[threading.Thread] = None
 
     @property

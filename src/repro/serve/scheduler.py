@@ -34,6 +34,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
@@ -468,23 +469,48 @@ class ContinuousBatchingScheduler:
         ):
             return  # wave barrier: no admission until every lane drains
         now = time.monotonic()
-        for slot_index in range(self.lanes):
-            while self._slots[slot_index] is None:
-                unit = self._next_unit(now)
-                if unit is None:
-                    return
-                session = self.enforcer.open_session(
-                    *unit.plan,
-                    lane=self.pool.lanes[slot_index],
-                    rng=record_rng(unit.request.spec.seed, unit.index),
-                    checkpoint=unit.request.checkpoint,
-                    rule_set=unit.request.rule_handle,
-                )
-                pending = session.start()
-                if session.done:
-                    self._harvest(unit, session)
-                else:
-                    self._slots[slot_index] = (unit, session, pending)
+        free = [
+            slot_index
+            for slot_index in range(self.lanes)
+            if self._slots[slot_index] is None
+        ]
+        while free:
+            unit = self._next_unit(now)
+            if unit is None:
+                return
+            slot_index = self._pick_slot(unit, free)
+            session = self.enforcer.open_session(
+                *unit.plan,
+                lane=self.pool.lanes[slot_index],
+                rng=record_rng(unit.request.spec.seed, unit.index),
+                checkpoint=unit.request.checkpoint,
+                rule_set=unit.request.rule_handle,
+            )
+            pending = session.start()
+            if session.done:
+                # Finished inside start() (e.g. degraded without sampling):
+                # the lane is free again for the next queued unit.
+                self._harvest(unit, session)
+                free.append(slot_index)
+            else:
+                self._slots[slot_index] = (unit, session, pending)
+
+    def _pick_slot(self, unit: _Unit, free: List[int]) -> int:
+        """Pop the lane this unit runs on, honoring sticky affinity.
+
+        A ``sticky_key`` hashes to a home lane; if that lane is free the
+        unit takes it, so consecutive records of one stream reuse the same
+        lane's KV-cache row (rewind state stays warm) and oracle pool.
+        Busy home lanes fall back to FIFO placement -- affinity is purely
+        a performance hint and never delays admission.
+        """
+        key = unit.request.spec.sticky_key
+        if key is not None:
+            home = zlib.crc32(key.encode("utf-8")) % self.lanes
+            if home in free:
+                free.remove(home)
+                return home
+        return free.pop(0)
 
     def _next_unit(self, now: float) -> Optional[_Unit]:
         """The next admissible unit, expanding requests as they are popped."""

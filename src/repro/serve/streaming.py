@@ -1,0 +1,126 @@
+"""Stream transport over the serving stack.
+
+Bridges :mod:`repro.stream` (the watermark/window state machine) onto the
+scheduler / worker-pool submit path: a :class:`SubmitStreamExecutor` turns
+each stream record into a single-record :class:`~repro.serve.types.RequestSpec`
+whose ``index_offset`` pins the record's rng stream to its seq and whose
+``sticky_key`` pins the stream to one lane/worker so warm decode state
+survives across records.  Because the scheduler already samples record
+``i`` from ``record_rng(seed, index_offset + i)``, the emitted bytes are
+identical to the serial :class:`~repro.stream.session.EnforcerExecutor`
+driving the same enforcer -- the property the stream-smoke CI job diffs.
+
+Also home to the ``/v1/stream`` wire-header parsing shared by the HTTP
+front end and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..stream.binder import MAX_HISTORY_DEPTH
+from ..stream.session import LATE_POLICIES, StreamConfig
+from .types import RequestSpec
+
+__all__ = ["SubmitStreamExecutor", "parse_stream_header"]
+
+
+def parse_stream_header(
+    payload: Mapping[str, object],
+) -> Tuple[StreamConfig, Optional[str], str]:
+    """Validate a stream's opening header line.
+
+    Returns ``(config, rule_set, stream_id)``.  Raises ``ValueError`` with
+    a client-facing message on any malformed field -- the HTTP front end
+    maps that to a 400 before the chunked response starts.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("stream header must be a JSON object")
+    seed = payload.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValueError('"seed" must be an integer')
+    window = payload.get("window", 2)
+    if isinstance(window, bool) or not isinstance(window, int):
+        raise ValueError('"window" must be an integer')
+    if not 1 <= window <= MAX_HISTORY_DEPTH:
+        raise ValueError(
+            f'"window" must be in [1, {MAX_HISTORY_DEPTH}], got {window}'
+        )
+    lateness = payload.get("lateness", 0.5)
+    if isinstance(lateness, bool) or not isinstance(lateness, (int, float)):
+        raise ValueError('"lateness" must be a number')
+    late_policy = payload.get("late_policy", "drop")
+    if late_policy not in LATE_POLICIES:
+        raise ValueError(
+            f'"late_policy" must be one of {list(LATE_POLICIES)}'
+        )
+    rule_set = payload.get("rule_set")
+    if rule_set is not None and not isinstance(rule_set, str):
+        raise ValueError('"rule_set" must be a string')
+    stream_id = payload.get("stream_id", f"stream-{seed}")
+    if not isinstance(stream_id, str) or not stream_id:
+        raise ValueError('"stream_id" must be a non-empty string')
+    try:
+        config = StreamConfig(
+            window=window,
+            lateness=float(lateness),
+            late_policy=str(late_policy),
+            seed=seed,
+        )
+    except ValueError as exc:
+        raise ValueError(str(exc))
+    return config, rule_set, stream_id
+
+
+class SubmitStreamExecutor:
+    """Per-record execution through a scheduler or worker pool.
+
+    Any object with ``submit(RequestSpec) -> handle`` works (the in-process
+    :class:`~repro.serve.scheduler.ContinuousBatchingScheduler` or the
+    multi-process :class:`~repro.serve.supervisor.WorkerPool`).  Each call
+    submits one single-record impute whose ``index_offset`` is the stream
+    seq, waits for it, and unwraps the record + provenance.
+
+    Unlike the serial executor there is no ``roll_window`` hook: the
+    serving stack's oracle cache is shared across tenants, FIFO-bounded at
+    construction, and mutated only on the scheduler thread -- a stream
+    must not reach into it from the front-end thread.  Memory stays
+    bounded by the cache's own capacity; eviction is a memo concern and
+    never affects bytes.
+    """
+
+    def __init__(
+        self,
+        target,
+        seed: int,
+        rule_set: Optional[str] = None,
+        sticky_key: Optional[str] = None,
+        timeout_ms: Optional[float] = None,
+        wait_timeout: float = 120.0,
+    ):
+        self.target = target
+        self.seed = seed
+        self.rule_set = rule_set
+        self.sticky_key = sticky_key
+        self.timeout_ms = timeout_ms
+        self.wait_timeout = wait_timeout
+
+    def __call__(
+        self,
+        seq: int,
+        coarse: Mapping[str, int],
+        context: Dict[str, int],
+    ) -> Tuple[Mapping[str, int], Mapping[str, object]]:
+        spec = RequestSpec(
+            "impute",
+            coarse=dict(coarse),
+            context=dict(context) if context else None,
+            count=1,
+            seed=self.seed,
+            timeout_ms=self.timeout_ms,
+            index_offset=seq,
+            rule_set=self.rule_set,
+            sticky_key=self.sticky_key,
+        )
+        result = self.target.submit(spec).result(self.wait_timeout)
+        return result.records[0], result.outcomes[0]

@@ -50,6 +50,7 @@ import os
 import signal
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -671,7 +672,14 @@ class WorkerPool:
                 self._ready_units.append(_PoolUnit(request, index))
 
     def _dispatch(self, now: float) -> None:
-        """Place ready units on the least-loaded healthy workers."""
+        """Place ready units on the least-loaded healthy workers.
+
+        Units carrying a ``sticky_key`` prefer their hash-chosen home
+        worker while it is healthy and has capacity, so one stream's
+        records land on one process (warm KV row, warm oracle memos).
+        Affinity is best-effort: a busy or dead home worker falls back to
+        least-loaded placement rather than stalling the queue.
+        """
         while self._ready_units:
             ready_workers = sorted(
                 (h for h in self._handles if h.state == READY),
@@ -687,6 +695,16 @@ class WorkerPool:
             )
             if target is None:
                 return
+            sticky = self._ready_units[0].request.spec.sticky_key
+            if sticky is not None and self._handles:
+                home = self._handles[
+                    zlib.crc32(sticky.encode("utf-8")) % len(self._handles)
+                ]
+                if (
+                    home.state == READY
+                    and len(home.inflight) < self.max_inflight_per_worker
+                ):
+                    target = home
             unit = self._ready_units.popleft()
             request = unit.request
             if request.done:
@@ -734,6 +752,9 @@ class WorkerPool:
             "rule_set": (
                 rule_handle.hash_ref if rule_handle is not None else None
             ),
+            # Affinity flows through to the worker's in-process scheduler
+            # so the stream also pins a *lane* inside its home worker.
+            "sticky_key": spec.sticky_key,
         }
         try:
             handle.conn.send(("job", unit_id, job))

@@ -83,6 +83,12 @@ class RequestSpec:
     # partitions but never the rng stream: bytes depend only on
     # (seed, index, rule-set content).
     rule_set: Optional[str] = None
+    # Placement affinity key (stream id).  Requests sharing a sticky key
+    # prefer the same lane / worker so per-stream warm state (KV-cache
+    # rewind rows, oracle memos) survives across records.  Best-effort and
+    # performance-only: bytes are placement-independent, so a busy or dead
+    # preferred target simply falls back to least-loaded dispatch.
+    sticky_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("impute", "synthesize"):
@@ -97,6 +103,8 @@ class RequestSpec:
             raise ValueError("index_offset must be >= 0")
         if self.rule_set is not None and not isinstance(self.rule_set, str):
             raise ValueError("rule_set must be a string reference")
+        if self.sticky_key is not None and not isinstance(self.sticky_key, str):
+            raise ValueError("sticky_key must be a string")
 
 
 @dataclass

@@ -1,0 +1,48 @@
+"""Streaming enforcement: unbounded telemetry sessions with windows.
+
+Public surface of the subsystem built for long-lived per-source
+enforcement loops -- see :mod:`repro.stream.session` for the watermark /
+late-data state machine and :mod:`repro.stream.binder` for cross-record
+rule mining and carryover binding.
+"""
+
+from .binder import (
+    MAX_HISTORY_DEPTH,
+    WindowBinder,
+    combine_rule_sets,
+    history_name,
+    history_prefixes,
+    joined_window_assignments,
+    mine_stream_rules,
+    stream_bounds,
+)
+from .harness import format_stream_report, run_stream_bench
+from .session import (
+    LATE_POLICIES,
+    Emission,
+    EnforcerExecutor,
+    StreamConfig,
+    StreamEvent,
+    StreamSession,
+    as_event,
+)
+
+__all__ = [
+    "MAX_HISTORY_DEPTH",
+    "WindowBinder",
+    "combine_rule_sets",
+    "history_name",
+    "history_prefixes",
+    "joined_window_assignments",
+    "mine_stream_rules",
+    "stream_bounds",
+    "format_stream_report",
+    "run_stream_bench",
+    "LATE_POLICIES",
+    "Emission",
+    "EnforcerExecutor",
+    "StreamConfig",
+    "StreamEvent",
+    "StreamSession",
+    "as_event",
+]

@@ -10,6 +10,7 @@ from .faults import (
     FaultStats,
     FaultyLM,
     FaultyOracle,
+    FlakyStreamSource,
     StallingOracle,
     kill_worker,
     resume_worker,
@@ -24,6 +25,7 @@ __all__ = [
     "FaultyOracle",
     "CrashingLM",
     "StallingOracle",
+    "FlakyStreamSource",
     "kill_worker",
     "stall_worker",
     "resume_worker",

@@ -59,6 +59,7 @@ __all__ = [
     "FaultyOracle",
     "CrashingLM",
     "StallingOracle",
+    "FlakyStreamSource",
     "kill_worker",
     "stall_worker",
     "resume_worker",
@@ -260,6 +261,82 @@ class StallingOracle(FeasibilityOracle):
 
     def fix(self, variable: str, value: int) -> None:
         self._oracle.fix(variable, value)
+
+
+class FlakyStreamSource:
+    """A misbehaving telemetry transport for stream chaos tests.
+
+    Wraps any iterable of wire-format stream events and re-delivers it the
+    way a lossy collector pipeline would: a seeded fraction of events is
+    *duplicated* (at-least-once delivery), a fraction is *held back* and
+    re-injected a few positions later (reordering), and a fraction is held
+    far past the stream's watermark (late data).  The whole mangling is
+    driven by one ``numpy`` generator seeded at construction, so two
+    sources with the same seed and input emit byte-identical delivery
+    sequences -- which is what lets chaos tests assert replay parity
+    *through* the flakiness.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Dict],
+        seed: int = 0,
+        duplicate_rate: float = 0.05,
+        reorder_rate: float = 0.1,
+        late_rate: float = 0.05,
+        reorder_span: int = 3,
+        late_span: int = 12,
+    ):
+        for name, rate in (
+            ("duplicate_rate", duplicate_rate),
+            ("reorder_rate", reorder_rate),
+            ("late_rate", late_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self._events = list(events)
+        self.seed = seed
+        self.duplicate_rate = duplicate_rate
+        self.reorder_rate = reorder_rate
+        self.late_rate = late_rate
+        self.reorder_span = max(1, int(reorder_span))
+        self.late_span = max(1, int(late_span))
+        self.duplicated = 0
+        self.reordered = 0
+        self.delayed_late = 0
+
+    def __iter__(self):
+        rng = np.random.default_rng(self.seed)
+        self.duplicated = 0
+        self.reordered = 0
+        self.delayed_late = 0
+        # position -> events scheduled for re-injection there
+        held: Dict[int, list] = {}
+        position = 0
+        for event in self._events:
+            for ready in held.pop(position, ()):
+                yield ready
+            position += 1
+            roll = float(rng.random())
+            if roll < self.late_rate:
+                # Held far back: arrives long after the watermark passed.
+                offset = self.late_span + int(rng.integers(0, self.late_span))
+                held.setdefault(position + offset, []).append(event)
+                self.delayed_late += 1
+                continue
+            if roll < self.late_rate + self.reorder_rate:
+                offset = 1 + int(rng.integers(0, self.reorder_span))
+                held.setdefault(position + offset, []).append(event)
+                self.reordered += 1
+                continue
+            yield event
+            if float(rng.random()) < self.duplicate_rate:
+                self.duplicated += 1
+                yield event
+        # Source drained: flush everything still held, in schedule order.
+        for slot in sorted(held):
+            for ready in held[slot]:
+                yield ready
 
 
 # -- process-level faults (worker-pool chaos) --------------------------------

@@ -175,3 +175,37 @@ class TestEdgeCases:
         )
         values = enforcer.impute(dataset.test_windows()[0].coarse())
         assert all(fine_field(t) in values for t in range(dataset.config.window))
+
+
+class TestForcedValueDeterminism:
+    """Forced values must be a pure function of verdicts, not solver state.
+
+    The streaming byte contract (serial CLI lanes vs pooled serving lanes)
+    broke when the forced fallback took ``oracle.any_model()`` values: a
+    pooled solver's retained lemmas steer which model the SAT core finds,
+    so the same record forced different bytes depending on lane placement.
+    ``_forced_value`` now pins the canonical feasible minimum and never
+    consults the oracle at all -- passing ``oracle=None`` proves it.
+    """
+
+    def test_forced_value_is_the_feasible_minimum(self):
+        from repro.core import EnforcementSession, FeasibleSet
+
+        class _Stub:
+            _bounds = {"I0": (0, 255)}
+
+        value = EnforcementSession._forced_value(
+            _Stub(), None, "I0", FeasibleSet.from_interval(29, 40)
+        )
+        assert value == 29
+
+    def test_empty_feasible_set_forces_the_domain_floor(self):
+        from repro.core import EnforcementSession, FeasibleSet
+
+        class _Stub:
+            _bounds = {"I0": (3, 255)}
+
+        value = EnforcementSession._forced_value(
+            _Stub(), None, "I0", FeasibleSet.empty()
+        )
+        assert value == 3

@@ -60,3 +60,52 @@ class TestMetaDistribution:
         rng = np.random.default_rng(0)
         rates = {sample_rack_params(rng).burst_rate for _ in range(10)}
         assert len(rates) == 10
+
+
+class TestTelemetryStream:
+    def _events(self, count=60, **overrides):
+        from repro.data import StreamParams, TelemetryStream
+
+        params = StreamParams(seed=9, **overrides)
+        return TelemetryStream(params).events(count)
+
+    def test_events_are_well_formed_and_seq_complete(self):
+        events = self._events(40)
+        assert sorted(e["seq"] for e in events) == list(range(40))
+        for event in events:
+            assert set(event) == {"seq", "event_time", "arrival_time", "coarse"}
+            assert set(event["coarse"]) == {"total", "cong", "retx", "egr"}
+            assert event["arrival_time"] >= 0.0
+
+    def test_sorted_by_arrival_not_event_time(self):
+        events = self._events(80, late_fraction=0.2)
+        arrivals = [e["arrival_time"] for e in events]
+        assert arrivals == sorted(arrivals)
+        seqs = [e["seq"] for e in events]
+        assert seqs != sorted(seqs)  # out-of-order delivery exists
+
+    def test_late_tail_exists(self):
+        events = self._events(80, late_fraction=0.2, late_delay=6.0)
+        delays = [e["arrival_time"] - e["event_time"] for e in events]
+        assert max(delays) > 6.0  # at least one genuinely late event
+        assert min(delays) >= 0.0  # nothing arrives before it happens
+
+    def test_deterministic_per_seed(self):
+        assert self._events(50) == self._events(50)
+
+    def test_different_seeds_differ(self):
+        from repro.data import StreamParams, TelemetryStream
+
+        a = TelemetryStream(StreamParams(seed=1)).events(30)
+        b = TelemetryStream(StreamParams(seed=2)).events(30)
+        assert a != b
+
+    def test_params_validated(self):
+        from repro.data import StreamParams
+
+        with pytest.raises(ValueError):
+            StreamParams(mean_interarrival=0.0)
+        with pytest.raises(ValueError):
+            StreamParams(late_fraction=1.5)
+        with pytest.raises(ValueError):
+            StreamParams(jitter=-0.1)

@@ -22,8 +22,16 @@ from repro.core import EnforcementEngine, EnforcerConfig, JitEnforcer
 from repro.data import build_dataset
 from repro.errors import InfeasibleRecord
 from repro.lm import KVCache, NgramLM, TransformerConfig, TransformerLM
-from repro.rules import domain_bound_rules, paper_rules
+from repro.rules import RuleSet, domain_bound_rules, paper_rules
 from repro.serve import ContinuousBatchingScheduler, RequestSpec
+from repro.stream import (
+    EnforcerExecutor,
+    StreamConfig,
+    StreamSession,
+    combine_rule_sets,
+    mine_stream_rules,
+    stream_bounds,
+)
 
 
 @pytest.fixture(scope="module")
@@ -297,3 +305,111 @@ class TestEndToEndParity:
         for index, result in enumerate(results):
             if index != 1:
                 assert result.values == reference[index]
+
+
+class _ColdPerRecord:
+    """Cold re-encode transport: a fresh executor (fresh KV row, fresh
+    lane) for every record -- the reference the warm streaming executor's
+    rewound rows must match bitwise."""
+
+    def __init__(self, make_executor):
+        self.make_executor = make_executor
+        self.row_lengths = []
+
+    def __call__(self, seq, coarse, context):
+        executor = self.make_executor()
+        values, meta = executor(seq, coarse, context)
+        self.row_lengths.append(int(executor.kv_stats()["row_length"]))
+        return values, meta
+
+
+class TestStreamKvRewind:
+    """The streaming executor's bounded-memory contract (repro.stream):
+    the private KV row is trimmed by longest-common-prefix on every
+    record, so after any number of window rolls its state is bitwise what
+    a cold re-encode of the current record would produce, and row memory
+    never accumulates with stream length."""
+
+    @pytest.fixture(scope="class")
+    def stream_setting(self, setting):
+        dataset, rules = setting
+        temporal = mine_stream_rules(
+            [rack.windows for rack in dataset.train_racks], dataset.config
+        )
+        # A slice keeps the per-record solver work test-sized while still
+        # binding carryover context through real temporal rules.
+        small = RuleSet(name="kv-temporal")
+        for rule in list(temporal)[:16]:
+            small.add(rule)
+        combined = combine_rule_sets(rules, small)
+        events = [
+            {"seq": i, "event_time": float(i), "coarse": window.coarse()}
+            for i, window in enumerate(dataset.test_windows()[:8])
+        ]
+        model = TransformerLM(TransformerConfig(seed=11))
+        return dataset, combined, events, model
+
+    def _make_executor(self, dataset, rules, model):
+        enforcer = JitEnforcer(
+            model, rules, dataset.config,
+            EnforcerConfig(
+                seed=13, decode_mode="incremental",
+                oracle_cache_entries=4096,
+            ),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+            bounds=stream_bounds(dataset.config),
+        )
+        return EnforcerExecutor(enforcer, seed=21)
+
+    def _session(self, executor, dataset):
+        return StreamSession(
+            StreamConfig(window=2, seed=21), executor,
+            telemetry_config=dataset.config,
+        )
+
+    def test_warm_rows_bitwise_match_cold_reencode(self, stream_setting):
+        dataset, rules, events, model = stream_setting
+        warm_exec = self._make_executor(dataset, rules, model)
+        warm_session = self._session(warm_exec, dataset)
+        warm_lines, warm_rows = [], []
+        for event in events:
+            for emission in warm_session.ingest(event):
+                warm_lines.append(emission.encode())
+                warm_rows.append(int(warm_exec.kv_stats()["row_length"]))
+        assert len(warm_lines) == len(events)
+
+        cold = _ColdPerRecord(
+            lambda: self._make_executor(dataset, rules, model)
+        )
+        cold_session = self._session(cold, dataset)
+        cold_lines = [
+            emission.encode()
+            for event in events
+            for emission in cold_session.ingest(event)
+        ]
+        # Bitwise: N window rolls of LCP rewind == cold re-encode.
+        assert warm_lines == cold_lines
+        # The warm row after record i is exactly the cold row for record
+        # i: rewind leaves no residue, so memory is one record's horizon
+        # no matter how long the stream has been running.
+        assert warm_rows == cold.row_lengths
+        stats = warm_exec.kv_stats()
+        assert stats["fallbacks"] == 0  # the row never overflowed
+        assert stats["tokens_reused"] > 0  # incremental decode was live
+
+    def test_window_roll_evicts_oracle_partitions(self, stream_setting):
+        dataset, rules, events, model = stream_setting
+        executor = self._make_executor(dataset, rules, model)
+        session = self._session(executor, dataset)
+        cache = executor.enforcer.oracle_cache
+        assert cache is not None
+        peak_resident = 0
+        for event in events:
+            session.ingest(event)
+            peak_resident = max(peak_resident, len(cache))
+        # window=2 -> a roll every 2 on-time records, each evicting this
+        # enforcer's memo partitions: entries were dropped, and residency
+        # stayed at the per-window working set rather than accumulating.
+        assert executor.cache_evictions > 0
+        assert len(cache) <= peak_resident
+        assert session.stats()["emitted"] == len(events)

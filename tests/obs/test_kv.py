@@ -65,3 +65,71 @@ class TestEmit:
         stream = io.StringIO()
         emit_kv("throughput", [("records_per_sec", "12.5")], stream=stream)
         assert stream.getvalue() == "throughput records_per_sec=12.5\n"
+
+
+class TestProgressEmitter:
+    def test_emits_every_n_units(self):
+        from repro.obs import ProgressEmitter
+
+        stream = io.StringIO()
+        emitter = ProgressEmitter(
+            "stream_progress", lambda: [("done", 1)],
+            every=10, interval=3600.0, stream=stream,
+        )
+        fired = [emitter.tick() for _ in range(25)]
+        assert fired.count(True) == 2  # at 10 and 20 units
+        assert emitter.emitted == 2
+        lines = stream.getvalue().strip().splitlines()
+        assert all(line == "stream_progress done=1" for line in lines)
+
+    def test_interval_fallback_fires_without_units(self):
+        from repro.obs import ProgressEmitter
+
+        stream = io.StringIO()
+        emitter = ProgressEmitter(
+            "hb", lambda: {"alive": 1},
+            every=10**9, interval=0.01, stream=stream,
+        )
+        assert emitter.tick() is False  # clock just started
+        import time
+
+        time.sleep(0.02)
+        assert emitter.tick() is True
+
+    def test_pairs_only_computed_when_due(self):
+        from repro.obs import ProgressEmitter
+
+        calls = []
+
+        def pairs():
+            calls.append(1)
+            return []
+
+        emitter = ProgressEmitter(
+            "p", pairs, every=5, interval=3600.0, stream=io.StringIO()
+        )
+        for _ in range(4):
+            emitter.tick()
+        assert calls == []  # not due yet: snapshot never built
+        emitter.tick()
+        assert calls == [1]
+
+    def test_finish_is_unconditional_and_can_rename(self):
+        from repro.obs import ProgressEmitter
+
+        stream = io.StringIO()
+        emitter = ProgressEmitter(
+            "stream_progress", lambda: [("done", 7)],
+            every=10**9, interval=3600.0, stream=stream,
+        )
+        emitter.tick()
+        emitter.finish("stream_summary")
+        assert stream.getvalue() == "stream_summary done=7\n"
+
+    def test_validation(self):
+        from repro.obs import ProgressEmitter
+
+        with pytest.raises(ValueError):
+            ProgressEmitter("p", lambda: [], every=0)
+        with pytest.raises(ValueError):
+            ProgressEmitter("p", lambda: [], interval=0)

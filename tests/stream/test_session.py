@@ -1,0 +1,280 @@
+"""StreamSession semantics: watermarks, ordering, late policies, memory.
+
+These tests drive the session with a deterministic fake executor so they
+exercise the stream state machine in isolation; end-to-end enforcement
+rides in test_stream_chaos.py (serial) and tests/serve/test_stream_http.py
+(HTTP / worker pool).
+"""
+
+import json
+
+import pytest
+
+from repro.data import COARSE_FIELDS, TelemetryConfig, window_variables
+from repro.obs import OBS
+from repro.stream import (
+    LATE_POLICIES,
+    Emission,
+    StreamConfig,
+    StreamSession,
+    as_event,
+    history_name,
+)
+
+
+class FakeExecutor:
+    """Deterministic record generator that logs every call's context."""
+
+    def __init__(self, config: TelemetryConfig):
+        self.names = window_variables(config.window)
+        self.calls = []
+        self.rolls = 0
+
+    def __call__(self, seq, coarse, context):
+        self.calls.append((seq, dict(coarse), dict(context)))
+        record = {name: 0 for name in self.names}
+        record.update({name: coarse[name] for name in COARSE_FIELDS})
+        record["I0"] = seq  # make each record's bytes seq-distinct
+        return record, {"stage": "smt-confirm", "compliant": True}
+
+    def roll_window(self):
+        self.rolls += 1
+
+
+def _event(seq, event_time=None, total=40):
+    return {
+        "seq": seq,
+        "event_time": float(seq if event_time is None else event_time),
+        "coarse": {"total": total, "cong": 0, "retx": 0, "egr": total},
+    }
+
+
+def _session(**overrides):
+    config = TelemetryConfig()
+    defaults = dict(window=2, lateness=0.5, late_policy="drop", seed=0)
+    defaults.update(overrides)
+    executor = FakeExecutor(config)
+    session = StreamSession(StreamConfig(**defaults), executor, config)
+    return session, executor
+
+
+class TestOrderedEmission:
+    def test_in_order_stream_emits_immediately(self):
+        session, executor = _session()
+        emissions = []
+        for seq in range(5):
+            out = session.ingest(_event(seq))
+            assert len(out) == 1
+            emissions.extend(out)
+        assert [e.seq for e in emissions] == list(range(5))
+        assert all(e.kind == "record" for e in emissions)
+        stats = session.stats()
+        assert stats["emitted"] == 5 and stats["gaps"] == 0
+
+    def test_out_of_order_within_lateness_is_reordered(self):
+        session, _ = _session(lateness=10.0)
+        assert session.ingest(_event(0)) != []
+        assert session.ingest(_event(2)) == []  # waits for seq 1
+        out = session.ingest(_event(1))
+        assert [e.seq for e in out] == [1, 2]
+        assert session.stats()["gaps"] == 0
+
+    def test_watermark_never_regresses(self):
+        session, _ = _session(lateness=1.0)
+        session.ingest(_event(0, event_time=5.0))
+        high = session.watermark
+        session.ingest(_event(1, event_time=2.0))  # older event time
+        assert session.watermark == high == 4.0
+
+    def test_emissions_are_canonical_json(self):
+        session, _ = _session()
+        [emission] = session.ingest(_event(0))
+        line = emission.encode()
+        decoded = json.loads(line)
+        assert list(decoded) == sorted(decoded)
+        assert decoded["seq"] == 0 and decoded["kind"] == "record"
+        # Canonical form is byte-stable: re-encoding is identical.
+        assert Emission(**{**emission.__dict__}).encode() == line
+
+
+class TestWatermarkGaps:
+    def test_gap_declared_when_watermark_passes_successor(self):
+        session, _ = _session(lateness=0.5)
+        session.ingest(_event(0, event_time=0.0))
+        # seq 2 arrives; seq 1 missing.  Once the watermark reaches seq
+        # 2's event time the gap is declared and 2 emits.
+        assert session.ingest(_event(2, event_time=1.0)) == []
+        out = session.ingest(_event(3, event_time=9.0))
+        assert [e.seq for e in out] == [2, 3]
+        stats = session.stats()
+        assert stats["gaps"] == 1 and stats["next_seq"] == 4
+
+    def test_pending_overflow_forces_the_gap(self):
+        session, _ = _session(max_pending=3, lateness=1e9)
+        session.ingest(_event(0))
+        for seq in (2, 3, 4, 5):  # buffer overflows waiting on seq 1
+            session.ingest(_event(seq))
+        stats = session.stats()
+        assert stats["gaps"] == 1
+        assert stats["next_seq"] == 6
+        assert stats["pending"] == 0
+
+    def test_close_drains_everything_buffered(self):
+        session, _ = _session(lateness=1e9)
+        session.ingest(_event(0))
+        session.ingest(_event(2))
+        session.ingest(_event(4))
+        out = session.close()
+        assert [e.seq for e in out] == [2, 4]
+        assert session.stats()["gaps"] == 2
+
+    def test_duplicates_are_counted_not_reemitted(self):
+        session, _ = _session()
+        session.ingest(_event(0))
+        session.ingest(_event(1))
+        assert session.ingest(_event(1)) == []  # already emitted
+        stats = session.stats()
+        assert stats["duplicates"] == 1 and stats["emitted"] == 2
+
+
+class TestLatePolicies:
+    def _gap_then_late(self, policy):
+        session, executor = _session(late_policy=policy, lateness=0.5)
+        session.ingest(_event(0, event_time=0.0))
+        session.ingest(_event(2, event_time=1.0))
+        session.ingest(_event(3, event_time=9.0))  # declares gap at 1
+        assert session.stats()["gaps"] == 1
+        late = session.ingest(_event(1, event_time=0.5))
+        return session, executor, late
+
+    def test_drop_counts_and_emits_nothing(self):
+        session, _, late = self._gap_then_late("drop")
+        assert late == []
+        assert session.stats()["late_dropped"] == 1
+
+    def test_patch_emits_a_late_correction(self):
+        session, _, late = self._gap_then_late("patch")
+        assert [e.kind for e in late] == ["late"]
+        assert late[0].seq == 1
+        assert session.stats()["late_patched"] == 1
+
+    def test_reemit_regenerates_the_successors(self):
+        session, _, late = self._gap_then_late("reemit")
+        # seq 1 patched, then seq 2 (whose window included the gap)
+        # re-emitted with the completed context.
+        assert [(e.seq, e.kind) for e in late] == [
+            (1, "late"), (2, "reemit"),
+        ]
+        stats = session.stats()
+        assert stats["late_patched"] == 1 and stats["reemitted"] == 1
+
+    def test_second_arrival_of_a_patched_gap_is_duplicate(self):
+        session, _, _ = self._gap_then_late("patch")
+        assert session.ingest(_event(1, event_time=0.5)) == []
+        assert session.stats()["duplicates"] == 1
+
+    def test_late_beyond_horizon_is_not_patchable(self):
+        session, _ = _session(late_policy="patch", late_horizon=4)
+        session.ingest(_event(0, event_time=0.0))
+        session.ingest(_event(30, event_time=100.0))
+        session.ingest(_event(31, event_time=200.0))
+        assert session.stats()["gaps"] == 29
+        assert session.ingest(_event(2, event_time=0.5)) == []
+        assert session.stats()["late_beyond_horizon"] == 1
+
+
+class TestCarryover:
+    def test_context_carries_the_previous_records(self):
+        session, executor = _session(window=3)
+        for seq in range(3):
+            session.ingest(_event(seq))
+        _, _, context = executor.calls[2]
+        assert context[history_name("I0", 1)] == 1
+        assert context[history_name("I0", 2)] == 0
+        assert session.stats()["carryover_hits"] == 2
+
+    def test_gap_leaves_the_offset_unbound(self):
+        session, executor = _session(window=3, lateness=0.5)
+        session.ingest(_event(0, event_time=0.0))
+        session.ingest(_event(2, event_time=1.0))
+        session.ingest(_event(3, event_time=9.0))  # gap at 1
+        _, _, context = executor.calls[-2]  # the call for seq 2
+        assert history_name("I0", 1) not in context  # seq 1 never emitted
+        assert context[history_name("I0", 2)] == 0  # seq 0 still bound
+
+    def test_roll_window_fires_every_window_records(self):
+        session, executor = _session(window=2)
+        for seq in range(6):
+            session.ingest(_event(seq))
+        assert executor.rolls == 3
+
+
+class TestBoundedMemory:
+    def test_archive_and_gap_set_stay_bounded(self):
+        session, _ = _session(window=2, late_horizon=8)
+        for seq in range(0, 200, 2):  # every odd seq becomes a gap
+            session.ingest(_event(seq, event_time=float(seq)))
+        stats = session.stats()
+        assert stats["archive"] <= 8 + 2
+        # Pruned per emission, so the high-water mark honors the bound
+        # even when a single ingest drains a burst of buffered records.
+        assert stats["max_archive_seen"] <= 8 + 2
+        assert len(session._skipped) <= 8 + 2
+        assert stats["pending"] <= 1
+
+    def test_stats_exposes_the_acceptance_metrics(self):
+        session, _ = _session()
+        session.ingest(_event(0))
+        stats = session.stats()
+        for key in (
+            "emitted", "gaps", "watermark", "watermark_skew", "pending",
+            "lag_p50_ms", "lag_p99_ms", "emitted_per_sec",
+            "max_pending_seen", "max_archive_seen", "carryover_hits",
+        ):
+            assert key in stats
+
+    def test_session_registers_an_obs_collector(self):
+        session, _ = _session()
+        session.ingest(_event(0))
+        names = {sample.name for sample in OBS.registry.collect()}
+        assert "repro_stream_emitted_total" in names
+        assert "repro_stream_watermark" in names
+
+
+class TestValidation:
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            StreamConfig(window=0)
+        with pytest.raises(ValueError):
+            StreamConfig(window=99)
+        with pytest.raises(ValueError):
+            StreamConfig(lateness=-1.0)
+        with pytest.raises(ValueError):
+            StreamConfig(late_policy="retry")
+        with pytest.raises(ValueError):
+            StreamConfig(max_pending=0)
+        assert set(LATE_POLICIES) == {"drop", "patch", "reemit"}
+
+    def test_as_event_validates_the_wire_format(self):
+        good = as_event(_event(3))
+        assert good.seq == 3 and good.coarse["total"] == 40
+        with pytest.raises(ValueError):
+            as_event([1, 2, 3])
+        with pytest.raises(ValueError):
+            as_event({**_event(0), "seq": -1})
+        with pytest.raises(ValueError):
+            as_event({**_event(0), "seq": True})
+        with pytest.raises(ValueError):
+            as_event({**_event(0), "event_time": "noon"})
+        with pytest.raises(ValueError):
+            as_event({"seq": 0, "event_time": 0.0})
+        with pytest.raises(ValueError):
+            as_event({
+                "seq": 0, "event_time": 0.0,
+                "coarse": {"total": 1, "cong": 0},
+            })
+        with pytest.raises(ValueError):
+            as_event({
+                "seq": 0, "event_time": 0.0,
+                "coarse": {"total": "many", "cong": 0, "retx": 0, "egr": 1},
+            })

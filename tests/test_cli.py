@@ -85,6 +85,69 @@ class TestCli:
                   str(tmp_path / "m.json")])
 
 
+class TestStreamCli:
+    @pytest.fixture(scope="class")
+    def stream_workspace(self, workspace, tmp_path_factory):
+        root = tmp_path_factory.mktemp("stream")
+        _, data, model, _ = workspace
+        rules = root / "stream_rules.json"
+        assert main(["mine", "--data", str(data), "--out", str(rules),
+                     "--scope", "stream", "--slack", "2"]) == 0
+        return root, data, model, rules
+
+    def test_mine_stream_scope_adds_temporal_rules(self, stream_workspace):
+        from repro.rules import load_rules
+
+        rules = load_rules(stream_workspace[3])
+        kinds = {rule.kind for rule in rules}
+        assert any(kind.startswith("temporal-") for kind in kinds)
+        assert "sum" in kinds  # the imputation rules ride along
+
+    def test_generate_is_deterministic_jsonl(self, capsys):
+        assert main(["stream", "--generate", "12", "--stream-seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["stream", "--generate", "12", "--stream-seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        events = [json.loads(line) for line in first.strip().splitlines()]
+        assert len(events) == 12
+        assert sorted(e["seq"] for e in events) == list(range(12))
+        arrivals = [e["arrival_time"] for e in events]
+        assert arrivals == sorted(arrivals)  # delivered in arrival order
+
+    def test_enforce_replays_byte_identically(
+        self, stream_workspace, capsys
+    ):
+        root, _, model, rules = stream_workspace
+        events = root / "events.jsonl"
+        assert main(["stream", "--generate", "8", "--stream-seed", "7",
+                     "--late-fraction", "0.2"]) == 0
+        events.write_text(capsys.readouterr().out)
+
+        def run():
+            code = main([
+                "stream", "--model", str(model), "--rules", str(rules),
+                "--input", str(events), "--late-policy", "patch",
+                "--seed", "3", "--progress-every", "4",
+            ])
+            assert code == 0
+            return capsys.readouterr()
+
+        first, second = run(), run()
+        assert first.out == second.out
+        lines = first.out.strip().splitlines()
+        assert len(lines) >= 8  # every event accounted for
+        for line in lines:
+            emission = json.loads(line)
+            assert emission["kind"] in ("record", "late", "reemit")
+            assert "watermark" in emission and "record" in emission
+        assert "stream_summary" in first.err
+
+    def test_enforce_requires_model_and_rules(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--input", "-"])
+
+
 class TestObservabilityCli:
     def test_impute_trace_out_then_trace_report(
         self, workspace, tmp_path, capsys
