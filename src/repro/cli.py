@@ -17,6 +17,7 @@ Subcommands mirror the library's main entry points::
     python -m repro.cli bench-serving --out BENCH_serving.json
     python -m repro.cli chaos    --workers 4 --requests 24
     python -m repro.cli trace-report --trace trace.jsonl
+    python -m repro.cli obs-report --trace trace.jsonl
 
 The model format is the n-gram JSON checkpoint (fast to train anywhere);
 datasets are one JSON record per line.  Diagnostics go to stderr as
@@ -209,7 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="persisted rule-pack registry directory (see `rules register`); "
         "packs found there are served alongside the built-in libraries",
     )
+    serve_cmd.add_argument(
+        "--latency-buckets", type=str, default=None, metavar="MS,MS,...",
+        help="comma-separated latency histogram bucket bounds in ms "
+        "(strictly increasing; default matches the built-in request scale)",
+    )
+    serve_cmd.add_argument(
+        "--slo-latency-ms", type=float, default=None,
+        help="per-tenant latency SLO target in ms (default 250)",
+    )
+    serve_cmd.add_argument(
+        "--slo-objective", type=float, default=None,
+        help="fraction of requests that must meet the latency target "
+        "(default 0.99)",
+    )
     _add_decode_args(serve_cmd)
+    _add_trace_args(serve_cmd)
     _add_budget_args(serve_cmd)
 
     stream_cmd = sub.add_parser(
@@ -397,6 +413,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument(
         "--json", action="store_true",
         help="emit the aggregate as JSON instead of tables",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs-report",
+        help="merge a multi-process trace (router + worker sinks) and "
+        "report the solver-vs-LM breakdown split by worker, tenant, and "
+        "stream, plus per-request critical paths",
+    )
+    obs_cmd.add_argument(
+        "--trace", required=True, type=Path,
+        help="the parent/router trace JSONL (`serve --trace-out`); worker "
+        "sinks named <trace>.w<id>.g<gen> are discovered automatically",
+    )
+    obs_cmd.add_argument(
+        "--worker-glob", type=str, default=None,
+        help="override the worker-sink discovery glob",
+    )
+    obs_cmd.add_argument(
+        "--merged-out", type=Path, default=None,
+        help="also write the merged, re-parented trace as JSONL here",
+    )
+    obs_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the distributed aggregate as JSON instead of tables",
     )
     return parser
 
@@ -742,12 +782,32 @@ def _graceful_sigterm():
 
 def _cmd_serve(args) -> int:
     from .errors import RetiredRuleSet, UnknownRuleSet
+    from .obs import SLOConfig, parse_buckets
     from .rules.io import rules_fingerprint
     from .serve import ContinuousBatchingScheduler, ServingServer, WorkerPool
     from .stream import stream_bounds
 
     config = TelemetryConfig()
     enforcer_config = _enforcer_config_from(args)
+    try:
+        latency_buckets = (
+            parse_buckets(args.latency_buckets)
+            if args.latency_buckets is not None
+            else None
+        )
+    except ValueError as exc:
+        raise SystemExit(f"--latency-buckets: {exc}")
+    slo = None
+    if args.slo_latency_ms is not None or args.slo_objective is not None:
+        slo_kwargs = {}
+        if args.slo_latency_ms is not None:
+            slo_kwargs["latency_target_ms"] = args.slo_latency_ms
+        if args.slo_objective is not None:
+            slo_kwargs["latency_objective"] = args.slo_objective
+        try:
+            slo = SLOConfig(**slo_kwargs)
+        except ValueError as exc:
+            raise SystemExit(f"SLO config: {exc}")
     # Bounds for the prev*_ history variables that /v1/stream carryover
     # contexts reference; inert for plain impute/synthesize requests.
     bounds = stream_bounds(config)
@@ -799,6 +859,14 @@ def _cmd_serve(args) -> int:
             queue_depth=args.queue_depth,
             cache_entries=args.cache_entries,
             rule_registry=registry,
+            latency_buckets=latency_buckets,
+            slo=slo,
+            # Worker span sinks hang off the router's trace path; the
+            # parent's own request spans land in --trace-out itself (via
+            # _span_sink below) and `obs-report` merges the family.
+            span_sink=(
+                str(args.trace_out) if args.trace_out is not None else None
+            ),
         )
     else:
         model = load_ngram(args.model)
@@ -817,6 +885,8 @@ def _cmd_serve(args) -> int:
             admit_policy=args.admit_policy,
             cache_entries=args.cache_entries,
             rule_registry=registry,
+            latency_buckets=latency_buckets,
+            slo=slo,
         )
     server = ServingServer(
         scheduler, host=args.host, port=args.port, telemetry_config=config
@@ -831,7 +901,7 @@ def _cmd_serve(args) -> int:
         ("queue_depth", args.queue_depth),
         ("admit_policy", args.admit_policy),
     ])
-    with _graceful_sigterm(), server:
+    with _graceful_sigterm(), _span_sink(args), server:
         try:
             server.wait()
         except KeyboardInterrupt:
@@ -907,7 +977,15 @@ def _cmd_stream(args) -> int:
         seed=args.seed,
     )
     executor = EnforcerExecutor(enforcer, seed=args.seed)
-    session = StreamSession(stream_config, executor, telemetry_config=config)
+    # The same deterministic correlation id /v1/stream mints for this
+    # stream (default stream_id is "stream-<seed>"), so the serial and
+    # HTTP drivers stay byte-identical emission for emission.
+    from .obs.merge import stream_trace_id
+
+    trace_id = stream_trace_id(f"stream-{args.seed}", args.seed)
+    session = StreamSession(
+        stream_config, executor, telemetry_config=config, trace_id=trace_id
+    )
 
     def _pairs():
         stats = session.stats()
@@ -925,6 +1003,7 @@ def _cmd_stream(args) -> int:
             ("lag_p50_ms", stats["lag_p50_ms"]),
             ("lag_p99_ms", stats["lag_p99_ms"]),
             ("emitted_per_sec", stats["emitted_per_sec"]),
+            ("trace", session.trace_id),
         ]
         kv_stats = executor.kv_stats()
         if kv_stats is not None:
@@ -1058,6 +1137,59 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    import glob as _glob
+
+    from .obs.report import aggregate_distributed, format_distributed_report
+    from .obs.merge import load_worker_trace, merge_traces, worker_sink_paths
+    from .obs.trace import load_trace
+
+    try:
+        parent_spans = load_trace(args.trace)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace: {exc}")
+    if args.worker_glob is not None:
+        worker_paths = sorted(_glob.glob(args.worker_glob))
+    else:
+        worker_paths = worker_sink_paths(args.trace)
+    worker_traces = []
+    base = str(args.trace)
+    for path in worker_paths:
+        # "trace.jsonl.w0.g1" -> label "w0.g1"; fall back to the basename
+        # for globs that do not share the parent trace's prefix.
+        label = (
+            path[len(base) + 1:]
+            if path.startswith(base + ".")
+            else Path(path).name
+        )
+        try:
+            # Tolerates the one torn tail line a SIGKILLed worker can leave.
+            worker_traces.append((label, load_worker_trace(path)))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"malformed worker trace {path}: {exc}")
+    try:
+        merged = merge_traces(parent_spans, worker_traces)
+    except ValueError as exc:
+        raise SystemExit(f"trace merge failed: {exc}")
+    if args.merged_out is not None:
+        with args.merged_out.open("w") as handle:
+            for span in merged:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+    emit_kv("obs_report", [
+        ("parent_spans", len(parent_spans)),
+        ("worker_sinks", len(worker_traces)),
+        ("merged_spans", len(merged)),
+    ])
+    report = aggregate_distributed(merged)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_distributed_report(report))
+    return 0
+
+
 _COMMANDS = {
     "dataset": _cmd_dataset,
     "train": _cmd_train,
@@ -1070,6 +1202,7 @@ _COMMANDS = {
     "bench-serving": _cmd_bench_serving,
     "chaos": _cmd_chaos,
     "trace-report": _cmd_trace_report,
+    "obs-report": _cmd_obs_report,
 }
 
 

@@ -415,6 +415,7 @@ class JitEnforcer:
         rng: Optional[np.random.Generator] = None,
         checkpoint: Optional[Callable[[], None]] = None,
         rule_set: Optional[RuleSetHandle] = None,
+        trace: Optional[Mapping[str, object]] = None,
     ) -> EnforcementSession:
         """A resumable session for one record (the engine's entry point).
 
@@ -427,7 +428,9 @@ class JitEnforcer:
         :class:`~repro.rules.registry.RuleSetHandle`: the lane is rebound
         to it (or back to the constructor rules when None) before the
         session opens, so mixed-tenant records can interleave on shared
-        lanes.
+        lanes.  ``trace`` is the optional distributed trace context
+        (``trace_id``/``parent``/``attempt``) stamped onto the record span;
+        it never reaches generation itself.
         """
         lane = lane or self._lane
         if rule_set is not None or lane.handle is not self.default_handle:
@@ -440,6 +443,7 @@ class JitEnforcer:
             variables,
             rng=rng if rng is not None else self._next_rng(),
             checkpoint=checkpoint,
+            trace=trace,
         )
 
     def _generate_record(

@@ -354,6 +354,7 @@ class EnforcementSession:
         variables: Sequence[str],
         rng: np.random.Generator,
         checkpoint: Optional[Callable[[], None]] = None,
+        trace: Optional[Mapping[str, object]] = None,
     ):
         self._owner = owner
         self._lane = lane
@@ -387,8 +388,25 @@ class EnforcementSession:
         if handle is not None:
             span_attrs["tenant"] = handle.name
             span_attrs["rule_set"] = handle.ref
+        # Distributed trace context (see repro.obs.merge): the record span
+        # carries the request's correlation id so a worker-side trace can
+        # be re-parented under the router's request span after the fact;
+        # in-process drivers pass a live ``parent`` span id instead.  A
+        # crash-replayed unit keeps its trace_id and self-identifies via
+        # ``replay_of``/``attempt``.
+        span_parent: Optional[int] = None
+        if trace is not None:
+            trace_id = trace.get("trace_id")
+            if trace_id is not None:
+                span_attrs["trace_id"] = trace_id
+            span_parent = trace.get("parent")  # type: ignore[assignment]
+            attempt = int(trace.get("attempt") or 0)  # type: ignore[arg-type]
+            if attempt > 0:
+                span_attrs["attempt"] = attempt
+                if trace_id is not None:
+                    span_attrs["replay_of"] = trace_id
         self.span: Optional[int] = OBS.start_span(
-            "record", parent=None, attrs=span_attrs
+            "record", parent=span_parent, attrs=span_attrs
         )
         self._step_span: Optional[int] = None
         self._gen: Generator[List[int], np.ndarray, RecordOutcome] = self._drive()

@@ -30,14 +30,24 @@ from typing import Dict, Optional
 
 from .clock import Clock, ManualClock, MonotonicClock
 from .kv import ProgressEmitter, emit_kv, format_kv, kv_line, parse_kv
+from .merge import (
+    load_worker_trace,
+    merge_traces,
+    mint_trace_id,
+    stream_trace_id,
+    worker_sink_paths,
+)
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_MS,
+    STREAM_LAG_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     Sample,
+    parse_buckets,
 )
+from .slo import SLOConfig, SLOTracker
 from .trace import (
     SPAN_SCHEMA_VERSION,
     WELL_KNOWN_SPANS,
@@ -64,6 +74,15 @@ __all__ = [
     "Histogram",
     "Sample",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "STREAM_LAG_BUCKETS_MS",
+    "parse_buckets",
+    "SLOConfig",
+    "SLOTracker",
+    "load_worker_trace",
+    "merge_traces",
+    "mint_trace_id",
+    "stream_trace_id",
+    "worker_sink_paths",
     "format_kv",
     "kv_line",
     "emit_kv",

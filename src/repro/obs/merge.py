@@ -1,0 +1,165 @@
+"""Distributed trace context and multi-process trace assembly.
+
+The span schema (:mod:`repro.obs.trace`) is deliberately single-process:
+span ids are small ints unique only within one tracer, and parent links
+only ever name spans from the same process.  Crossing the worker-pool fork
+boundary therefore works by *attribute correlation*, not by shipping span
+ids around:
+
+* the HTTP front end mints a ``trace_id`` (32 lowercase hex chars, the
+  W3C trace-context shape) per request and stamps it on its own
+  ``request`` span;
+* the id rides :class:`~repro.serve.types.RequestSpec` over the supervisor
+  pipe, and the worker-side ``record`` span carries it back as an attr --
+  the record span stays a *root* span inside the worker's own sink;
+* :func:`merge_traces` joins the two sinks after the fact: worker span ids
+  are offset past the parent's id range, and every worker root span whose
+  ``trace_id`` matches a parent ``request`` span is re-parented under it.
+
+Crash replay keeps the original ``trace_id``: a replayed record's span
+carries ``replay_of`` (the trace id it re-executes) and ``attempt`` > 0,
+so the merged trace shows both the aborted attempt's surviving child spans
+and the replay under one request, distinguishable by attrs.
+
+``lm_forward`` spans with no parent (the batched drivers' shared forwards)
+carry no trace id and stay parentless after the merge -- the report's
+``shared_lm`` bucket survives distribution unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import validate_span
+
+__all__ = [
+    "mint_trace_id",
+    "stream_trace_id",
+    "merge_traces",
+    "load_worker_trace",
+    "worker_sink_paths",
+]
+
+
+def mint_trace_id() -> str:
+    """A fresh 32-hex-char trace id (the W3C ``trace-id`` field shape)."""
+    return uuid.uuid4().hex
+
+
+def stream_trace_id(stream_id: str, seed: int) -> str:
+    """The deterministic trace id of one stream: a pure function of
+    ``(stream_id, seed)``.
+
+    Streams need their correlation id *inside* emitted bytes (every
+    ``/v1/stream`` line carries it), and emitted bytes are covered by the
+    serial-vs-HTTP parity contract -- so the id must be identical no matter
+    which driver runs the stream.  Deriving it from the stream identity
+    keeps the parity suites byte-for-byte while still giving every stream a
+    globally distinguishable id.
+    """
+    digest = hashlib.sha256(
+        f"repro-stream:{stream_id}:{seed}".encode("utf-8")
+    ).hexdigest()
+    return digest[:32]
+
+
+def worker_sink_paths(trace_out) -> List[str]:
+    """The per-worker sink files next to a parent trace, sorted.
+
+    The serving CLI writes the parent trace to ``--trace-out PATH`` and
+    worker sinks to ``PATH.w<worker>.g<generation>`` (one file per worker
+    process incarnation, so a respawn never clobbers its predecessor's
+    spans).  ``obs-report`` globs them back with this helper.
+    """
+    import glob
+    import os
+
+    pattern = f"{os.fspath(trace_out)}.w*"
+    return sorted(glob.glob(pattern))
+
+
+def load_worker_trace(path) -> List[Dict]:
+    """Read one worker sink, tolerating a SIGKILL-torn final line.
+
+    Worker sinks are line-buffered, so a killed worker leaves at most one
+    partial trailing line.  That torn tail is dropped silently; any
+    *earlier* malformed line is real corruption and still raises (with the
+    same line-numbered error :func:`~repro.obs.trace.load_trace` gives).
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    spans: List[Dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            spans.append(validate_span(json.loads(line)))
+        except ValueError as exc:
+            if number == len(lines):
+                break  # the killed worker's torn tail
+            raise ValueError(f"{path} line {number}: {exc}")
+    return spans
+
+
+def merge_traces(
+    parent_spans: Sequence[Dict],
+    worker_traces: Sequence[Tuple[str, Sequence[Dict]]],
+) -> List[Dict]:
+    """Join one parent-process trace with per-worker traces.
+
+    ``worker_traces`` is ``[(label, spans), ...]`` -- label is typically
+    ``"w<worker_id>"`` from the sink filename.  Returns a single
+    schema-valid span list in which:
+
+    * parent spans keep their ids verbatim;
+    * each worker's span ids (and intra-worker parent links) are shifted
+      past every id seen so far, so the merged id space has no collisions;
+    * every span is stamped with a ``process`` attr (``"parent"`` or the
+      worker label);
+    * a worker *root* span whose attrs carry a ``trace_id`` matching a
+      parent ``request`` span's ``trace_id`` is re-parented under that
+      request span.  Roots with no (or an unknown) trace id stay roots.
+
+    Every produced span is re-validated, so the output is safe to write
+    back out as one JSONL trace.
+    """
+    merged: List[Dict] = []
+    requests_by_trace: Dict[str, int] = {}
+    max_id = 0
+    for span in parent_spans:
+        span = dict(validate_span(span))
+        attrs = dict(span.get("attrs") or {})
+        attrs.setdefault("process", "parent")
+        span["attrs"] = attrs
+        if span["name"] == "request" and "trace_id" in attrs:
+            # Last wins: a trace id appears on at most one request span per
+            # parent trace in practice (ids are minted per request).
+            requests_by_trace[str(attrs["trace_id"])] = span["span"]
+        merged.append(span)
+        max_id = max(max_id, span["span"])
+
+    for label, spans in worker_traces:
+        offset = max_id
+        local_max = 0
+        for span in spans:
+            span = dict(validate_span(span))
+            attrs = dict(span.get("attrs") or {})
+            attrs["process"] = label
+            span["attrs"] = attrs
+            local_max = max(local_max, span["span"])
+            span["span"] = span["span"] + offset
+            parent = span.get("parent")
+            if parent is not None:
+                span["parent"] = parent + offset
+            else:
+                trace_id = attrs.get("trace_id")
+                if trace_id is not None:
+                    span["parent"] = requests_by_trace.get(str(trace_id))
+            merged.append(span)
+        max_id = offset + local_max
+
+    return [validate_span(span) for span in merged]

@@ -34,6 +34,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "STREAM_LAG_BUCKETS_MS",
+    "parse_buckets",
 ]
 
 Labels = Tuple[Tuple[str, str], ...]
@@ -43,6 +45,36 @@ DEFAULT_LATENCY_BUCKETS_MS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
     100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
 )
+
+#: Bucket bounds for stream watermark/emission lag in milliseconds.  Stream
+#: lag is dominated by the event-time lateness bound (seconds), not by
+#: per-record compute, so the range extends far coarser than the request
+#: latency defaults: sub-millisecond resolution is useless there, minutes
+#: of backlog are not.
+STREAM_LAG_BUCKETS_MS = (
+    1.0, 5.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10_000.0, 30_000.0, 60_000.0, 300_000.0,
+)
+
+
+def parse_buckets(text: str) -> Tuple[float, ...]:
+    """Parse a comma-separated bucket-bound list (CLI ``--latency-buckets``).
+
+    Bounds must be positive, strictly increasing floats -- the same
+    constraint :class:`Histogram` enforces at registration, surfaced here
+    with a parse-time error message.
+    """
+    try:
+        bounds = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"bucket bounds must be numbers: {text!r}")
+    if not bounds:
+        raise ValueError("bucket list is empty")
+    if list(bounds) != sorted(set(bounds)) or bounds[0] <= 0:
+        raise ValueError(
+            f"bucket bounds must be positive and strictly increasing: {text!r}"
+        )
+    return bounds
 
 
 def _labels_key(labels: Optional[Dict[str, str]]) -> Labels:

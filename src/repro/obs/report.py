@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["aggregate", "format_report", "SOLVER_SPANS"]
+__all__ = [
+    "aggregate",
+    "aggregate_distributed",
+    "format_report",
+    "format_distributed_report",
+    "SOLVER_SPANS",
+]
 
 #: Top-level solver-side span names.  ``smt_check`` is deliberately absent:
 #: it nests *inside* these, and counting both would double-bill the solver.
@@ -136,6 +142,139 @@ def aggregate(spans: Sequence[Dict]) -> Dict:
             ),
         },
     }
+
+
+def _group_rows(
+    spans: Sequence[Dict], per_record: Sequence[Dict], key_attr: str,
+    default: Optional[str],
+) -> Dict[str, Dict[str, float]]:
+    """Sum per-record attribution rows grouped by a record-span attr."""
+    by_id = {span["span"]: span for span in spans}
+    groups: Dict[str, Dict[str, float]] = {}
+    for row in per_record:
+        attrs = by_id[row["record_span"]].get("attrs", {})
+        key = attrs.get(key_attr, default)
+        if key is None:
+            continue
+        group = groups.setdefault(str(key), {
+            "records": 0, "wall_ms": 0.0, "lm_ms": 0.0,
+            "solver_ms": 0.0, "other_ms": 0.0,
+        })
+        group["records"] += 1
+        for field in ("wall_ms", "lm_ms", "solver_ms", "other_ms"):
+            group[field] = round(group[field] + row[field], 3)
+    return dict(sorted(groups.items()))
+
+
+def _critical_paths(spans: Sequence[Dict], per_record: Sequence[Dict]) -> List[Dict]:
+    """Longest-duration child chain under each ``request`` span.
+
+    The path answers "what single sequence of operations bounded this
+    request's latency": request -> record -> step -> (smt_confirm |
+    feasible_digits | ...), greedily following the slowest child at each
+    level.  Durations along the path are reported per hop.
+    """
+    children: Dict[int, List[Dict]] = {}
+    ids = {span["span"] for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent in ids:
+            children.setdefault(parent, []).append(span)
+    lm_by_record = {row["record_span"]: row for row in per_record}
+    paths = []
+    for span in spans:
+        if span["name"] != "request":
+            continue
+        hops = []
+        current = span
+        seen = set()
+        lm_ms = solver_ms = 0.0
+        while current["span"] not in seen:
+            seen.add(current["span"])
+            hops.append({
+                "name": current["name"],
+                "dur_ms": round(current["dur_s"] * _MS, 3),
+            })
+            row = lm_by_record.get(current["span"])
+            if row is not None:
+                lm_ms, solver_ms = row["lm_ms"], row["solver_ms"]
+            kids = children.get(current["span"])
+            if not kids:
+                break
+            current = max(kids, key=lambda s: s["dur_s"])
+        attrs = span.get("attrs", {})
+        paths.append({
+            "trace_id": attrs.get("trace_id"),
+            "kind": attrs.get("kind"),
+            "wall_ms": round(span["dur_s"] * _MS, 3),
+            "lm_ms": lm_ms,
+            "solver_ms": solver_ms,
+            "path": hops,
+        })
+    paths.sort(key=lambda p: -p["wall_ms"])
+    return paths
+
+
+def aggregate_distributed(spans: Sequence[Dict]) -> Dict:
+    """The multi-process report: :func:`aggregate` plus the distributed
+    splits a merged trace (see :func:`repro.obs.merge.merge_traces`)
+    makes possible.
+
+    Adds to the base report:
+
+    * ``by_worker`` -- per-record attribution grouped by the ``process``
+      attr the merge stamps (``parent`` for in-process records);
+    * ``by_tenant`` -- grouped by the record span's ``tenant`` attr;
+    * ``by_trace`` -- grouped by ``trace_id`` (one group per request --
+      or per *stream*, since every record of a stream shares its id);
+    * ``critical_paths`` -- the slowest-child chain under each request
+      span, slowest request first.
+    """
+    report = aggregate(spans)
+    per_record = report["per_record"]
+    report["by_worker"] = _group_rows(spans, per_record, "process", "parent")
+    report["by_tenant"] = _group_rows(spans, per_record, "tenant", "default")
+    report["by_trace"] = _group_rows(spans, per_record, "trace_id", None)
+    report["critical_paths"] = _critical_paths(spans, per_record)
+    report["replays"] = sum(
+        1 for span in spans
+        if span["name"] == "record" and span.get("attrs", {}).get("replay_of")
+    )
+    return report
+
+
+def format_distributed_report(report: Dict) -> str:
+    """Human-readable tables for ``repro.cli obs-report``."""
+    lines = [format_report(report)]
+    for title, key in (("worker", "by_worker"), ("tenant", "by_tenant"),
+                       ("trace", "by_trace")):
+        groups = report.get(key)
+        if not groups:
+            continue
+        lines += [
+            "",
+            f"by {title} (solver lookahead vs LM inference):",
+            f"{title:<34}{'records':>8}{'wall_ms':>10}{'lm_ms':>9}"
+            f"{'solver_ms':>11}{'other_ms':>10}",
+        ]
+        for name, row in groups.items():
+            lines.append(
+                f"{name[:33]:<34}{row['records']:>8}{row['wall_ms']:>10.2f}"
+                f"{row['lm_ms']:>9.2f}{row['solver_ms']:>11.2f}"
+                f"{row['other_ms']:>10.2f}"
+            )
+    paths = report.get("critical_paths")
+    if paths:
+        lines += ["", "critical paths (slowest request first):"]
+        for row in paths[:20]:
+            chain = " > ".join(
+                f"{hop['name']}:{hop['dur_ms']:.1f}ms" for hop in row["path"]
+            )
+            trace = row["trace_id"] or "-"
+            lines.append(f"  {trace[:16]:<17}{row['wall_ms']:>9.2f}ms  {chain}")
+    if report.get("replays"):
+        lines += ["", f"crash-replayed records: {report['replays']}"]
+    return "\n".join(lines)
 
 
 def format_report(report: Dict) -> str:

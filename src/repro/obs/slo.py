@@ -1,0 +1,202 @@
+"""Per-tenant SLO tracking: latency/error objectives and burn rates.
+
+An SLO here is the standard two-part contract: "``latency_objective`` of
+requests finish under ``latency_target_ms``" and "``error_objective`` of
+requests succeed".  The tracker keeps, per tenant:
+
+* cumulative counters (requests, latency violations, errors) -- monotonic,
+  suitable for Prometheus ``_total`` series;
+* a rolling window of fixed-width buckets over the last ``window_s``
+  seconds, from which it derives the **burn rate**: the observed
+  bad-event rate divided by the rate the error budget allows.  Burn rate
+  1.0 means the budget is being consumed exactly as fast as it refills;
+  >1 means the objective will be violated if the window's behavior holds.
+
+The tracker is fed at request *completion* (one observation per request,
+not per record unit) by both serving drivers -- the in-process scheduler's
+harvest loop and the worker pool's result/error message handler -- so the
+same SLO section appears in ``metrics()``, the operator summary line, and
+``/metrics`` regardless of deployment shape.
+
+Wall-clock time comes from an injectable callable (default: the OBS
+monotonic clock), so tests can step time explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .registry import Sample
+
+__all__ = ["SLOConfig", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """One serving SLO: a latency target and success objectives."""
+
+    latency_target_ms: float = 250.0
+    latency_objective: float = 0.99  # fraction of requests under target
+    error_objective: float = 0.999  # fraction of requests that succeed
+    window_s: float = 300.0  # rolling burn-rate horizon
+    buckets: int = 30  # window subdivisions (granularity of expiry)
+
+    def __post_init__(self) -> None:
+        if self.latency_target_ms <= 0:
+            raise ValueError("latency_target_ms must be > 0")
+        for name in ("latency_objective", "error_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if self.window_s <= 0 or self.buckets < 1:
+            raise ValueError("window_s must be > 0 and buckets >= 1")
+
+
+@dataclass
+class _TenantState:
+    # cumulative (never reset)
+    total: int = 0
+    latency_violations: int = 0
+    errors: int = 0
+    # rolling window: bucket index -> [total, slow, errors]
+    window: Dict[int, List[int]] = field(default_factory=dict)
+
+
+class SLOTracker:
+    """Rolling per-tenant SLO accounting (thread-safe, allocation-light)."""
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.config = config or SLOConfig()
+        if clock is None:
+            from . import OBS
+
+            clock = OBS.clock.now
+        self._clock = clock
+        self._bucket_s = self.config.window_s / self.config.buckets
+        self._tenants: Dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    # -- ingestion -------------------------------------------------------------
+
+    def observe(self, tenant: str, latency_ms: float, ok: bool) -> None:
+        """Record one finished request for ``tenant``."""
+        now = self._clock()
+        bucket = int(now / self._bucket_s)
+        slow = ok and latency_ms > self.config.latency_target_ms
+        with self._lock:
+            state = self._tenants.setdefault(tenant, _TenantState())
+            state.total += 1
+            if slow:
+                state.latency_violations += 1
+            if not ok:
+                state.errors += 1
+            cell = state.window.setdefault(bucket, [0, 0, 0])
+            cell[0] += 1
+            if slow:
+                cell[1] += 1
+            if not ok:
+                cell[2] += 1
+            self._expire(state, bucket)
+
+    def _expire(self, state: _TenantState, current_bucket: int) -> None:
+        horizon = current_bucket - self.config.buckets
+        for key in [k for k in state.window if k <= horizon]:
+            del state.window[key]
+
+    # -- derivation ------------------------------------------------------------
+
+    def _window_rates(self, state: _TenantState, now: float) -> Dict[str, float]:
+        bucket = int(now / self._bucket_s)
+        horizon = bucket - self.config.buckets
+        total = slow = errors = 0
+        for key, (t, s, e) in state.window.items():
+            if key > horizon:
+                total += t
+                slow += s
+                errors += e
+        slow_rate = slow / total if total else 0.0
+        error_rate = errors / total if total else 0.0
+        latency_budget = 1.0 - self.config.latency_objective
+        error_budget = 1.0 - self.config.error_objective
+        return {
+            "window_requests": total,
+            "window_slow": slow,
+            "window_errors": errors,
+            "latency_burn_rate": round(slow_rate / latency_budget, 4),
+            "error_burn_rate": round(error_rate / error_budget, 4),
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant SLO state (the ``slo`` section of ``metrics()``)."""
+        now = self._clock()
+        with self._lock:
+            out = {}
+            for tenant, state in sorted(self._tenants.items()):
+                row = {
+                    "requests": state.total,
+                    "latency_violations": state.latency_violations,
+                    "errors": state.errors,
+                }
+                row.update(self._window_rates(state, now))
+                out[tenant] = row
+            return out
+
+    def worst_burn_rate(self) -> float:
+        """The highest burn rate (latency or error) over all tenants."""
+        worst = 0.0
+        for row in self.snapshot().values():
+            worst = max(worst, row["latency_burn_rate"], row["error_burn_rate"])
+        return worst
+
+    def summary_pairs(self) -> List[tuple]:
+        """Operator summary-line fragment (key, value) pairs."""
+        snap = self.snapshot()
+        total = sum(row["requests"] for row in snap.values())
+        slow = sum(row["latency_violations"] for row in snap.values())
+        errors = sum(row["errors"] for row in snap.values())
+        worst = 0.0
+        for row in snap.values():
+            worst = max(worst, row["latency_burn_rate"], row["error_burn_rate"])
+        return [
+            ("slo.requests", total),
+            ("slo.latency_violations", slow),
+            ("slo.errors", errors),
+            ("slo.worst_burn_rate", f"{worst:.2f}"),
+        ]
+
+    def samples(self) -> List[Sample]:
+        """Prometheus series: cumulative ``_total`` counters plus the
+        rolling burn-rate gauges, labeled by tenant."""
+        out: List[Sample] = []
+        for tenant, row in self.snapshot().items():
+            labels = {"tenant": tenant}
+            out.append(Sample.counter(
+                "repro_slo_requests_total", row["requests"], labels,
+                help="Requests observed by the SLO tracker",
+            ))
+            out.append(Sample.counter(
+                "repro_slo_latency_violations_total",
+                row["latency_violations"], labels,
+                help="Requests over the SLO latency target",
+            ))
+            out.append(Sample.counter(
+                "repro_slo_errors_total", row["errors"], labels,
+                help="Requests that failed (expired/cancelled/errored)",
+            ))
+            out.append(Sample.gauge(
+                "repro_slo_latency_burn_rate", row["latency_burn_rate"],
+                labels,
+                help="Rolling latency error-budget burn rate (1.0 = budget "
+                "consumed exactly at the sustainable rate)",
+            ))
+            out.append(Sample.gauge(
+                "repro_slo_error_burn_rate", row["error_burn_rate"], labels,
+                help="Rolling availability error-budget burn rate",
+            ))
+        return out

@@ -40,6 +40,7 @@ SPAN_SCHEMA_VERSION = 1
 #: The span names the built-in instrumentation emits.  Consumers must not
 #: reject unknown names (the set is open), but reports group by these.
 WELL_KNOWN_SPANS = (
+    "request",      # one HTTP request, admission to response (router side)
     "record",       # one record's enforcement, end to end
     "step",         # one variable's generation within a record
     "lm_forward",   # one model call (a batched call is ONE span, attrs.rows)
@@ -86,7 +87,10 @@ class SpanTracer:
         self._owns_sink = False
         if sink is not None:
             if isinstance(sink, (str, os.PathLike)):
-                self._sink = open(sink, "w", encoding="utf-8")
+                # Line-buffered: each span line reaches the OS as it is
+                # emitted, so a SIGKILLed worker's sink holds every span it
+                # finished (at worst one torn tail line, never silent loss).
+                self._sink = open(sink, "w", encoding="utf-8", buffering=1)
                 self._owns_sink = True
             else:
                 self._sink = sink

@@ -31,6 +31,7 @@ scheduler thread does all enforcement work.  No third-party dependency.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
 import threading
@@ -50,6 +51,8 @@ from ..errors import (
     WorkerPoolUnavailable,
 )
 from ..data.telemetry import TelemetryConfig
+from ..obs import OBS
+from ..obs.merge import mint_trace_id, stream_trace_id
 from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
 from ..stream.session import StreamSession, as_event
 from .scheduler import ContinuousBatchingScheduler
@@ -138,6 +141,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: "ServingServer"
 
+    # The correlation id of the request currently being answered; every
+    # response (success *and* error) echoes it in a ``trace-id`` header so
+    # clients can join their logs against the server-side trace.
+    _trace_id: Optional[str] = None
+    _last_status: int = 0
+
     # -- routing ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server naming
@@ -172,12 +181,33 @@ class _Handler(BaseHTTPRequestHandler):
         if kind is None:
             self._send(404, {"error": f"unknown path {self.path}"})
             return
+        # Trace admission: honor a client-supplied ``trace-id`` header
+        # (joining an upstream trace) or mint a fresh correlation id.  The
+        # id rides the spec to whichever process enforces the records; the
+        # router-side ``request`` span -- when tracing is on -- becomes the
+        # root the worker-side record spans re-parent under at merge time.
+        trace_id = (self.headers.get("trace-id") or "").strip() or mint_trace_id()
+        self._trace_id = trace_id
         try:
             payload = self._read_json()
             spec = _spec_from_payload(kind, payload)
         except _BadRequest as exc:
             self._send(400, {"error": str(exc)})
             return
+        span = OBS.start_span(
+            "request",
+            parent=None,
+            attrs={"trace_id": trace_id, "kind": kind, "path": self.path},
+        )
+        spec = dataclasses.replace(
+            spec, trace_id=trace_id, trace_parent=span
+        )
+        try:
+            self._dispatch_request(spec)
+        finally:
+            OBS.end_span(span, {"status": self._last_status})
+
+    def _dispatch_request(self, spec: RequestSpec) -> None:
         try:
             request = self.server.scheduler.submit(spec)
             result = request.result(timeout=self.server.request_timeout)
@@ -258,6 +288,21 @@ class _Handler(BaseHTTPRequestHandler):
             except RetiredRuleSet as exc:
                 self._send(409, {"error": str(exc)})
                 return
+        # Deterministic stream trace id: a pure function of (stream_id,
+        # seed), so the serial CLI run of the same stream mints the same id
+        # and the byte-parity check between serial and HTTP output holds.
+        trace_id = stream_trace_id(stream_id, config.seed)
+        self._trace_id = trace_id
+        span = OBS.start_span(
+            "request",
+            parent=None,
+            attrs={
+                "trace_id": trace_id,
+                "kind": "stream",
+                "path": self.path,
+                "stream_id": stream_id,
+            },
+        )
         session = StreamSession(
             config,
             SubmitStreamExecutor(
@@ -266,39 +311,48 @@ class _Handler(BaseHTTPRequestHandler):
                 rule_set=rule_set,
                 sticky_key=stream_id,
                 wait_timeout=self.server.request_timeout,
+                trace_id=trace_id,
             ),
             telemetry_config=self.server.telemetry_config,
+            trace_id=trace_id,
         )
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("trace-id", trace_id)
         self.end_headers()
+        self._last_status = 200
         try:
-            for line in lines:
-                try:
-                    event = as_event(json.loads(line))
-                except (json.JSONDecodeError, ValueError) as exc:
-                    self._write_chunk_line(
-                        json.dumps({"error": f"bad event: {exc}"})
-                    )
-                    continue
-                for emission in session.ingest(event):
-                    self._write_chunk_line(emission.encode())
-            for emission in session.close():
-                self._write_chunk_line(emission.encode())
-        except BrokenPipeError:  # client went away mid-stream
-            return
-        except Exception as exc:  # noqa: BLE001 -- headers already sent
-            logger.exception("stream %s died: %s", stream_id, exc)
             try:
-                self._write_chunk_line(json.dumps({"error": str(exc)}))
-            except OSError:
+                for line in lines:
+                    try:
+                        event = as_event(json.loads(line))
+                    except (json.JSONDecodeError, ValueError) as exc:
+                        self._write_chunk_line(
+                            json.dumps({"error": f"bad event: {exc}"})
+                        )
+                        continue
+                    for emission in session.ingest(event):
+                        self._write_chunk_line(emission.encode())
+                for emission in session.close():
+                    self._write_chunk_line(emission.encode())
+            except BrokenPipeError:  # client went away mid-stream
                 return
-        try:
-            self.wfile.write(b"0\r\n\r\n")
-            self.wfile.flush()
-        except OSError:
-            pass
+            except Exception as exc:  # noqa: BLE001 -- headers already sent
+                logger.exception("stream %s died: %s", stream_id, exc)
+                try:
+                    self._write_chunk_line(json.dumps({"error": str(exc)}))
+                except OSError:
+                    return
+            try:
+                self.wfile.write(b"0\r\n\r\n")
+                self.wfile.flush()
+            except OSError:
+                pass
+        finally:
+            OBS.end_span(
+                span, {"emitted": session.stats().get("emitted", 0)}
+            )
 
     def _write_chunk_line(self, text: str) -> None:
         """One ndjson line as one HTTP chunk, flushed immediately."""
@@ -394,9 +448,12 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str,
         retry_after: Optional[int] = None,
     ) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header("trace-id", self._trace_id)
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         self.end_headers()

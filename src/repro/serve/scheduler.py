@@ -37,7 +37,7 @@ import time
 import zlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.enforcer import JitEnforcer, _enforcer_samples, record_rng
 from ..core.engine import LanePool
@@ -54,6 +54,8 @@ from ..obs import (
     OBS,
     MetricsRegistry,
     Sample,
+    SLOConfig,
+    SLOTracker,
     format_kv,
 )
 from ..obs.prometheus import render
@@ -205,6 +207,8 @@ class ContinuousBatchingScheduler:
         rule_registry: Optional[RuleSetRegistry] = None,
         tenant_quotas: Optional[Mapping[str, int]] = None,
         tenant_priorities: Optional[Mapping[str, int]] = None,
+        latency_buckets: Optional[Sequence[float]] = None,
+        slo: Optional[SLOConfig] = None,
     ):
         if lanes < 1:
             raise ValueError("lanes must be >= 1")
@@ -251,8 +255,17 @@ class ContinuousBatchingScheduler:
         self.registry = registry if registry is not None else OBS.registry
         self._latency_hist = self.registry.histogram(
             "repro_serve_request_latency_ms",
-            DEFAULT_LATENCY_BUCKETS_MS,
+            tuple(latency_buckets)
+            if latency_buckets is not None
+            else DEFAULT_LATENCY_BUCKETS_MS,
             help="End-to-end request latency (submit to final record)",
+        )
+        # Per-tenant SLO accounting: fed once per *request* completion
+        # (success or terminal failure), exposed via metrics()/summary/
+        # Prometheus.  Always on -- an observe is two dict updates.
+        self.slo = SLOTracker(slo)
+        self.registry.register_collector(
+            "slo", lambda s: s.slo.samples(), owner=self
         )
         self.registry.register_collector("serve", _serve_samples, owner=self)
         # Ladder-rung, budget-exhaustion, and cache counters ride along via
@@ -479,12 +492,21 @@ class ContinuousBatchingScheduler:
             if unit is None:
                 return
             slot_index = self._pick_slot(unit, free)
+            spec = unit.request.spec
+            trace = None
+            if spec.trace_id is not None or spec.attempt:
+                trace = {
+                    "trace_id": spec.trace_id,
+                    "parent": spec.trace_parent,
+                    "attempt": spec.attempt,
+                }
             session = self.enforcer.open_session(
                 *unit.plan,
                 lane=self.pool.lanes[slot_index],
-                rng=record_rng(unit.request.spec.seed, unit.index),
+                rng=record_rng(spec.seed, unit.index),
                 checkpoint=unit.request.checkpoint,
                 rule_set=unit.request.rule_handle,
+                trace=trace,
             )
             pending = session.start()
             if session.done:
@@ -531,12 +553,14 @@ class ContinuousBatchingScheduler:
             if request.cancel_requested:
                 if request.fail(RequestCancelled(f"request {request.id} cancelled")):
                     self.cancelled += 1
+                    self.slo.observe(request.tenant, request.latency_ms, ok=False)
                 continue
             if request.expired(now):
                 if request.fail(
                     DeadlineExceeded(f"request {request.id} expired while queued")
                 ):
                     self.expired += 1
+                    self.slo.observe(request.tenant, request.latency_ms, ok=False)
                 continue
             return unit
 
@@ -573,6 +597,7 @@ class ContinuousBatchingScheduler:
                 else:
                     self.failed += 1
                     tenant_row["failed"] += 1
+                self.slo.observe(request.tenant, request.latency_ms, ok=False)
             return
         self.records_completed += 1
         tenant_row["records"] += 1
@@ -581,6 +606,7 @@ class ContinuousBatchingScheduler:
             self.completed += 1
             tenant_row["completed"] += 1
             self._latency_hist.observe(request.latency_ms)
+            self.slo.observe(request.tenant, request.latency_ms, ok=True)
             with self._metrics_lock:
                 self._latencies.append(request.latency_ms)
 
@@ -637,6 +663,7 @@ class ContinuousBatchingScheduler:
             },
             "records_completed": self.records_completed,
             "latency_ms": latency,
+            "slo": self.slo.snapshot(),
             "tenants": {
                 tenant: dict(row, queued=queued.get(tenant, 0))
                 for tenant, row in sorted(self.tenant_stats().items())
@@ -700,4 +727,5 @@ class ContinuousBatchingScheduler:
         if cache is not None:
             pairs.append(("oracle_cache_hit_rate", cache["hit_rate"]))
             pairs.append(("oracle_cache_evictions", cache["evictions"]))
+        pairs.extend(self.slo.summary_pairs())
         return format_kv(pairs)

@@ -97,6 +97,7 @@ class SubmitStreamExecutor:
         sticky_key: Optional[str] = None,
         timeout_ms: Optional[float] = None,
         wait_timeout: float = 120.0,
+        trace_id: Optional[str] = None,
     ):
         self.target = target
         self.seed = seed
@@ -104,6 +105,10 @@ class SubmitStreamExecutor:
         self.sticky_key = sticky_key
         self.timeout_ms = timeout_ms
         self.wait_timeout = wait_timeout
+        # The stream's deterministic correlation id (see
+        # :func:`repro.obs.merge.stream_trace_id`); every per-record spec
+        # carries it so record spans from all workers join one trace.
+        self.trace_id = trace_id
 
     def __call__(
         self,
@@ -121,6 +126,7 @@ class SubmitStreamExecutor:
             index_offset=seq,
             rule_set=self.rule_set,
             sticky_key=self.sticky_key,
+            trace_id=self.trace_id,
         )
         result = self.target.submit(spec).result(self.wait_timeout)
         return result.records[0], result.outcomes[0]

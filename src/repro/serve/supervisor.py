@@ -54,7 +54,16 @@ import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from ..core.enforcer import JitEnforcer
 from ..core.session import RecordOutcome
@@ -72,6 +81,8 @@ from ..obs import (
     OBS,
     MetricsRegistry,
     Sample,
+    SLOConfig,
+    SLOTracker,
     format_kv,
 )
 from ..obs.prometheus import render
@@ -124,6 +135,10 @@ class WorkerHandle:
     failures: Deque[float] = field(default_factory=deque)  # crash timestamps
     inflight: Dict[int, _PoolUnit] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)  # last heartbeat
+    # The worker-side MetricsRegistry snapshot shipped in the last
+    # heartbeat (a list of Sample rows); the parent re-exposes them under
+    # a ``worker`` label so per-process series survive into /metrics.
+    metric_samples: List[Sample] = field(default_factory=list)
     shutdown_sent: bool = False
 
     @property
@@ -200,6 +215,27 @@ def _pool_samples(pool: "WorkerPool") -> List[Sample]:
             "repro_serve_tenant_records_completed_total", row["records"],
             labels=labels, help="Records emitted per rule-pack tenant",
         ))
+    # Per-worker series: a liveness gauge per slot plus the worker's own
+    # registry snapshot (shipped in heartbeats) re-labelled with the slot
+    # id.  Worker-side families (repro_serve_*, repro_enforcer_*,
+    # repro_slo_*) thereby coexist with the parent's aggregate series --
+    # the exposition renderer groups by family name, and the extra
+    # ``worker`` label keeps the series distinct.
+    for handle in pool._handles:
+        worker = str(handle.worker_id)
+        samples.append(Sample.gauge(
+            "repro_worker_up", 1.0 if handle.state == READY else 0.0,
+            labels={"worker": worker},
+            help="1 when the worker slot is heartbeating and taking jobs",
+        ))
+        for sample in handle.metric_samples:
+            samples.append(Sample(
+                sample.name,
+                sample.value,
+                tuple(sorted(dict(sample.labels, worker=worker).items())),
+                sample.type,
+                sample.help,
+            ))
     return samples
 
 
@@ -237,6 +273,9 @@ class WorkerPool:
         rule_registry: Optional[RuleSetRegistry] = None,
         tenant_quotas: Optional[Mapping[str, int]] = None,
         tenant_priorities: Optional[Mapping[str, int]] = None,
+        latency_buckets: Optional[Sequence[float]] = None,
+        slo: Optional[SLOConfig] = None,
+        span_sink: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -316,11 +355,28 @@ class WorkerPool:
         self.breaker_trips = 0
 
         self.registry = registry if registry is not None else OBS.registry
+        self.latency_buckets = (
+            tuple(float(b) for b in latency_buckets)
+            if latency_buckets is not None
+            else DEFAULT_LATENCY_BUCKETS_MS
+        )
         self._latency_hist = self.registry.histogram(
             "repro_serve_request_latency_ms",
-            DEFAULT_LATENCY_BUCKETS_MS,
+            self.latency_buckets,
             help="End-to-end request latency (submit to final record)",
         )
+        # Request-level SLO accounting lives on the router: every request
+        # resolves exactly once here (result, typed error, or reap), which
+        # is the one place per-tenant burn rates can be counted without
+        # double-observing crash replays.
+        self.slo = SLOTracker(slo)
+        self.registry.register_collector(
+            "worker_pool_slo", lambda pool: pool.slo.samples(), owner=self
+        )
+        # Base path for per-worker span sinks; each (re)spawn gets its own
+        # ``<base>.w<id>.g<generation>`` file (sinks open with mode "w", so
+        # a respawn must never reuse its predecessor's filename).
+        self.span_sink = os.fspath(span_sink) if span_sink is not None else None
         self.registry.register_collector("worker_pool", _pool_samples,
                                          owner=self)
 
@@ -506,6 +562,15 @@ class WorkerPool:
                 if self.rule_registry is not None
                 else None
             ),
+            # Generation-suffixed sink: restart k of worker i traces into
+            # ``<base>.w<i>.g<k>`` so crash replays never clobber the spans
+            # the dead incarnation already flushed.
+            span_sink=(
+                f"{self.span_sink}.w{handle.worker_id}.g{handle.restarts}"
+                if self.span_sink is not None
+                else None
+            ),
+            scheduler_kwargs={"latency_buckets": self.latency_buckets},
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -617,6 +682,9 @@ class WorkerPool:
                     f"crashes (request {request.id})"
                 )):
                     self.failed += 1
+                    self.slo.observe(
+                        request.tenant, request.latency_ms, ok=False
+                    )
                 continue
             self.units_retried += 1
             self._ready_units.appendleft(unit)
@@ -714,12 +782,18 @@ class WorkerPool:
                     RequestCancelled(f"request {request.id} cancelled")
                 ):
                     self.cancelled += 1
+                    self.slo.observe(
+                        request.tenant, request.latency_ms, ok=False
+                    )
                 continue
             if request.expired(now):
                 if request.fail(DeadlineExceeded(
                     f"request {request.id} expired while queued"
                 )):
                     self.expired += 1
+                    self.slo.observe(
+                        request.tenant, request.latency_ms, ok=False
+                    )
                 continue
             if not self._send_job(target, unit, now):
                 # The pipe broke mid-dispatch: the job never left, so put
@@ -755,6 +829,13 @@ class WorkerPool:
             # Affinity flows through to the worker's in-process scheduler
             # so the stream also pins a *lane* inside its home worker.
             "sticky_key": spec.sticky_key,
+            # Trace context crosses the pipe as the correlation id plus the
+            # replay attempt -- never ``trace_parent``, which is a span id
+            # local to *this* process.  The worker's record span stays a
+            # local root carrying the trace_id attr; merge-time re-parenting
+            # (repro.obs.merge) stitches it under the router's request span.
+            "trace_id": spec.trace_id,
+            "attempt": unit.retries,
         }
         try:
             handle.conn.send(("job", unit_id, job))
@@ -778,10 +859,16 @@ class WorkerPool:
                     f"request {request.id} exceeded its deadline in flight"
                 )):
                     self.expired += 1
+                    self.slo.observe(
+                        request.tenant, request.latency_ms, ok=False
+                    )
                 elif request.cancel_requested and request.fail(
                     RequestCancelled(f"request {request.id} cancelled")
                 ):
                     self.cancelled += 1
+                    self.slo.observe(
+                        request.tenant, request.latency_ms, ok=False
+                    )
                 if not unit.cancel_sent:
                     unit.cancel_sent = True
                     try:
@@ -828,7 +915,11 @@ class WorkerPool:
             handle.state = READY
             handle.pid = message[1]
         elif kind == "hb":
-            handle.stats = message[1]
+            stats = dict(message[1])
+            # Pop the Sample rows before storing: handle.stats feeds the
+            # JSON /metrics payload, which must stay plain builtins.
+            handle.metric_samples = stats.pop("metrics", [])
+            handle.stats = stats
         elif kind == "result":
             _, unit_id, wire = message
             unit = handle.inflight.pop(unit_id, None)
@@ -842,6 +933,9 @@ class WorkerPool:
                 self.completed += 1
                 tenant_row["completed"] += 1
                 self._latency_hist.observe(unit.request.latency_ms)
+                self.slo.observe(
+                    unit.request.tenant, unit.request.latency_ms, ok=True
+                )
                 with self._metrics_lock:
                     self._latencies.append(unit.request.latency_ms)
         elif kind == "err":
@@ -854,6 +948,9 @@ class WorkerPool:
             # rather than consuming the crash-retry budget.
             error = resolve_error(type_name, text)
             if unit.request.fail(error):
+                self.slo.observe(
+                    unit.request.tenant, unit.request.latency_ms, ok=False
+                )
                 if isinstance(error, DeadlineExceeded):
                     self.expired += 1
                 elif isinstance(error, RequestCancelled):
@@ -862,7 +959,9 @@ class WorkerPool:
                     self.failed += 1
                     self._tenant_row(unit.request.tenant)["failed"] += 1
         elif kind == "bye":
-            handle.stats = message[1]
+            stats = dict(message[1])
+            handle.metric_samples = stats.pop("metrics", [])
+            handle.stats = stats
             handle.state = STOPPED
         else:  # pragma: no cover -- protocol drift guard
             logger.warning("worker %d: unknown message %r",
@@ -1011,6 +1110,7 @@ class WorkerPool:
             },
             "records_completed": self.records_completed,
             "latency_ms": latency,
+            "slo": self.slo.snapshot(),
             "tenants": {
                 tenant: dict(row, queued=queued.get(tenant, 0))
                 for tenant, row in sorted(self.tenant_stats().items())
@@ -1063,4 +1163,5 @@ class WorkerPool:
             ("units_retried", supervision["units_retried"]),
             ("units_lost", supervision["units_lost"]),
         ]
+        pairs.extend(self.slo.summary_pairs())
         return format_kv(pairs)

@@ -89,6 +89,20 @@ class RequestSpec:
     # performance-only: bytes are placement-independent, so a busy or dead
     # preferred target simply falls back to least-loaded dispatch.
     sticky_key: Optional[str] = None
+    # Distributed trace context (see repro.obs.merge).  ``trace_id`` is the
+    # W3C-shaped correlation id the HTTP front end mints (or a stream's
+    # deterministic id); it crosses the supervisor pipe verbatim so
+    # worker-side record spans can be re-parented under the router's
+    # request span at merge time.  ``trace_parent`` is a *local* span id
+    # and therefore never crosses a process boundary -- the in-process
+    # scheduler parents record spans under it directly, the worker pool
+    # strips it before shipping the job.  ``attempt`` counts crash replays
+    # of this unit (the pool stamps ``unit.retries``); a replayed record
+    # keeps its trace_id and marks itself with a ``replay_of`` attr.
+    # Purely observational: none of the three may influence emitted bytes.
+    trace_id: Optional[str] = None
+    trace_parent: Optional[int] = None
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("impute", "synthesize"):
@@ -105,6 +119,15 @@ class RequestSpec:
             raise ValueError("rule_set must be a string reference")
         if self.sticky_key is not None and not isinstance(self.sticky_key, str):
             raise ValueError("sticky_key must be a string")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise ValueError("trace_id must be a string")
+        if self.trace_parent is not None and (
+            isinstance(self.trace_parent, bool)
+            or not isinstance(self.trace_parent, int)
+        ):
+            raise ValueError("trace_parent must be a local span id (int)")
+        if self.attempt < 0:
+            raise ValueError("attempt must be >= 0")
 
 
 @dataclass

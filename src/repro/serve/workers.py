@@ -50,7 +50,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from .. import errors as _errors
 from ..core.enforcer import JitEnforcer
 from ..errors import ReproError
-from ..obs import MetricsRegistry
+from ..obs import OBS, MetricsRegistry, SpanTracer
 from ..rules.registry import RuleSetRegistry
 from .scheduler import ContinuousBatchingScheduler
 from .types import DONE, RequestSpec, ServeRequest
@@ -84,6 +84,12 @@ class WorkerConfig:
     # spawn; the parent keeps the worker current afterwards by forwarding
     # register/promote/retire events over the pipe.  None = no registry.
     registry_snapshot: Optional[list] = None
+    # Path for this worker incarnation's span sink (JSONL, opened "w").
+    # The supervisor names it ``<base>.w<id>.g<generation>`` so restarts
+    # never clobber a predecessor's flushed spans; the parent merges all
+    # ``<base>.w*`` files into one trace (see repro.obs.merge).  None
+    # disables worker-side tracing.
+    span_sink: Optional[str] = None
     # Extra keyword arguments forwarded to the in-process scheduler.
     scheduler_kwargs: Dict[str, Any] = field(default_factory=dict)
 
@@ -149,6 +155,15 @@ def worker_main(conn, config: WorkerConfig) -> None:
     """
     sender = _PipeSender(conn)
     registry = MetricsRegistry()  # never the parent's process-global one
+    # Under the fork start method this process inherits the parent's OBS
+    # singleton -- possibly with an open span sink.  Drop the inherited
+    # tracer *without* flushing it (this copy of the file object may hold
+    # buffered parent bytes; flushing would duplicate them into the
+    # parent's file), then attach this worker's own sink if configured.
+    OBS.active = False
+    OBS.tracer = None
+    if config.span_sink is not None:
+        OBS.enable(SpanTracer(sink=config.span_sink))
     try:
         if config.slow_start_s > 0:
             time.sleep(config.slow_start_s)
@@ -192,6 +207,11 @@ def worker_main(conn, config: WorkerConfig) -> None:
             "records_completed": scheduler.records_completed,
             "lm_calls": scheduler.lm_calls,
             "lm_rows": scheduler.lm_rows,
+            # The full worker-side registry snapshot (serve counters, SLO
+            # burn rates, enforcer oracle/KV-cache stats) as Sample rows.
+            # The parent pops this key before JSON exposition and re-emits
+            # the rows under a ``worker`` label.
+            "metrics": registry.collect(),
         }
 
     def heartbeat_loop() -> None:
@@ -287,6 +307,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
         stopping.set()
         completer.join(timeout=30)
         scheduler.stop(drain=True, timeout=30)
+        OBS.disable()  # flush + close this worker's span sink
         sender.send(("bye", stats()))
         try:
             conn.close()

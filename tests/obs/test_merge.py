@@ -1,0 +1,156 @@
+"""Trace-id minting and multi-process trace assembly."""
+
+import pytest
+
+from repro.obs import (
+    ManualClock,
+    SpanTracer,
+    merge_traces,
+    mint_trace_id,
+    stream_trace_id,
+    validate_span,
+    worker_sink_paths,
+)
+
+
+def _trace(spans_spec):
+    """Build a span list from (name, parent_key, attrs) rows via a real
+    tracer, so the output honours the children-before-parents sink order."""
+    tracer = SpanTracer(clock=ManualClock())
+    ids = {}
+    for key, (name, parent_key, attrs) in spans_spec.items():
+        parent = ids[parent_key] if parent_key is not None else None
+        ids[key] = tracer.start(name, parent=parent, attrs=attrs)
+    for key in reversed(list(spans_spec)):
+        tracer.end(ids[key])
+    return tracer.drain(), ids
+
+
+class TestTraceIds:
+    def test_mint_is_32_hex_and_unique(self):
+        first, second = mint_trace_id(), mint_trace_id()
+        assert len(first) == 32 and int(first, 16) >= 0
+        assert first != second
+
+    def test_stream_trace_id_is_deterministic(self):
+        assert stream_trace_id("stream-0", 0) == stream_trace_id("stream-0", 0)
+        assert stream_trace_id("stream-0", 0) != stream_trace_id("stream-0", 1)
+        assert stream_trace_id("a", 0) != stream_trace_id("b", 0)
+        assert len(stream_trace_id("stream-7", 7)) == 32
+
+    def test_worker_sink_paths_globs_sorted(self, tmp_path):
+        base = tmp_path / "trace.jsonl"
+        for name in ("trace.jsonl.w1.g0", "trace.jsonl.w0.g0",
+                     "trace.jsonl.w0.g1", "trace.jsonl"):
+            (tmp_path / name).write_text("")
+        paths = worker_sink_paths(base)
+        assert [p.rsplit("/", 1)[1] for p in paths] == [
+            "trace.jsonl.w0.g0", "trace.jsonl.w0.g1", "trace.jsonl.w1.g0",
+        ]
+
+
+class TestMergeTraces:
+    def test_worker_roots_reparent_under_matching_request(self):
+        trace_id = mint_trace_id()
+        parent_spans, parent_ids = _trace({
+            "req": ("request", None, {"trace_id": trace_id, "kind": "impute"}),
+        })
+        worker_spans, _ = _trace({
+            "rec": ("record", None, {"trace_id": trace_id}),
+            "step": ("step", "rec", {"variable": "I0"}),
+            "smt": ("smt_confirm", "step", {}),
+        })
+        merged = merge_traces(parent_spans, [("w0.g0", worker_spans)])
+
+        by_name = {}
+        for span in merged:
+            by_name.setdefault(span["name"], span)
+        request = by_name["request"]
+        record = by_name["record"]
+        step = by_name["step"]
+        assert request["span"] == parent_ids["req"]
+        assert record["parent"] == request["span"]
+        assert step["parent"] == record["span"]
+        assert by_name["smt_confirm"]["parent"] == step["span"]
+        assert request["attrs"]["process"] == "parent"
+        assert record["attrs"]["process"] == "w0.g0"
+        # The merged id space has no collisions and every span revalidates.
+        ids = [span["span"] for span in merged]
+        assert len(ids) == len(set(ids))
+        for span in merged:
+            validate_span(span)
+
+    def test_two_workers_offset_into_disjoint_id_ranges(self):
+        tid_a, tid_b = mint_trace_id(), mint_trace_id()
+        parent_spans, _ = _trace({
+            "a": ("request", None, {"trace_id": tid_a}),
+            "b": ("request", None, {"trace_id": tid_b}),
+        })
+        worker_a, _ = _trace({"rec": ("record", None, {"trace_id": tid_a})})
+        worker_b, _ = _trace({"rec": ("record", None, {"trace_id": tid_b})})
+        merged = merge_traces(
+            parent_spans, [("w0.g0", worker_a), ("w1.g0", worker_b)]
+        )
+        ids = [span["span"] for span in merged]
+        assert len(ids) == len(set(ids))
+        requests = {
+            span["attrs"]["trace_id"]: span["span"]
+            for span in merged if span["name"] == "request"
+        }
+        for span in merged:
+            if span["name"] == "record":
+                assert span["parent"] == requests[span["attrs"]["trace_id"]]
+
+    def test_unknown_trace_id_and_shared_lm_stay_roots(self):
+        parent_spans, _ = _trace({
+            "req": ("request", None, {"trace_id": mint_trace_id()}),
+        })
+        worker_spans, _ = _trace({
+            "orphan": ("record", None, {"trace_id": "f" * 32}),
+            "lm": ("lm_forward", None, {"batch": 4}),
+        })
+        merged = merge_traces(parent_spans, [("w0.g0", worker_spans)])
+        roots = {s["name"] for s in merged if s["parent"] is None}
+        assert roots == {"request", "record", "lm_forward"}
+
+    def test_replay_keeps_one_coherent_trace(self):
+        """A crash replay re-executes under the *same* trace id: the merged
+        trace shows the surviving first-attempt children and the replayed
+        record under one request, told apart by attempt/replay_of attrs."""
+        trace_id = mint_trace_id()
+        parent_spans, parent_ids = _trace({
+            "req": ("request", None, {"trace_id": trace_id}),
+        })
+        # Attempt 0 died mid-record: its record span never emitted, but an
+        # already-finished child step did.
+        crashed = SpanTracer(clock=ManualClock())
+        rec0 = crashed.start("record", attrs={"trace_id": trace_id})
+        crashed.end(crashed.start("step", parent=rec0, attrs={"variable": "I0"}))
+        first_attempt = crashed.drain()  # the unfinished record is absent
+        assert [s["name"] for s in first_attempt] == ["step"]
+        replay, _ = _trace({
+            "rec": ("record", None, {
+                "trace_id": trace_id, "attempt": 1, "replay_of": trace_id,
+            }),
+            "step": ("step", "rec", {"variable": "I0"}),
+        })
+        merged = merge_traces(
+            parent_spans, [("w0.g0", first_attempt), ("w1.g0", replay)]
+        )
+        records = [s for s in merged if s["name"] == "record"]
+        assert len(records) == 1
+        assert records[0]["parent"] == parent_ids["req"]
+        assert records[0]["attrs"]["replay_of"] == trace_id
+        assert records[0]["attrs"]["attempt"] == 1
+        # The orphaned step from the dead attempt keeps its process stamp
+        # but has a dangling parent id -- it must still validate and must
+        # not collide with any replayed span.
+        ids = [span["span"] for span in merged]
+        assert len(ids) == len(set(ids))
+        for span in merged:
+            validate_span(span)
+
+    def test_malformed_span_is_rejected(self):
+        parent_spans, _ = _trace({"req": ("request", None, {})})
+        with pytest.raises(ValueError):
+            merge_traces(parent_spans, [("w0", [{"span": 1}])])

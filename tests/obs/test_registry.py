@@ -116,3 +116,27 @@ class TestCollectors:
         registry.register_collector("c", lambda: [Sample.gauge("repro_g", 1)])
         registry.unregister_collector("c")
         assert registry.snapshot() == {}
+
+
+class TestBucketParsing:
+    def test_parse_buckets_accepts_increasing_positive_floats(self):
+        from repro.obs import parse_buckets
+
+        assert parse_buckets("1,5,25.5,100") == (1.0, 5.0, 25.5, 100.0)
+
+    def test_parse_buckets_rejects_bad_specs(self):
+        import pytest
+
+        from repro.obs import parse_buckets
+
+        for text in ("", "5,1", "0,1", "-2,3", "1,1", "a,b"):
+            with pytest.raises(ValueError):
+                parse_buckets(text)
+
+    def test_stream_lag_defaults_are_valid_histogram_bounds(self):
+        from repro.obs import STREAM_LAG_BUCKETS_MS, MetricsRegistry
+
+        assert list(STREAM_LAG_BUCKETS_MS) == sorted(STREAM_LAG_BUCKETS_MS)
+        assert STREAM_LAG_BUCKETS_MS[0] > 0
+        registry = MetricsRegistry()
+        registry.histogram("repro_lag_ms", STREAM_LAG_BUCKETS_MS)

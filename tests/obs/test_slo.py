@@ -1,0 +1,141 @@
+"""SLO tracker: objectives, rolling burn rates, window expiry, export."""
+
+import pytest
+
+from repro.obs import SLOConfig, SLOTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+def _tracker(clock, **overrides):
+    defaults = dict(
+        latency_target_ms=100.0,
+        latency_objective=0.9,  # 10% latency budget
+        error_objective=0.95,  # 5% error budget
+        window_s=100.0,
+        buckets=10,
+    )
+    defaults.update(overrides)
+    return SLOTracker(SLOConfig(**defaults), clock=clock)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_target_ms": 0},
+            {"latency_objective": 1.0},
+            {"error_objective": 0.0},
+            {"window_s": -1},
+            {"buckets": 0},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestBurnRates:
+    def test_all_good_requests_burn_nothing(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)
+        for _ in range(20):
+            tracker.observe("default", latency_ms=5.0, ok=True)
+        row = tracker.snapshot()["default"]
+        assert row["requests"] == 20
+        assert row["latency_violations"] == 0
+        assert row["errors"] == 0
+        assert row["latency_burn_rate"] == 0.0
+        assert row["error_burn_rate"] == 0.0
+        assert tracker.worst_burn_rate() == 0.0
+
+    def test_latency_burn_is_slow_rate_over_budget(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)  # 10% latency budget
+        for i in range(10):
+            slow = i < 2  # 20% of requests over target
+            tracker.observe("default", 500.0 if slow else 5.0, ok=True)
+        row = tracker.snapshot()["default"]
+        assert row["latency_violations"] == 2
+        assert row["latency_burn_rate"] == pytest.approx(2.0)
+
+    def test_error_burn_is_error_rate_over_budget(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)  # 5% error budget
+        for i in range(10):
+            tracker.observe("default", 5.0, ok=i != 0)  # 10% errors
+        row = tracker.snapshot()["default"]
+        assert row["errors"] == 1
+        assert row["error_burn_rate"] == pytest.approx(2.0)
+        # Errors do not also count as latency violations.
+        assert row["latency_violations"] == 0
+
+    def test_tenants_are_tracked_independently(self):
+        tracker = _tracker(FakeClock())
+        tracker.observe("tenant-a", 500.0, ok=True)
+        tracker.observe("tenant-b", 1.0, ok=True)
+        snap = tracker.snapshot()
+        assert snap["tenant-a"]["latency_violations"] == 1
+        assert snap["tenant-b"]["latency_violations"] == 0
+        assert tracker.worst_burn_rate() == snap["tenant-a"]["latency_burn_rate"]
+
+
+class TestWindowExpiry:
+    def test_burn_rate_decays_but_counters_are_cumulative(self):
+        clock = FakeClock()
+        tracker = _tracker(clock)  # window_s=100
+        for _ in range(5):
+            tracker.observe("default", 500.0, ok=False)
+        assert tracker.worst_burn_rate() > 0
+        clock.advance(150.0)  # step wall clock past the whole window
+        tracker.observe("default", 1.0, ok=True)
+        row = tracker.snapshot()["default"]
+        assert row["window_requests"] == 1  # only the fresh observation
+        assert row["latency_burn_rate"] == 0.0
+        assert row["error_burn_rate"] == 0.0
+        assert row["requests"] == 6  # cumulative survives expiry
+        assert row["errors"] == 5
+
+
+class TestExport:
+    def test_summary_pairs_aggregate_over_tenants(self):
+        tracker = _tracker(FakeClock())
+        tracker.observe("a", 500.0, ok=True)
+        tracker.observe("b", 1.0, ok=False)
+        pairs = dict(tracker.summary_pairs())
+        assert pairs["slo.requests"] == 2
+        assert pairs["slo.latency_violations"] == 1
+        assert pairs["slo.errors"] == 1
+        assert float(pairs["slo.worst_burn_rate"]) > 1.0
+
+    def test_samples_are_tenant_labeled_prometheus_rows(self):
+        tracker = _tracker(FakeClock())
+        tracker.observe("a", 1.0, ok=True)
+        tracker.observe("b", 1.0, ok=True)
+        samples = tracker.samples()
+        names = {s.name for s in samples}
+        assert names == {
+            "repro_slo_requests_total",
+            "repro_slo_latency_violations_total",
+            "repro_slo_errors_total",
+            "repro_slo_latency_burn_rate",
+            "repro_slo_error_burn_rate",
+        }
+        tenants = {dict(s.labels)["tenant"] for s in samples}
+        assert tenants == {"a", "b"}
+        counters = [s for s in samples if s.name.endswith("_total")]
+        assert all(s.type == "counter" for s in counters)
+
+    def test_default_clock_is_usable(self):
+        tracker = SLOTracker()
+        tracker.observe("default", 1.0, ok=True)
+        assert tracker.snapshot()["default"]["requests"] == 1

@@ -12,6 +12,7 @@ import pytest
 from repro.core import EnforcerConfig, JitEnforcer
 from repro.data import build_dataset
 from repro.lm import NgramLM
+from repro.obs.merge import stream_trace_id
 from repro.rules import RuleSet, domain_bound_rules, paper_rules
 from repro.serve import (
     ContinuousBatchingScheduler,
@@ -65,10 +66,14 @@ def _enforcer(setting, seed=13):
 
 def _serial_lines(setting, events, seed=0, window=2, late_policy="patch"):
     dataset = setting[0]
+    # The same deterministic correlation id /v1/stream mints for the
+    # default stream id, so emission bytes (including the "trace" key)
+    # stay comparable across drivers.
     session = StreamSession(
         StreamConfig(window=window, late_policy=late_policy, seed=seed),
         EnforcerExecutor(_enforcer(setting), seed=seed),
         telemetry_config=dataset.config,
+        trace_id=stream_trace_id(f"stream-{seed}", seed),
     )
     emissions = []
     for event in events:

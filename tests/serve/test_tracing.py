@@ -1,0 +1,251 @@
+"""Distributed tracing end to end: trace ids on responses, per-worker span
+sinks, merge-time re-parenting -- including across a worker crash replay."""
+
+import json
+import re
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.data import build_dataset
+from repro.lm import NgramLM
+from repro.obs import (
+    OBS,
+    SpanTracer,
+    load_trace,
+    load_worker_trace,
+    merge_traces,
+    validate_span,
+    worker_sink_paths,
+)
+from repro.obs.report import aggregate_distributed
+from repro.rules import domain_bound_rules, paper_rules
+from repro.serve import (
+    ContinuousBatchingScheduler,
+    RequestSpec,
+    ServingServer,
+    WorkerPool,
+)
+from repro.testing import CrashingLM
+
+HEX32 = re.compile(r"^[0-9a-f]{32}$")
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=40, seed=5
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model, paper_rules(dataset.config)
+
+
+def _factory(dataset, model, rules, seed=13, wrap=None):
+    def build():
+        lm = wrap(model) if wrap is not None else model
+        return JitEnforcer(
+            lm,
+            rules,
+            dataset.config,
+            EnforcerConfig(seed=seed),
+            fallback_rules=[domain_bound_rules(dataset.config)],
+        )
+
+    return build
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    OBS.disable()
+
+
+def _post(address, path, payload, headers=None):
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        method="POST",
+        headers=dict({"Content-Type": "application/json"}, **(headers or {})),
+    )
+    with urllib.request.urlopen(request, timeout=120) as reply:
+        return json.loads(reply.read()), dict(reply.headers)
+
+
+def _spans_by_name(spans):
+    index = {}
+    for span in spans:
+        index.setdefault(span["name"], []).append(span)
+    return index
+
+
+class TestInProcessTracing:
+    def test_response_header_and_same_process_parenting(
+        self, setting, tmp_path
+    ):
+        dataset, model, rules = setting
+        sink = tmp_path / "trace.jsonl"
+        OBS.enable(SpanTracer(sink=sink))
+        scheduler = ContinuousBatchingScheduler(
+            _factory(dataset, model, rules)(), lanes=2
+        )
+        coarse = dataset.test_windows()[0].coarse()
+        with ServingServer(
+            scheduler, port=0, telemetry_config=dataset.config
+        ) as srv:
+            body, headers = _post(
+                srv.address, "/v1/impute", {"coarse": coarse, "seed": 3}
+            )
+            minted = headers["trace-id"]
+            assert HEX32.match(minted)
+            # A caller-supplied id is honoured verbatim (context propagation
+            # from an upstream hop).
+            supplied = "ab" * 16
+            _, headers = _post(
+                srv.address,
+                "/v1/impute",
+                {"coarse": coarse, "seed": 4},
+                headers={"trace-id": supplied},
+            )
+            assert headers["trace-id"] == supplied
+        OBS.disable()  # flush the sink
+
+        spans = _spans_by_name(load_trace(sink))
+        requests = {
+            s["attrs"]["trace_id"]: s for s in spans["request"]
+        }
+        assert set(requests) == {minted, supplied}
+        # Same process: record spans parent directly under their request.
+        for record in spans["record"]:
+            request = requests[record["attrs"]["trace_id"]]
+            assert record["parent"] == request["span"]
+            assert record["attrs"].get("attempt", 0) == 0
+
+
+class TestWorkerPoolTracing:
+    def test_merged_trace_spans_the_process_boundary(self, setting, tmp_path):
+        dataset, model, rules = setting
+        sink = tmp_path / "trace.jsonl"
+        OBS.enable(SpanTracer(sink=sink))
+        coarse = dataset.test_windows()[0].coarse()
+        with WorkerPool(
+            _factory(dataset, model, rules),
+            workers=2,
+            lanes_per_worker=1,
+            span_sink=str(sink),
+        ) as pool, ServingServer(
+            pool, port=0, telemetry_config=dataset.config
+        ) as srv:
+            trace_ids = set()
+            for seed in (3, 4, 5):
+                _, headers = _post(
+                    srv.address, "/v1/impute", {"coarse": coarse, "seed": seed}
+                )
+                trace_ids.add(headers["trace-id"])
+            # Worker heartbeats ship their registries; the parent re-exposes
+            # them under a worker label.
+            deadline = time.monotonic() + 30
+            text = ""
+            while time.monotonic() < deadline:
+                text = pool.prometheus_text()
+                if 'repro_worker_up{worker="0"}' in text:
+                    break
+                time.sleep(0.05)
+            assert 'repro_worker_up{worker="0"}' in text
+            assert 'repro_worker_up{worker="1"}' in text
+        OBS.disable()
+
+        assert len(trace_ids) == 3
+        parent_spans = load_trace(sink)
+        worker_paths = worker_sink_paths(sink)
+        assert len(worker_paths) >= 2  # one sink per worker incarnation
+        worker_traces = [
+            (path.rsplit(".jsonl.", 1)[1], load_worker_trace(path))
+            for path in worker_paths
+        ]
+        merged = merge_traces(parent_spans, worker_traces)
+        for span in merged:
+            validate_span(span)
+        spans = _spans_by_name(merged)
+        requests = {s["attrs"]["trace_id"]: s for s in spans["request"]}
+        assert set(requests) == trace_ids
+        records = [
+            s for s in spans["record"] if s["attrs"].get("trace_id")
+        ]
+        assert len(records) == 3
+        worker_labels = set()
+        for record in records:
+            request = requests[record["attrs"]["trace_id"]]
+            assert record["parent"] == request["span"]
+            assert request["attrs"]["process"] == "parent"
+            worker_labels.add(record["attrs"]["process"])
+        assert worker_labels  # every record ran in some worker process
+        assert all(label.startswith("w") for label in worker_labels)
+        # Worker-side step spans re-parent transitively under the request.
+        record_ids = {r["span"] for r in records}
+        assert any(s["parent"] in record_ids for s in spans.get("step", []))
+        # The distributed report splits the solver-vs-LM breakdown by worker.
+        report = aggregate_distributed(merged)
+        assert set(report["by_worker"]) >= worker_labels
+        assert set(report["by_trace"]) == trace_ids
+
+    def test_crash_replay_keeps_one_coherent_trace(self, setting, tmp_path):
+        """ISSUE acceptance: a worker SIGKILLed mid-record replays under the
+        same trace id; the merged trace stays schema-valid and shows the
+        replay (attempt > 0, replay_of) under the original request span."""
+        dataset, model, rules = setting
+        sink = tmp_path / "trace.jsonl"
+        sentinel = str(tmp_path / "crash-once")
+        wrap = lambda m: CrashingLM(  # noqa: E731
+            m, crash_at={10}, exit_code=17, crash_once_path=sentinel
+        )
+        OBS.enable(SpanTracer(sink=sink))
+        with WorkerPool(
+            _factory(dataset, model, rules, wrap=wrap),
+            workers=2,
+            lanes_per_worker=1,
+            backoff_base=0.05,
+            span_sink=str(sink),
+        ) as pool:
+            trace_id = "cd" * 16
+            span = OBS.start_span(
+                "request", parent=None, attrs={"trace_id": trace_id}
+            )
+            spec = RequestSpec(
+                "synthesize", count=2, seed=88, trace_id=trace_id
+            )
+            result = pool.submit(spec).result(timeout=120)
+            OBS.end_span(span, {"status": 200})
+            assert pool.worker_crashes >= 1
+            assert pool.units_retried >= 1
+            assert pool.units_lost == 0
+            assert len(result.records) == 2
+        OBS.disable()
+
+        parent_spans = load_trace(sink)
+        worker_traces = [
+            (path.rsplit(".jsonl.", 1)[1], load_worker_trace(path))
+            for path in worker_sink_paths(sink)
+        ]
+        merged = merge_traces(parent_spans, worker_traces)
+        ids = [s["span"] for s in merged]
+        assert len(ids) == len(set(ids))
+        for span in merged:
+            validate_span(span)
+        spans = _spans_by_name(merged)
+        (request,) = spans["request"]
+        records = [
+            s for s in spans["record"]
+            if s["attrs"].get("trace_id") == trace_id
+        ]
+        assert records and all(
+            r["parent"] == request["span"] for r in records
+        )
+        replays = [r for r in records if r["attrs"].get("attempt", 0) > 0]
+        assert replays  # the killed unit re-executed under the same trace
+        assert all(
+            r["attrs"]["replay_of"] == trace_id for r in replays
+        )
+        assert aggregate_distributed(merged)["replays"] >= 1

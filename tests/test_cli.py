@@ -143,6 +143,31 @@ class TestStreamCli:
             assert "watermark" in emission and "record" in emission
         assert "stream_summary" in first.err
 
+    def test_enforce_stamps_deterministic_trace_id(
+        self, stream_workspace, capsys
+    ):
+        from repro.obs import parse_kv
+        from repro.obs.merge import stream_trace_id
+
+        root, _, model, rules = stream_workspace
+        events = root / "trace_events.jsonl"
+        assert main(["stream", "--generate", "5", "--stream-seed", "2"]) == 0
+        events.write_text(capsys.readouterr().out)
+        assert main([
+            "stream", "--model", str(model), "--rules", str(rules),
+            "--input", str(events), "--late-policy", "patch", "--seed", "3",
+        ]) == 0
+        captured = capsys.readouterr()
+        expected = stream_trace_id("stream-3", 3)
+        for line in captured.out.strip().splitlines():
+            assert json.loads(line)["trace"] == expected
+        summary = next(
+            line for line in captured.err.splitlines()
+            if "stream_summary" in line
+        )
+        _, pairs = parse_kv(summary)
+        assert pairs["trace"] == expected
+
     def test_enforce_requires_model_and_rules(self):
         with pytest.raises(SystemExit):
             main(["stream", "--input", "-"])
@@ -213,6 +238,51 @@ class TestObservabilityCli:
             events[event] = pairs
         assert events["degradation"]["records"] == "1"
         assert "records_per_sec" in events["throughput"]
+
+    def test_obs_report_merges_and_reports(self, tmp_path, capsys):
+        from repro.obs import ManualClock, SpanTracer, load_trace
+
+        trace = tmp_path / "trace.jsonl"
+        trace_id = "ab" * 16
+        parent = SpanTracer(sink=trace, clock=ManualClock())
+        parent.end(
+            parent.start("request", attrs={"trace_id": trace_id}),
+        )
+        parent.close()
+        worker_sink = tmp_path / "trace.jsonl.w0.g0"
+        worker = SpanTracer(sink=worker_sink, clock=ManualClock())
+        record = worker.start("record", attrs={"trace_id": trace_id})
+        worker.end(worker.start("step", parent=record))
+        worker.end(record)
+        worker.close()
+
+        merged_out = tmp_path / "merged.jsonl"
+        code = main([
+            "obs-report", "--trace", str(trace),
+            "--merged-out", str(merged_out), "--json",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "worker_sinks=1" in captured.err
+        report = json.loads(captured.out)
+        assert report["records"] == 1
+        assert "w0.g0" in report["by_worker"]
+        assert trace_id in report["by_trace"]
+        merged = load_trace(merged_out)
+        by_name = {span["name"]: span for span in merged}
+        assert by_name["record"]["parent"] == by_name["request"]["span"]
+
+    def test_obs_report_tolerates_killed_worker_tail(self, tmp_path, capsys):
+        from repro.obs import ManualClock, SpanTracer
+
+        trace = tmp_path / "trace.jsonl"
+        tracer = SpanTracer(sink=trace, clock=ManualClock())
+        tracer.end(tracer.start("request", attrs={"trace_id": "cd" * 16}))
+        tracer.close()
+        # A SIGKILLed worker leaves a torn trailing line in its sink.
+        (tmp_path / "trace.jsonl.w0.g0").write_text('{"v": 1, "span')
+        assert main(["obs-report", "--trace", str(trace), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["spans"] == 1
 
     def test_tracing_is_disabled_after_the_command(self, workspace, tmp_path):
         from repro.obs import OBS
