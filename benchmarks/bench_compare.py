@@ -1,8 +1,9 @@
 """Perf-regression gate over committed benchmark snapshots.
 
-Diffs a fresh ``bench_serving.py`` / ``bench_stream.py`` JSON report
-against the committed baseline (``BENCH_serving.json`` or
-``BENCH_stream.json``) with tolerance bands, and exits nonzero when the
+Diffs a fresh ``bench_serving.py`` / ``bench_stream.py`` /
+``bench_scaling.py --decode-mode`` JSON report against the committed
+baseline (``BENCH_serving.json``, ``BENCH_stream.json``, or
+``BENCH_decode.json``) with tolerance bands, and exits nonzero when the
 candidate regresses.  This is what CI runs so a perf regression fails
 the build instead of silently rewriting the snapshot:
 
@@ -51,6 +52,10 @@ SERVING_NON_INCREASING = ("failed", "expired")
 POOL_NON_INCREASING = ("failed", "units_lost")
 STREAM_LOWER_BETTER_MS = ("lag_p50_ms", "lag_p99_ms")
 STREAM_HIGHER_BETTER = ("emitted_per_sec",)
+DECODE_HIGHER_BETTER = ("lm_tokens_per_sec", "records_per_sec")
+DECODE_SPEEDUPS = ("lm_speedup", "e2e_speedup")
+MASK_HIGHER_BETTER = ("e2e_speedup", "solver_query_reduction",
+                      "mask_hit_rate")
 
 
 class Finding:
@@ -197,20 +202,103 @@ def compare_stream(base: Mapping, cand: Mapping, tolerance: float,
     return findings
 
 
+def compare_decode(base: Mapping, cand: Mapping, tolerance: float,
+                   floor_ms: float) -> List[Finding]:
+    """Decode + mask-table report: BENCH_decode.json shape.
+
+    ``windows`` rows carry the KV-cache story (tokens/s and rec/s per
+    decode mode, speedups); the ``mask`` section carries the compiled
+    mask-table story per oracle config.  Byte parity never gets a band:
+    a parity flip is a correctness bug wearing a perf costume.
+    """
+    findings: List[Finding] = []
+    matched = 0
+    cand_windows = cand.get("windows", {})
+    for window, base_row in base.get("windows", {}).items():
+        cand_row = cand_windows.get(window)
+        where = f"decode(window={window})"
+        if cand_row is None:
+            findings.append(Finding(where, "<config>", "present", "missing",
+                                    False, note="not run by candidate"))
+            continue
+        matched += 1
+        for mode, base_mode in base_row.get("modes", {}).items():
+            cand_mode = cand_row.get("modes", {}).get(mode, {})
+            for metric in DECODE_HIGHER_BETTER:
+                _check_higher(findings, f"{where}[{mode}]", metric,
+                              base_mode, cand_mode, tolerance)
+        for metric in DECODE_SPEEDUPS:
+            _check_higher(findings, where, metric, base_row, cand_row,
+                          tolerance)
+        b_par = base_row.get("parity") == "byte-identical"
+        c_par = cand_row.get("parity") == "byte-identical"
+        findings.append(Finding(where, "parity", base_row.get("parity"),
+                                cand_row.get("parity"), b_par and not c_par,
+                                note="must stay byte-identical"))
+    base_mask, cand_mask = base.get("mask") or {}, cand.get("mask") or {}
+    cand_oracles = cand_mask.get("oracles", {})
+    same_workload = base_mask.get("records") == cand_mask.get("records")
+    for oracle, base_row in base_mask.get("oracles", {}).items():
+        cand_row = cand_oracles.get(oracle)
+        where = f"mask(oracle={oracle})"
+        if cand_row is None:
+            findings.append(Finding(where, "<config>", "present", "missing",
+                                    False, note="not run by candidate"))
+            continue
+        matched += 1
+        for arm in ("live", "mask"):
+            base_arm = base_row.get("arms", {}).get(arm, {})
+            cand_arm = cand_row.get("arms", {}).get(arm, {})
+            _check_higher(findings, f"{where}[{arm}]", "records_per_sec",
+                          base_arm, cand_arm, tolerance)
+        # Live-query counts are deterministic in (seed, prompts, rules),
+        # so the mask arm's residual solver traffic gets no noise band --
+        # but per-record normalisation only lines up at equal workload
+        # sizes (first-visit fallbacks amortise over the record count).
+        if same_workload:
+            _check_non_increasing(
+                findings, f"{where}[mask]", "solver_queries_per_record",
+                base_row.get("arms", {}).get("mask", {}),
+                cand_row.get("arms", {}).get("mask", {}))
+        base_hit = {"mask_hit_rate":
+                    base_row.get("arms", {}).get("mask", {}).get("mask_hit_rate")}
+        cand_hit = {"mask_hit_rate":
+                    cand_row.get("arms", {}).get("mask", {}).get("mask_hit_rate")}
+        for metric in MASK_HIGHER_BETTER:
+            src_b = base_hit if metric == "mask_hit_rate" else base_row
+            src_c = cand_hit if metric == "mask_hit_rate" else cand_row
+            _check_higher(findings, where, metric, src_b, src_c, tolerance)
+        _check_bool(findings, where, "parity", base_row, cand_row)
+    if not matched:
+        raise SystemExit(
+            "bench_compare: no candidate window/oracle matches any "
+            "baseline row -- wrong file pair?")
+    return findings
+
+
 def compare(base: Mapping, cand: Mapping,
             tolerance: float = DEFAULT_TOLERANCE,
             floor_ms: float = DEFAULT_FLOOR_MS) -> List[Finding]:
     """Dispatch on report shape; both files must be the same kind."""
-    base_kind = "serving" if "configs" in base else (
-        "stream" if "throughput" in base else None)
-    cand_kind = "serving" if "configs" in cand else (
-        "stream" if "throughput" in cand else None)
+
+    def kind(report: Mapping) -> Optional[str]:
+        if "configs" in report:
+            return "serving"
+        if "windows" in report:
+            return "decode"
+        if "throughput" in report:
+            return "stream"
+        return None
+
+    base_kind, cand_kind = kind(base), kind(cand)
     if base_kind is None or cand_kind is None or base_kind != cand_kind:
         raise SystemExit(
             f"bench_compare: cannot compare a {base_kind or 'unknown'} "
             f"baseline against a {cand_kind or 'unknown'} candidate")
     if base_kind == "serving":
         return compare_serving(base, cand, tolerance, floor_ms)
+    if base_kind == "decode":
+        return compare_decode(base, cand, tolerance, floor_ms)
     return compare_stream(base, cand, tolerance, floor_ms)
 
 

@@ -152,6 +152,11 @@ class EnforcerConfig:
     # re-encodes the whole prefix every step (the legacy behavior, and the
     # automatic fallback when a prefix outgrows the context window).
     decode_mode: str = "incremental"
+    # Answer feasibility queries from a compiled mask table (see
+    # rules/compile.py) on states the offline compiler proved exact,
+    # reaching the live solver only on imprecise states.  Byte-identical
+    # output either way -- the table never invents answers.
+    mask_table: bool = False
 
     def __post_init__(self) -> None:
         if self.oracle not in ("hybrid", "smt", "interval"):
@@ -388,6 +393,7 @@ class EnforcementSession:
         if handle is not None:
             span_attrs["tenant"] = handle.name
             span_attrs["rule_set"] = handle.ref
+            span_attrs["fingerprint"] = handle.content_hash
         # Distributed trace context (see repro.obs.merge): the record span
         # carries the request's correlation id so a worker-side trace can
         # be re-parented under the router's request span after the fact;
@@ -883,7 +889,8 @@ class EnforcementSession:
         ) as ctx:
             feasible = oracle.feasible_set(name)
             size = feasible.count()
-            ctx.annotate(size=size)
+            ctx.annotate(size=size,
+                         source=getattr(oracle, "last_source", "live"))
         size_hist.observe(size)
         return feasible
 
@@ -899,7 +906,8 @@ class EnforcementSession:
             value=value,
         ) as ctx:
             status = oracle.confirm_status(name, value)
-            ctx.annotate(status=status)
+            ctx.annotate(status=status,
+                         source=getattr(oracle, "last_source", "live"))
         return status
 
     def _sample_literal(

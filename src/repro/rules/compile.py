@@ -1,0 +1,294 @@
+"""Offline rule-set compiler: rule pack + schema -> compiled mask table.
+
+The live enforcement hot path asks a solver-backed oracle one
+``feasible_digits`` query per emitted character.  This module moves that
+work offline, SynCode-style: :func:`compile_rules` lowers an active rule
+pack plus the record schema (variable bounds) into a
+:class:`CompiledMaskTable` whose per-record states answer feasibility by
+integer table lookups, marking every state the abstraction cannot prove
+exact as IMPRECISE so the oracle falls back to the live pooled solver
+(and OracleCache) there and nowhere else.
+
+The symbolic machinery -- the interval-lattice
+:class:`~repro.smt.automaton.IntervalAbstraction` and the digit-level
+:class:`~repro.smt.automaton.DigitMaskAutomaton` -- lives in
+:mod:`repro.smt.automaton`; this module supplies the rule-pack-facing
+surface: compilation, the per-record state, hit/fallback accounting, and
+the versioned on-disk artifact (format ``lejit-masks/1``) that the rule
+registry caches per content fingerprint and ships to pool workers.
+
+Determinism: a compiled table never *invents* answers -- on precise
+states its verdicts and interval endpoints provably equal the live
+oracles' (see the exactness proof obligation in
+:mod:`repro.smt.automaton`), and on imprecise states it answers nothing.
+Forced values therefore still come from the canonical feasible minimum,
+and records are byte-identical with the table on or off.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..smt.automaton import DigitMaskAutomaton, IntervalAbstraction, residual
+from ..smt.lincon import LinCon
+from ..smt.serialize import formula_from_dict, formula_to_dict
+from .dsl import RuleSet
+from .io import rules_fingerprint
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CompiledMaskTable",
+    "MaskLookupStats",
+    "compile_rules",
+    "load_mask_table",
+    "save_mask_table",
+]
+
+ARTIFACT_FORMAT = "lejit-masks/1"
+
+Bounds = Mapping[str, Tuple[int, int]]
+
+
+@dataclass
+class MaskLookupStats:
+    """Shared hit/fallback accounting for every oracle using mask tables.
+
+    ``hits`` counts oracle operations (begins, feasible-set queries,
+    confirmations) answered by table lookup; ``fallbacks`` counts
+    operations a table was consulted for but could not answer (imprecise
+    state); ``live_queries`` counts operations that reached the live
+    machinery -- maintained even when no table is configured, so
+    mask-off/mask-on benchmark columns are directly comparable.
+    ``replays`` counts lazy live-state reconstructions (the first live
+    query of a record whose earlier steps were table-only).
+    """
+
+    hits: int = 0
+    fallbacks: int = 0
+    live_queries: int = 0
+    replays: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.fallbacks
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        return {
+            "hits": self.hits,
+            "fallbacks": self.fallbacks,
+            "live_queries": self.live_queries,
+            "replays": self.replays,
+            "hit_rate": round(self.hit_rate(), 6),
+        }
+
+
+class CompiledMaskTable:
+    """A rule pack compiled into per-record feasibility lookup state.
+
+    ``open_record(fixed)`` folds the record's fixed values into a copy of
+    the compiled base abstraction and returns the per-record state (an
+    :class:`IntervalAbstraction`): the oracle then drives it with
+    ``assign`` as values are fixed and answers precise queries from
+    ``project``/``contains``.  ``automata`` holds the digit-level
+    per-prefix masks of each variable's base feasible interval, used to
+    prime the transition-system memo so even first-touch per-character
+    masks are table hits.
+    """
+
+    def __init__(
+        self,
+        fingerprint: str,
+        bounds: Bounds,
+        base: IntervalAbstraction,
+        automata: Mapping[str, DigitMaskAutomaton],
+    ):
+        self.fingerprint = fingerprint
+        self.bounds = {
+            name: (int(low), int(high)) for name, (low, high) in bounds.items()
+        }
+        self.base = base
+        self.automata = dict(automata)
+
+    # -- per-record surface ------------------------------------------------------
+
+    def open_record(self, fixed: Optional[Mapping[str, int]]) -> IntervalAbstraction:
+        """The record's initial abstract state with fixed values folded in."""
+        state = self.base.copy()
+        if not fixed:
+            return state
+        pins = {name: int(value) for name, value in fixed.items()}
+        state._sat = None
+        for name, value in pins.items():
+            low, high = state.box.get(name, (value, value))
+            if not low <= value <= high:
+                state.refuted = True
+            state.box[name] = (value, value)
+        if state.refuted:
+            return state
+        cons, state.cons = state.cons, []
+        for con in cons:
+            coeffs = dict(con.items)
+            const = con.const
+            touched = False
+            for name, value in pins.items():
+                coeff = coeffs.pop(name, None)
+                if coeff is not None:
+                    const += coeff * value
+                    touched = True
+            if touched:
+                state.add_lincon(LinCon.make(coeffs, const, con.op))
+            else:
+                state.cons.append(con)
+        guards, state.guards = state.guards, []
+        for guard in guards:
+            state.add_formula(residual(guard, pins))
+        return state
+
+    @property
+    def precise_base(self) -> bool:
+        return self.base.exact()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "variables": len(self.bounds),
+            "constraints": len(self.base.cons),
+            "guards": len(self.base.guards),
+            "precise_base": self.precise_base,
+            "automata": len(self.automata),
+            "automaton_states": sum(
+                len(auto.states) for auto in self.automata.values()
+            ),
+        }
+
+    def prime_transition_memo(self, memo: Optional[dict] = None) -> int:
+        """Preload compiled digit masks into the transition-system memo.
+
+        Imported lazily: the rules package must stay importable without
+        ``repro.core`` (the reverse dependency already exists).
+        """
+        if memo is None:
+            from ..core.transition import DigitTransitionSystem
+
+            memo = DigitTransitionSystem._MEMO
+        primed = 0
+        for automaton in self.automata.values():
+            for key, mask in automaton.memo_items():
+                if key not in memo:
+                    memo[key] = mask
+                    primed += 1
+        return primed
+
+    # -- versioned artifact -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "bounds": {name: list(pair) for name, pair in self.bounds.items()},
+            "box": {name: list(pair) for name, pair in self.base.box.items()},
+            "cons": [
+                {"coeffs": dict(con.items), "const": con.const, "op": con.op}
+                for con in self.base.cons
+            ],
+            "guards": [formula_to_dict(guard) for guard in self.base.guards],
+            "refuted": self.base.refuted,
+            "inexact": self.base.inexact,
+            "precise_base": self.precise_base,
+            "automata": {
+                name: automaton.to_payload()
+                for name, automaton in sorted(self.automata.items())
+            },
+        }
+
+    @classmethod
+    def from_json(
+        cls, payload: Mapping, expected_fingerprint: Optional[str] = None
+    ) -> "CompiledMaskTable":
+        if payload.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(
+                f"unsupported mask artifact format {payload.get('format')!r} "
+                f"(expected {ARTIFACT_FORMAT!r})"
+            )
+        fingerprint = str(payload["fingerprint"])
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise ValueError(
+                f"mask artifact fingerprint {fingerprint} does not match "
+                f"the rule set ({expected_fingerprint})"
+            )
+        base = IntervalAbstraction(
+            {name: (int(lo), int(hi)) for name, (lo, hi) in payload["box"].items()},
+            [
+                LinCon.make(entry["coeffs"], int(entry["const"]), str(entry["op"]))
+                for entry in payload.get("cons", [])
+            ],
+            [formula_from_dict(entry) for entry in payload.get("guards", [])],
+            bool(payload.get("refuted", False)),
+            bool(payload.get("inexact", False)),
+        )
+        automata = {
+            name: DigitMaskAutomaton.from_payload(entry)
+            for name, entry in payload.get("automata", {}).items()
+        }
+        return cls(
+            fingerprint,
+            {name: (int(lo), int(hi)) for name, (lo, hi) in payload["bounds"].items()},
+            base,
+            automata,
+        )
+
+    def artifact_bytes(self) -> bytes:
+        """Canonical serialized form: byte-identical across recompiles."""
+        return (
+            json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+        ).encode("utf-8")
+
+
+def compile_rules(
+    rules: RuleSet,
+    bounds: Bounds,
+    fingerprint: Optional[str] = None,
+    max_automaton_states: int = DigitMaskAutomaton.DEFAULT_MAX_STATES,
+) -> CompiledMaskTable:
+    """Lower a rule pack plus record schema into a compiled mask table.
+
+    Every rule formula is normalized (NNF + simplification, exactly as
+    the live oracles residualize it) and classified: pure-conjunctive
+    parts fold into the interval box / constraint list, everything else
+    becomes a guard that keeps its states imprecise until record-time
+    substitution collapses it.
+    """
+    fp = fingerprint if fingerprint is not None else rules_fingerprint(rules)
+    box = {name: (int(low), int(high)) for name, (low, high) in bounds.items()}
+    base = IntervalAbstraction(dict(box))
+    for formula in rules.formulas():
+        base.add_formula(residual(formula, {}))
+    automata: Dict[str, DigitMaskAutomaton] = {}
+    if not base.infeasible():
+        exact = base.exact()
+        for name in sorted(box):
+            interval = base.project(name) if exact else base.box.get(name)
+            if interval is None:
+                continue
+            low, high = interval
+            if high < max(0, low):
+                continue
+            automata[name] = DigitMaskAutomaton.compile(
+                [(low, high)], max_states=max_automaton_states
+            )
+    return CompiledMaskTable(fp, box, base, automata)
+
+
+def save_mask_table(table: CompiledMaskTable, path: Union[str, Path]) -> None:
+    Path(path).write_bytes(table.artifact_bytes())
+
+
+def load_mask_table(
+    path: Union[str, Path], expected_fingerprint: Optional[str] = None
+) -> CompiledMaskTable:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return CompiledMaskTable.from_json(payload, expected_fingerprint)

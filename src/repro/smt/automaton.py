@@ -1,0 +1,521 @@
+"""Digit-level feasibility automata and the interval-lattice abstraction.
+
+This module is the symbolic half of the offline rule-set compiler
+(:mod:`repro.rules.compile`).  It lowers a conjunctive constraint store
+into two artifacts:
+
+* :class:`IntervalAbstraction` -- an interval-lattice abstraction of the
+  constraint store: a box of per-variable bounds, a list of residual
+  multi-variable linear constraints, and a list of *guard* formulas the
+  abstraction cannot express conjunctively.  The abstraction supports the
+  same per-record operations as a live oracle (open, assign, project,
+  confirm) in O(constraints) integer arithmetic, with a machine-checked
+  notion of when its answers are **exact**.
+
+* :class:`DigitMaskAutomaton` -- the digit-level feasibility automaton of
+  one variable's decimal literal: states are digit prefixes, transitions
+  the candidate characters, and every state stores the exact admissible
+  character mask.  It replicates
+  :class:`repro.core.transition.DigitTransitionSystem` over raw interval
+  segments (this module deliberately does not import ``repro.core``), so
+  compiled masks can prime that class's process memo.
+
+Exactness proof obligation
+--------------------------
+
+``feasible_digits`` answers from the abstraction only on states whose
+projection provably equals both the exact integer projection *and* the
+live interval-propagation result (byte parity demands agreement with the
+live oracles, not merely with ground truth).  :func:`system_is_exact`
+accepts a multi-constraint store iff
+
+1. every constraint is ``<=`` (any integer coefficients) or ``==`` with
+   all coefficients in {-1, +1} -- never ``!=``;
+2. the constraints are pairwise variable-disjoint (single-variable
+   constraints are folded into the box first, so each variable is bounded
+   by the box plus at most one residual constraint); and
+3. every constraint variable has a box entry.
+
+Under these conditions one rest-sum pass over the box computes, per
+variable, an interval that is simultaneously the propagation fixpoint of
+:func:`repro.smt.intervals.propagate` and the exact projection of the
+integer solution set: for ``<=`` the feasible values below the threshold
+are downward-closed within the box, and for all-unit ``==`` every sum in
+``[min, max]`` is attained because changing one variable by 1 changes the
+sum by exactly 1.  Disjointness makes the per-constraint intervals
+independent, so their intersection with the box is the exact projection.
+Everything else -- guards, ``!=``, shared variables, non-unit equality
+coefficients -- is marked imprecise and answered by the live solver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .lincon import LinCon, constraint_from_atom
+from .simplify import simplify, substitute, to_nnf
+from .terms import FALSE, TRUE, And, Atom, Formula, Not
+
+__all__ = [
+    "SEPARATOR",
+    "DigitMaskAutomaton",
+    "IntervalAbstraction",
+    "conjunctive_lincons",
+    "residual",
+    "system_is_exact",
+]
+
+#: Symbolic "close this literal" transition label.  Mirrors
+#: ``repro.core.transition.SEPARATOR`` (asserted equal by tests); redefined
+#: here so the smt layer stays independent of the core package.
+SEPARATOR = "sep"
+
+Box = Dict[str, Tuple[int, int]]
+
+
+def _floor_div(a: int, b: int) -> int:
+    return a // b
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def residual(formula: Formula, fixed: Mapping[str, int]) -> Formula:
+    """Substitute fixed values and normalize (mirrors the live oracles'
+    ``residualize``, re-stated here to keep the smt layer self-contained)."""
+    return simplify(to_nnf(substitute(formula, fixed)))
+
+
+def conjunctive_lincons(formula: Formula) -> Optional[List[LinCon]]:
+    """The formula as a conjunction of linear constraints, or None.
+
+    Accepts atoms, conjunctions of atoms, and negated equalities (which
+    become ``!=`` constraints); anything containing a disjunction or
+    implication is not pure-conjunctive and returns None.
+    """
+    out: List[LinCon] = []
+    if _collect_conjunctive(formula, out):
+        return out
+    return None
+
+
+def _collect_conjunctive(formula: Formula, out: List[LinCon]) -> bool:
+    if formula == TRUE:
+        return True
+    if formula == FALSE:
+        out.append(LinCon((), 1, "<="))  # ground-false marker
+        return True
+    if isinstance(formula, Atom):
+        out.append(constraint_from_atom(formula, True))
+        return True
+    if isinstance(formula, Not) and isinstance(formula.arg, Atom):
+        if formula.arg.op == "==":
+            out.append(constraint_from_atom(formula.arg, False))
+            return True
+        return False
+    if isinstance(formula, And):
+        return all(_collect_conjunctive(part, out) for part in formula.args)
+    return False
+
+
+def system_is_exact(cons: Sequence[LinCon], box_vars) -> bool:
+    """Do interval projections of this store provably equal the exact
+    integer projection (see the module docstring's proof obligation)?"""
+    seen: set = set()
+    for con in cons:
+        if con.op == "!=":
+            return False
+        if con.op == "==" and any(abs(c) != 1 for _, c in con.items):
+            return False
+        names = {name for name, _ in con.items}
+        if not names or (seen & names):
+            return False
+        if any(name not in box_vars for name in names):
+            return False
+        seen |= names
+    return True
+
+
+class IntervalAbstraction:
+    """Interval-lattice abstraction of one record's constraint store.
+
+    The three-part state -- ``box`` (per-variable bounds), ``cons``
+    (residual multi-variable constraints), ``guards`` (formulas outside
+    the conjunctive fragment) -- evolves under :meth:`assign` exactly as
+    the live oracles' refold does: assigned values substitute into
+    constraints numerically, guards re-residualize and are absorbed the
+    moment they collapse into the conjunctive fragment.  ``refuted`` is a
+    *definite* infeasibility flag: the conjunctive part alone is violated,
+    so the full conjunction is too, regardless of guard precision.
+    """
+
+    __slots__ = ("box", "cons", "guards", "refuted", "inexact", "_sat")
+
+    def __init__(
+        self,
+        box: Box,
+        cons: Optional[List[LinCon]] = None,
+        guards: Optional[List[Formula]] = None,
+        refuted: bool = False,
+        inexact: bool = False,
+    ):
+        self.box = box
+        self.cons = cons if cons is not None else []
+        self.guards = guards if guards is not None else []
+        self.refuted = refuted
+        self.inexact = inexact  # sticky: an unfoldable shape appeared
+        self._sat: Optional[bool] = None
+
+    def copy(self) -> "IntervalAbstraction":
+        return IntervalAbstraction(
+            dict(self.box),
+            list(self.cons),
+            list(self.guards),
+            self.refuted,
+            self.inexact,
+        )
+
+    # -- state evolution -------------------------------------------------------
+
+    def add_lincon(self, con: LinCon) -> None:
+        norm = con.normalized()
+        if norm is None:
+            return  # trivially true
+        self._sat = None
+        if norm.is_ground():
+            if not norm.ground_truth():
+                self.refuted = True
+            return
+        if len(norm.items) == 1 and norm.op in ("<=", "=="):
+            self._fold_single(norm)
+        else:
+            self.cons.append(norm)
+
+    def add_formula(self, formula: Formula) -> None:
+        """Classify an (already residualized) formula into the store."""
+        if formula == TRUE:
+            return
+        if formula == FALSE:
+            self.refuted = True
+            self._sat = None
+            return
+        pure = conjunctive_lincons(formula)
+        if pure is None:
+            self.guards.append(formula)
+            self._sat = None
+            return
+        for con in pure:
+            self.add_lincon(con)
+
+    def assign(self, name: str, value: int) -> None:
+        """Pin one variable, mirroring the live oracles' incremental refold."""
+        if self.refuted:
+            return
+        self._sat = None
+        low, high = self.box.get(name, (value, value))
+        if not low <= value <= high:
+            self.refuted = True
+            return
+        self.box[name] = (value, value)
+        if self.cons:
+            remaining: List[LinCon] = []
+            folded: List[LinCon] = []
+            for con in self.cons:
+                coeffs = dict(con.items)
+                coeff = coeffs.pop(name, None)
+                if coeff is None:
+                    remaining.append(con)
+                else:
+                    folded.append(
+                        LinCon.make(coeffs, con.const + coeff * value, con.op)
+                    )
+            self.cons = remaining
+            for con in folded:
+                self.add_lincon(con)
+        if self.guards:
+            kept: List[Formula] = []
+            for guard in self.guards:
+                reduced = residual(guard, {name: value})
+                if reduced == TRUE:
+                    continue
+                if reduced == FALSE:
+                    self.refuted = True
+                    continue
+                pure = conjunctive_lincons(reduced)
+                if pure is None:
+                    kept.append(reduced)
+                else:
+                    for con in pure:
+                        self.add_lincon(con)
+            self.guards = kept
+
+    def _fold_single(self, con: LinCon) -> None:
+        ((name, coeff),) = con.items
+        entry = self.box.get(name)
+        if entry is None:
+            self.inexact = True  # variable outside the schema box
+            self.cons.append(con)
+            return
+        low, high = entry
+        if con.op == "<=":
+            # Same floor/ceil arithmetic as the live _fold_lincons.
+            if coeff > 0:
+                high = min(high, (-con.const) // coeff)
+            else:
+                low = max(low, -((-con.const) // (-coeff)))
+        else:  # "==": pin to the exact integer solution, or refute
+            pinned, rem = divmod(-con.const, coeff)
+            if rem:
+                self.refuted = True
+                return
+            low = max(low, pinned)
+            high = min(high, pinned)
+        if low > high:
+            self.refuted = True
+            return
+        self.box[name] = (low, high)
+
+    # -- queries ---------------------------------------------------------------
+
+    def exact(self) -> bool:
+        """May the table answer for this state? (the proof obligation)"""
+        return (
+            not self.inexact
+            and not self.guards
+            and system_is_exact(self.cons, self.box)
+        )
+
+    def infeasible(self) -> bool:
+        """Definitely infeasible: the conjunctive fragment alone is empty.
+
+        Sound even on imprecise states -- guards are *conjoined* with the
+        store, so an empty conjunctive fragment empties the whole system.
+        """
+        if self.refuted:
+            return True
+        if self._sat is None:
+            self._sat = self._conjunctive_satisfiable()
+        return not self._sat
+
+    def _conjunctive_satisfiable(self) -> bool:
+        for low, high in self.box.values():
+            if low > high:
+                return False
+        for con in self.cons:
+            lo = hi = con.const
+            for name, coeff in con.items:
+                entry = self.box.get(name)
+                if entry is None:
+                    return True  # unbounded variable: cannot refute
+                blo, bhi = entry
+                if coeff >= 0:
+                    lo += coeff * blo
+                    hi += coeff * bhi
+                else:
+                    lo += coeff * bhi
+                    hi += coeff * blo
+            if con.op == "<=" and lo > 0:
+                return False
+            if con.op == "==" and not lo <= 0 <= hi:
+                return False
+        return True
+
+    def project(self, name: str) -> Optional[Tuple[int, int]]:
+        """Exact feasible interval of one variable (exact states only).
+
+        Returns None when the interval is empty.  The rest-sum pass below
+        is, on exact stores, simultaneously the propagation fixpoint and
+        the exact integer projection (module docstring).
+        """
+        if self.infeasible():
+            return None
+        entry = self.box.get(name)
+        if entry is None:
+            return None
+        low, high = entry
+        for con in self.cons:
+            coeff = None
+            rest_lo = rest_hi = con.const
+            for other, c in con.items:
+                if other == name:
+                    coeff = c
+                    continue
+                blo, bhi = self.box[other]
+                if c >= 0:
+                    rest_lo += c * blo
+                    rest_hi += c * bhi
+                else:
+                    rest_lo += c * bhi
+                    rest_hi += c * blo
+            if coeff is None:
+                continue
+            if con.op == "<=":
+                # coeff * x <= -rest_lo
+                if coeff > 0:
+                    high = min(high, _floor_div(-rest_lo, coeff))
+                else:
+                    low = max(low, _ceil_div(-rest_lo, coeff))
+            else:  # "==": coeff * x in [-rest_hi, -rest_lo]
+                if coeff > 0:
+                    low = max(low, _ceil_div(-rest_hi, coeff))
+                    high = min(high, _floor_div(-rest_lo, coeff))
+                else:
+                    low = max(low, _ceil_div(-rest_lo, coeff))
+                    high = min(high, _floor_div(-rest_hi, coeff))
+        if low > high:
+            return None
+        return low, high
+
+    def contains(self, name: str, value: int) -> bool:
+        interval = self.project(name)
+        return interval is not None and interval[0] <= value <= interval[1]
+
+
+class DigitMaskAutomaton:
+    """Per-prefix admissible-character masks for one decimal literal.
+
+    States are digit prefixes of the literal under construction; each
+    state's mask is the exact set of characters (digits plus
+    :data:`SEPARATOR`) that keep some canonical completion inside the
+    feasible segments.  The construction replicates
+    ``DigitTransitionSystem._allowed_next`` character for character, so a
+    compiled mask can be dropped straight into that class's memo.
+
+    The breadth-first expansion is capped (``max_states``): wide domains
+    have millions of reachable prefixes, and uncovered prefixes simply
+    fall back to the on-the-fly computation, so the cap trades artifact
+    size for coverage, never correctness.  ``complete`` records whether
+    the cap was hit.
+    """
+
+    DEFAULT_MAX_STATES = 4096
+
+    def __init__(
+        self,
+        segments: Tuple[Tuple[int, int], ...],
+        max_digits: int,
+        states: Mapping[str, FrozenSet[str]],
+        complete: bool,
+    ):
+        self.segments = tuple((int(lo), int(hi)) for lo, hi in segments)
+        self.max_digits = int(max_digits)
+        self.states: Dict[str, FrozenSet[str]] = dict(states)
+        self.complete = bool(complete)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        segments: Iterable[Tuple[int, int]],
+        max_digits: Optional[int] = None,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> "DigitMaskAutomaton":
+        segs = tuple(
+            (max(0, int(lo)), int(hi))
+            for lo, hi in segments
+            if int(hi) >= max(0, int(lo))
+        )
+        if not segs:
+            return cls((), 0, {}, True)
+        if max_digits is None:
+            max_digits = len(str(segs[-1][1]))
+        states: Dict[str, FrozenSet[str]] = {}
+        queue = deque([""])
+        complete = True
+        while queue:
+            prefix = queue.popleft()
+            if prefix in states:
+                continue
+            if len(states) >= max_states:
+                complete = False
+                break
+            mask = frozenset(cls._allowed(segs, max_digits, prefix))
+            states[prefix] = mask
+            if prefix == "0":
+                continue  # canonical zero closes immediately
+            for char in sorted(mask):
+                if char != SEPARATOR:
+                    queue.append(prefix + char)
+        return cls(segs, max_digits, states, complete)
+
+    @staticmethod
+    def _intersects(segments, lower: int, upper: int) -> bool:
+        return any(lo <= upper and lower <= hi for lo, hi in segments)
+
+    @staticmethod
+    def _contains(segments, value: int) -> bool:
+        return any(lo <= value <= hi for lo, hi in segments)
+
+    @classmethod
+    def _reachable(cls, segments, max_digits, prefix_value, prefix_len) -> bool:
+        scale = 1
+        for _ in range(max_digits - prefix_len + 1):
+            if cls._intersects(
+                segments, prefix_value * scale, (prefix_value + 1) * scale - 1
+            ):
+                return True
+            scale *= 10
+        return False
+
+    @classmethod
+    def _allowed(cls, segments, max_digits, prefix: str) -> set:
+        allowed: set = set()
+        if prefix == "":
+            if cls._contains(segments, 0):
+                allowed.add("0")
+            for digit in "123456789":
+                if cls._reachable(segments, max_digits, int(digit), 1):
+                    allowed.add(digit)
+            return allowed
+        if prefix == "0":
+            return {SEPARATOR} if cls._contains(segments, 0) else set()
+        value = int(prefix)
+        if cls._contains(segments, value):
+            allowed.add(SEPARATOR)
+        if len(prefix) < max_digits:
+            for digit in "0123456789":
+                if cls._reachable(
+                    segments, max_digits, value * 10 + int(digit), len(prefix) + 1
+                ):
+                    allowed.add(digit)
+        return allowed
+
+    # -- queries / serialization ------------------------------------------------
+
+    def allowed_next(self, prefix: str) -> Optional[FrozenSet[str]]:
+        """The state's mask, or None when the prefix is outside the
+        compiled state set (capped expansion) and must be computed live."""
+        mask = self.states.get(prefix)
+        if mask is None and self.complete:
+            return frozenset()  # unreachable prefix: nothing is admissible
+        return mask
+
+    def memo_items(self):
+        """(key, mask) pairs in ``DigitTransitionSystem._MEMO`` layout."""
+        for prefix, mask in self.states.items():
+            yield (self.segments, self.max_digits, prefix), mask
+
+    def to_payload(self) -> dict:
+        return {
+            "segments": [[lo, hi] for lo, hi in self.segments],
+            "max_digits": self.max_digits,
+            "complete": self.complete,
+            "states": {
+                prefix: sorted(mask) for prefix, mask in sorted(self.states.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "DigitMaskAutomaton":
+        return cls(
+            tuple((int(lo), int(hi)) for lo, hi in payload["segments"]),
+            int(payload["max_digits"]),
+            {
+                str(prefix): frozenset(mask)
+                for prefix, mask in payload["states"].items()
+            },
+            bool(payload.get("complete", True)),
+        )

@@ -1,0 +1,268 @@
+"""Mask-table / live-solver equivalence (the compiled fast path's contract).
+
+Two layers of the same guarantee:
+
+* **Oracle layer** -- fuzzed records (streams derived via ``record_rng``,
+  the repo-wide determinism key) drive a mask-backed oracle and a pure
+  live oracle through identical begin/feasible/confirm/fix sequences and
+  must agree digit for digit, across builtin packs, a mined pack, and an
+  adversarial pack engineered to be imprecise everywhere (pure-fallback
+  parity: the table answers nothing, and nothing changes).
+* **Driver layer** -- records are byte-identical with ``mask_table`` on
+  vs off under every driver: serial enforcer, batched engine, serving
+  scheduler, and a 2-process worker pool (the ISSUE acceptance bullet).
+"""
+
+import functools
+import operator
+
+import pytest
+
+from repro.core import EnforcerConfig, JitEnforcer
+from repro.core.enforcer import record_rng
+from repro.core.engine import EnforcementEngine
+from repro.core.feasible import (
+    HybridOracle,
+    InfeasibleRecordError,
+    IntervalOracle,
+    SmtOracle,
+)
+from repro.data import build_dataset, variable_bounds
+from repro.lm import NgramLM
+from repro.rules import (
+    MaskLookupStats,
+    Rule,
+    RuleSet,
+    compile_rules,
+    domain_bound_rules,
+    mine_rules,
+    paper_rules,
+    var,
+    zoom2net_manual_rules,
+)
+from repro.serve import ContinuousBatchingScheduler, RequestSpec, WorkerPool
+from repro.serve.types import DONE
+from repro.smt import Ne
+
+ORACLE_CLASSES = [HybridOracle, SmtOracle, IntervalOracle]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = build_dataset(
+        num_train_racks=4, num_test_racks=1, windows_per_rack=40, seed=5
+    )
+    model = NgramLM(order=6).fit(dataset.train_texts())
+    return dataset, model
+
+
+def _adversarial_rules(bounds) -> RuleSet:
+    """A satisfiable pack the compiler can never prove exact.
+
+    ``sum(all vars) != -1`` holds vacuously (counters are non-negative)
+    so live behaviour is unconstrained, but the ``!=`` row fails the
+    exactness criterion at every state until full assignment -- the
+    mask table must consult and decline on every single query.
+    """
+    expr = functools.reduce(operator.add, (var(name) for name in sorted(bounds)))
+    rules = RuleSet(name="adversarial-imprecise")
+    rules.add(Rule("never-minus-one", Ne(expr, -1), kind="mined"))
+    return rules
+
+
+def _mined_rules(dataset) -> RuleSet:
+    windows = dataset.train_windows()
+    assignments = [w.variables() for w in windows]
+    names = sorted(assignments[0])
+    fine = [n for n in names if n.startswith("I")]
+    return mine_rules(assignments, names, fine_variables=fine)
+
+
+def _pack_matrix(dataset):
+    config = dataset.config
+    bounds = variable_bounds(config)
+    return bounds, [
+        paper_rules(config),
+        zoom2net_manual_rules(config),
+        domain_bound_rules(config),
+        _mined_rules(dataset),
+        _adversarial_rules(bounds),
+    ]
+
+
+def _fuzz_one(oracle_cls, rules, bounds, table, stats, seed):
+    """One record's worth of paired oracle traffic; returns early on
+    (identically observed) infeasibility."""
+    rng = record_rng(seed, 0)
+    masked = oracle_cls(rules, bounds, mask_table=table, mask_stats=stats)
+    live = oracle_cls(rules, bounds)
+    names = sorted(bounds)
+    fixed = {}
+    for name in list(rng.permutation(names))[: int(rng.integers(0, 5))]:
+        low, high = bounds[name]
+        fixed[name] = int(rng.integers(low, high + 1))
+    raised = []
+    for oracle in (masked, live):
+        try:
+            oracle.begin_record(dict(fixed))
+            raised.append(False)
+        except InfeasibleRecordError:
+            raised.append(True)
+    assert raised[0] == raised[1], (rules.name, fixed)
+    if raised[0]:
+        return
+    for name in rng.permutation([n for n in names if n not in fixed]):
+        feasible_masked = masked.feasible_set(name)
+        feasible_live = live.feasible_set(name)
+        assert feasible_masked.segments == feasible_live.segments, (
+            rules.name, name, fixed,
+        )
+        if feasible_masked.is_empty():
+            return
+        low, high = bounds[name]
+        probes = {
+            feasible_masked.min_value,
+            feasible_masked.max_value,
+            int(rng.integers(low, high + 1)),
+        }
+        for probe in probes:
+            assert (
+                masked.confirm_status(name, probe)
+                == live.confirm_status(name, probe)
+            ), (rules.name, name, probe)
+        if rng.random() < 0.2 and hasattr(masked, "any_model"):
+            assert masked.any_model() == live.any_model()
+        value = feasible_masked.min_value
+        if rng.random() < 0.5:
+            values = list(feasible_masked.values())
+            value = int(values[int(rng.integers(0, len(values)))])
+        masked.fix(name, value)
+        live.fix(name, value)
+        fixed[name] = value
+
+
+class TestOracleLayerParity:
+    @pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+    def test_fuzzed_records_agree_digit_for_digit(self, setting, oracle_cls):
+        dataset, _ = setting
+        bounds, packs = _pack_matrix(dataset)
+        for rules in packs:
+            table = compile_rules(rules, bounds)
+            stats = MaskLookupStats()
+            seeds = 8 if oracle_cls is not SmtOracle else 4
+            for seed in range(seeds):
+                _fuzz_one(oracle_cls, rules, bounds, table, stats, seed)
+            # The table must actually have been consulted for the run to
+            # mean anything (hits or fallbacks, pack-dependent).
+            assert stats.hits + stats.fallbacks > 0, rules.name
+
+    @pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+    def test_adversarial_pack_is_pure_fallback(self, setting, oracle_cls):
+        dataset, _ = setting
+        bounds, _ = _pack_matrix(dataset)
+        rules = _adversarial_rules(bounds)
+        table = compile_rules(rules, bounds)
+        assert not table.precise_base
+        stats = MaskLookupStats()
+        for seed in range(8):
+            # In-box fixed values only: no infeasible begins, so any hit
+            # would mean the table answered on an imprecise state.
+            rng = record_rng(seed, 1)
+            masked = oracle_cls(
+                rules, bounds, mask_table=table, mask_stats=stats
+            )
+            live = oracle_cls(rules, bounds)
+            masked.begin_record({})
+            live.begin_record({})
+            for name in rng.permutation(sorted(bounds)):
+                fm, fl = masked.feasible_set(name), live.feasible_set(name)
+                assert fm.segments == fl.segments
+                masked.fix(name, fm.min_value)
+                live.fix(name, fl.min_value)
+        assert stats.hits == 0
+        assert stats.fallbacks > 0
+
+
+def _enforcer(dataset, model, rules, seed, mask_table):
+    return JitEnforcer(
+        model,
+        rules,
+        dataset.config,
+        EnforcerConfig(seed=seed, mask_table=mask_table),
+        fallback_rules=[domain_bound_rules(dataset.config)],
+    )
+
+
+class TestDriverByteParity:
+    """ISSUE acceptance: same (seed, index, rule-set hash) key, same bytes,
+    mask table on or off, under every driver."""
+
+    def test_serial_enforcer(self, setting):
+        dataset, model = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:6]]
+        outcomes = {}
+        for mask in (False, True):
+            enforcer = _enforcer(dataset, model, paper_rules(dataset.config),
+                                 seed=11, mask_table=mask)
+            outcomes[mask] = (
+                [enforcer.impute_record(c) for c in prompts]
+                + [enforcer.synthesize_record()]
+            )
+            if mask:
+                assert enforcer.mask_stats.hits > 0
+        for off, on in zip(outcomes[False], outcomes[True]):
+            assert dict(off.values) == dict(on.values)
+            assert off.stage == on.stage
+
+    def test_serial_enforcer_adversarial_pack(self, setting):
+        dataset, model = setting
+        bounds = variable_bounds(dataset.config)
+        rules = _adversarial_rules(bounds)
+        records = {}
+        for mask in (False, True):
+            enforcer = _enforcer(dataset, model, rules, seed=23,
+                                 mask_table=mask)
+            records[mask] = [enforcer.synthesize() for _ in range(3)]
+        assert records[False] == records[True]
+
+    def test_batched_engine(self, setting):
+        dataset, model = setting
+        prompts = [w.coarse() for w in dataset.test_windows()[:6]]
+        results = {}
+        for mask in (False, True):
+            enforcer = _enforcer(dataset, model, paper_rules(dataset.config),
+                                 seed=31, mask_table=mask)
+            engine = EnforcementEngine(enforcer, batch_size=3)
+            results[mask] = [
+                dict(o.values) for o in engine.impute_many(prompts)
+            ]
+        assert results[False] == results[True]
+
+    def test_serving_scheduler(self, setting):
+        dataset, model = setting
+        coarse = dataset.test_windows()[0].coarse()
+        records = {}
+        for mask in (False, True):
+            enforcer = _enforcer(dataset, model, paper_rules(dataset.config),
+                                 seed=13, mask_table=mask)
+            with ContinuousBatchingScheduler(enforcer) as scheduler:
+                result = scheduler.impute(coarse, seed=41, wait_timeout=60)
+            assert result.status == DONE
+            records[mask] = result.records
+        assert records[False] == records[True]
+
+    def test_two_worker_pool(self, setting):
+        dataset, model = setting
+        rules = paper_rules(dataset.config)
+        records = {}
+        for mask in (False, True):
+            def build(mask=mask):
+                return _enforcer(dataset, model, rules, seed=13,
+                                 mask_table=mask)
+
+            with WorkerPool(build, workers=2, lanes_per_worker=2) as pool:
+                result = pool.submit(
+                    RequestSpec("synthesize", count=3, seed=77)
+                ).result(timeout=120)
+            records[mask] = result.records
+        assert records[False] == records[True]

@@ -1,0 +1,190 @@
+"""Rule-set compiler and registry artifact cache.
+
+The artifact contract: compilation is a pure function of (rule content,
+schema bounds), so recompiles are byte-identical -- that is what lets the
+registry cache artifacts by content fingerprint, ship them to workers,
+and lets CI assert a cache hit with ``cmp``.
+"""
+
+import json
+
+import pytest
+
+from repro.data import TelemetryConfig, variable_bounds
+from repro.rules import (
+    CompiledMaskTable,
+    RuleSetRegistry,
+    builtin_registry,
+    compile_rules,
+    domain_bound_rules,
+    load_mask_table,
+    paper_rules,
+    save_mask_table,
+    zoom2net_manual_rules,
+)
+from repro.rules.io import rules_fingerprint
+
+CONFIG = TelemetryConfig()
+BOUNDS = variable_bounds(CONFIG)
+
+
+class TestCompileRules:
+    def test_domain_pack_is_precise_from_the_base_state(self):
+        table = compile_rules(domain_bound_rules(CONFIG), BOUNDS)
+        assert table.precise_base
+        state = table.open_record({})
+        assert state.exact()
+        for name, (low, high) in table.bounds.items():
+            assert state.project(name) is not None
+
+    def test_paper_pack_carries_one_guard(self):
+        table = compile_rules(paper_rules(CONFIG), BOUNDS)
+        desc = table.describe()
+        # R2 (sum identity) folds into the conjunctive store; R3 (the
+        # congestion implication) stays a guard until record-time
+        # substitution collapses it.
+        assert desc["constraints"] == 1
+        assert desc["guards"] == 1
+        assert not table.precise_base
+
+    def test_open_record_collapses_guard_when_uncongested(self):
+        table = compile_rules(paper_rules(CONFIG), BOUNDS)
+        state = table.open_record(
+            {"total": 50, "cong": 0, "retx": 0, "egr": 20}
+        )
+        assert state.exact()
+        state_congested = table.open_record(
+            {"total": 120, "cong": 2, "retx": 1, "egr": 20}
+        )
+        assert not state_congested.exact()
+
+    def test_open_record_refutes_out_of_box_fixed(self):
+        table = compile_rules(domain_bound_rules(CONFIG), BOUNDS)
+        state = table.open_record({"total": 10 ** 9})
+        assert state.infeasible()
+
+    def test_every_builtin_pack_compiles_all_variables(self):
+        for build in (paper_rules, zoom2net_manual_rules, domain_bound_rules):
+            table = compile_rules(build(CONFIG), BOUNDS)
+            assert set(table.automata) == set(BOUNDS)
+            assert all(auto.complete for auto in table.automata.values())
+
+    def test_prime_transition_memo(self):
+        table = compile_rules(domain_bound_rules(CONFIG), BOUNDS)
+        memo = {}
+        primed = table.prime_transition_memo(memo)
+        assert primed == len(memo) > 0
+        # Idempotent: a second prime inserts nothing.
+        assert table.prime_transition_memo(memo) == 0
+
+
+class TestArtifact:
+    def test_recompile_is_byte_identical(self):
+        rules = paper_rules(CONFIG)
+        first = compile_rules(rules, BOUNDS).artifact_bytes()
+        second = compile_rules(paper_rules(CONFIG), BOUNDS).artifact_bytes()
+        assert first == second
+
+    def test_roundtrip_preserves_bytes(self, tmp_path):
+        table = compile_rules(paper_rules(CONFIG), BOUNDS)
+        path = tmp_path / "paper.masks.json"
+        save_mask_table(table, path)
+        loaded = load_mask_table(path, expected_fingerprint=table.fingerprint)
+        assert loaded.artifact_bytes() == table.artifact_bytes()
+        assert loaded.describe() == table.describe()
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        table = compile_rules(paper_rules(CONFIG), BOUNDS)
+        path = tmp_path / "paper.masks.json"
+        save_mask_table(table, path)
+        with pytest.raises(ValueError, match="does not match"):
+            load_mask_table(path, expected_fingerprint="deadbeef")
+
+    def test_unknown_format_rejected(self):
+        payload = json.loads(
+            compile_rules(paper_rules(CONFIG), BOUNDS).artifact_bytes()
+        )
+        payload["format"] = "lejit-masks/999"
+        with pytest.raises(ValueError, match="unsupported"):
+            CompiledMaskTable.from_json(payload)
+
+
+class TestRegistryArtifactCache:
+    def test_enable_compiles_existing_packs(self):
+        registry = builtin_registry(CONFIG)
+        assert registry.mask_table_for("paper-R1-R3") is None
+        count = registry.enable_mask_compilation(BOUNDS)
+        assert count == 3
+        assert registry.mask_table_for("paper-R1-R3") is not None
+
+    def test_build_on_register_and_cache_hit(self):
+        registry = builtin_registry(CONFIG)
+        registry.enable_mask_compilation(BOUNDS)
+        table = registry.mask_table_for("paper-R1-R3")
+        # Same content under a new name reuses the cached artifact object.
+        registry.register(paper_rules(CONFIG), name="paper-alias")
+        assert registry.mask_table_for("paper-alias") is table
+
+    def test_register_event_ships_the_artifact(self):
+        registry = builtin_registry(CONFIG)
+        registry.enable_mask_compilation(BOUNDS)
+        events = []
+        registry.subscribe(events.append)
+        handle = registry.register(paper_rules(CONFIG), name="shipped")
+        event = events[-1]
+        assert event["event"] == "register"
+        adopted = CompiledMaskTable.from_json(event["masks"])
+        assert adopted.fingerprint == handle.content_hash
+        assert (
+            adopted.artifact_bytes()
+            == registry.mask_table_for(handle).artifact_bytes()
+        )
+
+    def test_snapshot_ships_artifacts_to_workers(self):
+        registry = builtin_registry(CONFIG)
+        registry.enable_mask_compilation(BOUNDS)
+        worker = RuleSetRegistry.from_snapshot(registry.snapshot())
+        # The worker registry never compiled anything, yet resolves the
+        # parent's artifact byte for byte.
+        table = worker.mask_table_for("paper-R1-R3")
+        assert table is not None
+        assert (
+            table.artifact_bytes()
+            == registry.mask_table_for("paper-R1-R3").artifact_bytes()
+        )
+
+    def test_retire_invalidates_unless_hash_is_live(self):
+        registry = builtin_registry(CONFIG)
+        registry.enable_mask_compilation(BOUNDS)
+        # Second version of the paper pack with identical content: retiring
+        # v1 must keep the shared-hash artifact alive for v2.
+        registry.register(paper_rules(CONFIG), name="paper-R1-R3")
+        registry.promote("paper-R1-R3", 2)
+        registry.retire("paper-R1-R3", 1)
+        assert registry.mask_table_for("paper-R1-R3") is not None
+        # A pack whose hash has no live version loses its artifact.
+        mined = zoom2net_manual_rules(CONFIG)
+        registry.register(mined, name="doomed")
+        fingerprint = rules_fingerprint(mined)
+        registry.register(paper_rules(CONFIG), name="doomed", version=2)
+        registry.promote("doomed", 2)
+        registry.retire("doomed", 1)
+        # zoom2net content is still live under its own builtin name, so
+        # use the internal map to check the hash bookkeeping directly.
+        assert registry._hash_is_live(fingerprint)  # builtin still live
+        assert fingerprint in registry._mask_tables
+
+    def test_apply_event_adopts_parent_artifact(self):
+        parent = builtin_registry(CONFIG)
+        parent.enable_mask_compilation(BOUNDS)
+        events = []
+        parent.subscribe(events.append)
+        parent.register(paper_rules(CONFIG), name="delta")
+        worker = RuleSetRegistry()
+        worker.apply_event(events[-1])
+        table = worker.mask_table_for("delta")
+        assert table is not None
+        assert (
+            table.artifact_bytes()
+            == parent.mask_table_for("delta").artifact_bytes()
+        )

@@ -1,0 +1,239 @@
+"""The compiler's symbolic half: digit automata and the interval lattice.
+
+Two equivalences are load-bearing for byte parity (see the exactness
+proof obligation in ``repro.smt.automaton``):
+
+* :class:`DigitMaskAutomaton` must reproduce
+  ``DigitTransitionSystem._allowed_next`` character for character, since
+  compiled masks are dropped straight into that class's memo;
+* on states :meth:`IntervalAbstraction.exact` accepts, ``project`` must
+  equal the exact integer projection of the constraint store (checked
+  here by brute-force enumeration over small boxes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.transition import SEPARATOR as CORE_SEPARATOR
+from repro.core.transition import DigitTransitionSystem, FeasibleSet
+from repro.smt import And, Eq, Ge, Le, Ne, Or
+from repro.smt.automaton import (
+    SEPARATOR,
+    DigitMaskAutomaton,
+    IntervalAbstraction,
+    conjunctive_lincons,
+    residual,
+    system_is_exact,
+)
+from repro.smt.lincon import LinCon
+from repro.smt.terms import IntVar
+
+
+def test_separator_label_matches_core():
+    # The automaton's masks land in DigitTransitionSystem._MEMO verbatim,
+    # so the symbolic close-literal label must be the same object value.
+    assert SEPARATOR == CORE_SEPARATOR
+
+
+class TestDigitMaskAutomaton:
+    def _assert_matches_live(self, segments, max_digits=None):
+        feasible = FeasibleSet.from_segments(segments)
+        if feasible.is_empty():
+            return
+        if max_digits is None:
+            max_digits = len(str(feasible.max_value))
+        automaton = DigitMaskAutomaton.compile(
+            feasible.segments, max_digits=max_digits
+        )
+        system = DigitTransitionSystem(feasible, max_digits=max_digits)
+        assert automaton.complete
+        for prefix, mask in automaton.states.items():
+            assert mask == system._allowed_next(prefix), (segments, prefix)
+
+    def test_single_interval(self):
+        self._assert_matches_live([(0, 300)])
+
+    def test_zero_only(self):
+        self._assert_matches_live([(0, 0)])
+
+    def test_point_value(self):
+        self._assert_matches_live([(137, 137)])
+
+    def test_disjoint_segments(self):
+        self._assert_matches_live([(3, 9), (40, 55), (200, 204)])
+
+    def test_fuzzed_segments_match_live(self):
+        rng = np.random.default_rng(20250808)
+        for _ in range(150):
+            count = int(rng.integers(1, 4))
+            segments = []
+            for _ in range(count):
+                lo = int(rng.integers(0, 400))
+                hi = lo + int(rng.integers(0, 60))
+                segments.append((lo, hi))
+            self._assert_matches_live(segments)
+
+    def test_capped_expansion_is_partial_not_wrong(self):
+        feasible = FeasibleSet.from_segments([(0, 99999)])
+        automaton = DigitMaskAutomaton.compile(
+            feasible.segments, max_states=50
+        )
+        assert not automaton.complete
+        assert len(automaton.states) <= 50
+        system = DigitTransitionSystem(feasible)
+        for prefix, mask in automaton.states.items():
+            assert mask == system._allowed_next(prefix)
+        # Uncovered prefixes answer None (compute live), never a guess.
+        assert automaton.allowed_next("98765") is None
+
+    def test_complete_automaton_rejects_unreachable_prefix(self):
+        automaton = DigitMaskAutomaton.compile([(5, 9)])
+        assert automaton.complete
+        assert automaton.allowed_next("4") == frozenset()
+
+    def test_memo_items_prime_the_transition_system(self):
+        feasible = FeasibleSet.from_segments([(0, 210)])
+        automaton = DigitMaskAutomaton.compile(feasible.segments)
+        memo = dict(automaton.memo_items())
+        system = DigitTransitionSystem(feasible)
+        for (segments, max_digits, prefix), mask in memo.items():
+            assert segments == feasible.segments
+            assert max_digits == automaton.max_digits
+            assert mask == system._allowed_next(prefix)
+
+    def test_payload_roundtrip(self):
+        automaton = DigitMaskAutomaton.compile([(3, 9), (40, 55)])
+        clone = DigitMaskAutomaton.from_payload(automaton.to_payload())
+        assert clone.segments == automaton.segments
+        assert clone.max_digits == automaton.max_digits
+        assert clone.states == automaton.states
+        assert clone.complete == automaton.complete
+
+
+class TestExactnessCriterion:
+    def test_unit_equality_is_exact(self):
+        cons = [LinCon((("x", 1), ("y", 1), ("z", -1)), -5, "==")]
+        assert system_is_exact(cons, {"x", "y", "z"})
+
+    def test_non_unit_equality_is_not(self):
+        cons = [LinCon((("x", 2), ("y", 1)), -5, "==")]
+        assert not system_is_exact(cons, {"x", "y"})
+
+    def test_disequality_is_not(self):
+        cons = [LinCon((("x", 1), ("y", 1)), -5, "!=")]
+        assert not system_is_exact(cons, {"x", "y"})
+
+    def test_shared_variables_are_not(self):
+        cons = [
+            LinCon((("x", 1), ("y", 1)), -5, "<="),
+            LinCon((("y", 1), ("z", 1)), -7, "<="),
+        ]
+        assert not system_is_exact(cons, {"x", "y", "z"})
+
+    def test_unboxed_variable_is_not(self):
+        cons = [LinCon((("x", 1), ("w", 1)), -5, "<=")]
+        assert not system_is_exact(cons, {"x", "y"})
+
+    def test_non_unit_le_is_exact(self):
+        cons = [LinCon((("x", 3), ("y", -2)), -5, "<=")]
+        assert system_is_exact(cons, {"x", "y"})
+
+
+def _brute_projection(box, cons, name):
+    """Exact integer projection of ``name`` by enumeration."""
+    names = sorted(box)
+    values = {n: range(box[n][0], box[n][1] + 1) for n in names}
+
+    def satisfies(assignment):
+        for con in cons:
+            total = con.const + sum(
+                coeff * assignment[v] for v, coeff in con.items
+            )
+            if con.op == "<=" and total > 0:
+                return False
+            if con.op == "==" and total != 0:
+                return False
+            if con.op == "!=" and total == 0:
+                return False
+        return True
+
+    feasible = set()
+    import itertools
+
+    for combo in itertools.product(*(values[n] for n in names)):
+        assignment = dict(zip(names, combo))
+        if satisfies(assignment):
+            feasible.add(assignment[name])
+    if not feasible:
+        return None
+    return min(feasible), max(feasible)
+
+
+class TestIntervalAbstraction:
+    def test_project_matches_brute_force_on_exact_stores(self):
+        rng = np.random.default_rng(7)
+        for _ in range(60):
+            names = ["a", "b", "c"]
+            box = {n: (0, int(rng.integers(2, 9))) for n in names}
+            state = IntervalAbstraction(dict(box))
+            op = "==" if rng.random() < 0.5 else "<="
+            if op == "==":
+                coeffs = {n: int(rng.choice([-1, 1])) for n in names}
+            else:
+                coeffs = {n: int(rng.integers(-3, 4)) or 1 for n in names}
+            const = int(rng.integers(-10, 2))
+            con = LinCon(tuple(coeffs.items()), const, op)
+            state.add_lincon(con)
+            if not state.exact():
+                continue
+            for name in names:
+                got = state.project(name)
+                want = _brute_projection(box, [con], name)
+                assert got == want, (box, con, name)
+
+    def test_assign_mirrors_substitution(self):
+        box = {"x": (0, 10), "y": (0, 10), "z": (0, 10)}
+        state = IntervalAbstraction(dict(box))
+        state.add_lincon(LinCon((("x", 1), ("y", 1), ("z", 1)), -12, "=="))
+        assert state.exact()
+        state.assign("x", 4)
+        assert state.exact()
+        # y + z == 8 within [0,10]^2: each projects to [0, 8].
+        assert state.project("y") == (0, 8)
+        state.assign("y", 8)
+        assert state.project("z") == (0, 0)
+        assert state.contains("z", 0) and not state.contains("z", 1)
+
+    def test_assign_outside_box_refutes(self):
+        state = IntervalAbstraction({"x": (0, 5)})
+        state.assign("x", 9)
+        assert state.infeasible()
+
+    def test_guard_collapse_restores_precision(self):
+        x, y = IntVar("x"), IntVar("y")
+        guard = Or(Le(x, 0), Ge(y, 5))
+        state = IntervalAbstraction({"x": (0, 9), "y": (0, 9)})
+        state.add_formula(residual(guard, {}))
+        assert not state.exact() and state.guards
+        state.assign("x", 0)  # left branch true: guard collapses away
+        assert state.exact() and not state.guards
+
+    def test_disequality_never_exact_but_never_refutes(self):
+        x, y = IntVar("x"), IntVar("y")
+        state = IntervalAbstraction({"x": (0, 9), "y": (0, 9)})
+        state.add_formula(residual(Ne(x + y, -1), {}))
+        assert not state.exact()
+        assert not state.infeasible()
+        state.assign("x", 3)
+        assert not state.exact()
+
+    def test_conjunctive_lincons_rejects_disjunction(self):
+        x, y = IntVar("x"), IntVar("y")
+        assert conjunctive_lincons(Or(Le(x, 0), Le(y, 0))) is None
+        got = conjunctive_lincons(And(Le(x, 3), Eq(y, 2)))
+        assert got is not None and len(got) == 2
+
+    def test_infeasible_detects_empty_equality(self):
+        state = IntervalAbstraction({"x": (0, 3), "y": (0, 3)})
+        state.add_lincon(LinCon((("x", 1), ("y", 1)), -100, "=="))
+        assert state.infeasible()
